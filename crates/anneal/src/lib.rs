@@ -1,0 +1,303 @@
+//! Simulated annealing (SA) for Ising problems.
+//!
+//! SA is the conventional sequential-update Ising solver the paper compares
+//! SB against, and the search engine behind the BA baseline (ref.\[10\]). A single
+//! sweep proposes one flip per spin; the Metropolis rule accepts uphill
+//! moves with probability `exp(−ΔE/T)` under a decreasing temperature
+//! schedule.
+//!
+//! # Example
+//!
+//! ```
+//! use adis_ising::IsingBuilder;
+//! use adis_anneal::{Annealer, Schedule};
+//!
+//! let p = IsingBuilder::new(4)
+//!     .coupling(0, 1, 1.0)
+//!     .coupling(1, 2, 1.0)
+//!     .coupling(2, 3, 1.0)
+//!     .build();
+//! let r = Annealer::new().schedule(Schedule::geometric(2.0, 0.01, 200)).seed(1).solve(&p);
+//! assert_eq!(r.best_energy, -3.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use adis_ising::{IsingProblem, SpinVector};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A temperature schedule: a starting temperature, a cooling rule, and the
+/// number of sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    t_start: f64,
+    t_end: f64,
+    sweeps: usize,
+    kind: ScheduleKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScheduleKind {
+    Geometric,
+    Linear,
+}
+
+impl Schedule {
+    /// Geometric cooling from `t_start` to `t_end` over `sweeps` sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t_start >= t_end > 0` and `sweeps > 0`.
+    pub fn geometric(t_start: f64, t_end: f64, sweeps: usize) -> Self {
+        assert!(t_start >= t_end && t_end > 0.0, "need t_start >= t_end > 0");
+        assert!(sweeps > 0, "need at least one sweep");
+        Schedule {
+            t_start,
+            t_end,
+            sweeps,
+            kind: ScheduleKind::Geometric,
+        }
+    }
+
+    /// Linear cooling from `t_start` to `t_end` over `sweeps` sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t_start >= t_end > 0` and `sweeps > 0`.
+    pub fn linear(t_start: f64, t_end: f64, sweeps: usize) -> Self {
+        assert!(t_start >= t_end && t_end > 0.0, "need t_start >= t_end > 0");
+        assert!(sweeps > 0, "need at least one sweep");
+        Schedule {
+            t_start,
+            t_end,
+            sweeps,
+            kind: ScheduleKind::Linear,
+        }
+    }
+
+    /// Number of sweeps.
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Temperature at sweep `k` (0-based).
+    pub fn temperature(&self, k: usize) -> f64 {
+        if self.sweeps <= 1 {
+            return self.t_start;
+        }
+        let frac = k as f64 / (self.sweeps - 1) as f64;
+        match self.kind {
+            ScheduleKind::Geometric => {
+                self.t_start * (self.t_end / self.t_start).powf(frac)
+            }
+            ScheduleKind::Linear => self.t_start + (self.t_end - self.t_start) * frac,
+        }
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::geometric(5.0, 0.01, 500)
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealResult {
+    /// Best configuration seen across all sweeps.
+    pub best_state: SpinVector,
+    /// Its energy (including the problem offset).
+    pub best_energy: f64,
+    /// Total spin-flip proposals made.
+    pub proposals: usize,
+    /// Accepted flips.
+    pub accepted: usize,
+}
+
+/// A configured Metropolis simulated annealer.
+#[derive(Debug, Clone, Default)]
+pub struct Annealer {
+    schedule: Schedule,
+    seed: u64,
+}
+
+impl Annealer {
+    /// An annealer with the default geometric schedule.
+    pub fn new() -> Self {
+        Annealer::default()
+    }
+
+    /// Sets the temperature schedule.
+    pub fn schedule(mut self, s: Schedule) -> Self {
+        self.schedule = s;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs annealing from a random initial state.
+    pub fn solve(&self, problem: &IsingProblem) -> AnnealResult {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let n = problem.num_spins();
+        let init = SpinVector::from_bools((0..n).map(|_| rng.gen_bool(0.5)));
+        self.solve_from(problem, init, &mut rng)
+    }
+
+    /// Runs annealing from a given initial state with a caller-provided RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state length differs from the problem's spin count.
+    pub fn solve_from<R: Rng + ?Sized>(
+        &self,
+        problem: &IsingProblem,
+        initial: SpinVector,
+        rng: &mut R,
+    ) -> AnnealResult {
+        assert_eq!(
+            initial.len(),
+            problem.num_spins(),
+            "initial state length mismatch"
+        );
+        let n = problem.num_spins();
+        let mut state = initial;
+        let mut energy = problem.energy(&state);
+        let mut best_state = state.clone();
+        let mut best_energy = energy;
+        let mut proposals = 0;
+        let mut accepted = 0;
+
+        for sweep in 0..self.schedule.sweeps() {
+            let t = self.schedule.temperature(sweep);
+            for i in 0..n {
+                proposals += 1;
+                let delta = problem.flip_delta(&state, i);
+                if delta <= 0.0 || rng.gen::<f64>() < (-delta / t).exp() {
+                    state.flip(i);
+                    energy += delta;
+                    accepted += 1;
+                    if energy < best_energy {
+                        best_energy = energy;
+                        best_state = state.clone();
+                    }
+                }
+            }
+        }
+
+        AnnealResult {
+            best_state,
+            best_energy,
+            proposals,
+            accepted,
+        }
+    }
+
+    /// Runs `replicas` independent restarts and keeps the best.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn solve_batch(&self, problem: &IsingProblem, replicas: usize) -> AnnealResult {
+        assert!(replicas > 0, "need at least one replica");
+        (0..replicas)
+            .map(|r| {
+                self.clone()
+                    .seed(self.seed.wrapping_add(r as u64))
+                    .solve(problem)
+            })
+            .min_by(|a, b| a.best_energy.total_cmp(&b.best_energy))
+            .expect("replicas > 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adis_ising::{solve_exhaustive, IsingBuilder};
+
+    fn random_problem(n: usize, seed: u64) -> IsingProblem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = IsingBuilder::new(n);
+        for i in 0..n {
+            b.add_bias(i, rng.gen_range(-1.0..1.0));
+            for j in (i + 1)..n {
+                b.add_coupling(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn schedule_endpoints() {
+        let g = Schedule::geometric(4.0, 0.5, 10);
+        assert!((g.temperature(0) - 4.0).abs() < 1e-12);
+        assert!((g.temperature(9) - 0.5).abs() < 1e-12);
+        let l = Schedule::linear(4.0, 0.5, 10);
+        assert!((l.temperature(0) - 4.0).abs() < 1e-12);
+        assert!((l.temperature(9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_monotone_decreasing() {
+        for s in [Schedule::geometric(3.0, 0.1, 20), Schedule::linear(3.0, 0.1, 20)] {
+            for k in 1..20 {
+                assert!(s.temperature(k) <= s.temperature(k - 1) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn finds_ground_state_of_small_instances() {
+        for seed in 0..5 {
+            let p = random_problem(10, seed);
+            let exact = solve_exhaustive(&p);
+            let r = Annealer::new()
+                .schedule(Schedule::geometric(3.0, 0.01, 300))
+                .seed(seed)
+                .solve_batch(&p, 4);
+            assert!(
+                r.best_energy <= exact.energy + 1e-9 + 0.05 * exact.energy.abs(),
+                "seed {seed}: sa {} vs exact {}",
+                r.best_energy,
+                exact.energy
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let p = random_problem(8, 42);
+        let a = Annealer::new().seed(5).solve(&p);
+        let b = Annealer::new().seed(5).solve(&p);
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn acceptance_bookkeeping() {
+        let p = random_problem(6, 1);
+        let r = Annealer::new().seed(0).solve(&p);
+        assert_eq!(r.proposals, 6 * Schedule::default().sweeps());
+        assert!(r.accepted <= r.proposals);
+    }
+
+    #[test]
+    fn best_energy_matches_best_state() {
+        let p = random_problem(9, 3);
+        let r = Annealer::new().seed(9).solve(&p);
+        assert!((p.energy(&r.best_state) - r.best_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "t_start >= t_end > 0")]
+    fn schedule_validation() {
+        Schedule::geometric(0.1, 1.0, 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion bench for **Ablation A2**: the Theorem-3 type-reset heuristic
+//! on versus off (runtime cost of the intervention; quality is reported by
+//! the `ablations` binary), plus the third-order row formulation of
+//! **Ablation A3** at the same instance shape.
+
+use adis_benchfn::ContinuousFn;
+use adis_boolfn::{BooleanMatrix, InputDist, Partition};
+use adis_core::{ColumnCop, IsingCopSolver, RowCop};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn cops() -> (ColumnCop, RowCop) {
+    let f = ContinuousFn::Tan.function(9, 9).expect("paper widths");
+    let w = Partition::new(9, vec![0, 1, 2, 3], vec![4, 5, 6, 7, 8]).expect("valid");
+    let m = BooleanMatrix::build(f.component(6), &w);
+    (
+        ColumnCop::separate(&m, &w, &InputDist::Uniform),
+        RowCop::separate(&m, &w, &InputDist::Uniform),
+    )
+}
+
+fn bench_heuristic(c: &mut Criterion) {
+    let (col, row) = cops();
+    let mut group = c.benchmark_group("ablation_heuristic_and_order");
+    group.sample_size(10);
+    group.bench_function("heuristic_on", |b| {
+        b.iter(|| IsingCopSolver::new().heuristic(true).solve(&col).objective)
+    });
+    group.bench_function("heuristic_off", |b| {
+        b.iter(|| IsingCopSolver::new().heuristic(false).solve(&col).objective)
+    });
+    group.bench_function("third_order_row_hosb", |b| {
+        b.iter(|| row.solve_ising3(1, 1).objective)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristic);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for **Ablation A1**: the dynamic stop criterion versus
+//! fixed iteration budgets on a real core COP (runtime side; the quality
+//! side is reported by the `ablations` binary).
+
+use adis_benchfn::ContinuousFn;
+use adis_boolfn::{BooleanMatrix, InputDist, Partition};
+use adis_core::{ColumnCop, IsingCopSolver};
+use adis_sb::StopCriterion;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn cop() -> ColumnCop {
+    let f = ContinuousFn::Denoise.function(9, 9).expect("paper widths");
+    let w = Partition::new(9, vec![0, 1, 2, 3], vec![4, 5, 6, 7, 8]).expect("valid");
+    ColumnCop::separate(
+        &BooleanMatrix::build(f.component(5), &w),
+        &w,
+        &InputDist::Uniform,
+    )
+}
+
+fn bench_stop_criteria(c: &mut Criterion) {
+    let cop = cop();
+    let mut group = c.benchmark_group("ablation_stop_criterion");
+    group.sample_size(20);
+    for (name, crit) in [
+        ("fixed_500", StopCriterion::FixedIterations(500)),
+        ("fixed_2000", StopCriterion::FixedIterations(2000)),
+        ("fixed_10000", StopCriterion::FixedIterations(10000)),
+        ("dynamic_paper", StopCriterion::paper_small()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| IsingCopSolver::new().stop(crit.clone()).solve(&cop).objective)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stop_criteria);
+criterion_main!(benches);

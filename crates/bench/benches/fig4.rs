@@ -1,0 +1,60 @@
+//! Criterion bench backing **Fig. 4**: one joint-mode core-COP solve per
+//! method at the large-scale shape (`n = 16`: 128×512 Boolean matrix, 768
+//! spins). The `fig4` binary regenerates the whole figure; this bench
+//! tracks the per-COP cost ratio between the proposed solver and DALTA's
+//! heuristic — the quantity Fig. 4's runtime ratio is made of.
+
+use adis_bench::stop_for;
+use adis_benchfn::{Benchmark, ContinuousFn, QuantScheme};
+use adis_boolfn::{BooleanMatrix, InputDist, Partition};
+use adis_core::{baselines, ColumnCop, IsingCopSolver, RowCop};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn large_cop() -> (ColumnCop, RowCop) {
+    let f = Benchmark::Continuous(ContinuousFn::Exp)
+        .function(QuantScheme::Large)
+        .expect("large scheme");
+    // Fixed 7|9 partition; bit 12 is a structured mid-significance bit.
+    let w = Partition::new(16, vec![0, 1, 2, 3, 4, 5, 6], vec![7, 8, 9, 10, 11, 12, 13, 14, 15])
+        .expect("valid");
+    let m = BooleanMatrix::build(f.component(12), &w);
+    (
+        ColumnCop::separate(&m, &w, &InputDist::Uniform),
+        RowCop::separate(&m, &w, &InputDist::Uniform),
+    )
+}
+
+fn bench_fig4_cop(c: &mut Criterion) {
+    let (col, row) = large_cop();
+    let mut group = c.benchmark_group("fig4_large_cop");
+    group.sample_size(10);
+    group.bench_function("proposed_bsb_768_spins", |b| {
+        b.iter(|| {
+            IsingCopSolver::new()
+                .stop(stop_for(QuantScheme::Large))
+                .solve(&col)
+                .objective
+        })
+    });
+    group.bench_function("dalta_heuristic", |b| {
+        b.iter(|| baselines::solve_dalta_heuristic(&row, 4, 1).objective)
+    });
+    group.bench_function("ba_annealing", |b| {
+        b.iter(|| {
+            baselines::solve_ba(
+                &row,
+                &baselines::BaParams {
+                    sweeps: 50,
+                    restarts: 1,
+                    ..Default::default()
+                },
+                1,
+            )
+            .objective
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4_cop);
+criterion_main!(benches);

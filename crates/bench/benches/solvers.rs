@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of the Ising solvers on standard random
+//! instances and on real core-COP instances: bSB/dSB/aSB throughput,
+//! simulated annealing, and the exact reference solvers.
+
+use adis_anneal::{Annealer, Schedule};
+use adis_benchfn::ContinuousFn;
+use adis_boolfn::{BooleanMatrix, InputDist, Partition};
+use adis_core::{ColumnCop, IsingCopSolver, RowCop};
+use adis_ising::random::sherrington_kirkpatrick;
+use adis_sb::{SbSolver, SbVariant, StopCriterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn benchmark_cop() -> (ColumnCop, RowCop) {
+    let table = ContinuousFn::Exp.function(9, 9).expect("paper widths");
+    let w = Partition::new(9, vec![0, 1, 2, 3], vec![4, 5, 6, 7, 8]).expect("valid");
+    let m = BooleanMatrix::build(table.component(6), &w);
+    (
+        ColumnCop::separate(&m, &w, &InputDist::Uniform),
+        RowCop::separate(&m, &w, &InputDist::Uniform),
+    )
+}
+
+fn bench_sb_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sb_variants_sk");
+    for n in [32usize, 128] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = sherrington_kirkpatrick(n, &mut rng);
+        for (name, variant) in [
+            ("bSB", SbVariant::Ballistic),
+            ("dSB", SbVariant::Discrete),
+            ("aSB", SbVariant::Adiabatic),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &p, |b, p| {
+                b.iter(|| {
+                    SbSolver::new()
+                        .variant(variant)
+                        .stop(StopCriterion::FixedIterations(500))
+                        .solve(p)
+                        .best_energy
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_cop_solvers(c: &mut Criterion) {
+    let (col, row) = benchmark_cop();
+    let mut group = c.benchmark_group("core_cop_solvers");
+    group.bench_function("ising_bsb_proposed", |b| {
+        b.iter(|| IsingCopSolver::new().solve(&col).objective)
+    });
+    group.bench_function("ising_bsb_no_heuristic", |b| {
+        b.iter(|| IsingCopSolver::new().heuristic(false).solve(&col).objective)
+    });
+    group.bench_function("exact_branch_and_bound", |b| {
+        b.iter(|| row.solve_exact(None).objective)
+    });
+    group.bench_function("dalta_heuristic", |b| {
+        b.iter(|| adis_core::baselines::solve_dalta_heuristic(&row, 4, 1).objective)
+    });
+    group.bench_function("ba_annealing", |b| {
+        b.iter(|| {
+            adis_core::baselines::solve_ba(&row, &adis_core::baselines::BaParams::default(), 1)
+                .objective
+        })
+    });
+    group.bench_function("sa_on_ising_model", |b| {
+        let ising = col.to_ising();
+        b.iter(|| {
+            Annealer::new()
+                .schedule(Schedule::geometric(1.0, 1e-3, 100))
+                .solve(&ising)
+                .best_energy
+        })
+    });
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let (col, row) = benchmark_cop();
+    let mut group = c.benchmark_group("formulation");
+    group.bench_function("column_to_ising", |b| b.iter(|| col.to_ising()));
+    group.bench_function("row_to_ising3", |b| b.iter(|| row.to_ising3()));
+    group.bench_function("theorem3_reset", |b| {
+        let s = col.alternate(adis_boolfn::BitVec::zeros(col.cols()), 10);
+        b.iter(|| col.optimal_t(&s.v1, &s.v2))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sb_variants, bench_cop_solvers, bench_encoding
+}
+criterion_main!(benches);

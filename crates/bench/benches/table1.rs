@@ -1,0 +1,50 @@
+//! Criterion bench backing **Table 1**: one full decomposition per method
+//! on a representative small-scheme benchmark (`erf`, the fastest of the
+//! six), at reduced `P` so a Criterion sample stays tractable. The
+//! `table1` binary regenerates the full table; this bench tracks the
+//! runtime column's *ordering* across code changes.
+
+use adis_bench::{framework_for, Method, RunConfig};
+use adis_benchfn::{ContinuousFn, QuantScheme};
+use adis_core::Mode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_table1_cell(c: &mut Criterion) {
+    let f = ContinuousFn::Erf.function(9, 9).expect("paper widths");
+    let cfg = RunConfig {
+        partitions: 4,
+        rounds: 1,
+        ilp_time_limit: Duration::from_millis(100),
+        seed: 1,
+        replicas: 1,
+    };
+    let mut group = c.benchmark_group("table1_erf_joint");
+    group.sample_size(10);
+    for method in [Method::Proposed, Method::Dalta, Method::Ba, Method::DaltaIlp] {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| {
+                framework_for(method, Mode::Joint, QuantScheme::Small, &cfg)
+                    .decompose(&f)
+                    .med
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table1_erf_separate");
+    group.sample_size(10);
+    for method in [Method::Proposed, Method::DaltaIlp] {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| {
+                framework_for(method, Mode::Separate, QuantScheme::Small, &cfg)
+                    .decompose(&f)
+                    .med
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_cell);
+criterion_main!(benches);

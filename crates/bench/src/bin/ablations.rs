@@ -1,0 +1,142 @@
+//! Ablation studies of the paper's design choices (DESIGN.md A1–A3):
+//!
+//! - **A1** — dynamic stop criterion (Section 3.3.1) vs fixed iteration
+//!   budgets: solution quality vs iterations spent;
+//! - **A2** — the Theorem-3 type-reset heuristic (Section 3.3.2) on/off;
+//! - **A3** — the column-based second-order formulation vs solving the
+//!   row-based COP directly with a third-order Ising model (Section 3.1's
+//!   motivating claim).
+//!
+//! All ablations run on real core-COP instances: every output bit of the
+//! quantized `exp(x)` and `denoise(x)` benchmarks at `n = 9` under the
+//! paper's partition sizes.
+//!
+//! Usage: `cargo run --release -p adis-bench --bin ablations [-- --seed N]`
+
+use adis_bench::RunConfig;
+use adis_benchfn::ContinuousFn;
+use adis_boolfn::{BooleanMatrix, InputDist, Partition};
+use adis_core::{ColumnCop, IsingCopSolver, RowCop};
+use adis_sb::StopCriterion;
+use std::time::Instant;
+
+/// All per-bit COPs of a benchmark at n = 9 under a fixed 4|5 partition.
+fn cops(f: ContinuousFn, seed: u64) -> Vec<(ColumnCop, RowCop)> {
+    use rand::SeedableRng;
+    let table = f.function(9, 9).expect("paper widths");
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..9)
+        .map(|k| {
+            let w = Partition::random(9, 5, &mut rng);
+            let m = BooleanMatrix::build(table.component(k), &w);
+            (
+                ColumnCop::separate(&m, &w, &InputDist::Uniform),
+                RowCop::separate(&m, &w, &InputDist::Uniform),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let instances: Vec<(ColumnCop, RowCop)> = [ContinuousFn::Exp, ContinuousFn::Denoise]
+        .into_iter()
+        .flat_map(|f| cops(f, cfg.seed))
+        .collect();
+    println!("ablations over {} benchmark COP instances\n", instances.len());
+
+    // ---------- A1: dynamic stop vs fixed iteration budgets ----------
+    println!("A1 — stop criterion (avg ER, avg iterations, avg ms per COP)");
+    println!("{:<26} {:>10} {:>12} {:>10}", "criterion", "ER", "iters", "ms");
+    let criteria: Vec<(String, StopCriterion)> = vec![
+        ("fixed 100".into(), StopCriterion::FixedIterations(100)),
+        ("fixed 500".into(), StopCriterion::FixedIterations(500)),
+        ("fixed 2000".into(), StopCriterion::FixedIterations(2000)),
+        ("fixed 10000".into(), StopCriterion::FixedIterations(10000)),
+        (
+            "dynamic f=s=20, 1e-8".into(),
+            StopCriterion::paper_small(),
+        ),
+    ];
+    for (name, crit) in criteria {
+        let mut er = 0.0;
+        let mut iters = 0usize;
+        let t0 = Instant::now();
+        for (cop, _) in &instances {
+            let sol = IsingCopSolver::new()
+                .stop(crit.clone())
+                .seed(cfg.seed)
+                .solve(cop);
+            er += sol.objective;
+            iters += sol.stats.iterations;
+        }
+        println!(
+            "{:<26} {:>10.4} {:>12.0} {:>10.2}",
+            name,
+            er / instances.len() as f64,
+            iters as f64 / instances.len() as f64,
+            t0.elapsed().as_secs_f64() * 1000.0 / instances.len() as f64
+        );
+    }
+
+    // ---------- A2: type-reset heuristic on/off ----------
+    println!("\nA2 — Theorem-3 type-reset heuristic (avg ER, avg ms)");
+    println!("{:<26} {:>10} {:>10}", "variant", "ER", "ms");
+    for (name, on) in [("heuristic ON", true), ("heuristic OFF", false)] {
+        let mut er = 0.0;
+        let t0 = Instant::now();
+        for (cop, _) in &instances {
+            er += IsingCopSolver::new()
+                .heuristic(on)
+                .seed(cfg.seed)
+                .solve(cop)
+                .objective;
+        }
+        println!(
+            "{:<26} {:>10.4} {:>10.2}",
+            name,
+            er / instances.len() as f64,
+            t0.elapsed().as_secs_f64() * 1000.0 / instances.len() as f64
+        );
+    }
+
+    // ---------- A3: 2nd-order column vs 3rd-order row formulation ------
+    println!("\nA3 — column-based 2nd-order vs row-based 3rd-order Ising");
+    println!("{:<26} {:>10} {:>10}", "formulation", "ER", "ms");
+    {
+        let mut er = 0.0;
+        let t0 = Instant::now();
+        for (cop, _) in &instances {
+            er += IsingCopSolver::new().seed(cfg.seed).solve(cop).objective;
+        }
+        println!(
+            "{:<26} {:>10.4} {:>10.2}",
+            "column (bSB, 2nd order)",
+            er / instances.len() as f64,
+            t0.elapsed().as_secs_f64() * 1000.0 / instances.len() as f64
+        );
+        let mut er3 = 0.0;
+        let t0 = Instant::now();
+        for (_, row) in &instances {
+            er3 += row.solve_ising3(1, cfg.seed).objective;
+        }
+        println!(
+            "{:<26} {:>10.4} {:>10.2}",
+            "row (HO-SB, 3rd order)",
+            er3 / instances.len() as f64,
+            t0.elapsed().as_secs_f64() * 1000.0 / instances.len() as f64
+        );
+        // Reference: the exact optimum.
+        let mut opt = 0.0;
+        for (_, row) in &instances {
+            opt += row.solve_exact(None).objective;
+        }
+        println!(
+            "{:<26} {:>10.4} {:>10}",
+            "exact optimum (reference)",
+            opt / instances.len() as f64,
+            "-"
+        );
+    }
+    println!("\n(lower ER is better; the paper's design choices should win A1–A3)");
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Fig. 4**: joint-mode decomposition at `n = 16` (free 7 /
+//! bound 9) over the ten large-scale benchmarks, reporting the MED ratio
+//! and runtime ratio of the proposed Ising solver versus DALTA, with
+//! DALTA's absolute MED/runtime as the baseline series.
+//!
+//! Usage:
+//!   cargo run --release -p adis-bench --bin fig4              # fast profile
+//!   cargo run --release -p adis-bench --bin fig4 -- --full    # paper P/R (slow!)
+//!   ... --partitions N --rounds N --seed N
+
+use adis_bench::{fig4_benchmarks, paper_reference as paper, run_method, Method, RunConfig};
+use adis_benchfn::QuantScheme;
+use adis_core::Mode;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    println!("Fig. 4 reproduction — n = 16, joint mode, |A| = 7, |B| = 9");
+    println!(
+        "config: P = {} partitions, R = {} rounds, seed {}\n",
+        cfg.partitions, cfg.rounds, cfg.seed
+    );
+    println!(
+        "{:<12} {:>5} | {:>10} {:>10} | {:>10} {:>10} | {:>9} {:>9}",
+        "benchmark", "m", "DALTA MED", "DALTA s", "Prop MED", "Prop s", "MED r.", "time r."
+    );
+    println!("{}", "-".repeat(92));
+
+    let mut med_ratios = Vec::new();
+    let mut time_ratios = Vec::new();
+    for (b, f) in fig4_benchmarks() {
+        let dalta = run_method(&f, Method::Dalta, Mode::Joint, QuantScheme::Large, &cfg);
+        let prop = run_method(&f, Method::Proposed, Mode::Joint, QuantScheme::Large, &cfg);
+        let med_ratio = prop.med / dalta.med.max(1e-12);
+        let time_ratio = prop.seconds / dalta.seconds.max(1e-12);
+        med_ratios.push(med_ratio);
+        time_ratios.push(time_ratio);
+        println!(
+            "{:<12} {:>5} | {:>10.2} {:>10.2} | {:>10.2} {:>10.2} | {:>9.3} {:>9.3}",
+            b.name(),
+            b.output_bits(QuantScheme::Large),
+            dalta.med,
+            dalta.seconds,
+            prop.med,
+            prop.seconds,
+            med_ratio,
+            time_ratio
+        );
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let wins = med_ratios
+        .iter()
+        .zip(&time_ratios)
+        .filter(|(&m, &t)| m < 1.0 && t < 1.0)
+        .count();
+    println!("\nsummary (a ratio < 1 favours the proposed method):");
+    println!(
+        "  average MED ratio   : {:.3}   [paper ≈ {:.2} — 11% smaller MED]",
+        avg(&med_ratios),
+        paper::FIG4_AVG_MED_RATIO
+    );
+    println!(
+        "  average speedup     : {:.2}x  [paper ≈ {:.2}x]",
+        1.0 / avg(&time_ratios).max(1e-12),
+        paper::FIG4_AVG_SPEEDUP
+    );
+    println!(
+        "  improved on both    : {wins}/10 benchmarks  [paper: 7/10]"
+    );
+}

@@ -1,0 +1,98 @@
+//! Regenerates **Table 1**: approximate disjoint decomposition of the six
+//! continuous functions at `n = m = 9` (free 4 / bound 5), comparing
+//! DALTA-ILP vs the proposed Ising solver in separate mode, and DALTA /
+//! DALTA-ILP / BA / the proposed solver in joint mode. MED and runtime per
+//! cell, with the paper's numbers printed alongside.
+//!
+//! Usage:
+//!   cargo run --release -p adis-bench --bin table1            # fast profile
+//!   cargo run --release -p adis-bench --bin table1 -- --full  # paper P/R
+//!   ... --partitions N --rounds N --seed N --ilp-limit-ms N
+
+use adis_bench::{paper_reference as paper, run_method, Method, RunConfig};
+use adis_benchfn::{ContinuousFn, QuantScheme};
+use adis_core::Mode;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    println!("Table 1 reproduction — n = 9, m = 9, |A| = 4, |B| = 5");
+    println!(
+        "config: P = {} partitions, R = {} rounds, ILP cap {:?}, seed {}\n",
+        cfg.partitions, cfg.rounds, cfg.ilp_time_limit, cfg.seed
+    );
+
+    let columns: [(Mode, Method, &[(f64, f64); 6]); 6] = [
+        (Mode::Separate, Method::DaltaIlp, &paper::T1_SEP_ILP),
+        (Mode::Separate, Method::Proposed, &paper::T1_SEP_PROP),
+        (Mode::Joint, Method::Dalta, &paper::T1_JOINT_DALTA),
+        (Mode::Joint, Method::DaltaIlp, &paper::T1_JOINT_ILP),
+        (Mode::Joint, Method::Ba, &paper::T1_JOINT_BA),
+        (Mode::Joint, Method::Proposed, &paper::T1_JOINT_PROP),
+    ];
+
+    println!(
+        "{:<10} {:<22} {:>9} {:>10} | {:>9} {:>10}",
+        "function", "mode/method", "MED", "time(s)", "paperMED", "paper(s)"
+    );
+    println!("{}", "-".repeat(78));
+
+    let mut sums = vec![(0.0f64, 0.0f64); columns.len()];
+    for (fi, f) in ContinuousFn::ALL.iter().enumerate() {
+        let table = f
+            .function(9, 9)
+            .expect("paper quantization widths are valid");
+        for (ci, (mode, method, reference)) in columns.iter().enumerate() {
+            let r = run_method(&table, *method, *mode, QuantScheme::Small, &cfg);
+            let (pm, pt) = reference[fi];
+            println!(
+                "{:<10} {:<22} {:>9.2} {:>10.2} | {:>9.2} {:>10.2}",
+                f.name(),
+                format!("{:?}/{}", mode, method.name()),
+                r.med,
+                r.seconds,
+                pm,
+                pt
+            );
+            sums[ci].0 += r.med;
+            sums[ci].1 += r.seconds;
+        }
+        println!();
+    }
+
+    println!("averages over the six functions:");
+    for (ci, (mode, method, reference)) in columns.iter().enumerate() {
+        let pm: f64 = reference.iter().map(|&(m, _)| m).sum::<f64>() / 6.0;
+        let pt: f64 = reference.iter().map(|&(_, t)| t).sum::<f64>() / 6.0;
+        println!(
+            "{:<33} {:>9.2} {:>10.2} | {:>9.2} {:>10.2}",
+            format!("{:?}/{}", mode, method.name()),
+            sums[ci].0 / 6.0,
+            sums[ci].1 / 6.0,
+            pm,
+            pt
+        );
+    }
+
+    // The headline shape checks the paper reports for this table.
+    let sep_ilp = sums[0].0 / 6.0;
+    let sep_prop = sums[1].0 / 6.0;
+    let joint_dalta = sums[2].0 / 6.0;
+    let joint_prop = sums[5].0 / 6.0;
+    println!("\nshape checks (paper values in brackets):");
+    println!(
+        "  separate: Prop./ILP MED ratio   {:.2}  [0.84 — Prop. 16% better]",
+        sep_prop / sep_ilp
+    );
+    println!(
+        "  separate: ILP/Prop. time ratio  {:.0}x  [≈418x]",
+        (sums[0].1 / 6.0) / (sums[1].1 / 6.0).max(1e-9)
+    );
+    println!(
+        "  joint: Prop./DALTA MED ratio    {:.2}  [0.70 — Prop. clearly better]",
+        joint_prop / joint_dalta
+    );
+    println!(
+        "  joint < separate MED (Prop.)    {}  [true]",
+        joint_prop < sep_prop
+    );
+}

@@ -1,0 +1,317 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! The binaries (`table1`, `fig4`, `ablations`) and the Criterion benches
+//! all drive the same [`run_method`] entry point, so every number reported
+//! comes from the identical pipeline the library exposes publicly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use adis_benchfn::{Benchmark, QuantScheme};
+use adis_boolfn::MultiOutputFn;
+use adis_core::{baselines::BaParams, CopSolverKind, Framework, IsingCopSolver, Mode};
+use adis_sb::StopCriterion;
+use std::time::Duration;
+
+/// The solution methods compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The proposed Ising-model (bSB) solver.
+    Proposed,
+    /// Exact row-COP solving with a per-COP time limit — "DALTA-ILP".
+    DaltaIlp,
+    /// The DALTA heuristic.
+    Dalta,
+    /// The BA (simulated annealing) framework.
+    Ba,
+}
+
+impl Method {
+    /// Display name matching the paper's column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Proposed => "Prop.",
+            Method::DaltaIlp => "DALTA-ILP",
+            Method::Dalta => "DALTA",
+            Method::Ba => "BA",
+        }
+    }
+}
+
+/// Scaled-down/up run parameters (the paper's `P`, `R`, and the ILP cap).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Candidate partitions per component per round (paper: 1000, capped
+    /// at the number of distinct partitions).
+    pub partitions: usize,
+    /// Rounds `R` (paper: 5).
+    pub rounds: usize,
+    /// Per-COP limit for the exact solver (paper: 3600 s for Gurobi).
+    pub ilp_time_limit: Duration,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// bSB replicas per COP for the proposed method.
+    pub replicas: usize,
+}
+
+impl RunConfig {
+    /// A configuration that completes quickly (CI-scale). Shapes are
+    /// preserved; absolute MEDs are a little higher than full runs.
+    pub fn fast() -> Self {
+        RunConfig {
+            partitions: 8,
+            rounds: 1,
+            ilp_time_limit: Duration::from_millis(250),
+            seed: 1,
+            replicas: 1,
+        }
+    }
+
+    /// The paper's parameters (`P = 1000`, `R = 5`, 3600 s ILP cap). A full
+    /// Table-1 run takes hours, exactly like the original.
+    pub fn paper() -> Self {
+        RunConfig {
+            partitions: 1000,
+            rounds: 5,
+            ilp_time_limit: Duration::from_secs(3600),
+            seed: 1,
+            replicas: 1,
+        }
+    }
+
+    /// Parses `--full` / `--partitions N` / `--rounds N` / `--seed N` from
+    /// command-line arguments, starting from [`RunConfig::fast`].
+    pub fn from_args() -> Self {
+        let mut cfg = RunConfig::fast();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => cfg = RunConfig::paper(),
+                "--partitions" => {
+                    i += 1;
+                    cfg.partitions = args[i].parse().expect("--partitions takes a number");
+                }
+                "--rounds" => {
+                    i += 1;
+                    cfg.rounds = args[i].parse().expect("--rounds takes a number");
+                }
+                "--seed" => {
+                    i += 1;
+                    cfg.seed = args[i].parse().expect("--seed takes a number");
+                }
+                "--replicas" => {
+                    i += 1;
+                    cfg.replicas = args[i].parse().expect("--replicas takes a number");
+                }
+                "--ilp-limit-ms" => {
+                    i += 1;
+                    cfg.ilp_time_limit =
+                        Duration::from_millis(args[i].parse().expect("--ilp-limit-ms ms"));
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+            i += 1;
+        }
+        cfg
+    }
+}
+
+/// The paper's dynamic-stop parameters for a scheme (Section 4).
+pub fn stop_for(scheme: QuantScheme) -> StopCriterion {
+    match scheme {
+        QuantScheme::Small => StopCriterion::paper_small(),
+        QuantScheme::Large => StopCriterion::paper_large(),
+    }
+}
+
+/// Builds the framework for `(method, mode, scheme)` under `cfg`.
+pub fn framework_for(
+    method: Method,
+    mode: Mode,
+    scheme: QuantScheme,
+    cfg: &RunConfig,
+) -> Framework {
+    let solver = match method {
+        Method::Proposed => CopSolverKind::Ising(
+            IsingCopSolver::new()
+                .stop(stop_for(scheme))
+                .replicas(cfg.replicas),
+        ),
+        Method::DaltaIlp => CopSolverKind::Exact {
+            time_limit: Some(cfg.ilp_time_limit),
+        },
+        Method::Dalta => CopSolverKind::DaltaHeuristic { restarts: 4 },
+        Method::Ba => CopSolverKind::Ba(BaParams::default()),
+    };
+    Framework::new(mode, scheme.bound_size())
+        .solver(solver)
+        .partitions(cfg.partitions)
+        .rounds(cfg.rounds)
+        .seed(cfg.seed)
+}
+
+/// Result of one (benchmark × method) cell.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Mean error distance of the final approximation.
+    pub med: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Runs one method on one pre-built function.
+pub fn run_method(
+    f: &MultiOutputFn,
+    method: Method,
+    mode: Mode,
+    scheme: QuantScheme,
+    cfg: &RunConfig,
+) -> MethodResult {
+    let outcome = framework_for(method, mode, scheme, cfg).decompose(f);
+    MethodResult {
+        med: outcome.med,
+        seconds: outcome.elapsed.as_secs_f64(),
+    }
+}
+
+/// The paper's Table 1 reference values `(MED, seconds)` per function, in
+/// [`adis_benchfn::ContinuousFn::ALL`] order, for annotating our output.
+pub mod paper_reference {
+    /// Separate mode, DALTA-ILP.
+    pub const T1_SEP_ILP: [(f64, f64); 6] = [
+        (11.64, 258.37),
+        (10.91, 236.32),
+        (9.26, 242.58),
+        (8.32, 224.68),
+        (5.07, 139.6),
+        (10.91, 229.25),
+    ];
+    /// Separate mode, proposed.
+    pub const T1_SEP_PROP: [(f64, f64); 6] = [
+        (8.33, 0.56),
+        (10.45, 0.56),
+        (7.07, 0.74),
+        (6.57, 0.49),
+        (4.61, 0.42),
+        (9.69, 0.46),
+    ];
+    /// Joint mode, DALTA heuristic.
+    pub const T1_JOINT_DALTA: [(f64, f64); 6] = [
+        (2.96, 3.06),
+        (3.24, 2.83),
+        (4.22, 2.72),
+        (4.69, 6.77),
+        (1.85, 2.76),
+        (4.75, 2.81),
+    ];
+    /// Joint mode, DALTA-ILP (runtime = the 3600 s cap).
+    pub const T1_JOINT_ILP: [(f64, f64); 6] = [
+        (2.48, 3600.0),
+        (2.62, 3600.0),
+        (3.55, 3600.0),
+        (2.55, 3600.0),
+        (2.66, 3600.0),
+        (3.38, 3600.0),
+    ];
+    /// Joint mode, BA.
+    pub const T1_JOINT_BA: [(f64, f64); 6] = [
+        (2.46, 1.54),
+        (2.84, 1.57),
+        (3.01, 1.5),
+        (2.9, 1.49),
+        (2.66, 1.38),
+        (4.27, 1.51),
+    ];
+    /// Joint mode, proposed.
+    pub const T1_JOINT_PROP: [(f64, f64); 6] = [
+        (2.5, 1.75),
+        (2.5, 1.87),
+        (2.66, 1.92),
+        (2.72, 2.77),
+        (1.9, 1.55),
+        (2.8, 1.51),
+    ];
+    /// Fig. 4 headline: average MED ratio (Prop/DALTA) and speedup.
+    pub const FIG4_AVG_MED_RATIO: f64 = 0.89;
+    /// Fig. 4 headline speedup (DALTA time / Prop time).
+    pub const FIG4_AVG_SPEEDUP: f64 = 1.16;
+}
+
+/// Returns all large-scale (Fig. 4) benchmarks with their functions built.
+pub fn fig4_benchmarks() -> Vec<(Benchmark, MultiOutputFn)> {
+    Benchmark::all()
+        .into_iter()
+        .map(|b| {
+            let f = b.function(QuantScheme::Large).expect("all support large");
+            (b, f)
+        })
+        .collect()
+}
+
+/// Formats a MED/time pair as a fixed-width table cell.
+pub fn cell(med: f64, secs: f64) -> String {
+    format!("{med:>8.2} {secs:>9.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adis_benchfn::ContinuousFn;
+
+    #[test]
+    fn fast_config_runs_table1_cell() {
+        let f = ContinuousFn::Erf.function(7, 5).expect("valid widths");
+        let cfg = RunConfig {
+            partitions: 3,
+            rounds: 1,
+            ilp_time_limit: Duration::from_millis(50),
+            seed: 1,
+            replicas: 1,
+        };
+        for method in [Method::Proposed, Method::DaltaIlp, Method::Dalta, Method::Ba] {
+            let r = run_method(&f, method, Mode::Joint, QuantScheme::Small, &cfg);
+            assert!(r.med.is_finite() && r.med >= 0.0, "{method:?}");
+            assert!(r.seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn stop_parameters_match_paper() {
+        match stop_for(QuantScheme::Small) {
+            StopCriterion::DynamicVariance {
+                sample_every,
+                window,
+                threshold,
+                ..
+            } => {
+                assert_eq!((sample_every, window), (20, 20));
+                assert_eq!(threshold, 1e-8);
+            }
+            _ => panic!("expected dynamic criterion"),
+        }
+        match stop_for(QuantScheme::Large) {
+            StopCriterion::DynamicVariance {
+                sample_every,
+                window,
+                ..
+            } => assert_eq!((sample_every, window), (10, 10)),
+            _ => panic!("expected dynamic criterion"),
+        }
+    }
+
+    #[test]
+    fn reference_averages_match_paper_text() {
+        // Paper: joint-mode proposed average MED 2.51, DALTA-ILP 2.87,
+        // BA 3.02, DALTA 3.61.
+        let avg = |t: &[(f64, f64); 6]| t.iter().map(|&(m, _)| m).sum::<f64>() / 6.0;
+        assert!((avg(&paper_reference::T1_JOINT_PROP) - 2.51).abs() < 0.01);
+        assert!((avg(&paper_reference::T1_JOINT_ILP) - 2.87).abs() < 0.01);
+        assert!((avg(&paper_reference::T1_JOINT_BA) - 3.02).abs() < 0.01);
+        assert!((avg(&paper_reference::T1_JOINT_DALTA) - 3.61).abs() < 0.015);
+        assert!((avg(&paper_reference::T1_SEP_ILP) - 9.35).abs() < 0.015);
+        // The paper prints 7.83 as the separate-mode average; the listed
+        // per-function MEDs average to 7.79 (their rounding), so allow it.
+        assert!((avg(&paper_reference::T1_SEP_PROP) - 7.83).abs() < 0.06);
+    }
+}

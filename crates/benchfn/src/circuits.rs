@@ -1,0 +1,185 @@
+//! Gate-level arithmetic circuits from the AxBench-derived benchmark set:
+//! the Brent-Kung parallel-prefix adder and an array multiplier.
+//!
+//! Input packing follows the paper's 16-bit quantization: the first operand
+//! occupies pattern bits `[0, width)` and the second `[width, 2·width)`.
+
+use crate::{Netlist, NodeId};
+use adis_boolfn::MultiOutputFn;
+
+/// Builds a gate-level Brent-Kung adder: `width`-bit `a + b` with a
+/// `width + 1`-bit sum (the paper's 16-input, 9-output benchmark for
+/// `width = 8`).
+///
+/// # Panics
+///
+/// Panics unless `width` is a power of two in `2..=16` (the classic
+/// Brent-Kung prefix tree shape).
+pub fn brent_kung_adder(width: u32) -> Netlist {
+    assert!(
+        width.is_power_of_two() && (2..=16).contains(&width),
+        "width must be a power of two in 2..=16"
+    );
+    let w = width as usize;
+    let mut n = Netlist::new(width * 2);
+    let a: Vec<NodeId> = (0..width).map(|i| n.input(i)).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| n.input(width + i)).collect();
+
+    // Per-bit propagate/generate.
+    let p: Vec<NodeId> = (0..w).map(|i| n.xor(a[i], b[i])).collect();
+    let g: Vec<NodeId> = (0..w).map(|i| n.and(a[i], b[i])).collect();
+
+    // Prefix combine (g, p) ∘ (g', p') = (g | p·g', p·p').
+    let mut gg = g.clone();
+    let mut pp = p.clone();
+    let combine = |n: &mut Netlist, gg: &mut Vec<NodeId>, pp: &mut Vec<NodeId>, i: usize, j: usize| {
+        let t = n.and(pp[i], gg[j]);
+        gg[i] = n.or(gg[i], t);
+        pp[i] = n.and(pp[i], pp[j]);
+    };
+
+    // Up-sweep (reduction tree).
+    let mut d = 1usize;
+    while (1 << d) <= w {
+        let step = 1 << d;
+        let half = step >> 1;
+        let mut i = step - 1;
+        while i < w {
+            combine(&mut n, &mut gg, &mut pp, i, i - half);
+            i += step;
+        }
+        d += 1;
+    }
+    // Down-sweep (fills the remaining prefixes).
+    while d > 1 {
+        d -= 1;
+        let step = 1 << d;
+        let half = step >> 1;
+        let mut i = step + half - 1;
+        while i < w {
+            combine(&mut n, &mut gg, &mut pp, i, i - half);
+            i += step;
+        }
+    }
+    // After the sweeps gg[i] is the carry out of bit i (prefix generate).
+    let zero = n.constant(false);
+    let mut outputs = Vec::with_capacity(w + 1);
+    for i in 0..w {
+        let cin = if i == 0 { zero } else { gg[i - 1] };
+        outputs.push(n.xor(p[i], cin));
+    }
+    outputs.push(gg[w - 1]); // carry-out = MSB of the sum
+    n.set_outputs(outputs);
+    n
+}
+
+/// Builds a gate-level array multiplier: `width`-bit `a × b` with a
+/// `2·width`-bit product (the paper's 16-input, 16-output benchmark for
+/// `width = 8`).
+///
+/// # Panics
+///
+/// Panics unless `2 ≤ width ≤ 16`.
+pub fn array_multiplier(width: u32) -> Netlist {
+    assert!((2..=16).contains(&width), "width must be in 2..=16");
+    let w = width as usize;
+    let mut n = Netlist::new(width * 2);
+    let a: Vec<NodeId> = (0..width).map(|i| n.input(i)).collect();
+    let b: Vec<NodeId> = (0..width).map(|i| n.input(width + i)).collect();
+    let zero = n.constant(false);
+
+    // Row 0: partial products of a[0]; bit 0 is final, the rest carries
+    // into the accumulator at absolute positions 1..w.
+    let row0: Vec<NodeId> = (0..w).map(|j| n.and(a[0], b[j])).collect();
+    let mut outputs = vec![row0[0]];
+    // Invariant entering row i: acc[j] holds product position i + j.
+    let mut acc: Vec<NodeId> = row0[1..].to_vec();
+
+    // Rows 1..w: ripple-carry add the shifted partial products.
+    for i in 1..w {
+        let pp: Vec<NodeId> = (0..w).map(|j| n.and(a[i], b[j])).collect();
+        let mut next = Vec::with_capacity(w + 1);
+        let mut carry = zero;
+        for j in 0..w {
+            let acc_bit = acc.get(j).copied().unwrap_or(zero);
+            let (s, c) = n.full_adder(acc_bit, pp[j], carry);
+            next.push(s);
+            carry = c;
+        }
+        next.push(carry);
+        outputs.push(next[0]); // product bit i is final
+        acc = next[1..].to_vec(); // positions i+1 .. i+w
+    }
+    // Remaining high bits: positions w .. 2w-1.
+    outputs.extend(acc);
+    n.set_outputs(outputs);
+    n
+}
+
+/// Materializes a netlist into a complete multi-output Boolean function.
+///
+/// # Panics
+///
+/// Panics if the netlist has no outputs or more than 30 inputs.
+pub fn netlist_to_function(n: &Netlist) -> MultiOutputFn {
+    assert!(n.num_outputs() > 0, "netlist has no outputs");
+    MultiOutputFn::from_word_fn(n.num_inputs(), n.num_outputs(), |p| n.eval(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brent_kung_is_an_adder() {
+        for width in [2u32, 4, 8] {
+            let n = brent_kung_adder(width);
+            assert_eq!(n.num_outputs(), width + 1);
+            let mask = (1u64 << width) - 1;
+            for p in 0..(1u64 << (2 * width)) {
+                let a = p & mask;
+                let b = (p >> width) & mask;
+                assert_eq!(n.eval(p), a + b, "width {width}: {a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_is_a_multiplier() {
+        for width in [2u32, 3, 4, 6] {
+            let n = array_multiplier(width);
+            assert_eq!(n.num_outputs(), 2 * width);
+            let mask = (1u64 << width) - 1;
+            for p in 0..(1u64 << (2 * width)) {
+                let a = p & mask;
+                let b = (p >> width) & mask;
+                assert_eq!(n.eval(p), a * b, "width {width}: {a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn eight_bit_multiplier_spot_checks() {
+        let n = array_multiplier(8);
+        for (a, b) in [(0u64, 0u64), (255, 255), (17, 19), (128, 2), (200, 113)] {
+            assert_eq!(n.eval(a | (b << 8)), a * b);
+        }
+    }
+
+    #[test]
+    fn netlist_to_function_matches_eval() {
+        let n = brent_kung_adder(4);
+        let f = netlist_to_function(&n);
+        for p in 0..256u64 {
+            assert_eq!(f.eval_word(p), n.eval(p));
+        }
+    }
+
+    #[test]
+    fn brent_kung_gate_count_reasonable() {
+        // Brent-Kung on 8 bits: 8 P/G pairs + ~11 prefix combines (3 gates
+        // each after the first AND) + sum XORs — well under a naive ripple.
+        let n = brent_kung_adder(8);
+        assert!(n.num_gates() < 100, "got {}", n.num_gates());
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's six continuous benchmark functions, with the exact domains
+//! and ranges of Table 1.
+
+use crate::{QuantizeError, Quantizer};
+use adis_boolfn::MultiOutputFn;
+
+/// One of the six continuous functions evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContinuousFn {
+    /// `cos(x)` on `[0, π/2] → [0, 1]`.
+    Cos,
+    /// `tan(x)` on `[0, 2π/5] → [0, 3.08]`.
+    Tan,
+    /// `exp(x)` on `[0, 3] → [0, 20.09]`.
+    Exp,
+    /// `ln(x)` on `[1, 10] → [0, 2.30]`.
+    Ln,
+    /// `erf(x)` on `[0, 3] → [0, 1]`.
+    Erf,
+    /// Gaussian denoising kernel on `[0, 3] → [0, 0.81]`. The paper does
+    /// not print a formula; we use `0.81·e^{−x²/2}`, which matches the
+    /// printed domain and range (see DESIGN.md, Substitutions).
+    Denoise,
+}
+
+impl ContinuousFn {
+    /// All six functions in the paper's Table 1 order.
+    pub const ALL: [ContinuousFn; 6] = [
+        ContinuousFn::Cos,
+        ContinuousFn::Tan,
+        ContinuousFn::Exp,
+        ContinuousFn::Ln,
+        ContinuousFn::Erf,
+        ContinuousFn::Denoise,
+    ];
+
+    /// Lower-case display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ContinuousFn::Cos => "cos",
+            ContinuousFn::Tan => "tan",
+            ContinuousFn::Exp => "exp",
+            ContinuousFn::Ln => "ln",
+            ContinuousFn::Erf => "erf",
+            ContinuousFn::Denoise => "denoise",
+        }
+    }
+
+    /// The quantization domain from Table 1.
+    pub fn domain(self) -> (f64, f64) {
+        match self {
+            ContinuousFn::Cos => (0.0, std::f64::consts::FRAC_PI_2),
+            ContinuousFn::Tan => (0.0, 2.0 * std::f64::consts::PI / 5.0),
+            ContinuousFn::Exp => (0.0, 3.0),
+            ContinuousFn::Ln => (1.0, 10.0),
+            ContinuousFn::Erf => (0.0, 3.0),
+            ContinuousFn::Denoise => (0.0, 3.0),
+        }
+    }
+
+    /// The quantization range from Table 1.
+    pub fn range(self) -> (f64, f64) {
+        match self {
+            ContinuousFn::Cos => (0.0, 1.0),
+            ContinuousFn::Tan => (0.0, 3.08),
+            ContinuousFn::Exp => (0.0, 20.09),
+            ContinuousFn::Ln => (0.0, 2.30),
+            ContinuousFn::Erf => (0.0, 1.0),
+            ContinuousFn::Denoise => (0.0, 0.81),
+        }
+    }
+
+    /// Evaluates the real function.
+    pub fn eval(self, x: f64) -> f64 {
+        match self {
+            ContinuousFn::Cos => x.cos(),
+            ContinuousFn::Tan => x.tan(),
+            ContinuousFn::Exp => x.exp(),
+            ContinuousFn::Ln => x.ln(),
+            ContinuousFn::Erf => erf(x),
+            ContinuousFn::Denoise => 0.81 * (-x * x / 2.0).exp(),
+        }
+    }
+
+    /// Quantizes into an `n`-input, `m`-output Boolean function using the
+    /// paper's domain/range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuantizeError`] for unsupported widths.
+    pub fn function(self, input_bits: u32, output_bits: u32) -> Result<MultiOutputFn, QuantizeError> {
+        let q = Quantizer::new(input_bits, output_bits, self.domain(), self.range())?;
+        Ok(q.quantize(|x| self.eval(x)))
+    }
+}
+
+/// The error function `erf(x)`, via the Abramowitz–Stegun 7.1.26 rational
+/// approximation (|error| ≤ 1.5e−7 — two orders below 16-bit quantization
+/// resolution).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - ((((A5 * t + A4) * t + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables of erf.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (2.0, 0.9953222650),
+            (3.0, 0.9999779095),
+            (-1.0, -0.8427007929),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x})");
+        }
+    }
+
+    #[test]
+    fn ranges_cover_function_values() {
+        // The printed range must contain the function's values over the
+        // domain (allowing the documented rounding of range endpoints).
+        for f in ContinuousFn::ALL {
+            let (lo, hi) = f.domain();
+            let (rlo, rhi) = f.range();
+            for k in 0..=100 {
+                let x = lo + (hi - lo) * (k as f64) / 100.0;
+                let y = f.eval(x);
+                assert!(
+                    y >= rlo - 1e-9 && y <= rhi + 0.01,
+                    "{}({x}) = {y} outside [{rlo}, {rhi}]",
+                    f.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_function_shapes() {
+        let f = ContinuousFn::Cos.function(9, 9).unwrap();
+        assert_eq!(f.inputs(), 9);
+        assert_eq!(f.outputs(), 9);
+        // cos decreasing: word at 0 is max, at end is min.
+        assert_eq!(f.eval_word(0), 511);
+        assert_eq!(f.eval_word(511), 0);
+    }
+
+    #[test]
+    fn tan_endpoint_matches_printed_range() {
+        // tan(2π/5) ≈ 3.0777 — inside the printed 3.08 range.
+        let (_, hi) = ContinuousFn::Tan.domain();
+        assert!((ContinuousFn::Tan.eval(hi) - 3.0777).abs() < 1e-3);
+    }
+
+    #[test]
+    fn denoise_range() {
+        assert!((ContinuousFn::Denoise.eval(0.0) - 0.81).abs() < 1e-12);
+        assert!(ContinuousFn::Denoise.eval(3.0) < 0.01);
+    }
+
+    #[test]
+    fn all_names_unique() {
+        let names: std::collections::HashSet<_> =
+            ContinuousFn::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,264 @@
+//! A small combinational netlist representation used to build the AxBench
+//! arithmetic circuits at gate level.
+//!
+//! The non-continuous benchmarks (Brent-Kung adder, array multiplier) are
+//! built as actual gate networks and *evaluated* into truth tables — not
+//! just computed arithmetically — so the benchmark substrate matches how
+//! AxBench circuits are defined. A unit test cross-checks each network
+//! against the arithmetic identity it should implement.
+
+use std::fmt;
+
+/// Index of a node within a [`Netlist`].
+pub type NodeId = usize;
+
+/// A combinational node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Primary input bit `i` of the evaluation pattern.
+    Input(u32),
+    /// Constant.
+    Const(bool),
+    /// Inverter.
+    Not(NodeId),
+    /// 2-input AND.
+    And(NodeId, NodeId),
+    /// 2-input OR.
+    Or(NodeId, NodeId),
+    /// 2-input XOR.
+    Xor(NodeId, NodeId),
+}
+
+/// A topologically ordered combinational netlist with designated outputs.
+///
+/// Nodes may only reference earlier nodes, which the builders enforce, so
+/// evaluation is a single forward pass.
+///
+/// # Examples
+///
+/// ```
+/// use adis_benchfn::Netlist;
+///
+/// // A half adder.
+/// let mut n = Netlist::new(2);
+/// let a = n.input(0);
+/// let b = n.input(1);
+/// let sum = n.xor(a, b);
+/// let carry = n.and(a, b);
+/// n.set_outputs(vec![sum, carry]);
+/// assert_eq!(n.eval(0b11), 0b10); // 1+1 = carry, no sum
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    num_inputs: u32,
+    nodes: Vec<Gate>,
+    outputs: Vec<NodeId>,
+}
+
+impl Netlist {
+    /// An empty netlist reading `num_inputs` pattern bits.
+    pub fn new(num_inputs: u32) -> Self {
+        Netlist {
+            num_inputs,
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> u32 {
+        self.num_inputs
+    }
+
+    /// Number of nodes (gates + inputs + constants).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of two-input logic gates (excludes inputs, constants, NOTs).
+    pub fn num_gates(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|g| matches!(g, Gate::And(..) | Gate::Or(..) | Gate::Xor(..)))
+            .count()
+    }
+
+    fn push(&mut self, g: Gate) -> NodeId {
+        // Validate operand ordering so evaluation stays a forward pass.
+        let limit = self.nodes.len();
+        let ok = match g {
+            Gate::Input(i) => {
+                assert!(i < self.num_inputs, "input index out of range");
+                true
+            }
+            Gate::Const(_) => true,
+            Gate::Not(a) => a < limit,
+            Gate::And(a, b) | Gate::Or(a, b) | Gate::Xor(a, b) => a < limit && b < limit,
+        };
+        assert!(ok, "gate operands must reference earlier nodes");
+        self.nodes.push(g);
+        limit
+    }
+
+    /// Adds a primary-input reader node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_inputs`.
+    pub fn input(&mut self, i: u32) -> NodeId {
+        self.push(Gate::Input(i))
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, v: bool) -> NodeId {
+        self.push(Gate::Const(v))
+    }
+
+    /// Adds a NOT gate.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        self.push(Gate::Not(a))
+    }
+
+    /// Adds an AND gate.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::And(a, b))
+    }
+
+    /// Adds an OR gate.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Or(a, b))
+    }
+
+    /// Adds an XOR gate.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// Adds a full adder; returns `(sum, carry_out)`.
+    pub fn full_adder(&mut self, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+        let axb = self.xor(a, b);
+        let sum = self.xor(axb, cin);
+        let t1 = self.and(a, b);
+        let t2 = self.and(cin, axb);
+        let cout = self.or(t1, t2);
+        (sum, cout)
+    }
+
+    /// Designates the output bits (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output references a missing node or there are more
+    /// than 64 outputs.
+    pub fn set_outputs(&mut self, outputs: Vec<NodeId>) {
+        assert!(outputs.len() <= 64, "at most 64 outputs");
+        assert!(
+            outputs.iter().all(|&o| o < self.nodes.len()),
+            "output references missing node"
+        );
+        self.outputs = outputs;
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> u32 {
+        self.outputs.len() as u32
+    }
+
+    /// Evaluates the netlist on an input pattern, returning the output word
+    /// (output `k` at bit `k`).
+    pub fn eval(&self, pattern: u64) -> u64 {
+        let mut values = vec![false; self.nodes.len()];
+        for (idx, g) in self.nodes.iter().enumerate() {
+            values[idx] = match *g {
+                Gate::Input(i) => (pattern >> i) & 1 == 1,
+                Gate::Const(v) => v,
+                Gate::Not(a) => !values[a],
+                Gate::And(a, b) => values[a] && values[b],
+                Gate::Or(a, b) => values[a] || values[b],
+                Gate::Xor(a, b) => values[a] ^ values[b],
+            };
+        }
+        let mut w = 0u64;
+        for (k, &o) in self.outputs.iter().enumerate() {
+            if values[o] {
+                w |= 1 << k;
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist: {} inputs, {} outputs, {} gates",
+            self.num_inputs,
+            self.outputs.len(),
+            self.num_gates()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_adder() {
+        let mut n = Netlist::new(2);
+        let a = n.input(0);
+        let b = n.input(1);
+        let s = n.xor(a, b);
+        let c = n.and(a, b);
+        n.set_outputs(vec![s, c]);
+        for p in 0..4u64 {
+            let expect = (p & 1) + ((p >> 1) & 1);
+            assert_eq!(n.eval(p), expect);
+        }
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut n = Netlist::new(3);
+        let a = n.input(0);
+        let b = n.input(1);
+        let c = n.input(2);
+        let (s, co) = n.full_adder(a, b, c);
+        n.set_outputs(vec![s, co]);
+        for p in 0..8u64 {
+            let expect = (p & 1) + ((p >> 1) & 1) + ((p >> 2) & 1);
+            assert_eq!(n.eval(p), expect);
+        }
+    }
+
+    #[test]
+    fn constants_and_not() {
+        let mut n = Netlist::new(1);
+        let a = n.input(0);
+        let na = n.not(a);
+        let one = n.constant(true);
+        let o = n.and(na, one);
+        n.set_outputs(vec![o]);
+        assert_eq!(n.eval(0), 1);
+        assert_eq!(n.eval(1), 0);
+    }
+
+    #[test]
+    fn gate_count_excludes_wiring() {
+        let mut n = Netlist::new(2);
+        let a = n.input(0);
+        let b = n.input(1);
+        let na = n.not(a);
+        let _ = n.and(na, b);
+        assert_eq!(n.num_gates(), 1);
+        assert_eq!(n.num_nodes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier nodes")]
+    fn forward_reference_rejected() {
+        let mut n = Netlist::new(1);
+        n.push(Gate::Not(5));
+    }
+}

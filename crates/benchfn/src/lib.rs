@@ -1,0 +1,43 @@
+//! Benchmark function generators for the approximate-LUT experiments.
+//!
+//! The paper evaluates on the benchmark set of DALTA (ICCAD'21): six
+//! continuous functions (`cos`, `tan`, `exp`, `ln`, `erf`, `denoise`) and
+//! four non-continuous arithmetic kernels from AxBench (Brent-Kung adder,
+//! `forwardk2j`, `inversek2j`, multiplier). Everything is generated from
+//! scratch here:
+//!
+//! - [`Quantizer`]: uniform domain/range quantization of real functions;
+//! - [`ContinuousFn`]: the six continuous functions with the paper's exact
+//!   domains and ranges (including a from-scratch [`erf`]);
+//! - [`Netlist`] + [`brent_kung_adder`] / [`array_multiplier`]: the
+//!   arithmetic circuits built at **gate level** and evaluated to tables;
+//! - [`forwardk2j`] / [`inversek2j`]: the 2-joint kinematics kernels;
+//! - [`Benchmark`] / [`QuantScheme`]: the assembled suite with the paper's
+//!   two quantization schemes (`n = 9` and `n = 16`).
+//!
+//! # Example
+//!
+//! ```
+//! use adis_benchfn::{Benchmark, ContinuousFn, QuantScheme};
+//!
+//! let f = Benchmark::Continuous(ContinuousFn::Cos).function(QuantScheme::Small)?;
+//! assert_eq!((f.inputs(), f.outputs()), (9, 9));
+//! # Ok::<(), adis_benchfn::BenchmarkError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod circuits;
+mod continuous;
+mod gates;
+mod kinematics;
+mod quantize;
+mod suite;
+
+pub use circuits::{array_multiplier, brent_kung_adder, netlist_to_function};
+pub use continuous::{erf, ContinuousFn};
+pub use gates::{Gate, Netlist, NodeId};
+pub use kinematics::{forwardk2j, forwardk2j_x, inversek2j, inversek2j_theta2, L1, L2};
+pub use quantize::{QuantizeError, Quantizer};
+pub use suite::{Benchmark, BenchmarkError, QuantScheme};

@@ -1,0 +1,180 @@
+//! Uniform quantization of real-valued functions into multi-output Boolean
+//! functions, matching the paper's benchmark construction.
+
+use adis_boolfn::MultiOutputFn;
+
+/// A uniform input/output quantization scheme: `n` input bits spanning a
+/// real domain, `m` output bits spanning a real range.
+///
+/// Input pattern `p ∈ [0, 2^n)` maps to
+/// `x = lo + (hi − lo) · p / (2^n − 1)`; output `y` maps to the nearest of
+/// `2^m` levels over the range, clamped at the ends.
+///
+/// # Examples
+///
+/// ```
+/// use adis_benchfn::Quantizer;
+///
+/// let q = Quantizer::new(4, 4, (0.0, 1.0), (0.0, 1.0))?;
+/// let f = q.quantize(|x| x);
+/// assert_eq!(f.eval_word(0), 0);
+/// assert_eq!(f.eval_word(15), 15);
+/// # Ok::<(), adis_benchfn::QuantizeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantizer {
+    input_bits: u32,
+    output_bits: u32,
+    domain: (f64, f64),
+    range: (f64, f64),
+}
+
+/// Error constructing a [`Quantizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantizeError {
+    /// Input bits must be in `1..=30`, output bits in `1..=64`.
+    BadBitWidth,
+    /// The domain/range interval must have positive width.
+    EmptyInterval,
+}
+
+impl std::fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantizeError::BadBitWidth => write!(f, "unsupported bit width"),
+            QuantizeError::EmptyInterval => write!(f, "interval must have positive width"),
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
+impl Quantizer {
+    /// Creates a quantizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unsupported bit widths or empty intervals.
+    pub fn new(
+        input_bits: u32,
+        output_bits: u32,
+        domain: (f64, f64),
+        range: (f64, f64),
+    ) -> Result<Self, QuantizeError> {
+        if input_bits == 0 || input_bits > 30 || output_bits == 0 || output_bits > 64 {
+            return Err(QuantizeError::BadBitWidth);
+        }
+        if domain.1 <= domain.0 || range.1 <= range.0 {
+            return Err(QuantizeError::EmptyInterval);
+        }
+        Ok(Quantizer {
+            input_bits,
+            output_bits,
+            domain,
+            range,
+        })
+    }
+
+    /// Number of input bits `n`.
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// Number of output bits `m`.
+    pub fn output_bits(&self) -> u32 {
+        self.output_bits
+    }
+
+    /// The real input value encoded by pattern `p`.
+    pub fn decode_input(&self, p: u64) -> f64 {
+        let steps = ((1u64 << self.input_bits) - 1) as f64;
+        self.domain.0 + (self.domain.1 - self.domain.0) * (p as f64) / steps
+    }
+
+    /// The output level (0-based) for real value `y`, clamped to the range.
+    pub fn encode_output(&self, y: f64) -> u64 {
+        let levels = if self.output_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.output_bits) - 1
+        };
+        let frac = (y - self.range.0) / (self.range.1 - self.range.0);
+        let scaled = (frac * levels as f64).round();
+        if scaled <= 0.0 {
+            0
+        } else if scaled >= levels as f64 {
+            levels
+        } else {
+            scaled as u64
+        }
+    }
+
+    /// The real value represented by output level `w`.
+    pub fn decode_output(&self, w: u64) -> f64 {
+        let levels = ((1u64 << self.output_bits) - 1) as f64;
+        self.range.0 + (self.range.1 - self.range.0) * (w as f64) / levels
+    }
+
+    /// Quantizes `f` into a complete multi-output Boolean function.
+    pub fn quantize<F: Fn(f64) -> f64>(&self, f: F) -> MultiOutputFn {
+        MultiOutputFn::from_word_fn(self.input_bits, self.output_bits, |p| {
+            self.encode_output(f(self.decode_input(p)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_endpoints() {
+        let q = Quantizer::new(8, 8, (0.0, 1.0), (0.0, 1.0)).unwrap();
+        let f = q.quantize(|x| x);
+        assert_eq!(f.eval_word(0), 0);
+        assert_eq!(f.eval_word(255), 255);
+        assert_eq!(f.eval_word(128), 128);
+    }
+
+    #[test]
+    fn clamping() {
+        let q = Quantizer::new(4, 4, (0.0, 1.0), (0.0, 0.5)).unwrap();
+        let f = q.quantize(|x| x); // values above 0.5 clamp to max level
+        assert_eq!(f.eval_word(15), 15);
+        assert_eq!(f.eval_word(8), 15); // 8/15 ≈ 0.53 > 0.5
+    }
+
+    #[test]
+    fn decode_encode_round_trip() {
+        let q = Quantizer::new(8, 12, (-2.0, 2.0), (0.0, 10.0)).unwrap();
+        for w in [0u64, 1, 100, 4095] {
+            assert_eq!(q.encode_output(q.decode_output(w)), w);
+        }
+        assert!((q.decode_input(0) - (-2.0)).abs() < 1e-12);
+        assert!((q.decode_input(255) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_functions_stay_monotone() {
+        let q = Quantizer::new(6, 6, (0.0, 3.0), (0.0, 20.0)).unwrap();
+        let f = q.quantize(f64::exp);
+        let mut prev = 0;
+        for p in 0..64 {
+            let w = f.eval_word(p);
+            assert!(w >= prev, "quantized exp must be nondecreasing");
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert_eq!(
+            Quantizer::new(0, 4, (0.0, 1.0), (0.0, 1.0)),
+            Err(QuantizeError::BadBitWidth)
+        );
+        assert_eq!(
+            Quantizer::new(4, 4, (1.0, 1.0), (0.0, 1.0)),
+            Err(QuantizeError::EmptyInterval)
+        );
+    }
+}

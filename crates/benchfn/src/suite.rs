@@ -1,0 +1,209 @@
+//! The paper's benchmark suite as a uniform descriptor type, covering both
+//! quantization schemes of Section 4.
+
+use crate::{
+    array_multiplier, brent_kung_adder, netlist_to_function, ContinuousFn, QuantizeError,
+};
+use adis_boolfn::MultiOutputFn;
+
+/// One of the ten benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// A continuous function (Table 1 / Fig. 4).
+    Continuous(ContinuousFn),
+    /// Gate-level Brent-Kung adder, 8+8 → 9 bits (Fig. 4, `m = 9`).
+    BrentKung,
+    /// Forward kinematics kernel (Fig. 4).
+    Forwardk2j,
+    /// Inverse kinematics kernel (Fig. 4).
+    Inversek2j,
+    /// Gate-level 8×8 array multiplier (Fig. 4, `m = 16`).
+    Multiplier,
+}
+
+/// The two quantization schemes of Section 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantScheme {
+    /// `n = 9`, free set 4, bound set 5; continuous outputs `m = 9`.
+    Small,
+    /// `n = 16`, free set 7, bound set 9; continuous outputs `m = 16`.
+    Large,
+}
+
+impl QuantScheme {
+    /// Total input bits `n`.
+    pub fn input_bits(self) -> u32 {
+        match self {
+            QuantScheme::Small => 9,
+            QuantScheme::Large => 16,
+        }
+    }
+
+    /// Free-set size `|A|`.
+    pub fn free_size(self) -> u32 {
+        match self {
+            QuantScheme::Small => 4,
+            QuantScheme::Large => 7,
+        }
+    }
+
+    /// Bound-set size `|B|`.
+    pub fn bound_size(self) -> u32 {
+        match self {
+            QuantScheme::Small => 5,
+            QuantScheme::Large => 9,
+        }
+    }
+}
+
+/// Error building a benchmark function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchmarkError {
+    /// The benchmark is not defined for the scheme (circuits are 16-input
+    /// only).
+    UnsupportedScheme,
+    /// Underlying quantization failure.
+    Quantize(QuantizeError),
+}
+
+impl std::fmt::Display for BenchmarkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchmarkError::UnsupportedScheme => {
+                write!(f, "benchmark is not defined for this quantization scheme")
+            }
+            BenchmarkError::Quantize(e) => write!(f, "quantization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchmarkError {}
+
+impl From<QuantizeError> for BenchmarkError {
+    fn from(e: QuantizeError) -> Self {
+        BenchmarkError::Quantize(e)
+    }
+}
+
+impl Benchmark {
+    /// The six continuous benchmarks (Table 1 order).
+    pub fn continuous() -> Vec<Benchmark> {
+        ContinuousFn::ALL.iter().copied().map(Benchmark::Continuous).collect()
+    }
+
+    /// All ten benchmarks of the large-scale experiment (Fig. 4 order).
+    pub fn all() -> Vec<Benchmark> {
+        let mut v = Self::continuous();
+        v.extend([
+            Benchmark::BrentKung,
+            Benchmark::Forwardk2j,
+            Benchmark::Inversek2j,
+            Benchmark::Multiplier,
+        ]);
+        v
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Continuous(f) => f.name(),
+            Benchmark::BrentKung => "brent-kung",
+            Benchmark::Forwardk2j => "forwardk2j",
+            Benchmark::Inversek2j => "inversek2j",
+            Benchmark::Multiplier => "multiplier",
+        }
+    }
+
+    /// Whether the benchmark is defined for `scheme`.
+    pub fn supports(self, scheme: QuantScheme) -> bool {
+        match self {
+            Benchmark::Continuous(_) => true,
+            // The paper evaluates the arithmetic circuits only at n = 16.
+            _ => scheme == QuantScheme::Large,
+        }
+    }
+
+    /// Output bit count under `scheme` (Brent-Kung is 9-output; the other
+    /// large-scale benchmarks are 16-output).
+    pub fn output_bits(self, scheme: QuantScheme) -> u32 {
+        match (self, scheme) {
+            (Benchmark::Continuous(_), QuantScheme::Small) => 9,
+            (Benchmark::Continuous(_), QuantScheme::Large) => 16,
+            (Benchmark::BrentKung, _) => 9,
+            (_, _) => 16,
+        }
+    }
+
+    /// Builds the complete Boolean function for this benchmark.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchmarkError::UnsupportedScheme`] for circuit benchmarks
+    /// under the small scheme.
+    pub fn function(self, scheme: QuantScheme) -> Result<MultiOutputFn, BenchmarkError> {
+        if !self.supports(scheme) {
+            return Err(BenchmarkError::UnsupportedScheme);
+        }
+        let n = scheme.input_bits();
+        let m = self.output_bits(scheme);
+        match self {
+            Benchmark::Continuous(f) => Ok(f.function(n, m)?),
+            Benchmark::BrentKung => Ok(netlist_to_function(&brent_kung_adder(n / 2))),
+            Benchmark::Multiplier => Ok(netlist_to_function(&array_multiplier(n / 2))),
+            Benchmark::Forwardk2j => Ok(crate::forwardk2j(n, m)?),
+            Benchmark::Inversek2j => Ok(crate::inversek2j(n, m)?),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes() {
+        assert_eq!(Benchmark::continuous().len(), 6);
+        assert_eq!(Benchmark::all().len(), 10);
+    }
+
+    #[test]
+    fn small_scheme_shapes() {
+        for b in Benchmark::continuous() {
+            let f = b.function(QuantScheme::Small).unwrap();
+            assert_eq!(f.inputs(), 9);
+            assert_eq!(f.outputs(), 9);
+        }
+    }
+
+    #[test]
+    fn circuits_large_only() {
+        assert!(Benchmark::BrentKung.function(QuantScheme::Small).is_err());
+        assert!(Benchmark::Multiplier.supports(QuantScheme::Large));
+    }
+
+    #[test]
+    fn large_scheme_output_bits_match_paper() {
+        assert_eq!(Benchmark::BrentKung.output_bits(QuantScheme::Large), 9);
+        assert_eq!(Benchmark::Multiplier.output_bits(QuantScheme::Large), 16);
+        assert_eq!(
+            Benchmark::Continuous(ContinuousFn::Cos).output_bits(QuantScheme::Large),
+            16
+        );
+    }
+
+    #[test]
+    fn brent_kung_large_is_correct_adder() {
+        let f = Benchmark::BrentKung.function(QuantScheme::Large).unwrap();
+        assert_eq!(f.inputs(), 16);
+        assert_eq!(f.outputs(), 9);
+        for (a, b) in [(0u64, 0u64), (255, 255), (100, 27)] {
+            assert_eq!(f.eval_word(a | (b << 8)), a + b);
+        }
+    }
+
+    #[test]
+    fn scheme_partition_sizes_match_paper() {
+        assert_eq!(QuantScheme::Small.free_size() + QuantScheme::Small.bound_size(), 9);
+        assert_eq!(QuantScheme::Large.free_size() + QuantScheme::Large.bound_size(), 16);
+    }
+}

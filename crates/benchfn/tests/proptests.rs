@@ -1,0 +1,101 @@
+//! Property-based tests for the benchmark substrate.
+
+use adis_benchfn::{
+    array_multiplier, brent_kung_adder, erf, forwardk2j_x, inversek2j_theta2, netlist_to_function,
+    Quantizer,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Quantizer encode/decode round trip and monotonicity.
+    #[test]
+    fn quantizer_round_trip(
+        n in 2u32..10,
+        m in 2u32..12,
+        lo in -5.0..0.0f64,
+        span in 0.1..10.0f64,
+    ) {
+        let q = Quantizer::new(n, m, (lo, lo + span), (0.0, 1.0)).expect("valid");
+        // decode_input is monotone increasing over patterns.
+        let mut prev = f64::NEG_INFINITY;
+        for p in 0..(1u64 << n) {
+            let x = q.decode_input(p);
+            prop_assert!(x > prev);
+            prev = x;
+        }
+        prop_assert!((q.decode_input(0) - lo).abs() < 1e-9);
+        prop_assert!((q.decode_input((1 << n) - 1) - (lo + span)).abs() < 1e-9);
+        // encode(decode(w)) == w for all levels.
+        for w in [0u64, 1, (1 << m) / 2, (1 << m) - 1] {
+            prop_assert_eq!(q.encode_output(q.decode_output(w)), w);
+        }
+    }
+
+    /// Monotone real functions quantize to monotone tables.
+    #[test]
+    fn quantizer_preserves_monotonicity(n in 3u32..9, m in 3u32..10) {
+        let q = Quantizer::new(n, m, (0.0, 2.0), (0.0, 4.0)).expect("valid");
+        let f = q.quantize(|x| x * x);
+        let mut prev = 0u64;
+        for p in 0..(1u64 << n) {
+            let w = f.eval_word(p);
+            prop_assert!(w >= prev);
+            prev = w;
+        }
+    }
+
+    /// The gate-level adder is exact for random operands and widths.
+    #[test]
+    fn adder_correct(width in prop::sample::select(vec![2u32, 4, 8]), a in any::<u64>(), b in any::<u64>()) {
+        let n = brent_kung_adder(width);
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        prop_assert_eq!(n.eval(a | (b << width)), a + b);
+    }
+
+    /// The gate-level multiplier is exact for random operands and widths.
+    #[test]
+    fn multiplier_correct(width in 2u32..9, a in any::<u64>(), b in any::<u64>()) {
+        let n = array_multiplier(width);
+        let mask = (1u64 << width) - 1;
+        let (a, b) = (a & mask, b & mask);
+        prop_assert_eq!(n.eval(a | (b << width)), a * b);
+    }
+
+    /// erf is odd, bounded, and monotone.
+    #[test]
+    fn erf_properties(x in -4.0..4.0f64, y in -4.0..4.0f64) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 3e-7);
+        prop_assert!(erf(x).abs() <= 1.0);
+        if x < y {
+            prop_assert!(erf(x) <= erf(y) + 1e-12);
+        }
+    }
+
+    /// Forward then inverse kinematics recovers the elbow angle for
+    /// reachable configurations.
+    #[test]
+    fn kinematics_round_trip(t1 in 0.0..1.5f64, t2 in 0.05..3.0f64) {
+        let x = 0.5 * t1.cos() + 0.5 * (t1 + t2).cos();
+        let y = 0.5 * t1.sin() + 0.5 * (t1 + t2).sin();
+        let rec = inversek2j_theta2(x, y);
+        prop_assert!((rec - t2).abs() < 1e-6, "t2 {t2} vs {rec}");
+    }
+
+    /// The end effector stays within the arm's reach disk.
+    #[test]
+    fn forward_kinematics_bounded(t1 in 0.0..6.3f64, t2 in 0.0..6.3f64) {
+        let x = forwardk2j_x(t1, t2);
+        prop_assert!(x.abs() <= 1.0 + 1e-12);
+    }
+
+    /// Netlist materialization matches direct evaluation on all patterns.
+    #[test]
+    fn netlist_function_agrees(width in prop::sample::select(vec![2u32, 4])) {
+        let nl = brent_kung_adder(width);
+        let f = netlist_to_function(&nl);
+        for p in 0..(1u64 << (2 * width)) {
+            prop_assert_eq!(f.eval_word(p), nl.eval(p));
+        }
+    }
+}

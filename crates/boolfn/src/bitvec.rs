@@ -1,0 +1,392 @@
+//! A compact, fixed-length bit vector backed by `u64` words.
+//!
+//! Truth tables over `n` inputs store `2^n` bits; for the paper's large-scale
+//! experiments (`n = 16`) that is 65 536 bits per output, so a packed
+//! representation matters. [`BitVec`] provides exactly the operations the
+//! decomposition code needs: random access, bulk bitwise ops, popcounts, and
+//! whole-vector comparison/complement used by the row/column type checks.
+
+use std::fmt;
+
+/// A fixed-length vector of bits packed into `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use adis_boolfn::BitVec;
+///
+/// let mut v = BitVec::zeros(10);
+/// v.set(3, true);
+/// assert!(v.get(3));
+/// assert_eq!(v.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn word_count(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+impl BitVec {
+    /// Creates a bit vector of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; word_count(len)],
+        }
+    }
+
+    /// Creates a bit vector of `len` ones.
+    pub fn ones(len: usize) -> Self {
+        let mut v = BitVec {
+            len,
+            words: vec![u64::MAX; word_count(len)],
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a bit vector from an iterator of booleans.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use adis_boolfn::BitVec;
+    ///
+    /// let v = BitVec::from_bools([true, false, true]);
+    /// assert_eq!(v.len(), 3);
+    /// assert!(v.get(0) && !v.get(1) && v.get(2));
+    /// ```
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut words = Vec::new();
+        let mut len = 0;
+        let mut cur = 0u64;
+        for b in bits {
+            if b {
+                cur |= 1 << (len % WORD_BITS);
+            }
+            len += 1;
+            if len % WORD_BITS == 0 {
+                words.push(cur);
+                cur = 0;
+            }
+        }
+        if len % WORD_BITS != 0 {
+            words.push(cur);
+        }
+        BitVec { len, words }
+    }
+
+    /// Creates a bit vector of length `len` where bit `i` is `f(i)`.
+    pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, mut f: F) -> Self {
+        let mut v = BitVec::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Flips bit `i`, returning its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn toggle(&mut self, i: usize) -> bool {
+        let v = !self.get(i);
+        self.set(i, v);
+        v
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of clear bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Whether every bit is zero.
+    pub fn all_zeros(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether every bit is one.
+    pub fn all_ones(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Returns the bitwise complement (within `len`).
+    pub fn complement(&self) -> Self {
+        let mut v = BitVec {
+            len: self.len,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Number of positions where `self` and `other` differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hamming_distance(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch in hamming_distance");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `other` is the complement of `self`.
+    pub fn is_complement_of(&self, other: &Self) -> bool {
+        self.len == other.len && self.hamming_distance(other) == self.len
+    }
+
+    /// Iterates over the bits as booleans.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { v: self, pos: 0 }
+    }
+
+    /// Returns the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+
+    /// Interprets the first 64 bits (LSB-first) as a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.len() > 64`.
+    pub fn to_u64(&self) -> u64 {
+        assert!(self.len <= 64, "bit vector too long for u64");
+        if self.words.is_empty() {
+            0
+        } else {
+            self.words[0]
+        }
+    }
+
+    /// Builds a bit vector of length `len` from the low bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_u64 supports at most 64 bits");
+        let mut v = BitVec::zeros(len);
+        if len > 0 {
+            v.words[0] = if len == 64 { value } else { value & ((1 << len) - 1) };
+        }
+        v
+    }
+
+    /// Zeroes any bits in the final partially-used word beyond `len`.
+    fn mask_tail(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Read-only view of the backing words (tail bits beyond `len` are zero).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.len.min(128) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 128 {
+            write!(f, "... ({} bits)", self.len)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitVec::from_bools(iter)
+    }
+}
+
+/// Iterator over the bits of a [`BitVec`].
+pub struct Iter<'a> {
+    v: &'a BitVec,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        if self.pos < self.v.len {
+            let b = self.v.get(self.pos);
+            self.pos += 1;
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.v.len - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a BitVec {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(100);
+        assert_eq!(z.len(), 100);
+        assert!(z.all_zeros());
+        assert_eq!(z.count_ones(), 0);
+        let o = BitVec::ones(100);
+        assert!(o.all_ones());
+        assert_eq!(o.count_ones(), 100);
+    }
+
+    #[test]
+    fn set_get_toggle() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert_eq!(v.count_ones(), 3);
+        assert!(!v.toggle(0));
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn complement_respects_length() {
+        let v = BitVec::from_bools([true, false, true]);
+        let c = v.complement();
+        assert_eq!(c.len(), 3);
+        assert!(!c.get(0) && c.get(1) && !c.get(2));
+        // Tail bits beyond len must stay zero so equality works.
+        assert_eq!(c.as_words()[0] >> 3, 0);
+        assert!(v.is_complement_of(&c));
+    }
+
+    #[test]
+    fn hamming() {
+        let a = BitVec::from_bools([true, true, false, false]);
+        let b = BitVec::from_bools([true, false, true, false]);
+        assert_eq!(a.hamming_distance(&b), 2);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let v = BitVec::from_u64(0b1011, 4);
+        assert_eq!(v.to_u64(), 0b1011);
+        assert_eq!(v.len(), 4);
+        let w = BitVec::from_u64(u64::MAX, 64);
+        assert_eq!(w.to_u64(), u64::MAX);
+    }
+
+    #[test]
+    fn from_u64_masks_high_bits() {
+        let v = BitVec::from_u64(0xFF, 4);
+        assert_eq!(v.to_u64(), 0xF);
+    }
+
+    #[test]
+    fn iter_and_collect() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        let bits: Vec<bool> = v.iter().collect();
+        assert_eq!(bits, vec![true, false, true]);
+        assert_eq!(v.iter().len(), 3);
+    }
+
+    #[test]
+    fn ones_indices() {
+        let v = BitVec::from_bools([false, true, false, true]);
+        let idx: Vec<usize> = v.iter_ones().collect();
+        assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn from_fn_matches() {
+        let v = BitVec::from_fn(70, |i| i % 3 == 0);
+        for i in 0..70 {
+            assert_eq!(v.get(i), i % 3 == 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(4).get(4);
+    }
+}

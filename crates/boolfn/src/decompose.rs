@@ -1,0 +1,496 @@
+//! Exact disjoint decomposition: the row-based (Theorem 1) and column-based
+//! (Theorem 2) characterizations, decomposition settings, and extraction of
+//! the sub-functions `φ` and `F` with `g(X) = F(φ(B), A)`.
+
+use crate::{BitVec, BooleanMatrix, Partition, TruthTable};
+
+/// The four admissible row types of Theorem 1.
+///
+/// Paper numbering: 1 = all zeros, 2 = all ones, 3 = the fixed pattern `V`,
+/// 4 = the complement of `V`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowType {
+    /// All-zeros row (paper type 1).
+    Zeros,
+    /// All-ones row (paper type 2).
+    Ones,
+    /// The fixed pattern `V` (paper type 3).
+    Pattern,
+    /// The complement of `V` (paper type 4).
+    Complement,
+}
+
+impl RowType {
+    /// The paper's 1-based type index.
+    pub fn paper_index(self) -> u8 {
+        match self {
+            RowType::Zeros => 1,
+            RowType::Ones => 2,
+            RowType::Pattern => 3,
+            RowType::Complement => 4,
+        }
+    }
+
+    /// Parses the paper's 1-based type index.
+    pub fn from_paper_index(idx: u8) -> Option<Self> {
+        match idx {
+            1 => Some(RowType::Zeros),
+            2 => Some(RowType::Ones),
+            3 => Some(RowType::Pattern),
+            4 => Some(RowType::Complement),
+            _ => None,
+        }
+    }
+}
+
+/// A row-based decomposition setting `(V, S)` for a fixed partition:
+/// the row pattern `V` (length `c`) and the per-row type vector `S`
+/// (length `r`).
+///
+/// Together with the partition this determines the (possibly approximate)
+/// function value at every matrix cell; see [`RowSetting::value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSetting {
+    /// The fixed row pattern `V`, one bit per column.
+    pub v: BitVec,
+    /// Row types, one per row.
+    pub s: Vec<RowType>,
+}
+
+impl RowSetting {
+    /// The matrix value implied by the setting at `(i, j)`.
+    #[inline]
+    pub fn value(&self, i: usize, j: usize) -> bool {
+        match self.s[i] {
+            RowType::Zeros => false,
+            RowType::Ones => true,
+            RowType::Pattern => self.v.get(j),
+            RowType::Complement => !self.v.get(j),
+        }
+    }
+
+    /// Number of rows `r`.
+    pub fn rows(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Number of columns `c`.
+    pub fn cols(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Number of cells where the setting disagrees with `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mismatch_count(&self, m: &BooleanMatrix) -> usize {
+        assert_eq!(m.rows(), self.rows(), "row count mismatch");
+        assert_eq!(m.cols(), self.cols(), "column count mismatch");
+        let mut n = 0;
+        for i in 0..self.rows() {
+            for j in 0..self.cols() {
+                if self.value(i, j) != m.get(i, j) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// The bound-set function `φ(B)`: its truth table over `|B|` inputs is
+    /// exactly `V`.
+    pub fn phi(&self, w: &Partition) -> TruthTable {
+        assert_eq!(w.cols(), self.cols(), "partition column count mismatch");
+        TruthTable::from_bits(w.bound().len() as u32, self.v.clone())
+    }
+
+    /// The free-set function `F(φ, A)` over `|A| + 1` inputs. Input bit 0 is
+    /// the `φ` value; input bit `1 + t` is row bit `t` (variable `A[t]`).
+    pub fn compose_f(&self, w: &Partition) -> TruthTable {
+        assert_eq!(w.rows(), self.rows(), "partition row count mismatch");
+        let a = w.free().len() as u32;
+        TruthTable::from_fn(a + 1, |p| {
+            let phi = p & 1 == 1;
+            let i = (p >> 1) as usize;
+            match self.s[i] {
+                RowType::Zeros => false,
+                RowType::Ones => true,
+                RowType::Pattern => phi,
+                RowType::Complement => !phi,
+            }
+        })
+    }
+
+    /// The full function the setting represents, as a truth table over the
+    /// original `n` inputs.
+    pub fn reconstruct(&self, w: &Partition) -> TruthTable {
+        TruthTable::from_fn(w.inputs(), |p| {
+            let (i, j) = w.split(p);
+            self.value(i, j)
+        })
+    }
+
+    /// Converts to the equivalent column-based setting: columns where
+    /// `V_j = 0` form pattern 1, columns where `V_j = 1` form pattern 2
+    /// (so `T = V`).
+    pub fn to_column_setting(&self) -> ColumnSetting {
+        let r = self.rows();
+        let v1 = BitVec::from_fn(r, |i| match self.s[i] {
+            RowType::Zeros => false,
+            RowType::Ones => true,
+            RowType::Pattern => false,
+            RowType::Complement => true,
+        });
+        let v2 = BitVec::from_fn(r, |i| match self.s[i] {
+            RowType::Zeros => false,
+            RowType::Ones => true,
+            RowType::Pattern => true,
+            RowType::Complement => false,
+        });
+        ColumnSetting {
+            v1,
+            v2,
+            t: self.v.clone(),
+        }
+    }
+}
+
+/// A column-based decomposition setting `(V₁, V₂, T)` for a fixed partition
+/// (Section 3.1 of the paper): two column patterns of length `r` and the
+/// per-column type vector `T` of length `c` (`T_j = 0` selects `V₁`,
+/// `T_j = 1` selects `V₂`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSetting {
+    /// Column pattern 1 (selected where `T_j = 0`).
+    pub v1: BitVec,
+    /// Column pattern 2 (selected where `T_j = 1`).
+    pub v2: BitVec,
+    /// Column type vector.
+    pub t: BitVec,
+}
+
+impl ColumnSetting {
+    /// The matrix value implied by the setting at `(i, j)`:
+    /// `Ô_ij = (1 − T_j)·V₁ᵢ + T_j·V₂ᵢ` (Eq. 3).
+    #[inline]
+    pub fn value(&self, i: usize, j: usize) -> bool {
+        if self.t.get(j) {
+            self.v2.get(i)
+        } else {
+            self.v1.get(i)
+        }
+    }
+
+    /// Number of rows `r`.
+    pub fn rows(&self) -> usize {
+        self.v1.len()
+    }
+
+    /// Number of columns `c`.
+    pub fn cols(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Number of cells where the setting disagrees with `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mismatch_count(&self, m: &BooleanMatrix) -> usize {
+        assert_eq!(m.rows(), self.rows(), "row count mismatch");
+        assert_eq!(m.cols(), self.cols(), "column count mismatch");
+        let mut n = 0;
+        for i in 0..self.rows() {
+            for j in 0..self.cols() {
+                if self.value(i, j) != m.get(i, j) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// The bound-set function `φ(B)`: its truth table is the type vector `T`.
+    pub fn phi(&self, w: &Partition) -> TruthTable {
+        assert_eq!(w.cols(), self.cols(), "partition column count mismatch");
+        TruthTable::from_bits(w.bound().len() as u32, self.t.clone())
+    }
+
+    /// The free-set function `F(φ, A)` over `|A| + 1` inputs. Input bit 0 is
+    /// the `φ` value (`F(0, i) = V₁ᵢ`, `F(1, i) = V₂ᵢ`); input bit `1 + t` is
+    /// row bit `t`.
+    pub fn compose_f(&self, w: &Partition) -> TruthTable {
+        assert_eq!(w.rows(), self.rows(), "partition row count mismatch");
+        let a = w.free().len() as u32;
+        TruthTable::from_fn(a + 1, |p| {
+            let i = (p >> 1) as usize;
+            if p & 1 == 1 {
+                self.v2.get(i)
+            } else {
+                self.v1.get(i)
+            }
+        })
+    }
+
+    /// The full function the setting represents, over the original inputs.
+    pub fn reconstruct(&self, w: &Partition) -> TruthTable {
+        TruthTable::from_fn(w.inputs(), |p| {
+            let (i, j) = w.split(p);
+            self.value(i, j)
+        })
+    }
+}
+
+/// Evaluates the decomposed form `F(φ(B), A)` back into a flat truth table.
+///
+/// `phi` must have `|B|` inputs and `f` must have `|A| + 1` inputs with the
+/// `φ` value as input bit 0 (the convention produced by
+/// [`RowSetting::compose_f`] / [`ColumnSetting::compose_f`]).
+///
+/// # Panics
+///
+/// Panics if the arities disagree with the partition.
+pub fn apply_decomposition(phi: &TruthTable, f: &TruthTable, w: &Partition) -> TruthTable {
+    assert_eq!(
+        phi.inputs() as usize,
+        w.bound().len(),
+        "phi arity must equal |B|"
+    );
+    assert_eq!(
+        f.inputs() as usize,
+        w.free().len() + 1,
+        "F arity must equal |A| + 1"
+    );
+    TruthTable::from_fn(w.inputs(), |p| {
+        let (i, j) = w.split(p);
+        let phi_val = phi.eval(j as u64);
+        f.eval(((i as u64) << 1) | u64::from(phi_val))
+    })
+}
+
+/// Checks Theorem 1 and, when it holds, returns a row-based setting.
+///
+/// A function decomposes over the partition iff every row of the Boolean
+/// matrix is all-0, all-1, a common pattern `V`, or `V`'s complement.
+pub fn find_row_setting(m: &BooleanMatrix) -> Option<RowSetting> {
+    let (r, c) = (m.rows(), m.cols());
+    let mut v: Option<BitVec> = None;
+    let mut s = Vec::with_capacity(r);
+    for i in 0..r {
+        let row = m.row(i);
+        if row.all_zeros() {
+            s.push(RowType::Zeros);
+        } else if row.all_ones() {
+            s.push(RowType::Ones);
+        } else {
+            match &v {
+                None => {
+                    v = Some(row);
+                    s.push(RowType::Pattern);
+                }
+                Some(pat) => {
+                    if row == *pat {
+                        s.push(RowType::Pattern);
+                    } else if row.is_complement_of(pat) {
+                        s.push(RowType::Complement);
+                    } else {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+    // All rows constant: any pattern works; pick all-zeros.
+    let v = v.unwrap_or_else(|| BitVec::zeros(c));
+    Some(RowSetting { v, s })
+}
+
+/// Checks Theorem 2 and, when it holds, returns a column-based setting.
+///
+/// A function decomposes over the partition iff the Boolean matrix has at
+/// most two distinct column types.
+pub fn find_column_setting(m: &BooleanMatrix) -> Option<ColumnSetting> {
+    let distinct = m.distinct_columns();
+    match distinct.len() {
+        0 => None, // zero-column matrix cannot arise from a valid partition
+        1 => {
+            let col = distinct.into_iter().next().expect("one column");
+            Some(ColumnSetting {
+                v1: col.clone(),
+                v2: col,
+                t: BitVec::zeros(m.cols()),
+            })
+        }
+        2 => {
+            let mut it = distinct.into_iter();
+            let v1 = it.next().expect("first column");
+            let v2 = it.next().expect("second column");
+            let t = BitVec::from_fn(m.cols(), |j| m.column(j) == v2);
+            Some(ColumnSetting { v1, v2, t })
+        }
+        _ => None,
+    }
+}
+
+/// Whether `table` has an exact disjoint decomposition over `w`
+/// (row-based check).
+pub fn is_row_decomposable(table: &TruthTable, w: &Partition) -> bool {
+    find_row_setting(&BooleanMatrix::build(table, w)).is_some()
+}
+
+/// Whether `table` has an exact disjoint decomposition over `w`
+/// (column-based check). Agrees with [`is_row_decomposable`] by the
+/// equivalence of Theorems 1 and 2.
+pub fn is_column_decomposable(table: &TruthTable, w: &Partition) -> bool {
+    find_column_setting(&BooleanMatrix::build(table, w)).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 2 re-indexed to our bit order: row index bit 0 = paper x1,
+    /// column index bit 0 = paper x3 (see `matrix::tests::fig2_matrix`).
+    fn fig2() -> (TruthTable, Partition, BooleanMatrix) {
+        let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+        let rows = [
+            [true, false, true, false],   // V in our column order
+            [true, true, true, true],     // ones
+            [false, false, false, false], // zeros
+            [false, true, false, true],   // ~V
+        ];
+        let tt = TruthTable::from_fn(4, |p| {
+            let (i, j) = w.split(p);
+            rows[i][j]
+        });
+        let m = BooleanMatrix::build(&tt, &w);
+        (tt, w, m)
+    }
+
+    #[test]
+    fn fig2_row_setting_matches_paper() {
+        let (_, _, m) = fig2();
+        let s = find_row_setting(&m).expect("Fig. 2 is decomposable");
+        // Paper: V = (1,1,0,0) in display order = (1,0,1,0) in our order;
+        // S = (3,1,2,4) over display rows = (Pattern, Ones, Zeros, Complement)
+        // over our rows.
+        assert_eq!(s.v, BitVec::from_bools([true, false, true, false]));
+        assert_eq!(
+            s.s,
+            vec![
+                RowType::Pattern,
+                RowType::Ones,
+                RowType::Zeros,
+                RowType::Complement
+            ]
+        );
+        assert_eq!(s.mismatch_count(&m), 0);
+    }
+
+    #[test]
+    fn fig2_column_setting() {
+        let (_, _, m) = fig2();
+        let s = find_column_setting(&m).expect("Fig. 2 is decomposable");
+        assert_eq!(s.mismatch_count(&m), 0);
+        // Paper: column types (1,0,1,0) and (0,0,1,1) in display order,
+        // which re-index to (1,1,0,0) and (0,1,0,1) over our rows.
+        assert_eq!(s.v1, BitVec::from_bools([true, true, false, false]));
+        assert_eq!(s.v2, BitVec::from_bools([false, true, false, true]));
+        assert_eq!(s.t, BitVec::from_bools([false, true, false, true]));
+    }
+
+    #[test]
+    fn theorems_agree_on_fig2() {
+        let (tt, w, _) = fig2();
+        assert!(is_row_decomposable(&tt, &w));
+        assert!(is_column_decomposable(&tt, &w));
+    }
+
+    #[test]
+    fn reconstruct_round_trips() {
+        let (tt, w, m) = fig2();
+        let rs = find_row_setting(&m).unwrap();
+        assert_eq!(rs.reconstruct(&w), tt);
+        let cs = find_column_setting(&m).unwrap();
+        assert_eq!(cs.reconstruct(&w), tt);
+    }
+
+    #[test]
+    fn phi_matches_paper_example1() {
+        // Example 1: φ(x3, x4) = !x3. Our bound vars are {x2, x3} 0-based,
+        // with column bit 0 = x2 (the paper's x3).
+        let (_, w, m) = fig2();
+        let rs = find_row_setting(&m).unwrap();
+        let phi = rs.phi(&w);
+        for j in 0..4u64 {
+            assert_eq!(phi.eval(j), j & 1 == 0, "phi must be NOT(column bit 0)");
+        }
+    }
+
+    #[test]
+    fn apply_decomposition_round_trips() {
+        let (tt, w, m) = fig2();
+        for setting_fns in [
+            {
+                let rs = find_row_setting(&m).unwrap();
+                (rs.phi(&w), rs.compose_f(&w))
+            },
+            {
+                let cs = find_column_setting(&m).unwrap();
+                (cs.phi(&w), cs.compose_f(&w))
+            },
+        ] {
+            let (phi, f) = setting_fns;
+            assert_eq!(apply_decomposition(&phi, &f, &w), tt);
+        }
+    }
+
+    #[test]
+    fn row_to_column_conversion_preserves_values() {
+        let (_, _, m) = fig2();
+        let rs = find_row_setting(&m).unwrap();
+        let cs = rs.to_column_setting();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(rs.value(i, j), cs.value(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn non_decomposable_function_rejected() {
+        // 3 distinct non-complementary rows: no decomposition.
+        let rows = [
+            [true, false, false, false],
+            [false, true, false, false],
+            [false, false, true, false],
+            [false, false, false, true],
+        ];
+        let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+        let tt = TruthTable::from_fn(4, |p| {
+            let (i, j) = w.split(p);
+            rows[i][j]
+        });
+        assert!(!is_row_decomposable(&tt, &w));
+        assert!(!is_column_decomposable(&tt, &w));
+    }
+
+    #[test]
+    fn constant_function_decomposes() {
+        let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+        let tt = TruthTable::constant(4, true);
+        assert!(is_row_decomposable(&tt, &w));
+        assert!(is_column_decomposable(&tt, &w));
+    }
+
+    #[test]
+    fn row_type_paper_indices() {
+        for idx in 1..=4 {
+            let t = RowType::from_paper_index(idx).unwrap();
+            assert_eq!(t.paper_index(), idx);
+        }
+        assert_eq!(RowType::from_paper_index(0), None);
+        assert_eq!(RowType::from_paper_index(5), None);
+    }
+}

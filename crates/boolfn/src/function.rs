@@ -1,0 +1,185 @@
+//! Multi-output Boolean functions.
+
+use crate::{BitVec, TruthTable};
+use std::fmt;
+
+/// A completely specified multi-output Boolean function
+/// `G(X) = (g_1(X), …, g_m(X))`.
+///
+/// Following the paper's numbering, component `k = 1` is the **least**
+/// significant output bit: the binary encoding of the output word is
+/// `Bin(G(X)) = Σ_k 2^{k-1} g_k(X)`. In this API components are 0-indexed,
+/// so `component(0)` is the LSB and carries weight `2^0`.
+///
+/// # Examples
+///
+/// ```
+/// use adis_boolfn::MultiOutputFn;
+///
+/// // A 2-bit incrementer: out = (in + 1) mod 4.
+/// let inc = MultiOutputFn::from_word_fn(2, 2, |p| (p + 1) % 4);
+/// assert_eq!(inc.eval_word(0b11), 0b00);
+/// assert_eq!(inc.eval_word(0b01), 0b10);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct MultiOutputFn {
+    inputs: u32,
+    components: Vec<TruthTable>,
+}
+
+impl MultiOutputFn {
+    /// Builds a function from per-component truth tables (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or the tables disagree on input count.
+    pub fn new(components: Vec<TruthTable>) -> Self {
+        assert!(!components.is_empty(), "need at least one output");
+        let inputs = components[0].inputs();
+        assert!(
+            components.iter().all(|c| c.inputs() == inputs),
+            "all components must share the input count"
+        );
+        MultiOutputFn { inputs, components }
+    }
+
+    /// Builds a function by evaluating `f` on every input pattern; `f`
+    /// returns the full output word (bit `k` = component `k`, LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs > 64` or `inputs > TruthTable::MAX_INPUTS`.
+    pub fn from_word_fn<F: FnMut(u64) -> u64>(inputs: u32, outputs: u32, mut f: F) -> Self {
+        assert!(outputs >= 1 && outputs <= 64, "outputs must be in 1..=64");
+        let n = 1usize << inputs;
+        let mut bits: Vec<BitVec> = (0..outputs).map(|_| BitVec::zeros(n)).collect();
+        for p in 0..n {
+            let w = f(p as u64);
+            for (k, b) in bits.iter_mut().enumerate() {
+                if (w >> k) & 1 == 1 {
+                    b.set(p, true);
+                }
+            }
+        }
+        MultiOutputFn {
+            inputs,
+            components: bits
+                .into_iter()
+                .map(|b| TruthTable::from_bits(inputs, b))
+                .collect(),
+        }
+    }
+
+    /// Number of input variables.
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Number of output bits `m`.
+    pub fn outputs(&self) -> u32 {
+        self.components.len() as u32
+    }
+
+    /// Number of input patterns (`2^inputs`).
+    pub fn num_entries(&self) -> usize {
+        1usize << self.inputs
+    }
+
+    /// Borrow of the `k`-th component function (0-indexed, LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.outputs()`.
+    pub fn component(&self, k: u32) -> &TruthTable {
+        &self.components[k as usize]
+    }
+
+    /// Replaces the `k`-th component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range or the input count differs.
+    pub fn set_component(&mut self, k: u32, table: TruthTable) {
+        assert_eq!(table.inputs(), self.inputs, "input count mismatch");
+        self.components[k as usize] = table;
+    }
+
+    /// All components, LSB first.
+    pub fn components(&self) -> &[TruthTable] {
+        &self.components
+    }
+
+    /// Evaluates the full output word on `pattern`.
+    pub fn eval_word(&self, pattern: u64) -> u64 {
+        let mut w = 0u64;
+        for (k, c) in self.components.iter().enumerate() {
+            if c.eval(pattern) {
+                w |= 1 << k;
+            }
+        }
+        w
+    }
+
+    /// Evaluates a single output bit.
+    pub fn eval_bit(&self, k: u32, pattern: u64) -> bool {
+        self.components[k as usize].eval(pattern)
+    }
+}
+
+impl fmt::Debug for MultiOutputFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MultiOutputFn({} inputs, {} outputs)",
+            self.inputs,
+            self.outputs()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip() {
+        let f = MultiOutputFn::from_word_fn(4, 3, |p| (p * 3) & 0b111);
+        for p in 0..16 {
+            assert_eq!(f.eval_word(p), (p * 3) & 0b111);
+        }
+    }
+
+    #[test]
+    fn component_is_lsb_first() {
+        let f = MultiOutputFn::from_word_fn(2, 2, |p| p);
+        // component 0 = LSB = x0 projection
+        for p in 0..4u64 {
+            assert_eq!(f.eval_bit(0, p), p & 1 == 1);
+            assert_eq!(f.eval_bit(1, p), (p >> 1) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn new_from_tables() {
+        let lsb = TruthTable::from_fn(2, |p| p & 1 == 1);
+        let msb = TruthTable::from_fn(2, |p| p >> 1 == 1);
+        let f = MultiOutputFn::new(vec![lsb, msb]);
+        assert_eq!(f.eval_word(0b10), 0b10);
+    }
+
+    #[test]
+    fn set_component_changes_word() {
+        let mut f = MultiOutputFn::from_word_fn(2, 2, |_| 0);
+        f.set_component(1, TruthTable::constant(2, true));
+        assert_eq!(f.eval_word(0), 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the input count")]
+    fn mismatched_inputs_rejected() {
+        MultiOutputFn::new(vec![
+            TruthTable::constant(2, false),
+            TruthTable::constant(3, false),
+        ]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Boolean-function substrate for Ising-model-based approximate disjoint
+//! decomposition.
+//!
+//! This crate provides everything the decomposition framework needs to talk
+//! about Boolean functions:
+//!
+//! - [`BitVec`]: packed bit vectors;
+//! - [`TruthTable`] / [`MultiOutputFn`]: completely specified single- and
+//!   multi-output Boolean functions;
+//! - [`Partition`]: input partitions `w = {A, B}` into a free and a bound
+//!   set;
+//! - [`BooleanMatrix`]: the `2^|A| × 2^|B|` matrix view of a function under a
+//!   partition;
+//! - [`decompose`]: the exact disjoint-decomposition characterizations —
+//!   row-based ([`find_row_setting`], Theorem 1) and column-based
+//!   ([`find_column_setting`], Theorem 2) — plus extraction of the `φ` and
+//!   `F` sub-functions;
+//! - [`metrics`]: error rate (ER) and mean error distance (MED) weighted by
+//!   an [`InputDist`].
+//!
+//! # Example
+//!
+//! Exactly decomposing a function that satisfies Theorem 2:
+//!
+//! ```
+//! use adis_boolfn::{
+//!     apply_decomposition, find_column_setting, BooleanMatrix, Partition, TruthTable,
+//! };
+//!
+//! // g(x) = x0 XOR x2 decomposes over A = {x0, x1}, B = {x2, x3}.
+//! let g = TruthTable::from_fn(4, |p| (p & 1) ^ ((p >> 2) & 1) == 1);
+//! let w = Partition::new(4, vec![0, 1], vec![2, 3])?;
+//! let m = BooleanMatrix::build(&g, &w);
+//! let setting = find_column_setting(&m).expect("g is decomposable");
+//! let (phi, f) = (setting.phi(&w), setting.compose_f(&w));
+//! assert_eq!(apply_decomposition(&phi, &f, &w), g);
+//! # Ok::<(), adis_boolfn::PartitionError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bitvec;
+pub mod decompose;
+mod function;
+mod matrix;
+pub mod metrics;
+mod partition;
+mod truth_table;
+
+pub use bitvec::BitVec;
+pub use decompose::{
+    apply_decomposition, find_column_setting, find_row_setting, is_column_decomposable,
+    is_row_decomposable, ColumnSetting, RowSetting, RowType,
+};
+pub use function::MultiOutputFn;
+pub use matrix::BooleanMatrix;
+pub use metrics::{
+    error_rate, error_rate_multi, max_error_distance, mean_error_distance, mean_squared_error,
+    DistError, InputDist,
+};
+pub use partition::{Partition, PartitionError};
+pub use truth_table::TruthTable;

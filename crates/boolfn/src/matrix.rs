@@ -1,0 +1,228 @@
+//! Boolean-matrix views of a truth table under an input partition.
+
+use crate::{BitVec, Partition, TruthTable};
+use std::fmt;
+
+/// The Boolean matrix of a single-output function under a partition:
+/// rows are indexed by the free-set (`A`) assignment, columns by the
+/// bound-set (`B`) assignment, and entry `(i, j)` is `g(compose(i, j))`.
+///
+/// Both decomposition theorems (row-based, ≤ 4 row types; column-based,
+/// ≤ 2 column types) are checks on this matrix.
+///
+/// # Examples
+///
+/// ```
+/// use adis_boolfn::{BooleanMatrix, Partition, TruthTable};
+///
+/// let g = TruthTable::from_fn(4, |p| p & 1 == 1); // g = x0
+/// let w = Partition::new(4, vec![0, 1], vec![2, 3])?;
+/// let m = BooleanMatrix::build(&g, &w);
+/// assert_eq!(m.rows(), 4);
+/// assert!(m.get(1, 0)); // row 1 sets x0 = 1
+/// # Ok::<(), adis_boolfn::PartitionError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BooleanMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major bits: entry `(i, j)` at index `i * cols + j`.
+    bits: BitVec,
+}
+
+impl BooleanMatrix {
+    /// Builds the Boolean matrix of `table` under partition `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition's input count differs from the table's.
+    pub fn build(table: &TruthTable, w: &Partition) -> Self {
+        assert_eq!(
+            table.inputs(),
+            w.inputs(),
+            "partition and table must agree on input count"
+        );
+        let rows = w.rows();
+        let cols = w.cols();
+        let mut bits = BitVec::zeros(rows * cols);
+        // Iterate over all input patterns once rather than composing per cell:
+        // split() is as cheap as compose() and this keeps the access pattern
+        // linear in the truth table.
+        for p in 0..table.num_entries() as u64 {
+            if table.eval(p) {
+                let (i, j) = w.split(p);
+                bits.set(i * cols + j, true);
+            }
+        }
+        BooleanMatrix { rows, cols, bits }
+    }
+
+    /// Creates a matrix directly from row-major bits (mainly for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != rows * cols`.
+    pub fn from_bits(rows: usize, cols: usize, bits: BitVec) -> Self {
+        assert_eq!(bits.len(), rows * cols, "bit count must be rows*cols");
+        BooleanMatrix { rows, cols, bits }
+    }
+
+    /// Number of rows `r = 2^|A|`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns `c = 2^|B|`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.rows && j < self.cols, "matrix index out of range");
+        self.bits.get(i * self.cols + j)
+    }
+
+    /// Extracts row `i` as a bit vector of length `cols`.
+    pub fn row(&self, i: usize) -> BitVec {
+        BitVec::from_fn(self.cols, |j| self.get(i, j))
+    }
+
+    /// Extracts column `j` as a bit vector of length `rows`.
+    pub fn column(&self, j: usize) -> BitVec {
+        BitVec::from_fn(self.rows, |i| self.get(i, j))
+    }
+
+    /// All distinct columns, in order of first appearance.
+    pub fn distinct_columns(&self) -> Vec<BitVec> {
+        let mut seen: Vec<BitVec> = Vec::new();
+        for j in 0..self.cols {
+            let col = self.column(j);
+            if !seen.contains(&col) {
+                seen.push(col);
+            }
+        }
+        seen
+    }
+
+    /// Number of distinct columns, stopping early once `limit` is exceeded.
+    ///
+    /// The column-based decomposability check only needs to know whether the
+    /// count is ≤ 2, so `count_distinct_columns(2)` returns at most 3.
+    pub fn count_distinct_columns(&self, limit: usize) -> usize {
+        let mut seen: std::collections::HashSet<BitVec> = std::collections::HashSet::new();
+        for j in 0..self.cols {
+            seen.insert(self.column(j));
+            if seen.len() > limit {
+                return seen.len();
+            }
+        }
+        seen.len()
+    }
+
+    /// Rebuilds the truth table this matrix represents under `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w`'s shape disagrees with the matrix.
+    pub fn to_truth_table(&self, w: &Partition) -> TruthTable {
+        assert_eq!(w.rows(), self.rows, "partition row count mismatch");
+        assert_eq!(w.cols(), self.cols, "partition column count mismatch");
+        TruthTable::from_fn(w.inputs(), |p| {
+            let (i, j) = w.split(p);
+            self.get(i, j)
+        })
+    }
+}
+
+impl fmt::Debug for BooleanMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BooleanMatrix {}x{}:", self.rows, self.cols)?;
+        for i in 0..self.rows.min(16) {
+            for j in 0..self.cols.min(64) {
+                write!(f, "{}", u8::from(self.get(i, j)))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 2 matrix (A = {x1, x2}, B = {x3, x4}, 1-based):
+    ///
+    /// ```text
+    ///        x3x4: 00 01 10 11    (display order: x3 is the high digit)
+    /// x1x2=00 :     1  1  0  0   (V)
+    /// x1x2=01 :     0  0  0  0   (zeros)
+    /// x1x2=10 :     1  1  1  1   (ones)
+    /// x1x2=11 :     0  0  1  1   (complement of V)
+    /// ```
+    ///
+    /// Our 0-based vars are x0..x3 with row index bit 0 = x0 (paper x1) and
+    /// column index bit 0 = x2 (paper x3), so the display table is
+    /// re-indexed below: display row `x1x2` maps to our `i = x1 + 2·x2` and
+    /// display column `x3x4` to our `j = x3 + 2·x4`.
+    pub(crate) fn fig2_matrix() -> (TruthTable, Partition, BooleanMatrix) {
+        let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+        let rows = [
+            [true, false, true, false],  // i=0: paper row 00 (V), j-order
+            [true, true, true, true],    // i=1: paper row 10 (ones)
+            [false, false, false, false], // i=2: paper row 01 (zeros)
+            [false, true, false, true],  // i=3: paper row 11 (~V)
+        ];
+        let tt = TruthTable::from_fn(4, |p| {
+            let (i, j) = w.split(p);
+            rows[i][j]
+        });
+        let m = BooleanMatrix::build(&tt, &w);
+        (tt, w, m)
+    }
+
+    #[test]
+    fn build_matches_truth_table() {
+        let (tt, w, m) = fig2_matrix();
+        for p in 0..16u64 {
+            let (i, j) = w.split(p);
+            assert_eq!(m.get(i, j), tt.eval(p));
+        }
+    }
+
+    #[test]
+    fn round_trip_through_partition() {
+        let (tt, w, m) = fig2_matrix();
+        assert_eq!(m.to_truth_table(&w), tt);
+    }
+
+    #[test]
+    fn fig2_has_two_distinct_columns() {
+        let (_, _, m) = fig2_matrix();
+        // Paper column types (1,0,1,0) and (0,0,1,1) in display order.
+        assert_eq!(m.distinct_columns().len(), 2);
+        assert_eq!(m.count_distinct_columns(2), 2);
+    }
+
+    #[test]
+    fn rows_and_columns_extracted() {
+        let (_, _, m) = fig2_matrix();
+        assert_eq!(m.row(0), BitVec::from_bools([true, false, true, false]));
+        assert_eq!(m.column(0), BitVec::from_bools([true, true, false, false]));
+    }
+
+    #[test]
+    fn distinct_columns_early_exit() {
+        // Identity-ish matrix: 4 distinct columns.
+        let bits = BitVec::from_fn(16, |idx| idx / 4 == idx % 4);
+        let m = BooleanMatrix::from_bits(4, 4, bits);
+        assert!(m.count_distinct_columns(2) > 2);
+        assert_eq!(m.distinct_columns().len(), 4);
+    }
+}

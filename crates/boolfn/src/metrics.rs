@@ -1,0 +1,246 @@
+//! Error metrics for approximate functions: error rate (ER), mean error
+//! distance (MED), and friends, weighted by an input distribution.
+
+use crate::{MultiOutputFn, TruthTable};
+use std::fmt;
+
+/// A probability distribution over the `2^n` input patterns.
+///
+/// The paper weights every error metric by the occurrence probability `p_X`
+/// of each input pattern; the experiments use the uniform distribution, but
+/// the machinery is generic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum InputDist {
+    /// Every pattern equally likely.
+    #[default]
+    Uniform,
+    /// Explicit per-pattern probabilities (must sum to 1 within tolerance).
+    Explicit(Vec<f64>),
+}
+
+/// Error building an explicit [`InputDist`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// Probabilities must be non-negative.
+    Negative(usize),
+    /// Probabilities must sum to 1 (±1e-9 per entry).
+    NotNormalized(f64),
+    /// Length must be a power of two (one entry per input pattern).
+    BadLength(usize),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Negative(i) => write!(f, "probability at index {i} is negative"),
+            DistError::NotNormalized(s) => write!(f, "probabilities sum to {s}, expected 1"),
+            DistError::BadLength(n) => write!(f, "length {n} is not a power of two"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl InputDist {
+    /// Builds an explicit distribution, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any entry is negative, the length is not a power
+    /// of two, or the sum deviates from 1 by more than `1e-6`.
+    pub fn explicit(probs: Vec<f64>) -> Result<Self, DistError> {
+        if !probs.len().is_power_of_two() {
+            return Err(DistError::BadLength(probs.len()));
+        }
+        if let Some(i) = probs.iter().position(|&p| p < 0.0) {
+            return Err(DistError::Negative(i));
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(DistError::NotNormalized(sum));
+        }
+        Ok(InputDist::Explicit(probs))
+    }
+
+    /// Probability of input pattern `pattern` among `2^inputs` patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit distribution's length disagrees with `inputs`.
+    #[inline]
+    pub fn prob(&self, pattern: u64, inputs: u32) -> f64 {
+        match self {
+            InputDist::Uniform => 1.0 / (1u64 << inputs) as f64,
+            InputDist::Explicit(p) => {
+                assert_eq!(
+                    p.len(),
+                    1usize << inputs,
+                    "distribution length disagrees with input count"
+                );
+                p[pattern as usize]
+            }
+        }
+    }
+}
+
+/// Error rate of a single-output approximation: `Σ_X p_X · [g(X) ≠ ĝ(X)]`.
+///
+/// # Panics
+///
+/// Panics if input counts differ.
+pub fn error_rate(exact: &TruthTable, approx: &TruthTable, dist: &InputDist) -> f64 {
+    assert_eq!(exact.inputs(), approx.inputs(), "input count mismatch");
+    match dist {
+        InputDist::Uniform => {
+            exact.error_count(approx) as f64 / exact.num_entries() as f64
+        }
+        InputDist::Explicit(_) => {
+            let n = exact.num_entries() as u64;
+            (0..n)
+                .filter(|&p| exact.eval(p) != approx.eval(p))
+                .map(|p| dist.prob(p, exact.inputs()))
+                .sum()
+        }
+    }
+}
+
+/// Error rate of a multi-output approximation: the probability that the
+/// output *word* differs.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn error_rate_multi(exact: &MultiOutputFn, approx: &MultiOutputFn, dist: &InputDist) -> f64 {
+    assert_eq!(exact.inputs(), approx.inputs(), "input count mismatch");
+    assert_eq!(exact.outputs(), approx.outputs(), "output count mismatch");
+    let n = exact.num_entries() as u64;
+    (0..n)
+        .filter(|&p| exact.eval_word(p) != approx.eval_word(p))
+        .map(|p| dist.prob(p, exact.inputs()))
+        .sum()
+}
+
+/// Mean error distance (Eq. 2):
+/// `MED(G, Ĝ) = Σ_X p_X · |Bin(G(X)) − Bin(Ĝ(X))|`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mean_error_distance(
+    exact: &MultiOutputFn,
+    approx: &MultiOutputFn,
+    dist: &InputDist,
+) -> f64 {
+    assert_eq!(exact.inputs(), approx.inputs(), "input count mismatch");
+    assert_eq!(exact.outputs(), approx.outputs(), "output count mismatch");
+    let n = exact.num_entries() as u64;
+    (0..n)
+        .map(|p| {
+            let d = exact.eval_word(p).abs_diff(approx.eval_word(p));
+            dist.prob(p, exact.inputs()) * d as f64
+        })
+        .sum()
+}
+
+/// Maximum error distance over all input patterns (unweighted).
+pub fn max_error_distance(exact: &MultiOutputFn, approx: &MultiOutputFn) -> u64 {
+    assert_eq!(exact.inputs(), approx.inputs(), "input count mismatch");
+    assert_eq!(exact.outputs(), approx.outputs(), "output count mismatch");
+    let n = exact.num_entries() as u64;
+    (0..n)
+        .map(|p| exact.eval_word(p).abs_diff(approx.eval_word(p)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Mean squared error distance, `Σ_X p_X · (Bin(G) − Bin(Ĝ))²`.
+pub fn mean_squared_error(
+    exact: &MultiOutputFn,
+    approx: &MultiOutputFn,
+    dist: &InputDist,
+) -> f64 {
+    assert_eq!(exact.inputs(), approx.inputs(), "input count mismatch");
+    assert_eq!(exact.outputs(), approx.outputs(), "output count mismatch");
+    let n = exact.num_entries() as u64;
+    (0..n)
+        .map(|p| {
+            let d = exact.eval_word(p).abs_diff(approx.eval_word(p)) as f64;
+            dist.prob(p, exact.inputs()) * d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_error_rate() {
+        let a = TruthTable::from_fn(3, |p| p < 4);
+        let mut b = a.clone();
+        b.set(0, !b.eval(0));
+        b.set(7, !b.eval(7));
+        assert!((error_rate(&a, &b, &InputDist::Uniform) - 2.0 / 8.0).abs() < 1e-12);
+        assert_eq!(error_rate(&a, &a, &InputDist::Uniform), 0.0);
+    }
+
+    #[test]
+    fn explicit_dist_validation() {
+        assert!(InputDist::explicit(vec![0.5, 0.5]).is_ok());
+        assert!(matches!(
+            InputDist::explicit(vec![0.5, 0.6]),
+            Err(DistError::NotNormalized(_))
+        ));
+        assert!(matches!(
+            InputDist::explicit(vec![-0.1, 1.1]),
+            Err(DistError::Negative(0))
+        ));
+        assert!(matches!(
+            InputDist::explicit(vec![0.3, 0.3, 0.4]),
+            Err(DistError::BadLength(3))
+        ));
+    }
+
+    #[test]
+    fn weighted_error_rate() {
+        let a = TruthTable::from_fn(1, |_| false);
+        let b = TruthTable::from_fn(1, |p| p == 1);
+        let d = InputDist::explicit(vec![0.25, 0.75]).unwrap();
+        assert!((error_rate(&a, &b, &d) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn med_identity_adder() {
+        // G = identity on 2 bits, Ĝ = G + 1 (mod 4): every |diff| is 1 or 3.
+        let g = MultiOutputFn::from_word_fn(2, 2, |p| p);
+        let h = MultiOutputFn::from_word_fn(2, 2, |p| (p + 1) % 4);
+        // diffs: |0-1|=1, |1-2|=1, |2-3|=1, |3-0|=3 → MED = 6/4 = 1.5.
+        let med = mean_error_distance(&g, &h, &InputDist::Uniform);
+        assert!((med - 1.5).abs() < 1e-12);
+        assert_eq!(max_error_distance(&g, &h), 3);
+    }
+
+    #[test]
+    fn er_multi_counts_word_mismatch_once() {
+        let g = MultiOutputFn::from_word_fn(2, 2, |p| p);
+        let h = MultiOutputFn::from_word_fn(2, 2, |p| p ^ 0b11);
+        // Every word differs → ER = 1 even though 2 bits flip.
+        assert!((error_rate_multi(&g, &h, &InputDist::Uniform) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let g = MultiOutputFn::from_word_fn(1, 2, |_| 0);
+        let h = MultiOutputFn::from_word_fn(1, 2, |p| if p == 0 { 0 } else { 3 });
+        let mse = mean_squared_error(&g, &h, &InputDist::Uniform);
+        assert!((mse - 4.5).abs() < 1e-12); // (0 + 9)/2
+    }
+
+    #[test]
+    fn zero_error_metrics_on_identical() {
+        let g = MultiOutputFn::from_word_fn(3, 3, |p| p.wrapping_mul(5) & 7);
+        assert_eq!(mean_error_distance(&g, &g, &InputDist::Uniform), 0.0);
+        assert_eq!(max_error_distance(&g, &g), 0);
+        assert_eq!(error_rate_multi(&g, &g, &InputDist::Uniform), 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Input partitions `w = {A, B}` into a free set and a bound set.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// A partition of the `n` input variables into a *free set* `A` (defining the
+/// rows of the Boolean matrix) and a *bound set* `B` (defining the columns).
+///
+/// A disjoint decomposition over the partition has the shape
+/// `g(X) = F(φ(B), A)`.
+///
+/// Variables are 0-based indices into the input pattern bits. Within each
+/// set, variables are kept sorted; row index bit `t` corresponds to
+/// `free()[t]`, column index bit `t` to `bound()[t]`.
+///
+/// # Examples
+///
+/// ```
+/// use adis_boolfn::Partition;
+///
+/// let w = Partition::new(4, vec![0, 1], vec![2, 3])?;
+/// assert_eq!(w.rows(), 4);
+/// assert_eq!(w.cols(), 4);
+/// // Input pattern for row 0b10 (x1=1) and column 0b01 (x2=1):
+/// assert_eq!(w.compose(0b10, 0b01), 0b0110);
+/// # Ok::<(), adis_boolfn::PartitionError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Partition {
+    inputs: u32,
+    free: Vec<u32>,
+    bound: Vec<u32>,
+}
+
+/// Error building a [`Partition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A variable index is `>= inputs`.
+    VariableOutOfRange(u32),
+    /// A variable appears in both sets or twice in one set.
+    DuplicateVariable(u32),
+    /// The union of the sets does not cover all inputs.
+    IncompleteCover,
+    /// One of the two sets is empty.
+    EmptySet,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::VariableOutOfRange(v) => {
+                write!(f, "variable x{v} is out of range")
+            }
+            PartitionError::DuplicateVariable(v) => {
+                write!(f, "variable x{v} appears more than once")
+            }
+            PartitionError::IncompleteCover => {
+                write!(f, "free and bound sets must cover all inputs")
+            }
+            PartitionError::EmptySet => write!(f, "free and bound sets must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl Partition {
+    /// Creates a partition from explicit free (`A`) and bound (`B`) sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `A` and `B` are disjoint, non-empty, and
+    /// together cover `0..inputs`.
+    pub fn new(inputs: u32, free: Vec<u32>, bound: Vec<u32>) -> Result<Self, PartitionError> {
+        if free.is_empty() || bound.is_empty() {
+            return Err(PartitionError::EmptySet);
+        }
+        let mut seen = vec![false; inputs as usize];
+        for &v in free.iter().chain(bound.iter()) {
+            if v >= inputs {
+                return Err(PartitionError::VariableOutOfRange(v));
+            }
+            if seen[v as usize] {
+                return Err(PartitionError::DuplicateVariable(v));
+            }
+            seen[v as usize] = true;
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(PartitionError::IncompleteCover);
+        }
+        let mut free = free;
+        let mut bound = bound;
+        free.sort_unstable();
+        bound.sort_unstable();
+        Ok(Partition {
+            inputs,
+            free,
+            bound,
+        })
+    }
+
+    /// Creates a partition from the set of bound variables; the rest are free.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Partition::new`].
+    pub fn from_bound(inputs: u32, bound: Vec<u32>) -> Result<Self, PartitionError> {
+        let in_bound: std::collections::HashSet<u32> = bound.iter().copied().collect();
+        let free: Vec<u32> = (0..inputs).filter(|v| !in_bound.contains(v)).collect();
+        Partition::new(inputs, free, bound)
+    }
+
+    /// Draws a uniformly random partition with `bound_size` bound variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound_size == 0` or `bound_size >= inputs`.
+    pub fn random<R: Rng + ?Sized>(inputs: u32, bound_size: u32, rng: &mut R) -> Self {
+        assert!(
+            bound_size >= 1 && bound_size < inputs,
+            "bound size must be in 1..inputs"
+        );
+        let mut vars: Vec<u32> = (0..inputs).collect();
+        vars.shuffle(rng);
+        let bound = vars[..bound_size as usize].to_vec();
+        Partition::from_bound(inputs, bound).expect("random partition is valid by construction")
+    }
+
+    /// Enumerates every partition with `bound_size` bound variables.
+    ///
+    /// There are `C(inputs, bound_size)` of them; the paper's framework caps
+    /// its `P` random partitions at this count for small `n`.
+    pub fn enumerate(inputs: u32, bound_size: u32) -> Vec<Partition> {
+        assert!(
+            bound_size >= 1 && bound_size < inputs,
+            "bound size must be in 1..inputs"
+        );
+        let mut out = Vec::new();
+        let mut combo: Vec<u32> = (0..bound_size).collect();
+        loop {
+            out.push(
+                Partition::from_bound(inputs, combo.clone())
+                    .expect("enumerated partition is valid"),
+            );
+            // Next combination in lexicographic order.
+            let k = bound_size as usize;
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if combo[i] < inputs - (k - i) as u32 {
+                    combo[i] += 1;
+                    for t in i + 1..k {
+                        combo[t] = combo[t - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of input variables `n`.
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Free-set variables `A`, sorted.
+    pub fn free(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Bound-set variables `B`, sorted.
+    pub fn bound(&self) -> &[u32] {
+        &self.bound
+    }
+
+    /// Number of rows `r = 2^|A|` of the Boolean matrix.
+    pub fn rows(&self) -> usize {
+        1usize << self.free.len()
+    }
+
+    /// Number of columns `c = 2^|B|` of the Boolean matrix.
+    pub fn cols(&self) -> usize {
+        1usize << self.bound.len()
+    }
+
+    /// Composes a (row, column) pair into a full input pattern.
+    ///
+    /// Row bit `t` is placed at input variable `free()[t]`, column bit `t`
+    /// at `bound()[t]`.
+    #[inline]
+    pub fn compose(&self, row: usize, col: usize) -> u64 {
+        let mut p = 0u64;
+        for (t, &v) in self.free.iter().enumerate() {
+            p |= (((row >> t) & 1) as u64) << v;
+        }
+        for (t, &v) in self.bound.iter().enumerate() {
+            p |= (((col >> t) & 1) as u64) << v;
+        }
+        p
+    }
+
+    /// Splits a full input pattern into its (row, column) pair.
+    #[inline]
+    pub fn split(&self, pattern: u64) -> (usize, usize) {
+        let mut row = 0usize;
+        for (t, &v) in self.free.iter().enumerate() {
+            row |= (((pattern >> v) & 1) as usize) << t;
+        }
+        let mut col = 0usize;
+        for (t, &v) in self.bound.iter().enumerate() {
+            col |= (((pattern >> v) & 1) as usize) << t;
+        }
+        (row, col)
+    }
+}
+
+impl fmt::Debug for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Partition{{A: {:?}, B: {:?}}}", self.free, self.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn compose_split_round_trip() {
+        let w = Partition::new(5, vec![0, 2, 4], vec![1, 3]).unwrap();
+        for p in 0..32u64 {
+            let (i, j) = w.split(p);
+            assert_eq!(w.compose(i, j), p);
+            assert!(i < w.rows() && j < w.cols());
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            Partition::new(3, vec![0], vec![1]),
+            Err(PartitionError::IncompleteCover)
+        );
+        assert_eq!(
+            Partition::new(3, vec![0, 1], vec![1, 2]),
+            Err(PartitionError::DuplicateVariable(1))
+        );
+        assert_eq!(
+            Partition::new(3, vec![0, 5], vec![1, 2]),
+            Err(PartitionError::VariableOutOfRange(5))
+        );
+        assert_eq!(
+            Partition::new(2, vec![0, 1], vec![]),
+            Err(PartitionError::EmptySet)
+        );
+    }
+
+    #[test]
+    fn from_bound_computes_free() {
+        let w = Partition::from_bound(4, vec![1, 3]).unwrap();
+        assert_eq!(w.free(), &[0, 2]);
+        assert_eq!(w.bound(), &[1, 3]);
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        // C(5, 2) = 10
+        let all = Partition::enumerate(5, 2);
+        assert_eq!(all.len(), 10);
+        // All distinct.
+        let set: std::collections::HashSet<_> =
+            all.iter().map(|w| w.bound().to_vec()).collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn random_has_requested_sizes() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..20 {
+            let w = Partition::random(9, 5, &mut rng);
+            assert_eq!(w.bound().len(), 5);
+            assert_eq!(w.free().len(), 4);
+        }
+    }
+
+    #[test]
+    fn paper_example_partition() {
+        // Fig. 2: A = {x1, x2}, B = {x3, x4} (1-based in the paper).
+        let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+        assert_eq!(w.rows(), 4);
+        assert_eq!(w.cols(), 4);
+        // Row index selects (x1, x2), column index selects (x3, x4).
+        assert_eq!(w.compose(0b01, 0b10), 0b1001);
+    }
+}

@@ -1,0 +1,204 @@
+//! Single-output Boolean functions stored as complete truth tables.
+
+use crate::BitVec;
+use std::fmt;
+
+/// A completely specified single-output Boolean function of `n` inputs,
+/// stored as a `2^n`-bit truth table.
+///
+/// Input patterns are encoded as integers: input variable `x_v` (0-based `v`)
+/// corresponds to bit `v` of the pattern index, so pattern `p` assigns
+/// `x_v = (p >> v) & 1`.
+///
+/// # Examples
+///
+/// ```
+/// use adis_boolfn::TruthTable;
+///
+/// // 2-input AND.
+/// let and = TruthTable::from_fn(2, |p| p == 0b11);
+/// assert!(!and.eval(0b01));
+/// assert!(and.eval(0b11));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TruthTable {
+    inputs: u32,
+    bits: BitVec,
+}
+
+impl TruthTable {
+    /// Maximum supported input count (keeps `2^n` within addressable range).
+    pub const MAX_INPUTS: u32 = 30;
+
+    /// Builds a truth table by evaluating `f` on every input pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > Self::MAX_INPUTS`.
+    pub fn from_fn<F: FnMut(u64) -> bool>(inputs: u32, mut f: F) -> Self {
+        assert!(inputs <= Self::MAX_INPUTS, "too many inputs: {inputs}");
+        let n = 1usize << inputs;
+        TruthTable {
+            inputs,
+            bits: BitVec::from_fn(n, |p| f(p as u64)),
+        }
+    }
+
+    /// Wraps an existing bit vector as a truth table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != 2^inputs`.
+    pub fn from_bits(inputs: u32, bits: BitVec) -> Self {
+        assert!(inputs <= Self::MAX_INPUTS, "too many inputs: {inputs}");
+        assert_eq!(
+            bits.len(),
+            1usize << inputs,
+            "truth table length must be 2^inputs"
+        );
+        TruthTable { inputs, bits }
+    }
+
+    /// The constant-`value` function of `inputs` variables.
+    pub fn constant(inputs: u32, value: bool) -> Self {
+        if value {
+            TruthTable::from_bits(inputs, BitVec::ones(1 << inputs))
+        } else {
+            TruthTable::from_bits(inputs, BitVec::zeros(1 << inputs))
+        }
+    }
+
+    /// The projection function `f(X) = x_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= inputs`.
+    pub fn variable(inputs: u32, var: u32) -> Self {
+        assert!(var < inputs, "variable index {var} out of range {inputs}");
+        TruthTable::from_fn(inputs, |p| (p >> var) & 1 == 1)
+    }
+
+    /// Number of input variables.
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Number of truth-table entries (`2^inputs`).
+    pub fn num_entries(&self) -> usize {
+        1usize << self.inputs
+    }
+
+    /// Evaluates the function on input pattern `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern >= 2^inputs`.
+    #[inline]
+    pub fn eval(&self, pattern: u64) -> bool {
+        self.bits.get(pattern as usize)
+    }
+
+    /// Sets the output for `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern >= 2^inputs`.
+    pub fn set(&mut self, pattern: u64, value: bool) {
+        self.bits.set(pattern as usize, value);
+    }
+
+    /// Borrow of the underlying bit vector.
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Consumes the table, returning the underlying bit vector.
+    pub fn into_bits(self) -> BitVec {
+        self.bits
+    }
+
+    /// Number of input patterns on which `self` and `other` disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if input counts differ.
+    pub fn error_count(&self, other: &Self) -> usize {
+        assert_eq!(self.inputs, other.inputs, "input count mismatch");
+        self.bits.hamming_distance(&other.bits)
+    }
+
+    /// Complemented function.
+    pub fn complement(&self) -> Self {
+        TruthTable {
+            inputs: self.inputs,
+            bits: self.bits.complement(),
+        }
+    }
+
+    /// Fraction of input patterns on which the function outputs 1.
+    pub fn ones_fraction(&self) -> f64 {
+        self.bits.count_ones() as f64 / self.num_entries() as f64
+    }
+}
+
+impl fmt::Debug for TruthTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TruthTable({} inputs, {:?})", self.inputs, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_gate() {
+        let and = TruthTable::from_fn(2, |p| p == 3);
+        assert_eq!(and.num_entries(), 4);
+        assert!(!and.eval(0) && !and.eval(1) && !and.eval(2) && and.eval(3));
+    }
+
+    #[test]
+    fn variable_projection() {
+        let x1 = TruthTable::variable(3, 1);
+        for p in 0..8 {
+            assert_eq!(x1.eval(p), (p >> 1) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert!(TruthTable::constant(2, true).bits().all_ones());
+        assert!(TruthTable::constant(2, false).bits().all_zeros());
+    }
+
+    #[test]
+    fn error_count_symmetric() {
+        let a = TruthTable::from_fn(3, |p| p % 2 == 0);
+        let b = TruthTable::from_fn(3, |p| p < 4);
+        assert_eq!(a.error_count(&b), b.error_count(&a));
+        assert_eq!(a.error_count(&a), 0);
+    }
+
+    #[test]
+    fn complement_doubles() {
+        let a = TruthTable::from_fn(4, |p| p.count_ones() % 2 == 0);
+        let c = a.complement();
+        assert_eq!(a.error_count(&c), 16);
+        assert_eq!(c.complement(), a);
+    }
+
+    #[test]
+    fn set_mutates() {
+        let mut t = TruthTable::constant(2, false);
+        t.set(2, true);
+        assert!(t.eval(2));
+        assert_eq!(t.bits().count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be 2^inputs")]
+    fn from_bits_length_checked() {
+        TruthTable::from_bits(2, BitVec::zeros(5));
+    }
+}

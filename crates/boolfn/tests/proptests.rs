@@ -1,0 +1,160 @@
+//! Property-based tests for the Boolean-function substrate.
+
+use adis_boolfn::{
+    apply_decomposition, error_rate, error_rate_multi, find_column_setting, find_row_setting,
+    max_error_distance, mean_error_distance, BitVec, BooleanMatrix, InputDist, MultiOutputFn,
+    Partition, TruthTable,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random truth table over `inputs` variables.
+fn truth_table(inputs: u32) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(any::<bool>(), 1 << inputs)
+        .prop_map(move |bits| TruthTable::from_bits(inputs, BitVec::from_bools(bits)))
+}
+
+/// Strategy: a random partition of `inputs` variables with a random
+/// bound-set size in `1..inputs`.
+fn partition(inputs: u32) -> impl Strategy<Value = Partition> {
+    (1..inputs).prop_flat_map(move |bsize| {
+        prop::sample::subsequence((0..inputs).collect::<Vec<u32>>(), bsize as usize)
+            .prop_map(move |bound| Partition::from_bound(inputs, bound).expect("valid"))
+    })
+}
+
+proptest! {
+    /// compose/split are mutually inverse bijections.
+    #[test]
+    fn partition_compose_split_bijective(w in partition(6)) {
+        for p in 0..64u64 {
+            let (i, j) = w.split(p);
+            prop_assert_eq!(w.compose(i, j), p);
+        }
+        for i in 0..w.rows() {
+            for j in 0..w.cols() {
+                let (i2, j2) = w.split(w.compose(i, j));
+                prop_assert_eq!((i2, j2), (i, j));
+            }
+        }
+    }
+
+    /// The matrix view round-trips through the partition.
+    #[test]
+    fn matrix_round_trip(tt in truth_table(6), w in partition(6)) {
+        let m = BooleanMatrix::build(&tt, &w);
+        prop_assert_eq!(m.to_truth_table(&w), tt);
+    }
+
+    /// Theorems 1 and 2 agree: row-decomposable iff column-decomposable.
+    #[test]
+    fn theorems_agree(tt in truth_table(5), w in partition(5)) {
+        let m = BooleanMatrix::build(&tt, &w);
+        let row = find_row_setting(&m);
+        let col = find_column_setting(&m);
+        prop_assert_eq!(row.is_some(), col.is_some());
+    }
+
+    /// A found setting exactly reproduces a decomposable function, and the
+    /// (phi, F) pair evaluates back to the original.
+    #[test]
+    fn settings_reconstruct_exactly(tt in truth_table(5), w in partition(5)) {
+        let m = BooleanMatrix::build(&tt, &w);
+        if let Some(rs) = find_row_setting(&m) {
+            prop_assert_eq!(rs.mismatch_count(&m), 0);
+            prop_assert_eq!(rs.reconstruct(&w), tt.clone());
+            prop_assert_eq!(apply_decomposition(&rs.phi(&w), &rs.compose_f(&w), &w), tt.clone());
+        }
+        if let Some(cs) = find_column_setting(&m) {
+            prop_assert_eq!(cs.mismatch_count(&m), 0);
+            prop_assert_eq!(cs.reconstruct(&w), tt.clone());
+            prop_assert_eq!(apply_decomposition(&cs.phi(&w), &cs.compose_f(&w), &w), tt);
+        }
+    }
+
+    /// Row-to-column setting conversion is value-preserving.
+    #[test]
+    fn row_to_column_conversion(tt in truth_table(5), w in partition(5)) {
+        let m = BooleanMatrix::build(&tt, &w);
+        if let Some(rs) = find_row_setting(&m) {
+            let cs = rs.to_column_setting();
+            for i in 0..m.rows() {
+                for j in 0..m.cols() {
+                    prop_assert_eq!(rs.value(i, j), cs.value(i, j));
+                }
+            }
+        }
+    }
+
+    /// Any function constructed from two column patterns is decomposable.
+    #[test]
+    fn two_column_functions_decompose(
+        v1 in prop::collection::vec(any::<bool>(), 8),
+        v2 in prop::collection::vec(any::<bool>(), 8),
+        t in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let w = Partition::new(6, vec![0, 1, 2], vec![3, 4, 5]).expect("valid");
+        let tt = TruthTable::from_fn(6, |p| {
+            let (i, j) = w.split(p);
+            if t[j] { v2[i] } else { v1[i] }
+        });
+        let m = BooleanMatrix::build(&tt, &w);
+        prop_assert!(find_column_setting(&m).is_some());
+        prop_assert!(find_row_setting(&m).is_some());
+    }
+
+    /// ER is a metric-like quantity: symmetric, zero on identity, in [0, 1].
+    #[test]
+    fn er_properties(a in truth_table(6), b in truth_table(6)) {
+        let u = InputDist::Uniform;
+        let e_ab = error_rate(&a, &b, &u);
+        let e_ba = error_rate(&b, &a, &u);
+        prop_assert!((e_ab - e_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&e_ab));
+        prop_assert_eq!(error_rate(&a, &a, &u), 0.0);
+    }
+
+    /// MED bounds: 0 <= MED <= max ED <= 2^m - 1; MED = 0 iff identical.
+    #[test]
+    fn med_bounds(bits in prop::collection::vec(0u64..16, 16), flips in prop::collection::vec(0u64..16, 0..4)) {
+        let g = MultiOutputFn::from_word_fn(4, 4, |p| bits[p as usize]);
+        let mut approx_bits = bits.clone();
+        for f in &flips {
+            approx_bits[*f as usize] ^= 0b101;
+        }
+        let h = MultiOutputFn::from_word_fn(4, 4, |p| approx_bits[p as usize]);
+        let u = InputDist::Uniform;
+        let med = mean_error_distance(&g, &h, &u);
+        let max = max_error_distance(&g, &h);
+        prop_assert!(med >= 0.0);
+        prop_assert!(med <= max as f64 + 1e-12);
+        prop_assert!(max <= 15);
+        if g == h {
+            prop_assert_eq!(med, 0.0);
+        } else {
+            prop_assert!(med > 0.0);
+        }
+    }
+
+    /// ER over words upper-bounds ER of any single component.
+    #[test]
+    fn word_er_dominates_bit_er(words in prop::collection::vec(0u64..8, 16), approx in prop::collection::vec(0u64..8, 16)) {
+        let g = MultiOutputFn::from_word_fn(4, 3, |p| words[p as usize]);
+        let h = MultiOutputFn::from_word_fn(4, 3, |p| approx[p as usize]);
+        let u = InputDist::Uniform;
+        let word_er = error_rate_multi(&g, &h, &u);
+        for k in 0..3 {
+            let bit_er = error_rate(g.component(k), h.component(k), &u);
+            prop_assert!(bit_er <= word_er + 1e-12);
+        }
+    }
+
+    /// BitVec complement is an involution and flips every bit.
+    #[test]
+    fn bitvec_complement_involution(bits in prop::collection::vec(any::<bool>(), 1..200)) {
+        let v = BitVec::from_bools(bits.clone());
+        let c = v.complement();
+        prop_assert_eq!(c.complement(), v.clone());
+        prop_assert_eq!(v.hamming_distance(&c), bits.len());
+        prop_assert_eq!(v.count_ones() + c.count_ones(), bits.len());
+    }
+}

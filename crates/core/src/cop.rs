@@ -1,0 +1,554 @@
+//! The column-based core COP (Section 3.1) and its exact second-order Ising
+//! formulation (Section 3.2).
+//!
+//! For a fixed partition, the unknowns are the two column patterns
+//! `V₁, V₂ ∈ {0,1}^r` and the column type vector `T ∈ {0,1}^c`; the
+//! approximate cell value is `Ô_ij = (1−T_j)·V₁ᵢ + T_j·V₂ᵢ` (Eq. 3). Every
+//! mode's objective reduces to a *cell-linear* form
+//!
+//! ```text
+//! cost(Ô) = Σᵢⱼ W_ij · Ô_ij + constant,
+//! ```
+//!
+//! with `W_ij = p_ij (1 − 2 O_ij)` in separate mode (Eq. 7) and
+//! `W_ij = p_ij·q_kij` in joint mode (Eq. 13/15). [`ColumnCop`] stores that
+//! form, evaluates it, converts it to an [`IsingProblem`] with an exact
+//! offset (so solver energies *are* ER/MED values), and provides the exact
+//! sub-solvers (Theorem 3 type reset, per-row pattern optimization,
+//! alternating minimization, exhaustive search) the rest of the crate
+//! builds on.
+
+use adis_boolfn::{BitVec, BooleanMatrix, ColumnSetting, InputDist, Partition};
+use adis_ising::{IsingBuilder, IsingProblem, SpinVector};
+
+/// Maps COP variables to spin indices in the Ising encoding:
+/// `V₁ᵢ ↔ i`, `V₂ᵢ ↔ r + i`, `T_j ↔ 2r + j` (N = 2r + c spins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpinLayout {
+    /// Number of matrix rows `r`.
+    pub rows: usize,
+    /// Number of matrix columns `c`.
+    pub cols: usize,
+}
+
+impl SpinLayout {
+    /// Spin index of `V₁ᵢ`.
+    #[inline]
+    pub fn v1(&self, i: usize) -> usize {
+        debug_assert!(i < self.rows);
+        i
+    }
+
+    /// Spin index of `V₂ᵢ`.
+    #[inline]
+    pub fn v2(&self, i: usize) -> usize {
+        debug_assert!(i < self.rows);
+        self.rows + i
+    }
+
+    /// Spin index of `T_j`.
+    #[inline]
+    pub fn t(&self, j: usize) -> usize {
+        debug_assert!(j < self.cols);
+        2 * self.rows + j
+    }
+
+    /// Total spin count `N = 2r + c`.
+    pub fn num_spins(&self) -> usize {
+        2 * self.rows + self.cols
+    }
+
+    /// Decodes a spin configuration into a column setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spin count differs from `N`.
+    pub fn decode(&self, spins: &SpinVector) -> ColumnSetting {
+        assert_eq!(spins.len(), self.num_spins(), "spin count mismatch");
+        ColumnSetting {
+            v1: BitVec::from_fn(self.rows, |i| spins.bit(self.v1(i))),
+            v2: BitVec::from_fn(self.rows, |i| spins.bit(self.v2(i))),
+            t: BitVec::from_fn(self.cols, |j| spins.bit(self.t(j))),
+        }
+    }
+
+    /// Encodes a column setting as spins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the setting's shape disagrees with the layout.
+    pub fn encode(&self, setting: &ColumnSetting) -> SpinVector {
+        assert_eq!(setting.rows(), self.rows, "row count mismatch");
+        assert_eq!(setting.cols(), self.cols, "column count mismatch");
+        SpinVector::from_bools((0..self.num_spins()).map(|s| {
+            if s < self.rows {
+                setting.v1.get(s)
+            } else if s < 2 * self.rows {
+                setting.v2.get(s - self.rows)
+            } else {
+                setting.t.get(s - 2 * self.rows)
+            }
+        }))
+    }
+}
+
+/// A column-based core COP in cell-linear form (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnCop {
+    rows: usize,
+    cols: usize,
+    /// Row-major `W_ij`: the coefficient of `Ô_ij` in the objective.
+    weights: Vec<f64>,
+    /// Constant completing the objective to the true ER/MED value.
+    constant: f64,
+}
+
+impl ColumnCop {
+    /// Builds a COP directly from per-cell weights and a constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != rows * cols` or a dimension is zero.
+    pub fn from_weights(rows: usize, cols: usize, weights: Vec<f64>, constant: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        assert_eq!(weights.len(), rows * cols, "weight count mismatch");
+        ColumnCop {
+            rows,
+            cols,
+            weights,
+            constant,
+        }
+    }
+
+    /// The **separate-mode** COP (Eq. 7): minimize the component's error
+    /// rate `Σ p_ij |Ô_ij − O_ij|`, i.e. `W_ij = p_ij(1 − 2O_ij)` and
+    /// constant `Σ p_ij O_ij`.
+    pub fn separate(matrix: &BooleanMatrix, partition: &Partition, dist: &InputDist) -> Self {
+        let (r, c) = (matrix.rows(), matrix.cols());
+        let n = partition.inputs();
+        let mut weights = vec![0.0; r * c];
+        let mut constant = 0.0;
+        for i in 0..r {
+            for j in 0..c {
+                let p = dist.prob(partition.compose(i, j), n);
+                if matrix.get(i, j) {
+                    weights[i * c + j] = -p;
+                    constant += p;
+                } else {
+                    weights[i * c + j] = p;
+                }
+            }
+        }
+        ColumnCop {
+            rows: r,
+            cols: c,
+            weights,
+            constant,
+        }
+    }
+
+    /// The **joint-mode** COP (Eqs. 10–16): minimize the whole-word MED
+    /// with every other component fixed. `offsets[i][j]` must hold
+    /// `D_kij = Σ_{l≠k} 2^{l} Ô_l − Σ_l 2^{l} O_l` (0-based `l`, so
+    /// component `k` carries weight `2^k`) for the input pattern of cell
+    /// `(i, j)`; `probs[i][j]` the pattern probability.
+    ///
+    /// The exact case split of Eqs. 13/15 is applied per cell:
+    /// `−2^k ≤ D ≤ 0 ⟹ (q, const) = (2^k + 2D, −D)`, otherwise
+    /// `(2^k·sgn D, |D|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths disagree or `weight_exp > 62`.
+    pub fn joint(
+        rows: usize,
+        cols: usize,
+        weight_exp: u32,
+        offsets: &[i64],
+        probs: &[f64],
+    ) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        assert_eq!(offsets.len(), rows * cols, "offset count mismatch");
+        assert_eq!(probs.len(), rows * cols, "probability count mismatch");
+        assert!(weight_exp <= 62, "weight exponent too large");
+        let two_k = 1i64 << weight_exp;
+        let mut weights = vec![0.0; rows * cols];
+        let mut constant = 0.0;
+        for idx in 0..rows * cols {
+            let d = offsets[idx];
+            let p = probs[idx];
+            let (q, c0) = if -two_k <= d && d <= 0 {
+                ((two_k + 2 * d) as f64, (-d) as f64)
+            } else {
+                ((two_k * d.signum()) as f64, d.abs() as f64)
+            };
+            weights[idx] = p * q;
+            constant += p * c0;
+        }
+        ColumnCop {
+            rows,
+            cols,
+            weights,
+            constant,
+        }
+    }
+
+    /// Number of rows `r`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns `c`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The weight `W_ij`.
+    #[inline]
+    pub fn weight(&self, i: usize, j: usize) -> f64 {
+        self.weights[i * self.cols + j]
+    }
+
+    /// The objective constant.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// All weights, row-major (for converting to other COP forms).
+    pub fn weights_vec(&self) -> Vec<f64> {
+        self.weights.clone()
+    }
+
+    /// The spin layout of the Ising encoding.
+    pub fn layout(&self) -> SpinLayout {
+        SpinLayout {
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Objective value of a setting: `Σ W_ij·Ô_ij + constant`. In separate
+    /// mode this is the component ER; in joint mode the whole-word MED.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the setting's shape disagrees.
+    pub fn objective(&self, setting: &ColumnSetting) -> f64 {
+        assert_eq!(setting.rows(), self.rows, "row count mismatch");
+        assert_eq!(setting.cols(), self.cols, "column count mismatch");
+        let mut total = self.constant;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if setting.value(i, j) {
+                    total += self.weight(i, j);
+                }
+            }
+        }
+        total
+    }
+
+    /// The exact second-order Ising encoding (Eq. 9 / Eq. 16): the returned
+    /// problem's energy at [`SpinLayout::encode`]`(s)` equals
+    /// [`ColumnCop::objective`]`(s)` for every setting `s`.
+    pub fn to_ising(&self) -> IsingProblem {
+        let layout = self.layout();
+        let mut b = IsingBuilder::new(layout.num_spins());
+        // Ô = 1/2 + (V̄1 + V̄2 − T̄V̄1 + T̄V̄2)/4 per cell; energy terms:
+        //   +W/4 · V̄1ᵢ and +W/4 · V̄2ᵢ  → biases −W/4
+        //   −W/4 · T̄ⱼV̄1ᵢ               → coupling J(T,V1) = +W/4
+        //   +W/4 · T̄ⱼV̄2ᵢ               → coupling J(T,V2) = −W/4
+        // plus constant W/2 per cell.
+        let mut offset = self.constant;
+        for i in 0..self.rows {
+            let mut row_sum = 0.0;
+            for j in 0..self.cols {
+                let w = self.weight(i, j);
+                if w != 0.0 {
+                    b.add_coupling(layout.t(j), layout.v1(i), w / 4.0);
+                    b.add_coupling(layout.t(j), layout.v2(i), -w / 4.0);
+                }
+                row_sum += w;
+            }
+            b.add_bias(layout.v1(i), -row_sum / 4.0);
+            b.add_bias(layout.v2(i), -row_sum / 4.0);
+            offset += row_sum / 2.0;
+        }
+        b.add_offset(offset);
+        b.build()
+    }
+
+    /// Theorem 3: the optimal type vector for fixed column patterns — per
+    /// column, pick the pattern with the smaller cost.
+    pub fn optimal_t(&self, v1: &BitVec, v2: &BitVec) -> BitVec {
+        assert_eq!(v1.len(), self.rows, "v1 length mismatch");
+        assert_eq!(v2.len(), self.rows, "v2 length mismatch");
+        BitVec::from_fn(self.cols, |j| {
+            let mut cost1 = 0.0;
+            let mut cost2 = 0.0;
+            for i in 0..self.rows {
+                let w = self.weight(i, j);
+                if v1.get(i) {
+                    cost1 += w;
+                }
+                if v2.get(i) {
+                    cost2 += w;
+                }
+            }
+            cost2 < cost1
+        })
+    }
+
+    /// The optimal column patterns for a fixed type vector: per row,
+    /// `V₁ᵢ = 1` iff the summed weight over type-0 columns is negative
+    /// (and likewise `V₂` over type-1 columns).
+    pub fn optimal_v(&self, t: &BitVec) -> (BitVec, BitVec) {
+        assert_eq!(t.len(), self.cols, "t length mismatch");
+        let mut v1 = BitVec::zeros(self.rows);
+        let mut v2 = BitVec::zeros(self.rows);
+        for i in 0..self.rows {
+            let mut s1 = 0.0;
+            let mut s2 = 0.0;
+            for j in 0..self.cols {
+                let w = self.weight(i, j);
+                if t.get(j) {
+                    s2 += w;
+                } else {
+                    s1 += w;
+                }
+            }
+            if s1 < 0.0 {
+                v1.set(i, true);
+            }
+            if s2 < 0.0 {
+                v2.set(i, true);
+            }
+        }
+        (v1, v2)
+    }
+
+    /// Alternating minimization (binary 2-means on columns): from an
+    /// initial type vector, alternate [`optimal_v`](Self::optimal_v) and
+    /// [`optimal_t`](Self::optimal_t) until a fixpoint (or `max_rounds`).
+    /// Returns a local optimum.
+    pub fn alternate(&self, mut t: BitVec, max_rounds: usize) -> ColumnSetting {
+        assert_eq!(t.len(), self.cols, "t length mismatch");
+        let mut v1 = BitVec::zeros(self.rows);
+        let mut v2 = BitVec::zeros(self.rows);
+        for _ in 0..max_rounds.max(1) {
+            let (nv1, nv2) = self.optimal_v(&t);
+            let nt = self.optimal_t(&nv1, &nv2);
+            let converged = nt == t && nv1 == v1 && nv2 == v2;
+            v1 = nv1;
+            v2 = nv2;
+            t = nt;
+            if converged {
+                break;
+            }
+        }
+        ColumnSetting { v1, v2, t }
+    }
+
+    /// Exhaustive search over all `2^c` type vectors (each with optimal
+    /// patterns): the exact optimum, for validation on small instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c > 20`.
+    pub fn solve_exhaustive(&self) -> ColumnSetting {
+        assert!(self.cols <= 20, "exhaustive limited to 20 columns");
+        let mut best: Option<(f64, ColumnSetting)> = None;
+        for mask in 0u64..(1 << self.cols) {
+            let t = BitVec::from_u64(mask, self.cols);
+            let (v1, v2) = self.optimal_v(&t);
+            let s = ColumnSetting { v1, v2, t };
+            let obj = self.objective(&s);
+            if best.as_ref().map(|(b, _)| obj < *b).unwrap_or(true) {
+                best = Some((obj, s));
+            }
+        }
+        best.expect("cols >= 1").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adis_boolfn::TruthTable;
+    use adis_ising::solve_exhaustive;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_cop(seed: u64, rows: usize, cols: usize) -> ColumnCop {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        ColumnCop::from_weights(rows, cols, weights, rng.gen_range(0.0..2.0))
+    }
+
+    fn random_setting(seed: u64, rows: usize, cols: usize) -> ColumnSetting {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        ColumnSetting {
+            v1: BitVec::from_fn(rows, |_| rng.gen_bool(0.5)),
+            v2: BitVec::from_fn(rows, |_| rng.gen_bool(0.5)),
+            t: BitVec::from_fn(cols, |_| rng.gen_bool(0.5)),
+        }
+    }
+
+    #[test]
+    fn separate_objective_is_error_rate() {
+        // g = x0 over a 2+2 partition; a setting equal to the matrix has ER 0.
+        let g = TruthTable::from_fn(4, |p| p & 1 == 1);
+        let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+        let m = BooleanMatrix::build(&g, &w);
+        let cop = ColumnCop::separate(&m, &w, &InputDist::Uniform);
+        let exact = adis_boolfn::find_column_setting(&m).expect("x0 decomposes");
+        assert!(cop.objective(&exact).abs() < 1e-12);
+        // Flipping one cell's worth: complement V1 entirely → ER = fraction
+        // of type-0 columns.
+        let mut bad = exact.clone();
+        bad.v1 = bad.v1.complement();
+        let type0 = (0..4).filter(|&j| !bad.t.get(j)).count();
+        let expected = type0 as f64 * 4.0 / 16.0;
+        assert!((cop.objective(&bad) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ising_energy_equals_objective_everywhere() {
+        for seed in 0..5 {
+            let cop = small_cop(seed, 3, 4);
+            let ising = cop.to_ising();
+            let layout = cop.layout();
+            for s_seed in 0..20 {
+                let s = random_setting(seed * 100 + s_seed, 3, 4);
+                let spins = layout.encode(&s);
+                assert!(
+                    (ising.energy(&spins) - cop.objective(&s)).abs() < 1e-9,
+                    "seed {seed}/{s_seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let layout = SpinLayout { rows: 3, cols: 5 };
+        let s = random_setting(7, 3, 5);
+        assert_eq!(layout.decode(&layout.encode(&s)), s);
+    }
+
+    #[test]
+    fn theorem3_is_optimal() {
+        // For fixed (V1, V2), optimal_t must beat or tie every other T.
+        for seed in 0..5 {
+            let cop = small_cop(seed, 4, 6);
+            let s = random_setting(seed + 50, 4, 6);
+            let t_opt = cop.optimal_t(&s.v1, &s.v2);
+            let base = cop.objective(&ColumnSetting {
+                v1: s.v1.clone(),
+                v2: s.v2.clone(),
+                t: t_opt.clone(),
+            });
+            for mask in 0u64..64 {
+                let t = BitVec::from_u64(mask, 6);
+                let obj = cop.objective(&ColumnSetting {
+                    v1: s.v1.clone(),
+                    v2: s.v2.clone(),
+                    t,
+                });
+                assert!(base <= obj + 1e-12, "seed {seed}, mask {mask}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_v_is_optimal() {
+        for seed in 0..5 {
+            let cop = small_cop(seed, 4, 4);
+            let t = random_setting(seed + 11, 4, 4).t;
+            let (v1, v2) = cop.optimal_v(&t);
+            let base = cop.objective(&ColumnSetting {
+                v1: v1.clone(),
+                v2: v2.clone(),
+                t: t.clone(),
+            });
+            for m1 in 0u64..16 {
+                for m2 in 0u64..16 {
+                    let obj = cop.objective(&ColumnSetting {
+                        v1: BitVec::from_u64(m1, 4),
+                        v2: BitVec::from_u64(m2, 4),
+                        t: t.clone(),
+                    });
+                    assert!(base <= obj + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alternate_never_worse_than_start() {
+        for seed in 0..5 {
+            let cop = small_cop(seed, 5, 6);
+            let t0 = random_setting(seed + 3, 5, 6).t;
+            let start = {
+                let (v1, v2) = cop.optimal_v(&t0);
+                cop.objective(&ColumnSetting { v1, v2, t: t0.clone() })
+            };
+            let s = cop.alternate(t0, 50);
+            assert!(cop.objective(&s) <= start + 1e-12);
+        }
+    }
+
+    #[test]
+    fn exhaustive_is_global_optimum() {
+        for seed in 0..3 {
+            let cop = small_cop(seed, 3, 5);
+            let best = cop.solve_exhaustive();
+            let best_obj = cop.objective(&best);
+            // Compare against brute force over the full Ising model.
+            let ground = solve_exhaustive(&cop.to_ising());
+            assert!(
+                (best_obj - ground.energy).abs() < 1e-9,
+                "seed {seed}: {} vs ising {}",
+                best_obj,
+                ground.energy
+            );
+        }
+    }
+
+    #[test]
+    fn joint_case_split_matches_direct_ed() {
+        // For every (D, Ô) pair the linearized cost must equal
+        // |2^k·Ô + D|·p with p = 1.
+        let k = 2u32; // weight 4
+        for d in -10i64..=10 {
+            let cop = ColumnCop::joint(1, 1, k, &[d], &[1.0]);
+            for o_hat in [false, true] {
+                let s = ColumnSetting {
+                    v1: BitVec::from_bools([o_hat]),
+                    v2: BitVec::from_bools([o_hat]),
+                    t: BitVec::zeros(1),
+                };
+                let expect = ((1i64 << k) * i64::from(o_hat) + d).abs() as f64;
+                let got = cop.objective(&s);
+                assert!(
+                    (got - expect).abs() < 1e-12,
+                    "D = {d}, Ô = {o_hat}: got {got}, expect {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example3_ed_value() {
+        // Example 3: ED_213 = |2·Ô + D| with D = (1·0 + 4·0) − (0 + 2 + 4) = −6.
+        let cop = ColumnCop::joint(1, 1, 1, &[-6], &[1.0]);
+        let at = |o: bool| {
+            cop.objective(&ColumnSetting {
+                v1: BitVec::from_bools([o]),
+                v2: BitVec::from_bools([o]),
+                t: BitVec::zeros(1),
+            })
+        };
+        assert!((at(false) - 6.0).abs() < 1e-12);
+        assert!((at(true) - 4.0).abs() < 1e-12);
+    }
+}

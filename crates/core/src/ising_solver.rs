@@ -1,0 +1,548 @@
+//! The paper's COP solver: ballistic simulated bifurcation on the Ising
+//! encoding, with the dynamic stop criterion (Section 3.3.1) and the
+//! Theorem-3 type-reset heuristic (Section 3.3.2).
+
+use crate::{ColumnCop, SpinLayout};
+use adis_boolfn::{BitVec, ColumnSetting};
+use adis_sb::{SbSolver, SbState, StopCriterion, StopReason, StopState};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Statistics from one COP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopSolveStats {
+    /// Euler iterations executed (summed over replicas).
+    pub iterations: usize,
+    /// Whether any replica stopped via the dynamic criterion.
+    pub settled: bool,
+    /// Number of type-reset interventions applied.
+    pub interventions: usize,
+}
+
+/// Outcome of a COP solve: the best setting and its objective value.
+#[derive(Debug, Clone)]
+pub struct CopSolution {
+    /// The best column setting found.
+    pub setting: ColumnSetting,
+    /// Its objective (ER in separate mode, MED in joint mode).
+    pub objective: f64,
+    /// Run statistics.
+    pub stats: CopSolveStats,
+}
+
+/// Ising-model-based solver for [`ColumnCop`] instances.
+///
+/// Wraps [`SbSolver`] (bSB by default) with:
+///
+/// - the paper's dynamic stop criterion, and
+/// - the paper's heuristic: at every sampling point, read `V₁, V₂` off the
+///   oscillator signs, compute the Theorem-3 optimal `T`, and write it back
+///   into the positions before integration continues.
+///
+/// # Examples
+///
+/// ```
+/// use adis_boolfn::{BooleanMatrix, InputDist, Partition, TruthTable};
+/// use adis_core::{ColumnCop, IsingCopSolver};
+///
+/// let g = TruthTable::from_fn(4, |p| (p * 7 % 3) == 1);
+/// let w = Partition::new(4, vec![0, 1], vec![2, 3])?;
+/// let cop = ColumnCop::separate(&BooleanMatrix::build(&g, &w), &w, &InputDist::Uniform);
+/// let sol = IsingCopSolver::new().solve(&cop);
+/// // The found ER can never beat the exact optimum.
+/// let best = cop.objective(&cop.solve_exhaustive());
+/// assert!(sol.objective >= best - 1e-12);
+/// # Ok::<(), adis_boolfn::PartitionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IsingCopSolver {
+    sb: SbSolver,
+    stop_criterion: StopCriterion,
+    heuristic: bool,
+    replicas: usize,
+    seed: u64,
+    structured: bool,
+    ramp: usize,
+    dt: f64,
+}
+
+impl Default for IsingCopSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IsingCopSolver {
+    /// The paper's configuration: bSB, dynamic stop (`f = s = 20`,
+    /// `ε = 1e-8`), heuristic on, a single trajectory.
+    pub fn new() -> Self {
+        IsingCopSolver {
+            sb: SbSolver::new(),
+            stop_criterion: StopCriterion::paper_small(),
+            heuristic: true,
+            replicas: 1,
+            seed: 0,
+            structured: true,
+            ramp: 400,
+            dt: 0.25,
+        }
+    }
+
+    /// Replaces the underlying SB solver configuration (generic path only).
+    pub fn sb(mut self, sb: SbSolver) -> Self {
+        self.sb = sb;
+        self
+    }
+
+    /// Sets the stop criterion.
+    pub fn stop(mut self, stop: StopCriterion) -> Self {
+        self.stop_criterion = stop;
+        self
+    }
+
+    /// Chooses between the structured integrator, which exploits the COP's
+    /// bipartite coupling matrix directly (the role Eigen plays in the
+    /// paper), and the generic [`SbSolver`] on the materialized
+    /// [`adis_ising::IsingProblem`]. Both integrate identical bSB dynamics;
+    /// the structured path is several times faster. Default: structured.
+    pub fn structured(mut self, on: bool) -> Self {
+        self.structured = on;
+        self
+    }
+
+    /// Pump-ramp length in iterations (structured path; default 400).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn ramp(mut self, iterations: usize) -> Self {
+        assert!(iterations > 0, "ramp must be positive");
+        self.ramp = iterations;
+        self
+    }
+
+    /// Sets the Euler time step (default 0.25).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dt > 0`.
+    pub fn dt(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0, "dt must be positive");
+        self.dt = dt;
+        self
+    }
+
+    /// Enables/disables the Theorem-3 type-reset heuristic.
+    pub fn heuristic(mut self, on: bool) -> Self {
+        self.heuristic = on;
+        self
+    }
+
+    /// Number of independent SB trajectories (best result wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn replicas(mut self, replicas: usize) -> Self {
+        assert!(replicas > 0, "need at least one replica");
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the base RNG seed; replica `r` uses `seed + r`.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Solves the COP, returning the best setting across replicas.
+    ///
+    /// The returned setting always has its type vector re-optimized via
+    /// Theorem 3 (a free post-pass that never hurts).
+    pub fn solve(&self, cop: &ColumnCop) -> CopSolution {
+        if self.structured {
+            return self.solve_structured(cop);
+        }
+        let ising = cop.to_ising();
+        let layout = cop.layout();
+        let mut best: Option<(ColumnSetting, f64)> = None;
+        let mut total_iterations = 0;
+        let mut settled = false;
+        let mut interventions = 0;
+
+        for rep in 0..self.replicas {
+            let solver = self
+                .sb
+                .clone()
+                .stop(self.stop_criterion.clone())
+                .ramp(self.ramp)
+                .dt(self.dt)
+                .seed(self.seed_for(rep));
+            let result = if self.heuristic {
+                solver.solve_with(&ising, |state| {
+                    apply_type_reset(cop, layout, state);
+                    interventions += 1;
+                })
+            } else {
+                solver.solve(&ising)
+            };
+            total_iterations += result.iterations;
+            settled |= result.stop_reason == StopReason::EnergySettled;
+            let mut setting = layout.decode(&result.best_state);
+            // Free exact post-pass (Theorem 3).
+            setting.t = cop.optimal_t(&setting.v1, &setting.v2);
+            let obj = cop.objective(&setting);
+            if best.as_ref().map(|&(_, b)| obj < b).unwrap_or(true) {
+                best = Some((setting, obj));
+            }
+        }
+
+        let (setting, objective) = best.expect("replicas > 0");
+        CopSolution {
+            setting,
+            objective,
+            stats: CopSolveStats {
+                iterations: total_iterations,
+                settled,
+                interventions,
+            },
+        }
+    }
+
+    /// The structured integrator: identical bSB dynamics, but the field is
+    /// computed directly from the COP's `r × c` weight matrix — two dense
+    /// passes per step instead of traversing `4rc` adjacency entries:
+    ///
+    /// ```text
+    /// field(V₁ᵢ) = (tᵢ − Rᵢ)/4,  field(V₂ᵢ) = −(tᵢ + Rᵢ)/4,
+    ///     tᵢ = Σⱼ W_ij·x_{Tⱼ},  Rᵢ = Σⱼ W_ij,
+    /// field(Tⱼ) = Σᵢ (W_ij/4)·(x_{V₁ᵢ} − x_{V₂ᵢ}).
+    /// ```
+    fn solve_structured(&self, cop: &ColumnCop) -> CopSolution {
+        let (r, c) = (cop.rows(), cop.cols());
+        let n = 2 * r + c;
+        // Flattened weights and row sums. The integrator runs in f32 —
+        // standard practice for high-performance SB (GPU/FPGA
+        // implementations use single or fixed precision); the objective
+        // bookkeeping stays in f64.
+        let w64: Vec<f64> = cop.weights_vec();
+        let w: Vec<f32> = w64.iter().map(|&v| v as f32).collect();
+        let rowsum: Vec<f32> = (0..r)
+            .map(|i| w64[i * c..(i + 1) * c].iter().sum::<f64>() as f32)
+            .collect();
+        // Local fields are handled with Goto's ancilla-spin treatment: the
+        // bias −Rᵢ/4 on V₁ᵢ/V₂ᵢ becomes a coupling to one extra oscillator
+        // whose amplitude grows with the pump like every other spin. A
+        // constant bias force would otherwise dominate the early dynamics
+        // and collapse both pattern registers onto the same wall before the
+        // T spins develop any signal. The readout multiplies by the
+        // ancilla's sign (global Z₂ gauge).
+        let na = n + 1; // ancilla at index n
+        // Goto's c0 with σ_J over the 4rc cell couplings of ±W/4 plus the
+        // 4r ancilla couplings of −Rᵢ/4.
+        let sum_sq: f64 = w64.iter().map(|v| v * v).sum::<f64>() / 4.0
+            + rowsum
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+                / 4.0;
+        let sigma = (sum_sq / (na as f64 * (na as f64 - 1.0))).sqrt();
+        let a0 = 1.0f32;
+        let c0 = if sigma > 0.0 {
+            (0.5 / (sigma * (na as f64).sqrt())) as f32
+        } else {
+            1.0
+        };
+        let dt = self.dt as f32;
+        let max_iters = self.stop_criterion.max_iterations();
+        let sample_every = self.stop_criterion.sample_every();
+        let ramp = self.ramp.min(max_iters).max(1) as f64;
+
+        let mut best: Option<(ColumnSetting, f64)> = None;
+        let mut total_iterations = 0;
+        let mut settled = false;
+        let mut interventions = 0;
+
+        for rep in 0..self.replicas {
+            // Replicas alternate integration schedules (full/half time step,
+            // full/short ramp): the bSB flow is near-deterministic per
+            // schedule, so schedule diversity explores more attractors than
+            // re-seeding alone.
+            let dt = if rep % 2 == 0 { dt } else { dt * 2.0 };
+            let ramp = if rep % 3 == 2 { (ramp / 2.0).max(1.0) } else { ramp };
+            let mut rng = ChaCha8Rng::seed_from_u64(self.seed_for(rep));
+            // Antisymmetric pattern init: x(V₁ᵢ) = −x(V₂ᵢ). The two pattern
+            // registers share identical biases, so a plain random start lets
+            // the common drift collapse them onto the same attractor
+            // (a one-column-type solution); seeding them apart gives the
+            // T spins a nonzero field from the first step.
+            let mut x: Vec<f32> = vec![0.0; na];
+            for i in 0..r {
+                let eps = rng.gen_range(-0.1f32..=0.1);
+                x[i] = eps;
+                x[r + i] = -eps;
+            }
+            for j in 0..c {
+                x[2 * r + j] = rng.gen_range(-0.1f32..=0.1);
+            }
+            x[n] = rng.gen_range(0.0f32..=0.1); // ancilla, biased positive
+            let mut y: Vec<f32> = (0..na).map(|_| rng.gen_range(-0.1f32..=0.1)).collect();
+            let mut tmp = vec![0.0f32; r];
+            let mut ft = vec![0.0f32; c];
+            let mut cost1 = vec![0.0f64; c];
+            let mut cost2 = vec![0.0f64; c];
+            let mut stop_state = StopState::new(self.stop_criterion.clone());
+            let mut rep_best: Option<(ColumnSetting, f64)> = None;
+            let mut iterations = max_iters;
+
+            for t in 0..max_iters {
+                let a_t = a0 * ((t as f64 / ramp).min(1.0) as f32);
+                // Single fused pass over W (row-major, contiguous): the
+                // V-field accumulators tᵢ and the T-field vector together.
+                let (xv, rest) = x.split_at(r);
+                let (xv2, xt) = rest.split_at(r);
+                ft.fill(0.0);
+                for i in 0..r {
+                    let row = &w[i * c..(i + 1) * c];
+                    let d = xv[i] - xv2[i];
+                    // Two straight-line loops per row: a 4-lane reduction
+                    // for tᵢ and an axpy for the T field — both shapes the
+                    // auto-vectorizer handles.
+                    let mut lanes = [0.0f32; 4];
+                    let chunks = c / 4;
+                    for k in 0..chunks {
+                        let b = 4 * k;
+                        lanes[0] += row[b] * xt[b];
+                        lanes[1] += row[b + 1] * xt[b + 1];
+                        lanes[2] += row[b + 2] * xt[b + 2];
+                        lanes[3] += row[b + 3] * xt[b + 3];
+                    }
+                    let mut acc = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+                    for j in 4 * chunks..c {
+                        acc += row[j] * xt[j];
+                    }
+                    for (ftj, wij) in ft.iter_mut().zip(row.iter()) {
+                        *ftj += wij * d;
+                    }
+                    tmp[i] = acc;
+                }
+                // Momentum + position update with inelastic walls.
+                let decay = -(a0 - a_t);
+                let xa = x[n];
+                let mut f_anc = 0.0f32;
+                for i in 0..r {
+                    y[i] += (decay * x[i] + c0 * (tmp[i] - rowsum[i] * xa) / 4.0) * dt;
+                    y[r + i] +=
+                        (decay * x[r + i] - c0 * (tmp[i] + rowsum[i] * xa) / 4.0) * dt;
+                    f_anc -= rowsum[i] * (x[i] + x[r + i]) / 4.0;
+                }
+                for j in 0..c {
+                    y[2 * r + j] += (decay * x[2 * r + j] + c0 * ft[j] / 4.0) * dt;
+                }
+                y[n] += (decay * xa + c0 * f_anc) * dt;
+                for i in 0..na {
+                    x[i] += a0 * y[i] * dt;
+                    if x[i].abs() > 1.0 {
+                        x[i] = x[i].signum();
+                        y[i] = 0.0;
+                    }
+                }
+
+                if (t + 1) % sample_every == 0 || t + 1 == max_iters {
+                    // One fused pass computes, for the sign readout, the
+                    // per-column costs of both patterns — giving the
+                    // Theorem-3 optimal T *and* the objective together.
+                    cost1.fill(0.0);
+                    cost2.fill(0.0);
+                    let gauge = if x[n] >= 0.0 { 1.0f32 } else { -1.0 };
+                    for i in 0..r {
+                        let row = &w64[i * c..(i + 1) * c];
+                        let take1 = gauge * x[i] >= 0.0;
+                        let take2 = gauge * x[r + i] >= 0.0;
+                        if take1 && take2 {
+                            for j in 0..c {
+                                cost1[j] += row[j];
+                                cost2[j] += row[j];
+                            }
+                        } else if take1 {
+                            for j in 0..c {
+                                cost1[j] += row[j];
+                            }
+                        } else if take2 {
+                            for j in 0..c {
+                                cost2[j] += row[j];
+                            }
+                        }
+                    }
+                    let obj = if self.heuristic {
+                        // Reset T to the optimum and write it back.
+                        let mut total = cop.constant();
+                        for j in 0..c {
+                            let pick2 = cost2[j] < cost1[j];
+                            total += if pick2 { cost2[j] } else { cost1[j] };
+                            x[2 * r + j] = if pick2 { gauge } else { -gauge };
+                            y[2 * r + j] = 0.0;
+                        }
+                        interventions += 1;
+                        total
+                    } else {
+                        let mut total = cop.constant();
+                        for j in 0..c {
+                            total += if gauge * x[2 * r + j] >= 0.0 {
+                                cost2[j]
+                            } else {
+                                cost1[j]
+                            };
+                        }
+                        total
+                    };
+                    if rep_best.as_ref().map(|&(_, b)| obj < b).unwrap_or(true) {
+                        let setting = ColumnSetting {
+                            v1: BitVec::from_fn(r, |i| gauge * x[i] >= 0.0),
+                            v2: BitVec::from_fn(r, |i| gauge * x[r + i] >= 0.0),
+                            t: BitVec::from_fn(c, |j| gauge * x[2 * r + j] >= 0.0),
+                        };
+                        rep_best = Some((setting, obj));
+                    }
+                    // Steady state is only meaningful once the pump has
+                    // fully ramped; earlier samples still track the best.
+                    if (t + 1) as f64 >= ramp && stop_state.record(obj) {
+                        settled = true;
+                        iterations = t + 1;
+                        break;
+                    }
+                }
+            }
+            total_iterations += iterations;
+            let (mut setting, _) = rep_best.expect("at least one sample");
+            setting.t = cop.optimal_t(&setting.v1, &setting.v2);
+            let obj = cop.objective(&setting);
+            if best.as_ref().map(|&(_, b)| obj < b).unwrap_or(true) {
+                best = Some((setting, obj));
+            }
+        }
+
+        let (setting, objective) = best.expect("replicas > 0");
+        CopSolution {
+            setting,
+            objective,
+            stats: CopSolveStats {
+                iterations: total_iterations,
+                settled,
+                interventions,
+            },
+        }
+    }
+
+    fn seed_for(&self, replica: usize) -> u64 {
+        self.seed.wrapping_add(replica as u64)
+    }
+}
+
+/// The Section 3.3.2 intervention: read the column patterns off the sign of
+/// the `V` positions, compute the optimal `T` (Theorem 3) and overwrite the
+/// `T` positions with `±1` (zeroing their momenta, as a wall collision
+/// would).
+fn apply_type_reset(cop: &ColumnCop, layout: SpinLayout, state: &mut SbState<'_>) {
+    let v1 = BitVec::from_fn(layout.rows, |i| state.x[layout.v1(i)] >= 0.0);
+    let v2 = BitVec::from_fn(layout.rows, |i| state.x[layout.v2(i)] >= 0.0);
+    let t = cop.optimal_t(&v1, &v2);
+    for j in 0..layout.cols {
+        let idx = layout.t(j);
+        state.x[idx] = if t.get(j) { 1.0 } else { -1.0 };
+        state.y[idx] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adis_boolfn::{BooleanMatrix, InputDist, Partition, TruthTable};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_cop(seed: u64, rows: usize, cols: usize) -> ColumnCop {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0..1.0) / (rows * cols) as f64)
+            .collect();
+        ColumnCop::from_weights(rows, cols, weights, 0.5)
+    }
+
+    #[test]
+    fn finds_near_optimal_settings() {
+        for seed in 0..5 {
+            let cop = random_cop(seed, 6, 8);
+            let exact = cop.objective(&cop.solve_exhaustive());
+            let sol = IsingCopSolver::new().replicas(4).solve(&cop);
+            assert!(sol.objective >= exact - 1e-12, "cannot beat the optimum");
+            // The span of objectives is [exact, constant]; demand the solver
+            // closes at least 90% of the gap from the trivial setting.
+            let trivial = cop.constant(); // all-zero Ô has cost = constant
+            let gap = trivial - exact;
+            assert!(
+                sol.objective <= exact + 0.1 * gap + 1e-9,
+                "seed {seed}: got {}, exact {exact}, trivial {trivial}",
+                sol.objective
+            );
+        }
+    }
+
+    #[test]
+    fn heuristic_improves_or_matches() {
+        let mut with_h = 0.0;
+        let mut without_h = 0.0;
+        for seed in 0..8 {
+            let cop = random_cop(seed + 100, 8, 10);
+            with_h += IsingCopSolver::new().heuristic(true).solve(&cop).objective;
+            without_h += IsingCopSolver::new().heuristic(false).solve(&cop).objective;
+        }
+        // Aggregate quality with the heuristic should not be meaningfully
+        // worse (it is a stochastic intervention; allow a 2% band).
+        assert!(
+            with_h <= without_h * 1.02 + 1e-9,
+            "heuristic {with_h} vs plain {without_h}"
+        );
+    }
+
+    #[test]
+    fn solves_decomposable_function_to_zero_error() {
+        // x0 XOR x2 decomposes exactly: solver must find ER 0.
+        let g = TruthTable::from_fn(4, |p| (p & 1) ^ ((p >> 2) & 1) == 1);
+        let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+        let cop = ColumnCop::separate(&BooleanMatrix::build(&g, &w), &w, &InputDist::Uniform);
+        let sol = IsingCopSolver::new().replicas(4).solve(&cop);
+        assert!(sol.objective.abs() < 1e-9, "got {}", sol.objective);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let cop = random_cop(3, 4, 4);
+        let sol = IsingCopSolver::new().solve(&cop);
+        assert!(sol.stats.iterations > 0);
+        assert!(sol.stats.interventions > 0);
+    }
+
+    #[test]
+    fn dynamic_stop_settles() {
+        let cop = random_cop(5, 6, 6);
+        let sol = IsingCopSolver::new()
+            .stop(StopCriterion::DynamicVariance {
+                sample_every: 10,
+                window: 10,
+                threshold: 1e-8,
+                max_iterations: 50_000,
+            })
+            .solve(&cop);
+        assert!(sol.stats.settled, "bSB should reach steady state");
+        assert!(sol.stats.iterations < 50_000);
+    }
+
+    #[test]
+    fn replicas_never_hurt() {
+        let cop = random_cop(9, 6, 8);
+        let one = IsingCopSolver::new().solve(&cop).objective;
+        let many = IsingCopSolver::new().replicas(6).solve(&cop).objective;
+        assert!(many <= one + 1e-12);
+    }
+}

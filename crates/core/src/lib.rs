@@ -1,0 +1,54 @@
+//! # adis-core — Ising-model-based approximate disjoint decomposition
+//!
+//! This crate implements the primary contribution of *Efficient Approximate
+//! Decomposition Solver using Ising Model* (DAC 2024): searching for
+//! approximate disjoint decompositions of multi-output Boolean functions —
+//! the key step in building small approximate LUTs — by mapping the core
+//! combinatorial optimization problem onto a second-order Ising model and
+//! solving it with ballistic simulated bifurcation.
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`ColumnCop`]: the **column-based core COP** (Section 3.1) in
+//!   cell-linear form, with the exact separate-mode (Eq. 9) and joint-mode
+//!   (Eq. 16) Ising encodings, Theorem-3 type optimization, and exact
+//!   reference solvers;
+//! - [`IsingCopSolver`]: bSB on that encoding with the paper's **dynamic
+//!   stop criterion** and **type-reset heuristic** (Section 3.3);
+//! - [`RowCop`]: the row-based COP of DALTA with an exact branch-and-bound
+//!   ("DALTA-ILP"), a generic ILP cross-check, and the **third-order Ising
+//!   formulation** (with higher-order SB) the paper argues against;
+//! - [`baselines`]: reconstructions of the DALTA heuristic and BA;
+//! - [`Framework`]: the outer loop — `P` candidate partitions per output
+//!   bit, `R` rounds, [`Mode::Separate`] or [`Mode::Joint`] — shared by all
+//!   solvers, producing a [`DecompositionOutcome`] that assembles into an
+//!   [`adis_lut::ApproxLut`].
+//!
+//! # Quick start
+//!
+//! ```
+//! use adis_boolfn::MultiOutputFn;
+//! use adis_core::{Framework, Mode};
+//!
+//! // Approximate a 6-input, 4-output function with |B| = 3 decompositions.
+//! let f = MultiOutputFn::from_word_fn(6, 4, |p| (3 * p + 1) & 0xF);
+//! let outcome = Framework::new(Mode::Joint, 3).partitions(4).decompose(&f);
+//! let lut = outcome.to_lut();
+//! println!("MED {:.3} at {} bits (direct: {})", outcome.med, lut.size_bits(), lut.direct_size_bits());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+mod cop;
+mod framework;
+mod ising_solver;
+mod row;
+
+pub use cop::{ColumnCop, SpinLayout};
+pub use framework::{
+    ComponentChoice, CopSolverKind, DecompositionOutcome, Framework, Mode,
+};
+pub use ising_solver::{CopSolution, CopSolveStats, IsingCopSolver};
+pub use row::{RowCop, RowCopSolution, RowIlpVars};

@@ -1,0 +1,129 @@
+//! Edge-case coverage for the decomposition framework: distribution
+//! weighting, extreme partition sizes, single-output functions, and
+//! incumbent retention across rounds.
+
+use adis_boolfn::{InputDist, MultiOutputFn};
+use adis_core::{CopSolverKind, Framework, IsingCopSolver, Mode};
+
+fn quadratic(n: u32, m: u32) -> MultiOutputFn {
+    let mask = (1u64 << m) - 1;
+    MultiOutputFn::from_word_fn(n, m, move |p| (p * p / 3) & mask)
+}
+
+#[test]
+fn single_output_function() {
+    let f = quadratic(6, 1);
+    let outcome = Framework::new(Mode::Joint, 3)
+        .partitions(6)
+        .parallel(false)
+        .decompose(&f);
+    assert_eq!(outcome.choices.len(), 1);
+    // For m = 1, MED == ER (distance is 0 or 1).
+    assert!((outcome.med - outcome.er).abs() < 1e-12);
+}
+
+#[test]
+fn extreme_bound_sizes() {
+    let f = quadratic(5, 3);
+    for bound in [1u32, 4] {
+        let outcome = Framework::new(Mode::Joint, bound)
+            .partitions(5)
+            .parallel(false)
+            .decompose(&f);
+        assert!(outcome.med.is_finite());
+        let lut = outcome.to_lut();
+        // φ-LUT: 2^bound bits; F-LUT: 2^(n-bound+1) bits, per output.
+        let expect = 3 * ((1u64 << bound) + (1u64 << (5 - bound + 1)));
+        assert_eq!(lut.size_bits(), expect);
+    }
+}
+
+#[test]
+fn skewed_distribution_shifts_error_placement() {
+    // Mass concentrated on the low quarter of inputs: the approximation
+    // must be (weakly) better there than a uniform-weighted run evaluated
+    // on the same region.
+    let f = quadratic(6, 4);
+    let mut probs = vec![0.0; 64];
+    for (p, q) in probs.iter_mut().enumerate() {
+        *q = if p < 16 { 1.0 / 17.6 } else { 0.1 / 48.0 * 1.1 };
+    }
+    let total: f64 = probs.iter().sum();
+    for q in probs.iter_mut() {
+        *q /= total;
+    }
+    let dist = InputDist::explicit(probs.clone()).expect("normalized");
+    let skewed = Framework::new(Mode::Joint, 3)
+        .partitions(8)
+        .parallel(false)
+        .dist(dist.clone())
+        .decompose(&f);
+    let uniform = Framework::new(Mode::Joint, 3)
+        .partitions(8)
+        .parallel(false)
+        .decompose(&f);
+    // Evaluate both under the skewed weights.
+    let med_of = |g: &MultiOutputFn| adis_boolfn::mean_error_distance(&f, g, &dist);
+    assert!(
+        med_of(&skewed.approx) <= med_of(&uniform.approx) + 1e-9,
+        "skew-optimized {} vs uniform-optimized {} (skewed metric)",
+        med_of(&skewed.approx),
+        med_of(&uniform.approx)
+    );
+    // And the reported MED is under the skewed metric.
+    assert!((skewed.med - med_of(&skewed.approx)).abs() < 1e-12);
+}
+
+#[test]
+fn second_round_never_worse_with_ising_solver() {
+    let f = quadratic(6, 4);
+    let base = Framework::new(Mode::Joint, 3)
+        .solver(CopSolverKind::Ising(IsingCopSolver::new()))
+        .partitions(4)
+        .parallel(false)
+        .seed(3);
+    let one = base.clone().rounds(1).decompose(&f);
+    let two = base.rounds(2).decompose(&f);
+    // Incumbent retention makes extra rounds monotone.
+    assert!(
+        two.med <= one.med + 1e-9,
+        "round 2 must not regress: {} vs {}",
+        two.med,
+        one.med
+    );
+}
+
+#[test]
+fn separate_mode_reports_component_er_choices() {
+    let f = quadratic(6, 3);
+    let outcome = Framework::new(Mode::Separate, 3)
+        .solver(CopSolverKind::Exact { time_limit: None })
+        .partitions(4)
+        .parallel(false)
+        .decompose(&f);
+    // Each choice objective is that component's ER — recompute and compare.
+    for (k, choice) in outcome.choices.iter().enumerate() {
+        let er = adis_boolfn::error_rate(
+            f.component(k as u32),
+            outcome.approx.component(k as u32),
+            &InputDist::Uniform,
+        );
+        assert!(
+            (er - choice.objective).abs() < 1e-9,
+            "component {k}: ER {er} vs recorded {}",
+            choice.objective
+        );
+    }
+}
+
+#[test]
+fn cop_solve_count_accounting() {
+    let f = quadratic(5, 2);
+    let outcome = Framework::new(Mode::Joint, 2)
+        .partitions(4)
+        .rounds(3)
+        .parallel(false)
+        .decompose(&f);
+    // 4 partitions × 2 components × 3 rounds.
+    assert_eq!(outcome.cop_solves, 24);
+}

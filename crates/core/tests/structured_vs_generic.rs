@@ -1,0 +1,98 @@
+//! The structured COP integrator and the generic `SbSolver` path must be
+//! interchangeable: same dynamics, same quality envelope, deterministic.
+
+use adis_benchfn::ContinuousFn;
+use adis_boolfn::{BooleanMatrix, InputDist, Partition};
+use adis_core::{ColumnCop, IsingCopSolver};
+
+fn cop(f: ContinuousFn, bit: u32) -> ColumnCop {
+    let table = f.function(8, 8).expect("valid widths");
+    let w = Partition::new(8, vec![0, 1, 2], vec![3, 4, 5, 6, 7]).expect("valid");
+    ColumnCop::separate(
+        &BooleanMatrix::build(table.component(bit), &w),
+        &w,
+        &InputDist::Uniform,
+    )
+}
+
+#[test]
+fn structured_matches_generic_quality() {
+    // Identical dynamics, different memory layout and RNG consumption:
+    // objective quality must agree within the instance's natural scale.
+    for f in [ContinuousFn::Cos, ContinuousFn::Exp, ContinuousFn::Denoise] {
+        for bit in [3u32, 6] {
+            let cop = cop(f, bit);
+            let s = IsingCopSolver::new().structured(true).seed(3).solve(&cop);
+            let g = IsingCopSolver::new().structured(false).seed(3).solve(&cop);
+            let scale = cop.constant().abs().max(0.05);
+            assert!(
+                (s.objective - g.objective).abs() <= 0.25 * scale,
+                "{}[{bit}]: structured {} vs generic {}",
+                f.name(),
+                s.objective,
+                g.objective
+            );
+        }
+    }
+}
+
+#[test]
+fn structured_is_deterministic() {
+    let cop = cop(ContinuousFn::Tan, 5);
+    let a = IsingCopSolver::new().seed(9).solve(&cop);
+    let b = IsingCopSolver::new().seed(9).solve(&cop);
+    assert_eq!(a.objective, b.objective);
+    assert_eq!(a.setting, b.setting);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn structured_never_beats_exhaustive() {
+    for bit in 0..8 {
+        let cop = cop(ContinuousFn::Erf, bit);
+        // c = 32 is too big to exhaust over T; use the row-exact optimum
+        // via the equivalent RowCop instead.
+        let table = ContinuousFn::Erf.function(8, 8).expect("valid widths");
+        let w = Partition::new(8, vec![0, 1, 2], vec![3, 4, 5, 6, 7]).expect("valid");
+        let row = adis_core::RowCop::separate(
+            &BooleanMatrix::build(table.component(bit), &w),
+            &w,
+            &InputDist::Uniform,
+        );
+        let exact = row.solve_exact(None).objective;
+        let sol = IsingCopSolver::new().seed(1).solve(&cop);
+        assert!(
+            sol.objective >= exact - 1e-9,
+            "bit {bit}: {} vs exact {exact}",
+            sol.objective
+        );
+    }
+}
+
+#[test]
+fn structured_quality_near_exact_on_real_bits() {
+    // Across all 8 output bits of erf, the mean gap to the exact optimum
+    // must be small.
+    let table = ContinuousFn::Erf.function(8, 8).expect("valid widths");
+    let w = Partition::new(8, vec![0, 1, 2], vec![3, 4, 5, 6, 7]).expect("valid");
+    let mut gap = 0.0;
+    for bit in 0..8 {
+        let m = BooleanMatrix::build(table.component(bit), &w);
+        let cop = ColumnCop::separate(&m, &w, &InputDist::Uniform);
+        let row = adis_core::RowCop::separate(&m, &w, &InputDist::Uniform);
+        let exact = row.solve_exact(None).objective;
+        let sol = IsingCopSolver::new().replicas(2).seed(5).solve(&cop);
+        gap += sol.objective - exact;
+    }
+    assert!(gap / 8.0 < 0.02, "mean gap {}", gap / 8.0);
+}
+
+#[test]
+fn heuristic_and_stats_behave_in_structured_path() {
+    let cop = cop(ContinuousFn::Ln, 4);
+    let on = IsingCopSolver::new().heuristic(true).seed(2).solve(&cop);
+    assert!(on.stats.interventions > 0);
+    let off = IsingCopSolver::new().heuristic(false).seed(2).solve(&cop);
+    assert_eq!(off.stats.interventions, 0);
+    assert!(on.stats.iterations > 0 && off.stats.iterations > 0);
+}

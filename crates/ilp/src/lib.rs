@@ -1,0 +1,39 @@
+//! Exact 0-1 integer linear programming by branch and bound.
+//!
+//! The paper solves the row-based core COP with Gurobi under a 3600 s cap,
+//! taking the incumbent when the cap fires. This crate is the open
+//! substitute: an exact DFS branch-and-bound over binary variables with
+//! objective-relaxation bounding, per-constraint interval pruning, and the
+//! same best-incumbent-at-timeout contract ([`BranchAndBound::time_limit`]).
+//!
+//! Only what the reproduction needs is modeled — binary variables, linear
+//! constraints, minimization — which keeps the solver small enough to trust
+//! and test exhaustively.
+//!
+//! # Example
+//!
+//! ```
+//! use adis_ilp::{BranchAndBound, IlpModel, IlpStatus};
+//!
+//! // Vertex cover of a triangle: at least one endpoint per edge.
+//! let mut m = IlpModel::new();
+//! let v: Vec<_> = (0..3).map(|_| m.add_var()).collect();
+//! for &x in &v {
+//!     m.set_objective_coeff(x, 1.0);
+//! }
+//! m.add_ge(&[(v[0], 1.0), (v[1], 1.0)], 1.0);
+//! m.add_ge(&[(v[1], 1.0), (v[2], 1.0)], 1.0);
+//! m.add_ge(&[(v[0], 1.0), (v[2], 1.0)], 1.0);
+//! let sol = BranchAndBound::new().solve(&m);
+//! assert_eq!(sol.status, IlpStatus::Optimal);
+//! assert_eq!(sol.objective, 2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod model;
+mod solve;
+
+pub use model::{Constraint, ConstraintOp, IlpModel, VarId};
+pub use solve::{BranchAndBound, IlpSolution, IlpStatus};

@@ -1,0 +1,256 @@
+//! 0-1 integer linear program models.
+
+use std::fmt;
+
+/// Identifier of a binary variable within an [`IlpModel`].
+pub type VarId = usize;
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs ≥ rhs`
+    Ge,
+    /// `lhs = rhs`
+    Eq,
+}
+
+/// A linear constraint `Σ coeffs·x (op) rhs` over binary variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Terms `(variable, coefficient)`; a variable may appear once.
+    pub terms: Vec<(VarId, f64)>,
+    /// Comparison operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A 0-1 integer linear program: minimize `c·x + c₀` subject to linear
+/// constraints, `x ∈ {0, 1}^n`.
+///
+/// This deliberately models only what the decomposition framework needs —
+/// binary variables and a minimization objective — but that class contains
+/// the paper's row-based core COP formulation exactly.
+///
+/// # Examples
+///
+/// ```
+/// use adis_ilp::{BranchAndBound, IlpModel};
+///
+/// // Minimize x0 + 2·x1 subject to x0 + x1 ≥ 1: optimum picks x0.
+/// let mut m = IlpModel::new();
+/// let x0 = m.add_var();
+/// let x1 = m.add_var();
+/// m.set_objective_coeff(x0, 1.0);
+/// m.set_objective_coeff(x1, 2.0);
+/// m.add_ge(&[(x0, 1.0), (x1, 1.0)], 1.0);
+/// let sol = BranchAndBound::new().solve(&m);
+/// assert_eq!(sol.objective, 1.0);
+/// assert!(sol.values[x0] && !sol.values[x1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IlpModel {
+    objective: Vec<f64>,
+    objective_constant: f64,
+    constraints: Vec<Constraint>,
+}
+
+impl IlpModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        IlpModel::default()
+    }
+
+    /// Adds a binary variable with zero objective coefficient.
+    pub fn add_var(&mut self) -> VarId {
+        self.objective.push(0.0);
+        self.objective.len() - 1
+    }
+
+    /// Adds `n` binary variables, returning the id of the first.
+    pub fn add_vars(&mut self, n: usize) -> VarId {
+        let first = self.objective.len();
+        self.objective.resize(first + n, 0.0);
+        first
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Sets the objective coefficient of `v` (minimization sense).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set_objective_coeff(&mut self, v: VarId, c: f64) {
+        self.objective[v] = c;
+    }
+
+    /// Adds `c` to the objective coefficient of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn add_objective_coeff(&mut self, v: VarId, c: f64) {
+        self.objective[v] += c;
+    }
+
+    /// Adds `c` to the constant term of the objective.
+    pub fn add_objective_constant(&mut self, c: f64) {
+        self.objective_constant += c;
+    }
+
+    /// The objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The objective constant.
+    pub fn objective_constant(&self) -> f64 {
+        self.objective_constant
+    }
+
+    /// Adds a constraint. Terms referencing the same variable are merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable id is out of range.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], op: ConstraintOp, rhs: f64) {
+        let mut merged: std::collections::BTreeMap<VarId, f64> = std::collections::BTreeMap::new();
+        for &(v, c) in terms {
+            assert!(v < self.num_vars(), "variable {v} out of range");
+            *merged.entry(v).or_insert(0.0) += c;
+        }
+        self.constraints.push(Constraint {
+            terms: merged.into_iter().filter(|&(_, c)| c != 0.0).collect(),
+            op,
+            rhs,
+        });
+    }
+
+    /// Convenience: `Σ terms ≤ rhs`.
+    pub fn add_le(&mut self, terms: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(terms, ConstraintOp::Le, rhs);
+    }
+
+    /// Convenience: `Σ terms ≥ rhs`.
+    pub fn add_ge(&mut self, terms: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(terms, ConstraintOp::Ge, rhs);
+    }
+
+    /// Convenience: `Σ terms = rhs`.
+    pub fn add_eq(&mut self, terms: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(terms, ConstraintOp::Eq, rhs);
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Objective value of a full assignment (ignores feasibility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn objective_value(&self, x: &[bool]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(), "assignment length mismatch");
+        let mut v = self.objective_constant;
+        for (i, &c) in self.objective.iter().enumerate() {
+            if x[i] {
+                v += c;
+            }
+        }
+        v
+    }
+
+    /// Whether a full assignment satisfies every constraint (with a small
+    /// numerical tolerance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn is_feasible(&self, x: &[bool]) -> bool {
+        assert_eq!(x.len(), self.num_vars(), "assignment length mismatch");
+        const TOL: f64 = 1e-9;
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c
+                .terms
+                .iter()
+                .map(|&(v, coef)| if x[v] { coef } else { 0.0 })
+                .sum();
+            match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + TOL,
+                ConstraintOp::Ge => lhs >= c.rhs - TOL,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= TOL,
+            }
+        })
+    }
+}
+
+impl fmt::Display for IlpModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ilp: {} binary vars, {} constraints",
+            self.num_vars(),
+            self.num_constraints()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_evaluation() {
+        let mut m = IlpModel::new();
+        let a = m.add_var();
+        let b = m.add_var();
+        m.set_objective_coeff(a, 2.0);
+        m.set_objective_coeff(b, -1.0);
+        m.add_objective_constant(0.5);
+        assert_eq!(m.objective_value(&[true, true]), 1.5);
+        assert_eq!(m.objective_value(&[false, true]), -0.5);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut m = IlpModel::new();
+        let a = m.add_var();
+        let b = m.add_var();
+        m.add_ge(&[(a, 1.0), (b, 1.0)], 1.0);
+        m.add_le(&[(a, 1.0), (b, 1.0)], 1.0);
+        assert!(!m.is_feasible(&[false, false]));
+        assert!(m.is_feasible(&[true, false]));
+        assert!(!m.is_feasible(&[true, true]));
+    }
+
+    #[test]
+    fn duplicate_terms_merged() {
+        let mut m = IlpModel::new();
+        let a = m.add_var();
+        m.add_eq(&[(a, 1.0), (a, 2.0)], 3.0);
+        assert_eq!(m.constraints()[0].terms, vec![(a, 3.0)]);
+        assert!(m.is_feasible(&[true]));
+        assert!(!m.is_feasible(&[false]));
+    }
+
+    #[test]
+    fn add_vars_bulk() {
+        let mut m = IlpModel::new();
+        let first = m.add_vars(5);
+        assert_eq!(first, 0);
+        assert_eq!(m.num_vars(), 5);
+    }
+}

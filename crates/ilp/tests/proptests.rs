@@ -1,0 +1,99 @@
+//! Property-based validation of the branch-and-bound ILP solver against
+//! exhaustive enumeration.
+
+use adis_ilp::{BranchAndBound, ConstraintOp, IlpModel, IlpStatus};
+use proptest::prelude::*;
+
+/// Strategy: a random small 0-1 ILP.
+fn model() -> impl Strategy<Value = IlpModel> {
+    (3usize..9).prop_flat_map(|n| {
+        let objective = prop::collection::vec(-4.0..4.0f64, n);
+        let constraints = prop::collection::vec(
+            (
+                prop::collection::vec(prop::option::of(-3.0..3.0f64), n),
+                prop::sample::select(vec![ConstraintOp::Le, ConstraintOp::Ge, ConstraintOp::Eq]),
+                -3.0..5.0f64,
+            ),
+            0..5,
+        );
+        (objective, constraints).prop_map(move |(obj, cons)| {
+            let mut m = IlpModel::new();
+            let vars: Vec<_> = (0..n).map(|_| m.add_var()).collect();
+            for (v, c) in vars.iter().zip(&obj) {
+                m.set_objective_coeff(*v, *c);
+            }
+            for (coeffs, op, rhs) in cons {
+                let terms: Vec<_> = coeffs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| c.map(|c| (vars[i], c)))
+                    .collect();
+                if !terms.is_empty() {
+                    let rhs = if op == ConstraintOp::Eq { rhs.round() } else { rhs };
+                    m.add_constraint(&terms, op, rhs);
+                }
+            }
+            m
+        })
+    })
+}
+
+fn exhaustive(m: &IlpModel) -> Option<f64> {
+    let n = m.num_vars();
+    let mut best: Option<f64> = None;
+    for k in 0..(1u32 << n) {
+        let x: Vec<bool> = (0..n).map(|i| (k >> i) & 1 == 1).collect();
+        if m.is_feasible(&x) {
+            let v = m.objective_value(&x);
+            best = Some(best.map_or(v, |b: f64| b.min(v)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Branch-and-bound finds exactly the exhaustive optimum (or proves
+    /// infeasibility) on every random model.
+    #[test]
+    fn bb_equals_exhaustive(m in model()) {
+        let sol = BranchAndBound::new().solve(&m);
+        match exhaustive(&m) {
+            Some(opt) => {
+                prop_assert_eq!(sol.status, IlpStatus::Optimal);
+                prop_assert!((sol.objective - opt).abs() < 1e-9,
+                    "bb {} vs exhaustive {}", sol.objective, opt);
+                prop_assert!(m.is_feasible(&sol.values));
+                prop_assert!((m.objective_value(&sol.values) - sol.objective).abs() < 1e-9);
+            }
+            None => prop_assert_eq!(sol.status, IlpStatus::Infeasible),
+        }
+    }
+
+    /// Adding a constraint can never improve the optimum.
+    #[test]
+    fn constraints_monotone(m in model(), keep in any::<prop::sample::Index>()) {
+        let sol_full = BranchAndBound::new().solve(&m);
+        if m.num_constraints() == 0 {
+            return Ok(());
+        }
+        // Rebuild with one constraint dropped.
+        let drop = keep.index(m.num_constraints());
+        let mut relaxed = IlpModel::new();
+        let vars: Vec<_> = (0..m.num_vars()).map(|_| relaxed.add_var()).collect();
+        for (i, &c) in m.objective().iter().enumerate() {
+            relaxed.set_objective_coeff(vars[i], c);
+        }
+        for (ci, c) in m.constraints().iter().enumerate() {
+            if ci != drop {
+                relaxed.add_constraint(&c.terms, c.op, c.rhs);
+            }
+        }
+        let sol_relaxed = BranchAndBound::new().solve(&relaxed);
+        if sol_full.status == IlpStatus::Optimal {
+            prop_assert_eq!(sol_relaxed.status, IlpStatus::Optimal);
+            prop_assert!(sol_relaxed.objective <= sol_full.objective + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Exhaustive ground-state search, for validating heuristic solvers on
+//! small instances.
+
+use crate::{IsingProblem, SpinVector};
+
+/// Result of an exhaustive search: a ground state and its energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundState {
+    /// A minimizing spin configuration (the lexicographically first one).
+    pub state: SpinVector,
+    /// Its energy, including the problem offset.
+    pub energy: f64,
+    /// Number of configurations tied at the minimum (degeneracy).
+    pub degeneracy: usize,
+}
+
+/// Maximum spin count accepted by [`solve_exhaustive`].
+pub const MAX_EXHAUSTIVE_SPINS: usize = 24;
+
+/// Finds a ground state by enumerating all `2^N` configurations.
+///
+/// Uses incremental flip deltas along a Gray-code walk, so the cost is
+/// `O(2^N · deg)` rather than `O(2^N · N · deg)`.
+///
+/// # Panics
+///
+/// Panics if `N > MAX_EXHAUSTIVE_SPINS` (the search would not terminate in
+/// reasonable time).
+pub fn solve_exhaustive(problem: &IsingProblem) -> GroundState {
+    let n = problem.num_spins();
+    assert!(
+        n <= MAX_EXHAUSTIVE_SPINS,
+        "exhaustive search limited to {MAX_EXHAUSTIVE_SPINS} spins, got {n}"
+    );
+    let mut state = SpinVector::all_down(n);
+    let mut energy = problem.energy(&state);
+    let mut best = GroundState {
+        state: state.clone(),
+        energy,
+        degeneracy: 1,
+    };
+    if n == 0 {
+        return best;
+    }
+    // Gray-code walk: configuration k differs from k+1 in bit trailing_zeros(k+1).
+    for k in 1u64..(1u64 << n) {
+        let flip = k.trailing_zeros() as usize;
+        energy += problem.flip_delta(&state, flip);
+        state.flip(flip);
+        if energy < best.energy - 1e-12 {
+            best.energy = energy;
+            best.state = state.clone();
+            best.degeneracy = 1;
+        } else if (energy - best.energy).abs() <= 1e-12 {
+            best.degeneracy += 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IsingBuilder;
+
+    #[test]
+    fn ferromagnet_ground_states() {
+        // 3-spin ferromagnetic chain: two degenerate ground states (all up,
+        // all down).
+        let p = IsingBuilder::new(3)
+            .coupling(0, 1, 1.0)
+            .coupling(1, 2, 1.0)
+            .build();
+        let g = solve_exhaustive(&p);
+        assert!((g.energy - (-2.0)).abs() < 1e-12);
+        assert_eq!(g.degeneracy, 2);
+    }
+
+    #[test]
+    fn bias_breaks_degeneracy() {
+        let p = IsingBuilder::new(2)
+            .coupling(0, 1, 1.0)
+            .bias(0, 0.1)
+            .build();
+        let g = solve_exhaustive(&p);
+        assert_eq!(g.state, SpinVector::all_up(2));
+        assert_eq!(g.degeneracy, 1);
+    }
+
+    #[test]
+    fn matches_naive_enumeration() {
+        // Cross-check the Gray-code walk against recomputed energies.
+        let p = IsingBuilder::new(4)
+            .bias(0, 0.3)
+            .bias(2, -0.7)
+            .coupling(0, 1, 0.5)
+            .coupling(1, 2, -1.25)
+            .coupling(2, 3, 2.0)
+            .coupling(0, 3, -0.1)
+            .offset(1.0)
+            .build();
+        let g = solve_exhaustive(&p);
+        let mut best = f64::INFINITY;
+        for k in 0..16u32 {
+            let s = SpinVector::from_bools((0..4).map(|i| (k >> i) & 1 == 1));
+            best = best.min(p.energy(&s));
+        }
+        assert!((g.energy - best).abs() < 1e-12);
+        assert!((p.energy(&g.state) - best).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn size_guard() {
+        let p = IsingBuilder::new(25).build();
+        solve_exhaustive(&p);
+    }
+}

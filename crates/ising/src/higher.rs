@@ -1,0 +1,359 @@
+//! Higher-order (k-local) Ising energy functions.
+//!
+//! The paper observes that the *row-based* core COP would require a
+//! third-order Ising model (Section 3.1), which is why it introduces the
+//! column-based formulation. This module provides the general k-local
+//! energy so that claim can be reproduced and benchmarked (Ablation A3),
+//! paired with the higher-order simulated bifurcation of Kanao & Goto [19].
+
+use crate::{IsingBuilder, IsingProblem, SpinVector};
+use std::fmt;
+
+/// A k-local Ising energy `E(σ) = Σ_t c_t · Π_{i ∈ S_t} σᵢ + offset`.
+///
+/// Unlike [`IsingProblem`], coefficients appear with a **plus** sign; use
+/// [`HigherOrderIsing::from_ising`] / [`HigherOrderIsing::to_ising`] for the
+/// sign-correct conversions.
+///
+/// # Examples
+///
+/// ```
+/// use adis_ising::{HigherOrderIsing, SpinVector};
+///
+/// // E = σ0·σ1·σ2 — minimized when an odd number of spins are −1.
+/// let mut e = HigherOrderIsing::new(3);
+/// e.add_term(&[0, 1, 2], 1.0);
+/// assert_eq!(e.energy(&SpinVector::all_up(3)), 1.0);
+/// assert_eq!(e.energy(&SpinVector::all_down(3)), -1.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct HigherOrderIsing {
+    num_spins: usize,
+    /// `(sorted distinct spin indices, coefficient)`.
+    terms: Vec<(Vec<u32>, f64)>,
+    offset: f64,
+}
+
+impl HigherOrderIsing {
+    /// An empty (constant-zero) energy over `n` spins.
+    pub fn new(n: usize) -> Self {
+        HigherOrderIsing {
+            num_spins: n,
+            terms: Vec::new(),
+            offset: 0.0,
+        }
+    }
+
+    /// Number of spins.
+    pub fn num_spins(&self) -> usize {
+        self.num_spins
+    }
+
+    /// Number of non-constant terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The largest term degree (0 if no terms).
+    pub fn degree(&self) -> usize {
+        self.terms.iter().map(|(s, _)| s.len()).max().unwrap_or(0)
+    }
+
+    /// Adds `coeff · Π_{i ∈ spins} σᵢ`. An empty `spins` slice adds to the
+    /// constant offset. Duplicate indices within one term are rejected
+    /// (σ² = 1 should be simplified by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or repeated within the term.
+    pub fn add_term(&mut self, spins: &[usize], coeff: f64) {
+        if spins.is_empty() {
+            self.offset += coeff;
+            return;
+        }
+        let mut s: Vec<u32> = spins.iter().map(|&i| i as u32).collect();
+        s.sort_unstable();
+        assert!(
+            s.windows(2).all(|w| w[0] != w[1]),
+            "repeated spin in term (apply σ² = 1 first)"
+        );
+        assert!(
+            (*s.last().expect("non-empty") as usize) < self.num_spins,
+            "spin index out of range"
+        );
+        self.terms.push((s, coeff));
+    }
+
+    /// Adds `v` to the constant offset.
+    pub fn add_offset(&mut self, v: f64) {
+        self.offset += v;
+    }
+
+    /// The constant offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The energy at configuration `σ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spin count differs.
+    pub fn energy(&self, sigma: &SpinVector) -> f64 {
+        assert_eq!(sigma.len(), self.num_spins, "spin count mismatch");
+        let mut e = self.offset;
+        for (spins, c) in &self.terms {
+            let mut prod = *c;
+            for &i in spins {
+                prod *= f64::from(sigma.get(i as usize));
+            }
+            e += prod;
+        }
+        e
+    }
+
+    /// The force `−∂E/∂xᵢ` for all `i`, with spins relaxed to real `x`.
+    ///
+    /// This is the coupling term the higher-order SB integrator uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from the spin count.
+    pub fn force(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.num_spins, "position count mismatch");
+        assert_eq!(out.len(), self.num_spins, "output count mismatch");
+        out.fill(0.0);
+        for (spins, c) in &self.terms {
+            // ∂/∂x_i (c Π x_j) = c Π_{j≠i} x_j. Compute the full product and
+            // per-missing-factor products; handle zeros exactly.
+            let zero_count = spins.iter().filter(|&&i| x[i as usize] == 0.0).count();
+            match zero_count {
+                0 => {
+                    let full: f64 = spins.iter().map(|&i| x[i as usize]).product();
+                    for &i in spins {
+                        out[i as usize] -= c * full / x[i as usize];
+                    }
+                }
+                1 => {
+                    let zi = spins
+                        .iter()
+                        .copied()
+                        .find(|&i| x[i as usize] == 0.0)
+                        .expect("one zero");
+                    let prod: f64 = spins
+                        .iter()
+                        .filter(|&&i| i != zi)
+                        .map(|&i| x[i as usize])
+                        .product();
+                    out[zi as usize] -= c * prod;
+                }
+                _ => {} // two or more zero factors: every partial is zero
+            }
+        }
+    }
+
+    /// Energy change if spin `i` were flipped.
+    pub fn flip_delta(&self, sigma: &SpinVector, i: usize) -> f64 {
+        let mut delta = 0.0;
+        for (spins, c) in &self.terms {
+            if spins.binary_search(&(i as u32)).is_ok() {
+                let mut prod = *c;
+                for &j in spins {
+                    prod *= f64::from(sigma.get(j as usize));
+                }
+                delta -= 2.0 * prod;
+            }
+        }
+        delta
+    }
+
+    /// Root-mean-square coupling force per spin at a random corner:
+    /// `sqrt(Σ_t c_t²·|S_t| / N)`. The higher-order SB solver uses this to
+    /// auto-scale its coupling strength, analogous to
+    /// [`IsingProblem::coupling_rms`]. Returns 0 if there are no terms.
+    pub fn force_rms(&self) -> f64 {
+        if self.num_spins == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .terms
+            .iter()
+            .map(|(s, c)| c * c * s.len() as f64)
+            .sum();
+        (sum / self.num_spins as f64).sqrt()
+    }
+
+    /// Lifts a second-order problem into this representation.
+    pub fn from_ising(p: &IsingProblem) -> Self {
+        let mut e = HigherOrderIsing::new(p.num_spins());
+        e.add_offset(p.offset());
+        for (i, &h) in p.biases().iter().enumerate() {
+            if h != 0.0 {
+                e.add_term(&[i], -h);
+            }
+        }
+        for (i, j, v) in p.couplings() {
+            e.add_term(&[i, j], -v);
+        }
+        e
+    }
+
+    /// Lowers to a second-order [`IsingProblem`] when the degree allows.
+    ///
+    /// Returns `None` if any term has degree ≥ 3.
+    pub fn to_ising(&self) -> Option<IsingProblem> {
+        if self.degree() > 2 {
+            return None;
+        }
+        let mut b = IsingBuilder::new(self.num_spins);
+        b.add_offset(self.offset);
+        for (spins, c) in &self.terms {
+            match spins.as_slice() {
+                [i] => b.add_bias(*i as usize, -c),
+                [i, j] => b.add_coupling(*i as usize, *j as usize, -c),
+                _ => unreachable!("degree checked above"),
+            }
+        }
+        Some(b.build())
+    }
+
+    /// Exhaustive ground-state search (for tests; `N ≤ 24`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `N > 24`.
+    pub fn solve_exhaustive(&self) -> (SpinVector, f64) {
+        assert!(self.num_spins <= 24, "exhaustive limited to 24 spins");
+        let mut best_state = SpinVector::all_down(self.num_spins);
+        let mut best = self.energy(&best_state);
+        let mut state = best_state.clone();
+        for k in 1u64..(1u64 << self.num_spins) {
+            let flip = k.trailing_zeros() as usize;
+            state.flip(flip);
+            let e = self.energy(&state);
+            if e < best {
+                best = e;
+                best_state = state.clone();
+            }
+        }
+        (best_state, best)
+    }
+}
+
+impl fmt::Debug for HigherOrderIsing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HigherOrderIsing({} spins, {} terms, degree {})",
+            self.num_spins,
+            self.terms.len(),
+            self.degree()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_exhaustive;
+
+    #[test]
+    fn cubic_energy() {
+        let mut e = HigherOrderIsing::new(3);
+        e.add_term(&[0, 1, 2], 2.0);
+        e.add_term(&[0], -1.0);
+        e.add_offset(0.5);
+        let s = SpinVector::from_raw(vec![1, -1, 1]);
+        // 2·(1·-1·1) + (-1)·1 + 0.5 = -2 - 1 + 0.5
+        assert!((e.energy(&s) - (-2.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flip_delta_matches_energy() {
+        let mut e = HigherOrderIsing::new(4);
+        e.add_term(&[0, 1, 2], 1.5);
+        e.add_term(&[1, 3], -0.5);
+        e.add_term(&[2], 0.25);
+        for k in 0..16u32 {
+            let mut s = SpinVector::from_bools((0..4).map(|i| (k >> i) & 1 == 1));
+            for i in 0..4 {
+                let e0 = e.energy(&s);
+                let d = e.flip_delta(&s, i);
+                s.flip(i);
+                assert!((e.energy(&s) - e0 - d).abs() < 1e-12);
+                s.flip(i);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_with_second_order() {
+        let p = crate::IsingBuilder::new(3)
+            .bias(0, 1.0)
+            .bias(2, -0.5)
+            .coupling(0, 1, 2.0)
+            .coupling(1, 2, -1.0)
+            .offset(3.0)
+            .build();
+        let ho = HigherOrderIsing::from_ising(&p);
+        assert_eq!(ho.degree(), 2);
+        let p2 = ho.to_ising().expect("degree 2");
+        for k in 0..8u32 {
+            let s = SpinVector::from_bools((0..3).map(|i| (k >> i) & 1 == 1));
+            assert!((p.energy(&s) - ho.energy(&s)).abs() < 1e-12);
+            assert!((p.energy(&s) - p2.energy(&s)).abs() < 1e-12);
+        }
+        let (_, ge) = ho.solve_exhaustive();
+        assert!((ge - solve_exhaustive(&p).energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cubic_not_lowerable() {
+        let mut e = HigherOrderIsing::new(3);
+        e.add_term(&[0, 1, 2], 1.0);
+        assert!(e.to_ising().is_none());
+    }
+
+    #[test]
+    fn force_matches_finite_difference() {
+        let mut e = HigherOrderIsing::new(3);
+        e.add_term(&[0, 1, 2], 2.0);
+        e.add_term(&[0, 1], -1.0);
+        e.add_term(&[2], 0.5);
+        let x = [0.3, -0.8, 0.6];
+        let mut force = [0.0; 3];
+        e.force(&x, &mut force);
+        // Relaxed energy at real x.
+        let energy_at = |x: &[f64; 3]| {
+            2.0 * x[0] * x[1] * x[2] - x[0] * x[1] + 0.5 * x[2]
+        };
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let mut xm = x;
+            xm[i] -= eps;
+            let grad = (energy_at(&xp) - energy_at(&xm)) / (2.0 * eps);
+            assert!((force[i] + grad).abs() < 1e-6, "spin {i}");
+        }
+    }
+
+    #[test]
+    fn force_handles_zero_positions() {
+        let mut e = HigherOrderIsing::new(3);
+        e.add_term(&[0, 1, 2], 1.0);
+        let x = [0.0, 2.0, 3.0];
+        let mut out = [0.0; 3];
+        e.force(&x, &mut out);
+        assert!((out[0] + 6.0).abs() < 1e-12);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[2], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated spin")]
+    fn repeated_index_rejected() {
+        let mut e = HigherOrderIsing::new(3);
+        e.add_term(&[1, 1], 1.0);
+    }
+}

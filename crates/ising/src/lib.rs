@@ -1,0 +1,51 @@
+//! The Ising model substrate: problem representations and exact reference
+//! solvers.
+//!
+//! The paper's COP solver works on the second-order Ising energy of Eq. (1),
+//!
+//! ```text
+//! E(σ) = −Σᵢ hᵢσᵢ − ½ ΣᵢΣⱼ J_ij σᵢσⱼ ,   σᵢ ∈ {−1, +1},
+//! ```
+//!
+//! provided here as [`IsingProblem`] (built with [`IsingBuilder`]). The crate
+//! also provides:
+//!
+//! - [`Qubo`]: `{0, 1}`-variable objectives with an exact, offset-tracking
+//!   conversion to the Ising model (the paper's `b = (σ+1)/2` substitution);
+//! - [`HigherOrderIsing`]: k-local energies, needed to express the row-based
+//!   core COP the paper proves is third-order;
+//! - [`solve_exhaustive`]: a Gray-code exhaustive ground-state search used to
+//!   validate all heuristic solvers on small instances;
+//! - [`random`]: standard random instance families (Sherrington–Kirkpatrick,
+//!   sparse, bipartite) for solver benchmarking.
+//!
+//! # Example
+//!
+//! ```
+//! use adis_ising::{solve_exhaustive, IsingBuilder};
+//!
+//! // An antiferromagnetic triangle is frustrated: ground energy is −J, not −3J.
+//! let p = IsingBuilder::new(3)
+//!     .coupling(0, 1, -1.0)
+//!     .coupling(1, 2, -1.0)
+//!     .coupling(0, 2, -1.0)
+//!     .build();
+//! let ground = solve_exhaustive(&p);
+//! assert_eq!(ground.energy, -1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod brute;
+mod higher;
+mod problem;
+mod qubo;
+pub mod random;
+mod spin;
+
+pub use brute::{solve_exhaustive, GroundState, MAX_EXHAUSTIVE_SPINS};
+pub use higher::HigherOrderIsing;
+pub use problem::{IsingBuilder, IsingProblem};
+pub use qubo::Qubo;
+pub use spin::SpinVector;

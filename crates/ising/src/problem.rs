@@ -1,0 +1,385 @@
+//! Second-order Ising problems (Eq. 1 of the paper).
+
+use crate::SpinVector;
+use std::fmt;
+
+/// A second-order Ising energy function over `N` spins:
+///
+/// ```text
+/// E(σ) = −Σᵢ hᵢσᵢ − ½ ΣᵢΣⱼ J_ij σᵢσⱼ + offset
+/// ```
+///
+/// with `J` symmetric and zero on the diagonal (the paper's Eq. 1, plus a
+/// constant `offset` so the energy can track an original objective exactly —
+/// e.g. so the COP energies are directly comparable to ER/MED values).
+///
+/// Couplings are stored as per-spin adjacency lists, which suits both the
+/// sparse bipartite problems produced by the decomposition COP and
+/// random dense instances.
+///
+/// # Examples
+///
+/// ```
+/// use adis_ising::{IsingBuilder, SpinVector};
+///
+/// // Two ferromagnetically coupled spins: aligned states minimize energy.
+/// let p = IsingBuilder::new(2).coupling(0, 1, 1.0).build();
+/// let aligned = p.energy(&SpinVector::all_up(2));
+/// let opposed = {
+///     let mut s = SpinVector::all_up(2);
+///     s.flip(1);
+///     p.energy(&s)
+/// };
+/// assert!(aligned < opposed);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct IsingProblem {
+    h: Vec<f64>,
+    /// Symmetric adjacency: `adj[i]` holds `(j, J_ij)` for every `j ≠ i`
+    /// with a nonzero coupling, sorted by `j`.
+    adj: Vec<Vec<(u32, f64)>>,
+    offset: f64,
+}
+
+impl IsingProblem {
+    /// Number of spins `N`.
+    pub fn num_spins(&self) -> usize {
+        self.h.len()
+    }
+
+    /// The bias `hᵢ`.
+    pub fn bias(&self, i: usize) -> f64 {
+        self.h[i]
+    }
+
+    /// All biases.
+    pub fn biases(&self) -> &[f64] {
+        &self.h
+    }
+
+    /// The constant energy offset.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// The coupling `J_ij` (zero if absent).
+    pub fn coupling(&self, i: usize, j: usize) -> f64 {
+        self.adj[i]
+            .binary_search_by_key(&(j as u32), |&(k, _)| k)
+            .map(|idx| self.adj[i][idx].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Neighbors of spin `i` with their couplings.
+    pub fn neighbors(&self, i: usize) -> &[(u32, f64)] {
+        &self.adj[i]
+    }
+
+    /// Total number of stored (directed) couplings.
+    pub fn num_couplings(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Iterates over each undirected coupling `(i, j, J_ij)` once (`i < j`).
+    pub fn couplings(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, row)| {
+            row.iter()
+                .filter(move |&&(j, _)| (j as usize) > i)
+                .map(move |&(j, v)| (i, j as usize, v))
+        })
+    }
+
+    /// The energy `E(σ)` including the offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spin count differs from `N`.
+    pub fn energy(&self, sigma: &SpinVector) -> f64 {
+        assert_eq!(sigma.len(), self.num_spins(), "spin count mismatch");
+        let mut e = self.offset;
+        for i in 0..self.num_spins() {
+            let si = f64::from(sigma.get(i));
+            e -= self.h[i] * si;
+            let mut acc = 0.0;
+            for &(j, v) in &self.adj[i] {
+                acc += v * f64::from(sigma.get(j as usize));
+            }
+            e -= 0.5 * si * acc;
+        }
+        e
+    }
+
+    /// The local field `hᵢ + Σⱼ J_ij xⱼ` at spin `i` given relaxed positions.
+    ///
+    /// For SB dynamics this is `−∂E/∂xᵢ` of the relaxed energy.
+    #[inline]
+    pub fn local_field(&self, x: &[f64], i: usize) -> f64 {
+        let mut f = self.h[i];
+        for &(j, v) in &self.adj[i] {
+            f += v * x[j as usize];
+        }
+        f
+    }
+
+    /// Writes the full field vector `h + J·x` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths differ from `N`.
+    pub fn field(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.num_spins(), "position count mismatch");
+        assert_eq!(out.len(), self.num_spins(), "output count mismatch");
+        for i in 0..self.num_spins() {
+            out[i] = self.local_field(x, i);
+        }
+    }
+
+    /// Energy change if spin `i` were flipped: `E(σ with i flipped) − E(σ)`.
+    ///
+    /// Used by single-spin-update solvers (simulated annealing).
+    pub fn flip_delta(&self, sigma: &SpinVector, i: usize) -> f64 {
+        let si = f64::from(sigma.get(i));
+        let mut field = self.h[i];
+        for &(j, v) in &self.adj[i] {
+            field += v * f64::from(sigma.get(j as usize));
+        }
+        2.0 * si * field
+    }
+
+    /// Root-mean-square coupling `σ_J = sqrt(ΣᵢⱼJ²/(N(N−1)))` used by the
+    /// SB `c₀` prescription (Goto 2021). Returns 0 for `N < 2` or no
+    /// couplings.
+    pub fn coupling_rms(&self) -> f64 {
+        let n = self.num_spins();
+        if n < 2 {
+            return 0.0;
+        }
+        let sum_sq: f64 = self
+            .adj
+            .iter()
+            .flat_map(|row| row.iter().map(|&(_, v)| v * v))
+            .sum();
+        (sum_sq / (n as f64 * (n as f64 - 1.0))).sqrt()
+    }
+
+    /// Largest absolute bias/coupling magnitude (for scaling heuristics).
+    pub fn max_abs_coefficient(&self) -> f64 {
+        let hmax = self.h.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let jmax = self
+            .adj
+            .iter()
+            .flat_map(|row| row.iter().map(|&(_, v)| v.abs()))
+            .fold(0.0f64, f64::max);
+        hmax.max(jmax)
+    }
+}
+
+impl fmt::Debug for IsingProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "IsingProblem({} spins, {} couplings, offset {})",
+            self.num_spins(),
+            self.num_couplings(),
+            self.offset
+        )
+    }
+}
+
+/// Incrementally builds an [`IsingProblem`].
+///
+/// Couplings added for the same pair accumulate; the pair is stored
+/// symmetrically. See [`IsingProblem`] for an example.
+#[derive(Debug, Clone)]
+pub struct IsingBuilder {
+    h: Vec<f64>,
+    triplets: Vec<(u32, u32, f64)>,
+    offset: f64,
+}
+
+impl IsingBuilder {
+    /// Starts a problem with `n` spins, zero biases and couplings.
+    pub fn new(n: usize) -> Self {
+        IsingBuilder {
+            h: vec![0.0; n],
+            triplets: Vec::new(),
+            offset: 0.0,
+        }
+    }
+
+    /// Adds `value` to the bias `hᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bias(mut self, i: usize, value: f64) -> Self {
+        self.add_bias(i, value);
+        self
+    }
+
+    /// Adds `value` to the bias `hᵢ` (by-reference form).
+    pub fn add_bias(&mut self, i: usize, value: f64) {
+        self.h[i] += value;
+    }
+
+    /// Adds `value` to the symmetric coupling `J_ij = J_ji`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` (the model requires `J_ii = 0`) or out of range.
+    pub fn coupling(mut self, i: usize, j: usize, value: f64) -> Self {
+        self.add_coupling(i, j, value);
+        self
+    }
+
+    /// Adds `value` to the symmetric coupling (by-reference form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or out of range.
+    pub fn add_coupling(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i != j, "diagonal couplings are not allowed (J_ii = 0)");
+        assert!(i < self.h.len() && j < self.h.len(), "spin index out of range");
+        self.triplets.push((i as u32, j as u32, value));
+    }
+
+    /// Adds `value` to the constant energy offset.
+    pub fn offset(mut self, value: f64) -> Self {
+        self.add_offset(value);
+        self
+    }
+
+    /// Adds `value` to the constant energy offset (by-reference form).
+    pub fn add_offset(&mut self, value: f64) {
+        self.offset += value;
+    }
+
+    /// Finalizes the problem, merging duplicate couplings.
+    pub fn build(self) -> IsingProblem {
+        let n = self.h.len();
+        let mut maps: Vec<std::collections::BTreeMap<u32, f64>> =
+            vec![std::collections::BTreeMap::new(); n];
+        for (i, j, v) in self.triplets {
+            *maps[i as usize].entry(j).or_insert(0.0) += v;
+            *maps[j as usize].entry(i).or_insert(0.0) += v;
+        }
+        let adj = maps
+            .into_iter()
+            .map(|m| {
+                m.into_iter()
+                    .filter(|&(_, v)| v != 0.0)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        IsingProblem {
+            h: self.h,
+            adj,
+            offset: self.offset,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_spin() -> IsingProblem {
+        // E = -h0 σ0 - h1 σ1 - J σ0 σ1 with h0=1, h1=-2, J=0.5
+        IsingBuilder::new(2)
+            .bias(0, 1.0)
+            .bias(1, -2.0)
+            .coupling(0, 1, 0.5)
+            .build()
+    }
+
+    #[test]
+    fn energy_matches_hand_computation() {
+        let p = two_spin();
+        let cases = [
+            ([1i8, 1], -1.0 + 2.0 - 0.5),
+            ([1, -1], -1.0 - 2.0 + 0.5),
+            ([-1, 1], 1.0 + 2.0 + 0.5),
+            ([-1, -1], 1.0 - 2.0 - 0.5),
+        ];
+        for (spins, expect) in cases {
+            let s = SpinVector::from_raw(spins.to_vec());
+            assert!((p.energy(&s) - expect).abs() < 1e-12, "case {spins:?}");
+        }
+    }
+
+    #[test]
+    fn couplings_accumulate_symmetrically() {
+        let p = IsingBuilder::new(3)
+            .coupling(0, 1, 1.0)
+            .coupling(1, 0, 2.0)
+            .build();
+        assert_eq!(p.coupling(0, 1), 3.0);
+        assert_eq!(p.coupling(1, 0), 3.0);
+        assert_eq!(p.coupling(0, 2), 0.0);
+        assert_eq!(p.num_couplings(), 1);
+    }
+
+    #[test]
+    fn flip_delta_consistent_with_energy() {
+        let p = two_spin();
+        for bits in 0..4u8 {
+            let mut s = SpinVector::from_bools([(bits & 1) == 1, (bits & 2) == 2]);
+            for i in 0..2 {
+                let e0 = p.energy(&s);
+                let delta = p.flip_delta(&s, i);
+                s.flip(i);
+                let e1 = p.energy(&s);
+                s.flip(i);
+                assert!((e1 - e0 - delta).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn offset_shifts_energy() {
+        let p = IsingBuilder::new(1).bias(0, 1.0).offset(10.0).build();
+        assert!((p.energy(&SpinVector::all_up(1)) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_is_h_plus_jx() {
+        let p = two_spin();
+        let x = [0.3, -0.7];
+        let mut out = [0.0; 2];
+        p.field(&x, &mut out);
+        assert!((out[0] - (1.0 + 0.5 * -0.7)).abs() < 1e-12);
+        assert!((out[1] - (-2.0 + 0.5 * 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coupling_rms() {
+        let p = IsingBuilder::new(2).coupling(0, 1, 2.0).build();
+        // sum J^2 over both directions = 8; N(N-1) = 2 → rms = 2.
+        assert!((p.coupling_rms() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_couplings_dropped() {
+        let p = IsingBuilder::new(2)
+            .coupling(0, 1, 1.0)
+            .coupling(0, 1, -1.0)
+            .build();
+        assert_eq!(p.num_couplings(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal couplings")]
+    fn diagonal_rejected() {
+        IsingBuilder::new(2).coupling(1, 1, 1.0);
+    }
+
+    #[test]
+    fn couplings_iterator_visits_each_pair_once() {
+        let p = IsingBuilder::new(3)
+            .coupling(0, 1, 1.0)
+            .coupling(1, 2, -2.0)
+            .build();
+        let all: Vec<_> = p.couplings().collect();
+        assert_eq!(all, vec![(0, 1, 1.0), (1, 2, -2.0)]);
+    }
+}

@@ -1,0 +1,202 @@
+//! QUBO (quadratic unconstrained binary optimization) problems and their
+//! exact conversion to the Ising model.
+//!
+//! The decomposition COPs are naturally expressed over `{0, 1}` variables
+//! (Eq. 7/10 of the paper); the paper converts them to spin variables with
+//! `b = (σ + 1)/2`. [`Qubo::to_ising`] performs that transformation in
+//! general, tracking the constant term so energies match exactly.
+
+use crate::{IsingBuilder, IsingProblem, SpinVector};
+use std::fmt;
+
+/// A QUBO objective `f(b) = Σ_{i<j} Q_ij b_i b_j + Σᵢ qᵢbᵢ + c` over binary
+/// variables `b ∈ {0, 1}^N`.
+///
+/// # Examples
+///
+/// ```
+/// use adis_ising::Qubo;
+///
+/// // Minimize b0 + b1 - 2 b0 b1 (i.e. XOR count): minima at (0,0) and (1,1).
+/// let mut q = Qubo::new(2);
+/// q.add_linear(0, 1.0);
+/// q.add_linear(1, 1.0);
+/// q.add_quadratic(0, 1, -2.0);
+/// assert_eq!(q.value(&[false, false]), 0.0);
+/// assert_eq!(q.value(&[true, false]), 1.0);
+/// assert_eq!(q.value(&[true, true]), 0.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Qubo {
+    linear: Vec<f64>,
+    /// Upper-triangular terms `(i, j, Q_ij)` with `i < j`, merged on build.
+    quadratic: Vec<(u32, u32, f64)>,
+    constant: f64,
+}
+
+impl Qubo {
+    /// A zero objective over `n` binary variables.
+    pub fn new(n: usize) -> Self {
+        Qubo {
+            linear: vec![0.0; n],
+            quadratic: Vec::new(),
+            constant: 0.0,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.linear.len()
+    }
+
+    /// Adds `v` to the linear coefficient of `bᵢ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn add_linear(&mut self, i: usize, v: f64) {
+        self.linear[i] += v;
+    }
+
+    /// Adds `v` to the quadratic coefficient of `bᵢbⱼ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` (fold `bᵢ² = bᵢ` into the linear term instead) or
+    /// out of range.
+    pub fn add_quadratic(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i != j, "use add_linear for squared terms (b² = b)");
+        assert!(
+            i < self.num_vars() && j < self.num_vars(),
+            "variable index out of range"
+        );
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.quadratic.push((a as u32, b as u32, v));
+    }
+
+    /// Adds `v` to the constant term.
+    pub fn add_constant(&mut self, v: f64) {
+        self.constant += v;
+    }
+
+    /// The objective value at assignment `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != num_vars()`.
+    pub fn value(&self, b: &[bool]) -> f64 {
+        assert_eq!(b.len(), self.num_vars(), "assignment length mismatch");
+        let mut v = self.constant;
+        for (i, &l) in self.linear.iter().enumerate() {
+            if b[i] {
+                v += l;
+            }
+        }
+        for &(i, j, q) in &self.quadratic {
+            if b[i as usize] && b[j as usize] {
+                v += q;
+            }
+        }
+        v
+    }
+
+    /// Converts to the equivalent Ising problem via `bᵢ = (σᵢ + 1)/2`.
+    ///
+    /// The resulting [`IsingProblem::energy`] equals [`Qubo::value`] at the
+    /// corresponding assignment (`σ = +1 ⇔ b = 1`) exactly, including the
+    /// constant offset.
+    pub fn to_ising(&self) -> IsingProblem {
+        let n = self.num_vars();
+        let mut b = IsingBuilder::new(n);
+        let mut offset = self.constant;
+        // Linear: q·b = q(σ+1)/2 → energy term +q/2·σ ⇒ h -= q/2.
+        for (i, &q) in self.linear.iter().enumerate() {
+            b.add_bias(i, -q / 2.0);
+            offset += q / 2.0;
+        }
+        // Quadratic: Q b_i b_j = Q(1 + σi + σj + σiσj)/4.
+        for &(i, j, q) in &self.quadratic {
+            let (i, j) = (i as usize, j as usize);
+            b.add_bias(i, -q / 4.0);
+            b.add_bias(j, -q / 4.0);
+            b.add_coupling(i, j, -q / 4.0);
+            offset += q / 4.0;
+        }
+        b.add_offset(offset);
+        b.build()
+    }
+
+    /// Converts a spin configuration to the corresponding binary assignment.
+    pub fn spins_to_bits(sigma: &SpinVector) -> Vec<bool> {
+        sigma.to_bools()
+    }
+}
+
+impl fmt::Debug for Qubo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Qubo({} vars, {} quadratic terms, constant {})",
+            self.num_vars(),
+            self.quadratic.len(),
+            self.constant
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_equivalent(q: &Qubo) {
+        let ising = q.to_ising();
+        let n = q.num_vars();
+        for assignment in 0..(1u32 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (assignment >> i) & 1 == 1).collect();
+            let sigma = SpinVector::from_bools(bits.clone());
+            let qv = q.value(&bits);
+            let ev = ising.energy(&sigma);
+            assert!(
+                (qv - ev).abs() < 1e-10,
+                "mismatch at {bits:?}: qubo {qv}, ising {ev}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_only_equivalence() {
+        let mut q = Qubo::new(3);
+        q.add_linear(0, 1.5);
+        q.add_linear(1, -2.0);
+        q.add_constant(0.25);
+        assert_equivalent(&q);
+    }
+
+    #[test]
+    fn quadratic_equivalence() {
+        let mut q = Qubo::new(4);
+        q.add_linear(0, 1.0);
+        q.add_quadratic(0, 1, -2.0);
+        q.add_quadratic(2, 3, 3.0);
+        q.add_quadratic(1, 3, 0.5);
+        q.add_constant(-1.0);
+        assert_equivalent(&q);
+    }
+
+    #[test]
+    fn quadratic_order_insensitive() {
+        let mut a = Qubo::new(2);
+        a.add_quadratic(0, 1, 2.0);
+        let mut b = Qubo::new(2);
+        b.add_quadratic(1, 0, 2.0);
+        for bits in [[false, false], [true, false], [false, true], [true, true]] {
+            assert_eq!(a.value(&bits), b.value(&bits));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "squared terms")]
+    fn diagonal_quadratic_rejected() {
+        Qubo::new(2).add_quadratic(1, 1, 1.0);
+    }
+}

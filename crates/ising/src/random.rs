@@ -1,0 +1,121 @@
+//! Random Ising instance generators for solver validation and benchmarking.
+
+use crate::{IsingBuilder, IsingProblem};
+use rand::Rng;
+use rand_distr_shim::StandardNormalShim;
+
+/// A Sherrington–Kirkpatrick instance: all-to-all couplings drawn i.i.d.
+/// from a normal distribution with standard deviation `1/√N`, zero biases.
+///
+/// This is the classic hard benchmark family used to evaluate SB solvers
+/// (Goto 2019/2021).
+pub fn sherrington_kirkpatrick<R: Rng + ?Sized>(n: usize, rng: &mut R) -> IsingProblem {
+    let scale = 1.0 / (n.max(1) as f64).sqrt();
+    let mut b = IsingBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_coupling(i, j, scale * rng.sample(StandardNormalShim));
+        }
+    }
+    b.build()
+}
+
+/// A sparse random instance: each of the `C(N, 2)` pairs is coupled with
+/// probability `density`, with coupling and bias values uniform in
+/// `[-1, 1]`.
+///
+/// # Panics
+///
+/// Panics if `density` is not within `[0, 1]`.
+pub fn sparse_random<R: Rng + ?Sized>(n: usize, density: f64, rng: &mut R) -> IsingProblem {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut b = IsingBuilder::new(n);
+    for i in 0..n {
+        b.add_bias(i, rng.gen_range(-1.0..=1.0));
+        for j in (i + 1)..n {
+            if rng.gen_bool(density) {
+                b.add_coupling(i, j, rng.gen_range(-1.0..=1.0));
+            }
+        }
+    }
+    b.build()
+}
+
+/// A random bipartite instance shaped like the decomposition COP: `left`
+/// spins each coupled to all `right` spins, mimicking the `T ↔ (V₁,V₂)`
+/// structure.
+pub fn bipartite_random<R: Rng + ?Sized>(left: usize, right: usize, rng: &mut R) -> IsingProblem {
+    let n = left + right;
+    let mut b = IsingBuilder::new(n);
+    for i in 0..left {
+        b.add_bias(i, rng.gen_range(-0.5..=0.5));
+        for j in 0..right {
+            b.add_coupling(i, left + j, rng.gen_range(-1.0..=1.0));
+        }
+    }
+    b.build()
+}
+
+/// Minimal standard-normal sampler (Box–Muller) so we avoid an extra
+/// dependency on `rand_distr`.
+mod rand_distr_shim {
+    use rand::distributions::Distribution;
+    use rand::Rng;
+
+    /// Samples from N(0, 1).
+    pub struct StandardNormalShim;
+
+    impl Distribution<f64> for StandardNormalShim {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Box–Muller transform; u1 in (0, 1] avoids log(0).
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sk_instance_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = sherrington_kirkpatrick(10, &mut rng);
+        assert_eq!(p.num_spins(), 10);
+        assert_eq!(p.num_couplings(), 45);
+        assert!(p.biases().iter().all(|&h| h == 0.0));
+    }
+
+    #[test]
+    fn sparse_density_zero_and_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let p0 = sparse_random(8, 0.0, &mut rng);
+        assert_eq!(p0.num_couplings(), 0);
+        let p1 = sparse_random(8, 1.0, &mut rng);
+        assert_eq!(p1.num_couplings(), 28);
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = bipartite_random(3, 4, &mut rng);
+        assert_eq!(p.num_spins(), 7);
+        assert_eq!(p.num_couplings(), 12);
+        // No couplings within the right side.
+        for i in 3..7 {
+            for &(j, _) in p.neighbors(i) {
+                assert!((j as usize) < 3, "right spins couple only to left");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = sherrington_kirkpatrick(6, &mut rand::rngs::StdRng::seed_from_u64(9));
+        let b = sherrington_kirkpatrick(6, &mut rand::rngs::StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,192 @@
+//! Spin-state vectors.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A configuration of `N` Ising spins, each `−1` or `+1`.
+///
+/// # Examples
+///
+/// ```
+/// use adis_ising::SpinVector;
+///
+/// let s = SpinVector::from_bools([true, false]);
+/// assert_eq!(s[0], 1);
+/// assert_eq!(s[1], -1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SpinVector {
+    spins: Vec<i8>,
+}
+
+impl SpinVector {
+    /// All spins down (`−1`).
+    pub fn all_down(n: usize) -> Self {
+        SpinVector { spins: vec![-1; n] }
+    }
+
+    /// All spins up (`+1`).
+    pub fn all_up(n: usize) -> Self {
+        SpinVector { spins: vec![1; n] }
+    }
+
+    /// Builds from booleans: `true → +1`, `false → −1`.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        SpinVector {
+            spins: bits.into_iter().map(|b| if b { 1 } else { -1 }).collect(),
+        }
+    }
+
+    /// Builds from the signs of real values: `x ≥ 0 → +1`, else `−1`.
+    ///
+    /// This is how simulated bifurcation reads out a solution from
+    /// oscillator positions.
+    pub fn from_signs(xs: &[f64]) -> Self {
+        SpinVector {
+            spins: xs.iter().map(|&x| if x >= 0.0 { 1 } else { -1 }).collect(),
+        }
+    }
+
+    /// Builds from raw `±1` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is not `−1` or `+1`.
+    pub fn from_raw(spins: Vec<i8>) -> Self {
+        assert!(
+            spins.iter().all(|&s| s == 1 || s == -1),
+            "spins must be ±1"
+        );
+        SpinVector { spins }
+    }
+
+    /// Number of spins.
+    pub fn len(&self) -> usize {
+        self.spins.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spins.is_empty()
+    }
+
+    /// Spin `i` as `±1`.
+    #[inline]
+    pub fn get(&self, i: usize) -> i8 {
+        self.spins[i]
+    }
+
+    /// Sets spin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not `±1`.
+    pub fn set(&mut self, i: usize, value: i8) {
+        assert!(value == 1 || value == -1, "spin must be ±1");
+        self.spins[i] = value;
+    }
+
+    /// Flips spin `i` in place.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        self.spins[i] = -self.spins[i];
+    }
+
+    /// Spin `i` as a boolean (`+1 → true`).
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        self.spins[i] == 1
+    }
+
+    /// Raw slice view.
+    pub fn as_slice(&self) -> &[i8] {
+        &self.spins
+    }
+
+    /// The spins as booleans (`+1 → true`).
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.spins.iter().map(|&s| s == 1).collect()
+    }
+
+    /// The spins as `f64` values (for solver initialization).
+    pub fn to_f64(&self) -> Vec<f64> {
+        self.spins.iter().map(|&s| f64::from(s)).collect()
+    }
+
+    /// Number of positions where `self` and `other` differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hamming_distance(&self, other: &Self) -> usize {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        self.spins
+            .iter()
+            .zip(&other.spins)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+impl Index<usize> for SpinVector {
+    type Output = i8;
+
+    fn index(&self, i: usize) -> &i8 {
+        &self.spins[i]
+    }
+}
+
+impl fmt::Debug for SpinVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SpinVector[")?;
+        for (n, &s) in self.spins.iter().enumerate() {
+            if n >= 64 {
+                write!(f, "… ({} spins)", self.spins.len())?;
+                break;
+            }
+            write!(f, "{}", if s == 1 { '+' } else { '-' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for SpinVector {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        SpinVector::from_bools(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(SpinVector::all_up(3).as_slice().iter().all(|&s| s == 1));
+        assert!(SpinVector::all_down(3).as_slice().iter().all(|&s| s == -1));
+        let s = SpinVector::from_signs(&[0.5, -0.1, 0.0]);
+        assert_eq!(s.as_slice(), &[1, -1, 1]);
+    }
+
+    #[test]
+    fn flip_and_bit() {
+        let mut s = SpinVector::all_down(2);
+        s.flip(1);
+        assert_eq!(s[1], 1);
+        assert!(s.bit(1));
+        assert!(!s.bit(0));
+    }
+
+    #[test]
+    fn hamming() {
+        let a = SpinVector::from_bools([true, true, false]);
+        let b = SpinVector::from_bools([true, false, true]);
+        assert_eq!(a.hamming_distance(&b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ±1")]
+    fn raw_validation() {
+        SpinVector::from_raw(vec![1, 0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the Ising substrate.
+
+use adis_ising::{
+    solve_exhaustive, HigherOrderIsing, IsingBuilder, IsingProblem, Qubo, SpinVector,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random small Ising problem.
+fn ising_problem(max_spins: usize) -> impl Strategy<Value = IsingProblem> {
+    (2..=max_spins).prop_flat_map(|n| {
+        let biases = prop::collection::vec(-2.0..2.0f64, n);
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let couplings = prop::collection::vec(prop::option::of(-2.0..2.0f64), pairs.len());
+        (biases, couplings, Just(pairs)).prop_map(|(h, js, pairs)| {
+            let mut b = IsingBuilder::new(h.len());
+            for (i, &v) in h.iter().enumerate() {
+                b.add_bias(i, v);
+            }
+            for ((i, j), v) in pairs.into_iter().zip(js) {
+                if let Some(v) = v {
+                    b.add_coupling(i, j, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+fn spins(n: usize) -> impl Strategy<Value = SpinVector> {
+    prop::collection::vec(any::<bool>(), n).prop_map(SpinVector::from_bools)
+}
+
+proptest! {
+    /// Global spin flip preserves energy when all biases are zero.
+    #[test]
+    fn z2_symmetry_without_bias(p in ising_problem(8), seed in any::<u64>()) {
+        // Rebuild without biases.
+        let mut b = IsingBuilder::new(p.num_spins());
+        for (i, j, v) in p.couplings() {
+            b.add_coupling(i, j, v);
+        }
+        let p = b.build();
+        let bits: Vec<bool> = (0..p.num_spins()).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let s = SpinVector::from_bools(bits.iter().copied());
+        let flipped = SpinVector::from_bools(bits.iter().map(|&b| !b));
+        prop_assert!((p.energy(&s) - p.energy(&flipped)).abs() < 1e-9);
+    }
+
+    /// flip_delta agrees with the explicit energy difference everywhere.
+    #[test]
+    fn flip_delta_consistency(p in ising_problem(7), idx in any::<prop::sample::Index>()) {
+        let n = p.num_spins();
+        let i = idx.index(n);
+        let mut s = SpinVector::all_up(n);
+        for step in 0..n {
+            let e0 = p.energy(&s);
+            let d = p.flip_delta(&s, i);
+            s.flip(i);
+            prop_assert!((p.energy(&s) - e0 - d).abs() < 1e-9);
+            s.flip((step * 7 + 3) % n);
+        }
+    }
+
+    /// The exhaustive ground state is no worse than any sampled state.
+    #[test]
+    fn exhaustive_is_minimal(p in ising_problem(7), s_seed in any::<u64>()) {
+        let g = solve_exhaustive(&p);
+        let bits: Vec<bool> = (0..p.num_spins()).map(|i| (s_seed >> (i % 64)) & 1 == 1).collect();
+        let s = SpinVector::from_bools(bits);
+        prop_assert!(g.energy <= p.energy(&s) + 1e-9);
+    }
+
+    /// QUBO → Ising conversion preserves the objective at every assignment.
+    #[test]
+    fn qubo_ising_equivalence(
+        n in 2usize..7,
+        lin in prop::collection::vec(-3.0..3.0f64, 7),
+        quad in prop::collection::vec((-3.0..3.0f64, any::<prop::sample::Index>(), any::<prop::sample::Index>()), 0..10),
+        c in -5.0..5.0f64,
+    ) {
+        let mut q = Qubo::new(n);
+        for i in 0..n {
+            q.add_linear(i, lin[i]);
+        }
+        for (v, a, b) in quad {
+            let i = a.index(n);
+            let j = b.index(n);
+            if i != j {
+                q.add_quadratic(i, j, v);
+            }
+        }
+        q.add_constant(c);
+        let ising = q.to_ising();
+        for assignment in 0..(1u32 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| (assignment >> i) & 1 == 1).collect();
+            let sv = SpinVector::from_bools(bits.clone());
+            prop_assert!((q.value(&bits) - ising.energy(&sv)).abs() < 1e-8);
+        }
+    }
+
+    /// Higher-order lift of a 2nd-order problem agrees everywhere, and its
+    /// force matches a finite difference of the relaxed energy.
+    #[test]
+    fn higher_order_lift_agrees(p in ising_problem(6), s in spins(6)) {
+        let ho = HigherOrderIsing::from_ising(&p);
+        let s = SpinVector::from_bools((0..p.num_spins()).map(|i| s.len() > i && s.bit(i)));
+        prop_assert!((ho.energy(&s) - p.energy(&s)).abs() < 1e-9);
+    }
+
+    /// HO force matches −∂E/∂x by finite differences for random cubics.
+    #[test]
+    fn ho_force_finite_difference(
+        coeffs in prop::collection::vec((-2.0..2.0f64, 0usize..5, 0usize..5, 0usize..5), 1..6),
+        xs in prop::collection::vec(-0.9..0.9f64, 5),
+    ) {
+        let mut e = HigherOrderIsing::new(5);
+        for (c, a, b, d) in coeffs {
+            let mut idx = vec![a, b, d];
+            idx.sort_unstable();
+            idx.dedup();
+            e.add_term(&idx, c);
+        }
+        let mut force = vec![0.0; 5];
+        e.force(&xs, &mut force);
+        // Relaxed energy via ±h central difference on each coordinate.
+        let relaxed = |x: &[f64]| -> f64 {
+            // Evaluate by summing terms manually through the public API:
+            // energy() needs spins, so reconstruct from term structure is
+            // not available; use force-based check instead via integration
+            // of a single step. Simpler: compare against numeric gradient of
+            // a polynomial computed from distinct spin evaluations is
+            // overkill — use the multilinear extension identity:
+            // E(x) is multilinear, so E(x) = Σ_σ E(σ) Π_i (1 + σ_i x_i)/2.
+            let n = 5;
+            let mut total = 0.0;
+            for k in 0..(1u32 << n) {
+                let s = SpinVector::from_bools((0..n).map(|i| (k >> i) & 1 == 1));
+                let mut weight = 1.0;
+                for i in 0..n {
+                    weight *= (1.0 + f64::from(s.get(i)) * x[i]) / 2.0;
+                }
+                total += e.energy(&s) * weight;
+            }
+            total
+        };
+        let eps = 1e-5;
+        for i in 0..5 {
+            let mut xp = xs.clone();
+            xp[i] += eps;
+            let mut xm = xs.clone();
+            xm[i] -= eps;
+            let grad = (relaxed(&xp) - relaxed(&xm)) / (2.0 * eps);
+            prop_assert!((force[i] + grad).abs() < 1e-3, "i={i} force={} grad={}", force[i], grad);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Lookup-table (LUT) architectures for computing with memory.
+//!
+//! Computing with memory stores a pre-computed Boolean function in a LUT and
+//! retrieves results at runtime. A direct LUT for an `n`-input function
+//! costs `2^n` bits per output; a disjoint decomposition
+//! `g(X) = F(φ(B), A)` splits that into a `2^|B|`-bit φ-LUT plus a
+//! `2^{|A|+1}`-bit F-LUT (the paper's Fig. 1: a 5-input, 32-bit LUT becomes
+//! two 8-bit LUTs plus addressing — 2× smaller).
+//!
+//! This crate provides the storage/evaluation model the decomposition
+//! framework targets:
+//!
+//! - [`DirectLut`]: flat storage of a multi-output function;
+//! - [`OutputImpl`]: per-output implementation choice (flat or decomposed);
+//! - [`ApproxLut`]: a full multi-output approximate LUT with bit-cost
+//!   accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use adis_boolfn::{find_column_setting, BooleanMatrix, Partition, TruthTable};
+//! use adis_lut::{ApproxLut, OutputImpl};
+//!
+//! // g = x0 XOR x3 decomposes over A = {x0, x1}, B = {x2, x3}.
+//! let g = TruthTable::from_fn(4, |p| (p & 1) ^ ((p >> 3) & 1) == 1);
+//! let w = Partition::new(4, vec![0, 1], vec![2, 3])?;
+//! let setting = find_column_setting(&BooleanMatrix::build(&g, &w)).expect("decomposable");
+//! let lut = ApproxLut::new(4, vec![OutputImpl::decomposed(&w, &setting)]);
+//! for p in 0..16 {
+//!     assert_eq!(lut.eval_word(p) == 1, g.eval(p));
+//! }
+//! // 4 + 8 = 12 bits instead of 16.
+//! assert_eq!(lut.size_bits(), 12);
+//! # Ok::<(), adis_boolfn::PartitionError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use adis_boolfn::{ColumnSetting, MultiOutputFn, Partition, RowSetting, TruthTable};
+use std::fmt;
+
+/// A flat LUT storing a complete multi-output function.
+///
+/// Size: `m · 2^n` bits.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DirectLut {
+    function: MultiOutputFn,
+}
+
+impl DirectLut {
+    /// Stores `function` directly.
+    pub fn new(function: MultiOutputFn) -> Self {
+        DirectLut { function }
+    }
+
+    /// Number of address (input) bits.
+    pub fn inputs(&self) -> u32 {
+        self.function.inputs()
+    }
+
+    /// Number of data (output) bits per entry.
+    pub fn outputs(&self) -> u32 {
+        self.function.outputs()
+    }
+
+    /// Reads the stored word at address `pattern`.
+    pub fn eval_word(&self, pattern: u64) -> u64 {
+        self.function.eval_word(pattern)
+    }
+
+    /// Storage size in bits: `m · 2^n`.
+    pub fn size_bits(&self) -> u64 {
+        u64::from(self.outputs()) << self.inputs()
+    }
+
+    /// Borrow of the stored function.
+    pub fn function(&self) -> &MultiOutputFn {
+        &self.function
+    }
+}
+
+impl fmt::Debug for DirectLut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DirectLut({}→{} bits, {} total)",
+            self.inputs(),
+            self.outputs(),
+            self.size_bits()
+        )
+    }
+}
+
+/// How one output bit of an [`ApproxLut`] is implemented.
+#[derive(Clone, PartialEq)]
+pub enum OutputImpl {
+    /// A flat `2^n`-bit table.
+    Flat(TruthTable),
+    /// A decomposed pair: `g(X) = F(φ(B), A)` with φ stored over the bound
+    /// set and `F` over `{φ} ∪ A` (φ is F's input bit 0).
+    Decomposed {
+        /// The input partition the decomposition uses.
+        partition: Partition,
+        /// The bound-set function (one bit per bound assignment).
+        phi: TruthTable,
+        /// The free-set function over `|A| + 1` inputs.
+        f: TruthTable,
+    },
+}
+
+impl OutputImpl {
+    /// Builds a decomposed output from a column-based setting.
+    pub fn decomposed(partition: &Partition, setting: &ColumnSetting) -> Self {
+        OutputImpl::Decomposed {
+            partition: partition.clone(),
+            phi: setting.phi(partition),
+            f: setting.compose_f(partition),
+        }
+    }
+
+    /// Builds a decomposed output from a row-based setting.
+    pub fn decomposed_row(partition: &Partition, setting: &RowSetting) -> Self {
+        OutputImpl::Decomposed {
+            partition: partition.clone(),
+            phi: setting.phi(partition),
+            f: setting.compose_f(partition),
+        }
+    }
+
+    /// Evaluates the output bit at `pattern`.
+    pub fn eval(&self, pattern: u64) -> bool {
+        match self {
+            OutputImpl::Flat(t) => t.eval(pattern),
+            OutputImpl::Decomposed { partition, phi, f } => {
+                let (i, j) = partition.split(pattern);
+                let phi_val = phi.eval(j as u64);
+                f.eval(((i as u64) << 1) | u64::from(phi_val))
+            }
+        }
+    }
+
+    /// Storage size in bits.
+    pub fn size_bits(&self) -> u64 {
+        match self {
+            OutputImpl::Flat(t) => t.num_entries() as u64,
+            OutputImpl::Decomposed { phi, f, .. } => {
+                phi.num_entries() as u64 + f.num_entries() as u64
+            }
+        }
+    }
+
+    /// Whether this output uses the decomposed form.
+    pub fn is_decomposed(&self) -> bool {
+        matches!(self, OutputImpl::Decomposed { .. })
+    }
+}
+
+impl fmt::Debug for OutputImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutputImpl::Flat(t) => write!(f, "Flat({} bits)", t.num_entries()),
+            OutputImpl::Decomposed { phi, f: ff, .. } => write!(
+                f,
+                "Decomposed(φ {} bits + F {} bits)",
+                phi.num_entries(),
+                ff.num_entries()
+            ),
+        }
+    }
+}
+
+/// A multi-output approximate LUT: one [`OutputImpl`] per output bit
+/// (component 0 = LSB, matching [`MultiOutputFn`]).
+#[derive(Clone, PartialEq)]
+pub struct ApproxLut {
+    inputs: u32,
+    outputs: Vec<OutputImpl>,
+}
+
+impl ApproxLut {
+    /// Assembles a LUT from per-output implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is empty, an output's arity disagrees with
+    /// `inputs`, or there are more than 64 outputs.
+    pub fn new(inputs: u32, outputs: Vec<OutputImpl>) -> Self {
+        assert!(
+            !outputs.is_empty() && outputs.len() <= 64,
+            "need 1..=64 outputs"
+        );
+        for (k, o) in outputs.iter().enumerate() {
+            match o {
+                OutputImpl::Flat(t) => {
+                    assert_eq!(t.inputs(), inputs, "output {k}: flat arity mismatch")
+                }
+                OutputImpl::Decomposed { partition, phi, f } => {
+                    assert_eq!(
+                        partition.inputs(),
+                        inputs,
+                        "output {k}: partition arity mismatch"
+                    );
+                    assert_eq!(
+                        phi.inputs() as usize,
+                        partition.bound().len(),
+                        "output {k}: phi arity mismatch"
+                    );
+                    assert_eq!(
+                        f.inputs() as usize,
+                        partition.free().len() + 1,
+                        "output {k}: F arity mismatch"
+                    );
+                }
+            }
+        }
+        ApproxLut { inputs, outputs }
+    }
+
+    /// Number of input bits.
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Number of output bits.
+    pub fn num_outputs(&self) -> u32 {
+        self.outputs.len() as u32
+    }
+
+    /// Per-output implementations.
+    pub fn outputs(&self) -> &[OutputImpl] {
+        &self.outputs
+    }
+
+    /// Evaluates the full output word at `pattern`.
+    pub fn eval_word(&self, pattern: u64) -> u64 {
+        let mut w = 0;
+        for (k, o) in self.outputs.iter().enumerate() {
+            if o.eval(pattern) {
+                w |= 1 << k;
+            }
+        }
+        w
+    }
+
+    /// Total storage in bits.
+    pub fn size_bits(&self) -> u64 {
+        self.outputs.iter().map(OutputImpl::size_bits).sum()
+    }
+
+    /// Storage of the equivalent direct LUT (`m · 2^n` bits).
+    pub fn direct_size_bits(&self) -> u64 {
+        (self.outputs.len() as u64) << self.inputs
+    }
+
+    /// Size reduction factor versus the direct LUT (`> 1` is smaller).
+    pub fn reduction_factor(&self) -> f64 {
+        self.direct_size_bits() as f64 / self.size_bits() as f64
+    }
+
+    /// Materializes the function this LUT computes.
+    pub fn to_function(&self) -> MultiOutputFn {
+        MultiOutputFn::from_word_fn(self.inputs, self.num_outputs(), |p| self.eval_word(p))
+    }
+}
+
+impl fmt::Debug for ApproxLut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ApproxLut({} inputs, {} outputs, {} bits, {:.2}x reduction)",
+            self.inputs,
+            self.outputs.len(),
+            self.size_bits(),
+            self.reduction_factor()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adis_boolfn::{find_column_setting, find_row_setting, BooleanMatrix};
+
+    fn xor_table() -> (TruthTable, Partition) {
+        // g = x0 XOR x2 over A = {x0, x1}, B = {x2, x3}.
+        let g = TruthTable::from_fn(4, |p| (p & 1) ^ ((p >> 2) & 1) == 1);
+        let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+        (g, w)
+    }
+
+    #[test]
+    fn direct_lut_size_and_eval() {
+        let f = MultiOutputFn::from_word_fn(5, 3, |p| p % 8);
+        let lut = DirectLut::new(f.clone());
+        assert_eq!(lut.size_bits(), 3 * 32);
+        for p in 0..32 {
+            assert_eq!(lut.eval_word(p), f.eval_word(p));
+        }
+    }
+
+    #[test]
+    fn decomposed_output_matches_function() {
+        let (g, w) = xor_table();
+        let s = find_column_setting(&BooleanMatrix::build(&g, &w)).unwrap();
+        let o = OutputImpl::decomposed(&w, &s);
+        for p in 0..16 {
+            assert_eq!(o.eval(p), g.eval(p));
+        }
+        // φ: 4 bits; F: 2^(2+1) = 8 bits.
+        assert_eq!(o.size_bits(), 12);
+        assert!(o.is_decomposed());
+    }
+
+    #[test]
+    fn row_setting_output_matches() {
+        let (g, w) = xor_table();
+        let s = find_row_setting(&BooleanMatrix::build(&g, &w)).unwrap();
+        let o = OutputImpl::decomposed_row(&w, &s);
+        for p in 0..16 {
+            assert_eq!(o.eval(p), g.eval(p));
+        }
+    }
+
+    #[test]
+    fn fig1_size_reduction() {
+        // Paper Fig. 1: a decomposable 5-input function with |B| = 3,
+        // |A| = 2 drops from 32 to 8 + 8 = 16 bits (2x).
+        let w = Partition::new(5, vec![3, 4], vec![0, 1, 2]).unwrap();
+        // g = parity of the bound set XOR x3 — decomposes over w.
+        let g = TruthTable::from_fn(5, |p| {
+            ((p & 1) ^ ((p >> 1) & 1) ^ ((p >> 2) & 1) ^ ((p >> 3) & 1)) == 1
+        });
+        let s = find_column_setting(&BooleanMatrix::build(&g, &w)).expect("decomposable");
+        let lut = ApproxLut::new(5, vec![OutputImpl::decomposed(&w, &s)]);
+        assert_eq!(lut.direct_size_bits(), 32);
+        assert_eq!(lut.size_bits(), 16);
+        assert!((lut.reduction_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_outputs_and_to_function() {
+        let (g, w) = xor_table();
+        let s = find_column_setting(&BooleanMatrix::build(&g, &w)).unwrap();
+        let flat = TruthTable::from_fn(4, |p| p >= 8);
+        let lut = ApproxLut::new(
+            4,
+            vec![OutputImpl::decomposed(&w, &s), OutputImpl::Flat(flat.clone())],
+        );
+        assert_eq!(lut.size_bits(), 12 + 16);
+        let f = lut.to_function();
+        for p in 0..16 {
+            assert_eq!(f.eval_bit(0, p), g.eval(p));
+            assert_eq!(f.eval_bit(1, p), flat.eval(p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flat arity mismatch")]
+    fn arity_validated() {
+        ApproxLut::new(4, vec![OutputImpl::Flat(TruthTable::constant(3, false))]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Simulated bifurcation (SB) solvers for Ising problems.
+//!
+//! SB simulates each spin with a Kerr-nonlinear parametric oscillator and
+//! integrates the network's Hamiltonian dynamics; after the pump ramps up,
+//! the sign of each oscillator position reads out a spin. Unlike simulated
+//! annealing, all spins update in parallel per step — the property the paper
+//! exploits for a high-throughput COP solver.
+//!
+//! Provided here:
+//!
+//! - [`SbSolver`]: second-order solver with the adiabatic (aSB), ballistic
+//!   (bSB — the paper's choice) and discrete (dSB) dynamics;
+//! - [`StopCriterion`]: fixed iteration counts or the paper's **dynamic
+//!   variance stop** (Section 3.3.1);
+//! - intervention hooks ([`SbSolver::solve_with`]) at every sampling point,
+//!   used by the paper's type-reset heuristic (Section 3.3.2);
+//! - [`HigherOrderSb`]: bSB for k-local energies (Kanao–Goto), needed by
+//!   the third-order row-based formulation.
+//!
+//! # Example
+//!
+//! ```
+//! use adis_ising::IsingBuilder;
+//! use adis_sb::{SbSolver, StopCriterion};
+//!
+//! let p = IsingBuilder::new(3)
+//!     .coupling(0, 1, 1.0)
+//!     .coupling(1, 2, 1.0)
+//!     .build();
+//! let r = SbSolver::new()
+//!     .stop(StopCriterion::paper_small())
+//!     .solve(&p);
+//! assert_eq!(r.best_energy, -2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod higher_order;
+mod solver;
+mod stop;
+
+pub use higher_order::{HigherOrderSb, HigherOrderSbResult};
+pub use solver::{SbResult, SbSolver, SbState, SbVariant};
+pub use stop::{StopCriterion, StopReason, StopState};

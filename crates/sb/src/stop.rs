@@ -1,0 +1,206 @@
+//! Stop criteria for the Euler integration, including the paper's dynamic
+//! variance-based criterion (Section 3.3.1).
+
+use std::collections::VecDeque;
+
+/// When to stop the SB Euler integration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StopCriterion {
+    /// Run exactly this many iterations (the conventional choice).
+    FixedIterations(usize),
+    /// The paper's dynamic criterion: sample the energy every
+    /// `sample_every` iterations (`f`), keep the last `window` samples
+    /// (`s`), and stop once their variance drops below `threshold` (`ε`).
+    /// `max_iterations` bounds the search if the system never settles.
+    DynamicVariance {
+        /// Sampling period `f` in iterations.
+        sample_every: usize,
+        /// Number of retained samples `s`.
+        window: usize,
+        /// Variance threshold `ε`.
+        threshold: f64,
+        /// Hard iteration cap.
+        max_iterations: usize,
+    },
+}
+
+impl StopCriterion {
+    /// The paper's large-scale (`n = 16`) setting: `f = s = 10`, `ε = 1e-8`.
+    pub fn paper_large() -> Self {
+        StopCriterion::DynamicVariance {
+            sample_every: 10,
+            window: 10,
+            threshold: 1e-8,
+            max_iterations: 10_000,
+        }
+    }
+
+    /// The paper's small-scale (`n = 9`) setting: `f = s = 20`, `ε = 1e-8`.
+    pub fn paper_small() -> Self {
+        StopCriterion::DynamicVariance {
+            sample_every: 20,
+            window: 20,
+            threshold: 1e-8,
+            max_iterations: 10_000,
+        }
+    }
+
+    /// Upper bound on iterations implied by the criterion.
+    pub fn max_iterations(&self) -> usize {
+        match *self {
+            StopCriterion::FixedIterations(n) => n,
+            StopCriterion::DynamicVariance { max_iterations, .. } => max_iterations,
+        }
+    }
+
+    /// Sampling period: how often the run should evaluate its energy (also
+    /// the cadence at which interventions fire).
+    pub fn sample_every(&self) -> usize {
+        match *self {
+            // Sample fixed runs occasionally so traces/interventions work.
+            StopCriterion::FixedIterations(n) => (n / 50).max(1),
+            StopCriterion::DynamicVariance { sample_every, .. } => sample_every.max(1),
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The fixed/maximum iteration count was reached.
+    IterationLimit,
+    /// The dynamic variance criterion fired.
+    EnergySettled,
+}
+
+/// Streaming evaluator for a [`StopCriterion`]: feed it sampled energies,
+/// ask whether to stop.
+#[derive(Debug, Clone)]
+pub struct StopState {
+    criterion: StopCriterion,
+    samples: VecDeque<f64>,
+}
+
+impl StopState {
+    /// Creates the evaluator for `criterion`.
+    pub fn new(criterion: StopCriterion) -> Self {
+        StopState {
+            criterion,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Records a sampled energy; returns `true` if the run should stop now.
+    pub fn record(&mut self, energy: f64) -> bool {
+        match self.criterion {
+            StopCriterion::FixedIterations(_) => false,
+            StopCriterion::DynamicVariance {
+                window, threshold, ..
+            } => {
+                self.samples.push_back(energy);
+                if self.samples.len() > window {
+                    self.samples.pop_front();
+                }
+                self.samples.len() == window && self.variance() < threshold
+            }
+        }
+    }
+
+    /// Variance of the retained samples (population variance; 0 for < 2
+    /// samples).
+    pub fn variance(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean: f64 = self.samples.iter().sum::<f64>() / n as f64;
+        self.samples
+            .iter()
+            .map(|&e| (e - mean) * (e - mean))
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_never_stops_early() {
+        let mut s = StopState::new(StopCriterion::FixedIterations(100));
+        for i in 0..200 {
+            assert!(!s.record(i as f64));
+        }
+    }
+
+    #[test]
+    fn dynamic_stops_on_constant_energy() {
+        let c = StopCriterion::DynamicVariance {
+            sample_every: 1,
+            window: 5,
+            threshold: 1e-8,
+            max_iterations: 1000,
+        };
+        let mut s = StopState::new(c);
+        // Needs a full window before it can fire.
+        for _ in 0..4 {
+            assert!(!s.record(3.0));
+        }
+        assert!(s.record(3.0));
+    }
+
+    #[test]
+    fn dynamic_keeps_running_when_noisy() {
+        let c = StopCriterion::DynamicVariance {
+            sample_every: 1,
+            window: 4,
+            threshold: 1e-8,
+            max_iterations: 1000,
+        };
+        let mut s = StopState::new(c);
+        for i in 0..50 {
+            assert!(!s.record(if i % 2 == 0 { 1.0 } else { -1.0 }));
+        }
+    }
+
+    #[test]
+    fn window_slides() {
+        let c = StopCriterion::DynamicVariance {
+            sample_every: 1,
+            window: 3,
+            threshold: 1e-6,
+            max_iterations: 1000,
+        };
+        let mut s = StopState::new(c);
+        // Noisy prefix followed by a settled tail: must stop once the
+        // window contains only the tail.
+        assert!(!s.record(10.0));
+        assert!(!s.record(-10.0));
+        assert!(!s.record(5.0));
+        assert!(!s.record(5.0));
+        assert!(s.record(5.0));
+    }
+
+    #[test]
+    fn variance_matches_definition() {
+        let c = StopCriterion::DynamicVariance {
+            sample_every: 1,
+            window: 3,
+            threshold: 0.0,
+            max_iterations: 10,
+        };
+        let mut s = StopState::new(c);
+        s.record(1.0);
+        s.record(2.0);
+        s.record(3.0);
+        // mean 2, var = (1 + 0 + 1)/3
+        assert!((s.variance() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_presets() {
+        assert_eq!(StopCriterion::paper_large().sample_every(), 10);
+        assert_eq!(StopCriterion::paper_small().sample_every(), 20);
+    }
+}

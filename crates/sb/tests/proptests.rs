@@ -1,0 +1,111 @@
+//! Property-based tests for the simulated-bifurcation solvers.
+
+use adis_ising::{IsingBuilder, IsingProblem};
+use adis_sb::{SbSolver, SbVariant, StopCriterion};
+use proptest::prelude::*;
+
+fn problem(max_spins: usize) -> impl Strategy<Value = IsingProblem> {
+    (2..=max_spins).prop_flat_map(|n| {
+        let biases = prop::collection::vec(-1.0..1.0f64, n);
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let couplings = prop::collection::vec(-1.0..1.0f64, pairs.len());
+        (biases, couplings, Just(pairs)).prop_map(|(h, js, pairs)| {
+            let mut b = IsingBuilder::new(h.len());
+            for (i, &v) in h.iter().enumerate() {
+                b.add_bias(i, v);
+            }
+            for ((i, j), v) in pairs.into_iter().zip(js) {
+                b.add_coupling(i, j, v);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The reported best energy always equals the energy of the reported
+    /// best state, and equals the minimum of the trace.
+    #[test]
+    fn result_invariants(p in problem(10), seed in any::<u64>()) {
+        let r = SbSolver::new()
+            .stop(StopCriterion::FixedIterations(300))
+            .seed(seed)
+            .solve(&p);
+        prop_assert!((p.energy(&r.best_state) - r.best_energy).abs() < 1e-9);
+        let trace_min = r
+            .trace
+            .iter()
+            .map(|&(_, e)| e)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(r.best_energy <= trace_min + 1e-9);
+        prop_assert!(r.iterations <= 300);
+    }
+
+    /// Determinism: identical configuration ⇒ identical result.
+    #[test]
+    fn deterministic(p in problem(8), seed in any::<u64>()) {
+        for variant in [SbVariant::Ballistic, SbVariant::Discrete, SbVariant::Adiabatic] {
+            let a = SbSolver::new().variant(variant).seed(seed).solve(&p);
+            let b = SbSolver::new().variant(variant).seed(seed).solve(&p);
+            prop_assert_eq!(a.best_state, b.best_state);
+            prop_assert_eq!(a.best_energy, b.best_energy);
+        }
+    }
+
+    /// The solution is 1-flip locally improvable at most mildly: flipping
+    /// any single spin of the best state cannot yield a *large* gain
+    /// relative to the energy scale (sanity of convergence, not optimality).
+    #[test]
+    fn no_catastrophic_local_gap(p in problem(8), seed in any::<u64>()) {
+        let r = SbSolver::new().seed(seed).solve(&p);
+        let scale = p.max_abs_coefficient() * p.num_spins() as f64;
+        let mut s = r.best_state.clone();
+        for i in 0..p.num_spins() {
+            let delta = p.flip_delta(&s, i);
+            prop_assert!(delta > -scale, "flip {i} gains {delta}, scale {scale}");
+            s.flip(i);
+            s.flip(i);
+        }
+    }
+
+    /// Dynamic stop never runs past the cap and, when it settles, uses
+    /// fewer iterations than the cap.
+    #[test]
+    fn dynamic_stop_bounds(p in problem(8), seed in any::<u64>()) {
+        let r = SbSolver::new()
+            .stop(StopCriterion::DynamicVariance {
+                sample_every: 5,
+                window: 4,
+                threshold: 1e-10,
+                max_iterations: 2000,
+            })
+            .seed(seed)
+            .solve(&p);
+        prop_assert!(r.iterations <= 2000);
+        if r.stop_reason == adis_sb::StopReason::EnergySettled {
+            prop_assert!(r.iterations < 2000);
+        }
+    }
+
+    /// A global sign flip of all couplings and biases mirrors the energy:
+    /// min E' = min E under σ → −σ when biases are zero.
+    #[test]
+    fn coupling_negation_symmetry(p in problem(8)) {
+        // Build the bias-free negation.
+        let mut b1 = IsingBuilder::new(p.num_spins());
+        let mut b2 = IsingBuilder::new(p.num_spins());
+        for (i, j, v) in p.couplings() {
+            b1.add_coupling(i, j, v);
+            b2.add_coupling(i, j, v);
+        }
+        let p1 = b1.build();
+        let p2 = b2.build();
+        let r1 = SbSolver::new().seed(3).solve(&p1);
+        let r2 = SbSolver::new().seed(3).solve(&p2);
+        prop_assert_eq!(r1.best_energy, r2.best_energy);
+    }
+}

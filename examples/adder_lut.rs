@@ -1,0 +1,73 @@
+//! Approximate LUT for a gate-level Brent-Kung adder.
+//!
+//! The paper's non-continuous benchmarks come from AxBench; this example
+//! builds the 8+8-bit Brent-Kung adder *as a gate netlist*, materializes
+//! its 16-input / 9-output truth table, and searches for approximate
+//! disjoint decompositions of the low output bits — the classic
+//! approximate-adder trade: exact carries are what make adder LUTs
+//! non-decomposable, and small sum-bit errors are cheap in MED terms.
+//!
+//! To keep the example fast it decomposes an 8-input slice (4+4-bit adder);
+//! the full 16-input run is the `fig4` bench binary's job.
+//!
+//! Run with: `cargo run --release --example adder_lut`
+
+use adis::benchfn::{brent_kung_adder, netlist_to_function};
+use adis::core::{CopSolverKind, Framework, IsingCopSolver, Mode};
+
+fn main() {
+    let netlist = brent_kung_adder(4);
+    println!(
+        "gate-level Brent-Kung adder: {} inputs, {} outputs, {} two-input gates",
+        netlist.num_inputs(),
+        netlist.num_outputs(),
+        netlist.num_gates()
+    );
+    let adder = netlist_to_function(&netlist);
+
+    // Verify the netlist is a real adder before approximating it.
+    for a in 0..16u64 {
+        for b in 0..16u64 {
+            assert_eq!(adder.eval_word(a | (b << 4)), a + b);
+        }
+    }
+    println!("netlist verified: computes a + b exactly\n");
+
+    for (label, solver) in [
+        ("Ising bSB (proposed)", CopSolverKind::Ising(IsingCopSolver::new().replicas(2))),
+        ("exact B&B (DALTA-ILP)", CopSolverKind::Exact { time_limit: None }),
+        ("DALTA heuristic", CopSolverKind::DaltaHeuristic { restarts: 4 }),
+    ] {
+        let outcome = Framework::new(Mode::Joint, 4)
+            .solver(solver)
+            .partitions(10)
+            .rounds(1)
+            .seed(3)
+            .decompose(&adder);
+        let lut = outcome.to_lut();
+        println!(
+            "{label:<24} MED {:>7.4}  max|err| {:>3}  {} bits (direct {}), {:.2}x smaller, {:.2?}",
+            outcome.med,
+            adis::boolfn::max_error_distance(&adder, &outcome.approx),
+            lut.size_bits(),
+            lut.direct_size_bits(),
+            lut.reduction_factor(),
+            outcome.elapsed
+        );
+    }
+
+    println!("\nSample lookups (proposed solver, re-run):");
+    let outcome = Framework::new(Mode::Joint, 4)
+        .partitions(10)
+        .seed(3)
+        .decompose(&adder);
+    let lut = outcome.to_lut();
+    println!("    a +  b | exact | approx LUT");
+    for (a, b) in [(3u64, 5u64), (9, 9), (15, 15), (7, 12), (0, 1)] {
+        println!(
+            "  {a:>3} + {b:>2} | {:>5} | {:>6}",
+            a + b,
+            lut.eval_word(a | (b << 4))
+        );
+    }
+}

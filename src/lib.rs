@@ -1,0 +1,30 @@
+//! # adis — approximate disjoint decomposition with an Ising-model solver
+//!
+//! Umbrella crate for the reproduction of *Efficient Approximate
+//! Decomposition Solver using Ising Model* (DAC 2024). It re-exports every
+//! sub-crate under one roof:
+//!
+//! - [`boolfn`]: Boolean functions, partitions, matrices, decomposition
+//!   theorems, error metrics;
+//! - [`ising`]: Ising problems (second- and higher-order), QUBO conversion,
+//!   exhaustive solving;
+//! - [`sb`]: simulated bifurcation solvers (aSB/bSB/dSB + higher-order);
+//! - [`anneal`]: simulated annealing;
+//! - [`ilp`]: exact 0-1 branch-and-bound (the Gurobi stand-in);
+//! - [`lut`]: direct and decomposed LUT architectures;
+//! - [`benchfn`]: the paper's benchmark suite (quantized continuous
+//!   functions, gate-level circuits, kinematics kernels);
+//! - [`core`]: the paper's contribution — the column-based core COP, its
+//!   Ising formulations, the bSB COP solver with both improvement
+//!   strategies, the baselines, and the decomposition framework.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use adis_anneal as anneal;
+pub use adis_benchfn as benchfn;
+pub use adis_boolfn as boolfn;
+pub use adis_core as core;
+pub use adis_ilp as ilp;
+pub use adis_ising as ising;
+pub use adis_lut as lut;
+pub use adis_sb as sb;

@@ -1,0 +1,157 @@
+//! Cross-crate validation: the Ising encodings, the exact solvers, and the
+//! heuristic solvers must all agree on real benchmark-derived COPs.
+
+use adis::benchfn::ContinuousFn;
+use adis::boolfn::{BitVec, BooleanMatrix, ColumnSetting, InputDist, Partition};
+use adis::core::{ColumnCop, IsingCopSolver, RowCop};
+use adis::ising::solve_exhaustive;
+use proptest::prelude::*;
+
+/// A realistic small COP: one bit of a quantized continuous function under
+/// a 3+3 partition (8×8 matrix, 24 spins — exhaustively checkable).
+fn benchmark_cop(f: ContinuousFn, bit: u32) -> (ColumnCop, RowCop) {
+    let table = f.function(6, 6).expect("valid widths");
+    let w = Partition::new(6, vec![0, 1, 2], vec![3, 4, 5]).expect("valid");
+    let m = BooleanMatrix::build(table.component(bit), &w);
+    (
+        ColumnCop::separate(&m, &w, &InputDist::Uniform),
+        RowCop::separate(&m, &w, &InputDist::Uniform),
+    )
+}
+
+#[test]
+fn column_exhaustive_equals_full_ising_ground_state() {
+    for f in [ContinuousFn::Cos, ContinuousFn::Exp, ContinuousFn::Ln] {
+        for bit in [2u32, 4] {
+            let (cop, _) = benchmark_cop(f, bit);
+            let best = cop.objective(&cop.solve_exhaustive());
+            let ground = solve_exhaustive(&cop.to_ising());
+            assert!(
+                (best - ground.energy).abs() < 1e-9,
+                "{}[{bit}]: {} vs {}",
+                f.name(),
+                best,
+                ground.energy
+            );
+        }
+    }
+}
+
+#[test]
+fn row_exact_equals_column_exhaustive() {
+    // Both characterizations describe the same decomposition space, so the
+    // exact optima must coincide.
+    for f in [ContinuousFn::Tan, ContinuousFn::Erf] {
+        for bit in [1u32, 3, 5] {
+            let (col, row) = benchmark_cop(f, bit);
+            let col_best = col.objective(&col.solve_exhaustive());
+            let row_best = row.solve_exact(None).objective;
+            assert!(
+                (col_best - row_best).abs() < 1e-9,
+                "{}[{bit}]: column {col_best} vs row {row_best}",
+                f.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ising_solver_close_to_exact_on_benchmark_cops() {
+    let mut total_gap = 0.0;
+    let mut count = 0;
+    for f in ContinuousFn::ALL {
+        for bit in [3u32, 5] {
+            let (cop, _) = benchmark_cop(f, bit);
+            let exact = cop.objective(&cop.solve_exhaustive());
+            let sol = IsingCopSolver::new().replicas(4).seed(11).solve(&cop);
+            assert!(sol.objective >= exact - 1e-12);
+            total_gap += sol.objective - exact;
+            count += 1;
+        }
+    }
+    // Across 12 benchmark COPs the mean optimality gap must be tiny
+    // (ER units; exact optima here are O(0.1)).
+    let mean_gap = total_gap / count as f64;
+    assert!(mean_gap < 0.01, "mean optimality gap {mean_gap}");
+}
+
+#[test]
+fn row_ilp_cross_check_on_tiny_cop() {
+    // The generic ILP path must agree with the specialized B&B.
+    let table = ContinuousFn::Cos.function(4, 4).expect("valid widths");
+    let w = Partition::new(4, vec![0, 1], vec![2, 3]).expect("valid");
+    for bit in 0..4 {
+        let m = BooleanMatrix::build(table.component(bit), &w);
+        let cop = RowCop::separate(&m, &w, &InputDist::Uniform);
+        let bb = cop.solve_exact(None);
+        let ilp = cop.solve_ilp(None).expect("feasible");
+        assert!(
+            (bb.objective - ilp.objective).abs() < 1e-9,
+            "bit {bit}: bb {} vs ilp {}",
+            bb.objective,
+            ilp.objective
+        );
+    }
+}
+
+#[test]
+fn third_order_row_ising_agrees_with_objective() {
+    let (_, row) = benchmark_cop(ContinuousFn::Denoise, 4);
+    let e = row.to_ising3();
+    assert_eq!(e.degree(), 3, "row COP requires a third-order model");
+    // Spot-check energies against objectives on random settings.
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+    for _ in 0..50 {
+        let spins = adis::ising::SpinVector::from_bools(
+            (0..e.num_spins()).map(|_| rng.gen_bool(0.5)),
+        );
+        let setting = row.decode_ising3(&spins);
+        assert!((e.energy(&spins) - row.objective(&setting)).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For random COP weights, the Ising encoding is exact on random
+    /// settings (integration-level repeat of the unit property, with the
+    /// full public API path).
+    #[test]
+    fn ising_encoding_exact_for_random_cops(
+        weights in prop::collection::vec(-1.0..1.0f64, 24),
+        constant in 0.0..3.0f64,
+        bits in prop::collection::vec(any::<bool>(), 14),
+    ) {
+        let cop = ColumnCop::from_weights(4, 6, weights, constant);
+        let setting = ColumnSetting {
+            v1: BitVec::from_bools(bits[0..4].to_vec()),
+            v2: BitVec::from_bools(bits[4..8].to_vec()),
+            t: BitVec::from_bools(bits[8..14].to_vec()),
+        };
+        let ising = cop.to_ising();
+        let spins = cop.layout().encode(&setting);
+        prop_assert!((ising.energy(&spins) - cop.objective(&setting)).abs() < 1e-9);
+    }
+
+    /// Theorem-3 resets can only improve the objective, for any setting of
+    /// any random COP.
+    #[test]
+    fn type_reset_monotone(
+        weights in prop::collection::vec(-1.0..1.0f64, 20),
+        bits in prop::collection::vec(any::<bool>(), 13),
+    ) {
+        let cop = ColumnCop::from_weights(4, 5, weights, 0.0);
+        let s = ColumnSetting {
+            v1: BitVec::from_bools(bits[0..4].to_vec()),
+            v2: BitVec::from_bools(bits[4..8].to_vec()),
+            t: BitVec::from_bools(bits[8..13].to_vec()),
+        };
+        let reset = ColumnSetting {
+            v1: s.v1.clone(),
+            v2: s.v2.clone(),
+            t: cop.optimal_t(&s.v1, &s.v2),
+        };
+        prop_assert!(cop.objective(&reset) <= cop.objective(&s) + 1e-12);
+    }
+}

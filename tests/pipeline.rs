@@ -1,0 +1,152 @@
+//! End-to-end integration tests spanning every crate: benchmark function →
+//! decomposition framework → approximate LUT → error metrics.
+
+use adis::benchfn::{Benchmark, ContinuousFn, QuantScheme};
+use adis::boolfn::{
+    error_rate_multi, find_column_setting, mean_error_distance, BooleanMatrix, InputDist,
+};
+use adis::core::{CopSolverKind, Framework, IsingCopSolver, Mode};
+
+/// Fast framework for tests: few partitions, serial.
+fn fw(mode: Mode, solver: CopSolverKind) -> Framework {
+    Framework::new(mode, 3)
+        .solver(solver)
+        .partitions(4)
+        .rounds(1)
+        .parallel(false)
+        .seed(42)
+}
+
+/// A cheap 7-input target: quantized cos to 7 inputs / 5 outputs.
+fn small_cos() -> adis::boolfn::MultiOutputFn {
+    ContinuousFn::Cos.function(7, 5).expect("valid widths")
+}
+
+#[test]
+fn full_pipeline_function_to_lut() {
+    let f = small_cos();
+    let outcome = fw(Mode::Joint, CopSolverKind::Ising(IsingCopSolver::new())).decompose(&f);
+
+    // 1. Reported metrics must match a recomputation from scratch.
+    let med = mean_error_distance(&f, &outcome.approx, &InputDist::Uniform);
+    let er = error_rate_multi(&f, &outcome.approx, &InputDist::Uniform);
+    assert!((outcome.med - med).abs() < 1e-12);
+    assert!((outcome.er - er).abs() < 1e-12);
+
+    // 2. The LUT must compute exactly the approximate function.
+    let lut = outcome.to_lut();
+    for p in 0..f.num_entries() as u64 {
+        assert_eq!(lut.eval_word(p), outcome.approx.eval_word(p));
+    }
+
+    // 3. Every output must decompose exactly over its chosen partition.
+    for (k, choice) in outcome.choices.iter().enumerate() {
+        let m = BooleanMatrix::build(outcome.approx.component(k as u32), &choice.partition);
+        assert!(find_column_setting(&m).is_some(), "component {k}");
+    }
+
+    // 4. The decomposed LUT is strictly smaller than direct storage.
+    assert!(lut.size_bits() < lut.direct_size_bits());
+}
+
+#[test]
+fn all_solvers_complete_the_pipeline() {
+    let f = small_cos();
+    for solver in [
+        CopSolverKind::Ising(IsingCopSolver::new()),
+        CopSolverKind::Exact { time_limit: None },
+        CopSolverKind::DaltaHeuristic { restarts: 2 },
+        CopSolverKind::Ba(adis::core::baselines::BaParams {
+            sweeps: 40,
+            restarts: 1,
+            ..Default::default()
+        }),
+    ] {
+        let outcome = fw(Mode::Joint, solver.clone()).decompose(&f);
+        assert!(outcome.med.is_finite());
+        assert!(outcome.med >= 0.0);
+        assert_eq!(outcome.choices.len(), 5);
+        // MED of a 5-bit output cannot exceed 31.
+        assert!(outcome.med <= 31.0, "{solver:?}: MED {}", outcome.med);
+    }
+}
+
+#[test]
+fn joint_mode_beats_separate_mode_on_med() {
+    // The paper's Table 1 structure: joint-mode MED < separate-mode MED.
+    let f = small_cos();
+    let joint = fw(Mode::Joint, CopSolverKind::Exact { time_limit: None }).decompose(&f);
+    let sep = fw(Mode::Separate, CopSolverKind::Exact { time_limit: None }).decompose(&f);
+    assert!(
+        joint.med <= sep.med + 1e-9,
+        "joint {} vs separate {}",
+        joint.med,
+        sep.med
+    );
+}
+
+#[test]
+fn gate_level_circuits_run_through_framework() {
+    // 8-input slice of the Brent-Kung adder (4+4 bits).
+    let adder = adis::benchfn::netlist_to_function(&adis::benchfn::brent_kung_adder(4));
+    let outcome = Framework::new(Mode::Joint, 4)
+        .partitions(4)
+        .parallel(false)
+        .seed(9)
+        .decompose(&adder);
+    // Low bits of an adder are cheap to approximate; the MSB (carry) is
+    // heavily weighted, so MED stays well under an LSB-scale bound.
+    assert!(outcome.med < 4.0, "MED {}", outcome.med);
+}
+
+#[test]
+fn kinematics_benchmarks_pipeline() {
+    let f = adis::benchfn::forwardk2j(8, 6).expect("valid widths");
+    let outcome = fw(Mode::Joint, CopSolverKind::Ising(IsingCopSolver::new())).decompose(&f);
+    assert!(outcome.med.is_finite());
+    let lut = outcome.to_lut();
+    assert!(lut.size_bits() < lut.direct_size_bits());
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let f = small_cos();
+    let a = fw(Mode::Joint, CopSolverKind::Ising(IsingCopSolver::new())).decompose(&f);
+    let b = fw(Mode::Joint, CopSolverKind::Ising(IsingCopSolver::new())).decompose(&f);
+    assert_eq!(a.approx, b.approx);
+    assert_eq!(a.med, b.med);
+}
+
+#[test]
+fn parallel_matches_serial_end_to_end() {
+    let f = small_cos();
+    let serial = fw(Mode::Joint, CopSolverKind::Ising(IsingCopSolver::new()))
+        .parallel(false)
+        .decompose(&f);
+    let parallel = fw(Mode::Joint, CopSolverKind::Ising(IsingCopSolver::new()))
+        .parallel(true)
+        .decompose(&f);
+    assert_eq!(serial.approx, parallel.approx);
+}
+
+#[test]
+fn benchmark_suite_small_scheme_shapes() {
+    for b in Benchmark::continuous() {
+        let f = b.function(QuantScheme::Small).expect("continuous supports small");
+        assert_eq!(f.inputs(), 9);
+        assert_eq!(f.outputs(), 9);
+    }
+}
+
+#[test]
+fn decomposable_target_reaches_zero_med() {
+    // A function whose every component decomposes over some |B| = 3
+    // partition: each output only depends on x0..x2.
+    let f = adis::boolfn::MultiOutputFn::from_word_fn(6, 3, |p| (p & 0b111).wrapping_mul(3) & 0b111);
+    let outcome = Framework::new(Mode::Joint, 3)
+        .partitions(20) // enumerates all C(6,3) = 20
+        .parallel(false)
+        .decompose(&f);
+    assert_eq!(outcome.med, 0.0, "fully decomposable target must be free");
+    assert_eq!(outcome.er, 0.0);
+}
