@@ -13,11 +13,12 @@
 //!
 //! Usage: `cargo run --release -p adis-bench --bin ablations [-- --seed N]`
 
-use adis_bench::RunConfig;
+use adis_bench::{report_for, write_report, RunConfig};
 use adis_benchfn::ContinuousFn;
 use adis_boolfn::{BooleanMatrix, InputDist, Partition};
 use adis_core::{ColumnCop, IsingCopSolver, RowCop};
 use adis_sb::StopCriterion;
+use adis_telemetry::{Recorder, ReportCell};
 use std::time::Instant;
 
 /// All per-bit COPs of a benchmark at n = 9 under a fixed 4|5 partition.
@@ -39,6 +40,8 @@ fn cops(f: ContinuousFn, seed: u64) -> Vec<(ColumnCop, RowCop)> {
 
 fn main() {
     let cfg = RunConfig::from_args();
+    let run_start = Instant::now();
+    let mut report = report_for("ablations", &cfg);
     let instances: Vec<(ColumnCop, RowCop)> = [ContinuousFn::Exp, ContinuousFn::Denoise]
         .into_iter()
         .flat_map(|f| cops(f, cfg.seed))
@@ -59,6 +62,7 @@ fn main() {
         ),
     ];
     for (name, crit) in criteria {
+        let mut rec = Recorder::new().keep_trajectory(false);
         let mut er = 0.0;
         let mut iters = 0usize;
         let t0 = Instant::now();
@@ -66,66 +70,91 @@ fn main() {
             let sol = IsingCopSolver::new()
                 .stop(crit.clone())
                 .seed(cfg.seed)
-                .solve(cop);
+                .solve_observed(cop, &mut rec);
             er += sol.objective;
             iters += sol.stats.iterations;
         }
+        let elapsed = t0.elapsed();
         println!(
             "{:<26} {:>10.4} {:>12.0} {:>10.2}",
             name,
             er / instances.len() as f64,
             iters as f64 / instances.len() as f64,
-            t0.elapsed().as_secs_f64() * 1000.0 / instances.len() as f64
+            elapsed.as_secs_f64() * 1000.0 / instances.len() as f64
         );
+        let mut cell = ReportCell::new("A1", "Separate", &name).absorb(&rec);
+        cell.objective = er / instances.len() as f64;
+        cell.seconds = elapsed.as_secs_f64();
+        report.push(cell);
     }
 
     // ---------- A2: type-reset heuristic on/off ----------
     println!("\nA2 — Theorem-3 type-reset heuristic (avg ER, avg ms)");
     println!("{:<26} {:>10} {:>10}", "variant", "ER", "ms");
     for (name, on) in [("heuristic ON", true), ("heuristic OFF", false)] {
+        let mut rec = Recorder::new().keep_trajectory(false);
         let mut er = 0.0;
         let t0 = Instant::now();
         for (cop, _) in &instances {
             er += IsingCopSolver::new()
                 .heuristic(on)
                 .seed(cfg.seed)
-                .solve(cop)
+                .solve_observed(cop, &mut rec)
                 .objective;
         }
+        let elapsed = t0.elapsed();
         println!(
             "{:<26} {:>10.4} {:>10.2}",
             name,
             er / instances.len() as f64,
-            t0.elapsed().as_secs_f64() * 1000.0 / instances.len() as f64
+            elapsed.as_secs_f64() * 1000.0 / instances.len() as f64
         );
+        let mut cell = ReportCell::new("A2", "Separate", name).absorb(&rec);
+        cell.objective = er / instances.len() as f64;
+        cell.seconds = elapsed.as_secs_f64();
+        report.push(cell);
     }
 
     // ---------- A3: 2nd-order column vs 3rd-order row formulation ------
     println!("\nA3 — column-based 2nd-order vs row-based 3rd-order Ising");
     println!("{:<26} {:>10} {:>10}", "formulation", "ER", "ms");
     {
+        let mut rec = Recorder::new().keep_trajectory(false);
         let mut er = 0.0;
         let t0 = Instant::now();
         for (cop, _) in &instances {
-            er += IsingCopSolver::new().seed(cfg.seed).solve(cop).objective;
+            er += IsingCopSolver::new()
+                .seed(cfg.seed)
+                .solve_observed(cop, &mut rec)
+                .objective;
         }
+        let elapsed = t0.elapsed();
         println!(
             "{:<26} {:>10.4} {:>10.2}",
             "column (bSB, 2nd order)",
             er / instances.len() as f64,
-            t0.elapsed().as_secs_f64() * 1000.0 / instances.len() as f64
+            elapsed.as_secs_f64() * 1000.0 / instances.len() as f64
         );
+        let mut cell = ReportCell::new("A3", "Separate", "column 2nd-order").absorb(&rec);
+        cell.objective = er / instances.len() as f64;
+        cell.seconds = elapsed.as_secs_f64();
+        report.push(cell);
         let mut er3 = 0.0;
         let t0 = Instant::now();
         for (_, row) in &instances {
             er3 += row.solve_ising3(1, cfg.seed).objective;
         }
+        let elapsed3 = t0.elapsed();
         println!(
             "{:<26} {:>10.4} {:>10.2}",
             "row (HO-SB, 3rd order)",
             er3 / instances.len() as f64,
-            t0.elapsed().as_secs_f64() * 1000.0 / instances.len() as f64
+            elapsed3.as_secs_f64() * 1000.0 / instances.len() as f64
         );
+        let mut cell3 = ReportCell::new("A3", "Separate", "row 3rd-order");
+        cell3.objective = er3 / instances.len() as f64;
+        cell3.seconds = elapsed3.as_secs_f64();
+        report.push(cell3);
         // Reference: the exact optimum.
         let mut opt = 0.0;
         for (_, row) in &instances {
@@ -139,4 +168,7 @@ fn main() {
         );
     }
     println!("\n(lower ER is better; the paper's design choices should win A1–A3)");
+
+    report.total_wall(run_start.elapsed());
+    write_report(&report);
 }

@@ -8,12 +8,18 @@
 //!   cargo run --release -p adis-bench --bin fig4 -- --full    # paper P/R (slow!)
 //!   ... --partitions N --rounds N --seed N
 
-use adis_bench::{fig4_benchmarks, paper_reference as paper, run_method, Method, RunConfig};
+use adis_bench::{
+    fig4_benchmarks, paper_reference as paper, report_for, run_method_reported, write_report,
+    Method, RunConfig,
+};
 use adis_benchfn::QuantScheme;
 use adis_core::Mode;
+use std::time::Instant;
 
 fn main() {
     let cfg = RunConfig::from_args();
+    let run_start = Instant::now();
+    let mut report = report_for("fig4", &cfg);
     println!("Fig. 4 reproduction — n = 16, joint mode, |A| = 7, |B| = 9");
     println!(
         "config: P = {} partitions, R = {} rounds, seed {}\n",
@@ -28,8 +34,18 @@ fn main() {
     let mut med_ratios = Vec::new();
     let mut time_ratios = Vec::new();
     for (b, f) in fig4_benchmarks() {
-        let dalta = run_method(&f, Method::Dalta, Mode::Joint, QuantScheme::Large, &cfg);
-        let prop = run_method(&f, Method::Proposed, Mode::Joint, QuantScheme::Large, &cfg);
+        let (dalta, dalta_cell) =
+            run_method_reported(&f, b.name(), Method::Dalta, Mode::Joint, QuantScheme::Large, &cfg);
+        let (prop, prop_cell) = run_method_reported(
+            &f,
+            b.name(),
+            Method::Proposed,
+            Mode::Joint,
+            QuantScheme::Large,
+            &cfg,
+        );
+        report.push(dalta_cell);
+        report.push(prop_cell);
         let med_ratio = prop.med / dalta.med.max(1e-12);
         let time_ratio = prop.seconds / dalta.seconds.max(1e-12);
         med_ratios.push(med_ratio);
@@ -67,4 +83,7 @@ fn main() {
     println!(
         "  improved on both    : {wins}/10 benchmarks  [paper: 7/10]"
     );
+
+    report.total_wall(run_start.elapsed());
+    write_report(&report);
 }

@@ -9,12 +9,17 @@
 //!   cargo run --release -p adis-bench --bin table1 -- --full  # paper P/R
 //!   ... --partitions N --rounds N --seed N --ilp-limit-ms N
 
-use adis_bench::{paper_reference as paper, run_method, Method, RunConfig};
+use adis_bench::{
+    paper_reference as paper, report_for, run_method_reported, write_report, Method, RunConfig,
+};
 use adis_benchfn::{ContinuousFn, QuantScheme};
 use adis_core::Mode;
+use std::time::Instant;
 
 fn main() {
     let cfg = RunConfig::from_args();
+    let run_start = Instant::now();
+    let mut report = report_for("table1", &cfg);
     println!("Table 1 reproduction — n = 9, m = 9, |A| = 4, |B| = 5");
     println!(
         "config: P = {} partitions, R = {} rounds, ILP cap {:?}, seed {}\n",
@@ -42,7 +47,9 @@ fn main() {
             .function(9, 9)
             .expect("paper quantization widths are valid");
         for (ci, (mode, method, reference)) in columns.iter().enumerate() {
-            let r = run_method(&table, *method, *mode, QuantScheme::Small, &cfg);
+            let (r, cell) =
+                run_method_reported(&table, f.name(), *method, *mode, QuantScheme::Small, &cfg);
+            report.push(cell);
             let (pm, pt) = reference[fi];
             println!(
                 "{:<10} {:<22} {:>9.2} {:>10.2} | {:>9.2} {:>10.2}",
@@ -95,4 +102,7 @@ fn main() {
         "  joint < separate MED (Prop.)    {}  [true]",
         joint_prop < sep_prop
     );
+
+    report.total_wall(run_start.elapsed());
+    write_report(&report);
 }

@@ -11,6 +11,7 @@ use adis_benchfn::{Benchmark, QuantScheme};
 use adis_boolfn::MultiOutputFn;
 use adis_core::{baselines::BaParams, CopSolverKind, Framework, IsingCopSolver, Mode};
 use adis_sb::StopCriterion;
+use adis_telemetry::{Json, Recorder, ReportCell, RunReport};
 use std::time::Duration;
 
 /// The solution methods compared in the paper's evaluation.
@@ -158,6 +159,10 @@ pub struct MethodResult {
     pub med: f64,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// Core-COP instances solved.
+    pub cop_solves: usize,
+    /// bSB Euler iterations, summed over every trajectory.
+    pub sb_iterations: usize,
 }
 
 /// Runs one method on one pre-built function.
@@ -172,6 +177,62 @@ pub fn run_method(
     MethodResult {
         med: outcome.med,
         seconds: outcome.elapsed.as_secs_f64(),
+        cop_solves: outcome.cop_solves,
+        sb_iterations: outcome.sb_iterations,
+    }
+}
+
+/// [`run_method`] with full telemetry: the decomposition runs under an
+/// [`adis_telemetry::Recorder`], and the aggregates (stage timings, COP
+/// counters, SB trajectory statistics) come back as a [`ReportCell`] named
+/// `benchmark`, ready to [`RunReport::push`].
+pub fn run_method_reported(
+    f: &MultiOutputFn,
+    benchmark: &str,
+    method: Method,
+    mode: Mode,
+    scheme: QuantScheme,
+    cfg: &RunConfig,
+) -> (MethodResult, ReportCell) {
+    // Aggregates only — a full decomposition runs thousands of
+    // trajectories, so storing every sample would dominate memory.
+    let mut rec = Recorder::new().keep_trajectory(false);
+    let outcome = framework_for(method, mode, scheme, cfg).decompose_observed(f, &mut rec);
+    let result = MethodResult {
+        med: outcome.med,
+        seconds: outcome.elapsed.as_secs_f64(),
+        cop_solves: outcome.cop_solves,
+        sb_iterations: outcome.sb_iterations,
+    };
+    let mut cell = ReportCell::new(benchmark, format!("{mode:?}"), method.name()).absorb(&rec);
+    cell.objective = outcome.med;
+    cell.seconds = result.seconds;
+    cell.extra.push(("er".to_string(), Json::Num(outcome.er)));
+    (result, cell)
+}
+
+/// Starts a [`RunReport`] for `tool` with this configuration recorded under
+/// its `config` key.
+pub fn report_for(tool: &str, cfg: &RunConfig) -> RunReport {
+    let mut report = RunReport::new(tool, cfg.seed);
+    report
+        .config("partitions", Json::Num(cfg.partitions as f64))
+        .config("rounds", Json::Num(cfg.rounds as f64))
+        .config("replicas", Json::Num(cfg.replicas as f64))
+        .config(
+            "ilp_time_limit_s",
+            Json::Num(cfg.ilp_time_limit.as_secs_f64()),
+        );
+    report
+}
+
+/// Writes `report` into `results/` (relative to the working directory) and
+/// prints where it landed; failures are reported but not fatal, so a
+/// read-only checkout still prints the table.
+pub fn write_report(report: &RunReport) {
+    match report.write("results") {
+        Ok(path) => println!("\nrun report: {}", path.display()),
+        Err(e) => eprintln!("\ncould not write run report: {e}"),
     }
 }
 

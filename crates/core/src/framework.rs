@@ -15,6 +15,7 @@ use adis_boolfn::{
     MultiOutputFn, Partition,
 };
 use adis_lut::{ApproxLut, OutputImpl};
+use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -66,6 +67,29 @@ pub enum CopSolverKind {
 /// assert!(outcome.med >= 0.0);
 /// assert_eq!(outcome.choices.len(), 4);
 /// ```
+///
+/// The whole builder surface chains; here the exact branch-and-bound
+/// replaces the default Ising solver:
+///
+/// ```
+/// use adis_boolfn::{InputDist, MultiOutputFn};
+/// use adis_core::{CopSolverKind, Framework, Mode};
+/// use std::time::Duration;
+///
+/// let f = MultiOutputFn::from_word_fn(5, 3, |p| (p + 3) & 0x7);
+/// let outcome = Framework::new(Mode::Separate, 2)
+///     .solver(CopSolverKind::Exact {
+///         time_limit: Some(Duration::from_millis(100)),
+///     })
+///     .partitions(4)
+///     .rounds(2)
+///     .seed(7)
+///     .parallel(false)
+///     .dist(InputDist::Uniform)
+///     .decompose(&f);
+/// assert_eq!(outcome.choices.len(), 3);
+/// assert_eq!(outcome.sb_iterations, 0); // the exact solver runs no bSB
+/// ```
 #[derive(Debug, Clone)]
 pub struct Framework {
     mode: Mode,
@@ -104,6 +128,18 @@ pub struct DecompositionOutcome {
     pub elapsed: Duration,
     /// Core-COP instances solved.
     pub cop_solves: usize,
+    /// bSB Euler iterations summed over every Ising COP solve (0 when a
+    /// non-Ising [`CopSolverKind`] ran).
+    pub sb_iterations: usize,
+}
+
+/// Per-COP solver work, threaded out of the parallel partition sweep.
+#[derive(Debug, Clone, Copy, Default)]
+struct CopWork {
+    /// bSB Euler iterations (Ising solver only).
+    sb_iterations: usize,
+    /// Branch-and-bound nodes (exact solver only).
+    bnb_nodes: u64,
 }
 
 impl DecompositionOutcome {
@@ -190,8 +226,41 @@ impl Framework {
     ///
     /// Panics if `bound_size` is not in `1..exact.inputs()`.
     pub fn decompose(&self, exact: &MultiOutputFn) -> DecompositionOutcome {
+        self.decompose_observed(exact, &mut NullObserver)
+    }
+
+    /// Runs the decomposition, reporting progress to `observer`:
+    ///
+    /// - stage timings (`partition_generation`, `cop_sweep`, `apply`,
+    ///   `metrics`) via [`stage_end`](SolveObserver::stage_end);
+    /// - counters `cop_solves`, `sb_iterations`, `bnb_nodes`,
+    ///   `incumbent_kept`;
+    /// - one [`cop_result`](SolveObserver::cop_result) per candidate
+    ///   partition (its objective and solver work), and one
+    ///   [`component_chosen`](SolveObserver::component_chosen) per
+    ///   component per round recording the incumbent-vs-challenger
+    ///   decision.
+    ///
+    /// Per-partition COP solves run (possibly) in parallel; their results
+    /// are reported after each sweep joins, in partition order, so
+    /// observers never need to be `Sync`. With [`NullObserver`] this is
+    /// exactly [`decompose`](Framework::decompose).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound_size` is not in `1..exact.inputs()`.
+    pub fn decompose_observed<O: SolveObserver>(
+        &self,
+        exact: &MultiOutputFn,
+        observer: &mut O,
+    ) -> DecompositionOutcome {
         let start = Instant::now();
         let n = exact.inputs();
+        let _span = trace_span!(
+            "Framework::decompose n={n} m={} mode={:?}",
+            exact.outputs(),
+            self.mode
+        );
         let m = exact.outputs();
         assert!(
             self.bound_size >= 1 && self.bound_size < n,
@@ -204,41 +273,63 @@ impl Framework {
         let mut approx = exact.clone();
         let mut choices: Vec<Option<ComponentChoice>> = vec![None; m as usize];
         let mut cop_solves = 0;
+        let mut sb_iterations = 0usize;
 
         for round in 0..self.rounds {
             // MSB → LSB, as in DALTA.
             for k in (0..m).rev() {
+                let stage = Instant::now();
                 let partitions = self.generate_partitions(n, round, k);
+                observer.stage_end("partition_generation", stage.elapsed());
                 cop_solves += partitions.len();
-                let solve_one = |(pi, w): (usize, &Partition)| -> ComponentChoice {
+                let solve_one = |(pi, w): (usize, &Partition)| -> (ComponentChoice, CopWork) {
                     let solver_seed = self
                         .seed
                         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                         .wrapping_add((round as u64) << 32)
                         .wrapping_add((k as u64) << 16)
                         .wrapping_add(pi as u64);
-                    let (setting, objective) =
+                    let (setting, objective, work) =
                         self.solve_cop(exact, &exact_words, &approx_words, k, w, solver_seed);
-                    ComponentChoice {
-                        partition: w.clone(),
-                        setting,
-                        objective,
-                    }
+                    (
+                        ComponentChoice {
+                            partition: w.clone(),
+                            setting,
+                            objective,
+                        },
+                        work,
+                    )
                 };
-                let best = if self.parallel {
-                    partitions
-                        .par_iter()
-                        .enumerate()
-                        .map(solve_one)
-                        .min_by(|a, b| a.objective.total_cmp(&b.objective))
+                let stage = Instant::now();
+                let solved: Vec<(ComponentChoice, CopWork)> = if self.parallel {
+                    partitions.par_iter().enumerate().map(solve_one).collect()
                 } else {
-                    partitions
-                        .iter()
-                        .enumerate()
-                        .map(solve_one)
-                        .min_by(|a, b| a.objective.total_cmp(&b.objective))
+                    partitions.iter().enumerate().map(solve_one).collect()
+                };
+                observer.stage_end("cop_sweep", stage.elapsed());
+                observer.counter("cop_solves", solved.len() as u64);
+                let mut sweep_sb = 0usize;
+                let mut sweep_nodes = 0u64;
+                for (pi, (choice, work)) in solved.iter().enumerate() {
+                    observer.cop_result(round, k, pi, choice.objective, work.sb_iterations);
+                    sweep_sb += work.sb_iterations;
+                    sweep_nodes += work.bnb_nodes;
                 }
-                .expect("at least one partition");
+                sb_iterations += sweep_sb;
+                if sweep_sb > 0 {
+                    observer.counter("sb_iterations", sweep_sb as u64);
+                }
+                if sweep_nodes > 0 {
+                    observer.counter("bnb_nodes", sweep_nodes);
+                }
+                // Sequential selection over the joined sweep keeps the
+                // pre-telemetry semantics for both paths: first strictly
+                // minimal objective wins.
+                let best = solved
+                    .into_iter()
+                    .map(|(choice, _)| choice)
+                    .min_by(|a, b| a.objective.total_cmp(&b.objective))
+                    .expect("at least one partition");
 
                 // Keep the incumbent decomposition if this round's best
                 // partition is worse (later rounds draw fresh partitions,
@@ -263,11 +354,14 @@ impl Framework {
                         let mut kept = prev.clone();
                         kept.objective = incumbent;
                         choices[k as usize] = Some(kept);
+                        observer.counter("incumbent_kept", 1);
+                        observer.component_chosen(round, k, incumbent, true);
                         continue;
                     }
                 }
 
                 // Apply the winning setting to component k.
+                let stage = Instant::now();
                 let table = best.setting.reconstruct(&best.partition);
                 for p in 0..num_patterns as u64 {
                     let bit = table.eval(p);
@@ -278,6 +372,8 @@ impl Framework {
                     }
                 }
                 approx.set_component(k, table);
+                observer.stage_end("apply", stage.elapsed());
+                observer.component_chosen(round, k, best.objective, false);
                 choices[k as usize] = Some(best);
             }
         }
@@ -286,8 +382,12 @@ impl Framework {
             .into_iter()
             .map(|c| c.expect("every component visited"))
             .collect();
+        let stage = Instant::now();
         let med = mean_error_distance(exact, &approx, &self.dist);
         let er = error_rate_multi(exact, &approx, &self.dist);
+        observer.stage_end("metrics", stage.elapsed());
+        observer.gauge("final_med", med);
+        observer.gauge("final_er", er);
         DecompositionOutcome {
             approx,
             choices,
@@ -295,6 +395,7 @@ impl Framework {
             er,
             elapsed: start.elapsed(),
             cop_solves,
+            sb_iterations,
         }
     }
 
@@ -325,7 +426,7 @@ impl Framework {
     }
 
     /// Solves one core COP (mode × solver dispatch), returning a column
-    /// setting and its objective.
+    /// setting, its objective, and the solver work spent.
     fn solve_cop(
         &self,
         exact: &MultiOutputFn,
@@ -334,7 +435,7 @@ impl Framework {
         k: u32,
         w: &Partition,
         seed: u64,
-    ) -> (ColumnSetting, f64) {
+    ) -> (ColumnSetting, f64, CopWork) {
         let (weights, constant) = match self.mode {
             Mode::Separate => {
                 let matrix = BooleanMatrix::build(exact.component(k), w);
@@ -363,22 +464,44 @@ impl Framework {
             CopSolverKind::Ising(solver) => {
                 let cop = ColumnCop::from_weights(r, c, weights, constant);
                 let sol = solver.clone().seed(seed).solve(&cop);
-                (sol.setting, sol.objective)
+                (
+                    sol.setting,
+                    sol.objective,
+                    CopWork {
+                        sb_iterations: sol.stats.iterations,
+                        bnb_nodes: 0,
+                    },
+                )
             }
             CopSolverKind::Exact { time_limit } => {
                 let cop = RowCop::from_weights(r, c, weights, constant);
                 let sol = cop.solve_exact(*time_limit);
-                (sol.setting.to_column_setting(), sol.objective)
+                (
+                    sol.setting.to_column_setting(),
+                    sol.objective,
+                    CopWork {
+                        sb_iterations: 0,
+                        bnb_nodes: sol.nodes,
+                    },
+                )
             }
             CopSolverKind::DaltaHeuristic { restarts } => {
                 let cop = RowCop::from_weights(r, c, weights, constant);
                 let sol = solve_dalta_heuristic(&cop, *restarts, seed);
-                (sol.setting.to_column_setting(), sol.objective)
+                (
+                    sol.setting.to_column_setting(),
+                    sol.objective,
+                    CopWork::default(),
+                )
             }
             CopSolverKind::Ba(params) => {
                 let cop = RowCop::from_weights(r, c, weights, constant);
                 let sol = solve_ba(&cop, params, seed);
-                (sol.setting.to_column_setting(), sol.objective)
+                (
+                    sol.setting.to_column_setting(),
+                    sol.objective,
+                    CopWork::default(),
+                )
             }
         }
     }
@@ -521,6 +644,43 @@ mod tests {
             .decompose(&f);
         assert_eq!(serial.med, parallel.med);
         assert_eq!(serial.approx, parallel.approx);
+    }
+
+    #[test]
+    fn observed_decompose_matches_plain_and_reports_everything() {
+        let f = target();
+        let fw = small_framework(Mode::Joint, CopSolverKind::Ising(IsingCopSolver::new()));
+        let plain = fw.decompose(&f);
+        let mut rec = adis_telemetry::Recorder::new();
+        let observed = fw.decompose_observed(&f, &mut rec);
+        // Observation must not perturb the run.
+        assert_eq!(plain.med, observed.med);
+        assert_eq!(plain.er, observed.er);
+        assert_eq!(plain.approx, observed.approx);
+        assert_eq!(plain.cop_solves, observed.cop_solves);
+        assert_eq!(plain.sb_iterations, observed.sb_iterations);
+        // And the recorder must have the full picture.
+        assert_eq!(rec.counters.get("cop_solves") as usize, observed.cop_solves);
+        assert_eq!(
+            rec.counters.get("sb_iterations") as usize,
+            observed.sb_iterations
+        );
+        assert!(observed.sb_iterations > 0, "Ising solver must report work");
+        assert!(rec.stages.total("cop_sweep") > Duration::ZERO);
+        assert_eq!(rec.cops.len(), observed.cop_solves);
+        assert_eq!(rec.components.len(), f.outputs() as usize);
+        assert_eq!(rec.gauges.get("final_med").copied(), Some(observed.med));
+    }
+
+    #[test]
+    fn exact_solver_reports_nodes_not_sb_iterations() {
+        let f = target();
+        let fw = small_framework(Mode::Joint, CopSolverKind::Exact { time_limit: None });
+        let mut rec = adis_telemetry::Recorder::new();
+        let outcome = fw.decompose_observed(&f, &mut rec);
+        assert_eq!(outcome.sb_iterations, 0);
+        assert_eq!(rec.counters.get("sb_iterations"), 0);
+        assert!(rec.counters.get("bnb_nodes") > 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::{ColumnCop, SpinLayout};
 use adis_boolfn::{BitVec, ColumnSetting};
 use adis_sb::{SbSolver, SbState, StopCriterion, StopReason, StopState};
+use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -160,8 +161,25 @@ impl IsingCopSolver {
     /// The returned setting always has its type vector re-optimized via
     /// Theorem 3 (a free post-pass that never hurts).
     pub fn solve(&self, cop: &ColumnCop) -> CopSolution {
+        self.solve_observed(cop, &mut NullObserver)
+    }
+
+    /// Solves the COP while reporting every SB trajectory to `observer`
+    /// (one [`sb_start`](SolveObserver::sb_start)/
+    /// [`sb_stop`](SolveObserver::sb_stop) pair per replica, with
+    /// per-sample objective values in between). Sampled "energies" are the
+    /// COP objective of the current readout — directly ER (separate mode)
+    /// or MED (joint mode) — so trajectories plot in paper units. With
+    /// [`NullObserver`] this is exactly [`solve`](IsingCopSolver::solve).
+    pub fn solve_observed<O: SolveObserver>(&self, cop: &ColumnCop, observer: &mut O) -> CopSolution {
+        let _span = trace_span!(
+            "IsingCopSolver::solve r={} c={} replicas={}",
+            cop.rows(),
+            cop.cols(),
+            self.replicas
+        );
         if self.structured {
-            return self.solve_structured(cop);
+            return self.solve_structured(cop, observer);
         }
         let ising = cop.to_ising();
         let layout = cop.layout();
@@ -179,12 +197,16 @@ impl IsingCopSolver {
                 .dt(self.dt)
                 .seed(self.seed_for(rep));
             let result = if self.heuristic {
-                solver.solve_with(&ising, |state| {
-                    apply_type_reset(cop, layout, state);
-                    interventions += 1;
-                })
+                solver.solve_with_observed(
+                    &ising,
+                    |state| {
+                        apply_type_reset(cop, layout, state);
+                        interventions += 1;
+                    },
+                    &mut *observer,
+                )
             } else {
-                solver.solve(&ising)
+                solver.solve_observed(&ising, &mut *observer)
             };
             total_iterations += result.iterations;
             settled |= result.stop_reason == StopReason::EnergySettled;
@@ -218,7 +240,7 @@ impl IsingCopSolver {
     ///     tᵢ = Σⱼ W_ij·x_{Tⱼ},  Rᵢ = Σⱼ W_ij,
     /// field(Tⱼ) = Σᵢ (W_ij/4)·(x_{V₁ᵢ} − x_{V₂ᵢ}).
     /// ```
-    fn solve_structured(&self, cop: &ColumnCop) -> CopSolution {
+    fn solve_structured<O: SolveObserver>(&self, cop: &ColumnCop, observer: &mut O) -> CopSolution {
         let (r, c) = (cop.rows(), cop.cols());
         let n = 2 * r + c;
         // Flattened weights and row sums. The integrator runs in f32 —
@@ -294,6 +316,8 @@ impl IsingCopSolver {
             let mut stop_state = StopState::new(self.stop_criterion.clone());
             let mut rep_best: Option<(ColumnSetting, f64)> = None;
             let mut iterations = max_iters;
+            let mut rep_settled = false;
+            observer.sb_start(na, max_iters);
 
             for t in 0..max_iters {
                 let a_t = a0 * ((t as f64 / ramp).min(1.0) as f32);
@@ -404,15 +428,28 @@ impl IsingCopSolver {
                         };
                         rep_best = Some((setting, obj));
                     }
+                    if observer.enabled() {
+                        let mean_amp =
+                            x.iter().map(|v| v.abs() as f64).sum::<f64>() / na as f64;
+                        let rep_best_obj =
+                            rep_best.as_ref().map(|&(_, b)| b).unwrap_or(obj);
+                        observer.sb_sample(t + 1, obj, rep_best_obj, mean_amp);
+                    }
                     // Steady state is only meaningful once the pump has
                     // fully ramped; earlier samples still track the best.
                     if (t + 1) as f64 >= ramp && stop_state.record(obj) {
                         settled = true;
+                        rep_settled = true;
                         iterations = t + 1;
                         break;
                     }
                 }
             }
+            observer.sb_stop(
+                iterations,
+                rep_best.as_ref().map(|&(_, b)| b).unwrap_or(f64::INFINITY),
+                rep_settled,
+            );
             total_iterations += iterations;
             let (mut setting, _) = rep_best.expect("at least one sample");
             setting.t = cop.optimal_t(&setting.v1, &setting.v2);

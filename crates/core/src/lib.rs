@@ -24,6 +24,28 @@
 //!   solvers, producing a [`DecompositionOutcome`] that assembles into an
 //!   [`adis_lut::ApproxLut`].
 //!
+//! # Mapping to the paper
+//!
+//! A *column setting* `(w, V₁, V₂, T)` (Definition 2) is the repo's
+//! [`adis_boolfn::ColumnSetting`] plus the weight matrix held by
+//! [`ColumnCop`]: `V₁`/`V₂` choose which free-set columns map to pattern 1
+//! or 2, `T` assigns a type to every bound-set row, and `w` weighs each
+//! cell by input probability (×2^bit-significance in joint mode). The
+//! separate-mode energy (Eq. 9) scores ER for one output bit; the
+//! joint-mode energy (Eq. 16) scores MED across all bits sharing a
+//! partition. [`CopSolverKind`] selects who minimizes it: the paper's bSB
+//! solver, exact branch and bound, or the DALTA/BA baselines.
+//!
+//! # Observability
+//!
+//! [`Framework::decompose_observed`] and
+//! [`IsingCopSolver::solve_observed`] report stage timings, per-partition
+//! COP objectives, incumbent-vs-challenger decisions and raw bSB
+//! trajectories to any [`adis_telemetry::SolveObserver`] (e.g.
+//! [`adis_telemetry::Recorder`]); passing
+//! [`adis_telemetry::NullObserver`] (what [`Framework::decompose`] does)
+//! compiles the instrumentation away.
+//!
 //! # Quick start
 //!
 //! ```

@@ -5,6 +5,7 @@
 //! caps Gurobi at 3600 s per core COP and takes the current best solution).
 
 use crate::{ConstraintOp, IlpModel};
+use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 use std::time::{Duration, Instant};
 
 /// Solver outcome status.
@@ -79,6 +80,25 @@ impl BranchAndBound {
 
     /// Solves the model to optimality (or to the limit).
     pub fn solve(&self, model: &IlpModel) -> IlpSolution {
+        self.solve_observed(model, &mut NullObserver)
+    }
+
+    /// [`solve`](BranchAndBound::solve) with telemetry: reports the expanded
+    /// node count (`bnb_nodes` counter), whether a limit fired
+    /// (`bnb_limit_hits` counter) and the total search wall time
+    /// (`bnb_search` stage) to `observer`. With
+    /// [`adis_telemetry::NullObserver`] this is exactly
+    /// [`solve`](BranchAndBound::solve).
+    pub fn solve_observed<O: SolveObserver>(
+        &self,
+        model: &IlpModel,
+        observer: &mut O,
+    ) -> IlpSolution {
+        let _span = trace_span!(
+            "BranchAndBound::solve vars={} constraints={}",
+            model.num_vars(),
+            model.num_constraints()
+        );
         let n = model.num_vars();
         let start = Instant::now();
         let mut occurs = vec![Vec::new(); n];
@@ -113,6 +133,11 @@ impl BranchAndBound {
             search.dfs();
         }
 
+        observer.counter("bnb_nodes", search.nodes);
+        if search.hit_limit {
+            observer.counter("bnb_limit_hits", 1);
+        }
+        observer.stage_end("bnb_search", start.elapsed());
         match search.best {
             Some((values, objective)) => IlpSolution {
                 values,

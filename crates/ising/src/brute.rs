@@ -2,6 +2,7 @@
 //! small instances.
 
 use crate::{IsingProblem, SpinVector};
+use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 
 /// Result of an exhaustive search: a ground state and its energy.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,11 +28,27 @@ pub const MAX_EXHAUSTIVE_SPINS: usize = 24;
 /// Panics if `N > MAX_EXHAUSTIVE_SPINS` (the search would not terminate in
 /// reasonable time).
 pub fn solve_exhaustive(problem: &IsingProblem) -> GroundState {
+    solve_exhaustive_observed(problem, &mut NullObserver)
+}
+
+/// [`solve_exhaustive`] with telemetry: reports the number of enumerated
+/// configurations (`exhaustive_states` counter) and the ground energy
+/// (`exhaustive_ground_energy` gauge) to `observer`. With
+/// [`adis_telemetry::NullObserver`] this is exactly [`solve_exhaustive`].
+///
+/// # Panics
+///
+/// Panics if `N > MAX_EXHAUSTIVE_SPINS`.
+pub fn solve_exhaustive_observed<O: SolveObserver>(
+    problem: &IsingProblem,
+    observer: &mut O,
+) -> GroundState {
     let n = problem.num_spins();
     assert!(
         n <= MAX_EXHAUSTIVE_SPINS,
         "exhaustive search limited to {MAX_EXHAUSTIVE_SPINS} spins, got {n}"
     );
+    let _span = trace_span!("solve_exhaustive n={n}");
     let mut state = SpinVector::all_down(n);
     let mut energy = problem.energy(&state);
     let mut best = GroundState {
@@ -39,22 +56,24 @@ pub fn solve_exhaustive(problem: &IsingProblem) -> GroundState {
         energy,
         degeneracy: 1,
     };
-    if n == 0 {
-        return best;
-    }
-    // Gray-code walk: configuration k differs from k+1 in bit trailing_zeros(k+1).
-    for k in 1u64..(1u64 << n) {
-        let flip = k.trailing_zeros() as usize;
-        energy += problem.flip_delta(&state, flip);
-        state.flip(flip);
-        if energy < best.energy - 1e-12 {
-            best.energy = energy;
-            best.state = state.clone();
-            best.degeneracy = 1;
-        } else if (energy - best.energy).abs() <= 1e-12 {
-            best.degeneracy += 1;
+    if n > 0 {
+        // Gray-code walk: configuration k differs from k+1 in bit
+        // trailing_zeros(k+1).
+        for k in 1u64..(1u64 << n) {
+            let flip = k.trailing_zeros() as usize;
+            energy += problem.flip_delta(&state, flip);
+            state.flip(flip);
+            if energy < best.energy - 1e-12 {
+                best.energy = energy;
+                best.state = state.clone();
+                best.degeneracy = 1;
+            } else if (energy - best.energy).abs() <= 1e-12 {
+                best.degeneracy += 1;
+            }
         }
     }
+    observer.counter("exhaustive_states", 1u64 << n);
+    observer.gauge("exhaustive_ground_energy", best.energy);
     best
 }
 

@@ -6,14 +6,34 @@
 //! annealing, all spins update in parallel per step — the property the paper
 //! exploits for a high-throughput COP solver.
 //!
+//! The bSB update rule (Goto 2021), integrated with symplectic Euler at
+//! time step `dt`:
+//!
+//! ```text
+//! yᵢ ← yᵢ + [ −(a₀ − a(t))·xᵢ + c₀·(Σⱼ J_ij xⱼ + hᵢ) ]·dt
+//! xᵢ ← xᵢ + a₀·yᵢ·dt ,   and if |xᵢ| > 1:  xᵢ ← sgn xᵢ, yᵢ ← 0
+//! ```
+//!
+//! with the pump `a(t)` ramping linearly `0 → a₀` (see
+//! [`SbSolver::ramp`]). dSB replaces `xⱼ` by `sgn xⱼ` in the coupling sum;
+//! aSB adds the Kerr term `−xᵢ³` and drops the walls ([`SbVariant`]).
+//!
 //! Provided here:
 //!
 //! - [`SbSolver`]: second-order solver with the adiabatic (aSB), ballistic
 //!   (bSB — the paper's choice) and discrete (dSB) dynamics;
 //! - [`StopCriterion`]: fixed iteration counts or the paper's **dynamic
-//!   variance stop** (Section 3.3.1);
+//!   variance stop** (Section 3.3.1) — sample the energy every `f`
+//!   iterations, stop when the variance of the last `s` samples falls
+//!   below `ε`;
 //! - intervention hooks ([`SbSolver::solve_with`]) at every sampling point,
 //!   used by the paper's type-reset heuristic (Section 3.3.2);
+//! - observability ([`SbSolver::solve_observed`]): any
+//!   [`adis_telemetry::SolveObserver`] receives per-sample energy /
+//!   best-so-far / mean-amplitude telemetry and the stop decision, at zero
+//!   cost when the null observer is passed;
+//! - parallel multi-replica runs ([`SbSolver::solve_batch`]) with
+//!   deterministic seed assignment and best-replica selection;
 //! - [`HigherOrderSb`]: bSB for k-local energies (Kanao–Goto), needed by
 //!   the third-order row-based formulation.
 //!

@@ -3,9 +3,11 @@
 
 use crate::{StopCriterion, StopReason, StopState};
 use adis_ising::{IsingProblem, SpinVector};
+use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 /// Which simulated-bifurcation dynamics to integrate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,6 +69,33 @@ pub struct SbResult {
 ///     .solve(&p);
 /// // Ferromagnetic pair: ground energy −1.
 /// assert_eq!(result.best_energy, -1.0);
+/// ```
+///
+/// The full builder surface — dynamics variant, stop criterion, decoupled
+/// pump ramp, and seed — chains freely:
+///
+/// ```
+/// use adis_ising::IsingBuilder;
+/// use adis_sb::{SbSolver, SbVariant, StopCriterion, StopReason};
+///
+/// let p = IsingBuilder::new(4)
+///     .coupling(0, 1, 1.0)
+///     .coupling(1, 2, 1.0)
+///     .coupling(2, 3, 1.0)
+///     .build();
+/// let result = SbSolver::new()
+///     .variant(SbVariant::Discrete)
+///     .stop(StopCriterion::DynamicVariance {
+///         sample_every: 5,
+///         window: 5,
+///         threshold: 1e-8,
+///         max_iterations: 50_000,
+///     })
+///     .ramp(200)   // pump reaches a₀ after 200 iterations
+///     .seed(7)
+///     .solve(&p);
+/// assert_eq!(result.best_energy, -3.0);
+/// assert_eq!(result.stop_reason, StopReason::EnergySettled);
 /// ```
 #[derive(Debug, Clone)]
 pub struct SbSolver {
@@ -192,17 +221,53 @@ impl SbSolver {
         self.solve_with(problem, |_| {})
     }
 
+    /// Runs the solver, reporting the trajectory to `observer`: one
+    /// [`sb_start`](SolveObserver::sb_start), an
+    /// [`sb_sample`](SolveObserver::sb_sample) per sampling point (energy,
+    /// running best, mean oscillator amplitude `⟨|x|⟩`), and an
+    /// [`sb_stop`](SolveObserver::sb_stop) with the stop reason.
+    ///
+    /// Passing [`NullObserver`] makes this identical to
+    /// [`solve`](SbSolver::solve) — the observer is a generic parameter, so
+    /// the empty inline hooks compile away and no per-sample payload (the
+    /// amplitude mean) is even computed.
+    pub fn solve_observed<O>(&self, problem: &IsingProblem, observer: &mut O) -> SbResult
+    where
+        O: SolveObserver,
+    {
+        self.solve_with_observed(problem, |_| {}, observer)
+    }
+
     /// Runs the solver, invoking `intervene` on the integrator state at
     /// every sampling point (the hook used by the paper's type-reset
     /// heuristic, Section 3.3.2).
     ///
     /// The hook may rewrite positions/momenta in place; the integration
     /// continues from the modified state.
-    pub fn solve_with<F>(&self, problem: &IsingProblem, mut intervene: F) -> SbResult
+    pub fn solve_with<F>(&self, problem: &IsingProblem, intervene: F) -> SbResult
     where
         F: FnMut(&mut SbState<'_>),
     {
+        self.solve_with_observed(problem, intervene, &mut NullObserver)
+    }
+
+    /// The fully general entry point: an intervention hook *and* an
+    /// observer (see [`solve_with`](SbSolver::solve_with) and
+    /// [`solve_observed`](SbSolver::solve_observed)). Samples are reported
+    /// after the hook ran, so observers see the state integration actually
+    /// continues from.
+    pub fn solve_with_observed<F, O>(
+        &self,
+        problem: &IsingProblem,
+        mut intervene: F,
+        observer: &mut O,
+    ) -> SbResult
+    where
+        F: FnMut(&mut SbState<'_>),
+        O: SolveObserver,
+    {
         let n = problem.num_spins();
+        let _span = trace_span!("SbSolver::solve {:?} n={n}", self.variant);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut x: Vec<f64> = (0..n)
             .map(|_| rng.gen_range(-self.init_amplitude..=self.init_amplitude))
@@ -222,6 +287,7 @@ impl SbSolver {
         let mut signs = vec![0.0; n];
         let mut stop_reason = StopReason::IterationLimit;
         let mut iterations = max_iters;
+        observer.sb_start(n, max_iters);
 
         let ramp = self.ramp.unwrap_or(max_iters).min(max_iters).max(1);
         // With an explicit (shorter) ramp, defer the steady-state check
@@ -283,6 +349,14 @@ impl SbSolver {
                     best_energy = energy;
                     best_state = readout;
                 }
+                if observer.enabled() {
+                    let mean_amp = if n > 0 {
+                        x.iter().map(|v| v.abs()).sum::<f64>() / n as f64
+                    } else {
+                        0.0
+                    };
+                    observer.sb_sample(t + 1, energy, best_energy, mean_amp);
+                }
                 // Steady state is only judged after the pump has ramped.
                 if t + 1 >= settle_after && stop_state.record(energy) {
                     stop_reason = StopReason::EnergySettled;
@@ -291,6 +365,7 @@ impl SbSolver {
                 }
             }
         }
+        observer.sb_stop(iterations, best_energy, stop_reason == StopReason::EnergySettled);
 
         SbResult {
             best_state,
@@ -304,21 +379,37 @@ impl SbSolver {
     /// Runs `replicas` independent trajectories (seeds `seed..seed+replicas`)
     /// and keeps the best result.
     ///
+    /// Replicas run in parallel on the rayon thread pool. The result is
+    /// bit-identical to the sequential loop this replaces: replica `r`
+    /// still integrates from seed `seed + r`, and on equal best energies
+    /// the lowest-index replica wins.
+    ///
     /// # Panics
     ///
     /// Panics if `replicas == 0`.
     pub fn solve_batch(&self, problem: &IsingProblem, replicas: usize) -> SbResult {
         assert!(replicas > 0, "need at least one replica");
-        let mut best: Option<SbResult> = None;
-        for r in 0..replicas {
-            let result = self.clone().seed(self.seed.wrapping_add(r as u64)).solve(problem);
-            best = Some(match best {
-                None => result,
-                Some(b) if result.best_energy < b.best_energy => result,
-                Some(b) => b,
-            });
-        }
-        best.expect("replicas > 0")
+        let _span = trace_span!("SbSolver::solve_batch replicas={replicas}");
+        let results: Vec<SbResult> = (0..replicas)
+            .into_par_iter()
+            .map(|r| {
+                self.clone()
+                    .seed(self.seed.wrapping_add(r as u64))
+                    .solve(problem)
+            })
+            .collect();
+        // Deterministic selection: scan in replica order, strict `<` so the
+        // earliest replica wins ties — exactly the sequential semantics.
+        results
+            .into_iter()
+            .reduce(|best, candidate| {
+                if candidate.best_energy < best.best_energy {
+                    candidate
+                } else {
+                    best
+                }
+            })
+            .expect("replicas > 0")
     }
 }
 
@@ -456,6 +547,62 @@ mod tests {
             .solve_with(&p, |state| {
                 assert!(state.x.iter().all(|&v| v.abs() <= 1.0 + 1e-12));
             });
+    }
+
+    #[test]
+    fn null_observer_changes_nothing() {
+        // The disabled observer must add no samples and leave the solve
+        // byte-identical: same best state/energy, same trace, and the
+        // amplitude payload is never even computed (observer disabled).
+        use adis_telemetry::NullObserver;
+        let p = random_problem(10, 21);
+        let plain = SbSolver::new().seed(4).solve(&p);
+        let observed = SbSolver::new().seed(4).solve_observed(&p, &mut NullObserver);
+        assert_eq!(plain.best_state, observed.best_state);
+        assert_eq!(plain.best_energy, observed.best_energy);
+        assert_eq!(plain.trace, observed.trace);
+        assert_eq!(plain.iterations, observed.iterations);
+        assert_eq!(std::mem::size_of::<NullObserver>(), 0);
+    }
+
+    #[test]
+    fn observer_sees_every_sample_and_the_stop() {
+        use adis_telemetry::Recorder;
+        let p = random_problem(8, 22);
+        let mut rec = Recorder::new();
+        let r = SbSolver::new()
+            .stop(StopCriterion::FixedIterations(200))
+            .seed(1)
+            .solve_observed(&p, &mut rec);
+        // One sb_sample per trace entry, in the same order.
+        assert_eq!(rec.trajectory.samples(), r.trace.as_slice());
+        assert_eq!(rec.sb.runs, 1);
+        assert_eq!(rec.sb.total_iterations, r.iterations);
+        assert_eq!(rec.sb.settled, 0);
+        assert_eq!(rec.sb.best_energy, r.best_energy);
+        // Amplitudes were computed and lie in the walled range.
+        assert!(rec.sb.samples > 0);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_selection() {
+        let p = random_problem(12, 23);
+        let solver = SbSolver::new().seed(5);
+        let batch = solver.solve_batch(&p, 8);
+        // Recompute the sequential reference selection.
+        let mut best: Option<SbResult> = None;
+        for r in 0..8u64 {
+            let result = solver.clone().seed(5 + r).solve(&p);
+            best = Some(match best {
+                None => result,
+                Some(b) if result.best_energy < b.best_energy => result,
+                Some(b) => b,
+            });
+        }
+        let best = best.unwrap();
+        assert_eq!(batch.best_state, best.best_state);
+        assert_eq!(batch.best_energy, best.best_energy);
+        assert_eq!(batch.trace, best.trace);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Concrete collectors: trajectory recorder, stage timers, counters, and
+//! the all-in-one [`Recorder`] the bench harness serializes.
+
+use crate::observer::SolveObserver;
+use crate::Json;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Records the `(iteration, energy)` samples of SB trajectories.
+///
+/// Samples from consecutive trajectories are appended in order; use
+/// [`trajectory_starts`](EnergyTrajectory::trajectory_starts) to split them
+/// back apart.
+#[derive(Debug, Clone, Default)]
+pub struct EnergyTrajectory {
+    samples: Vec<(usize, f64)>,
+    starts: Vec<usize>,
+}
+
+impl EnergyTrajectory {
+    /// An empty trajectory recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded `(iteration, energy)` samples.
+    pub fn samples(&self) -> &[(usize, f64)] {
+        &self.samples
+    }
+
+    /// Offsets into [`samples`](Self::samples) where each trajectory began.
+    pub fn trajectory_starts(&self) -> &[usize] {
+        &self.starts
+    }
+
+    /// Lowest sampled energy, if any sample was recorded.
+    pub fn best_energy(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|&(_, e)| e)
+            .min_by(f64::total_cmp)
+    }
+}
+
+impl SolveObserver for EnergyTrajectory {
+    fn sb_start(&mut self, _spins: usize, _max_iterations: usize) {
+        self.starts.push(self.samples.len());
+    }
+
+    fn sb_sample(&mut self, iteration: usize, energy: f64, _best: f64, _amp: f64) {
+        self.samples.push((iteration, energy));
+    }
+}
+
+/// Accumulates wall-clock time per named stage.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimings {
+    totals: BTreeMap<String, Duration>,
+}
+
+impl StageTimings {
+    /// An empty timer set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total accumulated time for `stage` (zero if never reported).
+    pub fn total(&self, stage: &str) -> Duration {
+        self.totals.get(stage).copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// All `(stage, total)` pairs, sorted by stage name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.totals.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Renders the timings as a JSON object of seconds per stage.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.totals
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(v.as_secs_f64())))
+                .collect(),
+        )
+    }
+}
+
+impl SolveObserver for StageTimings {
+    fn stage_end(&mut self, stage: &str, wall: Duration) {
+        *self.totals.entry(stage.to_string()).or_default() += wall;
+    }
+}
+
+/// Named monotonic counters.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// An empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of `name` (zero if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// All `(name, value)` pairs, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Renders the counters as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.values
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+                .collect(),
+        )
+    }
+}
+
+impl SolveObserver for Counters {
+    fn counter(&mut self, name: &str, delta: u64) {
+        *self.values.entry(name.to_string()).or_default() += delta;
+    }
+}
+
+/// Aggregate statistics over all SB trajectories an observer saw.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SbStats {
+    /// Trajectories started.
+    pub runs: usize,
+    /// Iterations summed over all trajectories.
+    pub total_iterations: usize,
+    /// Sampling points observed.
+    pub samples: usize,
+    /// Trajectories that stopped via the dynamic variance criterion.
+    pub settled: usize,
+    /// Best energy over all trajectories (`f64::INFINITY` before any stop).
+    pub best_energy: f64,
+}
+
+impl SbStats {
+    fn new() -> Self {
+        SbStats {
+            best_energy: f64::INFINITY,
+            ..Default::default()
+        }
+    }
+}
+
+/// One recorded per-partition COP result (see
+/// [`SolveObserver::cop_result`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopRecord {
+    /// Framework round.
+    pub round: usize,
+    /// Output component index.
+    pub component: u32,
+    /// Candidate partition index within the round.
+    pub partition: usize,
+    /// Achieved COP objective.
+    pub objective: f64,
+    /// SB iterations spent (0 for non-Ising solvers).
+    pub iterations: usize,
+}
+
+/// The everything collector: stages, counters, gauges, SB aggregates, the
+/// energy trajectory, and the framework's per-COP / per-component decision
+/// log, all in one observer the bench harness can serialize.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    /// Per-stage wall-clock totals.
+    pub stages: StageTimings,
+    /// Monotonic counters.
+    pub counters: Counters,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// SB aggregates.
+    pub sb: SbStats,
+    /// Full energy trajectory (can be large; see
+    /// [`keep_trajectory`](Recorder::keep_trajectory)).
+    pub trajectory: EnergyTrajectory,
+    /// Per-partition COP results.
+    pub cops: Vec<CopRecord>,
+    /// `(round, component, objective, kept_incumbent)` decisions.
+    pub components: Vec<(usize, u32, f64, bool)>,
+    keep_trajectory: bool,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder that keeps everything, including the full trajectory.
+    pub fn new() -> Self {
+        Recorder {
+            stages: StageTimings::new(),
+            counters: Counters::new(),
+            gauges: BTreeMap::new(),
+            sb: SbStats::new(),
+            trajectory: EnergyTrajectory::new(),
+            cops: Vec::new(),
+            components: Vec::new(),
+            keep_trajectory: true,
+        }
+    }
+
+    /// Enables/disables storing every `(iteration, energy)` sample (the
+    /// aggregates in [`sb`](Recorder::sb) are kept either way). Disable for
+    /// long runs where the trajectory would dominate memory.
+    pub fn keep_trajectory(mut self, keep: bool) -> Self {
+        self.keep_trajectory = keep;
+        self
+    }
+}
+
+impl SolveObserver for Recorder {
+    fn stage_end(&mut self, stage: &str, wall: Duration) {
+        self.stages.stage_end(stage, wall);
+    }
+
+    fn counter(&mut self, name: &str, delta: u64) {
+        self.counters.counter(name, delta);
+    }
+
+    fn gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    fn sb_start(&mut self, spins: usize, max_iterations: usize) {
+        self.sb.runs += 1;
+        if self.keep_trajectory {
+            self.trajectory.sb_start(spins, max_iterations);
+        }
+    }
+
+    fn sb_sample(&mut self, iteration: usize, energy: f64, best: f64, amp: f64) {
+        self.sb.samples += 1;
+        if self.keep_trajectory {
+            self.trajectory.sb_sample(iteration, energy, best, amp);
+        }
+    }
+
+    fn sb_stop(&mut self, iterations: usize, best_energy: f64, settled: bool) {
+        self.sb.total_iterations += iterations;
+        if settled {
+            self.sb.settled += 1;
+        }
+        if best_energy < self.sb.best_energy {
+            self.sb.best_energy = best_energy;
+        }
+    }
+
+    fn cop_result(&mut self, round: usize, component: u32, partition: usize, objective: f64, iterations: usize) {
+        self.cops.push(CopRecord {
+            round,
+            component,
+            partition,
+            objective,
+            iterations,
+        });
+    }
+
+    fn component_chosen(&mut self, round: usize, component: u32, objective: f64, kept_incumbent: bool) {
+        self.components.push((round, component, objective, kept_incumbent));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectory_splits_runs() {
+        let mut t = EnergyTrajectory::new();
+        t.sb_start(4, 100);
+        t.sb_sample(10, 1.0, 1.0, 0.5);
+        t.sb_sample(20, -1.0, -1.0, 0.9);
+        t.sb_start(4, 100);
+        t.sb_sample(10, 0.5, 0.5, 0.4);
+        assert_eq!(t.samples().len(), 3);
+        assert_eq!(t.trajectory_starts(), &[0, 2]);
+        assert_eq!(t.best_energy(), Some(-1.0));
+    }
+
+    #[test]
+    fn stage_timings_accumulate() {
+        let mut s = StageTimings::new();
+        s.stage_end("sweep", Duration::from_millis(10));
+        s.stage_end("sweep", Duration::from_millis(5));
+        s.stage_end("metrics", Duration::from_millis(1));
+        assert_eq!(s.total("sweep"), Duration::from_millis(15));
+        assert_eq!(s.total("missing"), Duration::ZERO);
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::new();
+        c.counter("cop_solves", 3);
+        c.counter("cop_solves", 2);
+        assert_eq!(c.get("cop_solves"), 5);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn recorder_aggregates_sb_runs() {
+        let mut r = Recorder::new();
+        r.sb_start(8, 1000);
+        r.sb_sample(20, 2.0, 2.0, 0.1);
+        r.sb_stop(40, 2.0, false);
+        r.sb_start(8, 1000);
+        r.sb_sample(20, -5.0, -5.0, 0.8);
+        r.sb_stop(20, -5.0, true);
+        assert_eq!(r.sb.runs, 2);
+        assert_eq!(r.sb.total_iterations, 60);
+        assert_eq!(r.sb.samples, 2);
+        assert_eq!(r.sb.settled, 1);
+        assert_eq!(r.sb.best_energy, -5.0);
+        assert_eq!(r.trajectory.samples().len(), 2);
+    }
+
+    #[test]
+    fn recorder_can_drop_trajectory() {
+        let mut r = Recorder::new().keep_trajectory(false);
+        r.sb_start(8, 1000);
+        r.sb_sample(20, 2.0, 2.0, 0.1);
+        r.sb_stop(20, 2.0, true);
+        assert_eq!(r.trajectory.samples().len(), 0);
+        assert_eq!(r.sb.samples, 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! A minimal JSON value and serializer.
+//!
+//! Hand-rolled on purpose: the build environment is offline, so `serde` /
+//! `serde_json` cannot be fetched, and the run reports only need writing,
+//! never parsing. Output is valid RFC 8259 JSON.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values serialize as `null` (JSON has no
+    /// NaN/Infinity).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered list of `(key, value)` pairs (insertion
+    /// order is preserved in the output).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    /// Serializes to an indented JSON string (two spaces per level).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if !v.is_finite() {
+                    out.push_str("null");
+                } else if *v == v.trunc() && v.abs() < 9.0e15 {
+                    // Integral values print without a fractional part.
+                    let _ = write!(out, "{}", *v as i64);
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|d| d + 1));
+                    item.write(out, indent.map(|d| d + 1));
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|d| d + 1));
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent.map(|d| d + 1));
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(-0.25).render(), "-0.25");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn containers() {
+        let v = Json::Obj(vec![
+            ("seed".into(), Json::Num(7.0)),
+            (
+                "cells".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::str("x")]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+        ]);
+        assert_eq!(v.render(), r#"{"seed":7,"cells":[1,"x"],"empty":[]}"#);
+        // Pretty output stays parseable and ends in a newline.
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\n  \"seed\": 7"));
+        assert!(pretty.ends_with('\n'));
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+    }
+}

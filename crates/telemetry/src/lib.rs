@@ -1,0 +1,74 @@
+//! # adis-telemetry — solver observability
+//!
+//! The instrumentation surface for the whole solver stack: a lightweight
+//! [`SolveObserver`] trait that solvers call at interesting moments (bSB
+//! energy samples, stage boundaries, COP decisions), concrete collectors
+//! that turn those calls into data ([`EnergyTrajectory`], [`StageTimings`],
+//! [`Counters`], [`Recorder`]), and a structured [`RunReport`] the bench
+//! binaries serialize to `results/RUN_*.json`.
+//!
+//! ## Zero cost when disabled
+//!
+//! Solvers are generic over `O: SolveObserver` and the do-nothing
+//! [`NullObserver`] is a zero-sized type whose empty inline methods compile
+//! away, so an uninstrumented solve is byte-identical to one that never
+//! heard of this crate. Observers also expose [`SolveObserver::enabled`];
+//! instrumented code uses it to skip *preparing* expensive sample payloads
+//! (e.g. mean oscillator amplitudes), not just delivering them.
+//!
+//! ## Event vocabulary
+//!
+//! The trait speaks in primitives (`&str`, `f64`, `usize`) rather than
+//! solver types, so every crate in the stack — `sb`, `core`, `ising`,
+//! `ilp` — can depend on it without cycles:
+//!
+//! - [`stage_end`](SolveObserver::stage_end): a named stage finished, with
+//!   its wall-clock duration;
+//! - [`counter`](SolveObserver::counter) / [`gauge`](SolveObserver::gauge):
+//!   monotonic counts (`cop_solves`, `bnb_nodes`) and point-in-time values;
+//! - [`sb_start`](SolveObserver::sb_start) /
+//!   [`sb_sample`](SolveObserver::sb_sample) /
+//!   [`sb_stop`](SolveObserver::sb_stop): one simulated-bifurcation
+//!   trajectory — per-sample energy, running best, mean `|x|` amplitude,
+//!   and why/when the run ended;
+//! - [`cop_result`](SolveObserver::cop_result) /
+//!   [`component_chosen`](SolveObserver::component_chosen): the framework's
+//!   per-partition COP objectives and its incumbent-vs-challenger
+//!   decisions.
+//!
+//! ## Tracing
+//!
+//! With the `trace` cargo feature, the [`trace_event!`] and [`trace_span!`]
+//! macros print timestamped lines/spans to stderr. They are a deliberate,
+//! dependency-free stand-in for the `tracing` ecosystem (this reproduction
+//! builds offline); with the feature off they expand to nothing.
+//!
+//! # Example
+//!
+//! ```
+//! use adis_telemetry::{Recorder, SolveObserver};
+//!
+//! let mut rec = Recorder::new();
+//! rec.sb_start(8, 1000);
+//! rec.sb_sample(20, -3.0, -3.0, 0.9);
+//! rec.sb_stop(20, -3.0, true);
+//! rec.counter("cop_solves", 1);
+//! assert_eq!(rec.counters.get("cop_solves"), 1);
+//! assert_eq!(rec.sb.total_iterations, 20);
+//! assert_eq!(rec.trajectory.samples(), &[(20, -3.0)]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod collect;
+mod json;
+mod observer;
+mod report;
+mod trace;
+
+pub use collect::{CopRecord, Counters, EnergyTrajectory, Recorder, SbStats, StageTimings};
+pub use json::Json;
+pub use observer::{NullObserver, SolveObserver};
+pub use report::{ReportCell, RunReport};
+pub use trace::TraceSpan;

@@ -1,0 +1,157 @@
+//! The observer trait and the zero-cost null implementation.
+
+use std::time::Duration;
+
+/// Hooks a solver calls at interesting moments.
+///
+/// Every method has an empty default body, so an observer implements only
+/// what it cares about. Solvers are generic over `O: SolveObserver`; with
+/// [`NullObserver`] the calls inline to nothing.
+///
+/// Methods take primitives rather than solver types so every crate in the
+/// stack can report through the same trait without dependency cycles.
+pub trait SolveObserver {
+    /// Whether this observer wants data at all. Instrumented code may use
+    /// this to skip *computing* expensive sample payloads. Defaults to
+    /// `true`; [`NullObserver`] returns `false`.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// A named stage finished after `wall` of wall-clock time.
+    #[inline]
+    fn stage_end(&mut self, _stage: &str, _wall: Duration) {}
+
+    /// Adds `delta` to the named monotonic counter.
+    #[inline]
+    fn counter(&mut self, _name: &str, _delta: u64) {}
+
+    /// Records a point-in-time value for the named gauge (last write wins).
+    #[inline]
+    fn gauge(&mut self, _name: &str, _value: f64) {}
+
+    /// A simulated-bifurcation trajectory is starting on `spins`
+    /// oscillators with an iteration budget of `max_iterations`.
+    #[inline]
+    fn sb_start(&mut self, _spins: usize, _max_iterations: usize) {}
+
+    /// An SB sampling point: the energy of the current sign readout, the
+    /// best energy seen so far this trajectory, and the mean oscillator
+    /// amplitude `⟨|x|⟩` (a bifurcation-progress signal; `0.0` when the
+    /// caller skipped computing it because [`enabled`](Self::enabled) was
+    /// false).
+    #[inline]
+    fn sb_sample(&mut self, _iteration: usize, _energy: f64, _best_energy: f64, _mean_amplitude: f64) {
+    }
+
+    /// An SB trajectory ended after `iterations` steps with `best_energy`;
+    /// `settled` is true when the dynamic variance criterion fired (rather
+    /// than the iteration budget running out).
+    #[inline]
+    fn sb_stop(&mut self, _iterations: usize, _best_energy: f64, _settled: bool) {}
+
+    /// One core-COP solve finished: in `round`, for output `component`,
+    /// candidate partition index `partition`, with the achieved `objective`
+    /// and the SB `iterations` it spent (0 for non-Ising solvers).
+    #[inline]
+    fn cop_result(
+        &mut self,
+        _round: usize,
+        _component: u32,
+        _partition: usize,
+        _objective: f64,
+        _iterations: usize,
+    ) {
+    }
+
+    /// The framework committed a decomposition for `component` in `round`
+    /// at `objective`; `kept_incumbent` is true when the previous round's
+    /// choice beat this round's best challenger and was retained.
+    #[inline]
+    fn component_chosen(&mut self, _round: usize, _component: u32, _objective: f64, _kept_incumbent: bool) {
+    }
+}
+
+/// The do-nothing observer: a zero-sized type whose empty methods compile
+/// away entirely, making uninstrumented solves identical to pre-telemetry
+/// builds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl SolveObserver for NullObserver {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+// A mutable reference to an observer is itself an observer, so callers can
+// hand the same collector to several nested solve calls.
+impl<O: SolveObserver + ?Sized> SolveObserver for &mut O {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    #[inline]
+    fn stage_end(&mut self, stage: &str, wall: Duration) {
+        (**self).stage_end(stage, wall);
+    }
+    #[inline]
+    fn counter(&mut self, name: &str, delta: u64) {
+        (**self).counter(name, delta);
+    }
+    #[inline]
+    fn gauge(&mut self, name: &str, value: f64) {
+        (**self).gauge(name, value);
+    }
+    #[inline]
+    fn sb_start(&mut self, spins: usize, max_iterations: usize) {
+        (**self).sb_start(spins, max_iterations);
+    }
+    #[inline]
+    fn sb_sample(&mut self, iteration: usize, energy: f64, best_energy: f64, mean_amplitude: f64) {
+        (**self).sb_sample(iteration, energy, best_energy, mean_amplitude);
+    }
+    #[inline]
+    fn sb_stop(&mut self, iterations: usize, best_energy: f64, settled: bool) {
+        (**self).sb_stop(iterations, best_energy, settled);
+    }
+    #[inline]
+    fn cop_result(&mut self, round: usize, component: u32, partition: usize, objective: f64, iterations: usize) {
+        (**self).cop_result(round, component, partition, objective, iterations);
+    }
+    #[inline]
+    fn component_chosen(&mut self, round: usize, component: u32, objective: f64, kept_incumbent: bool) {
+        (**self).component_chosen(round, component, objective, kept_incumbent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NullObserver>(), 0);
+        assert!(!NullObserver.enabled());
+    }
+
+    #[test]
+    fn forwarding_through_mut_ref() {
+        struct Count(u64);
+        impl SolveObserver for Count {
+            fn counter(&mut self, _name: &str, delta: u64) {
+                self.0 += delta;
+            }
+        }
+        let mut c = Count(0);
+        {
+            let mut r = &mut c;
+            r.counter("x", 2);
+            assert!(r.enabled());
+        }
+        c.counter("x", 1);
+        assert_eq!(c.0, 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! Structured, machine-readable run reports.
+//!
+//! Every bench binary assembles a [`RunReport`] — the tool name, seed,
+//! configuration, and one [`ReportCell`] per (benchmark × method) cell with
+//! its wall time, per-stage timings, COP/SB counters and final energies —
+//! and writes it as `results/RUN_<tool>_<seed>_<timestamp>.json`, so runs
+//! are reproducible and comparable across commits.
+
+use crate::collect::{Recorder, StageTimings};
+use crate::Json;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// One measured cell of a run (a benchmark × mode × method combination).
+#[derive(Debug, Clone)]
+pub struct ReportCell {
+    /// Benchmark/function name.
+    pub benchmark: String,
+    /// Error mode (`Separate`/`Joint`) or a free-form label.
+    pub mode: String,
+    /// Solution method name.
+    pub method: String,
+    /// Final objective of the run (MED for decomposition runs, ER for
+    /// per-COP ablations).
+    pub objective: f64,
+    /// Wall-clock seconds for the cell.
+    pub seconds: f64,
+    /// Core-COP instances solved.
+    pub cop_solves: u64,
+    /// bSB Euler iterations, summed over every trajectory in the cell.
+    pub sb_iterations: u64,
+    /// SB trajectories run.
+    pub sb_runs: u64,
+    /// Trajectories stopped by the dynamic variance criterion.
+    pub sb_settled: u64,
+    /// Best raw SB energy observed (`None` when no trajectory reported).
+    pub best_energy: Option<f64>,
+    /// Per-stage wall-clock totals within the cell.
+    pub stages: StageTimings,
+    /// Extra tool-specific fields appended verbatim to the JSON.
+    pub extra: Vec<(String, Json)>,
+}
+
+impl ReportCell {
+    /// A cell with the identifying labels set and all measurements zeroed.
+    pub fn new(benchmark: impl Into<String>, mode: impl Into<String>, method: impl Into<String>) -> Self {
+        ReportCell {
+            benchmark: benchmark.into(),
+            mode: mode.into(),
+            method: method.into(),
+            objective: 0.0,
+            seconds: 0.0,
+            cop_solves: 0,
+            sb_iterations: 0,
+            sb_runs: 0,
+            sb_settled: 0,
+            best_energy: None,
+            stages: StageTimings::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Copies the SB aggregates, counters and stage timings out of a
+    /// [`Recorder`] that observed this cell's solve.
+    pub fn absorb(mut self, rec: &Recorder) -> Self {
+        self.cop_solves = rec.counters.get("cop_solves");
+        self.sb_iterations = rec.counters.get("sb_iterations").max(rec.sb.total_iterations as u64);
+        self.sb_runs = rec.sb.runs as u64;
+        self.sb_settled = rec.sb.settled as u64;
+        if rec.sb.best_energy.is_finite() {
+            self.best_energy = Some(rec.sb.best_energy);
+        }
+        self.stages = rec.stages.clone();
+        self
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("benchmark".to_string(), Json::str(&self.benchmark)),
+            ("mode".to_string(), Json::str(&self.mode)),
+            ("method".to_string(), Json::str(&self.method)),
+            ("objective".to_string(), Json::Num(self.objective)),
+            ("seconds".to_string(), Json::Num(self.seconds)),
+            ("cop_solves".to_string(), Json::Num(self.cop_solves as f64)),
+            ("sb_iterations".to_string(), Json::Num(self.sb_iterations as f64)),
+            ("sb_runs".to_string(), Json::Num(self.sb_runs as f64)),
+            ("sb_settled".to_string(), Json::Num(self.sb_settled as f64)),
+            (
+                "best_energy".to_string(),
+                self.best_energy.map(Json::Num).unwrap_or(Json::Null),
+            ),
+            ("stages_seconds".to_string(), self.stages.to_json()),
+        ];
+        fields.extend(self.extra.iter().cloned());
+        Json::Obj(fields)
+    }
+}
+
+/// A full run report, serialized to `results/RUN_*.json`.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    tool: String,
+    seed: u64,
+    config: Vec<(String, Json)>,
+    cells: Vec<ReportCell>,
+    total_wall: Duration,
+}
+
+impl RunReport {
+    /// A report for `tool` (e.g. `"table1"`) run under `seed`.
+    pub fn new(tool: impl Into<String>, seed: u64) -> Self {
+        RunReport {
+            tool: tool.into(),
+            seed,
+            config: Vec::new(),
+            cells: Vec::new(),
+            total_wall: Duration::ZERO,
+        }
+    }
+
+    /// Records a configuration key (partitions, rounds, replicas, …).
+    pub fn config(&mut self, key: impl Into<String>, value: Json) -> &mut Self {
+        self.config.push((key.into(), value));
+        self
+    }
+
+    /// Appends a measured cell.
+    pub fn push(&mut self, cell: ReportCell) -> &mut Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Sets the whole-run wall-clock time.
+    pub fn total_wall(&mut self, wall: Duration) -> &mut Self {
+        self.total_wall = wall;
+        self
+    }
+
+    /// Number of cells recorded so far.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Renders the report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".to_string(), Json::str("adis-run-report/1")),
+            ("tool".to_string(), Json::str(&self.tool)),
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+            (
+                "unix_time".to_string(),
+                Json::Num(unix_time_ms() as f64 / 1000.0),
+            ),
+            ("config".to_string(), Json::Obj(self.config.clone())),
+            (
+                "total_seconds".to_string(),
+                Json::Num(self.total_wall.as_secs_f64()),
+            ),
+            (
+                "cells".to_string(),
+                Json::Arr(self.cells.iter().map(ReportCell::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Writes the report into `dir` (created if missing) as
+    /// `RUN_<tool>_s<seed>_<unix-ms>.json` and returns the path.
+    pub fn write(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!(
+            "RUN_{}_s{}_{}.json",
+            self.tool,
+            self.seed,
+            unix_time_ms()
+        ));
+        std::fs::write(&path, self.to_json().render_pretty())?;
+        Ok(path)
+    }
+}
+
+fn unix_time_ms() -> u128 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveObserver;
+
+    #[test]
+    fn report_round_trip_shape() {
+        let mut rec = Recorder::new();
+        rec.counter("cop_solves", 8);
+        rec.sb_start(21, 10_000);
+        rec.sb_sample(20, -1.5, -1.5, 0.7);
+        rec.sb_stop(120, -1.5, true);
+        rec.stage_end("cop_sweep", Duration::from_millis(12));
+
+        let mut report = RunReport::new("table1", 7);
+        report.config("partitions", Json::Num(8.0));
+        let mut cell = ReportCell::new("exp", "Joint", "Prop.").absorb(&rec);
+        cell.objective = 3.25;
+        cell.seconds = 0.012;
+        report.push(cell);
+        report.total_wall(Duration::from_millis(20));
+
+        assert_eq!(report.len(), 1);
+        assert!(!report.is_empty());
+        let text = report.to_json().render();
+        for needle in [
+            "\"schema\":\"adis-run-report/1\"",
+            "\"tool\":\"table1\"",
+            "\"seed\":7",
+            "\"partitions\":8",
+            "\"cop_solves\":8",
+            "\"sb_iterations\":120",
+            "\"sb_settled\":1",
+            "\"best_energy\":-1.5",
+            "\"objective\":3.25",
+            "\"cop_sweep\":0.012",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "adis-telemetry-test-{}-{}",
+            std::process::id(),
+            unix_time_ms()
+        ));
+        let report = RunReport::new("unit", 1);
+        let path = report.write(&dir).expect("writable temp dir");
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        assert!(name.starts_with("RUN_unit_s1_"));
+        assert!(name.ends_with(".json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"cells\": []"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,126 @@
+//! Feature-gated tracing at crate boundaries.
+//!
+//! The observability issue asks for `tracing` spans; that crate cannot be
+//! fetched in this offline build environment, so this module provides a
+//! dependency-free stand-in with the same call shape: [`trace_event!`] for
+//! one-shot events and [`trace_span!`] for scoped spans that report their
+//! wall-clock time on drop. Both compile to nothing (no formatting, no
+//! allocation) unless the `trace` cargo feature is enabled — crates further
+//! up the stack forward it as their own `trace` feature — so the default
+//! build pays zero cost.
+//!
+//! Output goes to stderr as single lines:
+//!
+//! ```text
+//! [adis::trace adis_sb::solver] enter solve n=21
+//! [adis::trace adis_sb::solver] exit  solve (1.234ms)
+//! ```
+
+/// Emits a one-shot trace event (`format!`-style arguments) to stderr.
+/// Compiles to nothing without the `trace` feature.
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! trace_event {
+    ($($arg:tt)*) => {
+        eprintln!("[adis::trace {}] {}", module_path!(), format_args!($($arg)*));
+    };
+}
+
+/// Emits a one-shot trace event (`format!`-style arguments) to stderr.
+/// Compiles to nothing without the `trace` feature.
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! trace_event {
+    ($($arg:tt)*) => {};
+}
+
+/// Opens a [`TraceSpan`](crate::TraceSpan) guard that logs entry now and
+/// exit (with elapsed time) when dropped. Bind it to keep the span open:
+///
+/// ```
+/// let _span = adis_telemetry::trace_span!("solve n={}", 21);
+/// // ... traced work ...
+/// ```
+///
+/// Without the `trace` feature the guard is inert and the format arguments
+/// are never evaluated.
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! trace_span {
+    ($($arg:tt)*) => {
+        $crate::TraceSpan::enter(module_path!(), format!($($arg)*))
+    };
+}
+
+/// Opens a [`TraceSpan`](crate::TraceSpan) guard that logs entry now and
+/// exit (with elapsed time) when dropped. Bind it to keep the span open:
+///
+/// ```
+/// let _span = adis_telemetry::trace_span!("solve n={}", 21);
+/// // ... traced work ...
+/// ```
+///
+/// Without the `trace` feature the guard is inert and the format arguments
+/// are never evaluated.
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! trace_span {
+    ($($arg:tt)*) => {
+        $crate::TraceSpan::disabled()
+    };
+}
+
+/// A scoped span guard created by [`trace_span!`]: logs `enter` on
+/// creation and `exit` with elapsed wall time on drop. Without the `trace`
+/// feature it is an inert zero-sized value.
+#[derive(Debug)]
+pub struct TraceSpan {
+    #[cfg(feature = "trace")]
+    module: &'static str,
+    #[cfg(feature = "trace")]
+    label: String,
+    #[cfg(feature = "trace")]
+    start: std::time::Instant,
+}
+
+impl TraceSpan {
+    /// Starts a live span (used via [`trace_span!`] with `trace` enabled).
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub fn enter(module: &'static str, label: String) -> TraceSpan {
+        eprintln!("[adis::trace {module}] enter {label}");
+        TraceSpan {
+            module,
+            label,
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// The inert guard used when the `trace` feature is off.
+    #[cfg(not(feature = "trace"))]
+    #[inline]
+    pub fn disabled() -> TraceSpan {
+        TraceSpan {}
+    }
+}
+
+#[cfg(feature = "trace")]
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        eprintln!(
+            "[adis::trace {}] exit  {} ({:.3}ms)",
+            self.module,
+            self.label,
+            self.start.elapsed().as_secs_f64() * 1000.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn span_guard_compiles_in_both_modes() {
+        let _span = trace_span!("unit test {}", 1);
+        trace_event!("event {}", 2);
+    }
+}

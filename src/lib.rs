@@ -16,7 +16,10 @@
 //!   functions, gate-level circuits, kinematics kernels);
 //! - [`core`]: the paper's contribution — the column-based core COP, its
 //!   Ising formulations, the bSB COP solver with both improvement
-//!   strategies, the baselines, and the decomposition framework.
+//!   strategies, the baselines, and the decomposition framework;
+//! - [`telemetry`]: the observability layer — [`telemetry::SolveObserver`]
+//!   hooks threaded through every solve path, collectors, and the
+//!   structured `results/RUN_*.json` run reports.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -28,3 +31,4 @@ pub use adis_ilp as ilp;
 pub use adis_ising as ising;
 pub use adis_lut as lut;
 pub use adis_sb as sb;
+pub use adis_telemetry as telemetry;
