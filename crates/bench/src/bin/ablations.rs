@@ -70,7 +70,7 @@ fn main() {
             let sol = IsingCopSolver::new()
                 .stop(crit.clone())
                 .seed(cfg.seed)
-                .solve_observed(cop, &mut rec);
+                .solve_with(cop, &mut rec);
             er += sol.objective;
             iters += sol.stats.iterations;
         }
@@ -99,7 +99,7 @@ fn main() {
             er += IsingCopSolver::new()
                 .heuristic(on)
                 .seed(cfg.seed)
-                .solve_observed(cop, &mut rec)
+                .solve_with(cop, &mut rec)
                 .objective;
         }
         let elapsed = t0.elapsed();
@@ -125,7 +125,7 @@ fn main() {
         for (cop, _) in &instances {
             er += IsingCopSolver::new()
                 .seed(cfg.seed)
-                .solve_observed(cop, &mut rec)
+                .solve_with(cop, &mut rec)
                 .objective;
         }
         let elapsed = t0.elapsed();

@@ -53,6 +53,9 @@ pub struct RunConfig {
     pub seed: u64,
     /// bSB replicas per COP for the proposed method.
     pub replicas: usize,
+    /// Whether the sweep engine's COP memo table is enabled (`--no-cache`
+    /// disables it; results are bit-identical either way).
+    pub cache: bool,
 }
 
 impl RunConfig {
@@ -65,6 +68,7 @@ impl RunConfig {
             ilp_time_limit: Duration::from_millis(250),
             seed: 1,
             replicas: 1,
+            cache: true,
         }
     }
 
@@ -77,11 +81,13 @@ impl RunConfig {
             ilp_time_limit: Duration::from_secs(3600),
             seed: 1,
             replicas: 1,
+            cache: true,
         }
     }
 
-    /// Parses `--full` / `--partitions N` / `--rounds N` / `--seed N` from
-    /// command-line arguments, starting from [`RunConfig::fast`].
+    /// Parses `--full` / `--partitions N` / `--rounds N` / `--seed N` /
+    /// `--no-cache` from command-line arguments, starting from
+    /// [`RunConfig::fast`].
     pub fn from_args() -> Self {
         let mut cfg = RunConfig::fast();
         let args: Vec<String> = std::env::args().collect();
@@ -110,6 +116,7 @@ impl RunConfig {
                     cfg.ilp_time_limit =
                         Duration::from_millis(args[i].parse().expect("--ilp-limit-ms ms"));
                 }
+                "--no-cache" => cfg.cache = false,
                 other => panic!("unknown argument: {other}"),
             }
             i += 1;
@@ -150,6 +157,7 @@ pub fn framework_for(
         .partitions(cfg.partitions)
         .rounds(cfg.rounds)
         .seed(cfg.seed)
+        .cache(cfg.cache)
 }
 
 /// Result of one (benchmark × method) cell.
@@ -197,7 +205,7 @@ pub fn run_method_reported(
     // Aggregates only — a full decomposition runs thousands of
     // trajectories, so storing every sample would dominate memory.
     let mut rec = Recorder::new().keep_trajectory(false);
-    let outcome = framework_for(method, mode, scheme, cfg).decompose_observed(f, &mut rec);
+    let outcome = framework_for(method, mode, scheme, cfg).decompose_with(f, &mut rec);
     let result = MethodResult {
         med: outcome.med,
         seconds: outcome.elapsed.as_secs_f64(),
@@ -222,7 +230,8 @@ pub fn report_for(tool: &str, cfg: &RunConfig) -> RunReport {
         .config(
             "ilp_time_limit_s",
             Json::Num(cfg.ilp_time_limit.as_secs_f64()),
-        );
+        )
+        .config("cache", Json::Bool(cfg.cache));
     report
 }
 
@@ -329,6 +338,7 @@ mod tests {
             ilp_time_limit: Duration::from_millis(50),
             seed: 1,
             replicas: 1,
+            cache: true,
         };
         for method in [Method::Proposed, Method::DaltaIlp, Method::Dalta, Method::Ba] {
             let r = run_method(&f, method, Mode::Joint, QuantScheme::Small, &cfg);

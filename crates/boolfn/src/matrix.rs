@@ -125,6 +125,52 @@ impl BooleanMatrix {
         seen.len()
     }
 
+    /// The matrix content as row-major bits (entry `(i, j)` at
+    /// `i * cols + j`).
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// A 64-bit fingerprint of the **multiset of columns**: hash each
+    /// column (FNV-1a over its bits plus the row count) and combine the
+    /// per-column hashes commutatively, so any permutation of columns maps
+    /// to the same value.
+    ///
+    /// Column-based decomposability (Theorem 2) and the separate-mode COP
+    /// objective are invariant under column reordering — the column types
+    /// `T` just permute along — which makes this the natural cheap
+    /// equivalence signature for memoizing per-matrix COP solves. It is a
+    /// *fingerprint*, not a key: collisions are possible (and two matrices
+    /// with equal fingerprints may still assign types to different column
+    /// positions), so exact caching must compare full content.
+    pub fn column_multiset_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut combined: u64 = self.rows as u64 ^ (self.cols as u64).rotate_left(32);
+        for j in 0..self.cols {
+            let mut h = OFFSET;
+            let mut byte_feed = |b: u64| h = (h ^ b).wrapping_mul(PRIME);
+            byte_feed(self.rows as u64);
+            // Fold the column's bits in 64-bit chunks.
+            let mut word = 0u64;
+            for i in 0..self.rows {
+                if self.bits.get(i * self.cols + j) {
+                    word |= 1 << (i % 64);
+                }
+                if i % 64 == 63 {
+                    byte_feed(word);
+                    word = 0;
+                }
+            }
+            if self.rows % 64 != 0 {
+                byte_feed(word);
+            }
+            // Commutative combine (wrapping add): column order is erased.
+            combined = combined.wrapping_add(h);
+        }
+        combined
+    }
+
     /// Rebuilds the truth table this matrix represents under `w`.
     ///
     /// # Panics
@@ -215,6 +261,45 @@ mod tests {
         let (_, _, m) = fig2_matrix();
         assert_eq!(m.row(0), BitVec::from_bools([true, false, true, false]));
         assert_eq!(m.column(0), BitVec::from_bools([true, true, false, false]));
+    }
+
+    #[test]
+    fn fingerprint_ignores_column_order_but_sees_content() {
+        let (_, _, m) = fig2_matrix();
+        // Reverse the column order: the multiset is unchanged.
+        let reversed = BooleanMatrix::from_bits(
+            m.rows(),
+            m.cols(),
+            BitVec::from_fn(m.rows() * m.cols(), |idx| {
+                let (i, j) = (idx / m.cols(), idx % m.cols());
+                m.get(i, m.cols() - 1 - j)
+            }),
+        );
+        assert_ne!(m, reversed);
+        assert_eq!(
+            m.column_multiset_fingerprint(),
+            reversed.column_multiset_fingerprint()
+        );
+        // Flip one bit: the fingerprint moves.
+        let mut bits = m.bits().clone();
+        bits.toggle(5);
+        let flipped = BooleanMatrix::from_bits(m.rows(), m.cols(), bits);
+        assert_ne!(
+            m.column_multiset_fingerprint(),
+            flipped.column_multiset_fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_shapes() {
+        // Same flat bits, different shapes → different fingerprints.
+        let bits = BitVec::from_fn(16, |idx| idx % 3 == 0);
+        let a = BooleanMatrix::from_bits(4, 4, bits.clone());
+        let b = BooleanMatrix::from_bits(2, 8, bits);
+        assert_ne!(
+            a.column_multiset_fingerprint(),
+            b.column_multiset_fingerprint()
+        );
     }
 
     #[test]

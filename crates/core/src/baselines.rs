@@ -81,6 +81,22 @@ pub fn solve_dalta_heuristic(cop: &RowCop, restarts: usize, seed: u64) -> RowCop
     }
 }
 
+/// The DALTA heuristic packaged as a standalone COP-solver configuration
+/// (see [`solve_dalta_heuristic`]); implements
+/// [`CopSolver`](crate::CopSolver) so it can drive
+/// [`Framework`](crate::Framework) directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaltaHeuristic {
+    /// Randomized restarts per COP.
+    pub restarts: usize,
+}
+
+impl Default for DaltaHeuristic {
+    fn default() -> Self {
+        DaltaHeuristic { restarts: 4 }
+    }
+}
+
 /// Parameters of the BA (simulated-annealing) baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BaParams {

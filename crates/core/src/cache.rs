@@ -1,0 +1,266 @@
+//! COP memoization for the sweep engine.
+//!
+//! A decomposition run solves one core COP per `(partition, output, round)`
+//! cell, and many of those cells are duplicates: in separate mode the COP
+//! is a pure function of the component's Boolean matrix, so the same
+//! partition re-examined in a later round — or two outputs that share a
+//! matrix — re-poses a COP that has already been solved. The engine keys
+//! each solve by the exact COP content ([`MemoKey`]) and answers repeats
+//! from a [`CopCache`].
+//!
+//! Correctness rests on two invariants:
+//!
+//! 1. **Keys are content-exact.** Equal keys imply bit-identical COPs
+//!    (same weights to the last bit), so a cached setting/objective is
+//!    exactly what re-solving would examine. The column-multiset
+//!    fingerprint carried by the matrix key is a *hash input*, never a
+//!    substitute for content equality.
+//! 2. **Seeds are content-derived.** The per-solve RNG seed is a hash of
+//!    the key (mixed with the framework seed), not of the cell's grid
+//!    position. Two cells with equal keys would therefore run the *same*
+//!    solve and get the same answer — which is why serving one from the
+//!    cache is invisible: cache-on and cache-off runs are bit-identical
+//!    by construction, and so are parallel and sequential sweeps.
+
+use crate::cop_solver::CopResult;
+use adis_boolfn::{BitVec, BooleanMatrix, ColumnSetting};
+use crate::ColumnCop;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Content-exact identity of a core COP within one decomposition run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum MemoKey {
+    /// Separate mode under the uniform input distribution: the COP's
+    /// weights are `±2^{-n}` fully determined by the Boolean matrix, so
+    /// the matrix content (plus the input count fixing the scale) is the
+    /// whole COP. Cheaper to build and hash than the weight vector.
+    Matrix {
+        /// Matrix rows `r`.
+        rows: usize,
+        /// Matrix columns `c`.
+        cols: usize,
+        /// Input count `n` (fixes the `2^{-n}` weight scale).
+        inputs: u32,
+        /// Column-multiset fingerprint — pre-mixed hash material.
+        fingerprint: u64,
+        /// Full row-major matrix content (the actual equality witness).
+        bits: BitVec,
+    },
+    /// Everything else (joint mode, explicit distributions): the exact
+    /// weight vector, bit for bit. Joint-mode weights fold in the
+    /// per-cell offsets `D_kij` against the evolving approximation, so
+    /// two cells only share a key when that whole context coincides.
+    Weights {
+        /// COP rows `r`.
+        rows: usize,
+        /// COP columns `c`.
+        cols: usize,
+        /// `f64::to_bits` of each weight, row-major.
+        weight_bits: Vec<u64>,
+        /// `f64::to_bits` of the objective constant.
+        constant_bits: u64,
+    },
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl MemoKey {
+    /// Key for a separate-mode, uniform-distribution COP: the matrix is
+    /// the COP.
+    pub(crate) fn from_matrix(matrix: &BooleanMatrix, inputs: u32) -> Self {
+        MemoKey::Matrix {
+            rows: matrix.rows(),
+            cols: matrix.cols(),
+            inputs,
+            fingerprint: matrix.column_multiset_fingerprint(),
+            bits: matrix.bits().clone(),
+        }
+    }
+
+    /// Key from the exact weight content of an already-built COP.
+    pub(crate) fn from_cop(cop: &ColumnCop) -> Self {
+        MemoKey::Weights {
+            rows: cop.rows(),
+            cols: cop.cols(),
+            weight_bits: cop.weights().iter().map(|w| w.to_bits()).collect(),
+            constant_bits: cop.constant().to_bits(),
+        }
+    }
+
+    /// The solver seed for this COP: FNV-1a over the key's content, mixed
+    /// with the framework seed. Content-derived (never positional), so
+    /// identical COPs are solved identically wherever they appear in the
+    /// grid — the property the cache's transparency rests on.
+    pub(crate) fn solver_seed(&self, base: u64) -> u64 {
+        let mut h = FNV_OFFSET ^ base.wrapping_mul(FNV_PRIME);
+        let mut feed = |v: u64| h = (h ^ v).wrapping_mul(FNV_PRIME);
+        match self {
+            MemoKey::Matrix {
+                rows,
+                cols,
+                inputs,
+                fingerprint,
+                bits,
+            } => {
+                feed(1);
+                feed(*rows as u64);
+                feed(*cols as u64);
+                feed(u64::from(*inputs));
+                feed(*fingerprint);
+                let mut word = 0u64;
+                for i in 0..bits.len() {
+                    if bits.get(i) {
+                        word |= 1 << (i % 64);
+                    }
+                    if i % 64 == 63 {
+                        feed(word);
+                        word = 0;
+                    }
+                }
+                if bits.len() % 64 != 0 {
+                    feed(word);
+                }
+            }
+            MemoKey::Weights {
+                rows,
+                cols,
+                weight_bits,
+                constant_bits,
+            } => {
+                feed(2);
+                feed(*rows as u64);
+                feed(*cols as u64);
+                for &w in weight_bits {
+                    feed(w);
+                }
+                feed(*constant_bits);
+            }
+        }
+        h
+    }
+}
+
+/// A memoized COP answer (what the engine needs to rank candidates).
+#[derive(Debug, Clone)]
+pub(crate) struct CachedCop {
+    /// The solver's best setting.
+    pub(crate) setting: ColumnSetting,
+    /// Its objective.
+    pub(crate) objective: f64,
+}
+
+/// The per-run memo table. Shared across the rayon sweep behind a mutex —
+/// contention is negligible next to a COP solve, and a miss holds the lock
+/// only for lookup/insert, never for the solve itself.
+#[derive(Debug)]
+pub(crate) struct CopCache {
+    enabled: bool,
+    map: Mutex<HashMap<MemoKey, CachedCop>>,
+}
+
+impl CopCache {
+    /// A cache; when `enabled` is false every lookup misses and every
+    /// insert is dropped (the `--no-cache` escape hatch).
+    pub(crate) fn new(enabled: bool) -> Self {
+        CopCache {
+            enabled,
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The memoized answer for `key`, if any.
+    pub(crate) fn lookup(&self, key: &MemoKey) -> Option<CachedCop> {
+        if !self.enabled {
+            return None;
+        }
+        let map = self
+            .map
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        map.get(key).cloned()
+    }
+
+    /// Memoizes `result` under `key` (first writer wins; concurrent
+    /// duplicate solves produce identical results anyway, because seeds
+    /// are content-derived).
+    pub(crate) fn insert(&self, key: MemoKey, result: &CopResult) {
+        if !self.enabled {
+            return;
+        }
+        let mut map = self
+            .map
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        map.entry(key).or_insert_with(|| CachedCop {
+            setting: result.setting.clone(),
+            objective: result.objective,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adis_boolfn::{InputDist, Partition, TruthTable};
+
+    fn matrix(f: impl Fn(u64) -> bool) -> BooleanMatrix {
+        let g = TruthTable::from_fn(4, f);
+        let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+        BooleanMatrix::build(&g, &w)
+    }
+
+    #[test]
+    fn identical_content_means_identical_key_and_seed() {
+        let a = matrix(|p| p % 3 == 0);
+        let b = matrix(|p| p % 3 == 0);
+        let ka = MemoKey::from_matrix(&a, 4);
+        let kb = MemoKey::from_matrix(&b, 4);
+        assert_eq!(ka, kb);
+        assert_eq!(ka.solver_seed(7), kb.solver_seed(7));
+
+        let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+        let ca = ColumnCop::separate(&a, &w, &InputDist::Uniform);
+        let cb = ColumnCop::separate(&b, &w, &InputDist::Uniform);
+        assert_eq!(MemoKey::from_cop(&ca), MemoKey::from_cop(&cb));
+    }
+
+    #[test]
+    fn different_content_means_different_key_and_seed() {
+        let a = MemoKey::from_matrix(&matrix(|p| p % 3 == 0), 4);
+        let b = MemoKey::from_matrix(&matrix(|p| p % 5 == 0), 4);
+        assert_ne!(a, b);
+        assert_ne!(a.solver_seed(7), b.solver_seed(7));
+        // Same matrix, different input count: different COP scale.
+        let c = MemoKey::from_matrix(&matrix(|p| p % 3 == 0), 5);
+        assert_ne!(a, c);
+        // Framework seed participates.
+        assert_ne!(a.solver_seed(7), a.solver_seed(8));
+    }
+
+    #[test]
+    fn cache_round_trips_and_respects_disable() {
+        let m = matrix(|p| p & 1 == 1);
+        let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+        let cop = ColumnCop::separate(&m, &w, &InputDist::Uniform);
+        let key = MemoKey::from_matrix(&m, 4);
+        let result = CopResult {
+            setting: cop.solve_exhaustive(),
+            objective: 0.25,
+            sb_iterations: 12,
+            bnb_nodes: 0,
+        };
+
+        let on = CopCache::new(true);
+        assert!(on.lookup(&key).is_none());
+        on.insert(key.clone(), &result);
+        let hit = on.lookup(&key).expect("cached");
+        assert_eq!(hit.setting, result.setting);
+        assert_eq!(hit.objective, result.objective);
+
+        let off = CopCache::new(false);
+        off.insert(key.clone(), &result);
+        assert!(off.lookup(&key).is_none());
+    }
+}

@@ -219,6 +219,11 @@ impl ColumnCop {
         self.weights.clone()
     }
 
+    /// Borrowed view of the row-major weights (no clone).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
     /// The spin layout of the Ising encoding.
     pub fn layout(&self) -> SpinLayout {
         SpinLayout {

@@ -1,0 +1,271 @@
+//! The batched partition-sweep engine behind [`Framework::decompose`].
+//!
+//! The engine plans the full `partition × output × round` grid of core-COP
+//! cells up front, then executes it with three resources threaded through
+//! every cell:
+//!
+//! - a [`CopCache`] memoizing COP answers by exact content (see
+//!   [`crate::cache`] for why serving a repeat from the table is
+//!   bit-identical to re-solving it);
+//! - a [`ScratchPool`] of per-worker [`CopScratch`] buffers, so the bSB
+//!   integrator allocates once per rayon worker instead of once per COP;
+//! - content-derived solver seeds ([`MemoKey::solver_seed`]), which make
+//!   the sweep's results independent of both grid position and execution
+//!   order — the parallel sweep is bit-identical to the sequential one.
+//!
+//! Cells still *execute* in DALTA's order (rounds outer, components
+//! MSB→LSB) because in joint mode each cell's COP weights depend on the
+//! approximation state left by every previous cell; only the per-cell
+//! partition sweep fans out in parallel.
+
+use crate::cache::{CopCache, MemoKey};
+use crate::cop_solver::{CopScratch, CopSolver};
+use crate::framework::{ComponentChoice, DecompositionOutcome, Framework, Mode};
+use crate::ColumnCop;
+use adis_boolfn::{
+    error_rate_multi, mean_error_distance, BooleanMatrix, InputDist, MultiOutputFn, Partition,
+};
+use adis_sb::ScratchPool;
+use adis_telemetry::{trace_span, SolveObserver};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// One candidate's outcome within a cell's partition sweep.
+struct SolvedCandidate {
+    choice: ComponentChoice,
+    sb_iterations: usize,
+    bnb_nodes: u64,
+    hit: bool,
+}
+
+/// Builds the cell's COP and its memo identity.
+///
+/// Separate mode under the uniform distribution uses the cheap matrix key
+/// (the matrix *is* the COP there — every weight is `±2^{-n}`); joint mode
+/// and explicit distributions key by the exact weight bits, because the
+/// joint weights fold in the offsets against the evolving approximation.
+fn build_cop(
+    fw: &Framework,
+    exact: &MultiOutputFn,
+    exact_words: &[u64],
+    approx_words: &[u64],
+    k: u32,
+    w: &Partition,
+) -> (ColumnCop, MemoKey) {
+    match fw.mode {
+        Mode::Separate => {
+            let matrix = BooleanMatrix::build(exact.component(k), w);
+            let cop = ColumnCop::separate(&matrix, w, &fw.dist);
+            let key = if matches!(fw.dist, InputDist::Uniform) {
+                MemoKey::from_matrix(&matrix, exact.inputs())
+            } else {
+                MemoKey::from_cop(&cop)
+            };
+            (cop, key)
+        }
+        Mode::Joint => {
+            let (r, c) = (w.rows(), w.cols());
+            let mut offsets = vec![0i64; r * c];
+            let mut probs = vec![0.0; r * c];
+            for i in 0..r {
+                for j in 0..c {
+                    let x = w.compose(i, j);
+                    let others = (approx_words[x as usize] & !(1u64 << k)) as i64;
+                    offsets[i * c + j] = others - exact_words[x as usize] as i64;
+                    probs[i * c + j] = fw.dist.prob(x, exact.inputs());
+                }
+            }
+            let cop = ColumnCop::joint(r, c, k, &offsets, &probs);
+            let key = MemoKey::from_cop(&cop);
+            (cop, key)
+        }
+    }
+}
+
+/// Runs the full decomposition sweep. This is the single implementation
+/// behind every `Framework::decompose*` entry point; `fw` is assumed
+/// validated (see `Framework::build`).
+pub(crate) fn run<O: SolveObserver>(
+    fw: &Framework,
+    exact: &MultiOutputFn,
+    observer: &mut O,
+) -> DecompositionOutcome {
+    let start = Instant::now();
+    let n = exact.inputs();
+    let m = exact.outputs();
+    let _span = trace_span!(
+        "Framework::decompose n={n} m={m} mode={:?}",
+        fw.mode
+    );
+
+    // Phase 1: plan the whole grid. Partition generation is seeded per
+    // (round, k) and independent of solve results, so it parallelizes and
+    // can be hoisted out of the sweep entirely.
+    let stage = Instant::now();
+    let cells: Vec<(usize, u32)> = (0..fw.rounds)
+        .flat_map(|round| (0..m).rev().map(move |k| (round, k)))
+        .collect();
+    let plan: Vec<Vec<Partition>> = if fw.parallel {
+        cells
+            .par_iter()
+            .map(|&(round, k)| fw.generate_partitions(n, round, k))
+            .collect()
+    } else {
+        cells
+            .iter()
+            .map(|&(round, k)| fw.generate_partitions(n, round, k))
+            .collect()
+    };
+    observer.stage_end("partition_generation", stage.elapsed());
+
+    // Phase 2: execute. Cells run in order; each cell's candidates fan out.
+    let cache = CopCache::new(fw.cache);
+    let scratch: ScratchPool<CopScratch> = ScratchPool::new();
+
+    let num_patterns = exact.num_entries();
+    let exact_words: Vec<u64> = (0..num_patterns as u64).map(|p| exact.eval_word(p)).collect();
+    let mut approx_words = exact_words.clone();
+    let mut approx = exact.clone();
+    let mut choices: Vec<Option<ComponentChoice>> = vec![None; m as usize];
+    let mut cop_solves = 0;
+    let mut sb_iterations = 0usize;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+
+    for (cell, &(round, k)) in cells.iter().enumerate() {
+        let partitions = &plan[cell];
+        cop_solves += partitions.len();
+        let solve_one = |w: &Partition| -> SolvedCandidate {
+            let (cop, key) = build_cop(fw, exact, &exact_words, &approx_words, k, w);
+            let seed = key.solver_seed(fw.seed);
+            if let Some(cached) = cache.lookup(&key) {
+                return SolvedCandidate {
+                    choice: ComponentChoice {
+                        partition: w.clone(),
+                        setting: cached.setting,
+                        objective: cached.objective,
+                    },
+                    sb_iterations: 0,
+                    bnb_nodes: 0,
+                    hit: true,
+                };
+            }
+            let mut buffers = scratch.acquire();
+            let result = fw.solver.solve_cop(&cop, seed, &mut buffers);
+            cache.insert(key, &result);
+            SolvedCandidate {
+                choice: ComponentChoice {
+                    partition: w.clone(),
+                    setting: result.setting,
+                    objective: result.objective,
+                },
+                sb_iterations: result.sb_iterations,
+                bnb_nodes: result.bnb_nodes,
+                hit: false,
+            }
+        };
+        let stage = Instant::now();
+        let solved: Vec<SolvedCandidate> = if fw.parallel {
+            partitions.par_iter().map(solve_one).collect()
+        } else {
+            partitions.iter().map(solve_one).collect()
+        };
+        observer.stage_end("cop_sweep", stage.elapsed());
+        observer.counter("cop_solves", solved.len() as u64);
+        let mut sweep_sb = 0usize;
+        let mut sweep_nodes = 0u64;
+        let mut sweep_hits = 0u64;
+        for (pi, cand) in solved.iter().enumerate() {
+            observer.cop_result(round, k, pi, cand.choice.objective, cand.sb_iterations);
+            sweep_sb += cand.sb_iterations;
+            sweep_nodes += cand.bnb_nodes;
+            sweep_hits += u64::from(cand.hit);
+        }
+        sb_iterations += sweep_sb;
+        if sweep_sb > 0 {
+            observer.counter("sb_iterations", sweep_sb as u64);
+        }
+        if sweep_nodes > 0 {
+            observer.counter("bnb_nodes", sweep_nodes);
+        }
+        let sweep_misses = solved.len() as u64 - sweep_hits;
+        cache_hits += sweep_hits as usize;
+        cache_misses += sweep_misses as usize;
+        if sweep_hits > 0 {
+            observer.counter("cache_hits", sweep_hits);
+        }
+        if sweep_misses > 0 {
+            observer.counter("cache_misses", sweep_misses);
+        }
+        // Sequential selection over the joined sweep: first strictly
+        // minimal objective wins, independent of execution order.
+        let best = solved
+            .into_iter()
+            .map(|cand| cand.choice)
+            .min_by(|a, b| a.objective.total_cmp(&b.objective))
+            .expect("at least one partition");
+
+        // Keep the incumbent decomposition if this round's best partition
+        // is worse (later rounds draw fresh partitions, which are not
+        // guaranteed to contain the current one).
+        if let Some(prev) = &choices[k as usize] {
+            let incumbent = match fw.mode {
+                Mode::Joint => (0..num_patterns as u64)
+                    .map(|p| {
+                        fw.dist.prob(p, n)
+                            * approx_words[p as usize].abs_diff(exact_words[p as usize]) as f64
+                    })
+                    .sum::<f64>(),
+                Mode::Separate => {
+                    adis_boolfn::error_rate(exact.component(k), approx.component(k), &fw.dist)
+                }
+            };
+            if incumbent <= best.objective + 1e-12 {
+                let mut kept = prev.clone();
+                kept.objective = incumbent;
+                choices[k as usize] = Some(kept);
+                observer.counter("incumbent_kept", 1);
+                observer.component_chosen(round, k, incumbent, true);
+                continue;
+            }
+        }
+
+        // Apply the winning setting to component k.
+        let stage = Instant::now();
+        let table = best.setting.reconstruct(&best.partition);
+        for p in 0..num_patterns as u64 {
+            let bit = table.eval(p);
+            if bit {
+                approx_words[p as usize] |= 1 << k;
+            } else {
+                approx_words[p as usize] &= !(1u64 << k);
+            }
+        }
+        approx.set_component(k, table);
+        observer.stage_end("apply", stage.elapsed());
+        observer.component_chosen(round, k, best.objective, false);
+        choices[k as usize] = Some(best);
+    }
+
+    let choices: Vec<ComponentChoice> = choices
+        .into_iter()
+        .map(|c| c.expect("every component visited"))
+        .collect();
+    let stage = Instant::now();
+    let med = mean_error_distance(exact, &approx, &fw.dist);
+    let er = error_rate_multi(exact, &approx, &fw.dist);
+    observer.stage_end("metrics", stage.elapsed());
+    observer.gauge("final_med", med);
+    observer.gauge("final_er", er);
+    DecompositionOutcome {
+        approx,
+        choices,
+        med,
+        er,
+        elapsed: start.elapsed(),
+        cop_solves,
+        sb_iterations,
+        cache_hits,
+        cache_misses,
+    }
+}

@@ -3,23 +3,26 @@
 //! core COP for each, keep the best; sweep components MSB→LSB for `R`
 //! rounds.
 //!
-//! The core-COP solver is pluggable ([`CopSolverKind`]), which is exactly
+//! The core-COP solver is pluggable (any [`CopSolver`]), which is exactly
 //! how the paper's comparison is structured: the same framework drives the
 //! proposed Ising solver, the exact "DALTA-ILP" path, the DALTA heuristic,
-//! and BA.
+//! and BA. [`CopSolverKind`] packages those four as a convenience enum.
+//!
+//! The sweep itself — grid planning, COP memoization, scratch reuse — lives
+//! in [`crate::engine`]; this module owns configuration and validation.
 
-use crate::baselines::{solve_ba, solve_dalta_heuristic, BaParams};
-use crate::{ColumnCop, IsingCopSolver, RowCop};
-use adis_boolfn::{
-    error_rate_multi, mean_error_distance, ColumnSetting, InputDist, BooleanMatrix,
-    MultiOutputFn, Partition,
-};
+use crate::baselines::BaParams;
+use crate::cop_solver::CopSolver;
+use crate::engine;
+use crate::IsingCopSolver;
+use adis_boolfn::{ColumnSetting, InputDist, MultiOutputFn, Partition};
 use adis_lut::{ApproxLut, OutputImpl};
-use adis_telemetry::{trace_span, NullObserver, SolveObserver};
+use adis_telemetry::{NullObserver, SolveObserver};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
-use std::time::{Duration, Instant};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Which error the core COP minimizes (Section 2.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +33,7 @@ pub enum Mode {
     Joint,
 }
 
-/// Which core-COP solver the framework drives.
+/// The paper's four core-COP solvers as a ready-made [`CopSolver`] enum.
 #[derive(Debug, Clone)]
 pub enum CopSolverKind {
     /// The paper's proposal: bSB on the column-based Ising formulation.
@@ -49,6 +52,55 @@ pub enum CopSolverKind {
     /// The BA (simulated-annealing) reconstruction.
     Ba(BaParams),
 }
+
+/// An invalid [`Framework`] configuration, reported by
+/// [`Framework::build`] and the `try_decompose*` entry points.
+///
+/// # Examples
+///
+/// ```
+/// use adis_core::{ConfigError, Framework, Mode};
+///
+/// let err = Framework::new(Mode::Joint, 3).partitions(0).build().unwrap_err();
+/// assert_eq!(err, ConfigError::ZeroPartitions);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `partitions(0)`: the sweep needs at least one candidate partition.
+    ZeroPartitions,
+    /// `rounds(0)`: the sweep needs at least one round.
+    ZeroRounds,
+    /// A bound-set size of 0 leaves no bound set to decompose over.
+    ZeroBoundSize,
+    /// The bound-set size must leave at least one free input, so it must
+    /// be strictly smaller than the function's input count. Only checked
+    /// against a concrete function (`try_decompose*`), since the builder
+    /// does not know the input count.
+    BoundSizeTooLarge {
+        /// The configured `|B|`.
+        bound_size: u32,
+        /// The function's input count `n`.
+        inputs: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroPartitions => {
+                write!(f, "need at least one candidate partition (partitions = 0)")
+            }
+            ConfigError::ZeroRounds => write!(f, "need at least one round (rounds = 0)"),
+            ConfigError::ZeroBoundSize => write!(f, "bound-set size must be at least 1"),
+            ConfigError::BoundSizeTooLarge { bound_size, inputs } => write!(
+                f,
+                "bound-set size {bound_size} must be smaller than the input count {inputs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration of a decomposition run.
 ///
@@ -90,16 +142,29 @@ pub enum CopSolverKind {
 /// assert_eq!(outcome.choices.len(), 3);
 /// assert_eq!(outcome.sb_iterations, 0); // the exact solver runs no bSB
 /// ```
+///
+/// Invalid settings are caught by [`build`](Framework::build) or the
+/// fallible `try_decompose*` entry points instead of panicking setters:
+///
+/// ```
+/// use adis_core::{ConfigError, Framework, Mode};
+///
+/// assert_eq!(
+///     Framework::new(Mode::Separate, 3).rounds(0).build().unwrap_err(),
+///     ConfigError::ZeroRounds
+/// );
+/// ```
 #[derive(Debug, Clone)]
 pub struct Framework {
-    mode: Mode,
-    solver: CopSolverKind,
-    bound_size: u32,
-    num_partitions: usize,
-    rounds: usize,
-    seed: u64,
-    parallel: bool,
-    dist: InputDist,
+    pub(crate) mode: Mode,
+    pub(crate) solver: Arc<dyn CopSolver>,
+    pub(crate) bound_size: u32,
+    pub(crate) num_partitions: usize,
+    pub(crate) rounds: usize,
+    pub(crate) seed: u64,
+    pub(crate) parallel: bool,
+    pub(crate) cache: bool,
+    pub(crate) dist: InputDist,
 }
 
 /// The decomposition chosen for one output component.
@@ -126,20 +191,15 @@ pub struct DecompositionOutcome {
     pub er: f64,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
-    /// Core-COP instances solved.
+    /// Core-COP instances examined (memo hits included).
     pub cop_solves: usize,
     /// bSB Euler iterations summed over every Ising COP solve (0 when a
-    /// non-Ising [`CopSolverKind`] ran).
+    /// non-Ising solver ran).
     pub sb_iterations: usize,
-}
-
-/// Per-COP solver work, threaded out of the parallel partition sweep.
-#[derive(Debug, Clone, Copy, Default)]
-struct CopWork {
-    /// bSB Euler iterations (Ising solver only).
-    sb_iterations: usize,
-    /// Branch-and-bound nodes (exact solver only).
-    bnb_nodes: u64,
+    /// COP instances answered from the engine's memo table.
+    pub cache_hits: usize,
+    /// COP instances that ran a solver.
+    pub cache_misses: usize,
 }
 
 impl DecompositionOutcome {
@@ -158,51 +218,47 @@ impl DecompositionOutcome {
 impl Framework {
     /// A framework with the given mode and bound-set size `|B|`; defaults:
     /// Ising solver (paper configuration), `P = 16` partitions, `R = 1`
-    /// round, uniform inputs, parallel partition sweep.
+    /// round, uniform inputs, parallel partition sweep, COP memoization
+    /// enabled.
     pub fn new(mode: Mode, bound_size: u32) -> Self {
         Framework {
             mode,
-            solver: CopSolverKind::Ising(IsingCopSolver::new()),
+            solver: Arc::new(CopSolverKind::Ising(IsingCopSolver::new())),
             bound_size,
             num_partitions: 16,
             rounds: 1,
             seed: 0,
             parallel: true,
+            cache: true,
             dist: InputDist::Uniform,
         }
     }
 
-    /// Selects the core-COP solver.
-    pub fn solver(mut self, solver: CopSolverKind) -> Self {
-        self.solver = solver;
+    /// Selects the core-COP solver — a [`CopSolverKind`] variant or any
+    /// custom [`CopSolver`] implementation.
+    pub fn solver(mut self, solver: impl CopSolver + 'static) -> Self {
+        self.solver = Arc::new(solver);
         self
     }
 
     /// Number of candidate partitions `P` per component per round (capped
-    /// at the number of distinct partitions).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `p == 0`.
+    /// at the number of distinct partitions). Zero is rejected by
+    /// [`build`](Framework::build)/`try_decompose*`, not here.
     pub fn partitions(mut self, p: usize) -> Self {
-        assert!(p > 0, "need at least one partition");
         self.num_partitions = p;
         self
     }
 
-    /// Number of sweeps `R` over the components.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `r == 0`.
+    /// Number of sweeps `R` over the components. Zero is rejected by
+    /// [`build`](Framework::build)/`try_decompose*`, not here.
     pub fn rounds(mut self, r: usize) -> Self {
-        assert!(r > 0, "need at least one round");
         self.rounds = r;
         self
     }
 
-    /// Sets the RNG seed (partition sampling and solver seeds derive from
-    /// it).
+    /// Sets the RNG seed. Partition sampling derives from it positionally;
+    /// per-COP solver seeds derive from it *by COP content*, which is what
+    /// makes the memo table and the parallel sweep result-transparent.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -214,27 +270,79 @@ impl Framework {
         self
     }
 
+    /// Enables/disables the engine's COP memo table (on by default).
+    /// Results are bit-identical either way — disabling only exists to
+    /// measure the cache's effect.
+    pub fn cache(mut self, on: bool) -> Self {
+        self.cache = on;
+        self
+    }
+
     /// Sets the input distribution used for all error weighting.
     pub fn dist(mut self, dist: InputDist) -> Self {
         self.dist = dist;
         self
     }
 
+    /// Checks every constraint that does not need a concrete function;
+    /// `inputs` adds the bound-size-vs-inputs check when known.
+    fn validate(&self, inputs: Option<u32>) -> Result<(), ConfigError> {
+        if self.num_partitions == 0 {
+            return Err(ConfigError::ZeroPartitions);
+        }
+        if self.rounds == 0 {
+            return Err(ConfigError::ZeroRounds);
+        }
+        if self.bound_size == 0 {
+            return Err(ConfigError::ZeroBoundSize);
+        }
+        if let Some(n) = inputs {
+            if self.bound_size >= n {
+                return Err(ConfigError::BoundSizeTooLarge {
+                    bound_size: self.bound_size,
+                    inputs: n,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration, returning it unchanged when every
+    /// function-independent constraint holds. The bound-size-vs-inputs
+    /// check needs a concrete function and happens in `try_decompose*`.
+    pub fn build(self) -> Result<Self, ConfigError> {
+        self.validate(None)?;
+        Ok(self)
+    }
+
     /// Runs the decomposition.
     ///
     /// # Panics
     ///
-    /// Panics if `bound_size` is not in `1..exact.inputs()`.
+    /// Panics if the configuration is invalid (see
+    /// [`try_decompose`](Framework::try_decompose) for the fallible form).
     pub fn decompose(&self, exact: &MultiOutputFn) -> DecompositionOutcome {
-        self.decompose_observed(exact, &mut NullObserver)
+        self.decompose_with(exact, &mut NullObserver)
+    }
+
+    /// Runs the decomposition, or reports why the configuration cannot
+    /// run against `exact` (zero partitions/rounds, zero or oversized
+    /// bound-set size).
+    pub fn try_decompose(
+        &self,
+        exact: &MultiOutputFn,
+    ) -> Result<DecompositionOutcome, ConfigError> {
+        self.try_decompose_with(exact, &mut NullObserver)
     }
 
     /// Runs the decomposition, reporting progress to `observer`:
     ///
     /// - stage timings (`partition_generation`, `cop_sweep`, `apply`,
-    ///   `metrics`) via [`stage_end`](SolveObserver::stage_end);
+    ///   `metrics`) via [`stage_end`](SolveObserver::stage_end) — the
+    ///   engine plans all partitions up front, so `partition_generation`
+    ///   is reported once per run;
     /// - counters `cop_solves`, `sb_iterations`, `bnb_nodes`,
-    ///   `incumbent_kept`;
+    ///   `incumbent_kept`, `cache_hits`, `cache_misses`;
     /// - one [`cop_result`](SolveObserver::cop_result) per candidate
     ///   partition (its objective and solver work), and one
     ///   [`component_chosen`](SolveObserver::component_chosen) per
@@ -248,160 +356,33 @@ impl Framework {
     ///
     /// # Panics
     ///
-    /// Panics if `bound_size` is not in `1..exact.inputs()`.
-    pub fn decompose_observed<O: SolveObserver>(
+    /// Panics if the configuration is invalid (see
+    /// [`try_decompose_with`](Framework::try_decompose_with) for the
+    /// fallible form).
+    pub fn decompose_with<O: SolveObserver>(
         &self,
         exact: &MultiOutputFn,
         observer: &mut O,
     ) -> DecompositionOutcome {
-        let start = Instant::now();
-        let n = exact.inputs();
-        let _span = trace_span!(
-            "Framework::decompose n={n} m={} mode={:?}",
-            exact.outputs(),
-            self.mode
-        );
-        let m = exact.outputs();
-        assert!(
-            self.bound_size >= 1 && self.bound_size < n,
-            "bound size must be in 1..inputs"
-        );
-
-        let num_patterns = exact.num_entries();
-        let exact_words: Vec<u64> = (0..num_patterns as u64).map(|p| exact.eval_word(p)).collect();
-        let mut approx_words = exact_words.clone();
-        let mut approx = exact.clone();
-        let mut choices: Vec<Option<ComponentChoice>> = vec![None; m as usize];
-        let mut cop_solves = 0;
-        let mut sb_iterations = 0usize;
-
-        for round in 0..self.rounds {
-            // MSB → LSB, as in DALTA.
-            for k in (0..m).rev() {
-                let stage = Instant::now();
-                let partitions = self.generate_partitions(n, round, k);
-                observer.stage_end("partition_generation", stage.elapsed());
-                cop_solves += partitions.len();
-                let solve_one = |(pi, w): (usize, &Partition)| -> (ComponentChoice, CopWork) {
-                    let solver_seed = self
-                        .seed
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add((round as u64) << 32)
-                        .wrapping_add((k as u64) << 16)
-                        .wrapping_add(pi as u64);
-                    let (setting, objective, work) =
-                        self.solve_cop(exact, &exact_words, &approx_words, k, w, solver_seed);
-                    (
-                        ComponentChoice {
-                            partition: w.clone(),
-                            setting,
-                            objective,
-                        },
-                        work,
-                    )
-                };
-                let stage = Instant::now();
-                let solved: Vec<(ComponentChoice, CopWork)> = if self.parallel {
-                    partitions.par_iter().enumerate().map(solve_one).collect()
-                } else {
-                    partitions.iter().enumerate().map(solve_one).collect()
-                };
-                observer.stage_end("cop_sweep", stage.elapsed());
-                observer.counter("cop_solves", solved.len() as u64);
-                let mut sweep_sb = 0usize;
-                let mut sweep_nodes = 0u64;
-                for (pi, (choice, work)) in solved.iter().enumerate() {
-                    observer.cop_result(round, k, pi, choice.objective, work.sb_iterations);
-                    sweep_sb += work.sb_iterations;
-                    sweep_nodes += work.bnb_nodes;
-                }
-                sb_iterations += sweep_sb;
-                if sweep_sb > 0 {
-                    observer.counter("sb_iterations", sweep_sb as u64);
-                }
-                if sweep_nodes > 0 {
-                    observer.counter("bnb_nodes", sweep_nodes);
-                }
-                // Sequential selection over the joined sweep keeps the
-                // pre-telemetry semantics for both paths: first strictly
-                // minimal objective wins.
-                let best = solved
-                    .into_iter()
-                    .map(|(choice, _)| choice)
-                    .min_by(|a, b| a.objective.total_cmp(&b.objective))
-                    .expect("at least one partition");
-
-                // Keep the incumbent decomposition if this round's best
-                // partition is worse (later rounds draw fresh partitions,
-                // which are not guaranteed to contain the current one).
-                if let Some(prev) = &choices[k as usize] {
-                    let incumbent = match self.mode {
-                        Mode::Joint => (0..num_patterns as u64)
-                            .map(|p| {
-                                self.dist.prob(p, n)
-                                    * approx_words[p as usize]
-                                        .abs_diff(exact_words[p as usize])
-                                        as f64
-                            })
-                            .sum::<f64>(),
-                        Mode::Separate => adis_boolfn::error_rate(
-                            exact.component(k),
-                            approx.component(k),
-                            &self.dist,
-                        ),
-                    };
-                    if incumbent <= best.objective + 1e-12 {
-                        let mut kept = prev.clone();
-                        kept.objective = incumbent;
-                        choices[k as usize] = Some(kept);
-                        observer.counter("incumbent_kept", 1);
-                        observer.component_chosen(round, k, incumbent, true);
-                        continue;
-                    }
-                }
-
-                // Apply the winning setting to component k.
-                let stage = Instant::now();
-                let table = best.setting.reconstruct(&best.partition);
-                for p in 0..num_patterns as u64 {
-                    let bit = table.eval(p);
-                    if bit {
-                        approx_words[p as usize] |= 1 << k;
-                    } else {
-                        approx_words[p as usize] &= !(1u64 << k);
-                    }
-                }
-                approx.set_component(k, table);
-                observer.stage_end("apply", stage.elapsed());
-                observer.component_chosen(round, k, best.objective, false);
-                choices[k as usize] = Some(best);
-            }
+        match self.try_decompose_with(exact, observer) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("invalid Framework configuration: {e}"),
         }
+    }
 
-        let choices: Vec<ComponentChoice> = choices
-            .into_iter()
-            .map(|c| c.expect("every component visited"))
-            .collect();
-        let stage = Instant::now();
-        let med = mean_error_distance(exact, &approx, &self.dist);
-        let er = error_rate_multi(exact, &approx, &self.dist);
-        observer.stage_end("metrics", stage.elapsed());
-        observer.gauge("final_med", med);
-        observer.gauge("final_er", er);
-        DecompositionOutcome {
-            approx,
-            choices,
-            med,
-            er,
-            elapsed: start.elapsed(),
-            cop_solves,
-            sb_iterations,
-        }
+    /// The fallible form of [`decompose_with`](Framework::decompose_with).
+    pub fn try_decompose_with<O: SolveObserver>(
+        &self,
+        exact: &MultiOutputFn,
+        observer: &mut O,
+    ) -> Result<DecompositionOutcome, ConfigError> {
+        self.validate(Some(exact.inputs()))?;
+        Ok(engine::run(self, exact, observer))
     }
 
     /// Draws up to `P` distinct partitions for `(round, k)`; enumerates all
     /// of them when there are no more than `P`.
-    fn generate_partitions(&self, n: u32, round: usize, k: u32) -> Vec<Partition> {
+    pub(crate) fn generate_partitions(&self, n: u32, round: usize, k: u32) -> Vec<Partition> {
         let total = binomial(n as u64, self.bound_size as u64);
         if total <= self.num_partitions as u64 {
             return Partition::enumerate(n, self.bound_size);
@@ -424,87 +405,6 @@ impl Framework {
         }
         out
     }
-
-    /// Solves one core COP (mode × solver dispatch), returning a column
-    /// setting, its objective, and the solver work spent.
-    fn solve_cop(
-        &self,
-        exact: &MultiOutputFn,
-        exact_words: &[u64],
-        approx_words: &[u64],
-        k: u32,
-        w: &Partition,
-        seed: u64,
-    ) -> (ColumnSetting, f64, CopWork) {
-        let (weights, constant) = match self.mode {
-            Mode::Separate => {
-                let matrix = BooleanMatrix::build(exact.component(k), w);
-                let cop = ColumnCop::separate(&matrix, w, &self.dist);
-                (cop.weights_vec(), cop.constant())
-            }
-            Mode::Joint => {
-                let (r, c) = (w.rows(), w.cols());
-                let mut offsets = vec![0i64; r * c];
-                let mut probs = vec![0.0; r * c];
-                for i in 0..r {
-                    for j in 0..c {
-                        let x = w.compose(i, j);
-                        let others =
-                            (approx_words[x as usize] & !(1u64 << k)) as i64;
-                        offsets[i * c + j] = others - exact_words[x as usize] as i64;
-                        probs[i * c + j] = self.dist.prob(x, exact.inputs());
-                    }
-                }
-                let cop = ColumnCop::joint(r, c, k, &offsets, &probs);
-                (cop.weights_vec(), cop.constant())
-            }
-        };
-        let (r, c) = (w.rows(), w.cols());
-        match &self.solver {
-            CopSolverKind::Ising(solver) => {
-                let cop = ColumnCop::from_weights(r, c, weights, constant);
-                let sol = solver.clone().seed(seed).solve(&cop);
-                (
-                    sol.setting,
-                    sol.objective,
-                    CopWork {
-                        sb_iterations: sol.stats.iterations,
-                        bnb_nodes: 0,
-                    },
-                )
-            }
-            CopSolverKind::Exact { time_limit } => {
-                let cop = RowCop::from_weights(r, c, weights, constant);
-                let sol = cop.solve_exact(*time_limit);
-                (
-                    sol.setting.to_column_setting(),
-                    sol.objective,
-                    CopWork {
-                        sb_iterations: 0,
-                        bnb_nodes: sol.nodes,
-                    },
-                )
-            }
-            CopSolverKind::DaltaHeuristic { restarts } => {
-                let cop = RowCop::from_weights(r, c, weights, constant);
-                let sol = solve_dalta_heuristic(&cop, *restarts, seed);
-                (
-                    sol.setting.to_column_setting(),
-                    sol.objective,
-                    CopWork::default(),
-                )
-            }
-            CopSolverKind::Ba(params) => {
-                let cop = RowCop::from_weights(r, c, weights, constant);
-                let sol = solve_ba(&cop, params, seed);
-                (
-                    sol.setting.to_column_setting(),
-                    sol.objective,
-                    CopWork::default(),
-                )
-            }
-        }
-    }
 }
 
 /// Binomial coefficient with saturation (used only for the `≤ P` check).
@@ -526,6 +426,8 @@ fn binomial(n: u64, k: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adis_boolfn::BooleanMatrix;
+    use std::time::Instant;
 
     fn target() -> MultiOutputFn {
         // A quantized quadratic: 6 inputs, 4 outputs.
@@ -561,7 +463,7 @@ mod tests {
         let f = target();
         let outcome = small_framework(Mode::Joint, CopSolverKind::Ising(IsingCopSolver::new()))
             .decompose(&f);
-        let med = mean_error_distance(&f, &outcome.approx, &InputDist::Uniform);
+        let med = adis_boolfn::mean_error_distance(&f, &outcome.approx, &InputDist::Uniform);
         assert!((outcome.med - med).abs() < 1e-12);
         // The last optimized component is the LSB (k = 0); its recorded
         // objective is the MED at that point, which is the final MED.
@@ -652,7 +554,7 @@ mod tests {
         let fw = small_framework(Mode::Joint, CopSolverKind::Ising(IsingCopSolver::new()));
         let plain = fw.decompose(&f);
         let mut rec = adis_telemetry::Recorder::new();
-        let observed = fw.decompose_observed(&f, &mut rec);
+        let observed = fw.decompose_with(&f, &mut rec);
         // Observation must not perturb the run.
         assert_eq!(plain.med, observed.med);
         assert_eq!(plain.er, observed.er);
@@ -664,6 +566,15 @@ mod tests {
         assert_eq!(
             rec.counters.get("sb_iterations") as usize,
             observed.sb_iterations
+        );
+        assert_eq!(rec.counters.get("cache_hits") as usize, observed.cache_hits);
+        assert_eq!(
+            rec.counters.get("cache_misses") as usize,
+            observed.cache_misses
+        );
+        assert_eq!(
+            observed.cache_hits + observed.cache_misses,
+            observed.cop_solves
         );
         assert!(observed.sb_iterations > 0, "Ising solver must report work");
         assert!(rec.stages.total("cop_sweep") > Duration::ZERO);
@@ -677,10 +588,96 @@ mod tests {
         let f = target();
         let fw = small_framework(Mode::Joint, CopSolverKind::Exact { time_limit: None });
         let mut rec = adis_telemetry::Recorder::new();
-        let outcome = fw.decompose_observed(&f, &mut rec);
+        let outcome = fw.decompose_with(&f, &mut rec);
         assert_eq!(outcome.sb_iterations, 0);
         assert_eq!(rec.counters.get("sb_iterations"), 0);
         assert!(rec.counters.get("bnb_nodes") > 0);
+    }
+
+    #[test]
+    fn custom_solver_impl_drives_the_framework() {
+        // A CopSolver written outside CopSolverKind plugs straight in.
+        #[derive(Debug)]
+        struct Exhaustive;
+        impl crate::CopSolver for Exhaustive {
+            fn solve_cop(
+                &self,
+                cop: &crate::ColumnCop,
+                _seed: u64,
+                _scratch: &mut crate::CopScratch,
+            ) -> crate::CopResult {
+                let setting = cop.solve_exhaustive();
+                crate::CopResult {
+                    objective: cop.objective(&setting),
+                    setting,
+                    sb_iterations: 0,
+                    bnb_nodes: 0,
+                }
+            }
+        }
+        let f = target();
+        let custom = Framework::new(Mode::Joint, 3)
+            .solver(Exhaustive)
+            .partitions(5)
+            .rounds(1)
+            .parallel(false)
+            .seed(1)
+            .decompose(&f);
+        let exact = small_framework(Mode::Joint, CopSolverKind::Exact { time_limit: None })
+            .decompose(&f);
+        assert_eq!(custom.choices.len(), f.outputs() as usize);
+        // Both are exact, so on the first decision (identical COP grids,
+        // before any greedy state can diverge on tied optima) the
+        // objectives must agree.
+        let msb = (f.outputs() - 1) as usize;
+        assert!(
+            (custom.choices[msb].objective - exact.choices[msb].objective).abs() < 1e-9,
+            "two exact solvers must agree on the first COP's optimum"
+        );
+    }
+
+    #[test]
+    fn build_rejects_invalid_configs() {
+        assert_eq!(
+            Framework::new(Mode::Joint, 3).partitions(0).build().unwrap_err(),
+            ConfigError::ZeroPartitions
+        );
+        assert_eq!(
+            Framework::new(Mode::Joint, 3).rounds(0).build().unwrap_err(),
+            ConfigError::ZeroRounds
+        );
+        assert_eq!(
+            Framework::new(Mode::Joint, 0).build().unwrap_err(),
+            ConfigError::ZeroBoundSize
+        );
+        assert!(Framework::new(Mode::Joint, 3).build().is_ok());
+        // Every error Displays and round-trips through dyn Error.
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroRounds);
+        assert!(e.to_string().contains("rounds"));
+    }
+
+    #[test]
+    fn try_decompose_rejects_oversized_bound() {
+        let f = target(); // 6 inputs
+        let err = Framework::new(Mode::Joint, 6)
+            .partitions(4)
+            .try_decompose(&f)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::BoundSizeTooLarge {
+                bound_size: 6,
+                inputs: 6
+            }
+        );
+        assert!(err.to_string().contains("bound-set size 6"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound-set size")]
+    fn decompose_panics_on_oversized_bound() {
+        let f = target();
+        Framework::new(Mode::Joint, 7).partitions(4).decompose(&f);
     }
 
     #[test]
@@ -702,5 +699,13 @@ mod tests {
         assert_eq!(binomial(16, 9), 11440);
         assert_eq!(binomial(5, 0), 1);
         assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn elapsed_is_measured() {
+        let before = Instant::now();
+        let outcome = small_framework(Mode::Separate, CopSolverKind::Exact { time_limit: None })
+            .decompose(&target());
+        assert!(outcome.elapsed <= before.elapsed());
     }
 }

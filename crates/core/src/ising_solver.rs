@@ -2,6 +2,7 @@
 //! encoding, with the dynamic stop criterion (Section 3.3.1) and the
 //! Theorem-3 type-reset heuristic (Section 3.3.2).
 
+use crate::cop_solver::CopScratch;
 use crate::{ColumnCop, SpinLayout};
 use adis_boolfn::{BitVec, ColumnSetting};
 use adis_sb::{SbSolver, SbState, StopCriterion, StopReason, StopState};
@@ -161,7 +162,7 @@ impl IsingCopSolver {
     /// The returned setting always has its type vector re-optimized via
     /// Theorem 3 (a free post-pass that never hurts).
     pub fn solve(&self, cop: &ColumnCop) -> CopSolution {
-        self.solve_observed(cop, &mut NullObserver)
+        self.solve_with(cop, &mut NullObserver)
     }
 
     /// Solves the COP while reporting every SB trajectory to `observer`
@@ -171,7 +172,22 @@ impl IsingCopSolver {
     /// COP objective of the current readout — directly ER (separate mode)
     /// or MED (joint mode) — so trajectories plot in paper units. With
     /// [`NullObserver`] this is exactly [`solve`](IsingCopSolver::solve).
-    pub fn solve_observed<O: SolveObserver>(&self, cop: &ColumnCop, observer: &mut O) -> CopSolution {
+    pub fn solve_with<O: SolveObserver>(&self, cop: &ColumnCop, observer: &mut O) -> CopSolution {
+        let mut scratch = CopScratch::new();
+        self.solve_in(cop, &mut scratch, observer)
+    }
+
+    /// [`solve_with`](IsingCopSolver::solve_with), but integrating inside
+    /// caller-provided [`CopScratch`] buffers — the allocation-free entry
+    /// point the sweep engine drives with per-worker pooled scratch. Every
+    /// buffer is overwritten before use, so the result is independent of
+    /// the scratch's previous contents.
+    pub fn solve_in<O: SolveObserver>(
+        &self,
+        cop: &ColumnCop,
+        scratch: &mut CopScratch,
+        observer: &mut O,
+    ) -> CopSolution {
         let _span = trace_span!(
             "IsingCopSolver::solve r={} c={} replicas={}",
             cop.rows(),
@@ -179,7 +195,7 @@ impl IsingCopSolver {
             self.replicas
         );
         if self.structured {
-            return self.solve_structured(cop, observer);
+            return self.solve_structured(cop, scratch, observer);
         }
         let ising = cop.to_ising();
         let layout = cop.layout();
@@ -197,8 +213,9 @@ impl IsingCopSolver {
                 .dt(self.dt)
                 .seed(self.seed_for(rep));
             let result = if self.heuristic {
-                solver.solve_with_observed(
+                solver.solve_in(
                     &ising,
+                    &mut scratch.sb,
                     |state| {
                         apply_type_reset(cop, layout, state);
                         interventions += 1;
@@ -206,7 +223,7 @@ impl IsingCopSolver {
                     &mut *observer,
                 )
             } else {
-                solver.solve_observed(&ising, &mut *observer)
+                solver.solve_in(&ising, &mut scratch.sb, |_| {}, &mut *observer)
             };
             total_iterations += result.iterations;
             settled |= result.stop_reason == StopReason::EnergySettled;
@@ -240,18 +257,34 @@ impl IsingCopSolver {
     ///     tᵢ = Σⱼ W_ij·x_{Tⱼ},  Rᵢ = Σⱼ W_ij,
     /// field(Tⱼ) = Σᵢ (W_ij/4)·(x_{V₁ᵢ} − x_{V₂ᵢ}).
     /// ```
-    fn solve_structured<O: SolveObserver>(&self, cop: &ColumnCop, observer: &mut O) -> CopSolution {
+    fn solve_structured<O: SolveObserver>(
+        &self,
+        cop: &ColumnCop,
+        scratch: &mut CopScratch,
+        observer: &mut O,
+    ) -> CopSolution {
         let (r, c) = (cop.rows(), cop.cols());
         let n = 2 * r + c;
+        let CopScratch {
+            w,
+            rowsum,
+            x,
+            y,
+            tmp,
+            ft,
+            cost1,
+            cost2,
+            ..
+        } = scratch;
         // Flattened weights and row sums. The integrator runs in f32 —
         // standard practice for high-performance SB (GPU/FPGA
         // implementations use single or fixed precision); the objective
         // bookkeeping stays in f64.
-        let w64: Vec<f64> = cop.weights_vec();
-        let w: Vec<f32> = w64.iter().map(|&v| v as f32).collect();
-        let rowsum: Vec<f32> = (0..r)
-            .map(|i| w64[i * c..(i + 1) * c].iter().sum::<f64>() as f32)
-            .collect();
+        let w64: &[f64] = cop.weights();
+        w.clear();
+        w.extend(w64.iter().map(|&v| v as f32));
+        rowsum.clear();
+        rowsum.extend((0..r).map(|i| w64[i * c..(i + 1) * c].iter().sum::<f64>() as f32));
         // Local fields are handled with Goto's ancilla-spin treatment: the
         // bias −Rᵢ/4 on V₁ᵢ/V₂ᵢ becomes a coupling to one extra oscillator
         // whose amplitude grows with the pump like every other spin. A
@@ -298,7 +331,10 @@ impl IsingCopSolver {
             // the common drift collapse them onto the same attractor
             // (a one-column-type solution); seeding them apart gives the
             // T spins a nonzero field from the first step.
-            let mut x: Vec<f32> = vec![0.0; na];
+            // RNG draw order (V pairs, T spins, ancilla, then all momenta)
+            // matches the historical per-solve allocation path.
+            x.clear();
+            x.resize(na, 0.0);
             for i in 0..r {
                 let eps = rng.gen_range(-0.1f32..=0.1);
                 x[i] = eps;
@@ -308,11 +344,16 @@ impl IsingCopSolver {
                 x[2 * r + j] = rng.gen_range(-0.1f32..=0.1);
             }
             x[n] = rng.gen_range(0.0f32..=0.1); // ancilla, biased positive
-            let mut y: Vec<f32> = (0..na).map(|_| rng.gen_range(-0.1f32..=0.1)).collect();
-            let mut tmp = vec![0.0f32; r];
-            let mut ft = vec![0.0f32; c];
-            let mut cost1 = vec![0.0f64; c];
-            let mut cost2 = vec![0.0f64; c];
+            y.clear();
+            y.extend((0..na).map(|_| rng.gen_range(-0.1f32..=0.1)));
+            tmp.clear();
+            tmp.resize(r, 0.0);
+            ft.clear();
+            ft.resize(c, 0.0);
+            cost1.clear();
+            cost1.resize(c, 0.0);
+            cost2.clear();
+            cost2.resize(c, 0.0);
             let mut stop_state = StopState::new(self.stop_criterion.clone());
             let mut rep_best: Option<(ColumnSetting, f64)> = None;
             let mut iterations = max_iters;

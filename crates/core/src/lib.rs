@@ -19,10 +19,16 @@
 //!   ("DALTA-ILP"), a generic ILP cross-check, and the **third-order Ising
 //!   formulation** (with higher-order SB) the paper argues against;
 //! - [`baselines`]: reconstructions of the DALTA heuristic and BA;
+//! - [`CopSolver`]: the pluggable core-COP solver trait every method above
+//!   implements (with [`CopSolverKind`] as the ready-made enum of the
+//!   paper's four);
 //! - [`Framework`]: the outer loop — `P` candidate partitions per output
 //!   bit, `R` rounds, [`Mode::Separate`] or [`Mode::Joint`] — shared by all
 //!   solvers, producing a [`DecompositionOutcome`] that assembles into an
-//!   [`adis_lut::ApproxLut`].
+//!   [`adis_lut::ApproxLut`]. Behind it sits a batched sweep engine that
+//!   plans the whole `partition × output × round` grid up front, memoizes
+//!   repeated COPs by exact content (hit/miss counts surface in the
+//!   outcome and telemetry), and reuses per-worker solver scratch.
 //!
 //! # Mapping to the paper
 //!
@@ -38,13 +44,12 @@
 //!
 //! # Observability
 //!
-//! [`Framework::decompose_observed`] and
-//! [`IsingCopSolver::solve_observed`] report stage timings, per-partition
-//! COP objectives, incumbent-vs-challenger decisions and raw bSB
-//! trajectories to any [`adis_telemetry::SolveObserver`] (e.g.
-//! [`adis_telemetry::Recorder`]); passing
-//! [`adis_telemetry::NullObserver`] (what [`Framework::decompose`] does)
-//! compiles the instrumentation away.
+//! [`Framework::decompose_with`] and [`IsingCopSolver::solve_with`] report
+//! stage timings, per-partition COP objectives, cache hit/miss counters,
+//! incumbent-vs-challenger decisions and raw bSB trajectories to any
+//! [`adis_telemetry::SolveObserver`] (e.g. [`adis_telemetry::Recorder`]);
+//! passing [`adis_telemetry::NullObserver`] (what [`Framework::decompose`]
+//! does) compiles the instrumentation away.
 //!
 //! # Quick start
 //!
@@ -63,14 +68,19 @@
 #![forbid(unsafe_code)]
 
 pub mod baselines;
+mod cache;
 mod cop;
+mod cop_solver;
+mod engine;
 mod framework;
 mod ising_solver;
 mod row;
 
+pub use baselines::{BaParams, DaltaHeuristic};
 pub use cop::{ColumnCop, SpinLayout};
+pub use cop_solver::{CopResult, CopScratch, CopSolver};
 pub use framework::{
-    ComponentChoice, CopSolverKind, DecompositionOutcome, Framework, Mode,
+    ComponentChoice, ConfigError, CopSolverKind, DecompositionOutcome, Framework, Mode,
 };
 pub use ising_solver::{CopSolution, CopSolveStats, IsingCopSolver};
 pub use row::{RowCop, RowCopSolution, RowIlpVars};

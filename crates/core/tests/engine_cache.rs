@@ -1,0 +1,89 @@
+//! Integration tests for the sweep engine's COP memo table: the cache must
+//! change nothing but the amount of work done.
+
+use adis_boolfn::MultiOutputFn;
+use adis_core::{BaParams, CopSolverKind, Framework, IsingCopSolver, Mode};
+
+fn target() -> MultiOutputFn {
+    MultiOutputFn::from_word_fn(6, 4, |p| (p * p / 4) & 0xF)
+}
+
+/// All four ready-made solver kinds, in a deterministic configuration
+/// (`time_limit: None` keeps the branch and bound exact).
+fn solver_kinds() -> Vec<CopSolverKind> {
+    vec![
+        CopSolverKind::Ising(IsingCopSolver::new()),
+        CopSolverKind::Exact { time_limit: None },
+        CopSolverKind::DaltaHeuristic { restarts: 2 },
+        CopSolverKind::Ba(BaParams::default()),
+    ]
+}
+
+/// With `P >= C(n, |B|)` the partition generator enumerates, so every round
+/// sweeps the *same* partition list. In separate mode the COP depends only
+/// on the exact function's matrix, which never changes — so round 2 must be
+/// served entirely from the memo table.
+#[test]
+fn enumerated_separate_sweep_hits_on_every_repeat_round() {
+    let outcome = Framework::new(Mode::Separate, 3)
+        .solver(CopSolverKind::Exact { time_limit: None })
+        .partitions(20) // C(6, 3) = 20: forces the enumerate path
+        .rounds(2)
+        .parallel(false)
+        .seed(7)
+        .decompose(&target());
+    assert_eq!(outcome.cop_solves, 20 * 4 * 2);
+    assert_eq!(outcome.cache_hits + outcome.cache_misses, outcome.cop_solves);
+    // Round 2 re-solves the exact same 20 × 4 grid.
+    assert!(
+        outcome.cache_hits >= 20 * 4,
+        "expected at least the whole second round ({}) cached, got {}",
+        20 * 4,
+        outcome.cache_hits
+    );
+}
+
+/// A constant function yields the same all-ones matrix for every partition
+/// and output, so a sequential sweep does exactly one real solve.
+#[test]
+fn constant_function_collapses_to_a_single_miss() {
+    let f = MultiOutputFn::from_word_fn(5, 2, |_| 0b11);
+    let outcome = Framework::new(Mode::Separate, 2)
+        .solver(CopSolverKind::Exact { time_limit: None })
+        .partitions(4)
+        .rounds(1)
+        .parallel(false)
+        .seed(3)
+        .decompose(&f);
+    assert_eq!(outcome.cop_solves, 4 * 2);
+    assert_eq!(outcome.cache_misses, 1);
+    assert_eq!(outcome.cache_hits, 4 * 2 - 1);
+}
+
+/// The memo table is a pure work-saving device: switching it off must
+/// reproduce the cached run bit for bit, for every mode and solver kind.
+#[test]
+fn cache_on_and_off_are_bit_identical_for_all_modes_and_solvers() {
+    for mode in [Mode::Separate, Mode::Joint] {
+        for solver in solver_kinds() {
+            let base = Framework::new(mode, 3)
+                .solver(solver.clone())
+                .partitions(6)
+                .rounds(2)
+                .parallel(false)
+                .seed(5);
+            let on = base.clone().cache(true).decompose(&target());
+            let off = base.cache(false).decompose(&target());
+            assert_eq!(off.cache_hits, 0, "{mode:?}/{solver:?}");
+            assert_eq!(on.med, off.med, "{mode:?}/{solver:?}");
+            assert_eq!(on.er, off.er, "{mode:?}/{solver:?}");
+            assert_eq!(on.approx, off.approx, "{mode:?}/{solver:?}");
+            assert_eq!(on.choices.len(), off.choices.len());
+            for (a, b) in on.choices.iter().zip(&off.choices) {
+                assert_eq!(a.partition, b.partition, "{mode:?}/{solver:?}");
+                assert_eq!(a.setting, b.setting, "{mode:?}/{solver:?}");
+                assert_eq!(a.objective, b.objective, "{mode:?}/{solver:?}");
+            }
+        }
+    }
+}

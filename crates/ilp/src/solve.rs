@@ -80,7 +80,7 @@ impl BranchAndBound {
 
     /// Solves the model to optimality (or to the limit).
     pub fn solve(&self, model: &IlpModel) -> IlpSolution {
-        self.solve_observed(model, &mut NullObserver)
+        self.solve_with(model, &mut NullObserver)
     }
 
     /// [`solve`](BranchAndBound::solve) with telemetry: reports the expanded
@@ -89,7 +89,7 @@ impl BranchAndBound {
     /// (`bnb_search` stage) to `observer`. With
     /// [`adis_telemetry::NullObserver`] this is exactly
     /// [`solve`](BranchAndBound::solve).
-    pub fn solve_observed<O: SolveObserver>(
+    pub fn solve_with<O: SolveObserver>(
         &self,
         model: &IlpModel,
         observer: &mut O,

@@ -28,7 +28,7 @@ pub const MAX_EXHAUSTIVE_SPINS: usize = 24;
 /// Panics if `N > MAX_EXHAUSTIVE_SPINS` (the search would not terminate in
 /// reasonable time).
 pub fn solve_exhaustive(problem: &IsingProblem) -> GroundState {
-    solve_exhaustive_observed(problem, &mut NullObserver)
+    solve_exhaustive_with(problem, &mut NullObserver)
 }
 
 /// [`solve_exhaustive`] with telemetry: reports the number of enumerated
@@ -39,7 +39,7 @@ pub fn solve_exhaustive(problem: &IsingProblem) -> GroundState {
 /// # Panics
 ///
 /// Panics if `N > MAX_EXHAUSTIVE_SPINS`.
-pub fn solve_exhaustive_observed<O: SolveObserver>(
+pub fn solve_exhaustive_with<O: SolveObserver>(
     problem: &IsingProblem,
     observer: &mut O,
 ) -> GroundState {

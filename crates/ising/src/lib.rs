@@ -19,7 +19,7 @@
 //! - [`random`]: standard random instance families (Sherrington–Kirkpatrick,
 //!   sparse, bipartite) for solver benchmarking.
 //!
-//! [`solve_exhaustive_observed`] reports enumeration counters to any
+//! [`solve_exhaustive_with`] reports enumeration counters to any
 //! [`adis_telemetry::SolveObserver`]; the `trace` feature additionally logs
 //! entry/exit spans to stderr.
 //!
@@ -48,7 +48,7 @@ mod qubo;
 pub mod random;
 mod spin;
 
-pub use brute::{solve_exhaustive, solve_exhaustive_observed, GroundState, MAX_EXHAUSTIVE_SPINS};
+pub use brute::{solve_exhaustive, solve_exhaustive_with, GroundState, MAX_EXHAUSTIVE_SPINS};
 pub use higher::HigherOrderIsing;
 pub use problem::{IsingBuilder, IsingProblem};
 pub use qubo::Qubo;

@@ -26,12 +26,15 @@
 //!   variance stop** (Section 3.3.1) — sample the energy every `f`
 //!   iterations, stop when the variance of the last `s` samples falls
 //!   below `ε`;
-//! - intervention hooks ([`SbSolver::solve_with`]) at every sampling point,
-//!   used by the paper's type-reset heuristic (Section 3.3.2);
-//! - observability ([`SbSolver::solve_observed`]): any
+//! - one observer-generic entry point ([`SbSolver::solve_with`]) combining
+//!   intervention hooks at every sampling point — used by the paper's
+//!   type-reset heuristic (Section 3.3.2) — with observability: any
 //!   [`adis_telemetry::SolveObserver`] receives per-sample energy /
 //!   best-so-far / mean-amplitude telemetry and the stop decision, at zero
 //!   cost when the null observer is passed;
+//! - reusable integration buffers ([`SbSolver::solve_in`], [`SbScratch`],
+//!   [`ScratchPool`]) so sweeps over many instances allocate per worker,
+//!   not per solve;
 //! - parallel multi-replica runs ([`SbSolver::solve_batch`]) with
 //!   deterministic seed assignment and best-replica selection;
 //! - [`HigherOrderSb`]: bSB for k-local energies (Kanao–Goto), needed by
@@ -57,9 +60,11 @@
 #![forbid(unsafe_code)]
 
 mod higher_order;
+mod scratch;
 mod solver;
 mod stop;
 
 pub use higher_order::{HigherOrderSb, HigherOrderSbResult};
+pub use scratch::{SbScratch, ScratchGuard, ScratchPool};
 pub use solver::{SbResult, SbSolver, SbState, SbVariant};
 pub use stop::{StopCriterion, StopReason, StopState};

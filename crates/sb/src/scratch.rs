@@ -1,0 +1,168 @@
+//! Reusable solver workspaces.
+//!
+//! Every SB trajectory needs the same set of dense buffers (positions,
+//! momenta, the coupling field, a sign readout). Allocating them per solve
+//! is wasted work when a sweep runs thousands of related instances — the
+//! amortization that high-parallel SB implementations are built around.
+//! [`SbScratch`] owns one trajectory's buffers; [`ScratchPool`] hands them
+//! out to worker threads and takes them back when the guard drops, so a
+//! rayon sweep allocates at most one scratch per worker, not one per solve.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+/// Reusable integration buffers for one simulated-bifurcation trajectory.
+///
+/// Pass to [`SbSolver::solve_in`](crate::SbSolver::solve_in) to reuse the
+/// allocations across solves. The solver overwrites every buffer before
+/// reading it, so a scratch carries no state between solves — results are
+/// bit-identical whether the scratch is fresh or reused.
+#[derive(Debug, Default)]
+pub struct SbScratch {
+    pub(crate) x: Vec<f64>,
+    pub(crate) y: Vec<f64>,
+    pub(crate) field: Vec<f64>,
+    pub(crate) signs: Vec<f64>,
+}
+
+impl SbScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes every buffer for an `n`-spin problem. Contents are
+    /// unspecified until the solver writes them.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.x.clear();
+        self.x.resize(n, 0.0);
+        self.y.clear();
+        self.y.resize(n, 0.0);
+        self.field.clear();
+        self.field.resize(n, 0.0);
+        self.signs.clear();
+        self.signs.resize(n, 0.0);
+    }
+}
+
+/// A lock-guarded free list of reusable scratch values.
+///
+/// [`acquire`](ScratchPool::acquire) pops a previously returned value (or
+/// default-constructs one the first time a thread needs it); dropping the
+/// guard pushes it back. Under a rayon sweep this bounds live allocations
+/// by the number of concurrently running workers.
+///
+/// ```
+/// use adis_sb::{ScratchPool, SbScratch};
+///
+/// let pool: ScratchPool<SbScratch> = ScratchPool::new();
+/// {
+///     let _scratch = pool.acquire(); // fresh on first use
+/// }
+/// assert_eq!(pool.pooled(), 1);      // returned on drop
+/// ```
+#[derive(Debug, Default)]
+pub struct ScratchPool<T> {
+    free: Mutex<Vec<T>>,
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ScratchPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Borrows a scratch value: a pooled one if available, otherwise
+    /// `T::default()`. The value returns to the pool when the guard drops.
+    pub fn acquire(&self) -> ScratchGuard<'_, T> {
+        let pooled = self
+            .free
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .pop();
+        ScratchGuard {
+            slot: Some(pooled.unwrap_or_default()),
+            pool: self,
+        }
+    }
+
+    /// How many values are currently parked in the pool (not borrowed).
+    pub fn pooled(&self) -> usize {
+        self.free
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+}
+
+/// RAII borrow of a pooled scratch value; derefs to `T` and returns the
+/// value to its [`ScratchPool`] on drop.
+#[derive(Debug)]
+pub struct ScratchGuard<'a, T> {
+    slot: Option<T>,
+    pool: &'a ScratchPool<T>,
+}
+
+impl<T> Deref for ScratchGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.slot.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl<T> DerefMut for ScratchGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.slot.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl<T> Drop for ScratchGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(value) = self.slot.take() {
+            self.pool
+                .free
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .push(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_recycles_returned_values() {
+        let pool: ScratchPool<Vec<u8>> = ScratchPool::new();
+        assert_eq!(pool.pooled(), 0);
+        {
+            let mut a = pool.acquire();
+            a.push(7);
+            let b = pool.acquire();
+            assert!(b.is_empty(), "second borrow is a distinct value");
+        }
+        assert_eq!(pool.pooled(), 2);
+        // The recycled value keeps its contents/capacity (that's the
+        // point); the borrower is responsible for resetting it. Locals drop
+        // in reverse declaration order, so `a` was pushed last.
+        let recycled = pool.acquire();
+        assert_eq!(pool.pooled(), 1);
+        assert_eq!(&*recycled, &[7]);
+    }
+
+    #[test]
+    fn reset_sizes_every_buffer() {
+        let mut s = SbScratch::new();
+        s.reset(5);
+        assert_eq!(s.x.len(), 5);
+        assert_eq!(s.y.len(), 5);
+        assert_eq!(s.field.len(), 5);
+        assert_eq!(s.signs.len(), 5);
+        s.reset(2);
+        assert_eq!(s.x.len(), 2);
+    }
+}

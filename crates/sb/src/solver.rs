@@ -1,7 +1,7 @@
 //! Simulated bifurcation solvers: adiabatic (aSB), ballistic (bSB) and
 //! discrete (dSB) variants with symplectic Euler integration.
 
-use crate::{StopCriterion, StopReason, StopState};
+use crate::{SbScratch, ScratchPool, StopCriterion, StopReason, StopState};
 use adis_ising::{IsingProblem, SpinVector};
 use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 use rand::Rng;
@@ -218,47 +218,50 @@ impl SbSolver {
 
     /// Runs the solver.
     pub fn solve(&self, problem: &IsingProblem) -> SbResult {
-        self.solve_with(problem, |_| {})
+        self.solve_with(problem, |_| {}, &mut NullObserver)
     }
 
-    /// Runs the solver, reporting the trajectory to `observer`: one
+    /// The observer-generic entry point: runs the solver, invoking
+    /// `intervene` on the integrator state at every sampling point (the
+    /// hook used by the paper's type-reset heuristic, Section 3.3.2) and
+    /// reporting the trajectory to `observer` — one
     /// [`sb_start`](SolveObserver::sb_start), an
     /// [`sb_sample`](SolveObserver::sb_sample) per sampling point (energy,
     /// running best, mean oscillator amplitude `⟨|x|⟩`), and an
     /// [`sb_stop`](SolveObserver::sb_stop) with the stop reason.
     ///
-    /// Passing [`NullObserver`] makes this identical to
-    /// [`solve`](SbSolver::solve) — the observer is a generic parameter, so
-    /// the empty inline hooks compile away and no per-sample payload (the
-    /// amplitude mean) is even computed.
-    pub fn solve_observed<O>(&self, problem: &IsingProblem, observer: &mut O) -> SbResult
-    where
-        O: SolveObserver,
-    {
-        self.solve_with_observed(problem, |_| {}, observer)
-    }
-
-    /// Runs the solver, invoking `intervene` on the integrator state at
-    /// every sampling point (the hook used by the paper's type-reset
-    /// heuristic, Section 3.3.2).
-    ///
     /// The hook may rewrite positions/momenta in place; the integration
-    /// continues from the modified state.
-    pub fn solve_with<F>(&self, problem: &IsingProblem, intervene: F) -> SbResult
-    where
-        F: FnMut(&mut SbState<'_>),
-    {
-        self.solve_with_observed(problem, intervene, &mut NullObserver)
-    }
-
-    /// The fully general entry point: an intervention hook *and* an
-    /// observer (see [`solve_with`](SbSolver::solve_with) and
-    /// [`solve_observed`](SbSolver::solve_observed)). Samples are reported
-    /// after the hook ran, so observers see the state integration actually
-    /// continues from.
-    pub fn solve_with_observed<F, O>(
+    /// continues from the modified state, and samples are reported after
+    /// the hook ran. Pass `|_| {}` when no intervention is needed; passing
+    /// [`NullObserver`] makes this identical to [`solve`](SbSolver::solve) —
+    /// the observer is a generic parameter, so the empty inline hooks
+    /// compile away and no per-sample payload (the amplitude mean) is even
+    /// computed.
+    pub fn solve_with<F, O>(
         &self,
         problem: &IsingProblem,
+        intervene: F,
+        observer: &mut O,
+    ) -> SbResult
+    where
+        F: FnMut(&mut SbState<'_>),
+        O: SolveObserver,
+    {
+        let mut scratch = SbScratch::new();
+        self.solve_in(problem, &mut scratch, intervene, observer)
+    }
+
+    /// [`solve_with`](SbSolver::solve_with), reusing caller-owned
+    /// integration buffers instead of allocating per solve.
+    ///
+    /// Every buffer is (re)sized and overwritten before use, so the result
+    /// is bit-identical to a fresh-allocation run — `scratch` only recycles
+    /// capacity. Sweeps solving many instances should hold scratches in a
+    /// [`ScratchPool`] so allocations are bounded by worker count.
+    pub fn solve_in<F, O>(
+        &self,
+        problem: &IsingProblem,
+        scratch: &mut SbScratch,
         mut intervene: F,
         observer: &mut O,
     ) -> SbResult
@@ -269,22 +272,24 @@ impl SbSolver {
         let n = problem.num_spins();
         let _span = trace_span!("SbSolver::solve {:?} n={n}", self.variant);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut x: Vec<f64> = (0..n)
-            .map(|_| rng.gen_range(-self.init_amplitude..=self.init_amplitude))
-            .collect();
-        let mut y: Vec<f64> = (0..n)
-            .map(|_| rng.gen_range(-self.init_amplitude..=self.init_amplitude))
-            .collect();
+        scratch.reset(n);
+        let SbScratch { x, y, field, signs } = scratch;
+        // RNG draw order (x fully, then y fully) matches the historical
+        // per-solve allocation path, keeping seeds bit-compatible.
+        for v in x.iter_mut() {
+            *v = rng.gen_range(-self.init_amplitude..=self.init_amplitude);
+        }
+        for v in y.iter_mut() {
+            *v = rng.gen_range(-self.init_amplitude..=self.init_amplitude);
+        }
         let c0 = self.resolve_c0(problem);
         let max_iters = self.stop.max_iterations();
         let sample_every = self.stop.sample_every();
         let mut stop_state = StopState::new(self.stop.clone());
 
-        let mut best_state = SpinVector::from_signs(&x);
+        let mut best_state = SpinVector::from_signs(x);
         let mut best_energy = problem.energy(&best_state);
         let mut trace = Vec::new();
-        let mut field = vec![0.0; n];
-        let mut signs = vec![0.0; n];
         let mut stop_reason = StopReason::IterationLimit;
         let mut iterations = max_iters;
         observer.sb_start(n, max_iters);
@@ -299,7 +304,7 @@ impl SbSolver {
             let a_t = self.a0 * ((t as f64 / ramp as f64).min(1.0));
             match self.variant {
                 SbVariant::Ballistic => {
-                    problem.field(&x, &mut field);
+                    problem.field(x, field);
                     for i in 0..n {
                         y[i] += (-(self.a0 - a_t) * x[i] + c0 * field[i]) * self.dt;
                     }
@@ -308,13 +313,13 @@ impl SbSolver {
                     for i in 0..n {
                         signs[i] = if x[i] >= 0.0 { 1.0 } else { -1.0 };
                     }
-                    problem.field(&signs, &mut field);
+                    problem.field(signs, field);
                     for i in 0..n {
                         y[i] += (-(self.a0 - a_t) * x[i] + c0 * field[i]) * self.dt;
                     }
                 }
                 SbVariant::Adiabatic => {
-                    problem.field(&x, &mut field);
+                    problem.field(x, field);
                     for i in 0..n {
                         y[i] += (-x[i] * x[i] * x[i] - (self.a0 - a_t) * x[i]
                             + c0 * field[i])
@@ -337,12 +342,12 @@ impl SbSolver {
 
             if (t + 1) % sample_every == 0 || t + 1 == max_iters {
                 let mut state = SbState {
-                    x: &mut x,
-                    y: &mut y,
+                    x: &mut x[..],
+                    y: &mut y[..],
                     iteration: t + 1,
                 };
                 intervene(&mut state);
-                let readout = SpinVector::from_signs(&x);
+                let readout = SpinVector::from_signs(x);
                 let energy = problem.energy(&readout);
                 trace.push((t + 1, energy));
                 if energy < best_energy {
@@ -379,10 +384,12 @@ impl SbSolver {
     /// Runs `replicas` independent trajectories (seeds `seed..seed+replicas`)
     /// and keeps the best result.
     ///
-    /// Replicas run in parallel on the rayon thread pool. The result is
-    /// bit-identical to the sequential loop this replaces: replica `r`
-    /// still integrates from seed `seed + r`, and on equal best energies
-    /// the lowest-index replica wins.
+    /// Replicas run in parallel on the rayon thread pool, drawing their
+    /// integration buffers from a shared [`ScratchPool`] so allocations are
+    /// bounded by worker count. The result is bit-identical to the
+    /// sequential loop this replaces: replica `r` still integrates from
+    /// seed `seed + r`, and on equal best energies the lowest-index replica
+    /// wins.
     ///
     /// # Panics
     ///
@@ -390,12 +397,14 @@ impl SbSolver {
     pub fn solve_batch(&self, problem: &IsingProblem, replicas: usize) -> SbResult {
         assert!(replicas > 0, "need at least one replica");
         let _span = trace_span!("SbSolver::solve_batch replicas={replicas}");
+        let scratch: ScratchPool<SbScratch> = ScratchPool::new();
         let results: Vec<SbResult> = (0..replicas)
             .into_par_iter()
             .map(|r| {
+                let mut buffers = scratch.acquire();
                 self.clone()
                     .seed(self.seed.wrapping_add(r as u64))
-                    .solve(problem)
+                    .solve_in(problem, &mut buffers, |_| {}, &mut NullObserver)
             })
             .collect();
         // Deterministic selection: scan in replica order, strict `<` so the
@@ -508,12 +517,16 @@ mod tests {
         let mut calls = 0;
         let r = SbSolver::new()
             .stop(StopCriterion::FixedIterations(100))
-            .solve_with(&p, |state| {
-                calls += 1;
-                // Clamp spin 0 positive: the readout must respect it.
-                state.x[0] = 1.0;
-                state.y[0] = 0.0;
-            });
+            .solve_with(
+                &p,
+                |state| {
+                    calls += 1;
+                    // Clamp spin 0 positive: the readout must respect it.
+                    state.x[0] = 1.0;
+                    state.y[0] = 0.0;
+                },
+                &mut NullObserver,
+            );
         assert!(calls > 0);
         assert_eq!(r.best_state.get(0), 1);
     }
@@ -544,9 +557,13 @@ mod tests {
         // Interventions see x during the run; verify walls hold there.
         SbSolver::new()
             .stop(StopCriterion::FixedIterations(500))
-            .solve_with(&p, |state| {
-                assert!(state.x.iter().all(|&v| v.abs() <= 1.0 + 1e-12));
-            });
+            .solve_with(
+                &p,
+                |state| {
+                    assert!(state.x.iter().all(|&v| v.abs() <= 1.0 + 1e-12));
+                },
+                &mut NullObserver,
+            );
     }
 
     #[test]
@@ -557,7 +574,9 @@ mod tests {
         use adis_telemetry::NullObserver;
         let p = random_problem(10, 21);
         let plain = SbSolver::new().seed(4).solve(&p);
-        let observed = SbSolver::new().seed(4).solve_observed(&p, &mut NullObserver);
+        let observed = SbSolver::new()
+            .seed(4)
+            .solve_with(&p, |_| {}, &mut NullObserver);
         assert_eq!(plain.best_state, observed.best_state);
         assert_eq!(plain.best_energy, observed.best_energy);
         assert_eq!(plain.trace, observed.trace);
@@ -573,7 +592,7 @@ mod tests {
         let r = SbSolver::new()
             .stop(StopCriterion::FixedIterations(200))
             .seed(1)
-            .solve_observed(&p, &mut rec);
+            .solve_with(&p, |_| {}, &mut rec);
         // One sb_sample per trace entry, in the same order.
         assert_eq!(rec.trajectory.samples(), r.trace.as_slice());
         assert_eq!(rec.sb.runs, 1);
@@ -603,6 +622,23 @@ mod tests {
         assert_eq!(batch.best_state, best.best_state);
         assert_eq!(batch.best_energy, best.best_energy);
         assert_eq!(batch.trace, best.trace);
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh() {
+        // Solving problems of different sizes through one dirty scratch
+        // must match fresh-allocation solves exactly.
+        let mut scratch = SbScratch::new();
+        for (n, seed) in [(12usize, 31u64), (5, 32), (9, 33)] {
+            let p = random_problem(n, seed);
+            let solver = SbSolver::new().seed(seed);
+            let fresh = solver.solve(&p);
+            let reused = solver.solve_in(&p, &mut scratch, |_| {}, &mut NullObserver);
+            assert_eq!(fresh.best_state, reused.best_state);
+            assert_eq!(fresh.best_energy, reused.best_energy);
+            assert_eq!(fresh.trace, reused.trace);
+            assert_eq!(fresh.iterations, reused.iterations);
+        }
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct ReportCell {
     pub seconds: f64,
     /// Core-COP instances solved.
     pub cop_solves: u64,
+    /// COP solves answered from the sweep engine's memo table.
+    pub cache_hits: u64,
+    /// COP solves that missed the memo table and ran a solver.
+    pub cache_misses: u64,
     /// bSB Euler iterations, summed over every trajectory in the cell.
     pub sb_iterations: u64,
     /// SB trajectories run.
@@ -52,6 +56,8 @@ impl ReportCell {
             objective: 0.0,
             seconds: 0.0,
             cop_solves: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             sb_iterations: 0,
             sb_runs: 0,
             sb_settled: 0,
@@ -65,6 +71,8 @@ impl ReportCell {
     /// [`Recorder`] that observed this cell's solve.
     pub fn absorb(mut self, rec: &Recorder) -> Self {
         self.cop_solves = rec.counters.get("cop_solves");
+        self.cache_hits = rec.counters.get("cache_hits");
+        self.cache_misses = rec.counters.get("cache_misses");
         self.sb_iterations = rec.counters.get("sb_iterations").max(rec.sb.total_iterations as u64);
         self.sb_runs = rec.sb.runs as u64;
         self.sb_settled = rec.sb.settled as u64;
@@ -83,6 +91,8 @@ impl ReportCell {
             ("objective".to_string(), Json::Num(self.objective)),
             ("seconds".to_string(), Json::Num(self.seconds)),
             ("cop_solves".to_string(), Json::Num(self.cop_solves as f64)),
+            ("cache_hits".to_string(), Json::Num(self.cache_hits as f64)),
+            ("cache_misses".to_string(), Json::Num(self.cache_misses as f64)),
             ("sb_iterations".to_string(), Json::Num(self.sb_iterations as f64)),
             ("sb_runs".to_string(), Json::Num(self.sb_runs as f64)),
             ("sb_settled".to_string(), Json::Num(self.sb_settled as f64)),
@@ -201,6 +211,8 @@ mod tests {
     fn report_round_trip_shape() {
         let mut rec = Recorder::new();
         rec.counter("cop_solves", 8);
+        rec.counter("cache_hits", 3);
+        rec.counter("cache_misses", 5);
         rec.sb_start(21, 10_000);
         rec.sb_sample(20, -1.5, -1.5, 0.7);
         rec.sb_stop(120, -1.5, true);
@@ -223,6 +235,8 @@ mod tests {
             "\"seed\":7",
             "\"partitions\":8",
             "\"cop_solves\":8",
+            "\"cache_hits\":3",
+            "\"cache_misses\":5",
             "\"sb_iterations\":120",
             "\"sb_settled\":1",
             "\"best_energy\":-1.5",
