@@ -7,10 +7,14 @@ use adis_benchfn::ContinuousFn;
 use adis_boolfn::{BooleanMatrix, InputDist, Partition};
 use adis_core::{ColumnCop, IsingCopSolver, RowCop};
 use adis_ising::random::sherrington_kirkpatrick;
-use adis_sb::{SbSolver, SbVariant, StopCriterion};
+use adis_ising::IsingProblem;
+use adis_sb::{SbBatchScratch, SbScratch, SbSolver, SbVariant, StopCriterion};
+use adis_telemetry::{Json, NullObserver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::path::Path;
+use std::time::Instant;
 
 fn benchmark_cop() -> (ColumnCop, RowCop) {
     let table = ContinuousFn::Exp.function(9, 9).expect("paper widths");
@@ -91,9 +95,142 @@ fn bench_encoding(c: &mut Criterion) {
     group.finish();
 }
 
+/// Reads a positive integer knob from the environment, falling back to
+/// `default`. Lets CI run the kernel comparison on a reduced budget.
+fn env_knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Best-of-`reps` wall clock for `f`, in milliseconds.
+fn best_of_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Runs `replicas` independent sequential trajectories — the pre-batch
+/// `solve_batch` implementation — reusing one scratch across replicas.
+fn sequential_replicas(
+    solver: &SbSolver,
+    seed: u64,
+    problem: &IsingProblem,
+    replicas: usize,
+    scratch: &mut SbScratch,
+) -> Vec<adis_sb::SbResult> {
+    (0..replicas)
+        .map(|r| {
+            solver
+                .clone()
+                .seed(seed.wrapping_add(r as u64))
+                .solve_in(problem, scratch, |_| {}, &mut NullObserver)
+        })
+        .collect()
+}
+
+/// Kernel microbenchmark: the SoA batch integrator against sequential
+/// replica trajectories on the paper's benchmark COP Ising instance.
+///
+/// Besides the criterion timings, this writes a standalone
+/// `results/BENCH_kernel.json` artifact (best-of-`ADIS_KERNEL_REPS`
+/// wall-clock per path, speedup per replica count) and asserts that every
+/// batched lane is bit-identical to its sequential counterpart. Knobs:
+/// `ADIS_KERNEL_ITERS` (iteration budget, default 1500) and
+/// `ADIS_KERNEL_REPS` (timing repetitions, default 5).
+fn bench_kernel(c: &mut Criterion) {
+    let (col, _) = benchmark_cop();
+    let ising = col.to_ising();
+    let iters = env_knob("ADIS_KERNEL_ITERS", 1500);
+    let reps = env_knob("ADIS_KERNEL_REPS", 5);
+    let seed = 11u64;
+    let solver = SbSolver::new()
+        .stop(StopCriterion::FixedIterations(iters))
+        .seed(seed);
+
+    let mut group = c.benchmark_group("kernel_replicas");
+    for r in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("sequential", r), &r, |b, &r| {
+            let mut scratch = SbScratch::new();
+            b.iter(|| sequential_replicas(&solver, seed, &ising, r, &mut scratch).len())
+        });
+        group.bench_with_input(BenchmarkId::new("batched", r), &r, |b, &r| {
+            let mut scratch = SbBatchScratch::new();
+            b.iter(|| solver.solve_batch_in(&ising, r, &mut scratch).best_energy)
+        });
+    }
+    group.finish();
+
+    write_kernel_report(&ising, &solver, seed, iters, reps);
+}
+
+/// Measures both paths outside criterion, checks per-lane bit-identity,
+/// and writes `results/BENCH_kernel.json` at the workspace root.
+fn write_kernel_report(ising: &IsingProblem, solver: &SbSolver, seed: u64, iters: usize, reps: usize) {
+    let mut rows = Vec::new();
+    for r in [4usize, 16] {
+        let mut batch_scratch = SbBatchScratch::new();
+        let mut seq_scratch = SbScratch::new();
+
+        let lanes =
+            solver.solve_batch_with(ising, r, &mut batch_scratch, |_, _| {}, &mut NullObserver);
+        let reference = sequential_replicas(solver, seed, ising, r, &mut seq_scratch);
+        for (lane, (b, s)) in lanes.iter().zip(&reference).enumerate() {
+            assert!(
+                b.best_state == s.best_state
+                    && b.best_energy == s.best_energy
+                    && b.iterations == s.iterations
+                    && b.trace == s.trace,
+                "batched lane {lane} of R={r} diverged from its sequential replica"
+            );
+        }
+
+        let seq_ms = best_of_ms(reps, || {
+            sequential_replicas(solver, seed, ising, r, &mut seq_scratch);
+        });
+        let batch_ms = best_of_ms(reps, || {
+            solver.solve_batch_in(ising, r, &mut batch_scratch);
+        });
+        let speedup = seq_ms / batch_ms;
+        eprintln!(
+            "kernel R={r}: sequential {seq_ms:.3} ms, batched {batch_ms:.3} ms, {speedup:.2}x"
+        );
+        rows.push(Json::Obj(vec![
+            ("replicas".into(), Json::Num(r as f64)),
+            ("sequential_ms".into(), Json::Num(seq_ms)),
+            ("batched_ms".into(), Json::Num(batch_ms)),
+            ("speedup".into(), Json::Num(speedup)),
+            ("bit_identical".into(), Json::Bool(true)),
+        ]));
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("kernel")),
+        ("problem".into(), Json::str("benchmark_cop column COP -> Ising")),
+        ("spins".into(), Json::Num(ising.num_spins() as f64)),
+        ("couplings".into(), Json::Num(ising.num_couplings() as f64)),
+        ("iterations".into(), Json::Num(iters as f64)),
+        ("timing_reps".into(), Json::Num(reps as f64)),
+        ("results".into(), Json::Arr(rows)),
+    ]);
+    // Anchor to the workspace root so the artifact lands in the same
+    // `results/` directory as the run reports, regardless of bench CWD.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_kernel.json");
+    std::fs::write(&path, report.render_pretty()).expect("write BENCH_kernel.json");
+    eprintln!("wrote {}", path.display());
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_sb_variants, bench_cop_solvers, bench_encoding
+    targets = bench_sb_variants, bench_cop_solvers, bench_encoding, bench_kernel
 }
 criterion_main!(benches);

@@ -18,6 +18,7 @@ fn bench_table1_cell(c: &mut Criterion) {
         ilp_time_limit: Duration::from_millis(100),
         seed: 1,
         replicas: 1,
+        cache: true,
     };
     let mut group = c.benchmark_group("table1_erf_joint");
     group.sample_size(10);

@@ -14,7 +14,7 @@ use crate::baselines::{solve_ba, solve_dalta_heuristic, BaParams, DaltaHeuristic
 use crate::{ColumnCop, CopSolverKind, IsingCopSolver, RowCop};
 use adis_boolfn::{BitVec, ColumnSetting, RowSetting};
 use adis_ilp::BranchAndBound;
-use adis_sb::SbScratch;
+use adis_sb::SbBatchScratch;
 use adis_telemetry::NullObserver;
 use std::fmt;
 
@@ -36,7 +36,8 @@ pub struct CopResult {
 /// The sweep engine keeps one of these per active rayon worker (via
 /// [`adis_sb::ScratchPool`]) so the structured bSB integrator's coupling
 /// workspace, oscillator registers and cost accumulators — and the generic
-/// path's [`SbScratch`] — are allocated once per worker, not once per COP.
+/// path's [`SbBatchScratch`] — are allocated once per worker, not once per
+/// COP.
 /// Solvers overwrite every buffer before reading it; a scratch carries no
 /// state between solves.
 #[derive(Debug, Default)]
@@ -57,8 +58,9 @@ pub struct CopScratch {
     pub(crate) cost1: Vec<f64>,
     /// Per-column pattern-2 cost accumulator.
     pub(crate) cost2: Vec<f64>,
-    /// Buffers for the generic (non-structured) [`adis_sb::SbSolver`] path.
-    pub(crate) sb: SbScratch,
+    /// Batched lane buffers for the generic (non-structured)
+    /// [`adis_sb::SbSolver`] path, which integrates all replicas at once.
+    pub(crate) batch: SbBatchScratch,
 }
 
 impl CopScratch {

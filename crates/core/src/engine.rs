@@ -19,7 +19,7 @@
 //! partition sweep fans out in parallel.
 
 use crate::cache::{CopCache, MemoKey};
-use crate::cop_solver::{CopScratch, CopSolver};
+use crate::cop_solver::CopScratch;
 use crate::framework::{ComponentChoice, DecompositionOutcome, Framework, Mode};
 use crate::ColumnCop;
 use adis_boolfn::{

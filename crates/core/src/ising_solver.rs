@@ -204,27 +204,38 @@ impl IsingCopSolver {
         let mut settled = false;
         let mut interventions = 0;
 
-        for rep in 0..self.replicas {
-            let solver = self
-                .sb
-                .clone()
-                .stop(self.stop_criterion.clone())
-                .ramp(self.ramp)
-                .dt(self.dt)
-                .seed(self.seed_for(rep));
-            let result = if self.heuristic {
-                solver.solve_in(
-                    &ising,
-                    &mut scratch.sb,
-                    |state| {
-                        apply_type_reset(cop, layout, state);
-                        interventions += 1;
-                    },
-                    &mut *observer,
-                )
-            } else {
-                solver.solve_in(&ising, &mut scratch.sb, |_| {}, &mut *observer)
-            };
+        // All replicas advance through the SoA batch integrator in one
+        // pass: lane `rep` integrates from seed `seed + rep` with the same
+        // floating-point operation order as the sequential loop this
+        // replaces, so results are bit-identical per replica.
+        let solver = self
+            .sb
+            .clone()
+            .stop(self.stop_criterion.clone())
+            .ramp(self.ramp)
+            .dt(self.dt)
+            .seed(self.seed);
+        let results = if self.heuristic {
+            solver.solve_batch_with(
+                &ising,
+                self.replicas,
+                &mut scratch.batch,
+                |_, state| {
+                    apply_type_reset(cop, layout, state);
+                    interventions += 1;
+                },
+                &mut *observer,
+            )
+        } else {
+            solver.solve_batch_with(
+                &ising,
+                self.replicas,
+                &mut scratch.batch,
+                |_, _| {},
+                &mut *observer,
+            )
+        };
+        for result in results {
             total_iterations += result.iterations;
             settled |= result.stop_reason == StopReason::EnergySettled;
             let mut setting = layout.decode(&result.best_state);

@@ -2,6 +2,7 @@
 
 use crate::SpinVector;
 use std::fmt;
+use std::ops::Range;
 
 /// A second-order Ising energy function over `N` spins:
 ///
@@ -13,9 +14,12 @@ use std::fmt;
 /// constant `offset` so the energy can track an original objective exactly —
 /// e.g. so the COP energies are directly comparable to ER/MED values).
 ///
-/// Couplings are stored as per-spin adjacency lists, which suits both the
-/// sparse bipartite problems produced by the decomposition COP and
-/// random dense instances.
+/// Couplings are stored in a flat CSR (compressed sparse row) layout — one
+/// row-offset array plus packed neighbor-index and weight arrays, each row
+/// sorted by neighbor — so the per-iteration matvec of the SB integrators
+/// streams contiguous memory instead of chasing per-spin heap pointers.
+/// The layout suits both the sparse bipartite problems produced by the
+/// decomposition COP and random dense instances.
 ///
 /// # Examples
 ///
@@ -35,9 +39,13 @@ use std::fmt;
 #[derive(Clone, PartialEq)]
 pub struct IsingProblem {
     h: Vec<f64>,
-    /// Symmetric adjacency: `adj[i]` holds `(j, J_ij)` for every `j ≠ i`
-    /// with a nonzero coupling, sorted by `j`.
-    adj: Vec<Vec<(u32, f64)>>,
+    /// CSR row offsets: row `i` occupies `row_ptr[i]..row_ptr[i+1]` in the
+    /// packed arrays. Length `N + 1`.
+    row_ptr: Vec<u32>,
+    /// Packed neighbor indices, each row sorted ascending.
+    cols: Vec<u32>,
+    /// Packed coupling values, parallel to `cols`.
+    weights: Vec<f64>,
     offset: f64,
 }
 
@@ -62,30 +70,52 @@ impl IsingProblem {
         self.offset
     }
 
+    #[inline]
+    fn row_range(&self, i: usize) -> Range<usize> {
+        self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize
+    }
+
+    /// The raw CSR triple `(row offsets, neighbor indices, weights)`.
+    ///
+    /// Row `i`'s entries occupy `row_ptr[i]..row_ptr[i+1]` of the two
+    /// packed arrays; rows are sorted by neighbor index. This is the layout
+    /// batch kernels iterate directly (see `adis-sb`'s SoA integrator);
+    /// accumulating a row in packed order is exactly the order
+    /// [`local_field`](IsingProblem::local_field) uses, which is what keeps
+    /// batched and sequential integrations bit-identical.
+    pub fn csr(&self) -> (&[u32], &[u32], &[f64]) {
+        (&self.row_ptr, &self.cols, &self.weights)
+    }
+
     /// The coupling `J_ij` (zero if absent).
     pub fn coupling(&self, i: usize, j: usize) -> f64 {
-        self.adj[i]
-            .binary_search_by_key(&(j as u32), |&(k, _)| k)
-            .map(|idx| self.adj[i][idx].1)
+        let r = self.row_range(i);
+        self.cols[r.clone()]
+            .binary_search(&(j as u32))
+            .map(|idx| self.weights[r.start + idx])
             .unwrap_or(0.0)
     }
 
-    /// Neighbors of spin `i` with their couplings.
-    pub fn neighbors(&self, i: usize) -> &[(u32, f64)] {
-        &self.adj[i]
+    /// Neighbors of spin `i` with their couplings, sorted by neighbor.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let r = self.row_range(i);
+        self.cols[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[r].iter().copied())
     }
 
-    /// Total number of stored (directed) couplings.
+    /// Total number of stored (undirected) couplings.
     pub fn num_couplings(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.weights.len() / 2
     }
 
     /// Iterates over each undirected coupling `(i, j, J_ij)` once (`i < j`).
     pub fn couplings(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(i, row)| {
-            row.iter()
-                .filter(move |&&(j, _)| (j as usize) > i)
-                .map(move |&(j, v)| (i, j as usize, v))
+        (0..self.num_spins()).flat_map(move |i| {
+            self.neighbors(i)
+                .filter(move |&(j, _)| (j as usize) > i)
+                .map(move |(j, v)| (i, j as usize, v))
         })
     }
 
@@ -101,7 +131,8 @@ impl IsingProblem {
             let si = f64::from(sigma.get(i));
             e -= self.h[i] * si;
             let mut acc = 0.0;
-            for &(j, v) in &self.adj[i] {
+            let r = self.row_range(i);
+            for (&j, &v) in self.cols[r.clone()].iter().zip(&self.weights[r]) {
                 acc += v * f64::from(sigma.get(j as usize));
             }
             e -= 0.5 * si * acc;
@@ -115,7 +146,8 @@ impl IsingProblem {
     #[inline]
     pub fn local_field(&self, x: &[f64], i: usize) -> f64 {
         let mut f = self.h[i];
-        for &(j, v) in &self.adj[i] {
+        let r = self.row_range(i);
+        for (&j, &v) in self.cols[r.clone()].iter().zip(&self.weights[r]) {
             f += v * x[j as usize];
         }
         f
@@ -129,8 +161,8 @@ impl IsingProblem {
     pub fn field(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.num_spins(), "position count mismatch");
         assert_eq!(out.len(), self.num_spins(), "output count mismatch");
-        for i in 0..self.num_spins() {
-            out[i] = self.local_field(x, i);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.local_field(x, i);
         }
     }
 
@@ -140,7 +172,8 @@ impl IsingProblem {
     pub fn flip_delta(&self, sigma: &SpinVector, i: usize) -> f64 {
         let si = f64::from(sigma.get(i));
         let mut field = self.h[i];
-        for &(j, v) in &self.adj[i] {
+        let r = self.row_range(i);
+        for (&j, &v) in self.cols[r.clone()].iter().zip(&self.weights[r]) {
             field += v * f64::from(sigma.get(j as usize));
         }
         2.0 * si * field
@@ -154,22 +187,14 @@ impl IsingProblem {
         if n < 2 {
             return 0.0;
         }
-        let sum_sq: f64 = self
-            .adj
-            .iter()
-            .flat_map(|row| row.iter().map(|&(_, v)| v * v))
-            .sum();
+        let sum_sq: f64 = self.weights.iter().map(|&v| v * v).sum();
         (sum_sq / (n as f64 * (n as f64 - 1.0))).sqrt()
     }
 
     /// Largest absolute bias/coupling magnitude (for scaling heuristics).
     pub fn max_abs_coefficient(&self) -> f64 {
         let hmax = self.h.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-        let jmax = self
-            .adj
-            .iter()
-            .flat_map(|row| row.iter().map(|&(_, v)| v.abs()))
-            .fold(0.0f64, f64::max);
+        let jmax = self.weights.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         hmax.max(jmax)
     }
 }
@@ -254,7 +279,8 @@ impl IsingBuilder {
         self.offset += value;
     }
 
-    /// Finalizes the problem, merging duplicate couplings.
+    /// Finalizes the problem into its flat CSR form, merging duplicate
+    /// couplings and dropping pairs that cancel to exactly zero.
     pub fn build(self) -> IsingProblem {
         let n = self.h.len();
         let mut maps: Vec<std::collections::BTreeMap<u32, f64>> =
@@ -263,17 +289,29 @@ impl IsingBuilder {
             *maps[i as usize].entry(j).or_insert(0.0) += v;
             *maps[j as usize].entry(i).or_insert(0.0) += v;
         }
-        let adj = maps
-            .into_iter()
-            .map(|m| {
-                m.into_iter()
-                    .filter(|&(_, v)| v != 0.0)
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        let nnz: usize = maps
+            .iter()
+            .map(|m| m.values().filter(|&&v| v != 0.0).count())
+            .sum();
+        assert!(nnz <= u32::MAX as usize, "coupling count overflows CSR offsets");
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut cols = Vec::with_capacity(nnz);
+        let mut weights = Vec::with_capacity(nnz);
+        row_ptr.push(0u32);
+        for m in maps {
+            for (j, v) in m {
+                if v != 0.0 {
+                    cols.push(j);
+                    weights.push(v);
+                }
+            }
+            row_ptr.push(cols.len() as u32);
+        }
         IsingProblem {
             h: self.h,
-            adj,
+            row_ptr,
+            cols,
+            weights,
             offset: self.offset,
         }
     }
@@ -381,5 +419,40 @@ mod tests {
             .build();
         let all: Vec<_> = p.couplings().collect();
         assert_eq!(all, vec![(0, 1, 1.0), (1, 2, -2.0)]);
+    }
+
+    #[test]
+    fn csr_layout_is_well_formed() {
+        let p = IsingBuilder::new(4)
+            .coupling(0, 2, 1.0)
+            .coupling(0, 3, -2.0)
+            .coupling(2, 3, 0.5)
+            .build();
+        let (row_ptr, cols, weights) = p.csr();
+        assert_eq!(row_ptr.len(), 5);
+        assert_eq!(row_ptr[0], 0);
+        assert_eq!(*row_ptr.last().unwrap() as usize, cols.len());
+        assert_eq!(cols.len(), weights.len());
+        assert_eq!(cols.len(), 2 * p.num_couplings());
+        // Rows sorted ascending, offsets monotone.
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        for i in 0..p.num_spins() {
+            let row = &cols[row_ptr[i] as usize..row_ptr[i + 1] as usize];
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row {i} sorted");
+        }
+        // Row 0 holds neighbors 2, 3 with the built weights.
+        assert_eq!(&cols[0..2], &[2, 3]);
+        assert_eq!(&weights[0..2], &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn neighbors_iterates_in_csr_order() {
+        let p = IsingBuilder::new(4)
+            .coupling(1, 3, 2.0)
+            .coupling(1, 0, -1.0)
+            .coupling(1, 2, 0.25)
+            .build();
+        let row: Vec<_> = p.neighbors(1).collect();
+        assert_eq!(row, vec![(0, -1.0), (2, 0.25), (3, 2.0)]);
     }
 }

@@ -106,7 +106,7 @@ mod tests {
         assert_eq!(p.num_couplings(), 12);
         // No couplings within the right side.
         for i in 3..7 {
-            for &(j, _) in p.neighbors(i) {
+            for (j, _) in p.neighbors(i) {
                 assert!((j as usize) < 3, "right spins couple only to left");
             }
         }

@@ -32,6 +32,47 @@ fn spins(n: usize) -> impl Strategy<Value = SpinVector> {
     prop::collection::vec(any::<bool>(), n).prop_map(SpinVector::from_bools)
 }
 
+/// Strategy: a random problem plus a dense `n × n` reference matrix built
+/// from the *same raw triplets*, independently of the CSR layout under
+/// test.
+fn problem_with_dense(
+    max_spins: usize,
+) -> impl Strategy<Value = (IsingProblem, Vec<f64>, Vec<f64>)> {
+    (2..=max_spins).prop_flat_map(|n| {
+        let biases = prop::collection::vec(-2.0..2.0f64, n);
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let couplings = prop::collection::vec(prop::option::of(-2.0..2.0f64), pairs.len());
+        (biases, couplings, Just((n, pairs))).prop_map(|(h, js, (n, pairs))| {
+            let mut b = IsingBuilder::new(n);
+            let mut dense = vec![0.0f64; n * n];
+            for (i, &v) in h.iter().enumerate() {
+                b.add_bias(i, v);
+            }
+            for ((i, j), v) in pairs.into_iter().zip(js) {
+                if let Some(v) = v {
+                    b.add_coupling(i, j, v);
+                    dense[i * n + j] += v;
+                    dense[j * n + i] += v;
+                }
+            }
+            (b.build(), h, dense)
+        })
+    })
+}
+
+/// Deterministic pseudo-random relaxed positions in `[-1, 1]`.
+fn positions_from_seed(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
 proptest! {
     /// Global spin flip preserves energy when all biases are zero.
     #[test]
@@ -97,6 +138,78 @@ proptest! {
             let bits: Vec<bool> = (0..n).map(|i| (assignment >> i) & 1 == 1).collect();
             let sv = SpinVector::from_bools(bits.clone());
             prop_assert!((q.value(&bits) - ising.energy(&sv)).abs() < 1e-8);
+        }
+    }
+
+    /// The CSR field kernel matches a naive O(N²) dense matvec.
+    #[test]
+    fn csr_field_matches_dense(pd in problem_with_dense(9), seed in any::<u64>()) {
+        let (p, h, dense) = pd;
+        let n = p.num_spins();
+        let x = positions_from_seed(n, seed);
+        let mut out = vec![0.0; n];
+        p.field(&x, &mut out);
+        for i in 0..n {
+            let expect: f64 = h[i]
+                + (0..n).map(|j| dense[i * n + j] * x[j]).sum::<f64>();
+            prop_assert!((out[i] - expect).abs() < 1e-9, "field[{i}]: {} vs {expect}", out[i]);
+            prop_assert!((p.local_field(&x, i) - expect).abs() < 1e-9);
+        }
+    }
+
+    /// The CSR energy matches the dense quadratic form.
+    #[test]
+    fn csr_energy_matches_dense(pd in problem_with_dense(9), s_seed in any::<u64>()) {
+        let (p, h, dense) = pd;
+        let n = p.num_spins();
+        let bits: Vec<bool> = (0..n).map(|i| (s_seed >> (i % 64)) & 1 == 1).collect();
+        let s = SpinVector::from_bools(bits);
+        let mut expect = 0.0;
+        for i in 0..n {
+            let si = f64::from(s.get(i));
+            expect -= h[i] * si;
+            for j in 0..n {
+                expect -= 0.5 * si * dense[i * n + j] * f64::from(s.get(j));
+            }
+        }
+        prop_assert!((p.energy(&s) - expect).abs() < 1e-9, "{} vs {expect}", p.energy(&s));
+    }
+
+    /// CSR flip_delta and coupling lookups match the dense reference.
+    #[test]
+    fn csr_flip_delta_and_lookup_match_dense(pd in problem_with_dense(8), s_seed in any::<u64>()) {
+        let (p, h, dense) = pd;
+        let n = p.num_spins();
+        let bits: Vec<bool> = (0..n).map(|i| (s_seed >> (i % 64)) & 1 == 1).collect();
+        let s = SpinVector::from_bools(bits);
+        for i in 0..n {
+            let si = f64::from(s.get(i));
+            let field: f64 = h[i]
+                + (0..n).map(|j| dense[i * n + j] * f64::from(s.get(j))).sum::<f64>();
+            prop_assert!((p.flip_delta(&s, i) - 2.0 * si * field).abs() < 1e-9);
+            for j in 0..n {
+                // Lookups are stored values: exact equality, no tolerance.
+                prop_assert_eq!(p.coupling(i, j), dense[i * n + j]);
+            }
+        }
+    }
+
+    /// The CSR arrays themselves are well-formed: monotone offsets, rows
+    /// strictly sorted, and symmetric entries.
+    #[test]
+    fn csr_layout_invariants(pd in problem_with_dense(9)) {
+        let (p, _, _) = pd;
+        let (row_ptr, cols, weights) = p.csr();
+        prop_assert_eq!(row_ptr.len(), p.num_spins() + 1);
+        prop_assert_eq!(cols.len(), weights.len());
+        prop_assert_eq!(*row_ptr.last().unwrap() as usize, cols.len());
+        prop_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        for i in 0..p.num_spins() {
+            let row = &cols[row_ptr[i] as usize..row_ptr[i + 1] as usize];
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row {} not sorted", i);
+            for (j, v) in p.neighbors(i) {
+                prop_assert_eq!(p.coupling(j as usize, i), v, "asymmetric at ({}, {})", i, j);
+            }
         }
     }
 

@@ -1,0 +1,568 @@
+//! Structure-of-arrays multi-replica integration.
+//!
+//! The sequential path ([`SbSolver::solve_in`]) integrates one trajectory at
+//! a time, so a batch of `R` replicas reads the coupling matrix `R` times
+//! per iteration. The batch integrator here advances all replicas in one
+//! pass instead: positions and momenta are stored **spin-major ×
+//! replica-minor** (`x[i·R + r]` is spin `i` of replica `r`), so each CSR
+//! row of the problem is traversed once per iteration and its weight
+//! multiplies `R` contiguous lanes — a layout the compiler turns into wide
+//! vector arithmetic without any per-replica pointer chasing.
+//!
+//! # Bit-identity
+//!
+//! Batching is purely a memory-layout change, never a numerical one. For
+//! every lane the floating-point operation order is exactly the sequential
+//! order:
+//!
+//! - lane `r` seeds its own `ChaCha8Rng` from `seed + r` and draws all
+//!   positions, then all momenta — the same stream as a sequential run;
+//! - the coupling field accumulates each CSR row in packed (ascending
+//!   neighbor) order, matching [`IsingProblem::local_field`];
+//! - the fused momentum/position/wall update touches each lane's scalars in
+//!   the same order as the sequential integrator's split loops (spin `i`'s
+//!   update reads only spin `i`'s own state plus the precomputed field, so
+//!   fusing across spins cannot change any lane's arithmetic);
+//! - sampling gathers a lane into a contiguous buffer and runs the *same*
+//!   readout/energy code a sequential run uses.
+//!
+//! Lanes retire independently: when a lane's dynamic-variance criterion
+//! fires, its result is frozen and it stops sampling (and intervening),
+//! exactly where the sequential run would have stopped; integration ends
+//! once every lane has retired.
+
+use crate::{SbResult, SbSolver, SbState, SbVariant, StopReason, StopState};
+use adis_ising::{IsingProblem, SpinVector};
+use adis_telemetry::{trace_span, NullObserver, SolveObserver};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Reusable buffers for one batched multi-replica integration.
+///
+/// Pass to [`SbSolver::solve_batch_in`] /
+/// [`SbSolver::solve_batch_with`] to reuse the `O(n·R)` lane arrays across
+/// batches. Every buffer is (re)sized and overwritten before use, so
+/// results are bit-identical whether the scratch is fresh or recycled.
+#[derive(Debug, Default)]
+pub struct SbBatchScratch {
+    /// Positions, spin-major × replica-minor: `x[i*R + r]`.
+    x: Vec<f64>,
+    /// Momenta, same layout.
+    y: Vec<f64>,
+    /// Coupling field `h + J·x` per lane, same layout.
+    field: Vec<f64>,
+    /// Sign readout of `x` (dSB coupling source), same layout.
+    signs: Vec<f64>,
+    /// One lane's positions, gathered contiguously for sampling.
+    lane_x: Vec<f64>,
+    /// One lane's momenta, gathered contiguously for sampling.
+    lane_y: Vec<f64>,
+}
+
+impl SbBatchScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes every buffer for `replicas` lanes of an `n`-spin problem.
+    /// Contents are unspecified until the integrator writes them.
+    pub(crate) fn reset(&mut self, n: usize, replicas: usize) {
+        let lanes = n * replicas;
+        for buf in [&mut self.x, &mut self.y, &mut self.field, &mut self.signs] {
+            buf.clear();
+            buf.resize(lanes, 0.0);
+        }
+        for buf in [&mut self.lane_x, &mut self.lane_y] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+    }
+}
+
+/// Per-replica bookkeeping while its lane integrates.
+struct Lane {
+    best_state: SpinVector,
+    best_energy: f64,
+    trace: Vec<(usize, f64)>,
+    stop: StopState,
+    iterations: usize,
+    stop_reason: StopReason,
+    active: bool,
+    /// Buffered `(iteration, energy, best, mean_amp)` observer samples,
+    /// replayed per replica after integration so an enabled observer sees
+    /// the exact stream sequential solves would have produced.
+    samples: Vec<(usize, f64, f64, f64)>,
+}
+
+/// Writes `out[i·R..][..R] = h[i] + Σⱼ J_ij · src[j·R..][..R]` for all spins.
+///
+/// Each CSR row accumulates in packed (ascending-neighbor) order, so lane
+/// `r`'s scalar operation sequence is exactly
+/// [`IsingProblem::local_field`]'s. Common replica counts dispatch to a
+/// const-width kernel whose per-row accumulator is a stack array the
+/// compiler keeps in vector registers; the dynamic fallback accumulates
+/// through `out`. Both run the identical per-lane operation sequence
+/// (init to `hᵢ`, then one fused `+ J·s` per CSR entry), so which kernel
+/// runs never changes a single bit of the result.
+fn batch_field(
+    row_ptr: &[u32],
+    cols: &[u32],
+    weights: &[f64],
+    h: &[f64],
+    src: &[f64],
+    out: &mut [f64],
+    replicas: usize,
+) {
+    match replicas {
+        1 => batch_field_const::<1>(row_ptr, cols, weights, h, src, out),
+        2 => batch_field_const::<2>(row_ptr, cols, weights, h, src, out),
+        4 => batch_field_const::<4>(row_ptr, cols, weights, h, src, out),
+        8 => batch_field_const::<8>(row_ptr, cols, weights, h, src, out),
+        16 => batch_field_const::<16>(row_ptr, cols, weights, h, src, out),
+        32 => batch_field_const::<32>(row_ptr, cols, weights, h, src, out),
+        _ => batch_field_dyn(row_ptr, cols, weights, h, src, out, replicas),
+    }
+}
+
+/// Const-width field kernel: the `L`-lane accumulator is a stack array,
+/// so every CSR entry costs one broadcast-multiply-add over registers
+/// instead of a load-modify-store round trip through `out`.
+fn batch_field_const<const L: usize>(
+    row_ptr: &[u32],
+    cols: &[u32],
+    weights: &[f64],
+    h: &[f64],
+    src: &[f64],
+    out: &mut [f64],
+) {
+    for (i, &hi) in h.iter().enumerate() {
+        let mut acc = [hi; L];
+        let (start, end) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
+        for (&v, &c) in weights[start..end].iter().zip(&cols[start..end]) {
+            let col: &[f64; L] = src[c as usize * L..][..L].try_into().expect("lane width");
+            for l in 0..L {
+                acc[l] += v * col[l];
+            }
+        }
+        out[i * L..][..L].copy_from_slice(&acc);
+    }
+}
+
+/// Arbitrary-width fallback; accumulates in place.
+fn batch_field_dyn(
+    row_ptr: &[u32],
+    cols: &[u32],
+    weights: &[f64],
+    h: &[f64],
+    src: &[f64],
+    out: &mut [f64],
+    replicas: usize,
+) {
+    for (i, &hi) in h.iter().enumerate() {
+        let row = &mut out[i * replicas..(i + 1) * replicas];
+        row.fill(hi);
+        for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+            let v = weights[e];
+            let col = &src[cols[e] as usize * replicas..][..replicas];
+            for (o, &s) in row.iter_mut().zip(col) {
+                *o += v * s;
+            }
+        }
+    }
+}
+
+impl SbSolver {
+    /// Advances `replicas` trajectories (seeds `seed..seed+replicas`)
+    /// through the structure-of-arrays batch integrator and returns every
+    /// replica's result, in replica order.
+    ///
+    /// This is the batch counterpart of [`solve_with`](SbSolver::solve_with):
+    /// `intervene(r, state)` fires for replica `r` at each of its sampling
+    /// points (skipped once the lane has retired, as a sequential run would
+    /// have ended), and `observer` receives each replica's full
+    /// `sb_start`/`sb_sample`/`sb_stop` stream — replayed per replica after
+    /// integration, so the stream is indistinguishable from `replicas`
+    /// sequential [`solve_with`](SbSolver::solve_with) calls — plus one
+    /// [`sb_batch`](SolveObserver::sb_batch) event reporting the batch
+    /// width and how many lanes the dynamic stop retired early.
+    ///
+    /// Element `r` of the returned vector is bit-identical (best state,
+    /// best energy, iterations, stop reason, full trace) to
+    /// `self.seed(seed + r).solve(problem)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn solve_batch_with<F, O>(
+        &self,
+        problem: &IsingProblem,
+        replicas: usize,
+        scratch: &mut SbBatchScratch,
+        mut intervene: F,
+        observer: &mut O,
+    ) -> Vec<SbResult>
+    where
+        F: FnMut(usize, &mut SbState<'_>),
+        O: SolveObserver,
+    {
+        assert!(replicas > 0, "need at least one replica");
+        let n = problem.num_spins();
+        let rl = replicas;
+        let _span =
+            trace_span!("SbSolver::solve_batch {:?} n={n} replicas={rl}", self.variant);
+        scratch.reset(n, rl);
+        let SbBatchScratch {
+            x,
+            y,
+            field,
+            signs,
+            lane_x,
+            lane_y,
+        } = scratch;
+
+        // Seed every lane exactly as its sequential run would: an own RNG
+        // from `seed + r`, drawing all positions then all momenta.
+        for r in 0..rl {
+            let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(r as u64));
+            for i in 0..n {
+                x[i * rl + r] = rng.gen_range(-self.init_amplitude..=self.init_amplitude);
+            }
+            for i in 0..n {
+                y[i * rl + r] = rng.gen_range(-self.init_amplitude..=self.init_amplitude);
+            }
+        }
+
+        let c0 = self.resolve_c0(problem);
+        let max_iters = self.stop.max_iterations();
+        let sample_every = self.stop.sample_every();
+        let ramp = self.ramp.unwrap_or(max_iters).min(max_iters).max(1);
+        let settle_after = self.ramp.map(|r| r.min(max_iters)).unwrap_or(0);
+        let observing = observer.enabled();
+
+        let mut lanes: Vec<Lane> = (0..rl)
+            .map(|r| {
+                for i in 0..n {
+                    lane_x[i] = x[i * rl + r];
+                }
+                let best_state = SpinVector::from_signs(lane_x);
+                let best_energy = problem.energy(&best_state);
+                Lane {
+                    best_state,
+                    best_energy,
+                    trace: Vec::with_capacity(max_iters / sample_every + 1),
+                    stop: StopState::new(self.stop.clone()),
+                    iterations: max_iters,
+                    stop_reason: StopReason::IterationLimit,
+                    active: true,
+                    samples: Vec::new(),
+                }
+            })
+            .collect();
+        let mut active_lanes = rl;
+
+        let (row_ptr, cols, weights) = problem.csr();
+        let h = problem.biases();
+
+        for t in 0..max_iters {
+            let a_t = self.a0 * ((t as f64 / ramp as f64).min(1.0));
+            let decay = self.a0 - a_t;
+            match self.variant {
+                SbVariant::Discrete => {
+                    for (s, &v) in signs.iter_mut().zip(x.iter()) {
+                        *s = if v >= 0.0 { 1.0 } else { -1.0 };
+                    }
+                    batch_field(row_ptr, cols, weights, h, signs, field, rl);
+                }
+                _ => batch_field(row_ptr, cols, weights, h, x, field, rl),
+            }
+            // Fused momentum/position/wall update. Spin i's update reads
+            // only its own lane scalars and the precomputed field, so
+            // fusing the sequential integrator's split loops changes no
+            // lane's operation order.
+            let (dt, a0) = (self.dt, self.a0);
+            match self.variant {
+                SbVariant::Adiabatic => {
+                    for ((xi, yi), fi) in x.iter_mut().zip(y.iter_mut()).zip(field.iter()) {
+                        let xv = *xi;
+                        *yi += (-xv * xv * xv - decay * xv + c0 * *fi) * dt;
+                        *xi += a0 * *yi * dt;
+                    }
+                }
+                _ => {
+                    for ((xi, yi), fi) in x.iter_mut().zip(y.iter_mut()).zip(field.iter()) {
+                        *yi += (-decay * *xi + c0 * *fi) * dt;
+                        *xi += a0 * *yi * dt;
+                        // Perfectly inelastic walls at ±1.
+                        if xi.abs() > 1.0 {
+                            *xi = xi.signum();
+                            *yi = 0.0;
+                        }
+                    }
+                }
+            }
+
+            if (t + 1) % sample_every == 0 || t + 1 == max_iters {
+                for (r, lane) in lanes.iter_mut().enumerate() {
+                    if !lane.active {
+                        continue;
+                    }
+                    for i in 0..n {
+                        lane_x[i] = x[i * rl + r];
+                        lane_y[i] = y[i * rl + r];
+                    }
+                    let mut state = SbState {
+                        x: &mut lane_x[..],
+                        y: &mut lane_y[..],
+                        iteration: t + 1,
+                    };
+                    intervene(r, &mut state);
+                    let readout = SpinVector::from_signs(lane_x);
+                    let energy = problem.energy(&readout);
+                    lane.trace.push((t + 1, energy));
+                    if energy < lane.best_energy {
+                        lane.best_energy = energy;
+                        lane.best_state = readout;
+                    }
+                    if observing {
+                        let mean_amp = if n > 0 {
+                            lane_x.iter().map(|v| v.abs()).sum::<f64>() / n as f64
+                        } else {
+                            0.0
+                        };
+                        lane.samples.push((t + 1, energy, lane.best_energy, mean_amp));
+                    }
+                    // The hook may have rewritten the lane; scatter back.
+                    for i in 0..n {
+                        x[i * rl + r] = lane_x[i];
+                        y[i * rl + r] = lane_y[i];
+                    }
+                    if t + 1 >= settle_after && lane.stop.record(energy) {
+                        lane.stop_reason = StopReason::EnergySettled;
+                        lane.iterations = t + 1;
+                        lane.active = false;
+                        active_lanes -= 1;
+                    }
+                }
+                if active_lanes == 0 {
+                    break;
+                }
+            }
+        }
+
+        let retired = lanes
+            .iter()
+            .filter(|l| l.stop_reason == StopReason::EnergySettled)
+            .count();
+        observer.sb_batch(rl, retired);
+        // Replay each lane's observer stream in replica order: identical to
+        // what `replicas` sequential solves would have reported.
+        let mut results = Vec::with_capacity(rl);
+        for lane in lanes {
+            observer.sb_start(n, max_iters);
+            for (iteration, energy, best, mean_amp) in lane.samples {
+                observer.sb_sample(iteration, energy, best, mean_amp);
+            }
+            observer.sb_stop(
+                lane.iterations,
+                lane.best_energy,
+                lane.stop_reason == StopReason::EnergySettled,
+            );
+            results.push(SbResult {
+                best_state: lane.best_state,
+                best_energy: lane.best_energy,
+                iterations: lane.iterations,
+                stop_reason: lane.stop_reason,
+                trace: lane.trace,
+            });
+        }
+        results
+    }
+
+    /// [`solve_batch`](SbSolver::solve_batch), reusing caller-owned batch
+    /// buffers instead of allocating per call.
+    ///
+    /// Selection is deterministic: replicas are scanned in order with a
+    /// strict `<`, so the earliest replica wins energy ties — exactly the
+    /// sequential semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn solve_batch_in(
+        &self,
+        problem: &IsingProblem,
+        replicas: usize,
+        scratch: &mut SbBatchScratch,
+    ) -> SbResult {
+        self.solve_batch_with(problem, replicas, scratch, |_, _| {}, &mut NullObserver)
+            .into_iter()
+            .reduce(|best, candidate| {
+                if candidate.best_energy < best.best_energy {
+                    candidate
+                } else {
+                    best
+                }
+            })
+            .expect("replicas > 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StopCriterion;
+    use adis_ising::IsingBuilder;
+
+    fn random_problem(n: usize, seed: u64) -> IsingProblem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = IsingBuilder::new(n);
+        for i in 0..n {
+            b.add_bias(i, rng.gen_range(-1.0..1.0));
+            for j in (i + 1)..n {
+                b.add_coupling(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+        b.build()
+    }
+
+    fn assert_results_identical(a: &SbResult, b: &SbResult) {
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.best_energy, b.best_energy);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.stop_reason, b.stop_reason);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn every_lane_matches_its_sequential_replica() {
+        let p = random_problem(11, 41);
+        for variant in [SbVariant::Ballistic, SbVariant::Discrete, SbVariant::Adiabatic] {
+            let solver = SbSolver::new()
+                .variant(variant)
+                .stop(StopCriterion::FixedIterations(300))
+                .seed(9);
+            let mut scratch = SbBatchScratch::new();
+            let batch =
+                solver.solve_batch_with(&p, 5, &mut scratch, |_, _| {}, &mut NullObserver);
+            for (r, lane) in batch.iter().enumerate() {
+                let sequential = solver.clone().seed(9 + r as u64).solve(&p);
+                assert_results_identical(lane, &sequential);
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_retire_independently_under_dynamic_stop() {
+        let p = random_problem(9, 47);
+        let solver = SbSolver::new()
+            .stop(StopCriterion::DynamicVariance {
+                sample_every: 5,
+                window: 5,
+                threshold: 1e-8,
+                max_iterations: 50_000,
+            })
+            .seed(3);
+        let mut scratch = SbBatchScratch::new();
+        let batch = solver.solve_batch_with(&p, 6, &mut scratch, |_, _| {}, &mut NullObserver);
+        for (r, lane) in batch.iter().enumerate() {
+            let sequential = solver.clone().seed(3 + r as u64).solve(&p);
+            assert_results_identical(lane, &sequential);
+        }
+    }
+
+    #[test]
+    fn batch_interventions_match_sequential_interventions() {
+        let p = random_problem(8, 53);
+        let solver = SbSolver::new().stop(StopCriterion::FixedIterations(200)).seed(1);
+        // Hook clamps spin 0 positive in every replica.
+        let clamp = |state: &mut SbState<'_>| {
+            state.x[0] = 1.0;
+            state.y[0] = 0.0;
+        };
+        let mut scratch = SbBatchScratch::new();
+        let batch = solver.solve_batch_with(
+            &p,
+            4,
+            &mut scratch,
+            |_, state| clamp(state),
+            &mut NullObserver,
+        );
+        for (r, lane) in batch.iter().enumerate() {
+            let sequential = solver.clone().seed(1 + r as u64).solve_with(
+                &p,
+                clamp,
+                &mut NullObserver,
+            );
+            assert_results_identical(lane, &sequential);
+            assert_eq!(lane.best_state.get(0), 1);
+        }
+    }
+
+    #[test]
+    fn reused_batch_scratch_is_bit_identical_to_fresh() {
+        let mut scratch = SbBatchScratch::new();
+        for (n, replicas, seed) in [(12usize, 4usize, 61u64), (5, 7, 62), (9, 2, 63)] {
+            let p = random_problem(n, seed);
+            let solver = SbSolver::new().seed(seed);
+            let fresh = solver.solve_batch(&p, replicas);
+            let reused = solver.solve_batch_in(&p, replicas, &mut scratch);
+            assert_results_identical(&fresh, &reused);
+        }
+    }
+
+    #[test]
+    fn observer_stream_matches_sequential_replay() {
+        use adis_telemetry::Recorder;
+        let p = random_problem(8, 71);
+        let solver = SbSolver::new().stop(StopCriterion::FixedIterations(150)).seed(2);
+        let mut batch_rec = Recorder::new();
+        let mut scratch = SbBatchScratch::new();
+        solver.solve_batch_with(&p, 3, &mut scratch, |_, _| {}, &mut batch_rec);
+        let mut seq_rec = Recorder::new();
+        for r in 0..3u64 {
+            solver
+                .clone()
+                .seed(2 + r)
+                .solve_with(&p, |_| {}, &mut seq_rec);
+        }
+        assert_eq!(batch_rec.sb.runs, seq_rec.sb.runs);
+        assert_eq!(batch_rec.sb.total_iterations, seq_rec.sb.total_iterations);
+        assert_eq!(batch_rec.sb.samples, seq_rec.sb.samples);
+        assert_eq!(batch_rec.sb.best_energy, seq_rec.sb.best_energy);
+        assert_eq!(
+            batch_rec.trajectory.samples(),
+            seq_rec.trajectory.samples()
+        );
+        // Plus the batch-level event the sequential loop doesn't emit.
+        assert_eq!(batch_rec.sb.batched_lanes, 3);
+        assert_eq!(batch_rec.sb.max_batch, 3);
+        assert_eq!(seq_rec.sb.batched_lanes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let p = IsingBuilder::new(2).coupling(0, 1, 1.0).build();
+        SbSolver::new().solve_batch(&p, 0);
+    }
+
+    #[test]
+    fn const_and_dyn_field_kernels_agree_bitwise() {
+        let n = 13;
+        let p = random_problem(n, 91);
+        let (row_ptr, cols, weights) = p.csr();
+        let h = p.biases();
+        for lanes in [1usize, 2, 4, 8, 16, 32] {
+            let src: Vec<f64> = (0..n * lanes)
+                .map(|k| ((k * 37 % 101) as f64 - 50.0) / 50.0)
+                .collect();
+            let mut dispatched = vec![0.0; n * lanes];
+            let mut fallback = vec![0.0; n * lanes];
+            batch_field(row_ptr, cols, weights, h, &src, &mut dispatched, lanes);
+            batch_field_dyn(row_ptr, cols, weights, h, &src, &mut fallback, lanes);
+            assert_eq!(dispatched, fallback, "lanes = {lanes}");
+        }
+    }
+}

@@ -35,8 +35,14 @@
 //! - reusable integration buffers ([`SbSolver::solve_in`], [`SbScratch`],
 //!   [`ScratchPool`]) so sweeps over many instances allocate per worker,
 //!   not per solve;
-//! - parallel multi-replica runs ([`SbSolver::solve_batch`]) with
-//!   deterministic seed assignment and best-replica selection;
+//! - a structure-of-arrays **batch integrator**
+//!   ([`SbSolver::solve_batch_with`], [`SbBatchScratch`]) advancing all
+//!   replicas of a problem in one pass — the coupling matrix is read once
+//!   per iteration for the whole batch, lanes retire independently under
+//!   the dynamic stop, and every lane is bit-identical to its sequential
+//!   run — plus the best-replica convenience wrappers
+//!   ([`SbSolver::solve_batch`], [`SbSolver::solve_batch_in`]) with
+//!   deterministic seed assignment and selection;
 //! - [`HigherOrderSb`]: bSB for k-local energies (Kanao–Goto), needed by
 //!   the third-order row-based formulation.
 //!
@@ -59,11 +65,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod batch;
 mod higher_order;
 mod scratch;
 mod solver;
 mod stop;
 
+pub use batch::SbBatchScratch;
 pub use higher_order::{HigherOrderSb, HigherOrderSbResult};
 pub use scratch::{SbScratch, ScratchGuard, ScratchPool};
 pub use solver::{SbResult, SbSolver, SbState, SbVariant};

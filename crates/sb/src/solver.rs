@@ -1,13 +1,12 @@
 //! Simulated bifurcation solvers: adiabatic (aSB), ballistic (bSB) and
 //! discrete (dSB) variants with symplectic Euler integration.
 
-use crate::{SbScratch, ScratchPool, StopCriterion, StopReason, StopState};
+use crate::{SbBatchScratch, SbScratch, StopCriterion, StopReason, StopState};
 use adis_ising::{IsingProblem, SpinVector};
 use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 
 /// Which simulated-bifurcation dynamics to integrate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,14 +98,14 @@ pub struct SbResult {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SbSolver {
-    variant: SbVariant,
-    stop: StopCriterion,
-    dt: f64,
-    a0: f64,
-    c0: Option<f64>,
-    seed: u64,
-    init_amplitude: f64,
-    ramp: Option<usize>,
+    pub(crate) variant: SbVariant,
+    pub(crate) stop: StopCriterion,
+    pub(crate) dt: f64,
+    pub(crate) a0: f64,
+    pub(crate) c0: Option<f64>,
+    pub(crate) seed: u64,
+    pub(crate) init_amplitude: f64,
+    pub(crate) ramp: Option<usize>,
 }
 
 impl Default for SbSolver {
@@ -289,7 +288,10 @@ impl SbSolver {
 
         let mut best_state = SpinVector::from_signs(x);
         let mut best_energy = problem.energy(&best_state);
-        let mut trace = Vec::new();
+        // Every run samples at most ⌈max_iters / sample_every⌉ times plus
+        // the forced final sample; reserve up front so the trace never
+        // reallocates mid-integration.
+        let mut trace = Vec::with_capacity(max_iters / sample_every + 1);
         let mut stop_reason = StopReason::IterationLimit;
         let mut iterations = max_iters;
         observer.sb_start(n, max_iters);
@@ -384,41 +386,24 @@ impl SbSolver {
     /// Runs `replicas` independent trajectories (seeds `seed..seed+replicas`)
     /// and keeps the best result.
     ///
-    /// Replicas run in parallel on the rayon thread pool, drawing their
-    /// integration buffers from a shared [`ScratchPool`] so allocations are
-    /// bounded by worker count. The result is bit-identical to the
-    /// sequential loop this replaces: replica `r` still integrates from
-    /// seed `seed + r`, and on equal best energies the lowest-index replica
-    /// wins.
+    /// All replicas advance through the structure-of-arrays batch
+    /// integrator ([`solve_batch_with`](SbSolver::solve_batch_with)) in a
+    /// single pass, so the coupling matrix is read once per iteration for
+    /// the whole batch. The result is bit-identical to the sequential loop
+    /// this replaces: replica `r` still integrates from seed `seed + r`
+    /// with the same floating-point operation order, and on equal best
+    /// energies the lowest-index replica wins.
+    ///
+    /// Allocates a fresh [`SbBatchScratch`] per call; use
+    /// [`solve_batch_in`](SbSolver::solve_batch_in) to reuse caller-owned
+    /// buffers across batches.
     ///
     /// # Panics
     ///
     /// Panics if `replicas == 0`.
     pub fn solve_batch(&self, problem: &IsingProblem, replicas: usize) -> SbResult {
-        assert!(replicas > 0, "need at least one replica");
-        let _span = trace_span!("SbSolver::solve_batch replicas={replicas}");
-        let scratch: ScratchPool<SbScratch> = ScratchPool::new();
-        let results: Vec<SbResult> = (0..replicas)
-            .into_par_iter()
-            .map(|r| {
-                let mut buffers = scratch.acquire();
-                self.clone()
-                    .seed(self.seed.wrapping_add(r as u64))
-                    .solve_in(problem, &mut buffers, |_| {}, &mut NullObserver)
-            })
-            .collect();
-        // Deterministic selection: scan in replica order, strict `<` so the
-        // earliest replica wins ties — exactly the sequential semantics.
-        results
-            .into_iter()
-            .reduce(|best, candidate| {
-                if candidate.best_energy < best.best_energy {
-                    candidate
-                } else {
-                    best
-                }
-            })
-            .expect("replicas > 0")
+        let mut scratch = SbBatchScratch::new();
+        self.solve_batch_in(problem, replicas, &mut scratch)
     }
 }
 
@@ -639,6 +624,23 @@ mod tests {
             assert_eq!(fresh.trace, reused.trace);
             assert_eq!(fresh.iterations, reused.iterations);
         }
+    }
+
+    #[test]
+    fn degenerate_sample_period_does_not_panic() {
+        // Regression: `DynamicVariance { sample_every: 0, .. }` must be
+        // normalized to 1, not reach the integrator's `%` untouched.
+        let p = random_problem(6, 77);
+        let criterion = StopCriterion::DynamicVariance {
+            sample_every: 0,
+            window: 3,
+            threshold: 1e-12,
+            max_iterations: 50,
+        };
+        let r = SbSolver::new().stop(criterion.clone()).seed(1).solve(&p);
+        assert!(!r.trace.is_empty());
+        let b = SbSolver::new().stop(criterion).seed(1).solve_batch(&p, 3);
+        assert!(!b.trace.is_empty());
     }
 
     #[test]

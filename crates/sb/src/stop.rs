@@ -54,13 +54,17 @@ impl StopCriterion {
     }
 
     /// Sampling period: how often the run should evaluate its energy (also
-    /// the cadence at which interventions fire).
+    /// the cadence at which interventions fire). Always at least 1 — the
+    /// integrators take `iteration % sample_every`, so a zero period (a
+    /// `DynamicVariance { sample_every: 0, .. }` or a tiny fixed budget)
+    /// must never escape this accessor.
     pub fn sample_every(&self) -> usize {
-        match *self {
+        let raw = match *self {
             // Sample fixed runs occasionally so traces/interventions work.
-            StopCriterion::FixedIterations(n) => (n / 50).max(1),
-            StopCriterion::DynamicVariance { sample_every, .. } => sample_every.max(1),
-        }
+            StopCriterion::FixedIterations(n) => n / 50,
+            StopCriterion::DynamicVariance { sample_every, .. } => sample_every,
+        };
+        raw.max(1)
     }
 }
 
@@ -202,5 +206,19 @@ mod tests {
     fn paper_presets() {
         assert_eq!(StopCriterion::paper_large().sample_every(), 10);
         assert_eq!(StopCriterion::paper_small().sample_every(), 20);
+    }
+
+    #[test]
+    fn sample_every_is_never_zero() {
+        // Regression: a zero period would `% 0` inside the integrators.
+        assert_eq!(StopCriterion::FixedIterations(0).sample_every(), 1);
+        assert_eq!(StopCriterion::FixedIterations(49).sample_every(), 1);
+        let degenerate = StopCriterion::DynamicVariance {
+            sample_every: 0,
+            window: 5,
+            threshold: 1e-8,
+            max_iterations: 100,
+        };
+        assert_eq!(degenerate.sample_every(), 1);
     }
 }

@@ -1,7 +1,8 @@
 //! Property-based tests for the simulated-bifurcation solvers.
 
 use adis_ising::{IsingBuilder, IsingProblem};
-use adis_sb::{SbSolver, SbVariant, StopCriterion};
+use adis_sb::{SbBatchScratch, SbSolver, SbVariant, StopCriterion};
+use adis_telemetry::NullObserver;
 use proptest::prelude::*;
 
 fn problem(max_spins: usize) -> impl Strategy<Value = IsingProblem> {
@@ -89,6 +90,88 @@ proptest! {
         if r.stop_reason == adis_sb::StopReason::EnergySettled {
             prop_assert!(r.iterations < 2000);
         }
+    }
+
+    /// The SoA batch integrator is bit-identical to sequential replica
+    /// runs — same best state, best energy, iteration count and full trace
+    /// for every lane, under every SB variant.
+    #[test]
+    fn batch_bit_identical_to_sequential(
+        p in problem(9),
+        seed in any::<u64>(),
+        replicas in 1usize..5,
+    ) {
+        for variant in [SbVariant::Ballistic, SbVariant::Discrete, SbVariant::Adiabatic] {
+            let solver = SbSolver::new()
+                .variant(variant)
+                .stop(StopCriterion::FixedIterations(200))
+                .seed(seed);
+            let mut scratch = SbBatchScratch::new();
+            let batch = solver.solve_batch_with(&p, replicas, &mut scratch, |_, _| {}, &mut NullObserver);
+            prop_assert_eq!(batch.len(), replicas);
+            for (r, lane) in batch.iter().enumerate() {
+                let seq = solver.clone().seed(seed.wrapping_add(r as u64)).solve(&p);
+                prop_assert_eq!(&lane.best_state, &seq.best_state, "{:?} lane {}", variant, r);
+                prop_assert_eq!(lane.best_energy, seq.best_energy);
+                prop_assert_eq!(lane.iterations, seq.iterations);
+                prop_assert_eq!(lane.stop_reason, seq.stop_reason);
+                prop_assert_eq!(&lane.trace, &seq.trace);
+            }
+        }
+    }
+
+    /// Bit-identity also holds when lanes retire at different iterations
+    /// under the dynamic variance stop.
+    #[test]
+    fn batch_bit_identical_under_dynamic_stop(
+        p in problem(8),
+        seed in any::<u64>(),
+        replicas in 1usize..5,
+    ) {
+        for variant in [SbVariant::Ballistic, SbVariant::Discrete, SbVariant::Adiabatic] {
+            let solver = SbSolver::new()
+                .variant(variant)
+                .stop(StopCriterion::DynamicVariance {
+                    sample_every: 5,
+                    window: 4,
+                    threshold: 1e-9,
+                    max_iterations: 3000,
+                })
+                .seed(seed);
+            let mut scratch = SbBatchScratch::new();
+            let batch = solver.solve_batch_with(&p, replicas, &mut scratch, |_, _| {}, &mut NullObserver);
+            for (r, lane) in batch.iter().enumerate() {
+                let seq = solver.clone().seed(seed.wrapping_add(r as u64)).solve(&p);
+                prop_assert_eq!(&lane.best_state, &seq.best_state, "{:?} lane {}", variant, r);
+                prop_assert_eq!(lane.best_energy, seq.best_energy);
+                prop_assert_eq!(lane.iterations, seq.iterations);
+                prop_assert_eq!(lane.stop_reason, seq.stop_reason);
+                prop_assert_eq!(&lane.trace, &seq.trace);
+            }
+        }
+    }
+
+    /// The best-of-batch wrapper selects exactly what a sequential scan
+    /// with strict `<` (earliest replica wins ties) would select.
+    #[test]
+    fn batch_selection_matches_sequential_scan(p in problem(8), seed in any::<u64>()) {
+        let solver = SbSolver::new()
+            .stop(StopCriterion::FixedIterations(150))
+            .seed(seed);
+        let batch = solver.solve_batch(&p, 6);
+        let mut best: Option<adis_sb::SbResult> = None;
+        for r in 0..6u64 {
+            let result = solver.clone().seed(seed.wrapping_add(r)).solve(&p);
+            best = Some(match best {
+                None => result,
+                Some(b) if result.best_energy < b.best_energy => result,
+                Some(b) => b,
+            });
+        }
+        let best = best.unwrap();
+        prop_assert_eq!(batch.best_state, best.best_state);
+        prop_assert_eq!(batch.best_energy, best.best_energy);
+        prop_assert_eq!(batch.trace, best.trace);
     }
 
     /// A global sign flip of all couplings and biases mirrors the energy:

@@ -143,6 +143,14 @@ pub struct SbStats {
     pub settled: usize,
     /// Best energy over all trajectories (`f64::INFINITY` before any stop).
     pub best_energy: f64,
+    /// Replica lanes advanced through batched SoA integrations (summed
+    /// batch widths; 0 when every solve ran sequentially).
+    pub batched_lanes: usize,
+    /// Lanes the dynamic variance criterion retired before the iteration
+    /// budget, across all batched integrations.
+    pub lanes_retired: usize,
+    /// Widest single batch observed.
+    pub max_batch: usize,
 }
 
 impl SbStats {
@@ -260,6 +268,12 @@ impl SolveObserver for Recorder {
         }
     }
 
+    fn sb_batch(&mut self, lanes: usize, retired_early: usize) {
+        self.sb.batched_lanes += lanes;
+        self.sb.lanes_retired += retired_early;
+        self.sb.max_batch = self.sb.max_batch.max(lanes);
+    }
+
     fn cop_result(&mut self, round: usize, component: u32, partition: usize, objective: f64, iterations: usize) {
         self.cops.push(CopRecord {
             round,
@@ -327,6 +341,16 @@ mod tests {
         assert_eq!(r.sb.settled, 1);
         assert_eq!(r.sb.best_energy, -5.0);
         assert_eq!(r.trajectory.samples().len(), 2);
+    }
+
+    #[test]
+    fn recorder_aggregates_batches() {
+        let mut r = Recorder::new();
+        r.sb_batch(16, 3);
+        r.sb_batch(4, 4);
+        assert_eq!(r.sb.batched_lanes, 20);
+        assert_eq!(r.sb.lanes_retired, 7);
+        assert_eq!(r.sb.max_batch, 16);
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub trait SolveObserver {
     #[inline]
     fn sb_stop(&mut self, _iterations: usize, _best_energy: f64, _settled: bool) {}
 
+    /// A batched multi-replica SB integration finished: `lanes` replicas
+    /// advanced together through the structure-of-arrays integrator, of
+    /// which `retired_early` stopped via the dynamic variance criterion
+    /// before the iteration budget. Fires once per batch, in addition to
+    /// the per-replica `sb_start`/`sb_sample`/`sb_stop` streams.
+    #[inline]
+    fn sb_batch(&mut self, _lanes: usize, _retired_early: usize) {}
+
     /// One core-COP solve finished: in `round`, for output `component`,
     /// candidate partition index `partition`, with the achieved `objective`
     /// and the SB `iterations` it spent (0 for non-Ising solvers).
@@ -118,6 +126,10 @@ impl<O: SolveObserver + ?Sized> SolveObserver for &mut O {
         (**self).sb_stop(iterations, best_energy, settled);
     }
     #[inline]
+    fn sb_batch(&mut self, lanes: usize, retired_early: usize) {
+        (**self).sb_batch(lanes, retired_early);
+    }
+    #[inline]
     fn cop_result(&mut self, round: usize, component: u32, partition: usize, objective: f64, iterations: usize) {
         (**self).cop_result(round, component, partition, objective, iterations);
     }
@@ -144,14 +156,20 @@ mod tests {
             fn counter(&mut self, _name: &str, delta: u64) {
                 self.0 += delta;
             }
+            fn sb_batch(&mut self, lanes: usize, retired: usize) {
+                self.0 += (lanes + retired) as u64;
+            }
+        }
+        // Drive the calls through a generic bound so the `&mut O`
+        // forwarding impl (not the concrete one) is what resolves.
+        fn drive<O: SolveObserver>(mut o: O) {
+            o.counter("x", 2);
+            o.sb_batch(4, 1);
+            assert!(o.enabled());
         }
         let mut c = Count(0);
-        {
-            let mut r = &mut c;
-            r.counter("x", 2);
-            assert!(r.enabled());
-        }
+        drive(&mut c);
         c.counter("x", 1);
-        assert_eq!(c.0, 3);
+        assert_eq!(c.0, 8);
     }
 }

@@ -38,6 +38,10 @@ pub struct ReportCell {
     pub sb_runs: u64,
     /// Trajectories stopped by the dynamic variance criterion.
     pub sb_settled: u64,
+    /// Replica lanes advanced through batched SoA integrations.
+    pub sb_batched_lanes: u64,
+    /// Lanes retired early by the dynamic stop inside batches.
+    pub sb_lanes_retired: u64,
     /// Best raw SB energy observed (`None` when no trajectory reported).
     pub best_energy: Option<f64>,
     /// Per-stage wall-clock totals within the cell.
@@ -61,6 +65,8 @@ impl ReportCell {
             sb_iterations: 0,
             sb_runs: 0,
             sb_settled: 0,
+            sb_batched_lanes: 0,
+            sb_lanes_retired: 0,
             best_energy: None,
             stages: StageTimings::new(),
             extra: Vec::new(),
@@ -76,6 +82,8 @@ impl ReportCell {
         self.sb_iterations = rec.counters.get("sb_iterations").max(rec.sb.total_iterations as u64);
         self.sb_runs = rec.sb.runs as u64;
         self.sb_settled = rec.sb.settled as u64;
+        self.sb_batched_lanes = rec.sb.batched_lanes as u64;
+        self.sb_lanes_retired = rec.sb.lanes_retired as u64;
         if rec.sb.best_energy.is_finite() {
             self.best_energy = Some(rec.sb.best_energy);
         }
@@ -96,6 +104,14 @@ impl ReportCell {
             ("sb_iterations".to_string(), Json::Num(self.sb_iterations as f64)),
             ("sb_runs".to_string(), Json::Num(self.sb_runs as f64)),
             ("sb_settled".to_string(), Json::Num(self.sb_settled as f64)),
+            (
+                "sb_batched_lanes".to_string(),
+                Json::Num(self.sb_batched_lanes as f64),
+            ),
+            (
+                "sb_lanes_retired".to_string(),
+                Json::Num(self.sb_lanes_retired as f64),
+            ),
             (
                 "best_energy".to_string(),
                 self.best_energy.map(Json::Num).unwrap_or(Json::Null),
