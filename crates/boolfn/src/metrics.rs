@@ -64,17 +64,29 @@ impl InputDist {
 
     /// Probability of input pattern `pattern` among `2^inputs` patterns.
     ///
+    /// # Supported width
+    ///
+    /// At most 63 inputs: the pattern space `2^inputs` must fit a `u64`
+    /// (wider functions cannot be tabulated here anyway). Without this
+    /// guard `1u64 << 64` would wrap to 1 in release builds and silently
+    /// report probability 1 for every pattern.
+    ///
     /// # Panics
     ///
-    /// Panics if an explicit distribution's length disagrees with `inputs`.
+    /// Panics if `inputs >= 64` or an explicit distribution's length
+    /// disagrees with `inputs`.
     #[inline]
     pub fn prob(&self, pattern: u64, inputs: u32) -> f64 {
+        assert!(
+            inputs < 64,
+            "InputDist supports at most 63 inputs (2^inputs patterns must fit a u64), got {inputs}"
+        );
         match self {
             InputDist::Uniform => 1.0 / (1u64 << inputs) as f64,
             InputDist::Explicit(p) => {
                 assert_eq!(
-                    p.len(),
-                    1usize << inputs,
+                    p.len() as u64,
+                    1u64 << inputs,
                     "distribution length disagrees with input count"
                 );
                 p[pattern as usize]
@@ -122,6 +134,16 @@ pub fn error_rate_multi(exact: &MultiOutputFn, approx: &MultiOutputFn, dist: &In
 
 /// Mean error distance (Eq. 2):
 /// `MED(G, Ĝ) = Σ_X p_X · |Bin(G(X)) − Bin(Ĝ(X))|`.
+///
+/// # Exactness
+///
+/// The per-pattern distance is an integer below `2^m` for `m` outputs
+/// (output bit `l` carries word weight `2^{l-1}` in the paper's 1-based
+/// indexing). Its conversion to `f64` — and hence the joint-mode objective
+/// built from these distances — is exact only for `m ≤ 53` outputs; beyond
+/// that the distance is correctly rounded to 53 significant bits, not
+/// exact. Functions in this reproduction have `m ≤ 64` by construction
+/// (words are `u64`).
 ///
 /// # Panics
 ///
@@ -234,6 +256,44 @@ mod tests {
         let h = MultiOutputFn::from_word_fn(1, 2, |p| if p == 0 { 0 } else { 3 });
         let mse = mean_squared_error(&g, &h, &InputDist::Uniform);
         assert!((mse - 4.5).abs() < 1e-12); // (0 + 9)/2
+    }
+
+    #[test]
+    fn prob_supports_up_to_63_inputs() {
+        // 63 is the widest representable pattern space; the probability is
+        // tiny but well-defined.
+        let p = InputDist::Uniform.prob(0, 63);
+        assert!(p > 0.0 && p < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 63 inputs")]
+    fn prob_rejects_64_inputs() {
+        // Regression: `1u64 << 64` wraps to 1 in release builds, which
+        // would silently report probability 1.0 for every pattern.
+        InputDist::Uniform.prob(0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with input count")]
+    fn prob_rejects_mismatched_explicit_length() {
+        let d = InputDist::explicit(vec![0.25; 4]).unwrap();
+        d.prob(0, 3);
+    }
+
+    #[test]
+    fn med_weighted_hand_computation() {
+        // Explicit dist + 3-bit words, fully by hand:
+        // G(p) = p, Ĝ(p) = p XOR 0b100 → |diff| = 4 for every pattern.
+        let g = MultiOutputFn::from_word_fn(2, 3, |p| p);
+        let h = MultiOutputFn::from_word_fn(2, 3, |p| p ^ 0b100);
+        let d = InputDist::explicit(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        let med = mean_error_distance(&g, &h, &d);
+        assert!((med - 4.0).abs() < 1e-12);
+        // Flipping only the LSB weights the distance by each pattern's
+        // probability: MED = Σ p_X · 1 = 1.
+        let l = MultiOutputFn::from_word_fn(2, 3, |p| p ^ 0b001);
+        assert!((mean_error_distance(&g, &l, &d) - 1.0).abs() < 1e-12);
     }
 
     #[test]

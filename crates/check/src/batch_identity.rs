@@ -1,0 +1,147 @@
+//! Family 4 — batched-vs-sequential SB identity.
+//!
+//! [`SbSolver::solve_batch_with`] documents that lane `r` of a batched
+//! integration is bit-identical — best state, best energy, iteration
+//! count, stop reason, full energy trace — to a sequential
+//! `seed(seed + r)` run. The unit tests pin this for a few fixed
+//! configurations; here it is re-asserted under randomized problems and
+//! randomized solver configurations (all three variants, random `dt`,
+//! `a0`, `c0`, init amplitude, optional pump ramp, both stop criteria
+//! with random windows ≥ 2).
+
+use crate::Collector;
+use adis_ising::{IsingBuilder, IsingProblem};
+use adis_sb::{SbBatchScratch, SbSolver, SbVariant, StopCriterion};
+use adis_telemetry::NullObserver;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
+    let problem = random_problem(rng);
+    let (solver, seed) = random_solver(rng);
+    let replicas = rng.gen_range(1..=6usize);
+
+    let mut scratch = SbBatchScratch::new();
+    let lanes =
+        solver.solve_batch_with(&problem, replicas, &mut scratch, |_, _| {}, &mut NullObserver);
+    col.check(case, lanes.len() == replicas, || {
+        format!("batch returned {} lanes for {replicas} replicas", lanes.len())
+    });
+
+    for (rep, lane) in lanes.iter().enumerate() {
+        let seq = solver
+            .clone()
+            .seed(seed.wrapping_add(rep as u64))
+            .solve(&problem);
+        let label = format!("lane {rep}/{replicas} ({:?})", lane.stop_reason);
+        col.check(case, lane.best_state == seq.best_state, || {
+            format!("{label}: best state differs from sequential run")
+        });
+        col.check(
+            case,
+            lane.best_energy.to_bits() == seq.best_energy.to_bits(),
+            || {
+                format!(
+                    "{label}: best energy {} != sequential {}",
+                    lane.best_energy, seq.best_energy
+                )
+            },
+        );
+        col.check(case, lane.iterations == seq.iterations, || {
+            format!(
+                "{label}: {} iterations != sequential {}",
+                lane.iterations, seq.iterations
+            )
+        });
+        col.check(case, lane.stop_reason == seq.stop_reason, || {
+            format!(
+                "{label}: stop reason {:?} != sequential {:?}",
+                lane.stop_reason, seq.stop_reason
+            )
+        });
+        let traces_match = lane.trace.len() == seq.trace.len()
+            && lane
+                .trace
+                .iter()
+                .zip(&seq.trace)
+                .all(|(&(ia, ea), &(ib, eb))| ia == ib && ea.to_bits() == eb.to_bits());
+        col.check(case, traces_match, || {
+            format!(
+                "{label}: trace differs ({} vs {} samples)",
+                lane.trace.len(),
+                seq.trace.len()
+            )
+        });
+    }
+
+    // The merged convenience entry point must return the best lane.
+    let merged = solver.solve_batch(&problem, replicas);
+    let best = lanes
+        .iter()
+        .map(|l| l.best_energy)
+        .fold(f64::INFINITY, f64::min);
+    col.check(case, merged.best_energy.to_bits() == best.to_bits(), || {
+        format!(
+            "merged batch energy {} != best lane energy {best}",
+            merged.best_energy
+        )
+    });
+}
+
+/// A random Ising problem: 4–10 spins, at least one coupling (so the auto
+/// `c0` scale is well-defined), random density, biases and offset.
+fn random_problem(rng: &mut ChaCha8Rng) -> IsingProblem {
+    let n = rng.gen_range(4..=10usize);
+    let mut b = IsingBuilder::new(n);
+    b.add_coupling(0, 1, rng.gen_range(0.2..1.0));
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (i, j) != (0, 1) && rng.gen_bool(0.4) {
+                b.add_coupling(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+        if rng.gen_bool(0.5) {
+            b.add_bias(i, rng.gen_range(-0.5..0.5));
+        }
+    }
+    if rng.gen_bool(0.3) {
+        b.add_offset(rng.gen_range(-1.0..1.0));
+    }
+    b.build()
+}
+
+/// A random valid SB configuration across the whole builder surface,
+/// returned with the seed it was given (`SbSolver` has no seed getter, and
+/// the sequential replays need `seed + r`).
+fn random_solver(rng: &mut ChaCha8Rng) -> (SbSolver, u64) {
+    let variant = match rng.gen_range(0..3u32) {
+        0 => SbVariant::Adiabatic,
+        1 => SbVariant::Ballistic,
+        _ => SbVariant::Discrete,
+    };
+    let stop = if rng.gen_bool(0.5) {
+        StopCriterion::FixedIterations(rng.gen_range(50..=300))
+    } else {
+        StopCriterion::DynamicVariance {
+            sample_every: rng.gen_range(1..=20),
+            window: rng.gen_range(2..=8),
+            threshold: 10f64.powi(-rng.gen_range(6..=10)),
+            max_iterations: rng.gen_range(200..=1200),
+        }
+    };
+    let seed = rng.gen_range(0..1u64 << 40);
+    let mut solver = SbSolver::new()
+        .variant(variant)
+        .stop(stop)
+        .dt(rng.gen_range(0.05..0.4))
+        .a0(rng.gen_range(0.5..1.5))
+        .init_amplitude(rng.gen_range(0.02..0.2))
+        .seed(seed);
+    if rng.gen_bool(0.4) {
+        solver = solver.ramp(rng.gen_range(20..=400));
+    }
+    if rng.gen_bool(0.3) {
+        solver = solver.c0(rng.gen_range(0.1..1.0));
+    }
+    (solver, seed)
+}

@@ -1,0 +1,118 @@
+//! `adis-check` — the seeded differential/metamorphic verification run.
+//!
+//! Runs every check family in [`adis_check`] under a bounded case budget,
+//! prints a per-family summary, writes a machine-readable discrepancy
+//! report to `<out>/CHECK_s<seed>.json` (a deterministic name, so CI can
+//! archive it), and exits non-zero iff any invariant was violated.
+//!
+//! ```text
+//! adis-check [--cases N] [--seed S] [--out DIR]
+//! ```
+
+use adis_check::{run_all, CheckConfig};
+use adis_telemetry::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    cases: usize,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cases: 100,
+        seed: 5,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--cases" => {
+                args.cases = value("--cases")?
+                    .parse()
+                    .map_err(|e| format!("--cases: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                println!("usage: adis-check [--cases N] [--seed S] [--out DIR]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.cases == 0 {
+        return Err("--cases must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("adis-check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = CheckConfig {
+        cases: args.cases,
+        seed: args.seed,
+    };
+    println!("adis-check: cases = {}, seed = {}", cfg.cases, cfg.seed);
+
+    let start = Instant::now();
+    let outcome = run_all(&cfg);
+    let wall = start.elapsed();
+
+    for fam in &outcome.families {
+        println!(
+            "  {:<15} {:>5} cases  {:>8} checks  {:>3} discrepancies",
+            fam.family.name(),
+            fam.cases,
+            fam.checks,
+            fam.discrepancies.len()
+        );
+        for d in &fam.discrepancies {
+            println!("    case {:>4}: {}", d.case, d.detail);
+        }
+    }
+
+    let mut report = outcome.to_report(&cfg);
+    report.config("wall_seconds", Json::Num(wall.as_secs_f64()));
+    report.total_wall(wall);
+    match report.write_named(&args.out, format!("CHECK_s{}.json", cfg.seed)) {
+        Ok(path) => println!("report: {}", path.display()),
+        Err(e) => {
+            eprintln!("adis-check: could not write report: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let bad = outcome.total_discrepancies();
+    if bad > 0 {
+        eprintln!(
+            "FAIL: {bad} discrepancies across {} checks in {:.1}s",
+            outcome.total_checks(),
+            wall.as_secs_f64()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "OK: {} checks, 0 discrepancies in {:.1}s",
+            outcome.total_checks(),
+            wall.as_secs_f64()
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,137 @@
+//! Family 3 — the metamorphic config sweep.
+//!
+//! The engine documents three result-transparency promises: the COP memo
+//! table, the parallel partition sweep, and their combination never change
+//! the result — only the time it takes. The unit tests pin this for the
+//! default configuration; here the promise is re-asserted under
+//! *randomized* framework configurations (mode, solver kind and its knobs,
+//! partition/round counts, seeds, distributions), comparing whole
+//! decomposition outcomes bit for bit.
+
+use crate::{random_dist, random_fn, Collector};
+use adis_core::{
+    BaParams, CopSolverKind, DecompositionOutcome, Framework, IsingCopSolver, Mode,
+};
+use adis_sb::StopCriterion;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
+    let n: u32 = rng.gen_range(4..=5);
+    let m: u32 = rng.gen_range(2..=3);
+    let exact = random_fn(rng, n, m);
+    let bound = rng.gen_range(1..=3.min(n - 1));
+    let mode = if rng.gen_bool(0.5) { Mode::Joint } else { Mode::Separate };
+    let kind = random_solver_kind(rng);
+    let base = Framework::new(mode, bound)
+        .solver(kind)
+        .partitions(rng.gen_range(2..=4))
+        .rounds(rng.gen_range(1..=2))
+        .seed(rng.gen_range(0..u64::MAX))
+        .dist(random_dist(rng, n))
+        .parallel(false)
+        .cache(false);
+
+    // Reference: serial, no cache — the plainest execution order.
+    let reference = base.clone().decompose(&exact);
+    col.check(case, reference.cache_hits == 0, || {
+        format!("cache disabled but {} hits reported", reference.cache_hits)
+    });
+
+    for (par, cache) in [(false, true), (true, false), (true, true)] {
+        let out = base.clone().parallel(par).cache(cache).decompose(&exact);
+        let label = format!("parallel={par} cache={cache}");
+        same_outcome(col, case, &label, &reference, &out);
+        col.check(
+            case,
+            out.cache_hits + out.cache_misses == out.cop_solves,
+            || {
+                format!(
+                    "{label}: {} hits + {} misses != {} cop solves",
+                    out.cache_hits, out.cache_misses, out.cop_solves
+                )
+            },
+        );
+        if !cache {
+            col.check(case, out.cache_hits == 0, || {
+                format!("{label}: cache disabled but {} hits reported", out.cache_hits)
+            });
+        }
+    }
+}
+
+/// Bit-level equality of two decomposition outcomes.
+fn same_outcome(
+    col: &mut Collector,
+    case: usize,
+    label: &str,
+    a: &DecompositionOutcome,
+    b: &DecompositionOutcome,
+) {
+    col.check(case, a.med.to_bits() == b.med.to_bits(), || {
+        format!("{label}: MED {} != reference {}", b.med, a.med)
+    });
+    col.check(case, a.er.to_bits() == b.er.to_bits(), || {
+        format!("{label}: ER {} != reference {}", b.er, a.er)
+    });
+    col.check(case, a.approx == b.approx, || {
+        format!("{label}: approximate functions differ")
+    });
+    col.check(case, a.cop_solves == b.cop_solves, || {
+        format!("{label}: {} cop solves != reference {}", b.cop_solves, a.cop_solves)
+    });
+    col.check(case, a.choices.len() == b.choices.len(), || {
+        format!("{label}: choice counts differ")
+    });
+    for (k, (ca, cb)) in a.choices.iter().zip(&b.choices).enumerate() {
+        let same = ca.partition.bound() == cb.partition.bound()
+            && ca.setting == cb.setting
+            && ca.objective.to_bits() == cb.objective.to_bits();
+        col.check(case, same, || {
+            format!(
+                "{label}: component {k} choice differs \
+                 (bound {:?} obj {} vs reference bound {:?} obj {})",
+                cb.partition.bound(),
+                cb.objective,
+                ca.partition.bound(),
+                ca.objective
+            )
+        });
+    }
+}
+
+/// A random solver kind with randomized knobs. Every kind here is
+/// deterministic for a fixed `(cop, seed)` — the `Exact` variant runs
+/// without a time limit precisely because wall-clock deadlines would break
+/// run-to-run identity.
+fn random_solver_kind(rng: &mut ChaCha8Rng) -> CopSolverKind {
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let stop = if rng.gen_bool(0.5) {
+                StopCriterion::FixedIterations(rng.gen_range(80..=250))
+            } else {
+                StopCriterion::DynamicVariance {
+                    sample_every: rng.gen_range(2..=10),
+                    window: rng.gen_range(2..=6),
+                    threshold: 1e-8,
+                    max_iterations: rng.gen_range(200..=600),
+                }
+            };
+            CopSolverKind::Ising(
+                IsingCopSolver::new()
+                    .stop(stop)
+                    .structured(rng.gen_bool(0.5))
+                    .heuristic(rng.gen_bool(0.5))
+                    .replicas(rng.gen_range(1..=2))
+                    .dt(rng.gen_range(0.1..0.4)),
+            )
+        }
+        1 => CopSolverKind::Exact { time_limit: None },
+        2 => CopSolverKind::DaltaHeuristic { restarts: rng.gen_range(1..=2) },
+        _ => CopSolverKind::Ba(BaParams {
+            sweeps: rng.gen_range(50..=150),
+            restarts: rng.gen_range(1..=2),
+            ..BaParams::default()
+        }),
+    }
+}

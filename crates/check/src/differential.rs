@@ -1,0 +1,138 @@
+//! Family 2 — the cross-solver differential runner.
+//!
+//! On COPs small enough to enumerate (`2r + c ≤ 24` spins, `c ≤ 8`
+//! columns), four *independent* exact paths must agree on the optimum:
+//!
+//! 1. [`ColumnCop::solve_exhaustive`] — type-vector enumeration with
+//!    optimal patterns (Theorem 3's dual);
+//! 2. brute-force enumeration of the full Ising state space;
+//! 3. the specialized row branch and bound (`CopSolverKind::Exact`,
+//!    *without* a wall-clock limit, so the result is deterministic);
+//! 4. the generic 0-1 ILP route through [`BranchAndBound`].
+//!
+//! And no heuristic — bSB under randomized configurations, DALTA, BA —
+//! may ever report an objective *below* that optimum, while every solver
+//! must report exactly the objective of the setting it returns.
+
+use crate::Collector;
+use adis_boolfn::{BooleanMatrix, InputDist, Partition, TruthTable};
+use adis_core::{
+    BaParams, ColumnCop, CopScratch, CopSolver, CopSolverKind, DaltaHeuristic, IsingCopSolver,
+};
+use adis_ilp::BranchAndBound;
+use adis_sb::StopCriterion;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+const TOL: f64 = 1e-9;
+
+pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
+    // Alternate between synthetic weight grids (exercise arbitrary signs,
+    // zeros and constants) and COPs built from real functions (exercise the
+    // separate-mode construction end to end).
+    let cop = if rng.gen_bool(0.5) {
+        let r = rng.gen_range(2..=4usize);
+        let c = rng.gen_range(2..=4usize);
+        let weights: Vec<f64> = (0..r * c)
+            .map(|_| if rng.gen_bool(0.1) { 0.0 } else { rng.gen_range(-1.0..1.0) })
+            .collect();
+        ColumnCop::from_weights(r, c, weights, rng.gen_range(0.0..1.0))
+    } else {
+        let n: u32 = rng.gen_range(3..=4);
+        let bound = rng.gen_range(1..n);
+        let w = Partition::random(n, bound, rng);
+        let words: Vec<bool> = (0..1u64 << n).map(|_| rng.gen_bool(0.5)).collect();
+        let g = TruthTable::from_fn(n, |p| words[p as usize]);
+        ColumnCop::separate(&BooleanMatrix::build(&g, &w), &w, &InputDist::Uniform)
+    };
+
+    // Reference optimum: type-vector exhaustion.
+    let opt_setting = cop.solve_exhaustive();
+    let opt = cop.objective(&opt_setting);
+
+    // Full Ising state enumeration must find the same ground energy, and
+    // its ground state must decode to a setting with that objective.
+    let ground = adis_ising::solve_exhaustive(&cop.to_ising());
+    col.close(case, "Ising ground energy vs COP optimum", ground.energy, opt, TOL);
+    col.close(
+        case,
+        "decoded Ising ground state objective vs ground energy",
+        cop.objective(&cop.layout().decode(&ground.state)),
+        ground.energy,
+        TOL,
+    );
+
+    let mut scratch = CopScratch::new();
+    let seed = rng.gen_range(0..u64::MAX);
+
+    // Exact paths agree on the optimum.
+    let exact_solvers: [(&str, Box<dyn CopSolver>); 2] = [
+        ("row-bnb", Box::new(CopSolverKind::Exact { time_limit: None })),
+        ("generic-ilp", Box::new(BranchAndBound::new())),
+    ];
+    for (name, solver) in &exact_solvers {
+        let res = solver.solve_cop(&cop, seed, &mut scratch);
+        col.close(case, &format!("{name} objective vs optimum"), res.objective, opt, TOL);
+        col.close(
+            case,
+            &format!("{name} reported objective vs its own setting"),
+            res.objective,
+            cop.objective(&res.setting),
+            TOL,
+        );
+    }
+
+    // Heuristics: never better than the optimum, always self-consistent.
+    // (DALTA and bSB usually *reach* the optimum on instances this small,
+    // but neither guarantees it, so only the one-sided bound is an
+    // invariant.)
+    let heuristics: [(&str, Box<dyn CopSolver>); 3] = [
+        ("bSB", Box::new(CopSolverKind::Ising(random_ising_solver(rng)))),
+        (
+            "dalta",
+            Box::new(DaltaHeuristic { restarts: rng.gen_range(1..=3) }),
+        ),
+        ("ba", Box::new(BaParams::default())),
+    ];
+    for (name, solver) in &heuristics {
+        let res = solver.solve_cop(&cop, seed, &mut scratch);
+        col.check(case, res.objective >= opt - TOL, || {
+            format!(
+                "{name} reported {} — better than the exhaustive optimum {opt}",
+                res.objective
+            )
+        });
+        col.close(
+            case,
+            &format!("{name} reported objective vs its own setting"),
+            res.objective,
+            cop.objective(&res.setting),
+            TOL,
+        );
+    }
+}
+
+/// A randomized (but always valid) Ising COP solver configuration: both
+/// integrator paths, both improvement strategies, both stop criteria.
+fn random_ising_solver(rng: &mut ChaCha8Rng) -> IsingCopSolver {
+    let stop = if rng.gen_bool(0.5) {
+        StopCriterion::FixedIterations(rng.gen_range(100..=400))
+    } else {
+        StopCriterion::DynamicVariance {
+            sample_every: rng.gen_range(2..=10),
+            window: rng.gen_range(2..=6),
+            threshold: 1e-8,
+            max_iterations: rng.gen_range(300..=1000),
+        }
+    };
+    let mut solver = IsingCopSolver::new()
+        .stop(stop)
+        .structured(rng.gen_bool(0.5))
+        .heuristic(rng.gen_bool(0.5))
+        .replicas(rng.gen_range(1..=2))
+        .dt(rng.gen_range(0.1..0.4));
+    if rng.gen_bool(0.5) {
+        solver = solver.ramp(rng.gen_range(50..=300));
+    }
+    solver
+}

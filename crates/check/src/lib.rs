@@ -1,0 +1,375 @@
+//! Differential and metamorphic verification harness for the whole solver
+//! stack.
+//!
+//! The reproduction's correctness story rests on a handful of exact
+//! identities that ordinary unit tests only probe at fixed points:
+//!
+//! - **Oracle** (Eq. 9/16): for *any* column setting, the cell-linear
+//!   [`ColumnCop::objective`](adis_core::ColumnCop::objective) must equal
+//!   the error obtained by actually reconstructing the approximate LUT and
+//!   recomputing ER/MED from scratch via `boolfn::metrics`, and the Ising
+//!   encoding's energy at the encoded spins must equal both.
+//! - **Cross-solver**: on instances small enough to enumerate, every exact
+//!   path (type-vector exhaustion, row branch and bound, the generic 0-1
+//!   ILP, full Ising state enumeration) must land on the same optimum, and
+//!   no heuristic (bSB, DALTA, BA) may ever report a *better* objective.
+//! - **Config identities**: the engine promises bit-identical results
+//!   across cache on/off, parallel/serial, and the batched SB integrator
+//!   promises per-lane bit-identity with sequential runs — under *every*
+//!   valid configuration, not just the defaults the unit tests pin.
+//!
+//! This crate checks all four families on randomized instances, collects
+//! any violation as a [`Discrepancy`], and (through the `adis-check`
+//! binary) emits a machine-readable [`RunReport`] — a differential oracle
+//! in the fuzzing sense, with a bounded, seeded case budget so CI runs are
+//! reproducible.
+//!
+//! Everything here treats the production crates as black boxes: the oracle
+//! recomputations deliberately avoid the cell-linearization code paths they
+//! validate.
+
+use adis_boolfn::{BitVec, ColumnSetting, InputDist, MultiOutputFn};
+use adis_telemetry::{Json, ReportCell, RunReport};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+
+mod batch_identity;
+mod config_sweep;
+mod differential;
+mod oracle;
+
+/// Budget and seed for a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Base case budget. The oracle and cross-solver families run this
+    /// many cases; the heavier end-to-end families run a fixed fraction
+    /// (see [`Family::cases`]).
+    pub cases: usize,
+    /// Master seed; every case derives its own RNG from `(seed, family,
+    /// case index)`, so runs are reproducible and families independent.
+    pub seed: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig { cases: 100, seed: 5 }
+    }
+}
+
+/// The four check families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Ground-truth oracle: COP objective == direct metrics recomputation
+    /// == Ising energy, plus engine-reported ER/MED/LUT consistency.
+    Oracle,
+    /// Cross-solver differential runner on exhaustively solvable COPs.
+    CrossSolver,
+    /// Cache on/off × parallel/serial bit-identity under random configs.
+    ConfigSweep,
+    /// Batched-vs-sequential SB per-lane bit-identity under random configs.
+    BatchIdentity,
+}
+
+/// All families, in execution order.
+pub const FAMILIES: [Family; 4] = [
+    Family::Oracle,
+    Family::CrossSolver,
+    Family::ConfigSweep,
+    Family::BatchIdentity,
+];
+
+impl Family {
+    /// Stable name used in reports and CLI output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Oracle => "oracle",
+            Family::CrossSolver => "cross-solver",
+            Family::ConfigSweep => "config-sweep",
+            Family::BatchIdentity => "batch-identity",
+        }
+    }
+
+    /// Case budget for this family given the base budget: the end-to-end
+    /// families (whole decomposition runs per case) get a fraction.
+    pub fn cases(self, base: usize) -> usize {
+        match self {
+            Family::Oracle | Family::CrossSolver => base.max(1),
+            Family::ConfigSweep => (base / 10).max(1),
+            Family::BatchIdentity => (base / 5).max(1),
+        }
+    }
+
+    fn tag(self) -> u64 {
+        match self {
+            Family::Oracle => 1,
+            Family::CrossSolver => 2,
+            Family::ConfigSweep => 3,
+            Family::BatchIdentity => 4,
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One violated invariant: which family, which case, and what disagreed.
+#[derive(Debug, Clone)]
+pub struct Discrepancy {
+    /// The family whose invariant failed.
+    pub family: Family,
+    /// Case index within the family (re-runnable: the case RNG derives
+    /// from `(seed, family, case)` alone).
+    pub case: usize,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+/// Outcome of one family's sweep.
+#[derive(Debug, Clone)]
+pub struct FamilyOutcome {
+    /// Which family ran.
+    pub family: Family,
+    /// Cases executed.
+    pub cases: usize,
+    /// Individual invariant checks evaluated (many per case).
+    pub checks: u64,
+    /// Checks that failed.
+    pub discrepancies: Vec<Discrepancy>,
+}
+
+/// Outcome of a full harness run.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Per-family outcomes, in [`FAMILIES`] order.
+    pub families: Vec<FamilyOutcome>,
+}
+
+impl CheckOutcome {
+    /// Total failed checks across every family.
+    pub fn total_discrepancies(&self) -> usize {
+        self.families.iter().map(|f| f.discrepancies.len()).sum()
+    }
+
+    /// Total invariant checks evaluated.
+    pub fn total_checks(&self) -> u64 {
+        self.families.iter().map(|f| f.checks).sum()
+    }
+
+    /// Renders the run as a [`RunReport`]: one cell per family, the
+    /// discrepancy count as the cell objective, and full discrepancy
+    /// details in the cell's `extra` fields.
+    pub fn to_report(&self, cfg: &CheckConfig) -> RunReport {
+        let mut report = RunReport::new("check", cfg.seed);
+        report.config("cases", Json::Num(cfg.cases as f64));
+        for fam in &self.families {
+            let mut cell = ReportCell::new(fam.family.name(), "check", "adis-check");
+            cell.objective = fam.discrepancies.len() as f64;
+            cell.extra.push(("cases".to_string(), Json::Num(fam.cases as f64)));
+            cell.extra.push(("checks".to_string(), Json::Num(fam.checks as f64)));
+            cell.extra.push((
+                "discrepancies".to_string(),
+                Json::Arr(
+                    fam.discrepancies
+                        .iter()
+                        .map(|d| {
+                            Json::Obj(vec![
+                                ("case".to_string(), Json::Num(d.case as f64)),
+                                ("detail".to_string(), Json::str(&d.detail)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+            report.push(cell);
+        }
+        report
+    }
+}
+
+/// Runs every family under `cfg` and collects the outcomes.
+pub fn run_all(cfg: &CheckConfig) -> CheckOutcome {
+    CheckOutcome {
+        families: FAMILIES.iter().map(|&f| run_family(f, cfg)).collect(),
+    }
+}
+
+/// Runs a single family under `cfg`.
+pub fn run_family(family: Family, cfg: &CheckConfig) -> FamilyOutcome {
+    let cases = family.cases(cfg.cases);
+    let mut col = Collector::new(family);
+    for case in 0..cases {
+        let mut rng = case_rng(cfg.seed, family, case);
+        match family {
+            Family::Oracle => oracle::run_case(&mut col, case, &mut rng),
+            Family::CrossSolver => differential::run_case(&mut col, case, &mut rng),
+            Family::ConfigSweep => config_sweep::run_case(&mut col, case, &mut rng),
+            Family::BatchIdentity => batch_identity::run_case(&mut col, case, &mut rng),
+        }
+    }
+    col.finish(cases)
+}
+
+/// The per-case RNG: a pure function of `(seed, family, case)`, so any
+/// reported discrepancy can be replayed in isolation.
+pub fn case_rng(seed: u64, family: Family, case: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(
+        seed ^ family.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (case as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+    )
+}
+
+/// Accumulates checks and failures for one family sweep.
+pub(crate) struct Collector {
+    family: Family,
+    checks: u64,
+    discrepancies: Vec<Discrepancy>,
+}
+
+impl Collector {
+    fn new(family: Family) -> Self {
+        Collector {
+            family,
+            checks: 0,
+            discrepancies: Vec::new(),
+        }
+    }
+
+    /// Records one invariant check; `detail` is only rendered on failure.
+    pub(crate) fn check(&mut self, case: usize, ok: bool, detail: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.discrepancies.push(Discrepancy {
+                family: self.family,
+                case,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Checks `|got − want| ≤ tol` (also fails on NaN on either side).
+    pub(crate) fn close(&mut self, case: usize, label: &str, got: f64, want: f64, tol: f64) {
+        self.check(case, (got - want).abs() <= tol, || {
+            format!("{label}: got {got}, want {want} (|Δ| = {}, tol {tol})", (got - want).abs())
+        });
+    }
+
+    fn finish(self, cases: usize) -> FamilyOutcome {
+        FamilyOutcome {
+            family: self.family,
+            cases,
+            checks: self.checks,
+            discrepancies: self.discrepancies,
+        }
+    }
+}
+
+/// A random input distribution: uniform half the time, otherwise an
+/// explicit normalized vector with occasional zero-probability patterns
+/// (those exercise don't-care cells in the COP weights).
+pub(crate) fn random_dist(rng: &mut ChaCha8Rng, inputs: u32) -> InputDist {
+    if rng.gen_bool(0.5) {
+        return InputDist::Uniform;
+    }
+    let len = 1usize << inputs;
+    let mut probs: Vec<f64> = (0..len)
+        .map(|_| if rng.gen_bool(0.2) { 0.0 } else { rng.gen_range(0.01..1.0) })
+        .collect();
+    let sum: f64 = probs.iter().sum();
+    if sum == 0.0 {
+        probs[0] = 1.0;
+    } else {
+        for p in probs.iter_mut() {
+            *p /= sum;
+        }
+    }
+    InputDist::explicit(probs).expect("normalized by construction")
+}
+
+/// A uniformly random column setting of the given shape.
+pub(crate) fn random_setting(rng: &mut ChaCha8Rng, rows: usize, cols: usize) -> ColumnSetting {
+    let v1 = BitVec::from_fn(rows, |_| rng.gen_bool(0.5));
+    let v2 = BitVec::from_fn(rows, |_| rng.gen_bool(0.5));
+    let t = BitVec::from_fn(cols, |_| rng.gen_bool(0.5));
+    ColumnSetting { v1, v2, t }
+}
+
+/// A random `n`-input, `m`-output function (word-dense truth table).
+pub(crate) fn random_fn(rng: &mut ChaCha8Rng, inputs: u32, outputs: u32) -> MultiOutputFn {
+    let words: Vec<u64> = (0..1u64 << inputs)
+        .map(|_| rng.gen_range(0..1u64 << outputs))
+        .collect();
+    MultiOutputFn::from_word_fn(inputs, outputs, |p| words[p as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_budget_run_is_clean() {
+        // The harness's own smoke test: a handful of cases per family must
+        // produce zero discrepancies. (CI runs a larger budget through the
+        // adis-check binary.)
+        let outcome = run_all(&CheckConfig { cases: 6, seed: 1 });
+        assert_eq!(outcome.families.len(), FAMILIES.len());
+        for fam in &outcome.families {
+            assert!(
+                fam.discrepancies.is_empty(),
+                "{}: {:?}",
+                fam.family,
+                fam.discrepancies
+            );
+            assert!(fam.checks > 0, "{} ran no checks", fam.family);
+        }
+        assert!(outcome.total_checks() > 0);
+        assert_eq!(outcome.total_discrepancies(), 0);
+    }
+
+    #[test]
+    fn case_rng_is_replayable_and_family_independent() {
+        let a: Vec<u64> = {
+            let mut r = case_rng(5, Family::Oracle, 3);
+            (0..4).map(|_| r.gen_range(0..u64::MAX)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = case_rng(5, Family::Oracle, 3);
+            (0..4).map(|_| r.gen_range(0..u64::MAX)).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = case_rng(5, Family::CrossSolver, 3);
+        let c: Vec<u64> = (0..4).map(|_| other.gen_range(0..u64::MAX)).collect();
+        assert_ne!(a, c, "families must draw independent streams");
+    }
+
+    #[test]
+    fn report_carries_family_cells_and_details() {
+        let outcome = CheckOutcome {
+            families: vec![FamilyOutcome {
+                family: Family::Oracle,
+                cases: 2,
+                checks: 10,
+                discrepancies: vec![Discrepancy {
+                    family: Family::Oracle,
+                    case: 1,
+                    detail: "objective mismatch".to_string(),
+                }],
+            }],
+        };
+        let report = outcome.to_report(&CheckConfig { cases: 2, seed: 9 });
+        let text = report.to_json().render();
+        for needle in [
+            "\"tool\":\"check\"",
+            "\"seed\":9",
+            "\"benchmark\":\"oracle\"",
+            "\"objective\":1",
+            "\"checks\":10",
+            "objective mismatch",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Family 1 — the ground-truth oracle.
+//!
+//! For random functions, partitions and distributions, every column
+//! setting — random, solver-produced, or exhaustively optimal — must
+//! satisfy the Eq. (9)/(16) identity chain:
+//!
+//! ```text
+//! ColumnCop::objective(s)  ==  metric(reconstruct(s))  ==  Ising energy at encode(s)
+//! ```
+//!
+//! where `metric` is the component ER in separate mode and the whole-word
+//! MED in joint mode, recomputed from scratch through `boolfn::metrics`
+//! with no cell-linearization involved. Every fourth case additionally
+//! runs a whole `Framework::decompose` and re-derives its reported
+//! MED/ER/LUT from the returned approximation.
+
+use crate::{random_dist, random_fn, random_setting, Collector};
+use adis_boolfn::{
+    error_rate, error_rate_multi, mean_error_distance, BooleanMatrix, ColumnSetting,
+    MultiOutputFn, Partition,
+};
+use adis_core::{ColumnCop, CopSolverKind, Framework, IsingCopSolver, Mode};
+use adis_sb::StopCriterion;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+const TOL: f64 = 1e-9;
+
+/// Exhaustive type-vector search is `O(2^c)`; keep it to small columns.
+const EXHAUSTIVE_COLS: usize = 8;
+
+pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
+    let n: u32 = rng.gen_range(3..=6);
+    let m: u32 = rng.gen_range(1..=4);
+    let exact = random_fn(rng, n, m);
+    let bound = rng.gen_range(1..n);
+    let w = Partition::random(n, bound, rng);
+    let dist = random_dist(rng, n);
+    let k: u32 = rng.gen_range(0..m);
+    let (r, c) = (w.rows(), w.cols());
+
+    // --- Separate mode: objective == component ER == Ising energy.
+    let matrix = BooleanMatrix::build(exact.component(k), &w);
+    let cop = ColumnCop::separate(&matrix, &w, &dist);
+    let mut settings: Vec<(&str, ColumnSetting)> = (0..3)
+        .map(|_| ("random", random_setting(rng, r, c)))
+        .collect();
+    if c <= EXHAUSTIVE_COLS {
+        settings.push(("exhaustive", cop.solve_exhaustive()));
+    }
+    // A solver-produced setting, checking the reported objective on the way.
+    let solver = IsingCopSolver::new()
+        .stop(StopCriterion::FixedIterations(200))
+        .replicas(1)
+        .seed(rng.gen_range(0..1u64 << 32));
+    let sol = solver.solve(&cop);
+    col.close(
+        case,
+        "separate: solver-reported objective vs its own setting",
+        sol.objective,
+        cop.objective(&sol.setting),
+        1e-12,
+    );
+    settings.push(("bSB", sol.setting));
+
+    let ising = cop.to_ising();
+    let layout = cop.layout();
+    for (origin, s) in &settings {
+        let table = s.reconstruct(&w);
+        let direct = error_rate(exact.component(k), &table, &dist);
+        col.close(
+            case,
+            &format!("separate objective vs direct ER ({origin} setting, n={n} |B|={bound})"),
+            cop.objective(s),
+            direct,
+            TOL,
+        );
+        col.close(
+            case,
+            &format!("separate Ising energy vs objective ({origin} setting)"),
+            ising.energy(&layout.encode(s)),
+            cop.objective(s),
+            TOL,
+        );
+    }
+
+    // --- Joint mode: perturb the other components, fix them, and check the
+    // case-split COP against a from-scratch MED of the substituted word.
+    let exact_words: Vec<u64> = (0..1u64 << n).map(|p| exact.eval_word(p)).collect();
+    let approx_words: Vec<u64> = exact_words
+        .iter()
+        .map(|&x| if rng.gen_bool(0.3) { rng.gen_range(0..1u64 << m) } else { x })
+        .collect();
+    let mut offsets = vec![0i64; r * c];
+    let mut probs = vec![0.0; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            let x = w.compose(i, j);
+            let others = (approx_words[x as usize] & !(1u64 << k)) as i64;
+            offsets[i * c + j] = others - exact_words[x as usize] as i64;
+            probs[i * c + j] = dist.prob(x, n);
+        }
+    }
+    let jcop = ColumnCop::joint(r, c, k, &offsets, &probs);
+    let jising = jcop.to_ising();
+    let jlayout = jcop.layout();
+    let mut jsettings: Vec<(&str, ColumnSetting)> = (0..3)
+        .map(|_| ("random", random_setting(rng, r, c)))
+        .collect();
+    if c <= EXHAUSTIVE_COLS {
+        jsettings.push(("exhaustive", jcop.solve_exhaustive()));
+    }
+    for (origin, s) in &jsettings {
+        let table = s.reconstruct(&w);
+        let mut approx = MultiOutputFn::from_word_fn(n, m, |p| approx_words[p as usize]);
+        approx.set_component(k, table);
+        let direct = mean_error_distance(&exact, &approx, &dist);
+        col.close(
+            case,
+            &format!("joint objective vs direct MED ({origin} setting, n={n} m={m} k={k})"),
+            jcop.objective(s),
+            direct,
+            TOL,
+        );
+        col.close(
+            case,
+            &format!("joint Ising energy vs objective ({origin} setting)"),
+            jising.energy(&jlayout.encode(s)),
+            jcop.objective(s),
+            TOL,
+        );
+    }
+
+    // --- End-to-end engine oracle on a fresh small instance.
+    if case % 4 == 0 {
+        engine_case(col, case, rng);
+    }
+}
+
+/// Runs a full decomposition and re-derives every reported number from the
+/// returned approximation alone.
+fn engine_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
+    let n: u32 = rng.gen_range(4..=5);
+    let m: u32 = rng.gen_range(2..=3);
+    let exact = random_fn(rng, n, m);
+    let bound = rng.gen_range(1..=3.min(n - 1));
+    let dist = random_dist(rng, n);
+    let mode = if rng.gen_bool(0.5) { Mode::Joint } else { Mode::Separate };
+    let kind = if rng.gen_bool(0.5) {
+        CopSolverKind::Exact { time_limit: None }
+    } else {
+        CopSolverKind::Ising(
+            IsingCopSolver::new()
+                .stop(StopCriterion::FixedIterations(150))
+                .replicas(1),
+        )
+    };
+    let outcome = Framework::new(mode, bound)
+        .solver(kind)
+        .partitions(3)
+        .rounds(1)
+        .parallel(false)
+        .seed(rng.gen_range(0..1u64 << 32))
+        .dist(dist.clone())
+        .decompose(&exact);
+
+    col.close(
+        case,
+        "engine-reported MED vs metrics recomputation",
+        outcome.med,
+        mean_error_distance(&exact, &outcome.approx, &dist),
+        1e-12,
+    );
+    col.close(
+        case,
+        "engine-reported ER vs metrics recomputation",
+        outcome.er,
+        error_rate_multi(&exact, &outcome.approx, &dist),
+        1e-12,
+    );
+    col.check(
+        case,
+        outcome.cache_hits + outcome.cache_misses == outcome.cop_solves,
+        || {
+            format!(
+                "cache accounting: {} hits + {} misses != {} cop solves",
+                outcome.cache_hits, outcome.cache_misses, outcome.cop_solves
+            )
+        },
+    );
+    for (kk, choice) in outcome.choices.iter().enumerate() {
+        let table = choice.setting.reconstruct(&choice.partition);
+        col.check(case, table == *outcome.approx.component(kk as u32), || {
+            format!("component {kk}'s recorded choice does not reconstruct the approximation")
+        });
+    }
+    let lut = outcome.to_lut();
+    let mismatches = (0..1u64 << n)
+        .filter(|&p| lut.eval_word(p) != outcome.approx.eval_word(p))
+        .count();
+    col.check(case, mismatches == 0, || {
+        format!("decomposed LUT disagrees with the approximation on {mismatches} patterns")
+    });
+}

@@ -1,0 +1,161 @@
+//! Known-answer anchors for the oracle: hand-built `(w, V₁, V₂, T)`
+//! settings whose ER/MED were computed by hand, pinned against both the
+//! cell-linear COP objective and the from-scratch `boolfn::metrics`
+//! recomputation. If the randomized oracle family and these fixed points
+//! ever disagree, the oracle itself (not the solvers) is broken.
+
+use adis_boolfn::{
+    error_rate, mean_error_distance, BitVec, BooleanMatrix, ColumnSetting, InputDist,
+    MultiOutputFn, Partition, TruthTable,
+};
+use adis_core::ColumnCop;
+
+/// Separate mode, fully by hand. `g = x0` on 4 inputs with free set
+/// `{0, 1}` and bound set `{2, 3}` (r = c = 4). Row index bit 0 is `x0`,
+/// so the matrix is `O_ij = i & 1`.
+#[test]
+fn separate_er_by_hand() {
+    let g = TruthTable::from_fn(4, |p| p & 1 == 1);
+    let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
+    let cop = ColumnCop::separate(&BooleanMatrix::build(&g, &w), &w, &InputDist::Uniform);
+
+    // Perfect setting: V1 reproduces the row pattern (V1_i = i & 1), every
+    // column type 0 → Ô_ij = i & 1 = O_ij, so ER = 0.
+    let perfect = ColumnSetting {
+        v1: BitVec::from_fn(4, |i| i & 1 == 1),
+        v2: BitVec::zeros(4),
+        t: BitVec::zeros(4),
+    };
+    assert!(cop.objective(&perfect).abs() < 1e-12);
+    assert!(error_rate(&g, &perfect.reconstruct(&w), &InputDist::Uniform).abs() < 1e-12);
+
+    // Send column 0 to the all-ones pattern instead: V2 = 1111, T = 0001.
+    // Column 0's cells become Ô_i0 = 1, wrong exactly where i & 1 == 0 —
+    // 2 of the 16 cells → ER = 2/16 = 0.125.
+    let skewed = ColumnSetting {
+        v1: BitVec::from_fn(4, |i| i & 1 == 1),
+        v2: BitVec::from_fn(4, |_| true),
+        t: BitVec::from_fn(4, |j| j == 0),
+    };
+    let by_hand = 0.125;
+    assert!((cop.objective(&skewed) - by_hand).abs() < 1e-12);
+    assert!(
+        (error_rate(&g, &skewed.reconstruct(&w), &InputDist::Uniform) - by_hand).abs() < 1e-12
+    );
+
+    // Everything wrong: V1 complements the rows, all columns type 0 →
+    // every cell mismatches → ER = 1.
+    let inverted = ColumnSetting {
+        v1: BitVec::from_fn(4, |i| i & 1 == 0),
+        v2: BitVec::zeros(4),
+        t: BitVec::zeros(4),
+    };
+    assert!((cop.objective(&inverted) - 1.0).abs() < 1e-12);
+}
+
+/// Joint mode, fully by hand. `G(p) = p` on 2 inputs and 2 outputs,
+/// free = {0}, bound = {1}, optimizing the MSB (k = 1, word weight 2)
+/// with the LSB already exact.
+#[test]
+fn joint_med_by_hand() {
+    let n = 2u32;
+    let m = 2u32;
+    let k = 1u32;
+    let exact = MultiOutputFn::from_word_fn(n, m, |p| p);
+    let w = Partition::new(n, vec![0], vec![1]).unwrap();
+    let (r, c) = (w.rows(), w.cols());
+    assert_eq!((r, c), (2, 2));
+
+    // Engine-style joint construction: the other component (the LSB) is
+    // kept exact, so D = (p & 1) − p = −(p & 2) per pattern.
+    let mut offsets = vec![0i64; r * c];
+    let mut probs = vec![0.0; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            let p = w.compose(i, j);
+            offsets[i * c + j] = (p & 1) as i64 - p as i64;
+            probs[i * c + j] = 0.25;
+        }
+    }
+    let cop = ColumnCop::joint(r, c, k, &offsets, &probs);
+
+    // MSB forced to 0 everywhere: patterns 2 and 3 each lose 2 from their
+    // word → MED = (0 + 0 + 2 + 2) / 4 = 1.
+    let all_zero = ColumnSetting {
+        v1: BitVec::zeros(r),
+        v2: BitVec::zeros(r),
+        t: BitVec::zeros(c),
+    };
+    assert!((cop.objective(&all_zero) - 1.0).abs() < 1e-12);
+
+    // MSB forced to 1 everywhere: patterns 0 and 1 each gain 2 → MED = 1.
+    let all_one = ColumnSetting {
+        v1: BitVec::from_fn(r, |_| true),
+        v2: BitVec::from_fn(r, |_| true),
+        t: BitVec::zeros(c),
+    };
+    assert!((cop.objective(&all_one) - 1.0).abs() < 1e-12);
+
+    // The correct MSB depends only on the bound variable x1 = column
+    // index: column 0 → 0 (type 0 reads V1 = 00), column 1 → 1 (type 1
+    // reads V2 = 11). MED = 0.
+    let correct = ColumnSetting {
+        v1: BitVec::zeros(r),
+        v2: BitVec::from_fn(r, |_| true),
+        t: BitVec::from_fn(c, |j| j == 1),
+    };
+    assert!(cop.objective(&correct).abs() < 1e-12);
+
+    // Each hand value must also match the from-scratch MED of actually
+    // substituting the candidate MSB into the word.
+    for (setting, want) in [(&all_zero, 1.0), (&all_one, 1.0), (&correct, 0.0)] {
+        let mut approx = exact.clone();
+        approx.set_component(k, setting.reconstruct(&w));
+        let med = mean_error_distance(&exact, &approx, &InputDist::Uniform);
+        assert!(
+            (med - want).abs() < 1e-12 && (cop.objective(setting) - med).abs() < 1e-12,
+            "metrics MED {med} vs hand {want} vs objective {}",
+            cop.objective(setting)
+        );
+    }
+}
+
+/// Weighted joint mode: same instance as [`joint_med_by_hand`] under the
+/// distribution (0.1, 0.2, 0.3, 0.4).
+#[test]
+fn joint_med_by_hand_weighted() {
+    let exact = MultiOutputFn::from_word_fn(2, 2, |p| p);
+    let w = Partition::new(2, vec![0], vec![1]).unwrap();
+    let dist = InputDist::explicit(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+    let (r, c) = (w.rows(), w.cols());
+    let mut offsets = vec![0i64; r * c];
+    let mut probs = vec![0.0; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            let p = w.compose(i, j);
+            offsets[i * c + j] = (p & 1) as i64 - p as i64;
+            probs[i * c + j] = dist.prob(p, 2);
+        }
+    }
+    let cop = ColumnCop::joint(r, c, 1, &offsets, &probs);
+
+    // MSB forced to 0: only patterns 2 and 3 err, each by 2:
+    // MED = 2·0.3 + 2·0.4 = 1.4.
+    let all_zero = ColumnSetting {
+        v1: BitVec::zeros(r),
+        v2: BitVec::zeros(r),
+        t: BitVec::zeros(c),
+    };
+    assert!((cop.objective(&all_zero) - 1.4).abs() < 1e-12);
+    let mut approx = exact.clone();
+    approx.set_component(1, all_zero.reconstruct(&w));
+    assert!((mean_error_distance(&exact, &approx, &dist) - 1.4).abs() < 1e-12);
+
+    // MSB forced to 1: patterns 0 and 1 err by 2: MED = 2·0.1 + 2·0.2 = 0.6.
+    let all_one = ColumnSetting {
+        v1: BitVec::from_fn(r, |_| true),
+        v2: BitVec::from_fn(r, |_| true),
+        t: BitVec::zeros(c),
+    };
+    assert!((cop.objective(&all_one) - 0.6).abs() < 1e-12);
+}

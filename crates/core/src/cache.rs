@@ -56,15 +56,36 @@ pub(crate) enum MemoKey {
         rows: usize,
         /// COP columns `c`.
         cols: usize,
-        /// `f64::to_bits` of each weight, row-major.
+        /// Canonical bits of each weight, row-major (see [`canonical_bits`]:
+        /// `-0.0` and NaN payloads are normalized before keying).
         weight_bits: Vec<u64>,
-        /// `f64::to_bits` of the objective constant.
+        /// Canonical bits of the objective constant.
         constant_bits: u64,
     },
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Canonical bit pattern of a COP weight/constant for keying.
+///
+/// `-0.0` folds onto `0.0`: the two compare equal everywhere the solvers
+/// branch (`>=`, `<`, `total_cmp` never separates settings by it), so COPs
+/// differing only in zero signs are behaviorally identical — raw `to_bits`
+/// would split them into spurious misses. A `-0.0` weight arises naturally,
+/// e.g. from `p·(1 − 2·O) = −0.0` when an explicit distribution assigns a
+/// cell probability 0. Every NaN likewise folds onto one canonical pattern:
+/// a NaN weight poisons any objective it touches, but it must not silently
+/// fragment the memo table (NaN payloads carry no COP content).
+fn canonical_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0
+    } else if v.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
 
 impl MemoKey {
     /// Key for a separate-mode, uniform-distribution COP: the matrix is
@@ -84,8 +105,8 @@ impl MemoKey {
         MemoKey::Weights {
             rows: cop.rows(),
             cols: cop.cols(),
-            weight_bits: cop.weights().iter().map(|w| w.to_bits()).collect(),
-            constant_bits: cop.constant().to_bits(),
+            weight_bits: cop.weights().iter().map(|&w| canonical_bits(w)).collect(),
+            constant_bits: canonical_bits(cop.constant()),
         }
     }
 
@@ -237,6 +258,38 @@ mod tests {
         assert_ne!(a, c);
         // Framework seed participates.
         assert_ne!(a.solver_seed(7), a.solver_seed(8));
+    }
+
+    #[test]
+    fn zero_sign_and_nan_payload_do_not_split_keys() {
+        // -0.0 vs 0.0 weights are behaviorally identical COPs; the keys
+        // (and therefore the content-derived seeds) must coincide.
+        let pos = ColumnCop::from_weights(2, 2, vec![0.0, 0.5, -0.25, 0.0], 0.0);
+        let neg = ColumnCop::from_weights(2, 2, vec![-0.0, 0.5, -0.25, -0.0], -0.0);
+        let kp = MemoKey::from_cop(&pos);
+        let kn = MemoKey::from_cop(&neg);
+        assert_eq!(kp, kn);
+        assert_eq!(kp.solver_seed(9), kn.solver_seed(9));
+
+        // One entry serves both spellings.
+        let cache = CopCache::new(true);
+        let result = CopResult {
+            setting: pos.solve_exhaustive(),
+            objective: pos.objective(&pos.solve_exhaustive()),
+            sb_iterations: 0,
+            bnb_nodes: 0,
+        };
+        cache.insert(kp, &result);
+        assert!(cache.lookup(&kn).is_some(), "-0.0 grid must hit the 0.0 entry");
+
+        // NaNs with different payloads normalize to one key.
+        let nan_a = ColumnCop::from_weights(1, 2, vec![f64::NAN, 1.0], 0.0);
+        let nan_b =
+            ColumnCop::from_weights(1, 2, vec![f64::from_bits(0x7ff8_dead_beef_0001), 1.0], 0.0);
+        assert_eq!(MemoKey::from_cop(&nan_a), MemoKey::from_cop(&nan_b));
+        // And the canonical form never collides with a real weight.
+        let real = ColumnCop::from_weights(1, 2, vec![1.0, 1.0], 0.0);
+        assert_ne!(MemoKey::from_cop(&nan_a), MemoKey::from_cop(&real));
     }
 
     #[test]

@@ -82,6 +82,35 @@ fn build_cop(
     }
 }
 
+/// Re-derives a candidate's objective directly from its reconstructed LUT
+/// via `boolfn::metrics` — no cell-linearization, no COP. This is the
+/// ground-truth side of the Eq. (9)/(16) invariant: the COP objective the
+/// solver reported must equal the ER (separate mode) / MED (joint mode) of
+/// actually substituting the candidate into the current approximation.
+/// `approx_words` must be the pre-apply state the candidate's COP was
+/// built against.
+#[cfg(feature = "paranoid")]
+fn oracle_objective(
+    fw: &Framework,
+    exact: &MultiOutputFn,
+    exact_words: &[u64],
+    approx_words: &[u64],
+    k: u32,
+    choice: &ComponentChoice,
+) -> f64 {
+    let table = choice.setting.reconstruct(&choice.partition);
+    match fw.mode {
+        Mode::Separate => adis_boolfn::error_rate(exact.component(k), &table, &fw.dist),
+        Mode::Joint => (0..exact.num_entries() as u64)
+            .map(|p| {
+                let others = approx_words[p as usize] & !(1u64 << k);
+                let word = others | (u64::from(table.eval(p)) << k);
+                fw.dist.prob(p, exact.inputs()) * word.abs_diff(exact_words[p as usize]) as f64
+            })
+            .sum(),
+    }
+}
+
 /// Runs the full decomposition sweep. This is the single implementation
 /// behind every `Framework::decompose*` entry point; `fw` is assumed
 /// validated (see `Framework::build`).
@@ -197,6 +226,21 @@ pub(crate) fn run<O: SolveObserver>(
         if sweep_misses > 0 {
             observer.counter("cache_misses", sweep_misses);
         }
+        #[cfg(feature = "paranoid")]
+        for cand in &solved {
+            let direct =
+                oracle_objective(fw, exact, &exact_words, &approx_words, k, &cand.choice);
+            assert!(
+                (direct - cand.choice.objective).abs() <= 1e-9,
+                "paranoid: COP objective {} disagrees with the direct {:?}-mode \
+                 recomputation {} (round {round}, component {k}, |Δ| = {})",
+                cand.choice.objective,
+                fw.mode,
+                direct,
+                (direct - cand.choice.objective).abs()
+            );
+        }
+
         // Sequential selection over the joined sweep: first strictly
         // minimal objective wins, independent of execution order.
         let best = solved
@@ -251,6 +295,15 @@ pub(crate) fn run<O: SolveObserver>(
         .into_iter()
         .map(|c| c.expect("every component visited"))
         .collect();
+    #[cfg(feature = "paranoid")]
+    for (k, choice) in choices.iter().enumerate() {
+        let table = choice.setting.reconstruct(&choice.partition);
+        assert!(
+            table == *approx.component(k as u32),
+            "paranoid: component {k}'s recorded choice does not reconstruct the \
+             reported approximation"
+        );
+    }
     let stage = Instant::now();
     let med = mean_error_distance(exact, &approx, &fw.dist);
     let er = error_rate_multi(exact, &approx, &fw.dist);

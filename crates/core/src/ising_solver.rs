@@ -5,7 +5,7 @@
 use crate::cop_solver::CopScratch;
 use crate::{ColumnCop, SpinLayout};
 use adis_boolfn::{BitVec, ColumnSetting};
-use adis_sb::{SbSolver, SbState, StopCriterion, StopReason, StopState};
+use adis_sb::{ConfigError as SbConfigError, SbSolver, SbState, StopCriterion, StopReason, StopState};
 use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -113,23 +113,17 @@ impl IsingCopSolver {
     }
 
     /// Pump-ramp length in iterations (structured path; default 400).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `iterations == 0`.
+    /// Zero is rejected by [`validate`](IsingCopSolver::validate)/
+    /// [`try_solve`](IsingCopSolver::try_solve), not here.
     pub fn ramp(mut self, iterations: usize) -> Self {
-        assert!(iterations > 0, "ramp must be positive");
         self.ramp = iterations;
         self
     }
 
-    /// Sets the Euler time step (default 0.25).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `dt > 0`.
+    /// Sets the Euler time step (default 0.25). Non-positive/non-finite
+    /// values are rejected by [`validate`](IsingCopSolver::validate)/
+    /// [`try_solve`](IsingCopSolver::try_solve), not here.
     pub fn dt(mut self, dt: f64) -> Self {
-        assert!(dt > 0.0, "dt must be positive");
         self.dt = dt;
         self
     }
@@ -140,13 +134,10 @@ impl IsingCopSolver {
         self
     }
 
-    /// Number of independent SB trajectories (best result wins).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `replicas == 0`.
+    /// Number of independent SB trajectories (best result wins). Zero is
+    /// rejected by [`validate`](IsingCopSolver::validate)/
+    /// [`try_solve`](IsingCopSolver::try_solve), not here.
     pub fn replicas(mut self, replicas: usize) -> Self {
-        assert!(replicas > 0, "need at least one replica");
         self.replicas = replicas;
         self
     }
@@ -157,12 +148,40 @@ impl IsingCopSolver {
         self
     }
 
+    /// Checks every configuration constraint: at least one replica, a
+    /// non-empty ramp, and the composed [`SbSolver`] configuration (time
+    /// step, stop criterion, …) as this solver would run it.
+    pub fn validate(&self) -> Result<(), SbConfigError> {
+        if self.replicas == 0 {
+            return Err(SbConfigError::ZeroReplicas);
+        }
+        // The generic path runs exactly this composition; the structured
+        // path shares dt/ramp/stop, so one validation covers both.
+        self.sb
+            .clone()
+            .stop(self.stop_criterion.clone())
+            .ramp(self.ramp)
+            .dt(self.dt)
+            .validate()
+    }
+
     /// Solves the COP, returning the best setting across replicas.
     ///
     /// The returned setting always has its type vector re-optimized via
     /// Theorem 3 (a free post-pass that never hurts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`try_solve`](IsingCopSolver::try_solve) for the fallible form).
     pub fn solve(&self, cop: &ColumnCop) -> CopSolution {
         self.solve_with(cop, &mut NullObserver)
+    }
+
+    /// Solves the COP, or reports why the configuration cannot run.
+    pub fn try_solve(&self, cop: &ColumnCop) -> Result<CopSolution, SbConfigError> {
+        self.validate()?;
+        Ok(self.solve(cop))
     }
 
     /// Solves the COP while reporting every SB trajectory to `observer`
@@ -188,6 +207,9 @@ impl IsingCopSolver {
         scratch: &mut CopScratch,
         observer: &mut O,
     ) -> CopSolution {
+        if let Err(e) = self.validate() {
+            panic!("invalid IsingCopSolver configuration: {e}");
+        }
         let _span = trace_span!(
             "IsingCopSolver::solve r={} c={} replicas={}",
             cop.rows(),
@@ -625,6 +647,47 @@ mod tests {
             .solve(&cop);
         assert!(sol.stats.settled, "bSB should reach steady state");
         assert!(sol.stats.iterations < 50_000);
+    }
+
+    #[test]
+    fn invalid_configs_surface_as_config_errors() {
+        let cop = random_cop(1, 3, 3);
+        assert_eq!(
+            IsingCopSolver::new().replicas(0).try_solve(&cop).unwrap_err(),
+            SbConfigError::ZeroReplicas
+        );
+        assert_eq!(
+            IsingCopSolver::new().ramp(0).try_solve(&cop).unwrap_err(),
+            SbConfigError::ZeroRamp
+        );
+        assert_eq!(
+            IsingCopSolver::new().dt(-1.0).try_solve(&cop).unwrap_err(),
+            SbConfigError::NonPositiveDt(-1.0)
+        );
+        assert_eq!(
+            IsingCopSolver::new()
+                .stop(StopCriterion::DynamicVariance {
+                    sample_every: 5,
+                    window: 0,
+                    threshold: 1e-8,
+                    max_iterations: 100,
+                })
+                .try_solve(&cop)
+                .unwrap_err(),
+            SbConfigError::DegenerateWindow(0)
+        );
+        // Valid config: fallible and infallible paths agree.
+        let a = IsingCopSolver::new().solve(&cop);
+        let b = IsingCopSolver::new().try_solve(&cop).unwrap();
+        assert_eq!(a.setting, b.setting);
+        assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid IsingCopSolver configuration")]
+    fn infallible_solve_panics_with_display_message() {
+        let cop = random_cop(2, 3, 3);
+        IsingCopSolver::new().dt(0.0).solve(&cop);
     }
 
     #[test]

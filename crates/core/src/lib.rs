@@ -84,3 +84,7 @@ pub use framework::{
 };
 pub use ising_solver::{CopSolution, CopSolveStats, IsingCopSolver};
 pub use row::{RowCop, RowCopSolution, RowIlpVars};
+/// Solver-level configuration errors ([`IsingCopSolver::validate`],
+/// [`adis_sb::SbSolver::validate`]), re-exported so `Framework`-level
+/// [`ConfigError`] and solver-level errors are importable from one crate.
+pub use adis_sb::ConfigError as SbConfigError;

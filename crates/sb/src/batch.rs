@@ -194,7 +194,9 @@ impl SbSolver {
     ///
     /// # Panics
     ///
-    /// Panics if `replicas == 0`.
+    /// Panics if `replicas == 0` or the configuration is invalid (see
+    /// [`try_solve_batch`](SbSolver::try_solve_batch) for the fallible
+    /// form).
     pub fn solve_batch_with<F, O>(
         &self,
         problem: &IsingProblem,
@@ -208,6 +210,9 @@ impl SbSolver {
         O: SolveObserver,
     {
         assert!(replicas > 0, "need at least one replica");
+        if let Err(e) = self.validate() {
+            panic!("invalid SbSolver configuration: {e}");
+        }
         let n = problem.num_spins();
         let rl = replicas;
         let _span =

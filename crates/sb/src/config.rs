@@ -1,0 +1,117 @@
+//! Validation of [`SbSolver`](crate::SbSolver) configurations.
+//!
+//! Mirrors the `adis_core::Framework` convention: builder-style setters
+//! never panic, every constraint is checked in one place
+//! ([`SbSolver::validate`](crate::SbSolver::validate)), the `try_*` entry
+//! points surface a [`ConfigError`], and the infallible entry points panic
+//! with the error's `Display` message.
+
+use crate::StopCriterion;
+use std::fmt;
+
+/// An invalid [`SbSolver`](crate::SbSolver) (or derived Ising-COP solver)
+/// configuration.
+///
+/// # Examples
+///
+/// ```
+/// use adis_ising::IsingBuilder;
+/// use adis_sb::{ConfigError, SbSolver};
+///
+/// let p = IsingBuilder::new(2).coupling(0, 1, 1.0).build();
+/// let err = SbSolver::new().dt(0.0).try_solve(&p).unwrap_err();
+/// assert_eq!(err, ConfigError::NonPositiveDt(0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `dt` must be positive and finite: the symplectic Euler update
+    /// multiplies every force by `dt`.
+    NonPositiveDt(f64),
+    /// `a0` must be positive and finite: it is both the pump ceiling and
+    /// the position-update gain.
+    NonPositiveA0(f64),
+    /// A zero-length pump ramp never turns the pump on.
+    ZeroRamp,
+    /// The initial-state amplitude must be finite and non-negative (the
+    /// initial positions/momenta are drawn from `[-amp, amp]`).
+    InvalidInitAmplitude(f64),
+    /// A dynamic-variance window below 2 samples has zero variance by
+    /// definition, so the criterion would fire on the very first sample
+    /// regardless of the threshold.
+    DegenerateWindow(usize),
+    /// Batch/replica entry points need at least one replica.
+    ZeroReplicas,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositiveDt(dt) => {
+                write!(f, "time step dt must be positive and finite, got {dt}")
+            }
+            ConfigError::NonPositiveA0(a0) => {
+                write!(f, "pump ceiling a0 must be positive and finite, got {a0}")
+            }
+            ConfigError::ZeroRamp => write!(f, "pump ramp must span at least one iteration"),
+            ConfigError::InvalidInitAmplitude(amp) => write!(
+                f,
+                "initial-state amplitude must be finite and non-negative, got {amp}"
+            ),
+            ConfigError::DegenerateWindow(w) => write!(
+                f,
+                "dynamic-variance window must hold at least 2 samples, got {w} \
+                 (variance of fewer samples is identically 0, stopping immediately)"
+            ),
+            ConfigError::ZeroReplicas => write!(f, "need at least one replica"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl StopCriterion {
+    /// Checks the criterion's own constraints: a
+    /// [`DynamicVariance`](StopCriterion::DynamicVariance) window must hold
+    /// at least 2 samples (`sample_every` is silently normalized by
+    /// [`sample_every()`](StopCriterion::sample_every) instead, matching
+    /// the long-standing behavior tests rely on).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match *self {
+            StopCriterion::FixedIterations(_) => Ok(()),
+            StopCriterion::DynamicVariance { window, .. } => {
+                if window < 2 {
+                    Err(ConfigError::DegenerateWindow(window))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_windows_rejected() {
+        for window in [0, 1] {
+            let c = StopCriterion::DynamicVariance {
+                sample_every: 5,
+                window,
+                threshold: 1e-8,
+                max_iterations: 100,
+            };
+            assert_eq!(c.validate(), Err(ConfigError::DegenerateWindow(window)));
+        }
+        assert!(StopCriterion::paper_small().validate().is_ok());
+        assert!(StopCriterion::FixedIterations(0).validate().is_ok());
+    }
+
+    #[test]
+    fn errors_display_and_box() {
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::DegenerateWindow(1));
+        assert!(e.to_string().contains("window"));
+        assert!(ConfigError::NonPositiveDt(f64::NAN).to_string().contains("dt"));
+    }
+}

@@ -66,12 +66,14 @@
 #![forbid(unsafe_code)]
 
 mod batch;
+mod config;
 mod higher_order;
 mod scratch;
 mod solver;
 mod stop;
 
 pub use batch::SbBatchScratch;
+pub use config::ConfigError;
 pub use higher_order::{HigherOrderSb, HigherOrderSbResult};
 pub use scratch::{SbScratch, ScratchGuard, ScratchPool};
 pub use solver::{SbResult, SbSolver, SbState, SbVariant};

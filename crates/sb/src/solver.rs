@@ -133,9 +133,10 @@ impl SbSolver {
     /// Length of the pump ramp in iterations. By default the ramp spans the
     /// full iteration budget; decoupling it (e.g. `ramp(500)`) lets the
     /// dynamic stop criterion fire soon after bifurcation instead of
-    /// tracking a ramp stretched over `max_iterations`.
+    /// tracking a ramp stretched over `max_iterations`. Zero is rejected by
+    /// [`validate`](SbSolver::validate)/[`try_solve`](SbSolver::try_solve),
+    /// not here.
     pub fn ramp(mut self, iterations: usize) -> Self {
-        assert!(iterations > 0, "ramp must be positive");
         self.ramp = Some(iterations);
         self
     }
@@ -152,24 +153,18 @@ impl SbSolver {
         self
     }
 
-    /// Sets the Euler time step.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `dt > 0`.
+    /// Sets the Euler time step. Non-positive/non-finite values are
+    /// rejected by [`validate`](SbSolver::validate)/
+    /// [`try_solve`](SbSolver::try_solve), not here.
     pub fn dt(mut self, dt: f64) -> Self {
-        assert!(dt > 0.0, "dt must be positive");
         self.dt = dt;
         self
     }
 
-    /// Sets the detuning/pump ceiling `a₀`.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `a0 > 0`.
+    /// Sets the detuning/pump ceiling `a₀`. Non-positive/non-finite values
+    /// are rejected by [`validate`](SbSolver::validate)/
+    /// [`try_solve`](SbSolver::try_solve), not here.
     pub fn a0(mut self, a0: f64) -> Self {
-        assert!(a0 > 0.0, "a0 must be positive");
         self.a0 = a0;
         self
     }
@@ -215,9 +210,54 @@ impl SbSolver {
         }
     }
 
+    /// Checks every configuration constraint: `dt > 0`, `a0 > 0` (both
+    /// finite), a non-empty pump ramp, a finite non-negative initial-state
+    /// amplitude, and a well-formed stop criterion
+    /// ([`StopCriterion::validate`]).
+    pub fn validate(&self) -> Result<(), crate::ConfigError> {
+        if !(self.dt > 0.0 && self.dt.is_finite()) {
+            return Err(crate::ConfigError::NonPositiveDt(self.dt));
+        }
+        if !(self.a0 > 0.0 && self.a0.is_finite()) {
+            return Err(crate::ConfigError::NonPositiveA0(self.a0));
+        }
+        if self.ramp == Some(0) {
+            return Err(crate::ConfigError::ZeroRamp);
+        }
+        if !(self.init_amplitude >= 0.0 && self.init_amplitude.is_finite()) {
+            return Err(crate::ConfigError::InvalidInitAmplitude(self.init_amplitude));
+        }
+        self.stop.validate()
+    }
+
     /// Runs the solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`try_solve`](SbSolver::try_solve) for the fallible form).
     pub fn solve(&self, problem: &IsingProblem) -> SbResult {
         self.solve_with(problem, |_| {}, &mut NullObserver)
+    }
+
+    /// Runs the solver, or reports why the configuration cannot run.
+    pub fn try_solve(&self, problem: &IsingProblem) -> Result<SbResult, crate::ConfigError> {
+        self.validate()?;
+        Ok(self.solve(problem))
+    }
+
+    /// [`solve_batch`](SbSolver::solve_batch), with configuration errors
+    /// (including `replicas == 0`) reported instead of panicking.
+    pub fn try_solve_batch(
+        &self,
+        problem: &IsingProblem,
+        replicas: usize,
+    ) -> Result<SbResult, crate::ConfigError> {
+        if replicas == 0 {
+            return Err(crate::ConfigError::ZeroReplicas);
+        }
+        self.validate()?;
+        Ok(self.solve_batch(problem, replicas))
     }
 
     /// The observer-generic entry point: runs the solver, invoking
@@ -257,6 +297,11 @@ impl SbSolver {
     /// is bit-identical to a fresh-allocation run — `scratch` only recycles
     /// capacity. Sweeps solving many instances should hold scratches in a
     /// [`ScratchPool`] so allocations are bounded by worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`try_solve`](SbSolver::try_solve) for the fallible form).
     pub fn solve_in<F, O>(
         &self,
         problem: &IsingProblem,
@@ -268,6 +313,9 @@ impl SbSolver {
         F: FnMut(&mut SbState<'_>),
         O: SolveObserver,
     {
+        if let Err(e) = self.validate() {
+            panic!("invalid SbSolver configuration: {e}");
+        }
         let n = problem.num_spins();
         let _span = trace_span!("SbSolver::solve {:?} n={n}", self.variant);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
@@ -400,7 +448,9 @@ impl SbSolver {
     ///
     /// # Panics
     ///
-    /// Panics if `replicas == 0`.
+    /// Panics if `replicas == 0` or the configuration is invalid (see
+    /// [`try_solve_batch`](SbSolver::try_solve_batch) for the fallible
+    /// form).
     pub fn solve_batch(&self, problem: &IsingProblem, replicas: usize) -> SbResult {
         let mut scratch = SbBatchScratch::new();
         self.solve_batch_in(problem, replicas, &mut scratch)
@@ -641,6 +691,70 @@ mod tests {
         assert!(!r.trace.is_empty());
         let b = SbSolver::new().stop(criterion).seed(1).solve_batch(&p, 3);
         assert!(!b.trace.is_empty());
+    }
+
+    #[test]
+    fn invalid_configs_are_config_errors_not_builder_panics() {
+        use crate::ConfigError;
+        let p = random_problem(4, 1);
+        // Setters never panic; the error surfaces at the solve boundary.
+        let cases: Vec<(SbSolver, ConfigError)> = vec![
+            (SbSolver::new().dt(0.0), ConfigError::NonPositiveDt(0.0)),
+            (SbSolver::new().dt(-0.5), ConfigError::NonPositiveDt(-0.5)),
+            (
+                SbSolver::new().dt(f64::INFINITY),
+                ConfigError::NonPositiveDt(f64::INFINITY),
+            ),
+            (SbSolver::new().a0(0.0), ConfigError::NonPositiveA0(0.0)),
+            (SbSolver::new().ramp(0), ConfigError::ZeroRamp),
+            (
+                SbSolver::new().init_amplitude(-0.1),
+                ConfigError::InvalidInitAmplitude(-0.1),
+            ),
+            (
+                SbSolver::new().stop(StopCriterion::DynamicVariance {
+                    sample_every: 5,
+                    window: 1,
+                    threshold: 1e-8,
+                    max_iterations: 100,
+                }),
+                ConfigError::DegenerateWindow(1),
+            ),
+        ];
+        for (solver, expected) in cases {
+            assert_eq!(solver.validate(), Err(expected));
+            assert_eq!(solver.try_solve(&p).unwrap_err(), expected);
+            assert_eq!(solver.try_solve_batch(&p, 2).unwrap_err(), expected);
+        }
+        // NaN compares unequal to itself; check the variant shape instead.
+        assert!(matches!(
+            SbSolver::new().dt(f64::NAN).validate(),
+            Err(ConfigError::NonPositiveDt(d)) if d.is_nan()
+        ));
+        assert_eq!(
+            SbSolver::new().try_solve_batch(&p, 0).unwrap_err(),
+            ConfigError::ZeroReplicas
+        );
+        // A valid config round-trips through the fallible entry points.
+        let ok = SbSolver::new().seed(3);
+        let direct = ok.solve(&p);
+        let fallible = ok.try_solve(&p).unwrap();
+        assert_eq!(direct.best_state, fallible.best_state);
+        assert_eq!(direct.trace, fallible.trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SbSolver configuration")]
+    fn infallible_solve_panics_with_display_message() {
+        let p = random_problem(3, 2);
+        SbSolver::new().dt(0.0).solve(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SbSolver configuration")]
+    fn infallible_batch_panics_with_display_message() {
+        let p = random_problem(3, 2);
+        SbSolver::new().a0(-1.0).solve_batch(&p, 2);
     }
 
     #[test]

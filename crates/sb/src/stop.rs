@@ -66,6 +66,20 @@ impl StopCriterion {
         };
         raw.max(1)
     }
+
+    /// Retained-sample count `s` for the dynamic criterion, normalized to
+    /// at least 2: the variance of fewer than two samples is identically 0,
+    /// so a smaller window would stop on the very first sample regardless
+    /// of the threshold. Configurations with `window < 2` are rejected by
+    /// [`validate`](StopCriterion::validate); this accessor is the
+    /// defense-in-depth for states built without validation. Returns 2 for
+    /// fixed criteria (which never evaluate a window).
+    pub fn window(&self) -> usize {
+        match *self {
+            StopCriterion::FixedIterations(_) => 2,
+            StopCriterion::DynamicVariance { window, .. } => window.max(2),
+        }
+    }
 }
 
 /// Why a run ended.
@@ -98,9 +112,11 @@ impl StopState {
     pub fn record(&mut self, energy: f64) -> bool {
         match self.criterion {
             StopCriterion::FixedIterations(_) => false,
-            StopCriterion::DynamicVariance {
-                window, threshold, ..
-            } => {
+            StopCriterion::DynamicVariance { threshold, .. } => {
+                // The normalized window (≥ 2): a raw window of 0/1 would
+                // make `variance() == 0.0 < threshold` true after the very
+                // first sample.
+                let window = self.criterion.window();
                 self.samples.push_back(energy);
                 if self.samples.len() > window {
                     self.samples.pop_front();
@@ -220,5 +236,42 @@ mod tests {
             max_iterations: 100,
         };
         assert_eq!(degenerate.sample_every(), 1);
+    }
+
+    #[test]
+    fn degenerate_window_never_stops_on_first_sample() {
+        // Regression: with window 0 or 1 the retained-sample variance is
+        // identically 0, so an unclamped check would report "settled" on
+        // the very first sample even though the energy is still moving.
+        for window in [0, 1] {
+            let c = StopCriterion::DynamicVariance {
+                sample_every: 1,
+                window,
+                threshold: 1e-8,
+                max_iterations: 1000,
+            };
+            assert_eq!(c.window(), 2);
+            let mut s = StopState::new(c);
+            assert!(!s.record(5.0), "window {window}: must not stop after one sample");
+            assert!(!s.record(-5.0), "window {window}: variance is huge here");
+            // Two equal samples now fill the clamped window: settles.
+            let mut settled = StopState::new(StopCriterion::DynamicVariance {
+                sample_every: 1,
+                window,
+                threshold: 1e-8,
+                max_iterations: 1000,
+            });
+            assert!(!settled.record(3.0));
+            assert!(settled.record(3.0));
+        }
+        // Well-formed windows are untouched.
+        let c = StopCriterion::DynamicVariance {
+            sample_every: 1,
+            window: 7,
+            threshold: 1e-8,
+            max_iterations: 1000,
+        };
+        assert_eq!(c.window(), 7);
+        assert_eq!(StopCriterion::FixedIterations(10).window(), 2);
     }
 }

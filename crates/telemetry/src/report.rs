@@ -198,14 +198,24 @@ impl RunReport {
     /// Writes the report into `dir` (created if missing) as
     /// `RUN_<tool>_s<seed>_<unix-ms>.json` and returns the path.
     pub fn write(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        self.write_named(
+            dir,
+            format!("RUN_{}_s{}_{}.json", self.tool, self.seed, unix_time_ms()),
+        )
+    }
+
+    /// Writes the report into `dir` (created if missing) under a
+    /// caller-chosen file name and returns the path. Unlike
+    /// [`write`](RunReport::write), the name carries no timestamp — for
+    /// artifacts that CI (or scripts) must find at a deterministic path.
+    pub fn write_named(
+        &self,
+        dir: impl AsRef<Path>,
+        name: impl AsRef<Path>,
+    ) -> io::Result<PathBuf> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!(
-            "RUN_{}_s{}_{}.json",
-            self.tool,
-            self.seed,
-            unix_time_ms()
-        ));
+        let path = dir.join(name.as_ref());
         std::fs::write(&path, self.to_json().render_pretty())?;
         Ok(path)
     }
@@ -277,6 +287,20 @@ mod tests {
         assert!(name.ends_with(".json"));
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"cells\": []"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_named_uses_deterministic_path() {
+        let dir = std::env::temp_dir().join(format!(
+            "adis-telemetry-named-{}-{}",
+            std::process::id(),
+            unix_time_ms()
+        ));
+        let report = RunReport::new("check", 5);
+        let path = report.write_named(&dir, "CHECK_s5.json").expect("writable");
+        assert_eq!(path, dir.join("CHECK_s5.json"));
+        assert!(std::fs::read_to_string(&path).unwrap().contains("\"tool\": \"check\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -19,11 +19,15 @@
 //!   strategies, the baselines, and the decomposition framework;
 //! - [`telemetry`]: the observability layer — [`telemetry::SolveObserver`]
 //!   hooks threaded through every solve path, collectors, and the
-//!   structured `results/RUN_*.json` run reports.
+//!   structured `results/RUN_*.json` run reports;
+//! - [`check`]: the differential/metamorphic verification harness — the
+//!   ground-truth error oracle, the cross-solver differential runner, the
+//!   randomized config-identity sweeps, and the `adis-check` binary.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use adis_anneal as anneal;
+pub use adis_check as check;
 pub use adis_benchfn as benchfn;
 pub use adis_boolfn as boolfn;
 pub use adis_core as core;
