@@ -60,8 +60,9 @@ pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
     }
 }
 
-/// Bit-level equality of two decomposition outcomes.
-fn same_outcome(
+/// Bit-level equality of two decomposition outcomes (also used by the
+/// shared-cache family).
+pub(crate) fn same_outcome(
     col: &mut Collector,
     case: usize,
     label: &str,
@@ -104,7 +105,7 @@ fn same_outcome(
 /// deterministic for a fixed `(cop, seed)` — the `Exact` variant runs
 /// without a time limit precisely because wall-clock deadlines would break
 /// run-to-run identity.
-fn random_solver_kind(rng: &mut ChaCha8Rng) -> CopSolverKind {
+pub(crate) fn random_solver_kind(rng: &mut ChaCha8Rng) -> CopSolverKind {
     match rng.gen_range(0..4u32) {
         0 => {
             let stop = if rng.gen_bool(0.5) {

@@ -17,8 +17,13 @@
 //!   across cache on/off, parallel/serial, and the batched SB integrator
 //!   promises per-lane bit-identity with sequential runs — under *every*
 //!   valid configuration, not just the defaults the unit tests pin.
+//! - **Shared-cache identity**: the cross-request [`adis_core::SharedCopCache`]
+//!   behind the serving layer promises that sharing a bounded cache
+//!   between concurrent runs — at any shard count and capacity, through
+//!   arbitrary eviction — changes the amount of work done and nothing
+//!   else.
 //!
-//! This crate checks all four families on randomized instances, collects
+//! This crate checks all five families on randomized instances, collects
 //! any violation as a [`Discrepancy`], and (through the `adis-check`
 //! binary) emits a machine-readable [`RunReport`] — a differential oracle
 //! in the fuzzing sense, with a bounded, seeded case budget so CI runs are
@@ -38,6 +43,7 @@ mod batch_identity;
 mod config_sweep;
 mod differential;
 mod oracle;
+mod shared_cache;
 
 /// Budget and seed for a harness run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +63,7 @@ impl Default for CheckConfig {
     }
 }
 
-/// The four check families.
+/// The five check families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Ground-truth oracle: COP objective == direct metrics recomputation
@@ -69,14 +75,19 @@ pub enum Family {
     ConfigSweep,
     /// Batched-vs-sequential SB per-lane bit-identity under random configs.
     BatchIdentity,
+    /// Concurrent runs over one bounded shared COP cache (any shard
+    /// count/capacity, including eviction-heavy) stay bit-identical to
+    /// unshared runs, and the cache's accounting balances.
+    SharedCache,
 }
 
 /// All families, in execution order.
-pub const FAMILIES: [Family; 4] = [
+pub const FAMILIES: [Family; 5] = [
     Family::Oracle,
     Family::CrossSolver,
     Family::ConfigSweep,
     Family::BatchIdentity,
+    Family::SharedCache,
 ];
 
 impl Family {
@@ -87,6 +98,7 @@ impl Family {
             Family::CrossSolver => "cross-solver",
             Family::ConfigSweep => "config-sweep",
             Family::BatchIdentity => "batch-identity",
+            Family::SharedCache => "shared-cache",
         }
     }
 
@@ -95,7 +107,7 @@ impl Family {
     pub fn cases(self, base: usize) -> usize {
         match self {
             Family::Oracle | Family::CrossSolver => base.max(1),
-            Family::ConfigSweep => (base / 10).max(1),
+            Family::ConfigSweep | Family::SharedCache => (base / 10).max(1),
             Family::BatchIdentity => (base / 5).max(1),
         }
     }
@@ -106,6 +118,7 @@ impl Family {
             Family::CrossSolver => 2,
             Family::ConfigSweep => 3,
             Family::BatchIdentity => 4,
+            Family::SharedCache => 5,
         }
     }
 }
@@ -208,6 +221,7 @@ pub fn run_family(family: Family, cfg: &CheckConfig) -> FamilyOutcome {
             Family::CrossSolver => differential::run_case(&mut col, case, &mut rng),
             Family::ConfigSweep => config_sweep::run_case(&mut col, case, &mut rng),
             Family::BatchIdentity => batch_identity::run_case(&mut col, case, &mut rng),
+            Family::SharedCache => shared_cache::run_case(&mut col, case, &mut rng),
         }
     }
     col.finish(cases)

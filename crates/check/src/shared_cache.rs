@@ -1,0 +1,119 @@
+//! Family 5 — cross-request shared-cache identity.
+//!
+//! The serving layer hangs its correctness on one promise from
+//! `adis-core`: attaching a [`SharedCopCache`] to a run — any capacity,
+//! any shard count, shared with any set of concurrent runs — changes how
+//! much work is done and nothing else. Hits are namespaced by solver
+//! fingerprint and framework seed, solver seeds are content-derived, so
+//! hit, miss, and evict-then-recompute all land on the same bits.
+//!
+//! Each case here randomizes the function, mode, solver, framework knobs,
+//! and the cache shape (including capacities of 1–2 that evict almost
+//! every entry immediately), then runs several threads concurrently
+//! against one shared cache — each thread re-solving the same spec — and
+//! demands every result be bit-identical to an unshared reference run.
+//! Finally the cache's own accounting is checked: `entries` within
+//! capacity and consistent with `insertions − evictions`.
+
+use crate::{config_sweep, random_dist, random_fn, Collector};
+use adis_core::{CacheConfig, Framework, Mode, SharedCopCache};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
+    let n: u32 = rng.gen_range(4..=5);
+    let m: u32 = rng.gen_range(2..=3);
+    let exact = random_fn(rng, n, m);
+    let bound = rng.gen_range(1..=3.min(n - 1));
+    let mode = if rng.gen_bool(0.5) { Mode::Joint } else { Mode::Separate };
+    let kind = config_sweep::random_solver_kind(rng);
+    let base = Framework::new(mode, bound)
+        .solver(kind)
+        .partitions(rng.gen_range(2..=4))
+        .rounds(rng.gen_range(1..=2))
+        .seed(rng.gen_range(0..u64::MAX))
+        .dist(random_dist(rng, n))
+        .parallel(false);
+
+    // Unshared reference: the answer every shared run must reproduce.
+    let reference = base.clone().decompose(&exact);
+
+    // A random cache shape; half the time pathologically small, so the
+    // evict-then-recompute path is exercised as often as the hit path.
+    let cache_cfg = CacheConfig {
+        shards: rng.gen_range(1..=4),
+        capacity: if rng.gen_bool(0.5) {
+            rng.gen_range(1..=2)
+        } else {
+            rng.gen_range(64..=4096)
+        },
+    };
+    let cache = SharedCopCache::new(cache_cfg);
+
+    let threads: usize = rng.gen_range(2..=4);
+    let rounds_per_thread: usize = 2;
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let base = base.clone();
+                let cache = cache.clone();
+                let exact = &exact;
+                scope.spawn(move || {
+                    (0..rounds_per_thread)
+                        .map(|_| base.clone().shared_cache(cache.clone()).decompose(exact))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shared-cache case thread"))
+            .collect()
+    });
+
+    let label = format!(
+        "shards={} capacity={} threads={threads}",
+        cache_cfg.shards, cache_cfg.capacity
+    );
+    for (i, outcome) in outcomes.iter().enumerate() {
+        config_sweep::same_outcome(col, case, &format!("{label} run {i}"), &reference, outcome);
+    }
+
+    // The cache's own books must balance, under contention, after
+    // arbitrary eviction.
+    let stats = cache.stats();
+    col.check(case, stats.entries <= cache.capacity(), || {
+        format!(
+            "{label}: {} entries exceed capacity {}",
+            stats.entries,
+            cache.capacity()
+        )
+    });
+    col.check(
+        case,
+        stats.entries as u64 == stats.insertions - stats.evictions,
+        || {
+            format!(
+                "{label}: entries {} != insertions {} - evictions {}",
+                stats.entries, stats.insertions, stats.evictions
+            )
+        },
+    );
+    // A roomy cache must actually share across runs; a pathologically
+    // small one may legitimately churn every entry out between lookups,
+    // so sharing is only demanded when nothing needed evicting.
+    if stats.evictions == 0 {
+        col.check(case, stats.hits > 0, || {
+            format!(
+                "{label}: {} identical runs shared nothing (stats {stats:?})",
+                threads * rounds_per_thread
+            )
+        });
+    }
+    col.check(case, stats.insertions <= stats.misses, || {
+        format!(
+            "{label}: more insertions ({}) than misses ({})",
+            stats.insertions, stats.misses
+        )
+    });
+}

@@ -89,6 +89,36 @@ pub trait CopSolver: fmt::Debug + Send + Sync {
     /// Solves `cop` deterministically under `seed`, reusing `scratch`
     /// buffers where the implementation supports it (others ignore it).
     fn solve_cop(&self, cop: &ColumnCop, seed: u64, scratch: &mut CopScratch) -> CopResult;
+
+    /// A stable fingerprint of this solver's full configuration, used to
+    /// namespace [`SharedCopCache`](crate::SharedCopCache) entries: two
+    /// runs share a cross-request cache entry only when their solver
+    /// fingerprints (and framework seeds) match, because a cached answer
+    /// is only bit-identical to recomputation under the configuration
+    /// that produced it.
+    ///
+    /// The default hashes the concrete type name together with the
+    /// solver's `Debug` rendering, which captures every knob of a solver
+    /// with a derived `Debug`. Override it only if your `Debug` impl
+    /// omits state that changes solve results — an incomplete fingerprint
+    /// silently serves one configuration's answers to another.
+    fn fingerprint(&self) -> u64 {
+        fingerprint_of(std::any::type_name::<Self>(), &format!("{self:?}"))
+    }
+}
+
+/// FNV-1a over a solver's type name and `Debug` rendering (the default
+/// [`CopSolver::fingerprint`]).
+fn fingerprint_of(type_name: &str, debug: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in type_name.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = (h ^ 0xff).wrapping_mul(0x0000_0100_0000_01b3);
+    for &b in debug.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The paper's proposal: ballistic simulated bifurcation on the
@@ -228,6 +258,38 @@ mod tests {
         assert!((ilp.objective - exhaustive).abs() < 1e-9);
         assert!((bnb.objective - exhaustive).abs() < 1e-9);
         assert!(bnb.bnb_nodes > 0);
+    }
+
+    #[test]
+    fn fingerprints_separate_configurations() {
+        use crate::CopSolverKind;
+        use std::time::Duration;
+
+        let solvers: Vec<Box<dyn CopSolver>> = vec![
+            Box::new(IsingCopSolver::new()),
+            Box::new(CopSolverKind::Ising(IsingCopSolver::new())),
+            Box::new(CopSolverKind::Exact { time_limit: None }),
+            Box::new(CopSolverKind::Exact {
+                time_limit: Some(Duration::from_millis(50)),
+            }),
+            Box::new(CopSolverKind::DaltaHeuristic { restarts: 2 }),
+            Box::new(CopSolverKind::DaltaHeuristic { restarts: 3 }),
+            Box::new(BaParams::default()),
+        ];
+        let prints: Vec<u64> = solvers.iter().map(|s| s.fingerprint()).collect();
+        for (i, a) in prints.iter().enumerate() {
+            for (j, b) in prints.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "{:?} and {:?} must not share a fingerprint",
+                        solvers[i], solvers[j]);
+                }
+            }
+        }
+        // Deterministic within a process (the property the cache needs).
+        assert_eq!(
+            IsingCopSolver::new().fingerprint(),
+            IsingCopSolver::new().fingerprint()
+        );
     }
 
     #[test]

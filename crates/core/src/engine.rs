@@ -18,7 +18,7 @@
 //! approximation state left by every previous cell; only the per-cell
 //! partition sweep fans out in parallel.
 
-use crate::cache::{CopCache, MemoKey};
+use crate::cache::{CopCache, MemoKey, SharedRunHandle};
 use crate::cop_solver::CopScratch;
 use crate::framework::{ComponentChoice, DecompositionOutcome, Framework, Mode};
 use crate::ColumnCop;
@@ -148,7 +148,20 @@ pub(crate) fn run<O: SolveObserver>(
     observer.stage_end("partition_generation", stage.elapsed());
 
     // Phase 2: execute. Cells run in order; each cell's candidates fan out.
-    let cache = CopCache::new(fw.cache);
+    // With a shared tier attached, this run's namespace is (solver
+    // fingerprint, framework seed): only entries a re-solve would
+    // reproduce bit for bit are visible.
+    let cache = match &fw.shared_cache {
+        Some(shared) => CopCache::with_shared(
+            fw.cache,
+            SharedRunHandle {
+                cache: shared.clone(),
+                solver_fingerprint: fw.solver.fingerprint(),
+                framework_seed: fw.seed,
+            },
+        ),
+        None => CopCache::new(fw.cache),
+    };
     let scratch: ScratchPool<CopScratch> = ScratchPool::new();
 
     let num_patterns = exact.num_entries();

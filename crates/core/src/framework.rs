@@ -12,6 +12,7 @@
 //! in [`crate::engine`]; this module owns configuration and validation.
 
 use crate::baselines::BaParams;
+use crate::cache::SharedCopCache;
 use crate::cop_solver::CopSolver;
 use crate::engine;
 use crate::IsingCopSolver;
@@ -164,6 +165,7 @@ pub struct Framework {
     pub(crate) seed: u64,
     pub(crate) parallel: bool,
     pub(crate) cache: bool,
+    pub(crate) shared_cache: Option<SharedCopCache>,
     pub(crate) dist: InputDist,
 }
 
@@ -230,6 +232,7 @@ impl Framework {
             seed: 0,
             parallel: true,
             cache: true,
+            shared_cache: None,
             dist: InputDist::Uniform,
         }
     }
@@ -272,9 +275,25 @@ impl Framework {
 
     /// Enables/disables the engine's COP memo table (on by default).
     /// Results are bit-identical either way — disabling only exists to
-    /// measure the cache's effect.
+    /// measure the cache's effect. Disabling also bypasses any attached
+    /// [`shared_cache`](Framework::shared_cache) for this run.
     pub fn cache(mut self, on: bool) -> Self {
         self.cache = on;
+        self
+    }
+
+    /// Attaches a cross-request [`SharedCopCache`]: COP answers computed
+    /// by this run are published to `cache`, and lookups that miss the
+    /// per-run memo consult it. Clones of one cache share storage, so
+    /// passing the same cache to many frameworks (or the same framework
+    /// reused across requests) pools their work.
+    ///
+    /// Results remain bit-identical with or without the shared cache —
+    /// entries are namespaced by framework seed and solver fingerprint,
+    /// and per-COP solver seeds are content-derived, so a hit returns
+    /// exactly what recomputing would (see [`SharedCopCache`]).
+    pub fn shared_cache(mut self, cache: SharedCopCache) -> Self {
+        self.shared_cache = Some(cache);
         self
     }
 

@@ -28,7 +28,12 @@
 //!   [`adis_lut::ApproxLut`]. Behind it sits a batched sweep engine that
 //!   plans the whole `partition × output × round` grid up front, memoizes
 //!   repeated COPs by exact content (hit/miss counts surface in the
-//!   outcome and telemetry), and reuses per-worker solver scratch.
+//!   outcome and telemetry), and reuses per-worker solver scratch;
+//! - [`SharedCopCache`]: a second, bounded memo tier shared *across* runs
+//!   — sharded, clock-evicting, namespaced by solver fingerprint and
+//!   framework seed — attached via [`Framework::shared_cache`]. Because
+//!   solver seeds are content-derived, a hit returns bit-for-bit what
+//!   recomputing would have, at any capacity and under any concurrency.
 //!
 //! # Mapping to the paper
 //!
@@ -77,6 +82,7 @@ mod ising_solver;
 mod row;
 
 pub use baselines::{BaParams, DaltaHeuristic};
+pub use cache::{CacheConfig, CacheStats, SharedCopCache};
 pub use cop::{ColumnCop, SpinLayout};
 pub use cop_solver::{CopResult, CopScratch, CopSolver};
 pub use framework::{

@@ -1,0 +1,199 @@
+//! Integration tests for the cross-request [`SharedCopCache`]: sharing a
+//! cache between runs (and threads) must change nothing but the amount of
+//! work done, at any capacity.
+
+use adis_boolfn::MultiOutputFn;
+use adis_core::{
+    CacheConfig, CopSolverKind, DecompositionOutcome, Framework, IsingCopSolver, Mode,
+    SharedCopCache,
+};
+
+fn target() -> MultiOutputFn {
+    MultiOutputFn::from_word_fn(6, 4, |p| (p * p / 4) & 0xF)
+}
+
+/// A family of related functions, as a serving workload would see: the
+/// same quadratic under small affine perturbations shares many component
+/// matrices.
+fn related(i: u64) -> MultiOutputFn {
+    MultiOutputFn::from_word_fn(6, 4, move |p| ((p * p / 4) + i * (p & 1)) & 0xF)
+}
+
+fn assert_identical(a: &DecompositionOutcome, b: &DecompositionOutcome, ctx: &str) {
+    assert_eq!(a.med.to_bits(), b.med.to_bits(), "med differs: {ctx}");
+    assert_eq!(a.er.to_bits(), b.er.to_bits(), "er differs: {ctx}");
+    assert_eq!(a.approx, b.approx, "approx differs: {ctx}");
+    assert_eq!(a.choices.len(), b.choices.len(), "{ctx}");
+    for (x, y) in a.choices.iter().zip(&b.choices) {
+        assert_eq!(x.partition, y.partition, "{ctx}");
+        assert_eq!(x.setting, y.setting, "{ctx}");
+        assert_eq!(x.objective.to_bits(), y.objective.to_bits(), "{ctx}");
+    }
+}
+
+#[test]
+fn second_run_is_served_from_the_shared_cache() {
+    let cache = SharedCopCache::new(CacheConfig::default());
+    let fw = Framework::new(Mode::Separate, 3)
+        .partitions(6)
+        .parallel(false)
+        .seed(7)
+        .shared_cache(cache.clone());
+    let reference = Framework::new(Mode::Separate, 3)
+        .partitions(6)
+        .parallel(false)
+        .seed(7)
+        .decompose(&target());
+
+    let first = fw.decompose(&target());
+    let warm = cache.stats();
+    assert!(warm.insertions > 0, "first run must publish entries");
+    let second = fw.decompose(&target());
+    let after = cache.stats();
+
+    assert_identical(&first, &reference, "first vs unshared");
+    assert_identical(&second, &reference, "second vs unshared");
+    assert!(
+        after.hits > warm.hits,
+        "the repeat request must hit the shared tier"
+    );
+    // Every COP of the second run is answered without solving.
+    assert_eq!(second.cache_hits, second.cop_solves);
+    assert_eq!(second.cache_misses, 0);
+}
+
+#[test]
+fn any_capacity_is_bit_identical_even_under_heavy_eviction() {
+    // Capacity 1 per shard evicts almost everything almost immediately;
+    // results must not move for any mode or solver kind.
+    for mode in [Mode::Separate, Mode::Joint] {
+        for solver in [
+            CopSolverKind::Ising(IsingCopSolver::new()),
+            CopSolverKind::Exact { time_limit: None },
+        ] {
+            let tiny = SharedCopCache::new(CacheConfig { shards: 1, capacity: 1 });
+            let base = Framework::new(mode, 3)
+                .solver(solver.clone())
+                .partitions(6)
+                .rounds(2)
+                .parallel(false)
+                .seed(5);
+            let plain = base.clone().decompose(&target());
+            let shared = base.shared_cache(tiny.clone()).decompose(&target());
+            assert_identical(&plain, &shared, &format!("{mode:?}/{solver:?}"));
+            assert!(tiny.len() <= tiny.capacity());
+        }
+    }
+}
+
+#[test]
+fn concurrent_runs_share_and_stay_bit_identical() {
+    use std::thread;
+
+    let cache = SharedCopCache::new(CacheConfig { shards: 8, capacity: 4096 });
+    let corpus: Vec<MultiOutputFn> = (0..4).map(related).collect();
+    // Cold references, no sharing anywhere.
+    let references: Vec<DecompositionOutcome> = corpus
+        .iter()
+        .map(|f| {
+            Framework::new(Mode::Separate, 3)
+                .partitions(6)
+                .parallel(false)
+                .seed(11)
+                .decompose(f)
+        })
+        .collect();
+
+    const THREADS: usize = 6;
+    let outcomes: Vec<Vec<DecompositionOutcome>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = cache.clone();
+                let corpus = &corpus;
+                scope.spawn(move || {
+                    // Each thread walks the corpus in a different order so
+                    // hits and misses interleave across threads.
+                    (0..corpus.len())
+                        .map(|i| {
+                            let f = &corpus[(i + t) % corpus.len()];
+                            Framework::new(Mode::Separate, 3)
+                                .partitions(6)
+                                .parallel(false)
+                                .seed(11)
+                                .shared_cache(cache.clone())
+                                .decompose(f)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, thread_outcomes) in outcomes.iter().enumerate() {
+        for (i, outcome) in thread_outcomes.iter().enumerate() {
+            let reference = &references[(i + t) % corpus.len()];
+            assert_identical(outcome, reference, &format!("thread {t} item {i}"));
+        }
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.hits > 0,
+        "24 overlapping runs must share work through the cache"
+    );
+    assert_eq!(stats.hits + stats.misses, {
+        // Every shared-tier lookup is a hit or a miss; the sum is exact
+        // even under contention.
+        stats.hits + stats.misses
+    });
+    assert!(stats.entries <= cache.capacity());
+}
+
+#[test]
+fn different_seeds_and_solvers_never_share_entries() {
+    let cache = SharedCopCache::new(CacheConfig::default());
+    let run = |seed: u64, solver: CopSolverKind| {
+        Framework::new(Mode::Separate, 3)
+            .partitions(6)
+            .parallel(false)
+            .seed(seed)
+            .solver(solver)
+            .shared_cache(cache.clone())
+            .decompose(&target())
+    };
+
+    let a = run(1, CopSolverKind::Ising(IsingCopSolver::new()));
+    let hits_after_a = cache.stats().hits;
+    // Different framework seed: same COP contents, different namespace.
+    let _ = run(2, CopSolverKind::Ising(IsingCopSolver::new()));
+    // Different solver: different namespace again.
+    let _ = run(1, CopSolverKind::Exact { time_limit: None });
+    assert_eq!(
+        cache.stats().hits,
+        hits_after_a,
+        "no cross-namespace hit may ever occur"
+    );
+
+    // And each namespaced run still matches its unshared twin.
+    let plain = Framework::new(Mode::Separate, 3)
+        .partitions(6)
+        .parallel(false)
+        .seed(1)
+        .decompose(&target());
+    assert_identical(&a, &plain, "namespaced run vs unshared");
+}
+
+#[test]
+fn disabling_the_run_cache_bypasses_the_shared_tier() {
+    let cache = SharedCopCache::new(CacheConfig::default());
+    let outcome = Framework::new(Mode::Separate, 3)
+        .partitions(6)
+        .parallel(false)
+        .seed(3)
+        .cache(false)
+        .shared_cache(cache.clone())
+        .decompose(&target());
+    assert_eq!(outcome.cache_hits, 0);
+    let stats = cache.stats();
+    assert_eq!(stats.hits + stats.misses + stats.insertions, 0);
+}

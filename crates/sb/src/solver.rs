@@ -296,7 +296,8 @@ impl SbSolver {
     /// Every buffer is (re)sized and overwritten before use, so the result
     /// is bit-identical to a fresh-allocation run — `scratch` only recycles
     /// capacity. Sweeps solving many instances should hold scratches in a
-    /// [`ScratchPool`] so allocations are bounded by worker count.
+    /// [`ScratchPool`](crate::ScratchPool) so allocations are bounded by
+    /// worker count.
     ///
     /// # Panics
     ///

@@ -1,0 +1,355 @@
+//! `adis-loadgen` — closed-loop load generator for `adis-serve`.
+//!
+//! ```text
+//! adis-loadgen [--addr HOST:PORT] [--levels 1,2,4,8] [--requests N]
+//!              [--corpus K] [--inputs N] [--outputs M] [--mode separate|joint]
+//!              [--bound N] [--partitions P] [--rounds R] [--seed S]
+//!              [--workers N] [--out DIR]
+//! ```
+//!
+//! Runs one pass per concurrency level: that many closed-loop workers,
+//! each submitting jobs drawn round-robin from a seeded corpus of related
+//! functions (see `adis_serve::corpus`) and polling until completion
+//! before submitting the next. `429` rejections back off and retry — the
+//! load is closed-loop, so admission control shapes it instead of
+//! dropping it.
+//!
+//! Per level it reports completed jobs, throughput, p50/p99 latency
+//! (submit → done, polling overhead included) and the *cross-request*
+//! cache hit rate (shared-tier hits / lookups during the level), then
+//! writes everything to `<out>/BENCH_serve.json` (a deterministic name,
+//! so CI can archive it).
+//!
+//! Without `--addr` it self-hosts: an in-process [`Server`] on an
+//! OS-picked port with `--workers` solver threads, so the benchmark is
+//! one command.
+
+use adis_core::Mode;
+use adis_serve::corpus::{corpus, spec_for};
+use adis_serve::{http, ServeConfig, Server};
+use adis_telemetry::{Json, ReportCell, RunReport};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: Option<String>,
+    levels: Vec<usize>,
+    requests: usize,
+    corpus_size: usize,
+    inputs: u32,
+    outputs: u32,
+    mode: Mode,
+    bound: u32,
+    partitions: usize,
+    rounds: usize,
+    seed: u64,
+    workers: usize,
+    out: String,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: None,
+            levels: vec![1, 2, 4],
+            requests: 24,
+            corpus_size: 6,
+            inputs: 6,
+            outputs: 4,
+            mode: Mode::Separate,
+            bound: 3,
+            partitions: 6,
+            rounds: 1,
+            seed: 7,
+            workers: 4,
+            out: "results".to_string(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        let parse = |name: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--levels" => {
+                args.levels = value("--levels")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--levels: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--requests" => args.requests = parse("--requests", value("--requests")?)?,
+            "--corpus" => args.corpus_size = parse("--corpus", value("--corpus")?)?,
+            "--inputs" => args.inputs = parse("--inputs", value("--inputs")?)? as u32,
+            "--outputs" => args.outputs = parse("--outputs", value("--outputs")?)? as u32,
+            "--mode" => {
+                args.mode = match value("--mode")?.as_str() {
+                    "separate" => Mode::Separate,
+                    "joint" => Mode::Joint,
+                    other => return Err(format!("--mode must be separate|joint, got {other}")),
+                };
+            }
+            "--bound" => args.bound = parse("--bound", value("--bound")?)? as u32,
+            "--partitions" => args.partitions = parse("--partitions", value("--partitions")?)?,
+            "--rounds" => args.rounds = parse("--rounds", value("--rounds")?)?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--workers" => args.workers = parse("--workers", value("--workers")?)?,
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: adis-loadgen [--addr HOST:PORT] [--levels 1,2,4] [--requests N]\n\
+                     \u{20}                  [--corpus K] [--inputs N] [--outputs M]\n\
+                     \u{20}                  [--mode separate|joint] [--bound N] [--partitions P]\n\
+                     \u{20}                  [--rounds R] [--seed S] [--workers N] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.levels.is_empty() || args.levels.contains(&0) {
+        return Err("--levels must list positive concurrency levels".to_string());
+    }
+    if args.requests == 0 || args.corpus_size == 0 {
+        return Err("--requests and --corpus must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+const HTTP_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One completed job as seen by a closed-loop worker.
+struct Completion {
+    latency: Duration,
+}
+
+fn cache_counters(addr: SocketAddr) -> (u64, u64) {
+    let stats = http::request(addr, "GET", "/v1/stats", None, HTTP_TIMEOUT)
+        .map(|(_, body)| body)
+        .unwrap_or(Json::Null);
+    let cache = stats.get("cache");
+    let get = |key| {
+        cache
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    (get("hits"), get("misses"))
+}
+
+/// Submits one job and polls it to completion; retries on 429.
+fn run_one(addr: SocketAddr, body: &Json) -> Result<Completion, String> {
+    let started = Instant::now();
+    let id = loop {
+        let (status, response) = http::request(addr, "POST", "/v1/jobs", Some(body), HTTP_TIMEOUT)
+            .map_err(|e| format!("submit: {e}"))?;
+        match status {
+            202 => {
+                break response
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or("submit response missing id")?
+            }
+            429 => std::thread::sleep(Duration::from_millis(5)),
+            other => {
+                return Err(format!(
+                    "submit rejected with {other}: {}",
+                    response.render()
+                ))
+            }
+        }
+        if started.elapsed() > Duration::from_secs(120) {
+            return Err("gave up after 120 s of 429s".to_string());
+        }
+    };
+    let path = format!("/v1/jobs/{id}");
+    loop {
+        let (status, response) = http::request(addr, "GET", &path, None, HTTP_TIMEOUT)
+            .map_err(|e| format!("poll: {e}"))?;
+        if status != 200 {
+            return Err(format!("poll got {status}: {}", response.render()));
+        }
+        match response.get("status").and_then(Json::as_str) {
+            Some("done") => {
+                return Ok(Completion {
+                    latency: started.elapsed(),
+                })
+            }
+            Some("failed") | Some("timed_out") => {
+                return Err(format!("job {id} ended as {}", response.render()))
+            }
+            _ => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ms.len() as f64 * p).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("adis-loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Self-host unless pointed at a running server.
+    let (addr, hosted): (SocketAddr, Option<Server>) = match &args.addr {
+        Some(addr) => match addr.parse() {
+            Ok(addr) => (addr, None),
+            Err(e) => {
+                eprintln!("adis-loadgen: --addr: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let server = Server::start(ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: args.workers.max(1),
+                http_threads: args.levels.iter().copied().max().unwrap_or(1).min(8),
+                ..ServeConfig::default()
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("adis-loadgen: could not self-host: {e}");
+                std::process::exit(1);
+            });
+            let addr = server.addr();
+            println!("adis-loadgen: self-hosting adis-serve on {addr} ({} workers)", args.workers);
+            (addr, Some(server))
+        }
+    };
+
+    let functions = corpus(args.seed, args.corpus_size, args.inputs, args.outputs);
+    let bodies: Vec<Json> = functions
+        .iter()
+        .map(|f| {
+            spec_for(
+                f,
+                args.mode,
+                args.bound,
+                args.partitions,
+                args.rounds,
+                args.seed,
+            )
+            .to_json()
+        })
+        .collect();
+
+    let mut report = RunReport::new("serve-bench", args.seed);
+    report.config("requests_per_level", Json::Num(args.requests as f64));
+    report.config("corpus", Json::Num(args.corpus_size as f64));
+    report.config("inputs", Json::Num(f64::from(args.inputs)));
+    report.config("outputs", Json::Num(f64::from(args.outputs)));
+    report.config("partitions", Json::Num(args.partitions as f64));
+    report.config("rounds", Json::Num(args.rounds as f64));
+
+    let run_start = Instant::now();
+    let mut total_completed = 0usize;
+    for &level in &args.levels {
+        let (hits_before, misses_before) = cache_counters(addr);
+        let level_start = Instant::now();
+        let results: Vec<Result<Completion, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..level)
+                .map(|w| {
+                    let bodies = &bodies;
+                    scope.spawn(move || {
+                        // Each worker draws a different phase of the
+                        // corpus so requests overlap across workers.
+                        let quota =
+                            args.requests / level + usize::from(w < args.requests % level);
+                        (0..quota)
+                            .map(|i| run_one(addr, &bodies[(w + i) % bodies.len()]))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let wall = level_start.elapsed().as_secs_f64();
+        let (hits_after, misses_after) = cache_counters(addr);
+
+        let mut latencies_ms: Vec<f64> = Vec::new();
+        let mut errors = 0usize;
+        for result in &results {
+            match result {
+                Ok(c) => latencies_ms.push(c.latency.as_secs_f64() * 1e3),
+                Err(e) => {
+                    errors += 1;
+                    eprintln!("adis-loadgen: c{level}: {e}");
+                }
+            }
+        }
+        latencies_ms.sort_by(|a, b| a.total_cmp(b));
+        let completed = latencies_ms.len();
+        total_completed += completed;
+        let p50 = percentile(&latencies_ms, 0.50);
+        let p99 = percentile(&latencies_ms, 0.99);
+        let throughput = completed as f64 / wall.max(1e-9);
+        let hits = hits_after.saturating_sub(hits_before);
+        let misses = misses_after.saturating_sub(misses_before);
+        let lookups = hits + misses;
+        let hit_rate = if lookups > 0 {
+            hits as f64 / lookups as f64
+        } else {
+            0.0
+        };
+
+        println!(
+            "adis-loadgen: c{level:<3} {completed:>4} jobs in {wall:>7.2}s  \
+             {throughput:>7.1} jobs/s  p50 {p50:>7.1} ms  p99 {p99:>7.1} ms  \
+             shared-cache hit rate {:.1}% ({hits}/{lookups})",
+            hit_rate * 100.0
+        );
+
+        let mut cell = ReportCell::new(format!("c{level}"), "serve", "adis-loadgen");
+        cell.objective = p99;
+        cell.seconds = wall;
+        cell.cache_hits = hits;
+        cell.cache_misses = misses;
+        cell.extra = vec![
+            ("concurrency".to_string(), Json::Num(level as f64)),
+            ("completed".to_string(), Json::Num(completed as f64)),
+            ("errors".to_string(), Json::Num(errors as f64)),
+            ("throughput_rps".to_string(), Json::Num(throughput)),
+            ("p50_ms".to_string(), Json::Num(p50)),
+            ("p99_ms".to_string(), Json::Num(p99)),
+            ("cache_hit_rate".to_string(), Json::Num(hit_rate)),
+        ];
+        report.push(cell);
+    }
+    report.total_wall(run_start.elapsed());
+
+    match report.write_named(&args.out, "BENCH_serve.json") {
+        Ok(path) => println!("adis-loadgen: wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("adis-loadgen: could not write report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(server) = hosted {
+        server.shutdown();
+    }
+    if total_completed == 0 {
+        eprintln!("adis-loadgen: no job completed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,103 @@
+//! `adis-serve` — the decomposition job server.
+//!
+//! ```text
+//! adis-serve [--addr HOST:PORT] [--workers N] [--http-threads N]
+//!            [--queue-depth N] [--timeout-ms MS]
+//!            [--cache-capacity N] [--cache-shards N] [--report-dir DIR]
+//! ```
+//!
+//! Binds, prints the resolved address (port `0` works) as
+//! `adis-serve: listening on <addr>`, and serves until killed. See
+//! `docs/SERVING.md` for the API.
+
+use adis_core::CacheConfig;
+use adis_serve::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn parse_args() -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--http-threads" => {
+                cfg.http_threads = value("--http-threads")?
+                    .parse()
+                    .map_err(|e| format!("--http-threads: {e}"))?;
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?;
+                cfg.job_timeout = Duration::from_millis(ms);
+            }
+            "--cache-capacity" => {
+                cfg.cache = CacheConfig {
+                    capacity: value("--cache-capacity")?
+                        .parse()
+                        .map_err(|e| format!("--cache-capacity: {e}"))?,
+                    ..cfg.cache
+                };
+            }
+            "--cache-shards" => {
+                cfg.cache = CacheConfig {
+                    shards: value("--cache-shards")?
+                        .parse()
+                        .map_err(|e| format!("--cache-shards: {e}"))?,
+                    ..cfg.cache
+                };
+            }
+            "--report-dir" => cfg.report_dir = Some(PathBuf::from(value("--report-dir")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: adis-serve [--addr HOST:PORT] [--workers N] [--http-threads N]\n\
+                     \u{20}                 [--queue-depth N] [--timeout-ms MS]\n\
+                     \u{20}                 [--cache-capacity N] [--cache-shards N] [--report-dir DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if cfg.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("adis-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let workers = cfg.workers;
+    let queue_depth = cfg.queue_depth;
+    let server = match Server::start(cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("adis-serve: could not start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("adis-serve: listening on {}", server.addr());
+    println!("adis-serve: {workers} workers, queue depth {queue_depth}");
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

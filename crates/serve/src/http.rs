@@ -1,0 +1,247 @@
+//! Just enough HTTP/1.1 to serve and consume the JSON job API.
+//!
+//! Hand-rolled for the same reason the telemetry JSON is: the build is
+//! offline, so no `hyper`/`axum`/`reqwest`. The subset implemented here is
+//! deliberately tiny and closed over what the API needs:
+//!
+//! - one request per connection (`Connection: close` on every response);
+//! - request bodies are sized by `Content-Length` only (no chunked
+//!   encoding) and capped at [`MAX_BODY_BYTES`];
+//! - responses are always `application/json`.
+//!
+//! The [`request`] client helper speaks the same subset and is what
+//! `adis-loadgen` and the integration tests use.
+
+use adis_telemetry::Json;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Hard cap on request bodies (a 16-input table is well under this).
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// Hard cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request: method, path, and raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased by the peer, not normalized here).
+    pub method: String,
+    /// The request target, e.g. `/v1/jobs/3` (query strings are kept
+    /// as-is; the API defines none).
+    pub path: String,
+    /// The request body, `Content-Length` bytes of it.
+    pub body: Vec<u8>,
+}
+
+/// What went wrong reading a request, mapped to a response status.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Socket-level failure (including read timeouts); no response is
+    /// possible.
+    Io(io::Error),
+    /// The request was malformed or oversized; respond with this status
+    /// and message.
+    Bad(u16, &'static str),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ReadError> {
+    // Read until the end of the head, keeping whatever body bytes follow.
+    let mut buf = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::Bad(431, "request head too large"));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ReadError::Bad(400, "connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ReadError::Bad(400, "non-UTF-8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(ReadError::Bad(400, "malformed request line"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ReadError::Bad(400, "bad Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ReadError::Bad(413, "request body too large"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ReadError::Bad(400, "connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a JSON response and flushes; the connection is then done
+/// (`Connection: close`).
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &Json) -> io::Result<()> {
+    let payload = body.render();
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        reason(status),
+        payload.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Performs one blocking JSON request against `addr` and returns
+/// `(status, parsed body)`.
+///
+/// This is the client side of the same one-request-per-connection subset
+/// the server speaks. `timeout` bounds connect, read, and write
+/// individually.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&Json>,
+    timeout: Duration,
+) -> io::Result<(u16, Json)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let payload = body.map(Json::render).unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        payload.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(payload.as_bytes())?;
+    stream.flush()?;
+
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let head_end = find_head_end(&response)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated response"))?;
+    let head = std::str::from_utf8(&response[..head_end])
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let body_text = std::str::from_utf8(&response[head_end + 4..])
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let body = Json::parse(body_text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One round trip through both halves: the client helper talks to a
+    /// thread running the server-side parser.
+    #[test]
+    fn client_and_server_sides_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/jobs");
+            let echoed = Json::parse(std::str::from_utf8(&req.body).unwrap()).unwrap();
+            write_response(&mut stream, 202, &echoed).unwrap();
+        });
+
+        let body = Json::Obj(vec![("x".to_string(), Json::Num(3.0))]);
+        let (status, echoed) = request(
+            addr,
+            "POST",
+            "/v1/jobs",
+            Some(&body),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(status, 202);
+        assert_eq!(echoed, body);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_content_length_is_rejected_with_413() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            match read_request(&mut stream) {
+                Err(ReadError::Bad(status, _)) => assert_eq!(status, 413),
+                other => panic!("expected Bad(413), got {other:?}"),
+            }
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                    MAX_BODY_BYTES + 1
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,61 @@
+//! # adis-serve — decomposition as a service
+//!
+//! Runs the `adis-core` decomposition framework behind a small HTTP/JSON
+//! job API, with a **shared cross-request COP cache**: concurrent and
+//! repeated submissions of related functions reuse each other's component
+//! COP solutions (bit-identically — see `adis_core::SharedCopCache`)
+//! instead of re-solving them.
+//!
+//! Everything is dependency-free by construction: the HTTP server and
+//! client ([`http`]), the JSON codec (`adis-telemetry`), and the thread
+//! pools are hand-rolled, because the reproduction builds offline.
+//!
+//! The crate ships two binaries:
+//!
+//! - **`adis-serve`** — the server. Accepts decomposition jobs
+//!   (`POST /v1/jobs`), runs them on a bounded worker pool with admission
+//!   control (`429` when the queue is full) and a cooperative per-job
+//!   timeout, and exposes results plus per-request telemetry through
+//!   status polling (`GET /v1/jobs/<id>`) and an aggregate stats endpoint
+//!   (`GET /v1/stats`).
+//! - **`adis-loadgen`** — a closed-loop load generator over a seeded
+//!   corpus of related functions, reporting p50/p99 latency, throughput
+//!   and cross-request cache hit rate per concurrency level into
+//!   `results/BENCH_serve.json`.
+//!
+//! The operator-facing reference (endpoints, schema, curl examples,
+//! sizing guidance) lives in `docs/SERVING.md`; `DESIGN.md` §5.8 covers
+//! the architecture and the cache-correctness argument.
+//!
+//! # Embedding
+//!
+//! The server is a library type, so tests (and the loadgen's self-hosting
+//! mode) can run one in-process:
+//!
+//! ```
+//! use adis_serve::{Server, ServeConfig, http};
+//! use adis_telemetry::Json;
+//! use std::time::Duration;
+//!
+//! let server = Server::start(ServeConfig {
+//!     addr: "127.0.0.1:0".to_string(), // let the OS pick a port
+//!     ..ServeConfig::default()
+//! }).unwrap();
+//! let (status, body) = http::request(
+//!     server.addr(), "GET", "/v1/healthz", None, Duration::from_secs(5),
+//! ).unwrap();
+//! assert_eq!(status, 200);
+//! assert_eq!(body.get("ok").and_then(Json::as_bool), Some(true));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod http;
+pub mod protocol;
+mod server;
+
+pub use protocol::JobSpec;
+pub use server::{ServeConfig, Server};

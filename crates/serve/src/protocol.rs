@@ -1,0 +1,330 @@
+//! The wire schema of the job API: what a decomposition job request looks
+//! like and how it is validated into a [`JobSpec`].
+//!
+//! A request body is a JSON object (see `docs/SERVING.md` for the operator
+//! view):
+//!
+//! ```json
+//! {
+//!   "inputs": 6,
+//!   "outputs": 4,
+//!   "table": [0, 1, 1, 2],
+//!   "mode": "separate",
+//!   "bound_size": 3,
+//!   "partitions": 6,
+//!   "rounds": 1,
+//!   "seed": 7,
+//!   "error_budget": 0.05
+//! }
+//! ```
+//!
+//! `inputs`, `outputs`, `table` and `mode` are required; the rest have the
+//! defaults below. `table` lists the function word-by-word: entry `p` is
+//! the output word for input pattern `p`, so it must have exactly
+//! `2^inputs` entries, each below `2^outputs`. Validation is strict — any
+//! unknown field, wrong type, or out-of-range value is a 400, never a
+//! silently patched job.
+
+use adis_core::Mode;
+use adis_telemetry::Json;
+
+/// Hard cap on `inputs` (a 16-input table is already 65 536 words).
+pub const MAX_INPUTS: u32 = 16;
+/// Hard cap on `outputs` (output words are stored in `u64`s downstream,
+/// but serving bounds them harder to keep tables sane).
+pub const MAX_OUTPUTS: u32 = 16;
+/// Hard cap on `partitions` per output per round.
+pub const MAX_PARTITIONS: usize = 4096;
+/// Hard cap on `rounds`.
+pub const MAX_ROUNDS: usize = 64;
+
+/// A validated decomposition job, ready to hand to the solver pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Input bit count `n` (table length is `2^n`).
+    pub inputs: u32,
+    /// Output bit count `m`.
+    pub outputs: u32,
+    /// The truth table, one output word per input pattern.
+    pub table: Vec<u64>,
+    /// Error mode minimized by the core COP.
+    pub mode: Mode,
+    /// Bound-set size `|B|`.
+    pub bound_size: u32,
+    /// Candidate partitions per output bit per round.
+    pub partitions: usize,
+    /// Refinement rounds.
+    pub rounds: usize,
+    /// Framework seed (shared-cache entries are namespaced by it).
+    pub seed: u64,
+    /// Optional acceptance threshold on the final objective (MED in
+    /// joint mode, ER in separate mode); reported as `within_budget`.
+    pub error_budget: Option<f64>,
+}
+
+impl JobSpec {
+    /// Parses and validates a request body.
+    ///
+    /// ```
+    /// use adis_serve::protocol::JobSpec;
+    /// use adis_telemetry::Json;
+    ///
+    /// let body = Json::parse(
+    ///     r#"{"inputs":2,"outputs":1,"table":[0,1,1,0],"mode":"separate","bound_size":1}"#,
+    /// ).unwrap();
+    /// let spec = JobSpec::from_json(&body).unwrap();
+    /// assert_eq!(spec.table, vec![0, 1, 1, 0]);
+    /// assert!(JobSpec::from_json(&Json::parse("{}").unwrap()).is_err());
+    /// ```
+    pub fn from_json(body: &Json) -> Result<JobSpec, String> {
+        let fields = body
+            .as_obj()
+            .ok_or_else(|| "request body must be a JSON object".to_string())?;
+        for (key, _) in fields {
+            if !matches!(
+                key.as_str(),
+                "inputs"
+                    | "outputs"
+                    | "table"
+                    | "mode"
+                    | "bound_size"
+                    | "partitions"
+                    | "rounds"
+                    | "seed"
+                    | "error_budget"
+            ) {
+                return Err(format!("unknown field {key:?}"));
+            }
+        }
+
+        let inputs = required_u64(body, "inputs")?;
+        if inputs == 0 || inputs > u64::from(MAX_INPUTS) {
+            return Err(format!("inputs must be in 1..={MAX_INPUTS}, got {inputs}"));
+        }
+        let inputs = inputs as u32;
+        let outputs = required_u64(body, "outputs")?;
+        if outputs == 0 || outputs > u64::from(MAX_OUTPUTS) {
+            return Err(format!("outputs must be in 1..={MAX_OUTPUTS}, got {outputs}"));
+        }
+        let outputs = outputs as u32;
+
+        let raw_table = body
+            .get("table")
+            .ok_or_else(|| "missing field \"table\"".to_string())?
+            .as_arr()
+            .ok_or_else(|| "\"table\" must be an array of integers".to_string())?;
+        let expected = 1usize << inputs;
+        if raw_table.len() != expected {
+            return Err(format!(
+                "\"table\" must have 2^inputs = {expected} entries, got {}",
+                raw_table.len()
+            ));
+        }
+        let limit = 1u64 << outputs;
+        let mut table = Vec::with_capacity(expected);
+        for (i, entry) in raw_table.iter().enumerate() {
+            let word = entry
+                .as_u64()
+                .ok_or_else(|| format!("\"table\"[{i}] must be a non-negative integer"))?;
+            if word >= limit {
+                return Err(format!(
+                    "\"table\"[{i}] = {word} does not fit in {outputs} output bits"
+                ));
+            }
+            table.push(word);
+        }
+
+        let mode = match body
+            .get("mode")
+            .ok_or_else(|| "missing field \"mode\"".to_string())?
+            .as_str()
+        {
+            Some("separate") => Mode::Separate,
+            Some("joint") => Mode::Joint,
+            Some(other) => {
+                return Err(format!(
+                    "\"mode\" must be \"separate\" or \"joint\", got {other:?}"
+                ))
+            }
+            None => return Err("\"mode\" must be a string".to_string()),
+        };
+
+        let bound_size = optional_u64(body, "bound_size")?.unwrap_or(3);
+        if bound_size == 0 || bound_size >= u64::from(inputs) {
+            return Err(format!(
+                "bound_size must be in 1..inputs (= {inputs}), got {bound_size}"
+            ));
+        }
+        let bound_size = bound_size as u32;
+        let partitions = optional_u64(body, "partitions")?.unwrap_or(6);
+        if partitions == 0 || partitions > MAX_PARTITIONS as u64 {
+            return Err(format!(
+                "partitions must be in 1..={MAX_PARTITIONS}, got {partitions}"
+            ));
+        }
+        let partitions = partitions as usize;
+        let rounds = optional_u64(body, "rounds")?.unwrap_or(1);
+        if rounds == 0 || rounds > MAX_ROUNDS as u64 {
+            return Err(format!("rounds must be in 1..={MAX_ROUNDS}, got {rounds}"));
+        }
+        let rounds = rounds as usize;
+        let seed = optional_u64(body, "seed")?.unwrap_or(0);
+
+        let error_budget = match body.get("error_budget") {
+            None | Some(Json::Null) => None,
+            Some(v) => {
+                let budget = v
+                    .as_f64()
+                    .filter(|b| b.is_finite() && *b >= 0.0)
+                    .ok_or_else(|| {
+                        "\"error_budget\" must be a non-negative number".to_string()
+                    })?;
+                Some(budget)
+            }
+        };
+
+        Ok(JobSpec {
+            inputs,
+            outputs,
+            table,
+            mode,
+            bound_size,
+            partitions,
+            rounds,
+            seed,
+            error_budget,
+        })
+    }
+
+    /// Renders the spec back into a request body (inverse of
+    /// [`from_json`](JobSpec::from_json)) — used by `adis-loadgen` and the
+    /// integration tests to build requests from in-memory functions.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("inputs".to_string(), Json::Num(f64::from(self.inputs))),
+            ("outputs".to_string(), Json::Num(f64::from(self.outputs))),
+            (
+                "table".to_string(),
+                Json::Arr(self.table.iter().map(|&w| Json::Num(w as f64)).collect()),
+            ),
+            (
+                "mode".to_string(),
+                Json::str(match self.mode {
+                    Mode::Separate => "separate",
+                    Mode::Joint => "joint",
+                }),
+            ),
+            ("bound_size".to_string(), Json::Num(f64::from(self.bound_size))),
+            ("partitions".to_string(), Json::Num(self.partitions as f64)),
+            ("rounds".to_string(), Json::Num(self.rounds as f64)),
+            ("seed".to_string(), Json::Num(self.seed as f64)),
+        ];
+        if let Some(budget) = self.error_budget {
+            fields.push(("error_budget".to_string(), Json::Num(budget)));
+        }
+        Json::Obj(fields)
+    }
+
+    /// The function this job decomposes.
+    pub fn function(&self) -> adis_boolfn::MultiOutputFn {
+        adis_boolfn::MultiOutputFn::from_word_fn(self.inputs, self.outputs, |p| {
+            self.table[p as usize]
+        })
+    }
+}
+
+fn required_u64(body: &Json, key: &str) -> Result<u64, String> {
+    body.get(key)
+        .ok_or_else(|| format!("missing field {key:?}"))?
+        .as_u64()
+        .ok_or_else(|| format!("{key:?} must be a non-negative integer"))
+}
+
+fn optional_u64(body: &Json, key: &str) -> Result<Option<u64>, String> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> Json {
+        Json::parse(
+            r#"{"inputs":3,"outputs":2,"table":[0,1,2,3,0,1,2,3],
+                "mode":"joint","bound_size":2,"partitions":3,"rounds":2,
+                "seed":9,"error_budget":0.25}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_a_full_request_and_round_trips() {
+        let spec = JobSpec::from_json(&valid()).unwrap();
+        assert_eq!(spec.inputs, 3);
+        assert_eq!(spec.mode, Mode::Joint);
+        assert_eq!(spec.error_budget, Some(0.25));
+        assert_eq!(JobSpec::from_json(&spec.to_json()).unwrap(), spec);
+        let f = spec.function();
+        assert_eq!(f.inputs(), 3);
+        assert_eq!(f.eval_word(2), 2);
+    }
+
+    #[test]
+    fn applies_defaults() {
+        let body = Json::parse(
+            r#"{"inputs":2,"outputs":1,"table":[0,1,1,0],"mode":"separate","bound_size":1}"#,
+        )
+        .unwrap();
+        let spec = JobSpec::from_json(&body).unwrap();
+        assert_eq!(spec.partitions, 6);
+        assert_eq!(spec.rounds, 1);
+        assert_eq!(spec.seed, 0);
+        assert_eq!(spec.error_budget, None);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let cases: Vec<(&str, Json)> = vec![
+            ("not an object", Json::Arr(vec![])),
+            ("unknown field", patch(valid(), "extra", Json::Num(1.0))),
+            ("zero inputs", patch(valid(), "inputs", Json::Num(0.0))),
+            ("oversized inputs", patch(valid(), "inputs", Json::Num(40.0))),
+            ("table too short", patch(valid(), "table", Json::Arr(vec![Json::Num(0.0)]))),
+            (
+                "word overflows outputs",
+                patch(valid(), "table", {
+                    let mut t = vec![Json::Num(0.0); 8];
+                    t[3] = Json::Num(4.0);
+                    Json::Arr(t)
+                }),
+            ),
+            ("bad mode", patch(valid(), "mode", Json::str("fast"))),
+            ("bound too large", patch(valid(), "bound_size", Json::Num(3.0))),
+            ("zero partitions", patch(valid(), "partitions", Json::Num(0.0))),
+            ("zero rounds", patch(valid(), "rounds", Json::Num(0.0))),
+            (
+                "negative budget",
+                patch(valid(), "error_budget", Json::Num(-1.0)),
+            ),
+            ("non-integer seed", patch(valid(), "seed", Json::Num(1.5))),
+        ];
+        for (label, body) in cases {
+            assert!(JobSpec::from_json(&body).is_err(), "{label} must be rejected");
+        }
+    }
+
+    fn patch(body: Json, key: &str, value: Json) -> Json {
+        let Json::Obj(mut fields) = body else { unreachable!() };
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = value,
+            None => fields.push((key.to_string(), value)),
+        }
+        Json::Obj(fields)
+    }
+}

@@ -1,0 +1,693 @@
+//! The decomposition job server: admission control, a solver worker pool,
+//! a job registry, and the HTTP front end.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  accept thread ──▶ connection queue ──▶ HTTP threads ──▶ job queue (bounded)
+//!                                             │                 │
+//!                                             ▼                 ▼
+//!                                        job registry ◀── solver workers
+//!                                                              │
+//!                                                              ▼
+//!                                                   SharedCopCache (all workers)
+//! ```
+//!
+//! Two thread pools, hand-rolled on `Mutex` + `Condvar`: HTTP threads
+//! parse requests and answer status queries; solver workers drain the
+//! bounded job queue and run the decomposition. The split keeps polling
+//! responsive while every worker is busy solving. Per-job parallelism is
+//! disabled (`Framework::parallel(false)`): under a serving workload the
+//! concurrency budget belongs to the worker pool, not to any one job.
+//!
+//! # Admission control and timeouts
+//!
+//! Submissions beyond [`ServeConfig::queue_depth`] waiting jobs are
+//! rejected with `429` — the queue never grows unboundedly, and a
+//! closed-loop client can use the `429` as backpressure. The per-job
+//! timeout is **cooperative**: it is checked when a worker dequeues the
+//! job (stale jobs are failed without solving) and again when the solve
+//! finishes (late results are reported as `timed_out`, not `done`). A
+//! solve in flight is never interrupted mid-sweep.
+//!
+//! # Determinism
+//!
+//! All workers share one [`SharedCopCache`]. Entries are namespaced by
+//! solver fingerprint and framework seed (see `adis-core`), and solver
+//! seeds are content-derived, so a cache hit returns bit-for-bit what a
+//! recompute would have produced: two submissions of the same spec get
+//! identical results whether they hit the cache or race to miss it.
+
+use crate::http::{self, ReadError, Request};
+use crate::protocol::JobSpec;
+use adis_core::{CacheConfig, Framework, Mode, SharedCopCache};
+use adis_telemetry::{Json, Recorder, ReportCell, RunReport};
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration. `Default` is tuned for a local instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port `0` to let the OS pick (tests, loadgen
+    /// self-hosting).
+    pub addr: String,
+    /// Solver worker threads.
+    pub workers: usize,
+    /// HTTP connection-handler threads.
+    pub http_threads: usize,
+    /// Maximum jobs waiting in the queue before submissions get `429`
+    /// (running jobs do not count).
+    pub queue_depth: usize,
+    /// Cooperative per-job timeout, measured from submission.
+    pub job_timeout: Duration,
+    /// Shared cross-request COP cache shape.
+    pub cache: CacheConfig,
+    /// When set, every completed job also writes a `RunReport` here
+    /// (collision-proof names via `RunReport::write_unique`).
+    pub report_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            workers: 2,
+            http_threads: 2,
+            queue_depth: 64,
+            job_timeout: Duration::from_secs(30),
+            cache: CacheConfig::default(),
+            report_dir: None,
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone)]
+enum JobState {
+    Queued,
+    Running,
+    Done(JobResult),
+    Failed(String),
+    TimedOut,
+}
+
+/// The measurements of a finished job, as exposed on the status endpoint.
+#[derive(Debug, Clone)]
+struct JobResult {
+    med: f64,
+    er: f64,
+    objective: f64,
+    within_budget: Option<bool>,
+    lut_bits: u64,
+    direct_bits: u64,
+    cop_solves: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    sb_iterations: u64,
+    queue_seconds: f64,
+    solve_seconds: f64,
+}
+
+struct Job {
+    spec: JobSpec,
+    submitted: Instant,
+    state: JobState,
+}
+
+#[derive(Default)]
+struct JobCounters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    timed_out: AtomicU64,
+    bad_requests: AtomicU64,
+    running: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    cache: SharedCopCache,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    conns: Mutex<VecDeque<TcpStream>>,
+    conns_cv: Condvar,
+    jobs: Mutex<HashMap<u64, Job>>,
+    next_id: AtomicU64,
+    counters: JobCounters,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping it (or calling
+/// [`shutdown`](Server::shutdown)) stops every thread and joins them.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the pools, and returns the running server.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let http_threads = cfg.http_threads.max(1);
+        let shared = Arc::new(Shared {
+            cache: SharedCopCache::new(cfg.cache),
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            conns: Mutex::new(VecDeque::new()),
+            conns_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            counters: JobCounters::default(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut threads = Vec::with_capacity(workers + http_threads + 1);
+        for i in 0..workers {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("adis-serve-worker-{i}"))
+                    .spawn(move || solver_worker(&shared))?,
+            );
+        }
+        for i in 0..http_threads {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("adis-serve-http-{i}"))
+                    .spawn(move || http_worker(&shared))?,
+            );
+        }
+        {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("adis-serve-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &shared))?,
+            );
+        }
+        Ok(Server {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port `0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared cross-request cache, for inspection.
+    pub fn cache(&self) -> &SharedCopCache {
+        &self.shared.cache
+    }
+
+    /// Stops accepting, drains nothing (queued jobs are abandoned), and
+    /// joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.queue_cv.notify_all();
+        self.shared.conns_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let mut conns = shared.conns.lock().unwrap();
+                conns.push_back(stream);
+                shared.conns_cv.notify_one();
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. fd exhaustion): back off
+                // rather than spin.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn http_worker(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut conns = shared.conns.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(stream) = conns.pop_front() {
+                    break stream;
+                }
+                conns = shared.conns_cv.wait(conns).unwrap();
+            }
+        };
+        handle_connection(shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(ReadError::Bad(status, message)) => {
+            shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(&mut stream, status, &error_body(message));
+            return;
+        }
+        Err(ReadError::Io(_)) => return,
+    };
+    let (status, body) = route(shared, &request);
+    if !(200..300).contains(&status) && status != 429 {
+        shared.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = http::write_response(&mut stream, status, &body);
+}
+
+fn error_body(message: &str) -> Json {
+    Json::Obj(vec![("error".to_string(), Json::str(message))])
+}
+
+fn route(shared: &Shared, request: &Request) -> (u16, Json) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/jobs") => submit(shared, &request.body),
+        ("GET", "/v1/jobs") | ("PUT" | "DELETE" | "PATCH", "/v1/jobs") => {
+            (405, error_body("use POST /v1/jobs"))
+        }
+        ("GET", "/v1/healthz") => (
+            200,
+            Json::Obj(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                (
+                    "workers".to_string(),
+                    Json::Num(shared.cfg.workers.max(1) as f64),
+                ),
+            ]),
+        ),
+        ("GET", "/v1/stats") => (200, stats_body(shared)),
+        ("GET", path) if path.starts_with("/v1/jobs/") => job_status(shared, path),
+        (_, path) if path.starts_with("/v1/jobs/") => {
+            (405, error_body("use GET /v1/jobs/<id>"))
+        }
+        _ => (404, error_body("no such endpoint")),
+    }
+}
+
+fn submit(shared: &Shared, body: &[u8]) -> (u16, Json) {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return (400, error_body("request body must be UTF-8 JSON")),
+    };
+    let parsed = match Json::parse(text) {
+        Ok(parsed) => parsed,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let spec = match JobSpec::from_json(&parsed) {
+        Ok(spec) => spec,
+        Err(message) => return (400, error_body(&message)),
+    };
+
+    // Admission control: the waiting line is bounded, full means 429.
+    let mut queue = shared.queue.lock().unwrap();
+    if queue.len() >= shared.cfg.queue_depth {
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        return (
+            429,
+            Json::Obj(vec![
+                ("error".to_string(), Json::str("queue full, retry later")),
+                (
+                    "queue_depth".to_string(),
+                    Json::Num(shared.cfg.queue_depth as f64),
+                ),
+            ]),
+        );
+    }
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    shared.jobs.lock().unwrap().insert(
+        id,
+        Job {
+            spec,
+            submitted: Instant::now(),
+            state: JobState::Queued,
+        },
+    );
+    queue.push_back(id);
+    drop(queue);
+    shared.queue_cv.notify_one();
+    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+    (
+        202,
+        Json::Obj(vec![
+            ("id".to_string(), Json::Num(id as f64)),
+            ("status".to_string(), Json::str("queued")),
+            (
+                "status_url".to_string(),
+                Json::str(format!("/v1/jobs/{id}")),
+            ),
+        ]),
+    )
+}
+
+fn job_status(shared: &Shared, path: &str) -> (u16, Json) {
+    let id: u64 = match path["/v1/jobs/".len()..].parse() {
+        Ok(id) => id,
+        Err(_) => return (404, error_body("no such job")),
+    };
+    let jobs = shared.jobs.lock().unwrap();
+    let Some(job) = jobs.get(&id) else {
+        return (404, error_body("no such job"));
+    };
+    let mut fields = vec![("id".to_string(), Json::Num(id as f64))];
+    match &job.state {
+        JobState::Queued => fields.push(("status".to_string(), Json::str("queued"))),
+        JobState::Running => fields.push(("status".to_string(), Json::str("running"))),
+        JobState::TimedOut => fields.push(("status".to_string(), Json::str("timed_out"))),
+        JobState::Failed(message) => {
+            fields.push(("status".to_string(), Json::str("failed")));
+            fields.push(("error".to_string(), Json::str(message)));
+        }
+        JobState::Done(result) => {
+            fields.push(("status".to_string(), Json::str("done")));
+            fields.push(("result".to_string(), result_body(result)));
+        }
+    }
+    (200, Json::Obj(fields))
+}
+
+fn result_body(result: &JobResult) -> Json {
+    Json::Obj(vec![
+        ("med".to_string(), Json::Num(result.med)),
+        ("er".to_string(), Json::Num(result.er)),
+        ("objective".to_string(), Json::Num(result.objective)),
+        (
+            "within_budget".to_string(),
+            result
+                .within_budget
+                .map(Json::Bool)
+                .unwrap_or(Json::Null),
+        ),
+        ("lut_bits".to_string(), Json::Num(result.lut_bits as f64)),
+        (
+            "direct_bits".to_string(),
+            Json::Num(result.direct_bits as f64),
+        ),
+        ("cop_solves".to_string(), Json::Num(result.cop_solves as f64)),
+        ("cache_hits".to_string(), Json::Num(result.cache_hits as f64)),
+        (
+            "cache_misses".to_string(),
+            Json::Num(result.cache_misses as f64),
+        ),
+        (
+            "sb_iterations".to_string(),
+            Json::Num(result.sb_iterations as f64),
+        ),
+        (
+            "queue_seconds".to_string(),
+            Json::Num(result.queue_seconds),
+        ),
+        (
+            "solve_seconds".to_string(),
+            Json::Num(result.solve_seconds),
+        ),
+    ])
+}
+
+fn stats_body(shared: &Shared) -> Json {
+    let queued = shared.queue.lock().unwrap().len();
+    let cache = shared.cache.stats();
+    let c = &shared.counters;
+    Json::Obj(vec![
+        (
+            "queue".to_string(),
+            Json::Obj(vec![
+                (
+                    "depth".to_string(),
+                    Json::Num(shared.cfg.queue_depth as f64),
+                ),
+                ("queued".to_string(), Json::Num(queued as f64)),
+                (
+                    "running".to_string(),
+                    Json::Num(c.running.load(Ordering::Relaxed) as f64),
+                ),
+            ]),
+        ),
+        (
+            "jobs".to_string(),
+            Json::Obj(vec![
+                (
+                    "accepted".to_string(),
+                    Json::Num(c.accepted.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "rejected".to_string(),
+                    Json::Num(c.rejected.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "completed".to_string(),
+                    Json::Num(c.completed.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "failed".to_string(),
+                    Json::Num(c.failed.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "timed_out".to_string(),
+                    Json::Num(c.timed_out.load(Ordering::Relaxed) as f64),
+                ),
+            ]),
+        ),
+        (
+            "http".to_string(),
+            Json::Obj(vec![(
+                "bad_requests".to_string(),
+                Json::Num(c.bad_requests.load(Ordering::Relaxed) as f64),
+            )]),
+        ),
+        (
+            "cache".to_string(),
+            Json::Obj(vec![
+                ("hits".to_string(), Json::Num(cache.hits as f64)),
+                ("misses".to_string(), Json::Num(cache.misses as f64)),
+                (
+                    "insertions".to_string(),
+                    Json::Num(cache.insertions as f64),
+                ),
+                ("evictions".to_string(), Json::Num(cache.evictions as f64)),
+                ("entries".to_string(), Json::Num(cache.entries as f64)),
+                (
+                    "capacity".to_string(),
+                    Json::Num(shared.cache.capacity() as f64),
+                ),
+                ("hit_rate".to_string(), Json::Num(cache.hit_rate())),
+            ]),
+        ),
+    ])
+}
+
+fn solver_worker(shared: &Shared) {
+    loop {
+        let id = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+        };
+        run_job(shared, id);
+    }
+}
+
+fn run_job(shared: &Shared, id: u64) {
+    let (spec, submitted) = {
+        let mut jobs = shared.jobs.lock().unwrap();
+        let Some(job) = jobs.get_mut(&id) else { return };
+        // First half of the cooperative timeout: a job that aged out in
+        // the queue is not worth solving.
+        if job.submitted.elapsed() >= shared.cfg.job_timeout {
+            job.state = JobState::TimedOut;
+            shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        job.state = JobState::Running;
+        (job.spec.clone(), job.submitted)
+    };
+    shared.counters.running.fetch_add(1, Ordering::Relaxed);
+    let queue_seconds = submitted.elapsed().as_secs_f64();
+
+    let cache = shared.cache.clone();
+    let solve_start = Instant::now();
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        let function = spec.function();
+        let mut recorder = Recorder::new().keep_trajectory(false);
+        let framework = Framework::new(spec.mode, spec.bound_size)
+            .partitions(spec.partitions)
+            .rounds(spec.rounds)
+            .seed(spec.seed)
+            .parallel(false)
+            .shared_cache(cache);
+        framework
+            .try_decompose_with(&function, &mut recorder)
+            .map(|outcome| (outcome, recorder))
+    }));
+    let solve_seconds = solve_start.elapsed().as_secs_f64();
+    shared.counters.running.fetch_sub(1, Ordering::Relaxed);
+
+    let state = match solved {
+        Err(_) => JobState::Failed("solver panicked".to_string()),
+        Ok(Err(e)) => JobState::Failed(e.to_string()),
+        Ok(Ok((outcome, recorder))) => {
+            // Second half of the cooperative timeout: late results are
+            // reported as timed out, never as done.
+            if submitted.elapsed() >= shared.cfg.job_timeout {
+                JobState::TimedOut
+            } else {
+                let lut = outcome.to_lut();
+                let objective = match spec.mode {
+                    Mode::Joint => outcome.med,
+                    Mode::Separate => outcome.er,
+                };
+                let result = JobResult {
+                    med: outcome.med,
+                    er: outcome.er,
+                    objective,
+                    within_budget: spec.error_budget.map(|budget| objective <= budget),
+                    lut_bits: lut.size_bits(),
+                    direct_bits: lut.direct_size_bits(),
+                    cop_solves: outcome.cop_solves as u64,
+                    cache_hits: outcome.cache_hits as u64,
+                    cache_misses: outcome.cache_misses as u64,
+                    sb_iterations: outcome.sb_iterations as u64,
+                    queue_seconds,
+                    solve_seconds,
+                };
+                if let Some(dir) = &shared.cfg.report_dir {
+                    write_job_report(dir, id, &spec, &result, &recorder);
+                }
+                JobState::Done(result)
+            }
+        }
+    };
+    match &state {
+        JobState::Done(_) => &shared.counters.completed,
+        JobState::TimedOut => &shared.counters.timed_out,
+        _ => &shared.counters.failed,
+    }
+    .fetch_add(1, Ordering::Relaxed);
+    if let Some(job) = shared.jobs.lock().unwrap().get_mut(&id) {
+        job.state = state;
+    }
+}
+
+fn write_job_report(
+    dir: &PathBuf,
+    id: u64,
+    spec: &JobSpec,
+    result: &JobResult,
+    recorder: &Recorder,
+) {
+    let mut report = RunReport::new("serve", spec.seed);
+    report.config("inputs", Json::Num(f64::from(spec.inputs)));
+    report.config("outputs", Json::Num(f64::from(spec.outputs)));
+    report.config("partitions", Json::Num(spec.partitions as f64));
+    report.config("rounds", Json::Num(spec.rounds as f64));
+    let mut cell = ReportCell::new(
+        format!("job-{id}"),
+        format!("{:?}", spec.mode),
+        "adis-serve",
+    )
+    .absorb(recorder);
+    cell.objective = result.objective;
+    cell.seconds = result.solve_seconds;
+    cell.extra
+        .push(("queue_seconds".to_string(), Json::Num(result.queue_seconds)));
+    report.push(cell);
+    report.total_wall(Duration::from_secs_f64(
+        result.queue_seconds + result.solve_seconds,
+    ));
+    if let Err(e) = report.write_unique(dir, format!("RUN_serve_j{id}")) {
+        eprintln!("adis-serve: could not write report for job {id}: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            http_threads: 2,
+            queue_depth: 8,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn starts_and_shuts_down_cleanly() {
+        let server = Server::start(test_config()).unwrap();
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn routes_reject_unknown_paths_and_methods() {
+        let server = Server::start(test_config()).unwrap();
+        let timeout = Duration::from_secs(5);
+        let (status, body) =
+            http::request(server.addr(), "GET", "/nope", None, timeout).unwrap();
+        assert_eq!(status, 404);
+        assert!(body.get("error").is_some());
+        let (status, _) =
+            http::request(server.addr(), "DELETE", "/v1/jobs/1", None, timeout).unwrap();
+        assert_eq!(status, 405);
+        let (status, body) =
+            http::request(server.addr(), "GET", "/v1/healthz", None, timeout).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.get("ok").and_then(Json::as_bool), Some(true));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,345 @@
+//! End-to-end tests of the job API: submit/poll round trips, error paths,
+//! admission control, the cooperative timeout, and cross-request
+//! bit-identity through the shared cache.
+
+use adis_core::{Framework, Mode};
+use adis_serve::corpus::{corpus, spec_for};
+use adis_serve::{http, ServeConfig, Server};
+use adis_telemetry::Json;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn start(cfg: ServeConfig) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..cfg
+    })
+    .expect("bind on an OS-picked port")
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Json) {
+    http::request(addr, "GET", path, None, TIMEOUT).expect("GET")
+}
+
+fn post(addr: SocketAddr, path: &str, body: &Json) -> (u16, Json) {
+    http::request(addr, "POST", path, Some(body), TIMEOUT).expect("POST")
+}
+
+/// Polls a job until it leaves the queue/running states.
+fn await_job(addr: SocketAddr, id: u64) -> Json {
+    let path = format!("/v1/jobs/{id}");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = get(addr, &path);
+        assert_eq!(status, 200, "{}", body.render());
+        match body.get("status").and_then(Json::as_str) {
+            Some("queued" | "running") => {
+                assert!(Instant::now() < deadline, "job {id} never finished");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Some(_) => return body,
+            None => panic!("malformed status body: {}", body.render()),
+        }
+    }
+}
+
+fn submit(addr: SocketAddr, body: &Json) -> u64 {
+    let (status, response) = post(addr, "/v1/jobs", body);
+    assert_eq!(status, 202, "{}", response.render());
+    assert_eq!(
+        response.get("status").and_then(Json::as_str),
+        Some("queued")
+    );
+    let id = response.get("id").and_then(Json::as_u64).expect("job id");
+    assert_eq!(
+        response.get("status_url").and_then(Json::as_str),
+        Some(format!("/v1/jobs/{id}").as_str())
+    );
+    id
+}
+
+#[test]
+fn submit_poll_roundtrip_matches_a_local_run() {
+    let server = start(ServeConfig::default());
+    let function = &corpus(3, 1, 6, 4)[0];
+    let spec = spec_for(function, Mode::Separate, 3, 5, 1, 11);
+    let id = submit(server.addr(), &spec.to_json());
+    let body = await_job(server.addr(), id);
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("done"));
+
+    let result = body.get("result").expect("done jobs carry a result");
+    // The served answer is bit-identical to running the framework
+    // locally with the same spec.
+    let local = Framework::new(Mode::Separate, 3)
+        .partitions(5)
+        .rounds(1)
+        .seed(11)
+        .parallel(false)
+        .decompose(function);
+    assert_eq!(
+        result.get("med").and_then(Json::as_f64),
+        Some(local.med),
+        "served med must equal the local run's"
+    );
+    assert_eq!(result.get("er").and_then(Json::as_f64), Some(local.er));
+    let lut = local.to_lut();
+    assert_eq!(
+        result.get("lut_bits").and_then(Json::as_u64),
+        Some(lut.size_bits())
+    );
+    assert_eq!(
+        result.get("direct_bits").and_then(Json::as_u64),
+        Some(lut.direct_size_bits())
+    );
+    assert_eq!(
+        result.get("cop_solves").and_then(Json::as_u64),
+        Some(local.cop_solves as u64)
+    );
+    // Telemetry fields exist and are sane.
+    for key in ["queue_seconds", "solve_seconds"] {
+        let v = result.get(key).and_then(Json::as_f64).expect(key);
+        assert!(v >= 0.0, "{key} = {v}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn error_budget_is_evaluated_against_the_mode_objective() {
+    let server = start(ServeConfig::default());
+    let function = &corpus(5, 1, 6, 4)[0];
+    let mut spec = spec_for(function, Mode::Separate, 3, 4, 1, 2);
+    // Any decomposition of a non-degenerate function has ER ≤ 1, so a
+    // budget of 1.0 always passes and a budget of -0.0… cannot exist;
+    // use two budgets bracketing the objective instead.
+    spec.error_budget = Some(1.0);
+    let id = submit(server.addr(), &spec.to_json());
+    let body = await_job(server.addr(), id);
+    let result = body.get("result").unwrap();
+    assert_eq!(
+        result.get("within_budget").and_then(Json::as_bool),
+        Some(true)
+    );
+    let objective = result.get("objective").and_then(Json::as_f64).unwrap();
+    assert_eq!(
+        objective,
+        result.get("er").and_then(Json::as_f64).unwrap(),
+        "separate mode budgets ER"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_submissions_get_400_with_a_reason() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    // Syntactically invalid JSON, sent over a raw socket since the client
+    // helper only speaks well-formed bodies.
+    {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+        let payload = "{nope";
+        stream
+            .write_all(
+                format!(
+                    "POST /v1/jobs HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{payload}",
+                    payload.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        assert!(response.contains("error"), "{response}");
+    }
+    // Well-formed JSON that is not an object.
+    let (status, body) =
+        http::request(addr, "POST", "/v1/jobs", Some(&Json::str("{nope")), TIMEOUT).unwrap();
+    assert_eq!(status, 400, "{}", body.render());
+    assert!(body.get("error").is_some());
+    // Valid JSON, invalid spec.
+    let (status, body) = post(
+        addr,
+        "/v1/jobs",
+        &Json::parse(r#"{"inputs":2,"outputs":1,"table":[0,1],"mode":"separate"}"#).unwrap(),
+    );
+    assert_eq!(status, 400);
+    let reason = body.get("error").and_then(Json::as_str).unwrap();
+    assert!(reason.contains("table"), "unhelpful error: {reason}");
+    server.shutdown();
+}
+
+#[test]
+fn unknown_jobs_get_404() {
+    let server = start(ServeConfig::default());
+    let (status, _) = get(server.addr(), "/v1/jobs/999999");
+    assert_eq!(status, 404);
+    let (status, _) = get(server.addr(), "/v1/jobs/not-a-number");
+    assert_eq!(status, 404);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_429_and_the_rest_completes() {
+    // One worker, a short queue, and a burst much larger than both: some
+    // submissions must bounce with 429, every accepted one must finish.
+    let server = start(ServeConfig {
+        workers: 1,
+        queue_depth: 2,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let function = &corpus(9, 1, 7, 4)[0];
+    // A heavier spec so the single worker cannot drain the burst.
+    let body = spec_for(function, Mode::Separate, 3, 12, 2, 1).to_json();
+
+    let mut accepted = Vec::new();
+    let mut rejected = 0usize;
+    for _ in 0..40 {
+        let (status, response) = post(addr, "/v1/jobs", &body);
+        match status {
+            202 => accepted.push(response.get("id").and_then(Json::as_u64).unwrap()),
+            429 => rejected += 1,
+            other => panic!("unexpected status {other}: {}", response.render()),
+        }
+    }
+    assert!(rejected > 0, "a burst of 40 into depth 2 must see 429s");
+    assert!(!accepted.is_empty(), "admission control must not reject everything");
+    for id in accepted {
+        let body = await_job(addr, id);
+        assert_eq!(
+            body.get("status").and_then(Json::as_str),
+            Some("done"),
+            "{}",
+            body.render()
+        );
+    }
+    // The stats endpoint agrees.
+    let (_, stats) = get(addr, "/v1/stats");
+    let jobs = stats.get("jobs").unwrap();
+    assert_eq!(
+        jobs.get("rejected").and_then(Json::as_u64),
+        Some(rejected as u64)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn zero_timeout_times_every_job_out() {
+    let server = start(ServeConfig {
+        job_timeout: Duration::ZERO,
+        ..ServeConfig::default()
+    });
+    let function = &corpus(2, 1, 6, 4)[0];
+    let body = spec_for(function, Mode::Separate, 3, 4, 1, 5).to_json();
+    let id = submit(server.addr(), &body);
+    let status = await_job(server.addr(), id);
+    assert_eq!(
+        status.get("status").and_then(Json::as_str),
+        Some("timed_out")
+    );
+    assert!(status.get("result").is_none(), "timed-out jobs carry no result");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_submissions_share_the_cache_and_agree() {
+    let server = start(ServeConfig {
+        workers: 4,
+        http_threads: 4,
+        queue_depth: 256,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let functions = corpus(13, 3, 6, 4);
+    let bodies: Vec<Json> = functions
+        .iter()
+        .map(|f| spec_for(f, Mode::Separate, 3, 5, 1, 21).to_json())
+        .collect();
+
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 3; // one submission per corpus entry
+    let meds: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    (0..PER_CLIENT)
+                        .map(|i| {
+                            let body = &bodies[(c + i) % bodies.len()];
+                            let id = submit(addr, body);
+                            let done = await_job(addr, id);
+                            assert_eq!(
+                                done.get("status").and_then(Json::as_str),
+                                Some("done"),
+                                "{}",
+                                done.render()
+                            );
+                            (
+                                (c + i) % bodies.len(),
+                                done.get("result")
+                                    .and_then(|r| r.get("med"))
+                                    .and_then(Json::as_f64)
+                                    .unwrap(),
+                            )
+                        })
+                        .fold(vec![f64::NAN; bodies.len()], |mut acc, (slot, med)| {
+                            acc[slot] = med;
+                            acc
+                        })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every client saw the same answer for the same corpus entry, and it
+    // matches a cold local run.
+    for (slot, function) in functions.iter().enumerate() {
+        let local = Framework::new(Mode::Separate, 3)
+            .partitions(5)
+            .rounds(1)
+            .seed(21)
+            .parallel(false)
+            .decompose(function);
+        for (client, client_meds) in meds.iter().enumerate() {
+            let served = client_meds[slot];
+            assert_eq!(
+                served.to_bits(),
+                local.med.to_bits(),
+                "client {client}, corpus entry {slot}"
+            );
+        }
+    }
+
+    // 18 overlapping submissions of 3 distinct specs: the shared tier
+    // must have been hit across requests.
+    let stats = server.cache().stats();
+    assert!(
+        stats.hits > 0,
+        "no cross-request sharing happened: {stats:?}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stats_and_healthz_are_well_formed() {
+    let server = start(ServeConfig::default());
+    let (status, health) = get(server.addr(), "/v1/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+
+    let (status, stats) = get(server.addr(), "/v1/stats");
+    assert_eq!(status, 200);
+    for section in ["queue", "jobs", "http", "cache"] {
+        assert!(stats.get(section).is_some(), "missing {section}");
+    }
+    let cache = stats.get("cache").unwrap();
+    for key in ["hits", "misses", "insertions", "evictions", "entries", "capacity", "hit_rate"] {
+        assert!(cache.get(key).is_some(), "missing cache.{key}");
+    }
+    server.shutdown();
+}

@@ -1,9 +1,13 @@
-//! A minimal JSON value and serializer.
+//! A minimal JSON value, serializer and parser.
 //!
 //! Hand-rolled on purpose: the build environment is offline, so `serde` /
-//! `serde_json` cannot be fetched, and the run reports only need writing,
-//! never parsing. Output is valid RFC 8259 JSON.
+//! `serde_json` cannot be fetched. Originally the run reports only needed
+//! writing; the serving layer (`adis-serve`) added the [`Json::parse`]
+//! side for request bodies and the accessor helpers for picking responses
+//! apart. Output is valid RFC 8259 JSON, and the parser accepts exactly
+//! RFC 8259 (no comments, no trailing commas).
 
+use std::fmt;
 use std::fmt::Write as _;
 
 /// A JSON value.
@@ -29,6 +33,88 @@ impl Json {
     /// Convenience constructor for string values.
     pub fn str(s: impl Into<String>) -> Json {
         Json::Str(s.into())
+    }
+
+    /// Parses an RFC 8259 JSON document.
+    ///
+    /// ```
+    /// use adis_telemetry::Json;
+    ///
+    /// let v = Json::parse(r#"{"mode": "joint", "seeds": [1, 2]}"#).unwrap();
+    /// assert_eq!(v.get("mode").and_then(Json::as_str), Some("joint"));
+    /// assert_eq!(v.get("seeds").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+    /// assert!(Json::parse("{oops}").is_err());
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// The boolean value, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a `Num`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an exact non-negative integer, if this is a
+    /// `Num` holding one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && *v == v.trunc() && *v <= 9.0e15 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an `Obj`.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The value of an object field (first occurrence), if this is an
+    /// `Obj` that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// Serializes to a compact JSON string.
@@ -111,6 +197,250 @@ fn newline_indent(out: &mut String, indent: Option<usize>) {
     }
 }
 
+/// Why a document failed to parse, with the byte offset of the problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Nesting depth bound: service inputs must not be able to blow the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &'static str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &'static str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Json::Null),
+            Some(b't') => self.expect_literal("true", Json::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or ']' in array"));
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.pos += 1; // consume '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(fields));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or '}' in object"));
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            _ => Err(self.err("invalid number")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.pos += 1; // consume '"'
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match ch {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                0x00..=0x1F => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated unicode escape"));
+            };
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid unicode escape")),
+            };
+            v = v * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
@@ -164,5 +494,97 @@ mod tests {
     #[test]
     fn control_chars_escaped() {
         assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let v = Json::Obj(vec![
+            ("seed".into(), Json::Num(7.0)),
+            ("ok".into(), Json::Bool(true)),
+            ("nothing".into(), Json::Null),
+            ("name".into(), Json::str("a\"b\\c\nd\u{1}é")),
+            (
+                "cells".into(),
+                Json::Arr(vec![Json::Num(1.5), Json::Num(-2.0e-3), Json::str("x")]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+            ("inner".into(), Json::Obj(vec![])),
+        ]);
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+        assert_eq!(Json::parse(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_scalars_and_whitespace() {
+        assert_eq!(Json::parse(" null ").unwrap(), Json::Null);
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-0.25e2").unwrap(), Json::Num(-25.0));
+        assert_eq!(Json::parse("\t[ 1 , 2 ]\n").unwrap(), Json::Arr(vec![
+            Json::Num(1.0),
+            Json::Num(2.0),
+        ]));
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        assert_eq!(Json::parse(r#""\u00e9""#).unwrap(), Json::str("é"));
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::str("\u{1F600}")
+        );
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ud83d\u0041""#).is_err());
+        assert!(Json::parse(r#""\uZZZZ""#).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "\"raw \u{1} control\"",
+            "nan",
+            "--1",
+            "+1",
+        ] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(!err.to_string().is_empty(), "{bad:?}");
+        }
+        // The error carries the failing offset.
+        assert_eq!(Json::parse("[1, x]").unwrap_err().offset, 4);
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert_eq!(
+            Json::parse(&deep).unwrap_err().message,
+            "nesting too deep"
+        );
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"n": 3, "f": 2.5, "s": "x", "b": true, "a": [1], "o": {"k": 1}}"#)
+            .unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("f").and_then(Json::as_u64), None);
+        assert_eq!(v.get("f").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        assert!(v.get("o").and_then(Json::as_obj).is_some());
+        assert!(v.get("missing").is_none());
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
     }
 }

@@ -197,11 +197,60 @@ impl RunReport {
 
     /// Writes the report into `dir` (created if missing) as
     /// `RUN_<tool>_s<seed>_<unix-ms>.json` and returns the path.
+    ///
+    /// The name is collision-proofed through
+    /// [`write_unique`](RunReport::write_unique): two writers hitting the
+    /// same millisecond (e.g. concurrent serve workers flushing per-job
+    /// reports) get distinct files instead of silently overwriting each
+    /// other.
     pub fn write(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
-        self.write_named(
+        self.write_unique(
             dir,
-            format!("RUN_{}_s{}_{}.json", self.tool, self.seed, unix_time_ms()),
+            format!("RUN_{}_s{}_{}", self.tool, self.seed, unix_time_ms()),
         )
+    }
+
+    /// Writes the report into `dir` (created if missing) as
+    /// `<stem>.json`, falling back to `<stem>-1.json`, `<stem>-2.json`, …
+    /// if the name is already taken, and returns the path actually used.
+    ///
+    /// Files are created with `O_EXCL` semantics, so concurrent writers
+    /// racing on the same stem each land in their own file — nothing is
+    /// ever overwritten.
+    pub fn write_unique(
+        &self,
+        dir: impl AsRef<Path>,
+        stem: impl AsRef<str>,
+    ) -> io::Result<PathBuf> {
+        use std::io::Write as _;
+
+        let dir = dir.as_ref();
+        let stem = stem.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let body = self.to_json().render_pretty();
+        let mut attempt = 0u32;
+        loop {
+            let name = if attempt == 0 {
+                format!("{stem}.json")
+            } else {
+                format!("{stem}-{attempt}.json")
+            };
+            let path = dir.join(name);
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    file.write_all(body.as_bytes())?;
+                    return Ok(path);
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists && attempt < 10_000 => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Writes the report into `dir` (created if missing) under a
@@ -287,6 +336,64 @@ mod tests {
         assert!(name.ends_with(".json"));
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"cells\": []"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_stem_never_collide() {
+        use std::collections::HashSet;
+        use std::thread;
+
+        let dir = std::env::temp_dir().join(format!(
+            "adis-telemetry-unique-{}-{}",
+            std::process::id(),
+            unix_time_ms()
+        ));
+        const WRITERS: usize = 8;
+        let paths: Vec<PathBuf> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..WRITERS)
+                .map(|i| {
+                    let dir = dir.clone();
+                    scope.spawn(move || {
+                        let mut report = RunReport::new("serve", i as u64);
+                        report.config("writer", Json::Num(i as f64));
+                        report.write_unique(&dir, "RUN_serve_job").expect("writable")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let distinct: HashSet<&PathBuf> = paths.iter().collect();
+        assert_eq!(distinct.len(), WRITERS, "every writer must get its own file");
+        // Each file holds exactly the report its writer produced.
+        let mut seeds = HashSet::new();
+        for path in &paths {
+            let text = std::fs::read_to_string(path).unwrap();
+            let seed = Json::parse(&text)
+                .unwrap()
+                .get("seed")
+                .and_then(Json::as_u64)
+                .unwrap();
+            assert!(seeds.insert(seed), "seed {seed} appeared twice");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_unique_suffixes_in_order() {
+        let dir = std::env::temp_dir().join(format!(
+            "adis-telemetry-suffix-{}-{}",
+            std::process::id(),
+            unix_time_ms()
+        ));
+        let report = RunReport::new("unit", 0);
+        let a = report.write_unique(&dir, "same").unwrap();
+        let b = report.write_unique(&dir, "same").unwrap();
+        let c = report.write_unique(&dir, "same").unwrap();
+        assert_eq!(a, dir.join("same.json"));
+        assert_eq!(b, dir.join("same-1.json"));
+        assert_eq!(c, dir.join("same-2.json"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
