@@ -1,10 +1,17 @@
-//! Simulated annealing (SA) for Ising problems.
+//! Conventional Ising heuristics: simulated annealing and mean-field
+//! relaxations.
 //!
 //! SA is the conventional sequential-update Ising solver the paper compares
 //! SB against, and the search engine behind the BA baseline (ref.\[10\]). A single
 //! sweep proposes one flip per spin; the Metropolis rule accepts uphill
 //! moves with probability `exp(−ΔE/T)` under a decreasing temperature
 //! schedule.
+//!
+//! Two relaxation-based heuristics round out the solver portfolio:
+//! [`SimCim`] (mean-field coherent-Ising-machine dynamics under a ramped
+//! pump) and [`Doch`] (a monotone difference-of-convex fixed-point
+//! iteration). Both read spins out as `sign(xᵢ)`, polish with
+//! [`greedy_descent`], and are deterministic per `(problem, seed)`.
 //!
 //! # Example
 //!
@@ -24,10 +31,45 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod doch;
+mod simcim;
+
+pub use doch::Doch;
+pub use simcim::{MeanFieldResult, SimCim};
+
 use adis_ising::{IsingProblem, SpinVector};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Deterministic greedy single-flip descent from `(state, energy)`.
+///
+/// Repeatedly sweeps the spins in index order, committing every flip with
+/// a negative [`IsingProblem::flip_delta`], until a full sweep finds no
+/// improving flip (or a generous sweep cap is hit). Returns the descended
+/// state and its energy; `energy` must equal `problem.energy(&state)`.
+pub fn greedy_descent(
+    problem: &IsingProblem,
+    mut state: SpinVector,
+    mut energy: f64,
+) -> (SpinVector, f64) {
+    let n = problem.num_spins();
+    for _sweep in 0..4 * n.max(1) {
+        let mut improved = false;
+        for i in 0..n {
+            let delta = problem.flip_delta(&state, i);
+            if delta < -1e-15 {
+                state.flip(i);
+                energy += delta;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (state, energy)
+}
 
 /// A temperature schedule: a starting temperature, a cooling rule, and the
 /// number of sweeps.
@@ -299,5 +341,17 @@ mod tests {
     #[should_panic(expected = "t_start >= t_end > 0")]
     fn schedule_validation() {
         Schedule::geometric(0.1, 1.0, 10);
+    }
+
+    #[test]
+    fn greedy_descent_reaches_a_single_flip_local_minimum() {
+        let p = random_problem(10, 4);
+        let start = SpinVector::all_up(10);
+        let (state, energy) = greedy_descent(&p, start.clone(), p.energy(&start));
+        assert!((p.energy(&state) - energy).abs() < 1e-9);
+        assert!(energy <= p.energy(&start) + 1e-12);
+        for i in 0..10 {
+            assert!(p.flip_delta(&state, i) >= -1e-12, "flip {i} still improves");
+        }
     }
 }

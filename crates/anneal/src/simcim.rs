@@ -1,0 +1,293 @@
+//! SimCIM: mean-field coherent-Ising-machine dynamics.
+//!
+//! A discrete-time mean-field model of a measurement-feedback CIM
+//! (Tiunov et al., "Annealing by simulating the coherent Ising machine",
+//! Opt. Express 2019). Each spin carries a real amplitude `cᵢ ∈ [−1, 1]`
+//! updated by a linear gain/loss term under a ramped pump plus the Ising
+//! feedback field, with annealed injection noise:
+//!
+//! ```text
+//! cᵢ ← clamp(cᵢ + Δt·[(p(t) − 1)·cᵢ + ζ·(h + J·c)ᵢ] + σ·(1 − p(t))·ξ)
+//! ```
+//!
+//! where `p(t)` ramps linearly from 0 to 1 over the run and `ξ` is
+//! uniform noise. Spins are read out as `sign(cᵢ)` at sampling points; the
+//! best readout (after a deterministic greedy single-flip polish) across
+//! all restarts wins. The trajectory is cheap — one coupling pass per
+//! step — which makes SimCIM a useful portfolio lane next to bSB.
+
+use crate::greedy_descent;
+use adis_ising::{IsingProblem, SpinVector};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Outcome of a mean-field run ([`SimCim`] or [`crate::Doch`]).
+#[derive(Debug, Clone)]
+pub struct MeanFieldResult {
+    /// Best sign readout seen across all restarts (after polish).
+    pub best_state: SpinVector,
+    /// Its energy (including the problem offset).
+    pub best_energy: f64,
+    /// Total update steps executed across all restarts.
+    pub iterations: usize,
+}
+
+/// A configured SimCIM solver.
+///
+/// Deterministic per `(problem, seed)`: restarts derive their RNG streams
+/// from `seed + restart` and all updates are fixed-order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimCim {
+    iterations: usize,
+    dt: f64,
+    noise: f64,
+    restarts: usize,
+    sample_every: usize,
+    seed: u64,
+}
+
+impl Default for SimCim {
+    fn default() -> Self {
+        SimCim {
+            iterations: 600,
+            dt: 0.05,
+            noise: 0.03,
+            restarts: 4,
+            sample_every: 20,
+            seed: 0,
+        }
+    }
+}
+
+impl SimCim {
+    /// A solver with the default schedule (600 steps × 4 restarts).
+    pub fn new() -> Self {
+        SimCim::default()
+    }
+
+    /// Sets the number of update steps per restart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        assert!(iterations > 0, "need at least one iteration");
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the Euler step size.
+    pub fn dt(mut self, dt: f64) -> Self {
+        self.dt = dt;
+        self
+    }
+
+    /// Sets the injection-noise amplitude (annealed to zero with the pump).
+    pub fn noise(mut self, noise: f64) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the number of independent restarts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restarts == 0`.
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        assert!(restarts > 0, "need at least one restart");
+        self.restarts = restarts;
+        self
+    }
+
+    /// Sets the sign-readout sampling cadence (in steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every == 0`.
+    pub fn sample_every(mut self, sample_every: usize) -> Self {
+        assert!(sample_every > 0, "need sample_every >= 1");
+        self.sample_every = sample_every;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs all restarts to completion and keeps the best readout.
+    pub fn solve(&self, problem: &IsingProblem) -> MeanFieldResult {
+        self.solve_until(problem, &|| false).0
+    }
+
+    /// [`solve`](SimCim::solve) with a cooperative stop hook.
+    ///
+    /// `should_stop` is polled at every sampling point (and between
+    /// restarts), *after* the readout at that point has been recorded, so
+    /// even an immediately-firing hook yields a valid `best_state`. The
+    /// returned flag is true when the hook cut the run short; the result
+    /// then holds the best readout seen so far.
+    pub fn solve_until(
+        &self,
+        problem: &IsingProblem,
+        should_stop: &dyn Fn() -> bool,
+    ) -> (MeanFieldResult, bool) {
+        let n = problem.num_spins();
+        if n == 0 {
+            let state = SpinVector::from_raw(Vec::new());
+            let energy = problem.offset();
+            return (
+                MeanFieldResult {
+                    best_state: state,
+                    best_energy: energy,
+                    iterations: 0,
+                },
+                false,
+            );
+        }
+        // Feedback gain: the Goto-style c₀ prescription keeps the coupling
+        // term commensurate with the unit gain/loss term regardless of
+        // instance scale.
+        let rms = problem.coupling_rms();
+        let zeta = if rms > 0.0 {
+            0.5 / (rms * (n as f64).sqrt())
+        } else {
+            let m = problem.max_abs_coefficient();
+            if m > 0.0 {
+                1.0 / m
+            } else {
+                1.0
+            }
+        };
+
+        let mut best: Option<(SpinVector, f64)> = None;
+        let mut total_iterations = 0;
+        let mut interrupted = false;
+        let mut c = vec![0.0f64; n];
+        let mut field = vec![0.0f64; n];
+
+        'restarts: for restart in 0..self.restarts {
+            let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(restart as u64));
+            for ci in c.iter_mut() {
+                *ci = rng.gen_range(-0.1..0.1);
+            }
+            for t in 0..self.iterations {
+                let pump = (t + 1) as f64 / self.iterations as f64;
+                problem.field(&c, &mut field);
+                for i in 0..n {
+                    let drift = (pump - 1.0) * c[i] + zeta * field[i];
+                    let kick = self.noise * (1.0 - pump) * rng.gen_range(-1.0..1.0);
+                    c[i] = (c[i] + self.dt * drift + kick).clamp(-1.0, 1.0);
+                }
+                total_iterations += 1;
+                if (t + 1) % self.sample_every == 0 || t + 1 == self.iterations {
+                    let state = SpinVector::from_signs(&c);
+                    let energy = problem.energy(&state);
+                    if best.as_ref().map(|&(_, b)| energy < b).unwrap_or(true) {
+                        best = Some((state, energy));
+                    }
+                    if should_stop() {
+                        interrupted = true;
+                        break 'restarts;
+                    }
+                }
+            }
+            // Polish this restart's endpoint before moving on.
+            if let Some((state, energy)) = best.take() {
+                best = Some(greedy_descent(problem, state, energy));
+            }
+            if should_stop() {
+                interrupted = true;
+                break;
+            }
+        }
+
+        let (mut state, mut energy) = best.expect("restarts > 0 and iterations > 0");
+        // Interrupted runs skip the per-restart polish above; always leave
+        // through it so the readout is at a single-flip local minimum.
+        (state, energy) = greedy_descent(problem, state, energy);
+        (
+            MeanFieldResult {
+                best_state: state,
+                best_energy: energy,
+                iterations: total_iterations,
+            },
+            interrupted,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adis_ising::{solve_exhaustive, IsingBuilder};
+
+    fn random_problem(n: usize, seed: u64) -> IsingProblem {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = IsingBuilder::new(n);
+        for i in 0..n {
+            b.add_bias(i, rng.gen_range(-1.0..1.0));
+            for j in (i + 1)..n {
+                b.add_coupling(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_near_ground_states() {
+        for seed in 0..5 {
+            let p = random_problem(10, seed);
+            let exact = solve_exhaustive(&p);
+            let r = SimCim::new().seed(seed).solve(&p);
+            assert!(
+                r.best_energy <= exact.energy + 1e-9 + 0.05 * exact.energy.abs(),
+                "seed {seed}: simcim {} vs exact {}",
+                r.best_energy,
+                exact.energy
+            );
+            assert!((p.energy(&r.best_state) - r.best_energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = random_problem(9, 7);
+        let a = SimCim::new().seed(3).solve(&p);
+        let b = SimCim::new().seed(3).solve(&p);
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.best_energy, b.best_energy);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn immediate_stop_still_returns_a_valid_state() {
+        let p = random_problem(8, 2);
+        let (r, interrupted) = SimCim::new().seed(1).solve_until(&p, &|| true);
+        assert!(interrupted);
+        assert_eq!(r.best_state.len(), 8);
+        assert!((p.energy(&r.best_state) - r.best_energy).abs() < 1e-9);
+        // Stopped at the first sampling point of the first restart.
+        assert!(r.iterations <= SimCim::default().sample_every);
+    }
+
+    #[test]
+    fn never_firing_hook_matches_solve(){
+        let p = random_problem(7, 11);
+        let plain = SimCim::new().seed(5).solve(&p);
+        let (hooked, interrupted) = SimCim::new().seed(5).solve_until(&p, &|| false);
+        assert!(!interrupted);
+        assert_eq!(plain.best_state, hooked.best_state);
+        assert_eq!(plain.best_energy, hooked.best_energy);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = IsingBuilder::new(0).offset(2.5).build();
+        let r = SimCim::new().solve(&p);
+        assert_eq!(r.best_energy, 2.5);
+        assert_eq!(r.best_state.len(), 0);
+    }
+}

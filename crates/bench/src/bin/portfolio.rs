@@ -1,0 +1,318 @@
+//! Portfolio racing benchmark: each fixed roster member solo vs the raced
+//! [`PortfolioSolver`] on real benchmark core COPs.
+//!
+//! For every instance (continuous-function components at the paper's
+//! `n = m = 9`, free 4 / bound 5 split) the bench measures:
+//!
+//! - each member's solo wall-clock and objective under an identical
+//!   [`SolveCtx`] seed (best of `ADIS_PORTFOLIO_REPS` repetitions);
+//! - the raced portfolio's wall-clock, winner and objective;
+//! - **racing overhead** — portfolio wall-clock vs the best fixed member
+//!   (the portfolio should track the fastest fixed choice to within ~10%);
+//! - **cancel effectiveness** — aggregated lane work (bSB/SimCIM/DOCH
+//!   iterations) in the portfolio run vs the sum of full solo runs:
+//!   first-to-finish cancellation (or, on a host with no spare cores, the
+//!   static-selection fallback that skips the losing lanes entirely)
+//!   should keep the ratio well below 1.0.
+//!
+//! The portfolio adapts to the host: with spare cores it races one scoped
+//! thread per member; on a single-CPU host racing would only time-slice
+//! the lanes, so it runs the member named by the static selection table.
+//! The artifact records `available_parallelism` so the two regimes are
+//! distinguishable.
+//!
+//! Writes `results/BENCH_portfolio.json` and prints a per-instance table.
+//! Knobs: `ADIS_PORTFOLIO_ITERS` (lane iteration budget, default 4000) and
+//! `ADIS_PORTFOLIO_REPS` (timing repetitions, default 21).
+//!
+//! Usage:
+//!   cargo run --release -p adis-bench --bin portfolio
+
+use adis_anneal::{Doch, SimCim};
+use adis_benchfn::ContinuousFn;
+use adis_boolfn::{BooleanMatrix, InputDist, Partition};
+use adis_core::{
+    ColumnCop, CopScratch, CopSolver, DaltaHeuristic, DochCopSolver, IsingCopSolver, Mode,
+    PortfolioSolver, SimCimCopSolver, SolveCtx,
+};
+use adis_sb::StopCriterion;
+use adis_telemetry::Json;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Instant;
+
+const SEED: u64 = 11;
+
+/// Reads a positive integer knob from the environment, falling back to
+/// `default`. Lets CI run the comparison on a reduced budget.
+fn env_knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Benchmark core COPs: components of the paper's continuous functions at
+/// `n = m = 9` under the free `{0..3}` / bound `{4..8}` split — the same
+/// construction the solver microbenchmarks use, across several functions
+/// and components so no single member is favored by accident.
+fn instances() -> Vec<(String, ColumnCop)> {
+    let w = Partition::new(9, vec![0, 1, 2, 3], vec![4, 5, 6, 7, 8]).expect("valid partition");
+    let mut out = Vec::new();
+    for f in ContinuousFn::ALL.iter() {
+        for component in [2u32, 6] {
+            let table = f.function(9, 9).expect("paper quantization widths");
+            let m = BooleanMatrix::build(table.component(component), &w);
+            out.push((
+                format!("{}[{component}]", f.name()),
+                ColumnCop::separate(&m, &w, &InputDist::Uniform),
+            ));
+        }
+    }
+    out
+}
+
+/// The raced roster with explicit, comparable iteration budgets. Every
+/// member polls its context frequently (bSB at `sample_every`, SimCIM at
+/// `sample_every`, DOCH inside the fixed-point loop, DALTA per start), so
+/// race-join latency stays a small fraction of any lane's runtime.
+fn roster(iters: usize) -> Vec<(&'static str, Box<dyn CopSolver>)> {
+    // Budgets are balanced so every lane runs for a comparable, non-trivial
+    // time on the benchmark instances: the race's fixed overhead (four
+    // thread spawns plus the losers noticing cancellation) is a few hundred
+    // microseconds, so millisecond-scale lanes keep it under 10%.
+    vec![
+        (
+            "bsb",
+            Box::new(
+                IsingCopSolver::new()
+                    .stop(StopCriterion::DynamicVariance {
+                        sample_every: 8,
+                        window: 4,
+                        threshold: 1e-12,
+                        max_iterations: iters,
+                    })
+                    .replicas(24),
+            ),
+        ),
+        (
+            "simcim",
+            Box::new(SimCimCopSolver::with(
+                SimCim::new()
+                    .iterations((iters / 8).max(64))
+                    .restarts(2)
+                    .sample_every(8),
+            )),
+        ),
+        (
+            "doch",
+            Box::new(DochCopSolver::with(
+                Doch::new()
+                    .max_iters(iters / 4)
+                    .restarts((iters / 32).max(8)),
+            )),
+        ),
+        (
+            "dalta",
+            Box::new(DaltaHeuristic {
+                restarts: (iters / 4).max(16),
+            }),
+        ),
+    ]
+}
+
+fn portfolio(iters: usize) -> PortfolioSolver {
+    roster(iters)
+        .into_iter()
+        .fold(PortfolioSolver::new(), |p, (name, solver)| {
+            p.member_boxed(name, solver)
+        })
+        .race(true)
+}
+
+fn main() {
+    let iters = env_knob("ADIS_PORTFOLIO_ITERS", 4000);
+    let reps = env_knob("ADIS_PORTFOLIO_REPS", 21);
+    let members = roster(iters);
+    let raced = portfolio(iters);
+    println!(
+        "portfolio racing bench — roster {:?}, iters {iters}, best of {reps}",
+        members.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+    );
+    println!(
+        "{:<10} {:>9} {:>16} {:>16} {:>8} {:>9} {:>6}",
+        "instance", "race(ms)", "best fixed", "worst fixed", "±10%", "winner", "work"
+    );
+
+    let mut rows = Vec::new();
+    let mut overall_tally: BTreeMap<String, u64> = BTreeMap::new();
+    let mut all_within = true;
+    let mut beats_worst_somewhere = false;
+    for (name, cop) in instances() {
+        let mut scratch = CopScratch::new();
+
+        // Best-of-`reps` wall clock per member and for the portfolio, with
+        // the solo and portfolio measurements *interleaved* round-robin:
+        // background load on the host then biases every contender equally
+        // instead of whichever phase it coincided with.
+        let mut solo_best = vec![f64::INFINITY; members.len()];
+        let mut solo_outs: Vec<Option<adis_core::CopOutcome>> = vec![None; members.len()];
+        let mut race_ms = f64::INFINITY;
+        let mut race_out = None;
+        let mut tally: BTreeMap<String, u64> = BTreeMap::new();
+        // One untimed warmup absorbs cold caches and lazy page faults.
+        for (_, solver) in &members {
+            solver.solve_cop(&cop, &SolveCtx::new(SEED), &mut scratch);
+        }
+        raced.solve_cop(&cop, &SolveCtx::new(SEED), &mut scratch);
+        for _ in 0..reps {
+            for (i, (_, solver)) in members.iter().enumerate() {
+                let t0 = Instant::now();
+                let res = solver.solve_cop(&cop, &SolveCtx::new(SEED), &mut scratch);
+                solo_best[i] = solo_best[i].min(t0.elapsed().as_secs_f64() * 1e3);
+                solo_outs[i] = Some(res);
+            }
+            let t0 = Instant::now();
+            let res = raced.solve_cop(&cop, &SolveCtx::new(SEED), &mut scratch);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            *tally
+                .entry(res.winner.clone().unwrap_or_default())
+                .or_insert(0) += 1;
+            if ms < race_ms {
+                race_ms = ms;
+                race_out = Some(res);
+            }
+        }
+        let race_out = race_out.expect("at least one rep");
+        let mut solo = Vec::new();
+        let mut solo_work_sum = 0u64;
+        for (i, (member, _)) in members.iter().enumerate() {
+            let out = solo_outs[i].as_ref().expect("at least one rep");
+            solo_work_sum += out.sb_iterations as u64 + out.bnb_nodes;
+            solo.push((*member, solo_best[i], out.objective));
+        }
+        let winner = race_out.winner.clone().unwrap_or_default();
+        for (w, n) in &tally {
+            *overall_tally.entry(w.clone()).or_insert(0) += n;
+        }
+
+        let (best_name, best_ms, _) = solo
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty roster");
+        let (worst_name, worst_ms, _) = solo
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty roster");
+        let within = race_ms <= best_ms * 1.10;
+        all_within &= within;
+        beats_worst_somewhere |= race_ms < worst_ms;
+        let race_work = race_out.sb_iterations as u64 + race_out.bnb_nodes;
+        let work_ratio = race_work as f64 / solo_work_sum.max(1) as f64;
+
+        let weights = cop.weights();
+        let spread = weights.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+            - weights.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+        let static_pick = PortfolioSolver::select_for(cop.rows(), cop.cols(), spread, Mode::Separate);
+
+        println!(
+            "{:<10} {:>9.3} {:>16} {:>16} {:>8} {:>9} {:>6.2}",
+            name,
+            race_ms,
+            format!("{best_name} {best_ms:.3}"),
+            format!("{worst_name} {worst_ms:.3}"),
+            if within { "yes" } else { "NO" },
+            winner,
+            work_ratio
+        );
+
+        rows.push(Json::Obj(vec![
+            ("instance".into(), Json::str(name)),
+            ("rows".into(), Json::Num(cop.rows() as f64)),
+            ("cols".into(), Json::Num(cop.cols() as f64)),
+            ("weight_spread".into(), Json::Num(spread)),
+            (
+                "solo".into(),
+                Json::Arr(
+                    solo.iter()
+                        .map(|(m, ms, obj)| {
+                            Json::Obj(vec![
+                                ("member".into(), Json::str(*m)),
+                                ("ms".into(), Json::Num(*ms)),
+                                ("objective".into(), Json::Num(*obj)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("portfolio_ms".into(), Json::Num(race_ms)),
+            ("portfolio_objective".into(), Json::Num(race_out.objective)),
+            ("winner".into(), Json::str(winner)),
+            (
+                "winner_tally".into(),
+                Json::Obj(
+                    tally
+                        .iter()
+                        .map(|(w, n)| (w.clone(), Json::Num(*n as f64)))
+                        .collect(),
+                ),
+            ),
+            ("best_fixed".into(), Json::str(best_name)),
+            ("best_fixed_ms".into(), Json::Num(best_ms)),
+            ("worst_fixed".into(), Json::str(worst_name)),
+            ("worst_fixed_ms".into(), Json::Num(worst_ms)),
+            ("within_10pct_of_best".into(), Json::Bool(within)),
+            ("speedup_vs_worst".into(), Json::Num(worst_ms / race_ms)),
+            ("race_work".into(), Json::Num(race_work as f64)),
+            ("solo_work_sum".into(), Json::Num(solo_work_sum as f64)),
+            ("cancel_work_ratio".into(), Json::Num(work_ratio)),
+            ("static_pick".into(), Json::str(static_pick)),
+        ]));
+    }
+
+    println!(
+        "\nall instances within 10% of best fixed: {all_within}; \
+         beats the worst fixed choice somewhere: {beats_worst_somewhere}"
+    );
+    println!("overall winner tally: {overall_tally:?}");
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::str("portfolio")),
+        (
+            "roster".into(),
+            Json::Arr(members.iter().map(|(n, _)| Json::str(*n)).collect()),
+        ),
+        ("iters".into(), Json::Num(iters as f64)),
+        ("timing_reps".into(), Json::Num(reps as f64)),
+        (
+            "available_parallelism".into(),
+            Json::Num(std::thread::available_parallelism().map_or(1, |n| n.get()) as f64),
+        ),
+        ("seed".into(), Json::Num(SEED as f64)),
+        ("all_within_10pct_of_best".into(), Json::Bool(all_within)),
+        (
+            "beats_worst_fixed_somewhere".into(),
+            Json::Bool(beats_worst_somewhere),
+        ),
+        (
+            "overall_winner_tally".into(),
+            Json::Obj(
+                overall_tally
+                    .iter()
+                    .map(|(w, n)| (w.clone(), Json::Num(*n as f64)))
+                    .collect(),
+            ),
+        ),
+        ("results".into(), Json::Arr(rows)),
+    ]);
+    // Anchor to the workspace root so the artifact lands in the same
+    // `results/` directory as the run reports, regardless of CWD.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_portfolio.json");
+    std::fs::write(&path, report.render_pretty()).expect("write BENCH_portfolio.json");
+    println!("wrote {}", path.display());
+}

@@ -26,6 +26,7 @@ fn main() {
         cfg.partitions, cfg.rounds, cfg.ilp_time_limit, cfg.seed
     );
 
+    #[allow(clippy::type_complexity)]
     let columns: [(Mode, Method, &[(f64, f64); 6]); 6] = [
         (Mode::Separate, Method::DaltaIlp, &paper::T1_SEP_ILP),
         (Mode::Separate, Method::Proposed, &paper::T1_SEP_PROP),

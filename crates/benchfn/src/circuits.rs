@@ -96,13 +96,13 @@ pub fn array_multiplier(width: u32) -> Netlist {
     let mut acc: Vec<NodeId> = row0[1..].to_vec();
 
     // Rows 1..w: ripple-carry add the shifted partial products.
-    for i in 1..w {
-        let pp: Vec<NodeId> = (0..w).map(|j| n.and(a[i], b[j])).collect();
+    for &a_bit in a.iter().take(w).skip(1) {
+        let pp: Vec<NodeId> = (0..w).map(|j| n.and(a_bit, b[j])).collect();
         let mut next = Vec::with_capacity(w + 1);
         let mut carry = zero;
-        for j in 0..w {
+        for (j, &pp_bit) in pp.iter().enumerate() {
             let acc_bit = acc.get(j).copied().unwrap_or(zero);
-            let (s, c) = n.full_adder(acc_bit, pp[j], carry);
+            let (s, c) = n.full_adder(acc_bit, pp_bit, carry);
             next.push(s);
             carry = c;
         }

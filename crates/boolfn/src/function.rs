@@ -50,7 +50,7 @@ impl MultiOutputFn {
     ///
     /// Panics if `outputs > 64` or `inputs > TruthTable::MAX_INPUTS`.
     pub fn from_word_fn<F: FnMut(u64) -> u64>(inputs: u32, outputs: u32, mut f: F) -> Self {
-        assert!(outputs >= 1 && outputs <= 64, "outputs must be in 1..=64");
+        assert!((1..=64).contains(&outputs), "outputs must be in 1..=64");
         let n = 1usize << inputs;
         let mut bits: Vec<BitVec> = (0..outputs).map(|_| BitVec::zeros(n)).collect();
         for p in 0..n {

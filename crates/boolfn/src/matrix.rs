@@ -162,7 +162,7 @@ impl BooleanMatrix {
                     word = 0;
                 }
             }
-            if self.rows % 64 != 0 {
+            if !self.rows.is_multiple_of(64) {
                 byte_feed(word);
             }
             // Commutative combine (wrapping add): column order is erased.

@@ -10,14 +10,19 @@
 //!    *without* a wall-clock limit, so the result is deterministic);
 //! 4. the generic 0-1 ILP route through [`BranchAndBound`].
 //!
-//! And no heuristic — bSB under randomized configurations, DALTA, BA —
-//! may ever report an objective *below* that optimum, while every solver
-//! must report exactly the objective of the setting it returns.
+//! And no heuristic — bSB under randomized configurations, DALTA, BA,
+//! the SimCIM mean-field relaxation, the DOCH difference-of-convex
+//! iteration — may ever report an objective *below* that optimum, while
+//! every solver must report exactly the objective of the setting it
+//! returns. Finally, the sequential solver portfolio must be a pure
+//! argmin over its members: bit-identical to running its winning member
+//! alone under the same context.
 
 use crate::Collector;
 use adis_boolfn::{BooleanMatrix, InputDist, Partition, TruthTable};
 use adis_core::{
-    BaParams, ColumnCop, CopScratch, CopSolver, CopSolverKind, DaltaHeuristic, IsingCopSolver,
+    BaParams, ColumnCop, CopScratch, CopSolver, CopSolverKind, DaltaHeuristic, DochCopSolver,
+    IsingCopSolver, PortfolioSolver, SimCimCopSolver, SolveCtx,
 };
 use adis_ilp::BranchAndBound;
 use adis_sb::StopCriterion;
@@ -71,7 +76,7 @@ pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
         ("generic-ilp", Box::new(BranchAndBound::new())),
     ];
     for (name, solver) in &exact_solvers {
-        let res = solver.solve_cop(&cop, seed, &mut scratch);
+        let res = solver.solve_cop(&cop, &SolveCtx::new(seed), &mut scratch);
         col.close(case, &format!("{name} objective vs optimum"), res.objective, opt, TOL);
         col.close(
             case,
@@ -86,16 +91,18 @@ pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
     // (DALTA and bSB usually *reach* the optimum on instances this small,
     // but neither guarantees it, so only the one-sided bound is an
     // invariant.)
-    let heuristics: [(&str, Box<dyn CopSolver>); 3] = [
+    let heuristics: [(&str, Box<dyn CopSolver>); 5] = [
         ("bSB", Box::new(CopSolverKind::Ising(random_ising_solver(rng)))),
         (
             "dalta",
             Box::new(DaltaHeuristic { restarts: rng.gen_range(1..=3) }),
         ),
         ("ba", Box::new(BaParams::default())),
+        ("simcim", Box::new(SimCimCopSolver::new())),
+        ("doch", Box::new(DochCopSolver::new())),
     ];
     for (name, solver) in &heuristics {
-        let res = solver.solve_cop(&cop, seed, &mut scratch);
+        let res = solver.solve_cop(&cop, &SolveCtx::new(seed), &mut scratch);
         col.check(case, res.objective >= opt - TOL, || {
             format!(
                 "{name} reported {} — better than the exhaustive optimum {opt}",
@@ -110,6 +117,44 @@ pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
             TOL,
         );
     }
+
+    // Racing determinism: with racing disabled the portfolio is a pure
+    // argmin, so its answer must be bit-identical to running the winning
+    // member alone under an identical context — no cross-member state may
+    // leak through the shared scratch.
+    let portfolio = PortfolioSolver::new()
+        .member("exact", CopSolverKind::Exact { time_limit: None })
+        .member("dalta", DaltaHeuristic { restarts: 2 })
+        .member("doch", DochCopSolver::new());
+    let raced = portfolio.solve_cop(&cop, &SolveCtx::new(seed), &mut scratch);
+    let winner = raced.winner.clone().unwrap_or_default();
+    let solo: Box<dyn CopSolver> = match winner.as_str() {
+        "exact" => Box::new(CopSolverKind::Exact { time_limit: None }),
+        "dalta" => Box::new(DaltaHeuristic { restarts: 2 }),
+        "doch" => Box::new(DochCopSolver::new()),
+        other => {
+            col.check(case, false, || {
+                format!("portfolio attributed an unknown member {other:?}")
+            });
+            return;
+        }
+    };
+    let alone = solo.solve_cop(&cop, &SolveCtx::new(seed), &mut scratch);
+    col.check(case, raced.setting == alone.setting, || {
+        format!("sequential portfolio setting diverged from member {winner} run alone")
+    });
+    col.check(
+        case,
+        raced.objective.to_bits() == alone.objective.to_bits(),
+        || {
+            format!(
+                "sequential portfolio objective {} != member {winner} alone {}",
+                raced.objective, alone.objective
+            )
+        },
+    );
+    // The exact member is enrolled, so the portfolio must land the optimum.
+    col.close(case, "portfolio objective vs optimum", raced.objective, opt, TOL);
 }
 
 /// A randomized (but always valid) Ising COP solver configuration: both

@@ -132,7 +132,7 @@ pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
     }
 
     // --- End-to-end engine oracle on a fresh small instance.
-    if case % 4 == 0 {
+    if case.is_multiple_of(4) {
         engine_case(col, case, rng);
     }
 }

@@ -29,7 +29,22 @@ pub(crate) fn dalta_heuristic_pattern(cop: &RowCop) -> BitVec {
 ///
 /// Runs `restarts` additional randomized starts and keeps the best.
 pub fn solve_dalta_heuristic(cop: &RowCop, restarts: usize, seed: u64) -> RowCopSolution {
+    solve_dalta_heuristic_until(cop, restarts, seed, &|| false).0
+}
+
+/// [`solve_dalta_heuristic`] with a cooperative stop hook, polled between
+/// starts. The deterministic first start always completes, so even an
+/// immediately-firing hook yields a valid solution; the returned flag
+/// reports whether the hook cut the run short. A hook that never fires is
+/// bit-identical to [`solve_dalta_heuristic`].
+pub fn solve_dalta_heuristic_until(
+    cop: &RowCop,
+    restarts: usize,
+    seed: u64,
+    should_stop: &dyn Fn() -> bool,
+) -> (RowCopSolution, bool) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut interrupted = false;
     let mut best: Option<(BitVec, f64)> = None;
     let starts = std::iter::once(dalta_heuristic_pattern(cop)).chain((0..restarts).map(|_| {
         let mut v = BitVec::zeros(cop.cols());
@@ -70,15 +85,22 @@ pub fn solve_dalta_heuristic(cop: &RowCop, restarts: usize, seed: u64) -> RowCop
         if best.as_ref().map(|&(_, b)| obj < b).unwrap_or(true) {
             best = Some((v, obj));
         }
+        if should_stop() {
+            interrupted = true;
+            break;
+        }
     }
     let (v, objective) = best.expect("at least one start");
     let (types, _) = cop.optimal_types(&v);
-    RowCopSolution {
-        setting: adis_boolfn::RowSetting { v, s: types },
-        objective,
-        optimal: false,
-        nodes: 0,
-    }
+    (
+        RowCopSolution {
+            setting: adis_boolfn::RowSetting { v, s: types },
+            objective,
+            optimal: false,
+            nodes: 0,
+        },
+        interrupted,
+    )
 }
 
 /// The DALTA heuristic packaged as a standalone COP-solver configuration
@@ -126,7 +148,22 @@ impl Default for BaParams {
 /// optimally at every evaluation (so the walk explores the `V`-marginal
 /// energy landscape).
 pub fn solve_ba(cop: &RowCop, params: &BaParams, seed: u64) -> RowCopSolution {
+    solve_ba_until(cop, params, seed, &|| false).0
+}
+
+/// [`solve_ba`] with a cooperative stop hook, polled between sweeps and
+/// between restarts. On interruption the walk's current state joins the
+/// best-so-far bookkeeping, so even an immediately-firing hook yields a
+/// valid solution; the returned flag reports whether the hook cut the run
+/// short. A hook that never fires is bit-identical to [`solve_ba`].
+pub fn solve_ba_until(
+    cop: &RowCop,
+    params: &BaParams,
+    seed: u64,
+    should_stop: &dyn Fn() -> bool,
+) -> (RowCopSolution, bool) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut interrupted = false;
     // Temperature scale: relative to the mean |weight| so params transfer
     // across problem sizes.
     let scale: f64 = {
@@ -147,7 +184,7 @@ pub fn solve_ba(cop: &RowCop, params: &BaParams, seed: u64) -> RowCopSolution {
         .map(|i| (0..cols).map(|j| cop.weight(i, j)).sum())
         .collect();
     let row_min = |r_i: f64, p_i: f64| 0.0f64.min(r_i).min(p_i).min(r_i - p_i);
-    for _ in 0..params.restarts.max(1) {
+    'restarts: for _ in 0..params.restarts.max(1) {
         let mut v = BitVec::from_fn(cols, |_| rng.gen_bool(0.5));
         let mut p_sums: Vec<f64> = (0..rows)
             .map(|i| {
@@ -176,8 +213,8 @@ pub fn solve_ba(cop: &RowCop, params: &BaParams, seed: u64) -> RowCopSolution {
                 let delta = nobj - obj;
                 if delta <= 0.0 || rng.gen::<f64>() < (-delta / t).exp() {
                     v.toggle(j);
-                    for i in 0..rows {
-                        p_sums[i] += sign * cop.weight(i, j);
+                    for (i, p) in p_sums.iter_mut().enumerate() {
+                        *p += sign * cop.weight(i, j);
                     }
                     obj = nobj;
                     if best.as_ref().map(|&(_, b)| obj < b).unwrap_or(true) {
@@ -185,19 +222,33 @@ pub fn solve_ba(cop: &RowCop, params: &BaParams, seed: u64) -> RowCopSolution {
                     }
                 }
             }
+            if should_stop() {
+                interrupted = true;
+                if best.as_ref().map(|&(_, b)| obj < b).unwrap_or(true) {
+                    best = Some((v.clone(), obj));
+                }
+                break 'restarts;
+            }
         }
         if best.as_ref().map(|&(_, b)| obj < b).unwrap_or(true) {
             best = Some((v, obj));
         }
+        if should_stop() {
+            interrupted = true;
+            break;
+        }
     }
     let (v, objective) = best.expect("at least one restart");
     let (types, _) = cop.optimal_types(&v);
-    RowCopSolution {
-        setting: adis_boolfn::RowSetting { v, s: types },
-        objective,
-        optimal: false,
-        nodes: 0,
-    }
+    (
+        RowCopSolution {
+            setting: adis_boolfn::RowSetting { v, s: types },
+            objective,
+            optimal: false,
+            nodes: 0,
+        },
+        interrupted,
+    )
 }
 
 #[cfg(test)]
@@ -254,6 +305,32 @@ mod tests {
                 ba.objective
             );
         }
+    }
+
+    #[test]
+    fn never_firing_hooks_are_bit_identical() {
+        let cop = random_cop(55, 5, 9);
+        let plain_d = solve_dalta_heuristic(&cop, 3, 2);
+        let (hook_d, int_d) = solve_dalta_heuristic_until(&cop, 3, 2, &|| false);
+        assert!(!int_d);
+        assert_eq!(plain_d.setting, hook_d.setting);
+        assert_eq!(plain_d.objective, hook_d.objective);
+        let plain_b = solve_ba(&cop, &BaParams::default(), 2);
+        let (hook_b, int_b) = solve_ba_until(&cop, &BaParams::default(), 2, &|| false);
+        assert!(!int_b);
+        assert_eq!(plain_b.setting, hook_b.setting);
+        assert_eq!(plain_b.objective, hook_b.objective);
+    }
+
+    #[test]
+    fn immediate_stop_still_yields_valid_solutions() {
+        let cop = random_cop(66, 5, 9);
+        let (d, int_d) = solve_dalta_heuristic_until(&cop, 3, 4, &|| true);
+        assert!(int_d);
+        assert!((cop.objective(&d.setting) - d.objective).abs() < 1e-9);
+        let (b, int_b) = solve_ba_until(&cop, &BaParams::default(), 4, &|| true);
+        assert!(int_b);
+        assert!((cop.objective(&b.setting) - b.objective).abs() < 1e-9);
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //!    the COP content. Eviction is therefore also invisible: an evicted
 //!    entry is simply recomputed, by construction to the same bits.
 
-use crate::cop_solver::CopResult;
+use crate::cop_solver::CopOutcome;
 use adis_boolfn::{BitVec, BooleanMatrix, ColumnSetting};
 use crate::ColumnCop;
 use std::collections::hash_map::DefaultHasher;
@@ -573,7 +573,7 @@ impl CopCache {
     /// Memoizes `result` under `key` in every tier (first writer wins;
     /// concurrent duplicate solves produce identical results anyway,
     /// because seeds are content-derived).
-    pub(crate) fn insert(&self, key: MemoKey, result: &CopResult) {
+    pub(crate) fn insert(&self, key: MemoKey, result: &CopOutcome) {
         if !self.enabled {
             return;
         }
@@ -666,12 +666,8 @@ mod tests {
 
         // One entry serves both spellings.
         let cache = CopCache::new(true);
-        let result = CopResult {
-            setting: pos.solve_exhaustive(),
-            objective: pos.objective(&pos.solve_exhaustive()),
-            sb_iterations: 0,
-            bnb_nodes: 0,
-        };
+        let result =
+            CopOutcome::completed(pos.solve_exhaustive(), pos.objective(&pos.solve_exhaustive()));
         cache.insert(kp, &result);
         assert!(cache.lookup(&kn).is_some(), "-0.0 grid must hit the 0.0 entry");
 
@@ -691,12 +687,8 @@ mod tests {
         let w = Partition::new(4, vec![0, 1], vec![2, 3]).unwrap();
         let cop = ColumnCop::separate(&m, &w, &InputDist::Uniform);
         let key = MemoKey::from_matrix(&m, 4);
-        let result = CopResult {
-            setting: cop.solve_exhaustive(),
-            objective: 0.25,
-            sb_iterations: 12,
-            bnb_nodes: 0,
-        };
+        let mut result = CopOutcome::completed(cop.solve_exhaustive(), 0.25);
+        result.sb_iterations = 12;
 
         let on = CopCache::new(true);
         assert!(on.lookup(&key).is_none());
@@ -833,7 +825,7 @@ mod tests {
 
     #[test]
     fn eviction_then_recompute_is_bit_identical() {
-        use crate::cop_solver::{CopScratch, CopSolver};
+        use crate::cop_solver::{CopScratch, CopSolver, SolveCtx};
 
         // Solve a real COP, cache it, evict it by overflowing a tiny
         // cache, then recompute: the content-derived seed forces the
@@ -848,7 +840,7 @@ mod tests {
 
         let cache = SharedCopCache::new(CacheConfig { shards: 1, capacity: 2 });
         let mut scratch = CopScratch::new();
-        let first = solver.solve_cop(&cop, seed, &mut scratch);
+        let first = solver.solve_cop(&cop, &SolveCtx::new(seed), &mut scratch);
         cache.put(
             fp,
             42,
@@ -875,7 +867,7 @@ mod tests {
 
         // Recompute exactly as the engine would: same cop, same
         // content-derived seed (through a dirty scratch, even).
-        let second = solver.solve_cop(&cop, seed, &mut scratch);
+        let second = solver.solve_cop(&cop, &SolveCtx::new(seed), &mut scratch);
         assert_eq!(first.setting, second.setting);
         assert_eq!(first.objective.to_bits(), second.objective.to_bits());
     }

@@ -9,18 +9,160 @@
 //! [`Framework::solver`](crate::Framework::solver), and
 //! [`CopSolverKind`](crate::CopSolverKind) remains as the ready-made enum
 //! of the paper's four methods.
+//!
+//! ## The solve context
+//!
+//! Every solve receives a [`SolveCtx`]: the seed plus the *run controls* —
+//! an optional soft deadline, a cooperative [`CancelToken`], and an
+//! optional best-known incumbent objective. Solvers poll
+//! [`SolveCtx::should_stop`] at their natural sampling granularity (bSB
+//! sampling points, B&B node batches, restart boundaries) and unwind with
+//! their best answer so far; [`CopOutcome::halt`] records whether the
+//! solve ran to completion or which control cut it short. A default
+//! context ([`SolveCtx::new`]) never fires, and every implementation is
+//! bit-identical under it to a context-free solve — which is what keeps
+//! memoized results exact.
 
-use crate::baselines::{solve_ba, solve_dalta_heuristic, BaParams, DaltaHeuristic};
+use crate::baselines::{solve_ba_until, solve_dalta_heuristic_until, BaParams, DaltaHeuristic};
 use crate::{ColumnCop, CopSolverKind, IsingCopSolver, RowCop};
+use adis_anneal::{Doch, SimCim};
 use adis_boolfn::{BitVec, ColumnSetting, RowSetting};
 use adis_ilp::BranchAndBound;
 use adis_sb::SbBatchScratch;
-use adis_telemetry::NullObserver;
+use adis_telemetry::{CancelToken, NullObserver};
 use std::fmt;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Why a core-COP solve stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// The solver ran its configured budget to the end.
+    Completed,
+    /// The solve reached the context's incumbent objective and stopped
+    /// early (racing: another lane's answer was already this good).
+    TargetReached,
+    /// The context's soft deadline elapsed mid-solve.
+    DeadlineExceeded,
+    /// The context's [`CancelToken`] fired mid-solve.
+    Cancelled,
+}
+
+/// A token that never fires, backing [`SolveCtx::new`].
+static NEVER: OnceLock<CancelToken> = OnceLock::new();
+
+/// Per-solve context: the seed plus cooperative run controls.
+///
+/// Construct with [`SolveCtx::new`] (no controls — never stops a solver
+/// early) or [`SolveCtx::with_cancel`], then layer on a
+/// [`deadline`](SolveCtx::deadline) or an
+/// [`incumbent`](SolveCtx::incumbent). The deadline clock starts at
+/// construction.
+#[derive(Debug, Clone)]
+pub struct SolveCtx<'a> {
+    /// RNG seed for the solve (replaces the former `seed` argument).
+    pub seed: u64,
+    /// Soft wall-clock budget, measured from construction. Solvers notice
+    /// at their next poll point — this is cooperative, not preemptive.
+    pub deadline: Option<Duration>,
+    /// Best objective already known to the caller; a solver that matches
+    /// or beats it may halt with [`HaltReason::TargetReached`].
+    pub incumbent: Option<f64>,
+    cancel: &'a CancelToken,
+    started: Instant,
+}
+
+impl SolveCtx<'static> {
+    /// A context with no cancel source, no deadline and no incumbent:
+    /// [`should_stop`](SolveCtx::should_stop) never fires, so the solve
+    /// runs exactly like the pre-context API.
+    pub fn new(seed: u64) -> Self {
+        SolveCtx {
+            seed,
+            deadline: None,
+            incumbent: None,
+            cancel: NEVER.get_or_init(CancelToken::new),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl<'a> SolveCtx<'a> {
+    /// A context observing `cancel`; fires as soon as the token (or any of
+    /// its ancestors) is cancelled.
+    pub fn with_cancel(seed: u64, cancel: &'a CancelToken) -> Self {
+        SolveCtx {
+            seed,
+            deadline: None,
+            incumbent: None,
+            cancel,
+            started: Instant::now(),
+        }
+    }
+
+    /// Sets a soft deadline, measured from the context's construction.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Sets the best-known objective (racing lanes stop once they match it).
+    pub fn incumbent(mut self, objective: f64) -> Self {
+        self.incumbent = Some(objective);
+        self
+    }
+
+    /// The cancel token this context observes.
+    pub fn cancel(&self) -> &'a CancelToken {
+        self.cancel
+    }
+
+    /// Wall-clock time since the context was constructed.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Time left until the deadline (`None` when no deadline is set;
+    /// saturates at zero once elapsed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_sub(self.started.elapsed()))
+    }
+
+    /// Whether a run control has fired. Cancellation wins over the
+    /// deadline when both have; the incumbent is *not* consulted here
+    /// (solvers compare their own running objective via
+    /// [`target_reached`](SolveCtx::target_reached)).
+    pub fn should_stop(&self) -> Option<HaltReason> {
+        if self.cancel.is_cancelled() {
+            return Some(HaltReason::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| self.started.elapsed() >= d) {
+            return Some(HaltReason::DeadlineExceeded);
+        }
+        None
+    }
+
+    /// Whether `objective` already matches or beats the context's
+    /// incumbent (always false without one).
+    pub fn target_reached(&self, objective: f64) -> bool {
+        self.incumbent.is_some_and(|inc| objective <= inc)
+    }
+}
+
+/// Maps a truncated solve back to the run control that caused it (the
+/// flags latch, so re-querying after the fact is reliable). A solve that
+/// was not interrupted completed.
+pub(crate) fn halt_of(ctx: &SolveCtx<'_>, interrupted: bool) -> HaltReason {
+    if interrupted {
+        ctx.should_stop().unwrap_or(HaltReason::Completed)
+    } else {
+        HaltReason::Completed
+    }
+}
 
 /// Outcome of one core-COP solve through the [`CopSolver`] seam.
 #[derive(Debug, Clone)]
-pub struct CopResult {
+pub struct CopOutcome {
     /// The best column setting found (row-based solvers convert).
     pub setting: ColumnSetting,
     /// Its objective (ER in separate mode, MED in joint mode).
@@ -29,6 +171,27 @@ pub struct CopResult {
     pub sb_iterations: usize,
     /// Branch-and-bound nodes expanded (0 for non-exact solvers).
     pub bnb_nodes: u64,
+    /// Whether the solve ran its budget to the end or a run control cut
+    /// it short. Only [`HaltReason::Completed`] outcomes are cacheable.
+    pub halt: HaltReason,
+    /// For composite solvers (the portfolio), the member that produced
+    /// this answer; `None` for plain solvers.
+    pub winner: Option<String>,
+}
+
+impl CopOutcome {
+    /// A completed outcome with no winner attribution (the common case
+    /// for plain solvers).
+    pub fn completed(setting: ColumnSetting, objective: f64) -> Self {
+        CopOutcome {
+            setting,
+            objective,
+            sb_iterations: 0,
+            bnb_nodes: 0,
+            halt: HaltReason::Completed,
+            winner: None,
+        }
+    }
 }
 
 /// Reusable per-worker buffers for COP solves.
@@ -81,14 +244,20 @@ impl CopScratch {
 /// reconstructions.
 ///
 /// Contract expected by the sweep engine's memo table: for a fixed
-/// `(cop, seed)` the result must be deterministic, and it must depend
-/// *only* on `(cop, seed)` — never on `scratch` contents (buffers must be
-/// overwritten before use) or on global state. That is what makes caching
-/// a pure optimization: a memoized result is bit-identical to re-solving.
+/// `(cop, ctx.seed)` and a context whose run controls never fire, the
+/// result must be deterministic and depend *only* on `(cop, ctx.seed)` —
+/// never on `scratch` contents (buffers must be overwritten before use)
+/// or on global state. That is what makes caching a pure optimization: a
+/// memoized result is bit-identical to re-solving. When a run control
+/// *does* fire the solver must still return a valid setting (its best so
+/// far) with [`CopOutcome::halt`] recording the cause; such truncated
+/// outcomes are wall-clock-dependent and are never cached.
 pub trait CopSolver: fmt::Debug + Send + Sync {
-    /// Solves `cop` deterministically under `seed`, reusing `scratch`
-    /// buffers where the implementation supports it (others ignore it).
-    fn solve_cop(&self, cop: &ColumnCop, seed: u64, scratch: &mut CopScratch) -> CopResult;
+    /// Solves `cop` under `ctx` (seed + cooperative run controls),
+    /// reusing `scratch` buffers where the implementation supports it
+    /// (others ignore it).
+    fn solve_cop(&self, cop: &ColumnCop, ctx: &SolveCtx<'_>, scratch: &mut CopScratch)
+        -> CopOutcome;
 
     /// A stable fingerprint of this solver's full configuration, used to
     /// namespace [`SharedCopCache`](crate::SharedCopCache) entries: two
@@ -104,6 +273,14 @@ pub trait CopSolver: fmt::Debug + Send + Sync {
     /// silently serves one configuration's answers to another.
     fn fingerprint(&self) -> u64 {
         fingerprint_of(std::any::type_name::<Self>(), &format!("{self:?}"))
+    }
+
+    /// Whether results are a pure function of `(cop, ctx.seed)`. The
+    /// sweep engine memoizes only deterministic solvers; a raced
+    /// portfolio (whose winner depends on thread timing) returns false
+    /// and bypasses both cache tiers.
+    fn deterministic(&self) -> bool {
+        true
     }
 }
 
@@ -124,16 +301,23 @@ fn fingerprint_of(type_name: &str, debug: &str) -> u64 {
 /// The paper's proposal: ballistic simulated bifurcation on the
 /// second-order column-based Ising encoding.
 impl CopSolver for IsingCopSolver {
-    fn solve_cop(&self, cop: &ColumnCop, seed: u64, scratch: &mut CopScratch) -> CopResult {
-        let sol = self
+    fn solve_cop(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        scratch: &mut CopScratch,
+    ) -> CopOutcome {
+        let (sol, halt) = self
             .clone()
-            .seed(seed)
-            .solve_in(cop, scratch, &mut NullObserver);
-        CopResult {
+            .seed(ctx.seed)
+            .solve_ctx_in(cop, ctx, scratch, &mut NullObserver);
+        CopOutcome {
             setting: sol.setting,
             objective: sol.objective,
             sb_iterations: sol.stats.iterations,
             bnb_nodes: 0,
+            halt,
+            winner: None,
         }
     }
 }
@@ -149,68 +333,215 @@ fn to_row(cop: &ColumnCop) -> RowCop {
 /// [`RowCop::solve_exact`] search instead; this impl exists so the
 /// general-purpose ILP solver itself can drive the framework.
 impl CopSolver for BranchAndBound {
-    fn solve_cop(&self, cop: &ColumnCop, _seed: u64, _scratch: &mut CopScratch) -> CopResult {
+    fn solve_cop(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        _scratch: &mut CopScratch,
+    ) -> CopOutcome {
         let row = to_row(cop);
         let (model, vars) = row.to_ilp();
-        let sol = self.solve(&model);
+        let sol = self.solve_interruptible(
+            &model,
+            &|| ctx.should_stop().is_some(),
+            &mut NullObserver,
+        );
         // Decode the column pattern and re-derive the types exactly — a
         // free post-pass that also guards against limit-truncated solves.
         let v = BitVec::from_fn(row.cols(), |j| sol.values[vars.v0 + j]);
         let (types, objective) = row.optimal_types(&v);
-        CopResult {
+        CopOutcome {
             setting: RowSetting { v, s: types }.to_column_setting(),
             objective,
             sb_iterations: 0,
             bnb_nodes: sol.nodes,
+            halt: ctx.should_stop().unwrap_or(HaltReason::Completed),
+            winner: None,
         }
     }
 }
 
 /// The DALTA greedy-reconstruction heuristic baseline.
 impl CopSolver for DaltaHeuristic {
-    fn solve_cop(&self, cop: &ColumnCop, seed: u64, _scratch: &mut CopScratch) -> CopResult {
-        let sol = solve_dalta_heuristic(&to_row(cop), self.restarts, seed);
-        CopResult {
+    fn solve_cop(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        _scratch: &mut CopScratch,
+    ) -> CopOutcome {
+        let (sol, interrupted) = solve_dalta_heuristic_until(
+            &to_row(cop),
+            self.restarts,
+            ctx.seed,
+            &|| ctx.should_stop().is_some(),
+        );
+        CopOutcome {
             setting: sol.setting.to_column_setting(),
             objective: sol.objective,
             sb_iterations: 0,
             bnb_nodes: 0,
+            halt: halt_of(ctx, interrupted),
+            winner: None,
         }
     }
 }
 
 /// The BA (simulated-annealing) baseline.
 impl CopSolver for BaParams {
-    fn solve_cop(&self, cop: &ColumnCop, seed: u64, _scratch: &mut CopScratch) -> CopResult {
-        let sol = solve_ba(&to_row(cop), self, seed);
-        CopResult {
+    fn solve_cop(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        _scratch: &mut CopScratch,
+    ) -> CopOutcome {
+        let (sol, interrupted) =
+            solve_ba_until(&to_row(cop), self, ctx.seed, &|| ctx.should_stop().is_some());
+        CopOutcome {
             setting: sol.setting.to_column_setting(),
             objective: sol.objective,
             sb_iterations: 0,
             bnb_nodes: 0,
+            halt: halt_of(ctx, interrupted),
+            winner: None,
         }
+    }
+}
+
+/// SimCIM (mean-field coherent-Ising-machine dynamics) on the generic
+/// column Ising encoding — a cheap portfolio lane next to bSB.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimCimCopSolver {
+    solver: SimCim,
+}
+
+impl SimCimCopSolver {
+    /// The default SimCIM schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a custom-configured [`SimCim`] (its seed is overridden by
+    /// the context's on every solve).
+    pub fn with(solver: SimCim) -> Self {
+        SimCimCopSolver { solver }
+    }
+}
+
+/// Solves the COP's generic Ising encoding with a relaxation heuristic
+/// and decodes the readout exactly like the generic bSB path (including
+/// the free Theorem-3 type post-pass).
+fn solve_relaxation(
+    cop: &ColumnCop,
+    ctx: &SolveCtx<'_>,
+    run: impl FnOnce(&adis_ising::IsingProblem) -> (adis_anneal::MeanFieldResult, bool),
+) -> CopOutcome {
+    let ising = cop.to_ising();
+    let layout = cop.layout();
+    let (r, interrupted) = run(&ising);
+    let mut setting = layout.decode(&r.best_state);
+    setting.t = cop.optimal_t(&setting.v1, &setting.v2);
+    let objective = cop.objective(&setting);
+    CopOutcome {
+        setting,
+        objective,
+        sb_iterations: r.iterations,
+        bnb_nodes: 0,
+        halt: halt_of(ctx, interrupted),
+        winner: None,
+    }
+}
+
+impl CopSolver for SimCimCopSolver {
+    fn solve_cop(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        _scratch: &mut CopScratch,
+    ) -> CopOutcome {
+        solve_relaxation(cop, ctx, |ising| {
+            self.solver
+                .clone()
+                .seed(ctx.seed)
+                .solve_until(ising, &|| ctx.should_stop().is_some())
+        })
+    }
+}
+
+/// DOCH (difference-of-convex fixed-point iteration) on the generic
+/// column Ising encoding.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DochCopSolver {
+    solver: Doch,
+}
+
+impl DochCopSolver {
+    /// The default DOCH budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a custom-configured [`Doch`] (its seed is overridden by the
+    /// context's on every solve).
+    pub fn with(solver: Doch) -> Self {
+        DochCopSolver { solver }
+    }
+}
+
+impl CopSolver for DochCopSolver {
+    fn solve_cop(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        _scratch: &mut CopScratch,
+    ) -> CopOutcome {
+        solve_relaxation(cop, ctx, |ising| {
+            self.solver
+                .clone()
+                .seed(ctx.seed)
+                .solve_until(ising, &|| ctx.should_stop().is_some())
+        })
     }
 }
 
 /// Enum dispatch over the paper's four methods — Table 1's rows.
 impl CopSolver for CopSolverKind {
-    fn solve_cop(&self, cop: &ColumnCop, seed: u64, scratch: &mut CopScratch) -> CopResult {
+    fn solve_cop(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        scratch: &mut CopScratch,
+    ) -> CopOutcome {
         match self {
-            CopSolverKind::Ising(solver) => solver.solve_cop(cop, seed, scratch),
+            CopSolverKind::Ising(solver) => solver.solve_cop(cop, ctx, scratch),
             CopSolverKind::Exact { time_limit } => {
-                let sol = to_row(cop).solve_exact(*time_limit);
-                CopResult {
+                // Fold the context's remaining budget into the exact
+                // search's own wall-clock cap; cancellation is only
+                // checked at the boundary (the specialized search has no
+                // poll hook).
+                let effective = match (*time_limit, ctx.remaining()) {
+                    (Some(own), Some(left)) => Some(own.min(left)),
+                    (Some(own), None) => Some(own),
+                    (None, left) => left,
+                };
+                let sol = to_row(cop).solve_exact(effective);
+                CopOutcome {
                     setting: sol.setting.to_column_setting(),
                     objective: sol.objective,
                     sb_iterations: 0,
                     bnb_nodes: sol.nodes,
+                    halt: if sol.optimal {
+                        HaltReason::Completed
+                    } else {
+                        ctx.should_stop().unwrap_or(HaltReason::Completed)
+                    },
+                    winner: None,
                 }
             }
             CopSolverKind::DaltaHeuristic { restarts } => DaltaHeuristic {
                 restarts: *restarts,
             }
-            .solve_cop(cop, seed, scratch),
-            CopSolverKind::Ba(params) => params.solve_cop(cop, seed, scratch),
+            .solve_cop(cop, ctx, scratch),
+            CopSolverKind::Ba(params) => params.solve_cop(cop, ctx, scratch),
         }
     }
 }
@@ -226,34 +557,101 @@ mod tests {
         ColumnCop::separate(&BooleanMatrix::build(&g, &w), &w, &InputDist::Uniform)
     }
 
-    #[test]
-    fn every_impl_returns_a_consistent_objective() {
-        let cop = sample_cop();
-        let mut scratch = CopScratch::new();
-        let solvers: Vec<Box<dyn CopSolver>> = vec![
+    fn all_solvers() -> Vec<Box<dyn CopSolver>> {
+        vec![
             Box::new(IsingCopSolver::new()),
             Box::new(BranchAndBound::new()),
             Box::new(DaltaHeuristic::default()),
             Box::new(BaParams::default()),
+            Box::new(SimCimCopSolver::new()),
+            Box::new(DochCopSolver::new()),
             Box::new(CopSolverKind::Exact { time_limit: None }),
-        ];
+        ]
+    }
+
+    #[test]
+    fn every_impl_returns_a_consistent_objective() {
+        let cop = sample_cop();
+        let mut scratch = CopScratch::new();
         let exact = cop.objective(&cop.solve_exhaustive());
-        for solver in &solvers {
-            let r = solver.solve_cop(&cop, 3, &mut scratch);
+        for solver in &all_solvers() {
+            let r = solver.solve_cop(&cop, &SolveCtx::new(3), &mut scratch);
             assert!(
                 (cop.objective(&r.setting) - r.objective).abs() < 1e-9,
                 "{solver:?} must report the objective of its own setting"
             );
             assert!(r.objective >= exact - 1e-12, "{solver:?} cannot beat exact");
+            assert_eq!(r.halt, HaltReason::Completed, "{solver:?} ran uncontrolled");
+            assert!(r.winner.is_none());
+            assert!(solver.deterministic());
         }
+    }
+
+    #[test]
+    fn cancelled_context_still_yields_valid_settings() {
+        let cop = sample_cop();
+        let mut scratch = CopScratch::new();
+        let token = CancelToken::new();
+        token.cancel();
+        // `all_solvers` lists the specialized exact search last; it has no
+        // cancel hook and runs to optimality, everything else must notice
+        // the pre-cancelled token at its first poll point.
+        let solvers = all_solvers();
+        for (i, solver) in solvers.iter().enumerate() {
+            let ctx = SolveCtx::with_cancel(7, &token);
+            let r = solver.solve_cop(&cop, &ctx, &mut scratch);
+            assert!(
+                (cop.objective(&r.setting) - r.objective).abs() < 1e-9,
+                "{solver:?} returned an inconsistent truncated setting"
+            );
+            let expected = if i == solvers.len() - 1 {
+                HaltReason::Completed
+            } else {
+                HaltReason::Cancelled
+            };
+            assert_eq!(r.halt, expected, "{solver:?}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let cop = sample_cop();
+        let mut scratch = CopScratch::new();
+        let ctx = SolveCtx::new(7).deadline(Duration::ZERO);
+        let r = IsingCopSolver::new().solve_cop(&cop, &ctx, &mut scratch);
+        assert_eq!(r.halt, HaltReason::DeadlineExceeded);
+        assert!((cop.objective(&r.setting) - r.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_context_never_fires() {
+        let ctx = SolveCtx::new(0);
+        assert!(ctx.should_stop().is_none());
+        assert!(!ctx.target_reached(-1e30));
+        assert!(ctx.remaining().is_none());
+        let with_incumbent = SolveCtx::new(0).incumbent(1.5);
+        assert!(with_incumbent.target_reached(1.5));
+        assert!(with_incumbent.target_reached(0.0));
+        assert!(!with_incumbent.target_reached(2.0));
+        // The incumbent alone never trips should_stop.
+        assert!(with_incumbent.should_stop().is_none());
+    }
+
+    #[test]
+    fn cancellation_outranks_the_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = SolveCtx::with_cancel(0, &token).deadline(Duration::ZERO);
+        assert_eq!(ctx.should_stop(), Some(HaltReason::Cancelled));
     }
 
     #[test]
     fn exact_impls_agree_on_the_optimum() {
         let cop = sample_cop();
         let mut scratch = CopScratch::new();
-        let ilp = BranchAndBound::new().solve_cop(&cop, 0, &mut scratch);
-        let bnb = CopSolverKind::Exact { time_limit: None }.solve_cop(&cop, 0, &mut scratch);
+        let ilp = BranchAndBound::new().solve_cop(&cop, &SolveCtx::new(0), &mut scratch);
+        let bnb =
+            CopSolverKind::Exact { time_limit: None }.solve_cop(&cop, &SolveCtx::new(0), &mut scratch);
         let exhaustive = cop.objective(&cop.solve_exhaustive());
         assert!((ilp.objective - exhaustive).abs() < 1e-9);
         assert!((bnb.objective - exhaustive).abs() < 1e-9);
@@ -275,6 +673,8 @@ mod tests {
             Box::new(CopSolverKind::DaltaHeuristic { restarts: 2 }),
             Box::new(CopSolverKind::DaltaHeuristic { restarts: 3 }),
             Box::new(BaParams::default()),
+            Box::new(SimCimCopSolver::new()),
+            Box::new(DochCopSolver::new()),
         ];
         let prints: Vec<u64> = solvers.iter().map(|s| s.fingerprint()).collect();
         for (i, a) in prints.iter().enumerate() {
@@ -297,9 +697,9 @@ mod tests {
         let cop = sample_cop();
         let solver = IsingCopSolver::new();
         let mut fresh = CopScratch::new();
-        let a = solver.solve_cop(&cop, 42, &mut fresh);
+        let a = solver.solve_cop(&cop, &SolveCtx::new(42), &mut fresh);
         // Re-solve through the *same* (now dirty) scratch: identical.
-        let b = solver.solve_cop(&cop, 42, &mut fresh);
+        let b = solver.solve_cop(&cop, &SolveCtx::new(42), &mut fresh);
         assert_eq!(a.setting, b.setting);
         assert_eq!(a.objective, b.objective);
         assert_eq!(a.sb_iterations, b.sb_iterations);

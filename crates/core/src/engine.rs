@@ -19,7 +19,7 @@
 //! partition sweep fans out in parallel.
 
 use crate::cache::{CopCache, MemoKey, SharedRunHandle};
-use crate::cop_solver::CopScratch;
+use crate::cop_solver::{CopScratch, HaltReason, SolveCtx};
 use crate::framework::{ComponentChoice, DecompositionOutcome, Framework, Mode};
 use crate::ColumnCop;
 use adis_boolfn::{
@@ -36,6 +36,10 @@ struct SolvedCandidate {
     sb_iterations: usize,
     bnb_nodes: u64,
     hit: bool,
+    /// Portfolio attribution: the winning member plus the COP's shape
+    /// features `(winner, rows, cols, weight spread)` — reported through
+    /// [`SolveObserver::cop_winner`] after the sweep joins.
+    winner: Option<(String, usize, usize, f64)>,
 }
 
 /// Builds the cell's COP and its memo identity.
@@ -163,6 +167,12 @@ pub(crate) fn run<O: SolveObserver>(
         None => CopCache::new(fw.cache),
     };
     let scratch: ScratchPool<CopScratch> = ScratchPool::new();
+    // Raced composite solvers are wall-clock dependent: their answers are
+    // valid but not reproducible, so they bypass both cache tiers.
+    let cacheable = fw.solver.deterministic();
+    // The run-level soft deadline (if any) is shared by every cell; each
+    // candidate's context gets whatever is left on the clock.
+    let run_deadline: Option<Instant> = fw.deadline.map(|d| start + d);
 
     let num_patterns = exact.num_entries();
     let exact_words: Vec<u64> = (0..num_patterns as u64).map(|p| exact.eval_word(p)).collect();
@@ -180,21 +190,41 @@ pub(crate) fn run<O: SolveObserver>(
         let solve_one = |w: &Partition| -> SolvedCandidate {
             let (cop, key) = build_cop(fw, exact, &exact_words, &approx_words, k, w);
             let seed = key.solver_seed(fw.seed);
-            if let Some(cached) = cache.lookup(&key) {
-                return SolvedCandidate {
-                    choice: ComponentChoice {
-                        partition: w.clone(),
-                        setting: cached.setting,
-                        objective: cached.objective,
-                    },
-                    sb_iterations: 0,
-                    bnb_nodes: 0,
-                    hit: true,
-                };
+            if cacheable {
+                if let Some(cached) = cache.lookup(&key) {
+                    return SolvedCandidate {
+                        choice: ComponentChoice {
+                            partition: w.clone(),
+                            setting: cached.setting,
+                            objective: cached.objective,
+                        },
+                        sb_iterations: 0,
+                        bnb_nodes: 0,
+                        hit: true,
+                        winner: None,
+                    };
+                }
             }
             let mut buffers = scratch.acquire();
-            let result = fw.solver.solve_cop(&cop, seed, &mut buffers);
-            cache.insert(key, &result);
+            let mut ctx = match &fw.cancel {
+                Some(token) => SolveCtx::with_cancel(seed, token),
+                None => SolveCtx::new(seed),
+            };
+            if let Some(at) = run_deadline {
+                ctx = ctx.deadline(at.saturating_duration_since(Instant::now()));
+            }
+            let result = fw.solver.solve_cop(&cop, &ctx, &mut buffers);
+            // Truncated answers are wall-clock artifacts; memoizing one
+            // would replay it even when the next run has time to spare.
+            if cacheable && result.halt == HaltReason::Completed {
+                cache.insert(key, &result);
+            }
+            let winner = result.winner.map(|name| {
+                let weights = cop.weights();
+                let spread = weights.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+                    - weights.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+                (name, cop.rows(), cop.cols(), spread)
+            });
             SolvedCandidate {
                 choice: ComponentChoice {
                     partition: w.clone(),
@@ -204,6 +234,7 @@ pub(crate) fn run<O: SolveObserver>(
                 sb_iterations: result.sb_iterations,
                 bnb_nodes: result.bnb_nodes,
                 hit: false,
+                winner,
             }
         };
         let stage = Instant::now();
@@ -219,6 +250,9 @@ pub(crate) fn run<O: SolveObserver>(
         let mut sweep_hits = 0u64;
         for (pi, cand) in solved.iter().enumerate() {
             observer.cop_result(round, k, pi, cand.choice.objective, cand.sb_iterations);
+            if let Some((winner, rows, cols, spread)) = &cand.winner {
+                observer.cop_winner(round, k, pi, winner, *rows, *cols, *spread);
+            }
             sweep_sb += cand.sb_iterations;
             sweep_nodes += cand.bnb_nodes;
             sweep_hits += u64::from(cand.hit);

@@ -18,7 +18,7 @@ use crate::engine;
 use crate::IsingCopSolver;
 use adis_boolfn::{ColumnSetting, InputDist, MultiOutputFn, Partition};
 use adis_lut::{ApproxLut, OutputImpl};
-use adis_telemetry::{NullObserver, SolveObserver};
+use adis_telemetry::{CancelToken, NullObserver, SolveObserver};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt;
@@ -167,6 +167,8 @@ pub struct Framework {
     pub(crate) cache: bool,
     pub(crate) shared_cache: Option<SharedCopCache>,
     pub(crate) dist: InputDist,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 /// The decomposition chosen for one output component.
@@ -234,6 +236,8 @@ impl Framework {
             cache: true,
             shared_cache: None,
             dist: InputDist::Uniform,
+            deadline: None,
+            cancel: None,
         }
     }
 
@@ -300,6 +304,26 @@ impl Framework {
     /// Sets the input distribution used for all error weighting.
     pub fn dist(mut self, dist: InputDist) -> Self {
         self.dist = dist;
+        self
+    }
+
+    /// Soft wall-clock budget for the whole run, threaded into every COP
+    /// solve as a [`SolveCtx`](crate::SolveCtx) deadline. Cooperative:
+    /// solvers poll it between sweeps/samples and return their incumbent
+    /// with [`HaltReason::DeadlineExceeded`](crate::HaltReason), so the
+    /// run still produces a complete (if lower-quality) decomposition.
+    /// Truncated answers are never cached.
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Attaches a [`CancelToken`] observed by every COP solve. Cancelling
+    /// it makes in-flight solvers unwind with their current incumbent
+    /// ([`HaltReason::Cancelled`](crate::HaltReason)); like deadline
+    /// truncation, cancelled answers are never cached.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -622,16 +646,12 @@ mod tests {
             fn solve_cop(
                 &self,
                 cop: &crate::ColumnCop,
-                _seed: u64,
+                _ctx: &crate::SolveCtx<'_>,
                 _scratch: &mut crate::CopScratch,
-            ) -> crate::CopResult {
+            ) -> crate::CopOutcome {
                 let setting = cop.solve_exhaustive();
-                crate::CopResult {
-                    objective: cop.objective(&setting),
-                    setting,
-                    sb_iterations: 0,
-                    bnb_nodes: 0,
-                }
+                let objective = cop.objective(&setting);
+                crate::CopOutcome::completed(setting, objective)
             }
         }
         let f = target();

@@ -2,7 +2,7 @@
 //! encoding, with the dynamic stop criterion (Section 3.3.1) and the
 //! Theorem-3 type-reset heuristic (Section 3.3.2).
 
-use crate::cop_solver::CopScratch;
+use crate::cop_solver::{halt_of, CopScratch, HaltReason, SolveCtx};
 use crate::{ColumnCop, SpinLayout};
 use adis_boolfn::{BitVec, ColumnSetting};
 use adis_sb::{ConfigError as SbConfigError, SbSolver, SbState, StopCriterion, StopReason, StopState};
@@ -207,6 +207,27 @@ impl IsingCopSolver {
         scratch: &mut CopScratch,
         observer: &mut O,
     ) -> CopSolution {
+        // A fresh default context never fires, so this is exactly the
+        // pre-context solve (the context polls read two Nones per sample).
+        self.solve_ctx_in(cop, &SolveCtx::new(self.seed), scratch, observer)
+            .0
+    }
+
+    /// [`solve_in`](IsingCopSolver::solve_in) under a [`SolveCtx`]: polls
+    /// the context's run controls at every sampling point (and between
+    /// replicas) and additionally halts once a sample matches the
+    /// context's incumbent. Returns the best setting seen so far plus why
+    /// the solve stopped. The context's seed is *not* consulted — the
+    /// solver's own [`seed`](IsingCopSolver::seed) drives the RNG, as the
+    /// [`CopSolver`](crate::CopSolver) impl clones-with-seed before
+    /// calling this.
+    pub(crate) fn solve_ctx_in<O: SolveObserver>(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        scratch: &mut CopScratch,
+        observer: &mut O,
+    ) -> (CopSolution, HaltReason) {
         if let Err(e) = self.validate() {
             panic!("invalid IsingCopSolver configuration: {e}");
         }
@@ -217,7 +238,7 @@ impl IsingCopSolver {
             self.replicas
         );
         if self.structured {
-            return self.solve_structured(cop, scratch, observer);
+            return self.solve_structured(cop, ctx, scratch, observer);
         }
         let ising = cop.to_ising();
         let layout = cop.layout();
@@ -237,11 +258,17 @@ impl IsingCopSolver {
             .ramp(self.ramp)
             .dt(self.dt)
             .seed(self.seed);
-        let results = if self.heuristic {
-            solver.solve_batch_with(
+        // Cancel/deadline are polled at the batch's sampling boundaries;
+        // the incumbent target is not checked on this path (comparing
+        // every lane's energy to a COP objective would cost a readout per
+        // sample).
+        let stop_hook = || ctx.should_stop().is_some();
+        let (results, interrupted) = if self.heuristic {
+            solver.solve_batch_until(
                 &ising,
                 self.replicas,
                 &mut scratch.batch,
+                &stop_hook,
                 |_, state| {
                     apply_type_reset(cop, layout, state);
                     interventions += 1;
@@ -249,10 +276,11 @@ impl IsingCopSolver {
                 &mut *observer,
             )
         } else {
-            solver.solve_batch_with(
+            solver.solve_batch_until(
                 &ising,
                 self.replicas,
                 &mut scratch.batch,
+                &stop_hook,
                 |_, _| {},
                 &mut *observer,
             )
@@ -270,15 +298,18 @@ impl IsingCopSolver {
         }
 
         let (setting, objective) = best.expect("replicas > 0");
-        CopSolution {
-            setting,
-            objective,
-            stats: CopSolveStats {
-                iterations: total_iterations,
-                settled,
-                interventions,
+        (
+            CopSolution {
+                setting,
+                objective,
+                stats: CopSolveStats {
+                    iterations: total_iterations,
+                    settled,
+                    interventions,
+                },
             },
-        }
+            halt_of(ctx, interrupted),
+        )
     }
 
     /// The structured integrator: identical bSB dynamics, but the field is
@@ -293,9 +324,10 @@ impl IsingCopSolver {
     fn solve_structured<O: SolveObserver>(
         &self,
         cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
         scratch: &mut CopScratch,
         observer: &mut O,
-    ) -> CopSolution {
+    ) -> (CopSolution, HaltReason) {
         let (r, c) = (cop.rows(), cop.cols());
         let n = 2 * r + c;
         let CopScratch {
@@ -350,6 +382,7 @@ impl IsingCopSolver {
         let mut total_iterations = 0;
         let mut settled = false;
         let mut interventions = 0;
+        let mut halt = HaltReason::Completed;
 
         for rep in 0..self.replicas {
             // Replicas alternate integration schedules (full/half time step,
@@ -517,6 +550,19 @@ impl IsingCopSolver {
                         iterations = t + 1;
                         break;
                     }
+                    // Run controls, polled once per sampling point: the
+                    // readout above has already joined `rep_best`, so
+                    // stopping here always leaves a valid answer.
+                    if ctx.target_reached(obj) {
+                        halt = HaltReason::TargetReached;
+                        iterations = t + 1;
+                        break;
+                    }
+                    if let Some(reason) = ctx.should_stop() {
+                        halt = reason;
+                        iterations = t + 1;
+                        break;
+                    }
                 }
             }
             observer.sb_stop(
@@ -531,18 +577,38 @@ impl IsingCopSolver {
             if best.as_ref().map(|&(_, b)| obj < b).unwrap_or(true) {
                 best = Some((setting, obj));
             }
+            if halt != HaltReason::Completed {
+                break;
+            }
+            // Between replicas, also test the committed (post-pass)
+            // objective against the incumbent.
+            if rep + 1 < self.replicas {
+                if let Some((_, b)) = best.as_ref() {
+                    if ctx.target_reached(*b) {
+                        halt = HaltReason::TargetReached;
+                        break;
+                    }
+                }
+                if let Some(reason) = ctx.should_stop() {
+                    halt = reason;
+                    break;
+                }
+            }
         }
 
         let (setting, objective) = best.expect("replicas > 0");
-        CopSolution {
-            setting,
-            objective,
-            stats: CopSolveStats {
-                iterations: total_iterations,
-                settled,
-                interventions,
+        (
+            CopSolution {
+                setting,
+                objective,
+                stats: CopSolveStats {
+                    iterations: total_iterations,
+                    settled,
+                    interventions,
+                },
             },
-        }
+            halt,
+        )
     }
 
     fn seed_for(&self, replica: usize) -> u64 {

@@ -21,7 +21,16 @@
 //! - [`baselines`]: reconstructions of the DALTA heuristic and BA;
 //! - [`CopSolver`]: the pluggable core-COP solver trait every method above
 //!   implements (with [`CopSolverKind`] as the ready-made enum of the
-//!   paper's four);
+//!   paper's four). Each solve receives a [`SolveCtx`] — seed, soft
+//!   deadline, cancel token, best-known bound — and answers with a
+//!   [`CopOutcome`] carrying a [`HaltReason`]. Two relaxation baselines,
+//!   [`SimCimCopSolver`] (mean-field coherent-Ising-machine dynamics) and
+//!   [`DochCopSolver`] (difference-of-convex iteration), round out the
+//!   roster;
+//! - [`PortfolioSolver`]: runs several enrolled solvers on each COP —
+//!   sequentially, or racing them on threads with first-to-finish
+//!   cancellation — and keeps the best answer, reporting the winning lane
+//!   through the observer seam;
 //! - [`Framework`]: the outer loop — `P` candidate partitions per output
 //!   bit, `R` rounds, [`Mode::Separate`] or [`Mode::Joint`] — shared by all
 //!   solvers, producing a [`DecompositionOutcome`] that assembles into an
@@ -79,12 +88,16 @@ mod cop_solver;
 mod engine;
 mod framework;
 mod ising_solver;
+mod portfolio;
 mod row;
 
 pub use baselines::{BaParams, DaltaHeuristic};
 pub use cache::{CacheConfig, CacheStats, SharedCopCache};
 pub use cop::{ColumnCop, SpinLayout};
-pub use cop_solver::{CopResult, CopScratch, CopSolver};
+pub use cop_solver::{
+    CopOutcome, CopScratch, CopSolver, DochCopSolver, HaltReason, SimCimCopSolver, SolveCtx,
+};
+pub use portfolio::PortfolioSolver;
 pub use framework::{
     ComponentChoice, ConfigError, CopSolverKind, DecompositionOutcome, Framework, Mode,
 };

@@ -1,0 +1,426 @@
+//! A portfolio of core-COP solvers raced against each other.
+//!
+//! No single solver in the roster dominates: branch and bound wins tiny
+//! COPs outright, bSB scales to the joint-mode encodings, the relaxation
+//! baselines ([`SimCimCopSolver`], [`DochCopSolver`]) are cheap on smooth
+//! weight landscapes, and the DALTA heuristic is unbeatable when the
+//! weights are near-uniform. [`PortfolioSolver`] packages a set of them
+//! behind the single [`CopSolver`] seam:
+//!
+//! - **Sequential mode** (`race(false)`, the default) runs every member on
+//!   the calling thread and keeps the best objective (ties go to the
+//!   earliest-enrolled member). With deterministic members the kept
+//!   setting and objective are bit-identical to running the winning
+//!   member alone, so the portfolio itself reports
+//!   [`deterministic`](CopSolver::deterministic) and stays cacheable.
+//! - **Racing mode** (`race(true)`) spawns one scoped thread per member.
+//!   Every lane observes a child [`CancelToken`] of the caller's context;
+//!   the first lane to halt with [`HaltReason::Completed`] or
+//!   [`HaltReason::TargetReached`] cancels its siblings, which unwind at
+//!   their next poll point and still return their incumbents. The kept
+//!   answer is the lane with the best objective — racing trades
+//!   reproducible wall-clock for latency, so a raced portfolio reports
+//!   non-deterministic and is never cached. Racing also needs spare
+//!   cores: on a host with no available parallelism the lanes would only
+//!   time-slice one CPU (wall-clock becomes the *sum* of the lanes, the
+//!   opposite of a race), so the portfolio instead runs the single member
+//!   named by the static selection table
+//!   ([`select_for`](PortfolioSolver::select_for)) — the same degradation
+//!   a one-thread-per-request server applies.
+//!
+//! Either way the winning member's name travels in
+//! [`CopOutcome::winner`], which the sweep engine forwards to
+//! [`SolveObserver::cop_winner`](adis_telemetry::SolveObserver::cop_winner)
+//! together with the instance features (rows, columns, weight spread) that
+//! drive the static selection table in [`PortfolioSolver::select_for`].
+
+use crate::baselines::DaltaHeuristic;
+use crate::cop::ColumnCop;
+use crate::cop_solver::{
+    CopOutcome, CopScratch, CopSolver, DochCopSolver, HaltReason, SimCimCopSolver, SolveCtx,
+};
+use crate::framework::Mode;
+use crate::IsingCopSolver;
+use adis_telemetry::CancelToken;
+use std::sync::Arc;
+use std::thread;
+
+/// A named roster of [`CopSolver`]s run per COP, sequentially or raced.
+///
+/// # Examples
+///
+/// ```
+/// use adis_core::{ColumnCop, CopScratch, CopSolver, PortfolioSolver, SolveCtx};
+///
+/// let cop = ColumnCop::from_weights(2, 2, vec![0.3, 0.1, 0.2, 0.4], 0.0);
+/// let portfolio = PortfolioSolver::standard().race(false);
+/// let out = portfolio.solve_cop(&cop, &SolveCtx::new(7), &mut CopScratch::new());
+/// assert!(out.winner.is_some(), "the portfolio attributes its answer");
+/// assert!((cop.objective(&out.setting) - out.objective).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PortfolioSolver {
+    members: Vec<(String, Arc<dyn CopSolver>)>,
+    race: bool,
+}
+
+impl PortfolioSolver {
+    /// An empty, sequential portfolio; enroll solvers with
+    /// [`member`](PortfolioSolver::member).
+    pub fn new() -> Self {
+        PortfolioSolver {
+            members: Vec::new(),
+            race: false,
+        }
+    }
+
+    /// The standard raced roster: the paper's bSB solver (`"bsb"`), the
+    /// SimCIM mean-field baseline (`"simcim"`), the difference-of-convex
+    /// baseline (`"doch"`), and the DALTA heuristic (`"dalta"`).
+    pub fn standard() -> Self {
+        PortfolioSolver::new()
+            .member("bsb", IsingCopSolver::new())
+            .member("simcim", SimCimCopSolver::new())
+            .member("doch", DochCopSolver::new())
+            .member("dalta", DaltaHeuristic { restarts: 8 })
+            .race(true)
+    }
+
+    /// Enrolls `solver` under `name` (the name shows up as
+    /// [`CopOutcome::winner`] and in telemetry).
+    pub fn member(mut self, name: impl Into<String>, solver: impl CopSolver + 'static) -> Self {
+        self.members.push((name.into(), Arc::new(solver)));
+        self
+    }
+
+    /// Enrolls an already-boxed solver under `name` — the dynamic-dispatch
+    /// twin of [`member`](PortfolioSolver::member), for rosters assembled
+    /// at runtime.
+    pub fn member_boxed(mut self, name: impl Into<String>, solver: Box<dyn CopSolver>) -> Self {
+        self.members.push((name.into(), Arc::from(solver)));
+        self
+    }
+
+    /// Switches between racing the members on threads (`true`) and running
+    /// them sequentially on the calling thread (`false`, default).
+    pub fn race(mut self, on: bool) -> Self {
+        self.race = on;
+        self
+    }
+
+    /// The enrolled member names, in enrollment order.
+    pub fn member_names(&self) -> impl Iterator<Item = &str> {
+        self.members.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// The static solver-selection table: which standard-roster member to
+    /// run alone when racing is too expensive (e.g. one thread per
+    /// request), keyed by the same instance features the engine reports
+    /// through `cop_winner`. Distilled from the winner tallies in
+    /// `results/BENCH_portfolio.json` (see `adis-bench`):
+    ///
+    /// - tiny grids (`rows × cols ≤ 64`): branch and bound enumerates them
+    ///   outright — `"exact"`;
+    /// - a degenerate weight spread means near-uniform cell costs, where
+    ///   the DALTA heuristic's first deterministic start already lands the
+    ///   optimum — `"dalta"`;
+    /// - joint-mode instances (significance-weighted, wide dynamic range):
+    ///   the paper's bSB solver — `"bsb"`;
+    /// - remaining separate-mode instances: the cheap mean-field
+    ///   relaxation — `"simcim"`.
+    pub fn select_for(rows: usize, cols: usize, weight_spread: f64, mode: Mode) -> &'static str {
+        if rows.saturating_mul(cols) <= 64 {
+            "exact"
+        } else if weight_spread <= f64::EPSILON {
+            "dalta"
+        } else if mode == Mode::Joint {
+            "bsb"
+        } else {
+            "simcim"
+        }
+    }
+
+    fn solve_sequential(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        scratch: &mut CopScratch,
+    ) -> CopOutcome {
+        let mut best: Option<CopOutcome> = None;
+        let mut best_name = "";
+        let mut sb_iterations = 0;
+        let mut bnb_nodes = 0;
+        for (name, solver) in &self.members {
+            let out = solver.solve_cop(cop, ctx, scratch);
+            sb_iterations += out.sb_iterations;
+            bnb_nodes += out.bnb_nodes;
+            // Strict `<` keeps the earliest member on ties, which is what
+            // makes the sequential portfolio reproducible.
+            if best.as_ref().is_none_or(|b| out.objective < b.objective) {
+                best = Some(out);
+                best_name = name;
+            }
+            if ctx.should_stop().is_some() {
+                break;
+            }
+        }
+        let mut out = best.expect("PortfolioSolver has no members");
+        out.winner = Some(best_name.to_string());
+        out.sb_iterations = sb_iterations;
+        out.bnb_nodes = bnb_nodes;
+        out
+    }
+
+    /// No spare cores: racing would only time-slice the lanes on one CPU,
+    /// so run the statically selected member alone. The selection table
+    /// was distilled from separate-mode winner tallies; when the table
+    /// names a member this portfolio did not enroll, the earliest member
+    /// stands in.
+    fn solve_picked(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        scratch: &mut CopScratch,
+    ) -> CopOutcome {
+        let weights = cop.weights();
+        let spread = weights.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+            - weights.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+        let pick = Self::select_for(cop.rows(), cop.cols(), spread, Mode::Separate);
+        let (name, solver) = self
+            .members
+            .iter()
+            .find(|(n, _)| n == pick)
+            .unwrap_or(&self.members[0]);
+        let mut out = solver.solve_cop(cop, ctx, scratch);
+        out.winner = Some(name.clone());
+        out
+    }
+
+    fn solve_raced(&self, cop: &ColumnCop, ctx: &SolveCtx<'_>) -> CopOutcome {
+        let lanes: Vec<CancelToken> =
+            self.members.iter().map(|_| ctx.cancel().child()).collect();
+        let remaining = ctx.remaining();
+        let outcomes: Vec<CopOutcome> = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .members
+                .iter()
+                .enumerate()
+                .map(|(idx, (_, solver))| {
+                    let lanes = &lanes;
+                    scope.spawn(move || {
+                        let mut lane_ctx = SolveCtx::with_cancel(ctx.seed, &lanes[idx]);
+                        if let Some(left) = remaining {
+                            lane_ctx = lane_ctx.deadline(left);
+                        }
+                        if let Some(inc) = ctx.incumbent {
+                            lane_ctx = lane_ctx.incumbent(inc);
+                        }
+                        let mut scratch = CopScratch::new();
+                        let out = solver.solve_cop(cop, &lane_ctx, &mut scratch);
+                        if matches!(
+                            out.halt,
+                            HaltReason::Completed | HaltReason::TargetReached
+                        ) {
+                            for (peer, token) in lanes.iter().enumerate() {
+                                if peer != idx {
+                                    token.cancel();
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("portfolio lane panicked"))
+                .collect()
+        });
+        let mut best = 0;
+        for (idx, out) in outcomes.iter().enumerate().skip(1) {
+            if out.objective < outcomes[best].objective {
+                best = idx;
+            }
+        }
+        let sb_iterations = outcomes.iter().map(|o| o.sb_iterations).sum();
+        let bnb_nodes = outcomes.iter().map(|o| o.bnb_nodes).sum();
+        let mut out = outcomes.into_iter().nth(best).expect("non-empty race");
+        out.winner = Some(self.members[best].0.clone());
+        out.sb_iterations = sb_iterations;
+        out.bnb_nodes = bnb_nodes;
+        out
+    }
+}
+
+impl Default for PortfolioSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CopSolver for PortfolioSolver {
+    fn solve_cop(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        scratch: &mut CopScratch,
+    ) -> CopOutcome {
+        assert!(
+            !self.members.is_empty(),
+            "PortfolioSolver needs at least one member"
+        );
+        let spare_cores = thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        let mut out = if self.race && self.members.len() > 1 {
+            if spare_cores {
+                self.solve_raced(cop, ctx)
+            } else {
+                self.solve_picked(cop, ctx, scratch)
+            }
+        } else {
+            self.solve_sequential(cop, ctx, scratch)
+        };
+        // The portfolio's own halt reflects the *caller's* run controls —
+        // a lane cancelled by a sibling is a finished race, not a
+        // truncated one.
+        out.halt = match ctx.should_stop() {
+            Some(reason) => reason,
+            None if ctx.target_reached(out.objective) => HaltReason::TargetReached,
+            None => HaltReason::Completed,
+        };
+        out
+    }
+
+    /// Racing is wall-clock-dependent (which lane gets cancelled where
+    /// varies run to run), so only the sequential portfolio is
+    /// deterministic — and then only if every member is.
+    fn deterministic(&self) -> bool {
+        !self.race && self.members.iter().all(|(_, s)| s.deterministic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::CopSolverKind;
+
+    fn cop() -> ColumnCop {
+        // 3×4 grid with a spread of weights: big enough that the members
+        // disagree on effort, small enough to verify exhaustively.
+        let weights = vec![
+            0.31, 0.07, 0.22, 0.11, //
+            0.05, 0.40, 0.13, 0.02, //
+            0.17, 0.09, 0.28, 0.33,
+        ];
+        ColumnCop::from_weights(3, 4, weights, 0.05)
+    }
+
+    fn roster() -> PortfolioSolver {
+        PortfolioSolver::new()
+            .member("exact", CopSolverKind::Exact { time_limit: None })
+            .member("dalta", DaltaHeuristic { restarts: 4 })
+            .member("doch", DochCopSolver::new())
+    }
+
+    #[test]
+    fn sequential_portfolio_is_bit_identical_to_the_winning_member_alone() {
+        let cop = cop();
+        let portfolio = roster();
+        let out = portfolio.solve_cop(&cop, &SolveCtx::new(5), &mut CopScratch::new());
+        let winner = out.winner.as_deref().expect("attributed");
+
+        // Replay the winning member alone under an identical context.
+        let members = [
+            (
+                "exact",
+                Box::new(CopSolverKind::Exact { time_limit: None }) as Box<dyn CopSolver>,
+            ),
+            ("dalta", Box::new(DaltaHeuristic { restarts: 4 })),
+            ("doch", Box::new(DochCopSolver::new())),
+        ];
+        let solo = members
+            .iter()
+            .find(|(name, _)| *name == winner)
+            .expect("winner is an enrolled member")
+            .1
+            .solve_cop(&cop, &SolveCtx::new(5), &mut CopScratch::new());
+        assert_eq!(out.setting, solo.setting, "setting must be bit-identical");
+        assert_eq!(out.objective, solo.objective);
+        assert_eq!(out.halt, HaltReason::Completed);
+    }
+
+    #[test]
+    fn sequential_portfolio_never_loses_to_any_member() {
+        let cop = cop();
+        let out = roster().solve_cop(&cop, &SolveCtx::new(5), &mut CopScratch::new());
+        // The roster includes the exact solver, so the portfolio must land
+        // the true optimum.
+        let opt = cop.objective(&cop.solve_exhaustive());
+        assert!(
+            (out.objective - opt).abs() < 1e-9,
+            "portfolio {} vs optimum {opt}",
+            out.objective
+        );
+        assert_eq!(out.winner.as_deref(), Some("exact"), "ties go to the earliest member");
+    }
+
+    #[test]
+    fn raced_portfolio_returns_a_valid_attributed_answer() {
+        let cop = cop();
+        let portfolio = roster().race(true);
+        let out = portfolio.solve_cop(&cop, &SolveCtx::new(5), &mut CopScratch::new());
+        let winner = out.winner.as_deref().expect("attributed");
+        assert!(portfolio.member_names().any(|n| n == winner));
+        // Whatever lane won, its answer is internally consistent, and the
+        // race itself (nobody cancelled the *caller*) reads as completed.
+        assert!((cop.objective(&out.setting) - out.objective).abs() < 1e-12);
+        assert_eq!(out.halt, HaltReason::Completed);
+    }
+
+    #[test]
+    fn determinism_flag_tracks_racing_and_members() {
+        assert!(roster().deterministic());
+        assert!(!roster().race(true).deterministic());
+        assert!(!PortfolioSolver::standard().deterministic());
+        assert!(PortfolioSolver::standard().race(false).deterministic());
+    }
+
+    #[test]
+    fn cancelled_context_short_circuits_the_sequential_sweep() {
+        let cop = cop();
+        let token = CancelToken::new();
+        token.cancel();
+        let ctx = SolveCtx::with_cancel(5, &token);
+        let out = roster().solve_cop(&cop, &ctx, &mut CopScratch::new());
+        // Only the first member ran; its incumbent is still a valid setting.
+        assert_eq!(out.halt, HaltReason::Cancelled);
+        assert_eq!(out.winner.as_deref(), Some("exact"));
+        assert!((cop.objective(&out.setting) - out.objective).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selection_table_names_standard_roster_members_or_exact() {
+        let valid = ["exact", "bsb", "simcim", "doch", "dalta"];
+        for (rows, cols, spread, mode) in [
+            (4, 4, 0.3, Mode::Separate),
+            (16, 16, 0.0, Mode::Joint),
+            (16, 16, 0.3, Mode::Joint),
+            (16, 16, 0.3, Mode::Separate),
+        ] {
+            let pick = PortfolioSolver::select_for(rows, cols, spread, mode);
+            assert!(valid.contains(&pick), "unknown member {pick}");
+        }
+        assert_eq!(PortfolioSolver::select_for(2, 2, 0.5, Mode::Joint), "exact");
+        assert_eq!(PortfolioSolver::select_for(16, 16, 0.0, Mode::Separate), "dalta");
+        assert_eq!(PortfolioSolver::select_for(16, 16, 0.4, Mode::Joint), "bsb");
+        assert_eq!(
+            PortfolioSolver::select_for(16, 16, 0.4, Mode::Separate),
+            "simcim"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_portfolio_panics_with_a_clear_message() {
+        PortfolioSolver::new().solve_cop(&cop(), &SolveCtx::new(0), &mut CopScratch::new());
+    }
+}

@@ -401,7 +401,7 @@ impl RowSearch<'_> {
             return;
         }
         if let Some(d) = self.deadline {
-            if self.nodes % 512 == 0 && Instant::now() >= d {
+            if self.nodes.is_multiple_of(512) && Instant::now() >= d {
                 self.hit_limit = true;
                 return;
             }

@@ -122,8 +122,8 @@ proptest! {
         c in -5.0..5.0f64,
     ) {
         let mut q = Qubo::new(n);
-        for i in 0..n {
-            q.add_linear(i, lin[i]);
+        for (i, &l) in lin.iter().enumerate().take(n) {
+            q.add_linear(i, l);
         }
         for (v, a, b) in quad {
             let i = a.index(n);
@@ -251,8 +251,8 @@ proptest! {
             for k in 0..(1u32 << n) {
                 let s = SpinVector::from_bools((0..n).map(|i| (k >> i) & 1 == 1));
                 let mut weight = 1.0;
-                for i in 0..n {
-                    weight *= (1.0 + f64::from(s.get(i)) * x[i]) / 2.0;
+                for (i, &xi) in x.iter().enumerate().take(n) {
+                    weight *= (1.0 + f64::from(s.get(i)) * xi) / 2.0;
                 }
                 total += e.energy(&s) * weight;
             }

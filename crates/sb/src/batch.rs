@@ -202,9 +202,37 @@ impl SbSolver {
         problem: &IsingProblem,
         replicas: usize,
         scratch: &mut SbBatchScratch,
-        mut intervene: F,
+        intervene: F,
         observer: &mut O,
     ) -> Vec<SbResult>
+    where
+        F: FnMut(usize, &mut SbState<'_>),
+        O: SolveObserver,
+    {
+        self.solve_batch_until(problem, replicas, scratch, &|| false, intervene, observer)
+            .0
+    }
+
+    /// [`solve_batch_with`](SbSolver::solve_batch_with) with a cooperative
+    /// stop hook: `should_stop` is polled once per sampling boundary
+    /// (i.e. at [`StopCriterion::sample_every`](crate::StopCriterion)
+    /// granularity, after every live lane has sampled), and when it returns
+    /// `true` integration ends early. Every still-active lane keeps its
+    /// best-so-far state with `iterations` frozen at the interrupting
+    /// sample, so the results are always valid (never empty) answers.
+    ///
+    /// Returns the per-replica results plus whether the hook fired. With a
+    /// hook that never fires this is bit-identical to
+    /// [`solve_batch_with`](SbSolver::solve_batch_with).
+    pub fn solve_batch_until<F, O>(
+        &self,
+        problem: &IsingProblem,
+        replicas: usize,
+        scratch: &mut SbBatchScratch,
+        should_stop: &dyn Fn() -> bool,
+        mut intervene: F,
+        observer: &mut O,
+    ) -> (Vec<SbResult>, bool)
     where
         F: FnMut(usize, &mut SbState<'_>),
         O: SolveObserver,
@@ -269,6 +297,7 @@ impl SbSolver {
 
         let (row_ptr, cols, weights) = problem.csr();
         let h = problem.biases();
+        let mut interrupted = false;
 
         for t in 0..max_iters {
             let a_t = self.a0 * ((t as f64 / ramp as f64).min(1.0));
@@ -353,6 +382,20 @@ impl SbSolver {
                 if active_lanes == 0 {
                     break;
                 }
+                // Cooperative cancellation: polled at sampling granularity
+                // only, after every live lane has recorded this boundary's
+                // sample, so an uninterrupted run is bit-identical and an
+                // interrupted lane still carries a valid best-so-far state.
+                if should_stop() {
+                    interrupted = true;
+                    for lane in lanes.iter_mut() {
+                        if lane.active {
+                            lane.iterations = t + 1;
+                            lane.active = false;
+                        }
+                    }
+                    break;
+                }
             }
         }
 
@@ -382,7 +425,7 @@ impl SbSolver {
                 trace: lane.trace,
             });
         }
-        results
+        (results, interrupted)
     }
 
     /// [`solve_batch`](SbSolver::solve_batch), reusing caller-owned batch
@@ -544,6 +587,64 @@ mod tests {
         assert_eq!(batch_rec.sb.batched_lanes, 3);
         assert_eq!(batch_rec.sb.max_batch, 3);
         assert_eq!(seq_rec.sb.batched_lanes, 0);
+    }
+
+    #[test]
+    fn never_firing_stop_hook_is_bit_identical() {
+        let p = random_problem(10, 83);
+        let solver = SbSolver::new().stop(StopCriterion::FixedIterations(250)).seed(7);
+        let mut scratch = SbBatchScratch::new();
+        let plain = solver.solve_batch_with(&p, 4, &mut scratch, |_, _| {}, &mut NullObserver);
+        let (hooked, interrupted) = solver.solve_batch_until(
+            &p,
+            4,
+            &mut scratch,
+            &|| false,
+            |_, _| {},
+            &mut NullObserver,
+        );
+        assert!(!interrupted);
+        for (a, b) in plain.iter().zip(&hooked) {
+            assert_results_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn stop_hook_interrupts_at_sample_granularity_with_valid_results() {
+        use std::cell::Cell;
+        let p = random_problem(10, 89);
+        let sample_every = 10;
+        let solver = SbSolver::new()
+            .stop(StopCriterion::DynamicVariance {
+                sample_every,
+                window: 20,
+                threshold: 0.0, // never settles
+                max_iterations: 100_000,
+            })
+            .seed(4);
+        // Fire after the second poll: integration must stop at the next
+        // sampling boundary, far short of the iteration budget.
+        let polls = Cell::new(0usize);
+        let mut scratch = SbBatchScratch::new();
+        let (results, interrupted) = solver.solve_batch_until(
+            &p,
+            3,
+            &mut scratch,
+            &|| {
+                polls.set(polls.get() + 1);
+                polls.get() >= 2
+            },
+            |_, _| {},
+            &mut NullObserver,
+        );
+        assert!(interrupted);
+        assert_eq!(results.len(), 3);
+        for lane in &results {
+            assert_eq!(lane.iterations, 2 * sample_every);
+            assert_eq!(lane.stop_reason, StopReason::IterationLimit);
+            assert!(lane.best_energy.is_finite());
+            assert!(!lane.trace.is_empty());
+        }
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! polynomial with small per-index affine perturbations, so distinct
 //! entries still share many `(partition, column content)` pairs.
 
-use crate::protocol::JobSpec;
+use crate::protocol::{JobSpec, SolverChoice};
 use adis_boolfn::MultiOutputFn;
 use adis_core::Mode;
 
@@ -82,6 +82,7 @@ pub fn spec_for(
         rounds,
         seed,
         error_budget: None,
+        solver: SolverChoice::default(),
     }
 }
 

@@ -57,5 +57,5 @@ pub mod http;
 pub mod protocol;
 mod server;
 
-pub use protocol::JobSpec;
+pub use protocol::{JobSpec, SolverChoice};
 pub use server::{ServeConfig, Server};

@@ -14,12 +14,14 @@
 //!   "partitions": 6,
 //!   "rounds": 1,
 //!   "seed": 7,
-//!   "error_budget": 0.05
+//!   "error_budget": 0.05,
+//!   "solver": "portfolio"
 //! }
 //! ```
 //!
 //! `inputs`, `outputs`, `table` and `mode` are required; the rest have the
-//! defaults below. `table` lists the function word-by-word: entry `p` is
+//! defaults below. `solver` picks the core-COP solver from a fixed roster
+//! (see [`SolverChoice`]); omitted means the paper's Ising solver. `table` lists the function word-by-word: entry `p` is
 //! the output word for input pattern `p`, so it must have exactly
 //! `2^inputs` entries, each below `2^outputs`. Validation is strict — any
 //! unknown field, wrong type, or out-of-range value is a 400, never a
@@ -37,6 +39,57 @@ pub const MAX_OUTPUTS: u32 = 16;
 pub const MAX_PARTITIONS: usize = 4096;
 /// Hard cap on `rounds`.
 pub const MAX_ROUNDS: usize = 64;
+
+/// The core-COP solver a job may request via the optional `"solver"`
+/// field. The wire names are the lowercase variant names; anything else
+/// is a 400, per the crate's strict-validation rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverChoice {
+    /// The paper's bSB Ising solver (the default when omitted).
+    #[default]
+    Ising,
+    /// The raced solver portfolio (`adis_core::PortfolioSolver::standard`):
+    /// bSB, SimCIM, DOCH and the DALTA heuristic racing per COP, first
+    /// finisher cancelling the rest.
+    Portfolio,
+    /// Exact branch and bound (DALTA-ILP).
+    Exact,
+    /// The DALTA heuristic reconstruction.
+    Dalta,
+    /// The BA (simulated-annealing) reconstruction.
+    Ba,
+}
+
+impl SolverChoice {
+    /// Every accepted wire name, in documentation order.
+    pub const NAMES: [&'static str; 5] = ["portfolio", "ising", "exact", "dalta", "ba"];
+
+    /// Parses a wire name (strict: unknown names are an error).
+    pub fn parse(name: &str) -> Result<SolverChoice, String> {
+        match name {
+            "portfolio" => Ok(SolverChoice::Portfolio),
+            "ising" => Ok(SolverChoice::Ising),
+            "exact" => Ok(SolverChoice::Exact),
+            "dalta" => Ok(SolverChoice::Dalta),
+            "ba" => Ok(SolverChoice::Ba),
+            other => Err(format!(
+                "\"solver\" must be one of {:?}, got {other:?}",
+                Self::NAMES
+            )),
+        }
+    }
+
+    /// The wire name (inverse of [`parse`](SolverChoice::parse)).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverChoice::Portfolio => "portfolio",
+            SolverChoice::Ising => "ising",
+            SolverChoice::Exact => "exact",
+            SolverChoice::Dalta => "dalta",
+            SolverChoice::Ba => "ba",
+        }
+    }
+}
 
 /// A validated decomposition job, ready to hand to the solver pool.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +113,8 @@ pub struct JobSpec {
     /// Optional acceptance threshold on the final objective (MED in
     /// joint mode, ER in separate mode); reported as `within_budget`.
     pub error_budget: Option<f64>,
+    /// Which core-COP solver runs the job.
+    pub solver: SolverChoice,
 }
 
 impl JobSpec {
@@ -92,6 +147,7 @@ impl JobSpec {
                     | "rounds"
                     | "seed"
                     | "error_budget"
+                    | "solver"
             ) {
                 return Err(format!("unknown field {key:?}"));
             }
@@ -183,6 +239,14 @@ impl JobSpec {
             }
         };
 
+        let solver = match body.get("solver") {
+            None | Some(Json::Null) => SolverChoice::default(),
+            Some(v) => match v.as_str() {
+                Some(name) => SolverChoice::parse(name)?,
+                None => return Err("\"solver\" must be a string".to_string()),
+            },
+        };
+
         Ok(JobSpec {
             inputs,
             outputs,
@@ -193,6 +257,7 @@ impl JobSpec {
             rounds,
             seed,
             error_budget,
+            solver,
         })
     }
 
@@ -222,6 +287,7 @@ impl JobSpec {
         if let Some(budget) = self.error_budget {
             fields.push(("error_budget".to_string(), Json::Num(budget)));
         }
+        fields.push(("solver".to_string(), Json::str(self.solver.name())));
         Json::Obj(fields)
     }
 
@@ -286,6 +352,26 @@ mod tests {
         assert_eq!(spec.rounds, 1);
         assert_eq!(spec.seed, 0);
         assert_eq!(spec.error_budget, None);
+        assert_eq!(spec.solver, SolverChoice::Ising);
+    }
+
+    #[test]
+    fn solver_names_round_trip_and_unknowns_are_rejected() {
+        for name in SolverChoice::NAMES {
+            let choice = SolverChoice::parse(name).unwrap();
+            assert_eq!(choice.name(), name);
+            let spec =
+                JobSpec::from_json(&patch(valid(), "solver", Json::str(name))).unwrap();
+            assert_eq!(spec.solver, choice);
+            assert_eq!(JobSpec::from_json(&spec.to_json()).unwrap(), spec);
+        }
+        let err = JobSpec::from_json(&patch(valid(), "solver", Json::str("warp")))
+            .unwrap_err();
+        assert!(err.contains("portfolio"), "error must list the roster: {err}");
+        assert!(
+            JobSpec::from_json(&patch(valid(), "solver", Json::Num(3.0))).is_err(),
+            "non-string solver must be rejected"
+        );
     }
 
     #[test]

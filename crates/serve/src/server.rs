@@ -25,10 +25,14 @@
 //! Submissions beyond [`ServeConfig::queue_depth`] waiting jobs are
 //! rejected with `429` — the queue never grows unboundedly, and a
 //! closed-loop client can use the `429` as backpressure. The per-job
-//! timeout is **cooperative**: it is checked when a worker dequeues the
-//! job (stale jobs are failed without solving) and again when the solve
-//! finishes (late results are reported as `timed_out`, not `done`). A
-//! solve in flight is never interrupted mid-sweep.
+//! timeout is **cooperative** at three points: when a worker dequeues the
+//! job (stale jobs are failed without solving), *during* the solve (the
+//! remaining budget is threaded into the framework as a
+//! [`Framework::deadline`], so every COP solve unwinds with its incumbent
+//! at the next poll point once the budget runs out), and when the solve
+//! finishes (late results are reported as `timed_out`, never `done`). A
+//! long solve therefore stops within one poll interval of the timeout
+//! instead of running to completion first.
 //!
 //! # Determinism
 //!
@@ -39,8 +43,10 @@
 //! identical results whether they hit the cache or race to miss it.
 
 use crate::http::{self, ReadError, Request};
-use crate::protocol::JobSpec;
-use adis_core::{CacheConfig, Framework, Mode, SharedCopCache};
+use crate::protocol::{JobSpec, SolverChoice};
+use adis_core::{
+    BaParams, CacheConfig, CopSolverKind, Framework, Mode, PortfolioSolver, SharedCopCache,
+};
 use adis_telemetry::{Json, Recorder, ReportCell, RunReport};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -104,6 +110,7 @@ struct JobResult {
     med: f64,
     er: f64,
     objective: f64,
+    solver: String,
     within_budget: Option<bool>,
     lut_bits: u64,
     direct_bits: u64,
@@ -416,6 +423,7 @@ fn result_body(result: &JobResult) -> Json {
         ("med".to_string(), Json::Num(result.med)),
         ("er".to_string(), Json::Num(result.er)),
         ("objective".to_string(), Json::Num(result.objective)),
+        ("solver".to_string(), Json::str(result.solver.as_str())),
         (
             "within_budget".to_string(),
             result
@@ -558,6 +566,10 @@ fn run_job(shared: &Shared, id: u64) {
 
     let cache = shared.cache.clone();
     let solve_start = Instant::now();
+    // Mid-solve half of the cooperative timeout: whatever budget the
+    // queue left is the solve's deadline, so a long decomposition unwinds
+    // at its next poll point instead of running to completion first.
+    let solve_budget = shared.cfg.job_timeout.saturating_sub(submitted.elapsed());
     let solved = catch_unwind(AssertUnwindSafe(|| {
         let function = spec.function();
         let mut recorder = Recorder::new().keep_trajectory(false);
@@ -566,7 +578,19 @@ fn run_job(shared: &Shared, id: u64) {
             .rounds(spec.rounds)
             .seed(spec.seed)
             .parallel(false)
+            .deadline(solve_budget)
             .shared_cache(cache);
+        let framework = match spec.solver {
+            SolverChoice::Ising => framework,
+            SolverChoice::Portfolio => framework.solver(PortfolioSolver::standard()),
+            SolverChoice::Exact => {
+                framework.solver(CopSolverKind::Exact { time_limit: None })
+            }
+            SolverChoice::Dalta => {
+                framework.solver(CopSolverKind::DaltaHeuristic { restarts: 8 })
+            }
+            SolverChoice::Ba => framework.solver(CopSolverKind::Ba(BaParams::default())),
+        };
         framework
             .try_decompose_with(&function, &mut recorder)
             .map(|outcome| (outcome, recorder))
@@ -588,10 +612,23 @@ fn run_job(shared: &Shared, id: u64) {
                     Mode::Joint => outcome.med,
                     Mode::Separate => outcome.er,
                 };
+                // The reported solver: the configured choice, except the
+                // portfolio reports its modal per-COP race winner (ties
+                // break to the alphabetically last name).
+                let solver = match spec.solver {
+                    SolverChoice::Portfolio => recorder
+                        .winner_tally()
+                        .into_iter()
+                        .max_by_key(|(_, count)| *count)
+                        .map(|(name, _)| name.to_string())
+                        .unwrap_or_else(|| SolverChoice::Portfolio.name().to_string()),
+                    other => other.name().to_string(),
+                };
                 let result = JobResult {
                     med: outcome.med,
                     er: outcome.er,
                     objective,
+                    solver,
                     within_budget: spec.error_budget.map(|budget| objective <= budget),
                     lut_bits: lut.size_bits(),
                     direct_bits: lut.direct_size_bits(),

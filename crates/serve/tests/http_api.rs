@@ -246,6 +246,93 @@ fn zero_timeout_times_every_job_out() {
 }
 
 #[test]
+fn mid_solve_timeout_reports_timed_out_promptly() {
+    // Regression: the per-job timeout used to be checked only at dequeue
+    // and completion, so a long solve ran to the end before reporting
+    // timed_out. The remaining budget is now threaded into the framework
+    // as a cooperative deadline, so the solve itself unwinds early.
+    let server = start(ServeConfig {
+        workers: 1,
+        job_timeout: Duration::from_millis(250),
+        ..ServeConfig::default()
+    });
+    // A spec that takes far longer than the timeout when run to
+    // completion: 10 inputs, joint mode, a 64-partition sweep, 4 rounds.
+    let function = &corpus(17, 1, 10, 8)[0];
+    let body = spec_for(function, Mode::Joint, 5, 64, 4, 3).to_json();
+    let id = submit(server.addr(), &body);
+    let waited = Instant::now();
+    let status = await_job(server.addr(), id);
+    assert_eq!(
+        status.get("status").and_then(Json::as_str),
+        Some("timed_out"),
+        "{}",
+        status.render()
+    );
+    assert!(status.get("result").is_none(), "timed-out jobs carry no result");
+    // "Promptly": the job stops within poll-granularity slack of its
+    // 250 ms budget, nowhere near the full solve time.
+    assert!(
+        waited.elapsed() < Duration::from_secs(10),
+        "cooperative cancel took {:?}",
+        waited.elapsed()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn solver_field_selects_the_roster_and_reports_the_winner() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let function = &corpus(3, 1, 6, 4)[0];
+
+    // Unknown solver names are a strict 400.
+    let mut bad = spec_for(function, Mode::Separate, 3, 4, 1, 11).to_json();
+    if let Json::Obj(fields) = &mut bad {
+        fields.retain(|(k, _)| k != "solver");
+        fields.push(("solver".to_string(), Json::str("warp")));
+    }
+    let (status, body) = post(addr, "/v1/jobs", &bad);
+    assert_eq!(status, 400, "{}", body.render());
+    assert!(
+        body.get("error").and_then(Json::as_str).unwrap().contains("portfolio"),
+        "the rejection must list the roster"
+    );
+
+    // A fixed solver reports itself.
+    let mut spec = spec_for(function, Mode::Separate, 3, 4, 1, 11);
+    spec.solver = adis_serve::SolverChoice::Exact;
+    let id = submit(addr, &spec.to_json());
+    let done = await_job(addr, id);
+    assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+    assert_eq!(
+        done.get("result").and_then(|r| r.get("solver")).and_then(Json::as_str),
+        Some("exact")
+    );
+
+    // The portfolio reports the member that won its races.
+    spec.solver = adis_serve::SolverChoice::Portfolio;
+    let id = submit(addr, &spec.to_json());
+    let done = await_job(addr, id);
+    assert_eq!(
+        done.get("status").and_then(Json::as_str),
+        Some("done"),
+        "{}",
+        done.render()
+    );
+    let winner = done
+        .get("result")
+        .and_then(|r| r.get("solver"))
+        .and_then(Json::as_str)
+        .expect("portfolio jobs attribute a winner");
+    assert!(
+        ["bsb", "simcim", "doch", "dalta", "portfolio"].contains(&winner),
+        "unexpected winner {winner}"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn concurrent_identical_submissions_share_the_cache_and_agree() {
     let server = start(ServeConfig {
         workers: 4,

@@ -1,0 +1,116 @@
+//! Cooperative cancellation for racing and deadline-bounded solves.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag that a controller sets once
+//! and workers poll at a coarse granularity (a sampling block, a restart
+//! boundary, an amortized node count). Tokens form a tree: a child created
+//! with [`CancelToken::child`] observes its parent's cancellation as well
+//! as its own, so a portfolio runner can cancel one losing lane without
+//! touching its siblings while a job-level timeout still stops everyone.
+//!
+//! Cancellation is *cooperative*: setting the flag never interrupts a
+//! solver mid-step; the solver notices at its next poll point and returns
+//! its best-so-far answer with an explicit halt reason.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    flag: AtomicBool,
+    parent: Option<CancelToken>,
+}
+
+/// A shared, hierarchical cancellation flag (see the [module docs](self)).
+///
+/// Clones observe the same flag. The default token is never cancelled
+/// until someone calls [`cancel`](CancelToken::cancel) on it or a clone.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token with no parent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A child token: cancelled when either it or any ancestor is.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Sets the flag. Idempotent; never blocks. Does not affect ancestors
+    /// (cancelling a child leaves its siblings running).
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether this token or any ancestor has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match &self.inner.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn children_observe_parents_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let left = parent.child();
+        let right = parent.child();
+
+        left.cancel();
+        assert!(left.is_cancelled());
+        assert!(!right.is_cancelled(), "siblings are independent");
+        assert!(!parent.is_cancelled(), "children never cancel parents");
+
+        parent.cancel();
+        assert!(right.is_cancelled(), "parent cancellation reaches children");
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let token = CancelToken::new();
+        let worker = token.clone();
+        let handle = std::thread::spawn(move || {
+            while !worker.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(handle.join().unwrap());
+    }
+}

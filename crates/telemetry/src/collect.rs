@@ -178,6 +178,26 @@ pub struct CopRecord {
     pub iterations: usize,
 }
 
+/// One recorded portfolio decision (see [`SolveObserver::cop_winner`]):
+/// the COP's shape features and the member solver that won it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinnerRecord {
+    /// Framework round.
+    pub round: usize,
+    /// Output component index.
+    pub component: u32,
+    /// Candidate partition index within the round.
+    pub partition: usize,
+    /// Winning member solver's name.
+    pub winner: String,
+    /// Bound-set rows of the COP weight grid.
+    pub rows: usize,
+    /// Free-set columns of the COP weight grid.
+    pub cols: usize,
+    /// Spread (`max − min`) of the COP weights.
+    pub weight_spread: f64,
+}
+
 /// The everything collector: stages, counters, gauges, SB aggregates, the
 /// energy trajectory, and the framework's per-COP / per-component decision
 /// log, all in one observer the bench harness can serialize.
@@ -198,6 +218,8 @@ pub struct Recorder {
     pub cops: Vec<CopRecord>,
     /// `(round, component, objective, kept_incumbent)` decisions.
     pub components: Vec<(usize, u32, f64, bool)>,
+    /// Per-COP portfolio winners with instance features.
+    pub winners: Vec<WinnerRecord>,
     keep_trajectory: bool,
 }
 
@@ -218,8 +240,19 @@ impl Recorder {
             trajectory: EnergyTrajectory::new(),
             cops: Vec::new(),
             components: Vec::new(),
+            winners: Vec::new(),
             keep_trajectory: true,
         }
+    }
+
+    /// Tally of portfolio winners by name, sorted by name (empty when no
+    /// portfolio ran).
+    pub fn winner_tally(&self) -> BTreeMap<&str, u64> {
+        let mut tally = BTreeMap::new();
+        for w in &self.winners {
+            *tally.entry(w.winner.as_str()).or_default() += 1;
+        }
+        tally
     }
 
     /// Enables/disables storing every `(iteration, energy)` sample (the
@@ -287,6 +320,28 @@ impl SolveObserver for Recorder {
     fn component_chosen(&mut self, round: usize, component: u32, objective: f64, kept_incumbent: bool) {
         self.components.push((round, component, objective, kept_incumbent));
     }
+
+    #[allow(clippy::too_many_arguments)]
+    fn cop_winner(
+        &mut self,
+        round: usize,
+        component: u32,
+        partition: usize,
+        winner: &str,
+        rows: usize,
+        cols: usize,
+        weight_spread: f64,
+    ) {
+        self.winners.push(WinnerRecord {
+            round,
+            component,
+            partition,
+            winner: winner.to_string(),
+            rows,
+            cols,
+            weight_spread,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +406,20 @@ mod tests {
         assert_eq!(r.sb.batched_lanes, 20);
         assert_eq!(r.sb.lanes_retired, 7);
         assert_eq!(r.sb.max_batch, 16);
+    }
+
+    #[test]
+    fn recorder_tallies_portfolio_winners() {
+        let mut r = Recorder::new();
+        r.cop_winner(0, 1, 2, "bsb", 3, 4, 0.5);
+        r.cop_winner(0, 2, 0, "simcim", 3, 4, 0.25);
+        r.cop_winner(1, 1, 1, "bsb", 3, 4, 0.5);
+        assert_eq!(r.winners.len(), 3);
+        assert_eq!(r.winners[1].winner, "simcim");
+        assert_eq!(r.winners[2].round, 1);
+        let tally = r.winner_tally();
+        assert_eq!(tally.get("bsb"), Some(&2));
+        assert_eq!(tally.get("simcim"), Some(&1));
     }
 
     #[test]

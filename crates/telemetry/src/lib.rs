@@ -61,13 +61,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cancel;
 mod collect;
 mod json;
 mod observer;
 mod report;
 mod trace;
 
-pub use collect::{CopRecord, Counters, EnergyTrajectory, Recorder, SbStats, StageTimings};
+pub use cancel::CancelToken;
+pub use collect::{CopRecord, Counters, EnergyTrajectory, Recorder, SbStats, StageTimings, WinnerRecord};
 pub use json::Json;
 pub use observer::{NullObserver, SolveObserver};
 pub use report::{ReportCell, RunReport};

@@ -79,6 +79,30 @@ pub trait SolveObserver {
     #[inline]
     fn component_chosen(&mut self, _round: usize, _component: u32, _objective: f64, _kept_incumbent: bool) {
     }
+
+    /// A portfolio solve finished and named its winner: the COP instance's
+    /// shape features (`rows` × `cols` weight grid, spread of its weights
+    /// as `max − min`) and the member solver that produced the committed
+    /// answer. Fires once per portfolio COP solve, alongside
+    /// [`cop_result`](Self::cop_result); accumulated `(features, winner)`
+    /// pairs are what drive static selection tables.
+    ///
+    /// The flat argument list is deliberate: observer hooks stay
+    /// allocation-free and zero-cost when unimplemented, so the instance
+    /// features are not bundled into a struct.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn cop_winner(
+        &mut self,
+        _round: usize,
+        _component: u32,
+        _partition: usize,
+        _winner: &str,
+        _rows: usize,
+        _cols: usize,
+        _weight_spread: f64,
+    ) {
+    }
 }
 
 /// The do-nothing observer: a zero-sized type whose empty methods compile
@@ -136,6 +160,20 @@ impl<O: SolveObserver + ?Sized> SolveObserver for &mut O {
     #[inline]
     fn component_chosen(&mut self, round: usize, component: u32, objective: f64, kept_incumbent: bool) {
         (**self).component_chosen(round, component, objective, kept_incumbent);
+    }
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn cop_winner(
+        &mut self,
+        round: usize,
+        component: u32,
+        partition: usize,
+        winner: &str,
+        rows: usize,
+        cols: usize,
+        weight_spread: f64,
+    ) {
+        (**self).cop_winner(round, component, partition, winner, rows, cols, weight_spread);
     }
 }
 

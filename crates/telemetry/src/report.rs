@@ -88,6 +88,17 @@ impl ReportCell {
             self.best_energy = Some(rec.sb.best_energy);
         }
         self.stages = rec.stages.clone();
+        if !rec.winners.is_empty() {
+            self.extra.push((
+                "portfolio_winners".to_string(),
+                Json::Obj(
+                    rec.winner_tally()
+                        .into_iter()
+                        .map(|(name, count)| (name.to_string(), Json::Num(count as f64)))
+                        .collect(),
+                ),
+            ));
+        }
         self
     }
 
