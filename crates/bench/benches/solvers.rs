@@ -8,7 +8,7 @@ use adis_boolfn::{BooleanMatrix, InputDist, Partition};
 use adis_core::{ColumnCop, IsingCopSolver, RowCop};
 use adis_ising::random::sherrington_kirkpatrick;
 use adis_ising::IsingProblem;
-use adis_sb::{SbBatchScratch, SbScratch, SbSolver, SbVariant, StopCriterion};
+use adis_sb::{KernelPrecision, SbBatchScratch, SbScratch, SbSolver, SbVariant, StopCriterion};
 use adis_telemetry::{Json, NullObserver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
@@ -136,14 +136,17 @@ fn sequential_replicas(
 }
 
 /// Kernel microbenchmark: the SoA batch integrator against sequential
-/// replica trajectories on the paper's benchmark COP Ising instance.
+/// replica trajectories on the paper's benchmark COP Ising instance —
+/// both the f64 bSB kernel (the original comparison) and the i16
+/// fixed-point dSB kernel at the wide lane counts it was built for.
 ///
 /// Besides the criterion timings, this writes a standalone
 /// `results/BENCH_kernel.json` artifact (best-of-`ADIS_KERNEL_REPS`
-/// wall-clock per path, speedup per replica count) and asserts that every
-/// batched lane is bit-identical to its sequential counterpart. Knobs:
-/// `ADIS_KERNEL_ITERS` (iteration budget, default 1500) and
-/// `ADIS_KERNEL_REPS` (timing repetitions, default 5).
+/// wall-clock per path, one row per precision × replica count) and
+/// asserts that every batched lane is bit-identical to its sequential
+/// counterpart of the *same* precision. Knobs: `ADIS_KERNEL_ITERS`
+/// (iteration budget, default 1500) and `ADIS_KERNEL_REPS` (timing
+/// repetitions, default 5).
 fn bench_kernel(c: &mut Criterion) {
     let (col, _) = benchmark_cop();
     let ising = col.to_ising();
@@ -152,6 +155,23 @@ fn bench_kernel(c: &mut Criterion) {
     let seed = 11u64;
     let solver = SbSolver::new()
         .stop(StopCriterion::FixedIterations(iters))
+        .seed(seed);
+    // The i16 rows measure the *field kernel*, so the energy-sampling
+    // cadence — a per-lane f64 evaluation both the batched path and its
+    // sequential baseline pay identically — is made explicit and sparse
+    // instead of inheriting FixedIterations' iters/50. A zero threshold
+    // can never fire (the variance comparison is strict), so this is a
+    // fixed-budget run with a chosen cadence, not an early-stopping one.
+    let dsb_stop = StopCriterion::DynamicVariance {
+        sample_every: (iters / 10).max(1),
+        window: 2,
+        threshold: 0.0,
+        max_iterations: iters,
+    };
+    let dsb_i16 = SbSolver::new()
+        .variant(SbVariant::Discrete)
+        .precision(KernelPrecision::I16)
+        .stop(dsb_stop)
         .seed(seed);
 
     let mut group = c.benchmark_group("kernel_replicas");
@@ -165,14 +185,43 @@ fn bench_kernel(c: &mut Criterion) {
             b.iter(|| solver.solve_batch_in(&ising, r, &mut scratch).best_energy)
         });
     }
+    for r in [64usize, 128] {
+        group.bench_with_input(BenchmarkId::new("batched_i16_dsb", r), &r, |b, &r| {
+            let mut scratch = SbBatchScratch::new();
+            b.iter(|| dsb_i16.solve_batch_in(&ising, r, &mut scratch).best_energy)
+        });
+    }
     group.finish();
 
-    write_kernel_report(&ising, &solver, seed, iters, reps);
+    write_kernel_report(&ising, &solver, &dsb_i16, seed, iters, reps);
 }
 
-/// Measures both paths outside criterion, checks per-lane bit-identity,
-/// and writes `results/BENCH_kernel.json` at the workspace root.
-fn write_kernel_report(ising: &IsingProblem, solver: &SbSolver, seed: u64, iters: usize, reps: usize) {
+/// A denser column COP (14-input function, bound-set size 8): ~11x the
+/// coupling degree of [`benchmark_cop`]'s instance (n = 384 spins,
+/// ~65k directed couplings, mean degree ~170), so the field kernel — the
+/// part the i16 path accelerates — dominates the iteration. The i16 rows
+/// are emitted for both instances; this is the one where the fixed-point
+/// kernel's speedup is field-limited rather than update/sampling-limited.
+fn dense_benchmark_cop() -> ColumnCop {
+    let table = ContinuousFn::Exp.function(14, 14).expect("paper widths");
+    let free: Vec<u32> = (0..6).collect();
+    let bound: Vec<u32> = (6..14).collect();
+    let w = Partition::new(14, free, bound).expect("valid");
+    let m = BooleanMatrix::build(table.component(8), &w);
+    ColumnCop::separate(&m, &w, &InputDist::Uniform)
+}
+
+/// Measures every path outside criterion, checks per-lane bit-identity
+/// within each precision, and writes `results/BENCH_kernel.json` at the
+/// workspace root.
+fn write_kernel_report(
+    ising: &IsingProblem,
+    solver: &SbSolver,
+    dsb_i16: &SbSolver,
+    seed: u64,
+    iters: usize,
+    reps: usize,
+) {
     let mut rows = Vec::new();
     for r in [4usize, 16] {
         let mut batch_scratch = SbBatchScratch::new();
@@ -199,10 +248,13 @@ fn write_kernel_report(ising: &IsingProblem, solver: &SbSolver, seed: u64, iters
         });
         let speedup = seq_ms / batch_ms;
         eprintln!(
-            "kernel R={r}: sequential {seq_ms:.3} ms, batched {batch_ms:.3} ms, {speedup:.2}x"
+            "kernel f64 bSB R={r}: sequential {seq_ms:.3} ms, batched {batch_ms:.3} ms, {speedup:.2}x"
         );
         rows.push(Json::Obj(vec![
+            ("instance".into(), Json::str("base")),
             ("replicas".into(), Json::Num(r as f64)),
+            ("precision".into(), Json::str("f64")),
+            ("variant".into(), Json::str("bsb")),
             ("sequential_ms".into(), Json::Num(seq_ms)),
             ("batched_ms".into(), Json::Num(batch_ms)),
             ("speedup".into(), Json::Num(speedup)),
@@ -210,11 +262,18 @@ fn write_kernel_report(ising: &IsingProblem, solver: &SbSolver, seed: u64, iters
         ]));
     }
 
+    let dense = dense_benchmark_cop().to_ising();
+    for (instance, problem) in [("base", ising), ("dense", &dense)] {
+        i16_rows(instance, problem, dsb_i16, seed, reps, &mut rows);
+    }
+
     let report = Json::Obj(vec![
         ("bench".into(), Json::str("kernel")),
         ("problem".into(), Json::str("benchmark_cop column COP -> Ising")),
         ("spins".into(), Json::Num(ising.num_spins() as f64)),
         ("couplings".into(), Json::Num(ising.num_couplings() as f64)),
+        ("dense_spins".into(), Json::Num(dense.num_spins() as f64)),
+        ("dense_couplings".into(), Json::Num(dense.num_couplings() as f64)),
         ("iterations".into(), Json::Num(iters as f64)),
         ("timing_reps".into(), Json::Num(reps as f64)),
         ("results".into(), Json::Arr(rows)),
@@ -226,6 +285,65 @@ fn write_kernel_report(ising: &IsingProblem, solver: &SbSolver, seed: u64, iters
     let path = dir.join("BENCH_kernel.json");
     std::fs::write(&path, report.render_pretty()).expect("write BENCH_kernel.json");
     eprintln!("wrote {}", path.display());
+}
+
+/// Emits the i16-dSB rows for one instance: bit-identity against the
+/// sequential reduced-precision replicas, then end-to-end timings against
+/// the *sequential f64 dSB* baseline — the paper-honest reference (same
+/// dynamics, scalar double-precision arithmetic) for the tentpole's
+/// discrete low-precision kernel.
+fn i16_rows(
+    instance: &str,
+    ising: &IsingProblem,
+    dsb_i16: &SbSolver,
+    seed: u64,
+    reps: usize,
+    rows: &mut Vec<Json>,
+) {
+    assert!(
+        ising.quantized().is_some(),
+        "benchmark instance {instance} must quantize, or the i16 rows silently measure the f64 fallback"
+    );
+    let dsb_f64 = dsb_i16.clone().precision(KernelPrecision::F64);
+    for r in [64usize, 128] {
+        let mut batch_scratch = SbBatchScratch::new();
+        let mut seq_scratch = SbScratch::new();
+
+        // Bit-identity holds within the i16 precision (integer field
+        // accumulation is associative), not across precisions.
+        let lanes =
+            dsb_i16.solve_batch_with(ising, r, &mut batch_scratch, |_, _| {}, &mut NullObserver);
+        let reference = sequential_replicas(dsb_i16, seed, ising, r, &mut seq_scratch);
+        for (lane, (b, s)) in lanes.iter().zip(&reference).enumerate() {
+            assert!(
+                b.best_state == s.best_state
+                    && b.best_energy == s.best_energy
+                    && b.trace == s.trace,
+                "batched i16 lane {lane} of R={r} ({instance}) diverged from its sequential i16 replica"
+            );
+        }
+
+        let seq_f64_ms = best_of_ms(reps, || {
+            sequential_replicas(&dsb_f64, seed, ising, r, &mut seq_scratch);
+        });
+        let batch_i16_ms = best_of_ms(reps, || {
+            dsb_i16.solve_batch_in(ising, r, &mut batch_scratch);
+        });
+        let speedup = seq_f64_ms / batch_i16_ms;
+        eprintln!(
+            "kernel i16 dSB R={r} ({instance}): sequential f64 {seq_f64_ms:.3} ms, batched i16 {batch_i16_ms:.3} ms, {speedup:.2}x"
+        );
+        rows.push(Json::Obj(vec![
+            ("instance".into(), Json::str(instance)),
+            ("replicas".into(), Json::Num(r as f64)),
+            ("precision".into(), Json::str("i16")),
+            ("variant".into(), Json::str("dsb")),
+            ("sequential_ms".into(), Json::Num(seq_f64_ms)),
+            ("batched_ms".into(), Json::Num(batch_i16_ms)),
+            ("speedup_vs_f64".into(), Json::Num(speedup)),
+            ("bit_identical".into(), Json::Bool(true)),
+        ]));
+    }
 }
 
 criterion_group! {

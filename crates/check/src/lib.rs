@@ -22,8 +22,12 @@
 //!   between concurrent runs — at any shard count and capacity, through
 //!   arbitrary eviction — changes the amount of work done and nothing
 //!   else.
+//! - **Quantized kernel**: the i16 fixed-point dSB path reports exact
+//!   f64 objectives for the settings it returns (one-sided bound against
+//!   the exhaustive optimum), and on integral coefficients it is
+//!   bit-identical to the f64 dSB dynamics.
 //!
-//! This crate checks all five families on randomized instances, collects
+//! This crate checks all six families on randomized instances, collects
 //! any violation as a [`Discrepancy`], and (through the `adis-check`
 //! binary) emits a machine-readable [`RunReport`] — a differential oracle
 //! in the fuzzing sense, with a bounded, seeded case budget so CI runs are
@@ -43,6 +47,7 @@ mod batch_identity;
 mod config_sweep;
 mod differential;
 mod oracle;
+mod quantized;
 mod shared_cache;
 
 /// Budget and seed for a harness run.
@@ -63,7 +68,7 @@ impl Default for CheckConfig {
     }
 }
 
-/// The five check families.
+/// The six check families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Ground-truth oracle: COP objective == direct metrics recomputation
@@ -79,15 +84,20 @@ pub enum Family {
     /// count/capacity, including eviction-heavy) stay bit-identical to
     /// unshared runs, and the cache's accounting balances.
     SharedCache,
+    /// The i16 fixed-point dSB kernel vs the f64 oracle: exact readout
+    /// (one-sided objective bound), bit-identity on integral weights,
+    /// seam consistency and fingerprint namespacing.
+    Quantized,
 }
 
 /// All families, in execution order.
-pub const FAMILIES: [Family; 5] = [
+pub const FAMILIES: [Family; 6] = [
     Family::Oracle,
     Family::CrossSolver,
     Family::ConfigSweep,
     Family::BatchIdentity,
     Family::SharedCache,
+    Family::Quantized,
 ];
 
 impl Family {
@@ -99,6 +109,7 @@ impl Family {
             Family::ConfigSweep => "config-sweep",
             Family::BatchIdentity => "batch-identity",
             Family::SharedCache => "shared-cache",
+            Family::Quantized => "quantized",
         }
     }
 
@@ -108,7 +119,7 @@ impl Family {
         match self {
             Family::Oracle | Family::CrossSolver => base.max(1),
             Family::ConfigSweep | Family::SharedCache => (base / 10).max(1),
-            Family::BatchIdentity => (base / 5).max(1),
+            Family::BatchIdentity | Family::Quantized => (base / 5).max(1),
         }
     }
 
@@ -119,6 +130,7 @@ impl Family {
             Family::ConfigSweep => 3,
             Family::BatchIdentity => 4,
             Family::SharedCache => 5,
+            Family::Quantized => 6,
         }
     }
 }
@@ -222,6 +234,7 @@ pub fn run_family(family: Family, cfg: &CheckConfig) -> FamilyOutcome {
             Family::ConfigSweep => config_sweep::run_case(&mut col, case, &mut rng),
             Family::BatchIdentity => batch_identity::run_case(&mut col, case, &mut rng),
             Family::SharedCache => shared_cache::run_case(&mut col, case, &mut rng),
+            Family::Quantized => quantized::run_case(&mut col, case, &mut rng),
         }
     }
     col.finish(cases)

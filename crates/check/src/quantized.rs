@@ -1,0 +1,151 @@
+//! Family 6 — the quantized (i16 fixed-point) dSB kernel vs the f64
+//! oracle.
+//!
+//! The reduced-precision kernel does *not* promise bit-identity with the
+//! f64 dynamics on arbitrary weights — rounding the field perturbs the
+//! trajectory. What it does promise, and what this family checks:
+//!
+//! 1. **Readout exactness**: whatever trajectory the quantized field
+//!    produces, the reported energy/objective is computed in exact f64
+//!    from the reported state — so the quality bound is one-sided: the
+//!    quantized path may lose to the exhaustive optimum but can never
+//!    beat it, exactly like every other heuristic.
+//! 2. **Exact quantization**: integral coefficients within the i16 range
+//!    encode at unit scale with zero rounding error, making the i16 dSB
+//!    trajectory bit-identical to the f64 dSB trajectory (small-integer
+//!    f64 sums are exact).
+//! 3. **Seam integrity**: through the [`CopSolver`] seam, the i16 solver
+//!    reports the objective of the setting it returns, and its cache
+//!    fingerprint is distinct from the f64 configuration's, so cached
+//!    entries never cross precisions.
+
+use crate::Collector;
+use adis_core::{ColumnCop, CopScratch, CopSolver, IsingCopSolver, KernelPrecision, SolveCtx};
+use adis_ising::IsingBuilder;
+use adis_sb::{SbBatchScratch, SbSolver, SbVariant, StopCriterion};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+const TOL: f64 = 1e-9;
+
+pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
+    // --- COP level: the i16 solver through the CopSolver seam. ---
+    let r = rng.gen_range(2..=4usize);
+    let c = rng.gen_range(2..=4usize);
+    let weights: Vec<f64> = (0..r * c)
+        .map(|_| if rng.gen_bool(0.1) { 0.0 } else { rng.gen_range(-1.0..1.0) })
+        .collect();
+    let cop = ColumnCop::from_weights(r, c, weights, rng.gen_range(0.0..1.0));
+    let opt = cop.objective(&cop.solve_exhaustive());
+
+    let seed = rng.gen_range(0..u64::MAX);
+    let solver = IsingCopSolver::new()
+        .precision(KernelPrecision::I16)
+        .stop(StopCriterion::FixedIterations(rng.gen_range(100..=400)))
+        .replicas(rng.gen_range(1..=2));
+    let mut scratch = CopScratch::new();
+    let res = solver.solve_cop(&cop, &SolveCtx::new(seed), &mut scratch);
+    col.close(
+        case,
+        "i16 reported objective vs its own setting",
+        res.objective,
+        cop.objective(&res.setting),
+        TOL,
+    );
+    col.check(case, res.objective >= opt - TOL, || {
+        format!(
+            "i16 dSB reported {} — better than the exhaustive optimum {opt}",
+            res.objective
+        )
+    });
+    col.check(
+        case,
+        CopSolver::fingerprint(&solver) != CopSolver::fingerprint(&IsingCopSolver::new()),
+        || "i16 and f64 solver configurations share a cache fingerprint".to_string(),
+    );
+
+    // --- Ising level, integral weights: exact quantization ⇒ the i16
+    // batch is bit-identical to the f64 dSB batch, lane for lane. ---
+    let n = rng.gen_range(2..=8usize);
+    let mut b = IsingBuilder::new(n);
+    for i in 0..n {
+        if rng.gen_bool(0.5) {
+            b.add_bias(i, f64::from(rng.gen_range(-5..=5i32)));
+        }
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.7) {
+                b.add_coupling(i, j, f64::from(rng.gen_range(-10..=10i32)));
+            }
+        }
+    }
+    let integral = b.build();
+    col.check(
+        case,
+        integral
+            .quantized()
+            .is_some_and(|q| q.exact() && q.scale() == 1.0),
+        || "integral problem did not quantize exactly at unit scale".to_string(),
+    );
+    let iters = rng.gen_range(50..=200);
+    // Widths covering the const (1, 8, 64, 128) and fallback (3, 100)
+    // i16 kernels.
+    let replicas = [1usize, 3, 8, 64, 100, 128][rng.gen_range(0..6)];
+    let base = SbSolver::new()
+        .variant(SbVariant::Discrete)
+        .stop(StopCriterion::FixedIterations(iters))
+        .seed(seed);
+    let f64_run = base
+        .clone()
+        .solve_batch_in(&integral, replicas, &mut SbBatchScratch::new());
+    let i16_run = base
+        .precision(KernelPrecision::I16)
+        .solve_batch_in(&integral, replicas, &mut SbBatchScratch::new());
+    col.check(
+        case,
+        f64_run.best_energy.to_bits() == i16_run.best_energy.to_bits()
+            && f64_run.best_state == i16_run.best_state,
+        || {
+            format!(
+                "exact quantization diverged from f64 dSB at {replicas} replicas: \
+                 i16 energy {} vs f64 {}",
+                i16_run.best_energy, f64_run.best_energy
+            )
+        },
+    );
+
+    // --- Ising level, fractional weights: readout exactness and the
+    // one-sided bound against full state enumeration. ---
+    let n2 = rng.gen_range(2..=8usize);
+    let mut b2 = IsingBuilder::new(n2);
+    for i in 0..n2 {
+        if rng.gen_bool(0.5) {
+            b2.add_bias(i, rng.gen_range(-1.0..1.0));
+        }
+        for j in (i + 1)..n2 {
+            if rng.gen_bool(0.6) {
+                b2.add_coupling(i, j, rng.gen_range(-1.0..1.0));
+            }
+        }
+    }
+    let fractional = b2.build();
+    let ground = adis_ising::solve_exhaustive(&fractional);
+    let best = SbSolver::new()
+        .variant(SbVariant::Discrete)
+        .precision(KernelPrecision::I16)
+        .stop(StopCriterion::FixedIterations(iters))
+        .seed(seed)
+        .solve_batch_in(&fractional, rng.gen_range(1..=8), &mut SbBatchScratch::new());
+    col.close(
+        case,
+        "i16 best energy vs exact energy of its own state",
+        best.best_energy,
+        fractional.energy(&best.best_state),
+        1e-12,
+    );
+    col.check(case, best.best_energy >= ground.energy - TOL, || {
+        format!(
+            "i16 dSB energy {} below the exhaustive ground energy {}",
+            best.best_energy, ground.energy
+        )
+    });
+}

@@ -665,6 +665,7 @@ mod tests {
 
         let solvers: Vec<Box<dyn CopSolver>> = vec![
             Box::new(IsingCopSolver::new()),
+            Box::new(IsingCopSolver::new().precision(crate::KernelPrecision::I16)),
             Box::new(CopSolverKind::Ising(IsingCopSolver::new())),
             Box::new(CopSolverKind::Exact { time_limit: None }),
             Box::new(CopSolverKind::Exact {

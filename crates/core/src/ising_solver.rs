@@ -5,7 +5,10 @@
 use crate::cop_solver::{halt_of, CopScratch, HaltReason, SolveCtx};
 use crate::{ColumnCop, SpinLayout};
 use adis_boolfn::{BitVec, ColumnSetting};
-use adis_sb::{ConfigError as SbConfigError, SbSolver, SbState, StopCriterion, StopReason, StopState};
+use adis_sb::{
+    ConfigError as SbConfigError, KernelPrecision, SbSolver, SbState, SbVariant, StopCriterion,
+    StopReason, StopState,
+};
 use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -66,6 +69,7 @@ pub struct IsingCopSolver {
     structured: bool,
     ramp: usize,
     dt: f64,
+    precision: KernelPrecision,
 }
 
 impl Default for IsingCopSolver {
@@ -87,6 +91,7 @@ impl IsingCopSolver {
             structured: true,
             ramp: 400,
             dt: 0.25,
+            precision: KernelPrecision::F64,
         }
     }
 
@@ -128,6 +133,19 @@ impl IsingCopSolver {
         self
     }
 
+    /// Selects the kernel precision. [`KernelPrecision::I16`] routes the
+    /// solve through the generic integrator with [`SbVariant::Discrete`]
+    /// dynamics (dSB is the only variant whose field depends only on spin
+    /// signs, which the fixed-point kernel exploits), overriding any
+    /// [`structured`](IsingCopSolver::structured)/[`sb`](IsingCopSolver::sb)
+    /// variant choice. Problems whose coefficients cannot be quantized fall
+    /// back to f64 sign-path arithmetic inside the kernel.
+    /// Default: [`KernelPrecision::F64`].
+    pub fn precision(mut self, precision: KernelPrecision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Enables/disables the Theorem-3 type-reset heuristic.
     pub fn heuristic(mut self, on: bool) -> Self {
         self.heuristic = on;
@@ -157,12 +175,26 @@ impl IsingCopSolver {
         }
         // The generic path runs exactly this composition; the structured
         // path shares dt/ramp/stop, so one validation covers both.
-        self.sb
+        self.composed_sb().validate()
+    }
+
+    /// The exact [`SbSolver`] the generic path runs: user configuration
+    /// plus this solver's stop/ramp/dt, with the discrete variant forced
+    /// when the i16 kernel is requested (the fixed-point field only reads
+    /// spin signs, so it exists for dSB alone).
+    fn composed_sb(&self) -> SbSolver {
+        let mut sb = self
+            .sb
             .clone()
             .stop(self.stop_criterion.clone())
             .ramp(self.ramp)
-            .dt(self.dt)
-            .validate()
+            .dt(self.dt);
+        if self.precision == KernelPrecision::I16 {
+            sb = sb
+                .variant(SbVariant::Discrete)
+                .precision(KernelPrecision::I16);
+        }
+        sb
     }
 
     /// Solves the COP, returning the best setting across replicas.
@@ -237,7 +269,33 @@ impl IsingCopSolver {
             cop.cols(),
             self.replicas
         );
-        if self.structured {
+        // A context that has already fired — expired deadline, cancelled
+        // token — gets an immediate trivial-but-valid answer instead of
+        // paying for a full sampling window. The type vector is still
+        // Theorem-3 optimal for the all-false patterns, so downstream
+        // objective checks hold.
+        if let Some(reason) = ctx.should_stop() {
+            let v1 = BitVec::from_fn(cop.rows(), |_| false);
+            let v2 = BitVec::from_fn(cop.rows(), |_| false);
+            let t = cop.optimal_t(&v1, &v2);
+            let setting = ColumnSetting { v1, v2, t };
+            let objective = cop.objective(&setting);
+            return (
+                CopSolution {
+                    setting,
+                    objective,
+                    stats: CopSolveStats {
+                        iterations: 0,
+                        settled: false,
+                        interventions: 0,
+                    },
+                },
+                reason,
+            );
+        }
+        // The i16 kernel lives in the generic dSB integrator; the
+        // structured path is f32 bSB only.
+        if self.structured && self.precision == KernelPrecision::F64 {
             return self.solve_structured(cop, ctx, scratch, observer);
         }
         let ising = cop.to_ising();
@@ -251,13 +309,7 @@ impl IsingCopSolver {
         // pass: lane `rep` integrates from seed `seed + rep` with the same
         // floating-point operation order as the sequential loop this
         // replaces, so results are bit-identical per replica.
-        let solver = self
-            .sb
-            .clone()
-            .stop(self.stop_criterion.clone())
-            .ramp(self.ramp)
-            .dt(self.dt)
-            .seed(self.seed);
+        let solver = self.composed_sb().seed(self.seed);
         // Cancel/deadline are polled at the batch's sampling boundaries;
         // the incumbent target is not checked on this path (comparing
         // every lane's energy to a COP objective would cost a readout per
@@ -571,7 +623,20 @@ impl IsingCopSolver {
                 rep_settled,
             );
             total_iterations += iterations;
-            let (mut setting, _) = rep_best.expect("at least one sample");
+            // A zero-iteration budget (`FixedIterations(0)` passes
+            // validation) never reaches a sampling point; read the current
+            // oscillator signs so the replica still retires with a real
+            // setting. The objective slot is discarded — the Theorem-3
+            // post-pass below recomputes it either way.
+            let (mut setting, _) = rep_best.unwrap_or_else(|| {
+                let gauge = if x[n] >= 0.0 { 1.0f32 } else { -1.0 };
+                let setting = ColumnSetting {
+                    v1: BitVec::from_fn(r, |i| gauge * x[i] >= 0.0),
+                    v2: BitVec::from_fn(r, |i| gauge * x[r + i] >= 0.0),
+                    t: BitVec::from_fn(c, |j| gauge * x[2 * r + j] >= 0.0),
+                };
+                (setting, f64::INFINITY)
+            });
             setting.t = cop.optimal_t(&setting.v1, &setting.v2);
             let obj = cop.objective(&setting);
             if best.as_ref().map(|&(_, b)| obj < b).unwrap_or(true) {
@@ -635,6 +700,7 @@ fn apply_type_reset(cop: &ColumnCop, layout: SpinLayout, state: &mut SbState<'_>
 mod tests {
     use super::*;
     use adis_boolfn::{BooleanMatrix, InputDist, Partition, TruthTable};
+    use adis_telemetry::CancelToken;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
@@ -762,5 +828,84 @@ mod tests {
         let one = IsingCopSolver::new().solve(&cop).objective;
         let many = IsingCopSolver::new().replicas(6).solve(&cop).objective;
         assert!(many <= one + 1e-12);
+    }
+
+    /// `FixedIterations(0)` passes validation but never reaches a sampling
+    /// point; both integrator paths must still retire every replica with a
+    /// real setting instead of panicking on an empty best.
+    #[test]
+    fn zero_iteration_budget_yields_valid_settings() {
+        let cop = random_cop(11, 5, 6);
+        for structured in [true, false] {
+            let sol = IsingCopSolver::new()
+                .structured(structured)
+                .stop(StopCriterion::FixedIterations(0))
+                .replicas(3)
+                .solve(&cop);
+            assert_eq!(sol.stats.iterations, 0, "structured={structured}");
+            assert!(
+                (cop.objective(&sol.setting) - sol.objective).abs() < 1e-12,
+                "structured={structured}: reported objective must match the setting"
+            );
+        }
+        let sol = IsingCopSolver::new()
+            .precision(KernelPrecision::I16)
+            .stop(StopCriterion::FixedIterations(0))
+            .solve(&cop);
+        assert!((cop.objective(&sol.setting) - sol.objective).abs() < 1e-12);
+    }
+
+    /// A context that fired before the solve starts — cancelled token or
+    /// already-expired deadline — halts immediately with a valid trivial
+    /// setting and the matching reason, on every path.
+    #[test]
+    fn pre_fired_context_halts_without_integrating() {
+        let cop = random_cop(12, 5, 6);
+        let token = CancelToken::new();
+        token.cancel();
+        for solver in [
+            IsingCopSolver::new(),
+            IsingCopSolver::new().structured(false),
+            IsingCopSolver::new().precision(KernelPrecision::I16),
+        ] {
+            let mut scratch = CopScratch::new();
+            let ctx = SolveCtx::with_cancel(3, &token);
+            let (sol, halt) = solver.solve_ctx_in(&cop, &ctx, &mut scratch, &mut NullObserver);
+            assert_eq!(halt, HaltReason::Cancelled, "{solver:?}");
+            assert_eq!(sol.stats.iterations, 0, "{solver:?}");
+            assert!((cop.objective(&sol.setting) - sol.objective).abs() < 1e-12);
+
+            let ctx = SolveCtx::new(3).deadline(std::time::Duration::ZERO);
+            let (sol, halt) = solver.solve_ctx_in(&cop, &ctx, &mut scratch, &mut NullObserver);
+            assert_eq!(halt, HaltReason::DeadlineExceeded, "{solver:?}");
+            assert!((cop.objective(&sol.setting) - sol.objective).abs() < 1e-12);
+        }
+    }
+
+    /// The i16 kernel routes through the generic dSB integrator and still
+    /// respects the one-sided bound: it can never beat the exact optimum,
+    /// and it reports the objective of its own setting.
+    #[test]
+    fn i16_precision_respects_the_exact_bound() {
+        for seed in 0..4 {
+            let cop = random_cop(seed, 5, 6);
+            let exact = cop.objective(&cop.solve_exhaustive());
+            let sol = IsingCopSolver::new()
+                .precision(KernelPrecision::I16)
+                .replicas(4)
+                .solve(&cop);
+            assert!((cop.objective(&sol.setting) - sol.objective).abs() < 1e-12);
+            assert!(sol.objective >= exact - 1e-12, "cannot beat the optimum");
+        }
+    }
+
+    /// Precision is part of the solve configuration: requesting i16 must
+    /// produce a distinct cache fingerprint (entries are namespaced).
+    #[test]
+    fn precision_changes_the_fingerprint() {
+        use crate::CopSolver;
+        let f64p = IsingCopSolver::new();
+        let i16p = IsingCopSolver::new().precision(KernelPrecision::I16);
+        assert_ne!(CopSolver::fingerprint(&f64p), CopSolver::fingerprint(&i16p));
     }
 }

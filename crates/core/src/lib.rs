@@ -107,3 +107,7 @@ pub use row::{RowCop, RowCopSolution, RowIlpVars};
 /// [`adis_sb::SbSolver::validate`]), re-exported so `Framework`-level
 /// [`ConfigError`] and solver-level errors are importable from one crate.
 pub use adis_sb::ConfigError as SbConfigError;
+/// Kernel precision selector ([`IsingCopSolver::precision`]), re-exported
+/// so callers picking the i16 fixed-point dSB kernel need not depend on
+/// `adis_sb` directly.
+pub use adis_sb::KernelPrecision;

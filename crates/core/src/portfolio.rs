@@ -86,6 +86,19 @@ impl PortfolioSolver {
             .race(true)
     }
 
+    /// The standard roster plus the reduced-precision dSB lane (`"dsb16"`):
+    /// bSB's discrete sibling running the i16 fixed-point kernel
+    /// ([`adis_sb::KernelPrecision::I16`]). Kept out of
+    /// [`standard`](PortfolioSolver::standard) so existing roster
+    /// expectations (and cache fingerprints) are unchanged unless a caller
+    /// opts in.
+    pub fn standard_with_quantized() -> Self {
+        Self::standard().member(
+            "dsb16",
+            IsingCopSolver::new().precision(adis_sb::KernelPrecision::I16),
+        )
+    }
+
     /// Enrolls `solver` under `name` (the name shows up as
     /// [`CopOutcome::winner`] and in telemetry).
     pub fn member(mut self, name: impl Into<String>, solver: impl CopSolver + 'static) -> Self {
@@ -111,6 +124,19 @@ impl PortfolioSolver {
     /// The enrolled member names, in enrollment order.
     pub fn member_names(&self) -> impl Iterator<Item = &str> {
         self.members.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// Max-minus-min over the COP's cell weights, the spread feeding
+    /// [`select_for`](PortfolioSolver::select_for). Degenerate instances
+    /// (no weights, or a single weight) have no spread at all: folding
+    /// them through ±∞ extrema would fabricate an infinite claim, so they
+    /// report 0.0 and route to the uniform-cost pick.
+    pub fn weight_spread(weights: &[f64]) -> f64 {
+        if weights.len() < 2 {
+            return 0.0;
+        }
+        weights.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+            - weights.iter().fold(f64::INFINITY, |m, &v| m.min(v))
     }
 
     /// The static solver-selection table: which standard-roster member to
@@ -182,9 +208,7 @@ impl PortfolioSolver {
         ctx: &SolveCtx<'_>,
         scratch: &mut CopScratch,
     ) -> CopOutcome {
-        let weights = cop.weights();
-        let spread = weights.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
-            - weights.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+        let spread = Self::weight_spread(cop.weights());
         let pick = Self::select_for(cop.rows(), cop.cols(), spread, Mode::Separate);
         let (name, solver) = self
             .members
@@ -422,5 +446,46 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_portfolio_panics_with_a_clear_message() {
         PortfolioSolver::new().solve_cop(&cop(), &SolveCtx::new(0), &mut CopScratch::new());
+    }
+
+    /// Degenerate weight slices must not fold through ±∞: no weights and a
+    /// single weight both have zero spread, which routes the static pick
+    /// to the uniform-cost member instead of poisoning the claim.
+    #[test]
+    fn weight_spread_guards_degenerate_instances() {
+        assert_eq!(PortfolioSolver::weight_spread(&[]), 0.0);
+        assert_eq!(PortfolioSolver::weight_spread(&[0.7]), 0.0);
+        assert_eq!(PortfolioSolver::weight_spread(&[0.25, 0.25, 0.25]), 0.0);
+        assert_eq!(PortfolioSolver::weight_spread(&[0.1, 0.6, 0.3]), 0.5);
+        assert!(PortfolioSolver::weight_spread(&[]).is_finite());
+        // Zero spread lands the DALTA pick on non-tiny grids.
+        assert_eq!(
+            PortfolioSolver::select_for(
+                16,
+                16,
+                PortfolioSolver::weight_spread(&[]),
+                Mode::Separate
+            ),
+            "dalta"
+        );
+    }
+
+    /// The opt-in quantized roster extends — never replaces — the standard
+    /// one, and its dSB lane returns internally consistent answers.
+    #[test]
+    fn quantized_roster_extends_the_standard_one() {
+        let standard = PortfolioSolver::standard();
+        let std_names: Vec<&str> = standard.member_names().collect();
+        let quant = PortfolioSolver::standard_with_quantized();
+        let names: Vec<&str> = quant.member_names().collect();
+        assert_eq!(names[..std_names.len()], std_names[..]);
+        assert!(names.contains(&"dsb16"));
+
+        let cop = cop();
+        let out = quant
+            .race(false)
+            .solve_cop(&cop, &SolveCtx::new(5), &mut CopScratch::new());
+        assert!((cop.objective(&out.setting) - out.objective).abs() < 1e-12);
+        assert_eq!(out.halt, HaltReason::Completed);
     }
 }

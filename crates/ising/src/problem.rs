@@ -47,6 +47,178 @@ pub struct IsingProblem {
     /// Packed coupling values, parallel to `cols`.
     weights: Vec<f64>,
     offset: f64,
+    quantized: Option<QuantizedCsr>,
+}
+
+/// Fixed-point `i16` companion of the coupling CSR, for reduced-precision
+/// field kernels (the discrete-SB line of arXiv:2510.12407).
+///
+/// Weights are stored as `round(J_ij · scale)` in an `i16` array parallel to
+/// the f64 CSR's neighbor-index array (same `row_ptr`/`cols`), and biases as
+/// `round(hᵢ · scale)` in `i32`. A field accumulated in `i32` over a row then
+/// equals `scale · (hᵢ + Σⱼ J_ij σⱼ)` up to rounding of the individual
+/// coefficients — dividing by [`scale`](QuantizedCsr::scale) recovers the
+/// real-valued local field.
+///
+/// The scale is chosen by [`IsingBuilder::build`]:
+///
+/// - **exact**: if every coupling and bias is integral with magnitude
+///   ≤ `i16::MAX`, the scale is 1 and encode/decode is lossless
+///   ([`exact`](QuantizedCsr::exact) reports true);
+/// - otherwise the scale maps the RMS coupling (`coupling_rms`) to 2¹⁰
+///   quantization units, capped so the largest coupling still fits `i16`
+///   and the largest bias stays well inside `i32` — and further capped so
+///   the worst row's accumulation bound fits `i16`
+///   ([`acc_fits_i16`](QuantizedCsr::acc_fits_i16), unlocking the
+///   double-width `i16` field kernel), unless that would squeeze the
+///   largest coupling below ~4 bits of resolution, in which case
+///   resolution wins and the field accumulates in `i32`.
+///
+/// Problems whose coefficients are non-finite, or where a worst-case row
+/// accumulation could overflow `i32`, have no quantized companion
+/// ([`IsingProblem::quantized`] returns `None`).
+#[derive(Clone, PartialEq)]
+pub struct QuantizedCsr {
+    scale: f64,
+    weights: Vec<i16>,
+    biases: Vec<i32>,
+    exact: bool,
+    acc_fits_i16: bool,
+}
+
+/// Quantization units the RMS coupling maps to when an exact unit scale is
+/// not available.
+const QUANT_RMS_TARGET: f64 = 1024.0;
+
+/// Minimum quantized magnitude the largest coupling must keep for the
+/// `i16`-accumulation scale cap to apply (~4 bits of weight resolution —
+/// the low end of what the reduced-precision dSB literature shows to be
+/// quality-neutral). Below this, the cap is skipped and the field
+/// accumulates in `i32` at the finer RMS-target scale instead.
+const QUANT_MIN_JMAX: f64 = 15.0;
+
+impl QuantizedCsr {
+    /// The fixed-point scale: stored values are `round(coefficient · scale)`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Quantized coupling weights, parallel to the f64 CSR's `cols` array.
+    pub fn weights(&self) -> &[i16] {
+        &self.weights
+    }
+
+    /// Quantized biases `round(hᵢ · scale)`, length `N`.
+    pub fn biases(&self) -> &[i32] {
+        &self.biases
+    }
+
+    /// True when encode/decode is lossless (unit scale, integral inputs).
+    pub fn exact(&self) -> bool {
+        self.exact
+    }
+
+    /// True when every row's worst-case accumulation `Σ|qJ| + |qb|` fits
+    /// `i16`, so a field kernel may accumulate in `i16` lanes (twice the
+    /// SIMD width of `i32`) without any possibility of wrap-around —
+    /// producing the same values, hence staying bit-identical to the
+    /// `i32` accumulation.
+    pub fn acc_fits_i16(&self) -> bool {
+        self.acc_fits_i16
+    }
+
+    fn build(h: &[f64], row_ptr: &[u32], weights: &[f64]) -> Option<QuantizedCsr> {
+        if h.iter().chain(weights).any(|v| !v.is_finite()) {
+            return None;
+        }
+        let jmax = weights.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let hmax = h.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let integral = h.iter().chain(weights).all(|v| v.fract() == 0.0);
+        let (scale, exact) = if integral && jmax <= f64::from(i16::MAX) && hmax <= f64::from(i16::MAX)
+        {
+            (1.0, true)
+        } else {
+            let n = h.len();
+            let rms = if n < 2 {
+                0.0
+            } else {
+                let sum_sq: f64 = weights.iter().map(|&v| v * v).sum();
+                (sum_sq / (n as f64 * (n as f64 - 1.0))).sqrt()
+            };
+            let mut s = if rms > 0.0 { QUANT_RMS_TARGET / rms } else { 1.0 };
+            if jmax > 0.0 {
+                s = s.min(f64::from(i16::MAX) / jmax);
+            }
+            if hmax > 0.0 {
+                // Keep quantized biases a safe factor inside i32 so the row
+                // accumulation guard below has headroom.
+                s = s.min(f64::from(i32::MAX) / 4.0 / hmax);
+            }
+            // Prefer a scale whose worst-case row accumulation fits `i16`:
+            // the masked-add field kernel then runs in twice-as-wide `i16`
+            // vectors instead of `i32`. Every rounded term can contribute
+            // up to 0.5 quantization units over its real value, so that
+            // slack is budgeted out of the `i16` range before dividing.
+            // Resolution still wins over speed: the cap is skipped when it
+            // would leave the largest coupling under [`QUANT_MIN_JMAX`].
+            let mut worst_abs = 0.0f64;
+            let mut widest_row = 0usize;
+            for (i, &hi) in h.iter().enumerate() {
+                let row = row_ptr[i] as usize..row_ptr[i + 1] as usize;
+                widest_row = widest_row.max(row.len());
+                let bound: f64 =
+                    weights[row].iter().map(|v| v.abs()).sum::<f64>() + hi.abs();
+                worst_abs = worst_abs.max(bound);
+            }
+            if worst_abs > 0.0 {
+                let fit =
+                    (f64::from(i16::MAX) - 0.5 * (widest_row as f64 + 1.0)) / worst_abs;
+                if fit < s && fit * jmax >= QUANT_MIN_JMAX {
+                    s = fit;
+                }
+            }
+            if !(s.is_finite() && s > 0.0) {
+                return None;
+            }
+            (s, false)
+        };
+        let qweights: Vec<i16> = weights.iter().map(|&v| (v * scale).round() as i16).collect();
+        let qbiases: Vec<i32> = h.iter().map(|&v| (v * scale).round() as i32).collect();
+        // Worst-case |field| per row in i32 units: Σ|qw| over the row plus the
+        // row's |bias|. Refuse quantization rather than risk wrap-around.
+        let mut worst_row = 0i64;
+        for (i, &qb) in qbiases.iter().enumerate() {
+            let row = row_ptr[i] as usize..row_ptr[i + 1] as usize;
+            let bound: i64 = qweights[row]
+                .iter()
+                .map(|&q| i64::from(q).abs())
+                .sum::<i64>()
+                + i64::from(qb).abs();
+            if bound >= i64::from(i32::MAX) {
+                return None;
+            }
+            worst_row = worst_row.max(bound);
+        }
+        Some(QuantizedCsr {
+            scale,
+            weights: qweights,
+            biases: qbiases,
+            exact,
+            acc_fits_i16: worst_row <= i64::from(i16::MAX),
+        })
+    }
+}
+
+impl fmt::Debug for QuantizedCsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QuantizedCsr(scale {}, {} weights, exact {})",
+            self.scale,
+            self.weights.len(),
+            self.exact
+        )
+    }
 }
 
 impl IsingProblem {
@@ -197,6 +369,13 @@ impl IsingProblem {
         let jmax = self.weights.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         hmax.max(jmax)
     }
+
+    /// The fixed-point `i16` companion of the coupling CSR, if one could be
+    /// built (see [`QuantizedCsr`] for the scale-selection rule and the
+    /// overflow guard that can make this `None`).
+    pub fn quantized(&self) -> Option<&QuantizedCsr> {
+        self.quantized.as_ref()
+    }
 }
 
 impl fmt::Debug for IsingProblem {
@@ -307,12 +486,14 @@ impl IsingBuilder {
             }
             row_ptr.push(cols.len() as u32);
         }
+        let quantized = QuantizedCsr::build(&self.h, &row_ptr, &weights);
         IsingProblem {
             h: self.h,
             row_ptr,
             cols,
             weights,
             offset: self.offset,
+            quantized,
         }
     }
 }
@@ -443,6 +624,112 @@ mod tests {
         // Row 0 holds neighbors 2, 3 with the built weights.
         assert_eq!(&cols[0..2], &[2, 3]);
         assert_eq!(&weights[0..2], &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn integral_weights_quantize_exactly_at_unit_scale() {
+        let p = IsingBuilder::new(3)
+            .bias(0, 3.0)
+            .bias(2, -32767.0)
+            .coupling(0, 1, -5.0)
+            .coupling(1, 2, 32767.0)
+            .build();
+        let q = p.quantized().expect("integral instance must quantize");
+        assert!(q.exact());
+        assert_eq!(q.scale(), 1.0);
+        let (_, _, weights) = p.csr();
+        for (&w, &qw) in weights.iter().zip(q.weights()) {
+            assert_eq!(f64::from(qw), w);
+        }
+        for (&h, &qb) in p.biases().iter().zip(q.biases()) {
+            assert_eq!(f64::from(qb), h);
+        }
+    }
+
+    #[test]
+    fn fractional_weights_quantize_within_half_unit() {
+        let p = IsingBuilder::new(4)
+            .bias(1, 0.375)
+            .coupling(0, 1, 0.013)
+            .coupling(1, 2, -0.207)
+            .coupling(2, 3, 1.5)
+            .build();
+        let q = p.quantized().expect("finite instance must quantize");
+        assert!(!q.exact());
+        let s = q.scale();
+        assert!(s.is_finite() && s > 0.0);
+        let (_, _, weights) = p.csr();
+        for (&w, &qw) in weights.iter().zip(q.weights()) {
+            assert!((f64::from(qw) / s - w).abs() <= 0.5 / s + 1e-12);
+        }
+        for (&h, &qb) in p.biases().iter().zip(q.biases()) {
+            assert!((f64::from(qb) / s - h).abs() <= 0.5 / s + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantized_scale_keeps_largest_coupling_in_i16() {
+        let p = IsingBuilder::new(3)
+            .coupling(0, 1, 1e-3)
+            .coupling(1, 2, 900.5)
+            .build();
+        let q = p.quantized().unwrap();
+        assert!(900.5 * q.scale() <= f64::from(i16::MAX) + 0.5);
+        assert!(q.weights().iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn fractional_scale_is_capped_to_fit_i16_accumulation() {
+        // A fractional star whose RMS-target scale would push the hub
+        // row's Σ|qJ| past i16: the builder must trade scale for the
+        // double-width kernel, keeping the row bound inside i16 while
+        // the largest coupling stays well above the resolution floor.
+        let mut b = IsingBuilder::new(41);
+        for j in 1..41 {
+            b.add_coupling(0, j, 1.5);
+        }
+        let p = b.build();
+        let q = p.quantized().expect("finite instance must quantize");
+        assert!(!q.exact());
+        assert!(q.acc_fits_i16(), "cap must unlock i16 accumulation");
+        let hub_bound: i32 = q.weights()[..40].iter().map(|&v| i32::from(v).abs()).sum();
+        assert!(hub_bound <= i32::from(i16::MAX), "hub row bound {hub_bound}");
+        let qjmax = q.weights().iter().map(|v| v.unsigned_abs()).max().unwrap();
+        assert!(f64::from(qjmax) >= QUANT_MIN_JMAX, "resolution floor held: {qjmax}");
+    }
+
+    #[test]
+    fn resolution_wins_over_the_i16_accumulation_cap() {
+        // A hub so wide that fitting its row sum into i16 would leave the
+        // couplings under the ~4-bit floor: the builder must keep the
+        // finer scale and report i32 accumulation instead.
+        let n = 2501;
+        let mut b = IsingBuilder::new(n);
+        for j in 1..n {
+            b.add_coupling(0, j, 0.5);
+        }
+        let p = b.build();
+        let q = p.quantized().expect("finite instance must quantize");
+        assert!(!q.acc_fits_i16(), "cap would destroy resolution; keep i32");
+        let qjmax = q.weights().iter().map(|v| v.unsigned_abs()).max().unwrap();
+        assert!(f64::from(qjmax) >= QUANT_MIN_JMAX, "fine scale kept: {qjmax}");
+    }
+
+    #[test]
+    fn non_finite_coefficients_refuse_quantization() {
+        let p = IsingBuilder::new(2).coupling(0, 1, f64::NAN).build();
+        assert!(p.quantized().is_none());
+        let p = IsingBuilder::new(2).bias(0, f64::INFINITY).build();
+        assert!(p.quantized().is_none());
+    }
+
+    #[test]
+    fn empty_problem_quantizes_exactly() {
+        let p = IsingBuilder::new(2).build();
+        let q = p.quantized().unwrap();
+        assert!(q.exact());
+        assert_eq!(q.weights().len(), 0);
+        assert_eq!(q.biases(), &[0, 0]);
     }
 
     #[test]

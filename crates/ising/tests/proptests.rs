@@ -213,6 +213,73 @@ proptest! {
         }
     }
 
+    /// Integral coefficients within i16 range encode/decode losslessly at
+    /// unit scale (the `exact` branch of the quantizer).
+    #[test]
+    fn quantized_roundtrip_exact_on_integral_weights(
+        n in 2usize..8,
+        raw in prop::collection::vec((-300i32..300, any::<prop::sample::Index>(), any::<prop::sample::Index>()), 0..12),
+        hs in prop::collection::vec(-300i32..300, 8),
+    ) {
+        let mut b = IsingBuilder::new(n);
+        for (i, &v) in hs.iter().enumerate().take(n) {
+            b.add_bias(i, f64::from(v));
+        }
+        for (v, a, c) in raw {
+            let i = a.index(n);
+            let j = c.index(n);
+            if i != j {
+                b.add_coupling(i, j, f64::from(v));
+            }
+        }
+        let p = b.build();
+        let q = p.quantized().expect("integral instance must quantize");
+        prop_assert!(q.exact());
+        prop_assert_eq!(q.scale(), 1.0);
+        let (_, _, weights) = p.csr();
+        prop_assert_eq!(weights.len(), q.weights().len());
+        for (&w, &qw) in weights.iter().zip(q.weights()) {
+            prop_assert_eq!(f64::from(qw), w);
+        }
+        for (&h, &qb) in p.biases().iter().zip(q.biases()) {
+            prop_assert_eq!(f64::from(qb), h);
+        }
+    }
+
+    /// Arbitrary finite coefficients quantize within half a quantization
+    /// unit, and the decoded field error is bounded by the row degree.
+    #[test]
+    fn quantized_coefficients_within_half_unit(p in ising_problem(9)) {
+        let q = p.quantized().expect("finite instance must quantize");
+        let s = q.scale();
+        prop_assert!(s.is_finite() && s > 0.0);
+        let (row_ptr, _, weights) = p.csr();
+        for (&w, &qw) in weights.iter().zip(q.weights()) {
+            prop_assert!((f64::from(qw) / s - w).abs() <= 0.5 / s + 1e-12);
+        }
+        for (&h, &qb) in p.biases().iter().zip(q.biases()) {
+            prop_assert!((f64::from(qb) / s - h).abs() <= 0.5 / s + 1e-12);
+        }
+        // At any spin configuration the decoded quantized local field is
+        // within (degree + 1) half-units of the exact field.
+        let sv = SpinVector::all_up(p.num_spins());
+        for i in 0..p.num_spins() {
+            let row = row_ptr[i] as usize..row_ptr[i + 1] as usize;
+            let degree = row.len();
+            let mut acc = i64::from(q.biases()[i]);
+            for (&j, &qw) in p.csr().1[row.clone()].iter().zip(&q.weights()[row]) {
+                acc += i64::from(qw) * i64::from(i32::from(sv.get(j as usize)));
+            }
+            let x: Vec<f64> = (0..p.num_spins()).map(|j| f64::from(sv.get(j))).collect();
+            let exact = p.local_field(&x, i);
+            let err = (acc as f64 / s - exact).abs();
+            prop_assert!(
+                err <= (degree as f64 + 1.0) * 0.5 / s + 1e-9,
+                "spin {}: decoded field err {} exceeds bound", i, err
+            );
+        }
+    }
+
     /// Higher-order lift of a 2nd-order problem agrees everywhere, and its
     /// force matches a finite difference of the relaxed energy.
     #[test]

@@ -31,8 +31,9 @@
 //! exactly where the sequential run would have stopped; integration ends
 //! once every lane has retired.
 
-use crate::{SbResult, SbSolver, SbState, SbVariant, StopReason, StopState};
-use adis_ising::{IsingProblem, SpinVector};
+use crate::quantized::{batch_field_i16, batch_field_i32, sign_masks_i32, spin_signs_i16};
+use crate::{KernelPrecision, SbResult, SbSolver, SbState, SbVariant, StopReason, StopState};
+use adis_ising::{IsingProblem, QuantizedCsr, SpinVector};
 use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 use rand::Rng;
 use rand::SeedableRng;
@@ -58,6 +59,21 @@ pub struct SbBatchScratch {
     lane_x: Vec<f64>,
     /// One lane's momenta, gathered contiguously for sampling.
     lane_y: Vec<f64>,
+    /// Sign-mask rows, one `i32` per lane (`0` or `−1`), spin-major, so
+    /// the fixed-point field kernel reads contiguous rows (quantized dSB
+    /// with `i32` accumulation only).
+    masks32: Vec<i32>,
+    /// `±1` spin-sign rows (quantized dSB with `i16` accumulation — that
+    /// kernel multiplies signs instead of masked-adding).
+    signs16: Vec<i16>,
+    /// Fixed-point field accumulator, same layout as `field`.
+    qfield32: Vec<i32>,
+    /// `i16` twin of `qfield32`.
+    qfield16: Vec<i16>,
+    /// Biases narrowed to `i16` (valid whenever
+    /// [`QuantizedCsr::acc_fits_i16`] holds — `|qb|` is bounded by the
+    /// row accumulation bound).
+    qb16: Vec<i16>,
 }
 
 impl SbBatchScratch {
@@ -67,8 +83,12 @@ impl SbBatchScratch {
     }
 
     /// Resizes every buffer for `replicas` lanes of an `n`-spin problem.
-    /// Contents are unspecified until the integrator writes them.
-    pub(crate) fn reset(&mut self, n: usize, replicas: usize) {
+    /// Contents are unspecified until the integrator writes them. The
+    /// fixed-point buffers are only sized when `quantized` integration was
+    /// requested (the accumulator width the problem supports); otherwise
+    /// they are emptied. The narrowed bias staging is filled here — it is
+    /// per-problem, not per-iteration, state.
+    pub(crate) fn reset(&mut self, n: usize, replicas: usize, quantized: Option<&QuantizedCsr>) {
         let lanes = n * replicas;
         for buf in [&mut self.x, &mut self.y, &mut self.field, &mut self.signs] {
             buf.clear();
@@ -77,6 +97,23 @@ impl SbBatchScratch {
         for buf in [&mut self.lane_x, &mut self.lane_y] {
             buf.clear();
             buf.resize(n, 0.0);
+        }
+        self.masks32.clear();
+        self.signs16.clear();
+        self.qfield32.clear();
+        self.qfield16.clear();
+        self.qb16.clear();
+        match quantized {
+            Some(q) if q.acc_fits_i16() => {
+                self.signs16.resize(lanes, 0);
+                self.qfield16.resize(lanes, 0);
+                self.qb16.extend(q.biases().iter().map(|&b| b as i16));
+            }
+            Some(_) => {
+                self.masks32.resize(lanes, 0);
+                self.qfield32.resize(lanes, 0);
+            }
+            None => {}
         }
     }
 }
@@ -94,6 +131,36 @@ struct Lane {
     /// replayed per replica after integration so an enabled observer sees
     /// the exact stream sequential solves would have produced.
     samples: Vec<(usize, f64, f64, f64)>,
+}
+
+/// Per-iteration constants of the fused quantized-dSB update pass.
+#[derive(Clone, Copy)]
+struct DsbStep {
+    inv: f64,
+    c0: f64,
+    decay: f64,
+    dt: f64,
+    a0: f64,
+}
+
+/// Converts each lane's fixed-point field and advances its momentum,
+/// position, and inelastic wall in one pass.
+///
+/// Bit-identity: the conversion is the sequential reduced-precision
+/// path's `f64::from(qf) * inv`, and the update applies the same scalar
+/// operations in the same per-lane order as the split field-then-update
+/// loops — the wall is expressed as selects, which compute exactly the
+/// values the sequential branch does (a NaN position never "hits": its
+/// `abs() > 1.0` compare is false either way).
+fn fused_dsb_update<T: Copy + Into<f64>>(qfield: &[T], s: DsbStep, x: &mut [f64], y: &mut [f64]) {
+    for ((xi, yi), &qf) in x.iter_mut().zip(y.iter_mut()).zip(qfield.iter()) {
+        let f = qf.into() * s.inv;
+        let yv = *yi + (-s.decay * *xi + s.c0 * f) * s.dt;
+        let xv = *xi + s.a0 * yv * s.dt;
+        let hit = xv.abs() > 1.0;
+        *xi = if hit { xv.signum() } else { xv };
+        *yi = if hit { 0.0 } else { yv };
+    }
 }
 
 /// Writes `out[i·R..][..R] = h[i] + Σⱼ J_ij · src[j·R..][..R]` for all spins.
@@ -122,6 +189,8 @@ fn batch_field(
         8 => batch_field_const::<8>(row_ptr, cols, weights, h, src, out),
         16 => batch_field_const::<16>(row_ptr, cols, weights, h, src, out),
         32 => batch_field_const::<32>(row_ptr, cols, weights, h, src, out),
+        64 => batch_field_const::<64>(row_ptr, cols, weights, h, src, out),
+        128 => batch_field_const::<128>(row_ptr, cols, weights, h, src, out),
         _ => batch_field_dyn(row_ptr, cols, weights, h, src, out, replicas),
     }
 }
@@ -245,7 +314,14 @@ impl SbSolver {
         let rl = replicas;
         let _span =
             trace_span!("SbSolver::solve_batch {:?} n={n} replicas={rl}", self.variant);
-        scratch.reset(n, rl);
+        // Reduced-precision dSB runs the fixed-point masked-add kernel
+        // when the problem has a quantized companion; otherwise fall back
+        // to f64.
+        let quantized = match self.precision {
+            KernelPrecision::I16 => problem.quantized(),
+            KernelPrecision::F64 => None,
+        };
+        scratch.reset(n, rl, quantized);
         let SbBatchScratch {
             x,
             y,
@@ -253,6 +329,11 @@ impl SbSolver {
             signs,
             lane_x,
             lane_y,
+            masks32,
+            signs16,
+            qfield32,
+            qfield16,
+            qb16,
         } = scratch;
 
         // Seed every lane exactly as its sequential run would: an own RNG
@@ -302,36 +383,59 @@ impl SbSolver {
         for t in 0..max_iters {
             let a_t = self.a0 * ((t as f64 / ramp as f64).min(1.0));
             let decay = self.a0 - a_t;
+            let (dt, a0) = (self.dt, self.a0);
+            let mut fused = false;
             match self.variant {
                 SbVariant::Discrete => {
-                    for (s, &v) in signs.iter_mut().zip(x.iter()) {
-                        *s = if v >= 0.0 { 1.0 } else { -1.0 };
+                    if let Some(q) = quantized {
+                        // Fixed-point field, then a fused convert/update
+                        // pass: each lane converts its integer field with
+                        // the same `f64::from(qf) * inv` multiply the
+                        // sequential reduced-precision path uses, so no
+                        // separate f64 field array is ever materialized.
+                        let step = DsbStep { inv: 1.0 / q.scale(), c0, decay, dt, a0 };
+                        if q.acc_fits_i16() {
+                            spin_signs_i16(x, signs16);
+                            batch_field_i16(row_ptr, cols, q.weights(), qb16, signs16, qfield16, rl);
+                            fused_dsb_update(qfield16, step, x, y);
+                        } else {
+                            sign_masks_i32(x, masks32);
+                            batch_field_i32(row_ptr, cols, q.weights(), q.biases(), masks32, qfield32, rl);
+                            fused_dsb_update(qfield32, step, x, y);
+                        }
+                        fused = true;
+                    } else {
+                        for (s, &v) in signs.iter_mut().zip(x.iter()) {
+                            *s = if v >= 0.0 { 1.0 } else { -1.0 };
+                        }
+                        batch_field(row_ptr, cols, weights, h, signs, field, rl);
                     }
-                    batch_field(row_ptr, cols, weights, h, signs, field, rl);
                 }
                 _ => batch_field(row_ptr, cols, weights, h, x, field, rl),
             }
             // Fused momentum/position/wall update. Spin i's update reads
             // only its own lane scalars and the precomputed field, so
             // fusing the sequential integrator's split loops changes no
-            // lane's operation order.
-            let (dt, a0) = (self.dt, self.a0);
-            match self.variant {
-                SbVariant::Adiabatic => {
-                    for ((xi, yi), fi) in x.iter_mut().zip(y.iter_mut()).zip(field.iter()) {
-                        let xv = *xi;
-                        *yi += (-xv * xv * xv - decay * xv + c0 * *fi) * dt;
-                        *xi += a0 * *yi * dt;
+            // lane's operation order. (The quantized path already updated
+            // inside its fused pass above.)
+            if !fused {
+                match self.variant {
+                    SbVariant::Adiabatic => {
+                        for ((xi, yi), fi) in x.iter_mut().zip(y.iter_mut()).zip(field.iter()) {
+                            let xv = *xi;
+                            *yi += (-xv * xv * xv - decay * xv + c0 * *fi) * dt;
+                            *xi += a0 * *yi * dt;
+                        }
                     }
-                }
-                _ => {
-                    for ((xi, yi), fi) in x.iter_mut().zip(y.iter_mut()).zip(field.iter()) {
-                        *yi += (-decay * *xi + c0 * *fi) * dt;
-                        *xi += a0 * *yi * dt;
-                        // Perfectly inelastic walls at ±1.
-                        if xi.abs() > 1.0 {
-                            *xi = xi.signum();
-                            *yi = 0.0;
+                    _ => {
+                        for ((xi, yi), fi) in x.iter_mut().zip(y.iter_mut()).zip(field.iter()) {
+                            *yi += (-decay * *xi + c0 * *fi) * dt;
+                            *xi += a0 * *yi * dt;
+                            // Perfectly inelastic walls at ±1.
+                            if xi.abs() > 1.0 {
+                                *xi = xi.signum();
+                                *yi = 0.0;
+                            }
                         }
                     }
                 }
@@ -655,12 +759,104 @@ mod tests {
     }
 
     #[test]
+    fn quantized_lanes_match_sequential_quantized_replicas() {
+        // Integer field accumulation is associative, so the batched i16
+        // kernel must be bit-identical per lane to sequential quantized
+        // solves — across const-word widths (≤64, ≤128) and the dynamic
+        // fallback (>128), including non-multiple-of-64 lane counts.
+        let p = random_problem(9, 43);
+        assert!(p.quantized().is_some());
+        let solver = SbSolver::new()
+            .variant(SbVariant::Discrete)
+            .precision(KernelPrecision::I16)
+            .stop(StopCriterion::FixedIterations(120))
+            .seed(17);
+        for replicas in [3usize, 64, 70, 128, 130] {
+            let mut scratch = SbBatchScratch::new();
+            let batch =
+                solver.solve_batch_with(&p, replicas, &mut scratch, |_, _| {}, &mut NullObserver);
+            // Spot-check a few lanes; a full scan of 130 sequential solves
+            // would dominate the suite's runtime.
+            for r in [0, 1, replicas / 2, replicas - 1] {
+                let sequential = solver.clone().seed(17 + r as u64).solve(&p);
+                assert_results_identical(&batch[r], &sequential);
+            }
+        }
+    }
+
+    #[test]
+    fn integral_weights_make_i16_bit_identical_to_f64_dsb() {
+        // With integral coefficients the quantizer is exact (scale 1), and
+        // both i32 and f64 accumulate small integers exactly — so the
+        // reduced-precision path reproduces full-precision dSB bit for bit.
+        let mut b = IsingBuilder::new(8);
+        let mut state = 0xfeed_u64;
+        for i in 0..8usize {
+            for j in (i + 1)..8 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                b.add_coupling(i, j, ((state >> 32) % 21) as f64 - 10.0);
+            }
+        }
+        let p = b.build();
+        assert!(p.quantized().expect("integral").exact());
+        let f64_solver = SbSolver::new()
+            .variant(SbVariant::Discrete)
+            .stop(StopCriterion::FixedIterations(200))
+            .seed(5);
+        let i16_solver = f64_solver.clone().precision(KernelPrecision::I16);
+        let mut s1 = SbBatchScratch::new();
+        let mut s2 = SbBatchScratch::new();
+        let full = f64_solver.solve_batch_with(&p, 64, &mut s1, |_, _| {}, &mut NullObserver);
+        let quant = i16_solver.solve_batch_with(&p, 64, &mut s2, |_, _| {}, &mut NullObserver);
+        for (a, b) in full.iter().zip(&quant) {
+            assert_results_identical(a, b);
+        }
+    }
+
+    #[test]
+    fn unquantizable_problem_falls_back_to_f64_arithmetic() {
+        // A NaN coupling has no fixed-point companion; the I16 request must
+        // degrade to the f64 sign path instead of panicking. The run's
+        // energies are garbage (NaN problem), but it must complete.
+        let p = IsingBuilder::new(3)
+            .coupling(0, 1, f64::NAN)
+            .coupling(1, 2, 1.0)
+            .build();
+        assert!(p.quantized().is_none());
+        let solver = SbSolver::new()
+            .variant(SbVariant::Discrete)
+            .precision(KernelPrecision::I16)
+            .stop(StopCriterion::FixedIterations(40));
+        let mut scratch = SbBatchScratch::new();
+        let results =
+            solver.solve_batch_with(&p, 4, &mut scratch, |_, _| {}, &mut NullObserver);
+        assert_eq!(results.len(), 4);
+    }
+
+    #[test]
+    fn quantized_batch_finds_the_ferromagnetic_ground_state() {
+        let mut b = IsingBuilder::new(12);
+        for i in 0..11 {
+            b.add_coupling(i, i + 1, 1.0);
+        }
+        let p = b.build();
+        let solver = SbSolver::new()
+            .variant(SbVariant::Discrete)
+            .precision(KernelPrecision::I16)
+            .stop(StopCriterion::FixedIterations(400))
+            .seed(2);
+        let mut scratch = SbBatchScratch::new();
+        let best = solver.solve_batch_in(&p, 64, &mut scratch);
+        assert_eq!(best.best_energy, -11.0);
+    }
+
+    #[test]
     fn const_and_dyn_field_kernels_agree_bitwise() {
         let n = 13;
         let p = random_problem(n, 91);
         let (row_ptr, cols, weights) = p.csr();
         let h = p.biases();
-        for lanes in [1usize, 2, 4, 8, 16, 32] {
+        for lanes in [1usize, 2, 4, 8, 16, 32, 64, 128] {
             let src: Vec<f64> = (0..n * lanes)
                 .map(|k| ((k * 37 % 101) as f64 - 50.0) / 50.0)
                 .collect();

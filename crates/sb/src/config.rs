@@ -41,6 +41,10 @@ pub enum ConfigError {
     DegenerateWindow(usize),
     /// Batch/replica entry points need at least one replica.
     ZeroReplicas,
+    /// The `i16` fixed-point kernel reads only spin *signs*, which is the
+    /// discrete (dSB) coupling force; aSB/bSB need analog positions in the
+    /// field, so reduced precision is rejected for them.
+    PrecisionRequiresDiscrete,
 }
 
 impl fmt::Display for ConfigError {
@@ -63,6 +67,11 @@ impl fmt::Display for ConfigError {
                  (variance of fewer samples is identically 0, stopping immediately)"
             ),
             ConfigError::ZeroReplicas => write!(f, "need at least one replica"),
+            ConfigError::PrecisionRequiresDiscrete => write!(
+                f,
+                "the i16 fixed-point kernel requires the discrete (dSB) variant \
+                 (aSB/bSB coupling forces need analog positions)"
+            ),
         }
     }
 }

@@ -43,6 +43,13 @@
 //!   run — plus the best-replica convenience wrappers
 //!   ([`SbSolver::solve_batch`], [`SbSolver::solve_batch_in`]) with
 //!   deterministic seed assignment and selection;
+//! - a reduced-precision dSB kernel ([`KernelPrecision::I16`], selected
+//!   with [`SbSolver::precision`]): the coupling field accumulates `i16`
+//!   fixed-point weights over integer sign-mask rows — masked adds
+//!   instead of multiplies, in `i16` lanes when the instance's row bounds
+//!   allow and `i32` otherwise — and only the accumulated field is
+//!   converted back to `f64` for the momentum update (energies stay
+//!   exact `f64`);
 //! - [`HigherOrderSb`]: bSB for k-local energies (Kanao–Goto), needed by
 //!   the third-order row-based formulation.
 //!
@@ -68,6 +75,7 @@
 mod batch;
 mod config;
 mod higher_order;
+mod quantized;
 mod scratch;
 mod solver;
 mod stop;
@@ -75,6 +83,7 @@ mod stop;
 pub use batch::SbBatchScratch;
 pub use config::ConfigError;
 pub use higher_order::{HigherOrderSb, HigherOrderSbResult};
+pub use quantized::KernelPrecision;
 pub use scratch::{SbScratch, ScratchGuard, ScratchPool};
 pub use solver::{SbResult, SbSolver, SbState, SbVariant};
 pub use stop::{StopCriterion, StopReason, StopState};

@@ -1,0 +1,382 @@
+//! Reduced-precision field kernels for discrete SB.
+//!
+//! Discrete SB only ever reads the *signs* of the positions, so its
+//! coupling field is a sum of `±J_ij` — exact integer arithmetic whenever
+//! the weights are integers (which the COP→Ising reduction's are). The
+//! [`KernelPrecision::I16`] path exploits that (the discrete-SB line of
+//! arXiv:2510.12407):
+//!
+//! - couplings come from the problem's fixed-point companion CSR
+//!   (`adis_ising::QuantizedCsr`): `i16` weights and `i32` biases at a
+//!   common scale, accumulated in `i32` — or in `i16` lanes when the
+//!   builder proved every row's worst-case sum fits
+//!   ([`QuantizedCsr::acc_fits_i16`](adis_ising::QuantizedCsr::acc_fits_i16)),
+//!   doubling the SIMD width (the builder's overflow guards make
+//!   wrap-around impossible in both);
+//! - spin signs are materialized once per iteration as one integer *sign
+//!   row* per spin (spin-major like every other batch buffer), so each
+//!   CSR entry in the hot loop is one branchless conditional negation per
+//!   lane over a contiguous row. The two accumulator widths spell that
+//!   differently, each matching what baseline x86-64 can vectorize: the
+//!   `i16` kernels store signs as `±1` and multiply (`acc += qJ · s` —
+//!   SSE2 has a native 16-bit lane multiply, so this is one multiply and
+//!   one add per vector), while the `i32` kernels store signs as masks
+//!   `∈ {0, −1}` and do a masked add (`acc += (v ^ m) − m`, since there
+//!   is no baseline 32-bit lane multiply). Both compute the exact same
+//!   integers.
+//!
+//! An earlier shape of this kernel bit-packed the signs into `u64` words
+//! (`⌈R/64⌉` per spin) and extracted each lane's bit inside the field
+//! loop. The packing is maximally compact, but the per-entry
+//! variable-distance shift defeats vectorization, and even packing once
+//! and expanding to sign rows per iteration costs more than an order of
+//! magnitude more than deriving the rows straight from the positions
+//! (one vectorizable compare per lane). The sign-row layout keeps the
+//! multiply-free conditional negation — the point of the representation —
+//! and drops the bit extraction.
+//!
+//! The kernels never make a rounding decision: they compute the exact
+//! integer `scale · field` and hand it back; the integrator converts with
+//! one `f64` multiply per lane, exactly like the sequential
+//! reduced-precision path. Integer addition is associative and every
+//! kernel accumulates in CSR row order, so batched lanes are bit-identical
+//! to sequential reduced-precision solves — and on *exact* (unit-scale)
+//! instances, to the f64 dSB path itself.
+
+/// Selects the arithmetic of the coupling-field kernel.
+///
+/// `F64` is the default full-precision path every variant supports. `I16`
+/// runs discrete SB's field accumulation over the problem's fixed-point
+/// companion CSR (falling back to `F64` arithmetic when
+/// [`quantized`](adis_ising::IsingProblem::quantized) is `None`); it is
+/// only meaningful for sign-readout dynamics, so any variant other than
+/// [`Discrete`](crate::SbVariant::Discrete) is rejected at validation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelPrecision {
+    /// Full-precision `f64` field accumulation (every variant).
+    #[default]
+    F64,
+    /// Fixed-point `i16`-weight field accumulation (discrete SB only).
+    I16,
+}
+
+/// Writes the sign-mask row layout for all spins: `masks[k] = −1` if
+/// position `k` reads as spin −1 (negative or NaN, matching the f64
+/// sign readout `v >= 0.0`), else `0`.
+pub(crate) fn sign_masks_i32(x: &[f64], masks: &mut [i32]) {
+    for (m, &v) in masks.iter_mut().zip(x.iter()) {
+        *m = -i32::from(v < 0.0 || v.is_nan());
+    }
+}
+
+/// Writes the `±1` sign-row layout for the `i16`-accumulator kernels:
+/// `signs[k] = −1` if position `k` reads as spin −1 (negative or NaN,
+/// matching the f64 sign readout `v >= 0.0`), else `+1`. The `i16`
+/// kernels multiply by these signs — SSE2's native 16-bit lane multiply
+/// makes that cheaper than the mask form — so they carry the spin value,
+/// not a mask.
+pub(crate) fn spin_signs_i16(x: &[f64], signs: &mut [i16]) {
+    for (s, &v) in signs.iter_mut().zip(x.iter()) {
+        *s = 1 - 2 * i16::from(v < 0.0 || v.is_nan());
+    }
+}
+
+/// Writes `out[i·R..][..R] = qb[i] + Σⱼ qJ_ij · sgn(x_j)` (in quantization
+/// units) for all spins, accumulating in `i32`.
+///
+/// Dispatches const-width kernels for the wide lane counts the precision
+/// path targets (R = 64, 128) whose accumulators stay in registers across
+/// a whole CSR row; other widths take the dynamic fallback. All paths run
+/// the same per-lane integer additions in CSR row order, and integer
+/// addition is associative, so the kernels agree exactly.
+pub(crate) fn batch_field_i32(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qweights: &[i16],
+    qbiases: &[i32],
+    masks: &[i32],
+    out: &mut [i32],
+    replicas: usize,
+) {
+    match replicas {
+        64 => batch_field_i32_const::<64>(row_ptr, cols, qweights, qbiases, masks, out),
+        128 => batch_field_i32_const::<128>(row_ptr, cols, qweights, qbiases, masks, out),
+        _ => batch_field_i32_dyn(row_ptr, cols, qweights, qbiases, masks, out, replicas),
+    }
+}
+
+/// [`batch_field_i32`] with `i16` accumulator lanes — twice the SIMD
+/// width — reading `±1` sign rows from [`spin_signs_i16`] instead of
+/// masks. Callers must hold a
+/// [`QuantizedCsr::acc_fits_i16`](adis_ising::QuantizedCsr::acc_fits_i16)
+/// guarantee (every row's `Σ|qJ| + |qb|` ≤ `i16::MAX`), which makes the
+/// narrower accumulation produce identical values. (`qJ · ±1` itself can
+/// never wrap: the quantizer's scale cap bounds `|qJ| ≤ i16::MAX`, so
+/// `−qJ` is always representable.)
+pub(crate) fn batch_field_i16(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qweights: &[i16],
+    qbiases: &[i16],
+    signs: &[i16],
+    out: &mut [i16],
+    replicas: usize,
+) {
+    match replicas {
+        64 => batch_field_i16_const::<64>(row_ptr, cols, qweights, qbiases, signs, out),
+        128 => batch_field_i16_const::<128>(row_ptr, cols, qweights, qbiases, signs, out),
+        _ => batch_field_i16_dyn(row_ptr, cols, qweights, qbiases, signs, out, replicas),
+    }
+}
+
+/// Const-width masked-add kernel: the `R`-lane accumulator is a stack
+/// array, and each CSR entry is an xor/sub/add sweep over one contiguous
+/// mask row.
+fn batch_field_i32_const<const R: usize>(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qweights: &[i16],
+    qbiases: &[i32],
+    masks: &[i32],
+    out: &mut [i32],
+) {
+    for (i, &qb) in qbiases.iter().enumerate() {
+        let mut acc = [qb; R];
+        let (start, end) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
+        for (&qw, &c) in qweights[start..end].iter().zip(&cols[start..end]) {
+            let v = i32::from(qw);
+            let mrow: &[i32; R] = masks[c as usize * R..][..R].try_into().expect("mask row");
+            for (lane, &m) in acc.iter_mut().zip(mrow.iter()) {
+                *lane += (v ^ m) - m;
+            }
+        }
+        out[i * R..(i + 1) * R].copy_from_slice(&acc);
+    }
+}
+
+/// `i16`-accumulator twin of [`batch_field_i32_const`]: one native
+/// 16-bit multiply and one add per lane — a shorter dependency chain
+/// than the three-op mask form, which SSE2 only needs because it lacks a
+/// 32-bit lane multiply.
+fn batch_field_i16_const<const R: usize>(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qweights: &[i16],
+    qbiases: &[i16],
+    signs: &[i16],
+    out: &mut [i16],
+) {
+    for (i, &qb) in qbiases.iter().enumerate() {
+        let mut acc = [qb; R];
+        let (start, end) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
+        for (&qw, &c) in qweights[start..end].iter().zip(&cols[start..end]) {
+            let srow: &[i16; R] = signs[c as usize * R..][..R].try_into().expect("sign row");
+            for (lane, &s) in acc.iter_mut().zip(srow.iter()) {
+                *lane += qw * s;
+            }
+        }
+        out[i * R..(i + 1) * R].copy_from_slice(&acc);
+    }
+}
+
+/// Arbitrary-width fallback; accumulates in place through `out` with the
+/// same contiguous mask-row sweep.
+fn batch_field_i32_dyn(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qweights: &[i16],
+    qbiases: &[i32],
+    masks: &[i32],
+    out: &mut [i32],
+    replicas: usize,
+) {
+    for (i, &qb) in qbiases.iter().enumerate() {
+        let row = &mut out[i * replicas..(i + 1) * replicas];
+        row.fill(qb);
+        for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+            let v = i32::from(qweights[e]);
+            let mrow = &masks[cols[e] as usize * replicas..][..replicas];
+            for (o, &m) in row.iter_mut().zip(mrow.iter()) {
+                *o += (v ^ m) - m;
+            }
+        }
+    }
+}
+
+/// `i16`-accumulator twin of [`batch_field_i32_dyn`], multiplying `±1`
+/// sign rows like [`batch_field_i16_const`].
+fn batch_field_i16_dyn(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qweights: &[i16],
+    qbiases: &[i16],
+    signs: &[i16],
+    out: &mut [i16],
+    replicas: usize,
+) {
+    for (i, &qb) in qbiases.iter().enumerate() {
+        let row = &mut out[i * replicas..(i + 1) * replicas];
+        row.fill(qb);
+        for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+            let v = qweights[e];
+            let srow = &signs[cols[e] as usize * replicas..][..replicas];
+            for (o, &s) in row.iter_mut().zip(srow.iter()) {
+                *o += v * s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference: per-lane scalar accumulation straight from the signs.
+    fn reference_field(
+        row_ptr: &[u32],
+        cols: &[u32],
+        qweights: &[i16],
+        qbiases: &[i32],
+        x: &[f64],
+        replicas: usize,
+    ) -> Vec<i32> {
+        let n = qbiases.len();
+        let mut out = vec![0i32; n * replicas];
+        for i in 0..n {
+            for r in 0..replicas {
+                let mut acc = qbiases[i];
+                for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+                    let s = if x[cols[e] as usize * replicas + r] >= 0.0 { 1 } else { -1 };
+                    acc += i32::from(qweights[e]) * s;
+                }
+                out[i * replicas + r] = acc;
+            }
+        }
+        out
+    }
+
+    fn toy_csr() -> (Vec<u32>, Vec<u32>, Vec<i16>, Vec<i32>) {
+        // 5 spins, ring + one chord, mixed-sign weights.
+        let pairs = [(0usize, 1usize, 7i16), (1, 2, -3), (2, 3, 11), (3, 4, -1), (0, 4, 2), (1, 3, 5)];
+        let n = 5;
+        let mut rows: Vec<Vec<(u32, i16)>> = vec![Vec::new(); n];
+        for &(i, j, v) in &pairs {
+            rows[i].push((j as u32, v));
+            rows[j].push((i as u32, v));
+        }
+        let mut row_ptr = vec![0u32];
+        let mut cols = Vec::new();
+        let mut qw = Vec::new();
+        for mut row in rows {
+            row.sort_unstable();
+            for (j, v) in row {
+                cols.push(j);
+                qw.push(v);
+            }
+            row_ptr.push(cols.len() as u32);
+        }
+        let qb = vec![3, -200, 0, 17, -4];
+        (row_ptr, cols, qw, qb)
+    }
+
+    fn positions(n: usize, replicas: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n * replicas)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn i32_kernels_match_scalar_reference_at_all_widths() {
+        let (row_ptr, cols, qw, qb) = toy_csr();
+        let n = qb.len();
+        for replicas in [1usize, 3, 17, 63, 64, 65, 100, 128, 129, 192] {
+            let x = positions(n, replicas, 0x5eed ^ replicas as u64);
+            let mut masks = vec![0i32; n * replicas];
+            sign_masks_i32(&x, &mut masks);
+            let mut out = vec![0i32; n * replicas];
+            batch_field_i32(&row_ptr, &cols, &qw, &qb, &masks, &mut out, replicas);
+            let expect = reference_field(&row_ptr, &cols, &qw, &qb, &x, replicas);
+            assert_eq!(out, expect, "replicas = {replicas}");
+        }
+    }
+
+    #[test]
+    fn i16_accumulator_kernels_match_the_i32_values_at_all_widths() {
+        let (row_ptr, cols, qw, qb) = toy_csr();
+        // Row bounds here are tiny, so i16 accumulation cannot wrap and
+        // must reproduce the i32 values exactly at every width.
+        let qb16: Vec<i16> = qb.iter().map(|&v| v as i16).collect();
+        let n = qb.len();
+        for replicas in [1usize, 3, 17, 63, 64, 65, 100, 128, 129, 192] {
+            let x = positions(n, replicas, 0xbeef ^ replicas as u64);
+            let mut signs = vec![0i16; n * replicas];
+            spin_signs_i16(&x, &mut signs);
+            let mut out = vec![0i16; n * replicas];
+            batch_field_i16(&row_ptr, &cols, &qw, &qb16, &signs, &mut out, replicas);
+            let expect = reference_field(&row_ptr, &cols, &qw, &qb, &x, replicas);
+            let widened: Vec<i32> = out.iter().map(|&v| i32::from(v)).collect();
+            assert_eq!(widened, expect, "replicas = {replicas}");
+        }
+    }
+
+    #[test]
+    fn const_and_dyn_kernels_agree_exactly() {
+        let (row_ptr, cols, qw, qb) = toy_csr();
+        let qb16: Vec<i16> = qb.iter().map(|&v| v as i16).collect();
+        let n = qb.len();
+        for replicas in [64usize, 128] {
+            let x = positions(n, replicas, 99);
+            let mut masks32 = vec![0i32; n * replicas];
+            let mut signs16 = vec![0i16; n * replicas];
+            sign_masks_i32(&x, &mut masks32);
+            spin_signs_i16(&x, &mut signs16);
+            let mut dispatched32 = vec![0i32; n * replicas];
+            let mut fallback32 = vec![0i32; n * replicas];
+            batch_field_i32(&row_ptr, &cols, &qw, &qb, &masks32, &mut dispatched32, replicas);
+            batch_field_i32_dyn(&row_ptr, &cols, &qw, &qb, &masks32, &mut fallback32, replicas);
+            assert_eq!(dispatched32, fallback32, "i32, replicas = {replicas}");
+            let mut dispatched16 = vec![0i16; n * replicas];
+            let mut fallback16 = vec![0i16; n * replicas];
+            batch_field_i16(&row_ptr, &cols, &qw, &qb16, &signs16, &mut dispatched16, replicas);
+            batch_field_i16_dyn(&row_ptr, &cols, &qw, &qb16, &signs16, &mut fallback16, replicas);
+            assert_eq!(dispatched16, fallback16, "i16, replicas = {replicas}");
+        }
+    }
+
+    #[test]
+    fn zero_reads_as_spin_up() {
+        let x = [0.0, -0.0, 1.0, -1.0];
+        let mut masks = vec![7i32; 4];
+        sign_masks_i32(&x, &mut masks);
+        // +0 reads as spin +1; −0 compares >= 0 too.
+        assert_eq!(masks, [0, 0, 0, -1]);
+    }
+
+    #[test]
+    fn nan_positions_mask_as_negative_like_the_f64_readout() {
+        // The f64 sign readout maps NaN to −1 (`v >= 0.0` is false); the
+        // mask/sign rows must agree so I16 and F64 runs see the same spins.
+        let x = [f64::NAN, 2.0];
+        let mut masks32 = vec![0i32; 2];
+        let mut signs16 = vec![0i16; 2];
+        sign_masks_i32(&x, &mut masks32);
+        spin_signs_i16(&x, &mut signs16);
+        assert_eq!(masks32, [-1, 0]);
+        assert_eq!(signs16, [-1, 1]);
+    }
+
+    #[test]
+    fn sign_rows_are_plus_minus_one() {
+        let x = [0.0, -0.0, 1.0, -1.0];
+        let mut signs = vec![0i16; 4];
+        spin_signs_i16(&x, &mut signs);
+        // ±0 both read as spin +1, matching `v >= 0.0`.
+        assert_eq!(signs, [1, 1, 1, -1]);
+    }
+}

@@ -1,7 +1,7 @@
 //! Simulated bifurcation solvers: adiabatic (aSB), ballistic (bSB) and
 //! discrete (dSB) variants with symplectic Euler integration.
 
-use crate::{SbBatchScratch, SbScratch, StopCriterion, StopReason, StopState};
+use crate::{KernelPrecision, SbBatchScratch, SbScratch, StopCriterion, StopReason, StopState};
 use adis_ising::{IsingProblem, SpinVector};
 use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 use rand::Rng;
@@ -106,6 +106,7 @@ pub struct SbSolver {
     pub(crate) seed: u64,
     pub(crate) init_amplitude: f64,
     pub(crate) ramp: Option<usize>,
+    pub(crate) precision: KernelPrecision,
 }
 
 impl Default for SbSolver {
@@ -127,6 +128,7 @@ impl SbSolver {
             seed: 0,
             init_amplitude: 0.1,
             ramp: None,
+            precision: KernelPrecision::F64,
         }
     }
 
@@ -182,6 +184,19 @@ impl SbSolver {
         self
     }
 
+    /// Selects the coupling-field arithmetic.
+    /// [`KernelPrecision::I16`] runs dSB's field accumulation over the
+    /// problem's fixed-point companion CSR with integer sign masks (see
+    /// the crate-level discussion of the quantized kernel); it requires
+    /// [`SbVariant::Discrete`] — any other variant is rejected by
+    /// [`validate`](SbSolver::validate)/[`try_solve`](SbSolver::try_solve) —
+    /// and falls back to `F64` arithmetic on problems without a quantized
+    /// companion (`IsingProblem::quantized()` returning `None`).
+    pub fn precision(mut self, p: KernelPrecision) -> Self {
+        self.precision = p;
+        self
+    }
+
     /// Sets the amplitude of the random initial state (default `0.1`).
     pub fn init_amplitude(mut self, amp: f64) -> Self {
         self.init_amplitude = amp;
@@ -226,6 +241,9 @@ impl SbSolver {
         }
         if !(self.init_amplitude >= 0.0 && self.init_amplitude.is_finite()) {
             return Err(crate::ConfigError::InvalidInitAmplitude(self.init_amplitude));
+        }
+        if self.precision == KernelPrecision::I16 && self.variant != SbVariant::Discrete {
+            return Err(crate::ConfigError::PrecisionRequiresDiscrete);
         }
         self.stop.validate()
     }
@@ -350,6 +368,13 @@ impl SbSolver {
         // until the pump completes; the paper's default (ramp == budget)
         // applies the criterion throughout.
         let settle_after = self.ramp.map(|r| r.min(max_iters)).unwrap_or(0);
+        // Reduced-precision dSB: accumulate the field over the fixed-point
+        // companion CSR in i32, in the same row order as the batch kernel
+        // (integer adds are associative, so the two are bit-identical).
+        let quantized = match self.precision {
+            KernelPrecision::I16 => problem.quantized(),
+            KernelPrecision::F64 => None,
+        };
         for t in 0..max_iters {
             // Linear pump ramp a(t): 0 → a0 over `ramp` iterations.
             let a_t = self.a0 * ((t as f64 / ramp as f64).min(1.0));
@@ -361,10 +386,24 @@ impl SbSolver {
                     }
                 }
                 SbVariant::Discrete => {
-                    for i in 0..n {
-                        signs[i] = if x[i] >= 0.0 { 1.0 } else { -1.0 };
+                    if let Some(q) = quantized {
+                        let (row_ptr, cols, _) = problem.csr();
+                        let (qw, qb) = (q.weights(), q.biases());
+                        let inv = 1.0 / q.scale();
+                        for i in 0..n {
+                            let mut acc = qb[i];
+                            for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+                                let v = i32::from(qw[e]);
+                                acc += if x[cols[e] as usize] >= 0.0 { v } else { -v };
+                            }
+                            field[i] = f64::from(acc) * inv;
+                        }
+                    } else {
+                        for i in 0..n {
+                            signs[i] = if x[i] >= 0.0 { 1.0 } else { -1.0 };
+                        }
+                        problem.field(signs, field);
                     }
-                    problem.field(signs, field);
                     for i in 0..n {
                         y[i] += (-(self.a0 - a_t) * x[i] + c0 * field[i]) * self.dt;
                     }
@@ -720,6 +759,16 @@ mod tests {
                     max_iterations: 100,
                 }),
                 ConfigError::DegenerateWindow(1),
+            ),
+            (
+                SbSolver::new().precision(crate::KernelPrecision::I16),
+                ConfigError::PrecisionRequiresDiscrete,
+            ),
+            (
+                SbSolver::new()
+                    .variant(SbVariant::Adiabatic)
+                    .precision(crate::KernelPrecision::I16),
+                ConfigError::PrecisionRequiresDiscrete,
             ),
         ];
         for (solver, expected) in cases {

@@ -1,7 +1,7 @@
 //! Property-based tests for the simulated-bifurcation solvers.
 
-use adis_ising::{IsingBuilder, IsingProblem};
-use adis_sb::{SbBatchScratch, SbSolver, SbVariant, StopCriterion};
+use adis_ising::{solve_exhaustive, IsingBuilder, IsingProblem};
+use adis_sb::{KernelPrecision, SbBatchScratch, SbSolver, SbVariant, StopCriterion};
 use adis_telemetry::NullObserver;
 use proptest::prelude::*;
 
@@ -149,6 +149,60 @@ proptest! {
                 prop_assert_eq!(&lane.trace, &seq.trace);
             }
         }
+    }
+
+    /// The arbitrary-width fallback field kernel is bit-identical to
+    /// sequential solves at widths the const dispatch does not cover
+    /// (R = 3, 5, 7, 33 route through `batch_field_dyn`).
+    #[test]
+    fn fallback_widths_bit_identical_to_sequential(
+        p in problem(8),
+        seed in any::<u64>(),
+        replicas in prop::sample::select(vec![3usize, 5, 7, 33]),
+    ) {
+        for variant in [SbVariant::Ballistic, SbVariant::Discrete, SbVariant::Adiabatic] {
+            let solver = SbSolver::new()
+                .variant(variant)
+                .stop(StopCriterion::FixedIterations(150))
+                .seed(seed);
+            let mut scratch = SbBatchScratch::new();
+            let batch = solver.solve_batch_with(&p, replicas, &mut scratch, |_, _| {}, &mut NullObserver);
+            prop_assert_eq!(batch.len(), replicas);
+            // Every lane of the fallback path, not a sample: divergence in
+            // the in-place accumulator would only show on specific lanes.
+            for (r, lane) in batch.iter().enumerate() {
+                let seq = solver.clone().seed(seed.wrapping_add(r as u64)).solve(&p);
+                prop_assert_eq!(&lane.best_state, &seq.best_state, "{:?} lane {}/{}", variant, r, replicas);
+                prop_assert_eq!(lane.best_energy, seq.best_energy);
+                prop_assert_eq!(lane.iterations, seq.iterations);
+                prop_assert_eq!(lane.stop_reason, seq.stop_reason);
+                prop_assert_eq!(&lane.trace, &seq.trace);
+            }
+        }
+    }
+
+    /// The quantized dSB path reports real spin configurations with exact
+    /// f64 energies: its objective can never fall below the exhaustive
+    /// optimum, and it is exactly reproducible.
+    #[test]
+    fn quantized_objective_never_beats_the_exhaustive_optimum(
+        p in problem(8),
+        seed in any::<u64>(),
+    ) {
+        let ground = solve_exhaustive(&p);
+        let solver = SbSolver::new()
+            .variant(SbVariant::Discrete)
+            .precision(KernelPrecision::I16)
+            .stop(StopCriterion::FixedIterations(250))
+            .seed(seed);
+        let mut scratch = SbBatchScratch::new();
+        let best = solver.solve_batch_in(&p, 8, &mut scratch);
+        prop_assert!((p.energy(&best.best_state) - best.best_energy).abs() < 1e-12);
+        prop_assert!(best.best_energy >= ground.energy - 1e-9,
+            "quantized energy {} below exhaustive optimum {}", best.best_energy, ground.energy);
+        let again = solver.solve_batch_in(&p, 8, &mut SbBatchScratch::new());
+        prop_assert_eq!(best.best_energy, again.best_energy);
+        prop_assert_eq!(best.best_state, again.best_state);
     }
 
     /// The best-of-batch wrapper selects exactly what a sequential scan

@@ -58,11 +58,15 @@ pub enum SolverChoice {
     Dalta,
     /// The BA (simulated-annealing) reconstruction.
     Ba,
+    /// The Ising solver on the reduced-precision i16 dSB kernel
+    /// (`adis_core::KernelPrecision::I16`): fixed-point coupling field
+    /// over integer sign masks, exact f64 objectives.
+    Dsb16,
 }
 
 impl SolverChoice {
     /// Every accepted wire name, in documentation order.
-    pub const NAMES: [&'static str; 5] = ["portfolio", "ising", "exact", "dalta", "ba"];
+    pub const NAMES: [&'static str; 6] = ["portfolio", "ising", "exact", "dalta", "ba", "dsb16"];
 
     /// Parses a wire name (strict: unknown names are an error).
     pub fn parse(name: &str) -> Result<SolverChoice, String> {
@@ -72,6 +76,7 @@ impl SolverChoice {
             "exact" => Ok(SolverChoice::Exact),
             "dalta" => Ok(SolverChoice::Dalta),
             "ba" => Ok(SolverChoice::Ba),
+            "dsb16" => Ok(SolverChoice::Dsb16),
             other => Err(format!(
                 "\"solver\" must be one of {:?}, got {other:?}",
                 Self::NAMES
@@ -87,6 +92,7 @@ impl SolverChoice {
             SolverChoice::Exact => "exact",
             SolverChoice::Dalta => "dalta",
             SolverChoice::Ba => "ba",
+            SolverChoice::Dsb16 => "dsb16",
         }
     }
 }

@@ -45,7 +45,8 @@
 use crate::http::{self, ReadError, Request};
 use crate::protocol::{JobSpec, SolverChoice};
 use adis_core::{
-    BaParams, CacheConfig, CopSolverKind, Framework, Mode, PortfolioSolver, SharedCopCache,
+    BaParams, CacheConfig, CopSolverKind, Framework, IsingCopSolver, KernelPrecision, Mode,
+    PortfolioSolver, SharedCopCache,
 };
 use adis_telemetry::{Json, Recorder, ReportCell, RunReport};
 use std::collections::{HashMap, VecDeque};
@@ -590,6 +591,9 @@ fn run_job(shared: &Shared, id: u64) {
                 framework.solver(CopSolverKind::DaltaHeuristic { restarts: 8 })
             }
             SolverChoice::Ba => framework.solver(CopSolverKind::Ba(BaParams::default())),
+            SolverChoice::Dsb16 => framework.solver(
+                IsingCopSolver::new().precision(KernelPrecision::I16),
+            ),
         };
         framework
             .try_decompose_with(&function, &mut recorder)

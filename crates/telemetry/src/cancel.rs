@@ -20,7 +20,11 @@ struct Inner {
     parent: Option<CancelToken>,
 }
 
-/// A shared, hierarchical cancellation flag (see the [module docs](self)).
+/// A shared, hierarchical cancellation flag.
+///
+/// A controller sets the flag once and workers poll it cooperatively at
+/// coarse boundaries; children created with [`CancelToken::child`] observe
+/// their parent's cancellation as well as their own.
 ///
 /// Clones observe the same flag. The default token is never cancelled
 /// until someone calls [`cancel`](CancelToken::cancel) on it or a clone.
