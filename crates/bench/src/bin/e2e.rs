@@ -1,0 +1,200 @@
+//! End-to-end fused-batch timing: the Table-1 workload (six continuous
+//! functions, `n = m = 9`, joint mode) decomposed three ways through one
+//! generic-path Ising solver — the engine's fused multi-COP batch
+//! scheduler, the per-COP parallel sweep, and the sequential oracle —
+//! asserting bit-identical results and unchanged memo accounting while
+//! timing the fused speedup.
+//!
+//! Writes `results/BENCH_e2e.json` (a deterministic name, so CI can
+//! upload it as an artifact) with per-function cells for all three
+//! variants, per-function speedups, and the aggregate speedup.
+//!
+//! Usage:
+//!   cargo run --release -p adis-bench --bin e2e                 # fast profile
+//!   ... --partitions N --rounds N --seed N --replicas N
+//!   ... --min-speedup X   # exit nonzero unless fused/per-COP ≥ X
+
+use adis_bench::stop_for;
+use adis_benchfn::{ContinuousFn, QuantScheme};
+use adis_core::{DecompositionOutcome, Framework, IsingCopSolver, Mode};
+use adis_telemetry::{Json, Recorder, ReportCell, RunReport};
+use std::time::Instant;
+
+struct E2eConfig {
+    partitions: usize,
+    rounds: usize,
+    seed: u64,
+    replicas: usize,
+    min_speedup: Option<f64>,
+}
+
+fn parse_args() -> E2eConfig {
+    let mut cfg = E2eConfig {
+        partitions: 8,
+        rounds: 1,
+        seed: 1,
+        replicas: 1,
+        min_speedup: None,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--partitions" => {
+                i += 1;
+                cfg.partitions = args[i].parse().expect("--partitions takes a number");
+            }
+            "--rounds" => {
+                i += 1;
+                cfg.rounds = args[i].parse().expect("--rounds takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args[i].parse().expect("--seed takes a number");
+            }
+            "--replicas" => {
+                i += 1;
+                cfg.replicas = args[i].parse().expect("--replicas takes a number");
+            }
+            "--min-speedup" => {
+                i += 1;
+                cfg.min_speedup = Some(args[i].parse().expect("--min-speedup takes a number"));
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+    cfg
+}
+
+/// The framework every variant shares: joint mode on the paper's small
+/// scheme, with the solver forced onto the generic Ising path (the one
+/// the fused scheduler batches) so all three variants integrate the same
+/// dynamics.
+fn base_framework(cfg: &E2eConfig) -> Framework {
+    Framework::new(Mode::Joint, 5)
+        .solver(
+            IsingCopSolver::new()
+                .structured(false)
+                .stop(stop_for(QuantScheme::Small))
+                .replicas(cfg.replicas),
+        )
+        .partitions(cfg.partitions)
+        .rounds(cfg.rounds)
+        .seed(cfg.seed)
+}
+
+/// Whole-outcome bit-identity (the same comparison the adis-check
+/// fused-batch family sweeps randomized configs with).
+fn identical(a: &DecompositionOutcome, b: &DecompositionOutcome) -> bool {
+    a.med.to_bits() == b.med.to_bits()
+        && a.er.to_bits() == b.er.to_bits()
+        && a.approx == b.approx
+        && a.cop_solves == b.cop_solves
+        && a.sb_iterations == b.sb_iterations
+        && a.cache_hits == b.cache_hits
+        && a.cache_misses == b.cache_misses
+        && a.choices.len() == b.choices.len()
+        && a.choices.iter().zip(&b.choices).all(|(ca, cb)| {
+            ca.partition.bound() == cb.partition.bound()
+                && ca.setting == cb.setting
+                && ca.objective.to_bits() == cb.objective.to_bits()
+        })
+}
+
+fn main() {
+    let cfg = parse_args();
+    let run_start = Instant::now();
+    let mut report = RunReport::new("e2e", cfg.seed);
+    report
+        .config("partitions", Json::Num(cfg.partitions as f64))
+        .config("rounds", Json::Num(cfg.rounds as f64))
+        .config("replicas", Json::Num(cfg.replicas as f64));
+    println!("Fused-batch e2e — Table-1 workload, n = 9, m = 9, joint mode");
+    println!(
+        "config: P = {} partitions, R = {} rounds, {} replicas, seed {}\n",
+        cfg.partitions, cfg.rounds, cfg.replicas, cfg.seed
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>9} {:>10} {:>5}",
+        "function", "fused(s)", "percop(s)", "seq(s)", "speedup", "occupancy", "bits"
+    );
+    println!("{}", "-".repeat(70));
+
+    let mut fused_total = 0.0f64;
+    let mut percop_total = 0.0f64;
+    let mut all_identical = true;
+    for f in ContinuousFn::ALL.iter() {
+        let table = f
+            .function(9, 9)
+            .expect("paper quantization widths are valid");
+
+        let run = |label: &str, fw: Framework| -> (DecompositionOutcome, ReportCell) {
+            let mut rec = Recorder::new().keep_trajectory(false);
+            let outcome = fw.decompose_with(&table, &mut rec);
+            let mut cell = ReportCell::new(f.name(), "Joint", label).absorb(&rec);
+            cell.objective = outcome.med;
+            cell.seconds = outcome.elapsed.as_secs_f64();
+            (outcome, cell)
+        };
+        let (fused, mut fused_cell) = run("fused", base_framework(&cfg).parallel(true));
+        let (percop, percop_cell) =
+            run("per-cop", base_framework(&cfg).parallel(true).fused(false));
+        let (seq, seq_cell) = run("sequential", base_framework(&cfg).parallel(false));
+
+        let bits = identical(&fused, &percop) && identical(&fused, &seq);
+        all_identical &= bits;
+        let speedup = percop.elapsed.as_secs_f64() / fused.elapsed.as_secs_f64().max(1e-9);
+        fused_total += fused.elapsed.as_secs_f64();
+        percop_total += percop.elapsed.as_secs_f64();
+        let occupancy = fused.fused_stats.occupancy();
+        fused_cell
+            .extra
+            .push(("speedup_vs_per_cop".to_string(), Json::Num(speedup)));
+        fused_cell
+            .extra
+            .push(("bit_identical".to_string(), Json::Bool(bits)));
+        report.push(fused_cell);
+        report.push(percop_cell);
+        report.push(seq_cell);
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>10.3} {:>8.2}x {:>10.2} {:>5}",
+            f.name(),
+            fused.elapsed.as_secs_f64(),
+            percop.elapsed.as_secs_f64(),
+            seq.elapsed.as_secs_f64(),
+            speedup,
+            occupancy,
+            if bits { "ok" } else { "DIFF" }
+        );
+        assert!(
+            fused.fused_stats.units > 0,
+            "{}: the fused path never engaged — the timing compares nothing",
+            f.name()
+        );
+    }
+
+    let speedup = percop_total / fused_total.max(1e-9);
+    println!("{}", "-".repeat(70));
+    println!(
+        "aggregate: fused {fused_total:.3}s vs per-COP {percop_total:.3}s — {speedup:.2}x, \
+         bit_identical = {all_identical}"
+    );
+    report
+        .config("aggregate_speedup", Json::Num(speedup))
+        .config("bit_identical", Json::Bool(all_identical))
+        .total_wall(run_start.elapsed());
+    match report.write_named("results", "BENCH_e2e.json") {
+        Ok(path) => println!("run report: {}", path.display()),
+        Err(e) => eprintln!("could not write run report: {e}"),
+    }
+
+    assert!(all_identical, "fused results diverged from the oracle");
+    if let Some(min) = cfg.min_speedup {
+        if speedup < min {
+            eprintln!("FAIL: aggregate speedup {speedup:.2}x < required {min:.2}x");
+            std::process::exit(1);
+        }
+        println!("speedup floor {min:.2}x satisfied");
+    }
+}

@@ -1,0 +1,124 @@
+//! Family 7 — fused multi-COP batch identity.
+//!
+//! The sweep engine promises that packing the COPs of a cell into
+//! shared-sparsity SIMD lanes and advancing them in fused batches with
+//! continuous refill ([`Framework::fused`]) changes *nothing* about the
+//! result: the decomposition, every per-component choice, the summed sb
+//! iteration counts, and the memo hit/miss accounting are bit-identical
+//! to both the per-COP parallel sweep and the sequential oracle. The unit
+//! tests pin this for one configuration; here it is re-asserted under
+//! randomized generic-path solver configurations — f64 and i16 kernels,
+//! heuristic intervention on and off, multiple replicas, both stop
+//! criteria, random distributions — and the family additionally asserts
+//! that the fused path actually *engaged* (occupancy counters are not
+//! vacuously zero) and that its unit count balances against the memo
+//! misses.
+
+use crate::config_sweep::same_outcome;
+use crate::{random_dist, random_fn, Collector};
+use adis_core::{CopSolverKind, Framework, IsingCopSolver, KernelPrecision, Mode};
+use adis_sb::StopCriterion;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
+    let n: u32 = rng.gen_range(4..=5);
+    let m: u32 = rng.gen_range(2..=3);
+    let exact = random_fn(rng, n, m);
+    let bound = rng.gen_range(1..=3.min(n - 1));
+    let mode = if rng.gen_bool(0.5) { Mode::Joint } else { Mode::Separate };
+    let replicas = rng.gen_range(1..=2);
+    let precision = if rng.gen_bool(0.5) {
+        KernelPrecision::F64
+    } else {
+        KernelPrecision::I16
+    };
+    let stop = if rng.gen_bool(0.5) {
+        StopCriterion::FixedIterations(rng.gen_range(80..=250))
+    } else {
+        StopCriterion::DynamicVariance {
+            sample_every: rng.gen_range(2..=10),
+            window: rng.gen_range(2..=6),
+            threshold: 1e-8,
+            max_iterations: rng.gen_range(200..=600),
+        }
+    };
+    // structured(false) forces the generic Ising path for the F64 kernel
+    // too; that path is exactly what the fused scheduler batches.
+    let solver = IsingCopSolver::new()
+        .structured(false)
+        .precision(precision)
+        .stop(stop)
+        .heuristic(rng.gen_bool(0.5))
+        .replicas(replicas)
+        .dt(rng.gen_range(0.1..0.4));
+    let cache = rng.gen_bool(0.75);
+    let base = Framework::new(mode, bound)
+        .solver(CopSolverKind::Ising(solver))
+        .partitions(rng.gen_range(2..=4))
+        .rounds(rng.gen_range(1..=2))
+        .seed(rng.gen_range(0..u64::MAX))
+        .dist(random_dist(rng, n))
+        .cache(cache);
+
+    let fused = base.clone().parallel(true).decompose(&exact);
+    let per_cop = base.clone().parallel(true).fused(false).decompose(&exact);
+    let sequential = base.clone().parallel(false).decompose(&exact);
+
+    for (label, other) in [("per-COP", &per_cop), ("sequential", &sequential)] {
+        same_outcome(col, case, &format!("fused vs {label}"), other, &fused);
+        col.check(case, fused.sb_iterations == other.sb_iterations, || {
+            format!(
+                "fused vs {label}: {} sb iterations != {}",
+                fused.sb_iterations, other.sb_iterations
+            )
+        });
+        col.check(case, fused.cache_hits == other.cache_hits, || {
+            format!(
+                "fused vs {label}: {} cache hits != {}",
+                fused.cache_hits, other.cache_hits
+            )
+        });
+        col.check(case, fused.cache_misses == other.cache_misses, || {
+            format!(
+                "fused vs {label}: {} cache misses != {}",
+                fused.cache_misses, other.cache_misses
+            )
+        });
+        col.check(case, other.fused_stats.units == 0, || {
+            format!(
+                "{label} run must bypass the fused path, reported {} units",
+                other.fused_stats.units
+            )
+        });
+    }
+
+    // Engagement and accounting: every memo miss is one unique COP solved
+    // in the batch, at `replicas` lanes each; the busy/idle split must
+    // describe a real occupancy.
+    let stats = &fused.fused_stats;
+    col.check(case, stats.units == fused.cache_misses * replicas, || {
+        format!(
+            "{} fused units != {} misses × {replicas} replicas",
+            stats.units, fused.cache_misses
+        )
+    });
+    col.check(case, stats.units > 0, || {
+        "fused path never engaged (0 units — the check is vacuous)".to_string()
+    });
+    col.check(case, stats.lanes_filled >= stats.units, || {
+        format!("{} lanes filled < {} units", stats.lanes_filled, stats.units)
+    });
+    let occ = stats.occupancy();
+    col.check(case, occ > 0.0 && occ <= 1.0, || {
+        format!(
+            "occupancy {occ} out of range (busy {}, idle {})",
+            stats.busy_lane_iterations, stats.idle_lane_iterations
+        )
+    });
+    if !cache {
+        col.check(case, fused.cache_hits == 0, || {
+            format!("cache disabled but {} hits reported", fused.cache_hits)
+        });
+    }
+}

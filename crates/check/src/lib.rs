@@ -26,8 +26,13 @@
 //!   f64 objectives for the settings it returns (one-sided bound against
 //!   the exhaustive optimum), and on integral coefficients it is
 //!   bit-identical to the f64 dSB dynamics.
+//! - **Fused batch**: the sweep engine's fused multi-COP lane-packing
+//!   path ([`adis_core::Framework::fused`]) is bit-identical — outcomes,
+//!   iteration sums, and memo hit/miss accounting — to both the per-COP
+//!   parallel sweep and the sequential oracle, and it demonstrably
+//!   engages (non-vacuous occupancy counters).
 //!
-//! This crate checks all six families on randomized instances, collects
+//! This crate checks all seven families on randomized instances, collects
 //! any violation as a [`Discrepancy`], and (through the `adis-check`
 //! binary) emits a machine-readable [`RunReport`] — a differential oracle
 //! in the fuzzing sense, with a bounded, seeded case budget so CI runs are
@@ -46,6 +51,7 @@ use std::fmt;
 mod batch_identity;
 mod config_sweep;
 mod differential;
+mod fused_batch;
 mod oracle;
 mod quantized;
 mod shared_cache;
@@ -68,7 +74,7 @@ impl Default for CheckConfig {
     }
 }
 
-/// The six check families.
+/// The seven check families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Ground-truth oracle: COP objective == direct metrics recomputation
@@ -88,16 +94,22 @@ pub enum Family {
     /// (one-sided objective bound), bit-identity on integral weights,
     /// seam consistency and fingerprint namespacing.
     Quantized,
+    /// The engine's fused multi-COP batch path vs the per-COP parallel
+    /// sweep and the sequential oracle: whole-outcome bit-identity,
+    /// matching hit/miss accounting, and non-vacuous engagement, under
+    /// random generic-path configs (f64 and i16 kernels).
+    FusedBatch,
 }
 
 /// All families, in execution order.
-pub const FAMILIES: [Family; 6] = [
+pub const FAMILIES: [Family; 7] = [
     Family::Oracle,
     Family::CrossSolver,
     Family::ConfigSweep,
     Family::BatchIdentity,
     Family::SharedCache,
     Family::Quantized,
+    Family::FusedBatch,
 ];
 
 impl Family {
@@ -110,6 +122,7 @@ impl Family {
             Family::BatchIdentity => "batch-identity",
             Family::SharedCache => "shared-cache",
             Family::Quantized => "quantized",
+            Family::FusedBatch => "fused-batch",
         }
     }
 
@@ -118,7 +131,7 @@ impl Family {
     pub fn cases(self, base: usize) -> usize {
         match self {
             Family::Oracle | Family::CrossSolver => base.max(1),
-            Family::ConfigSweep | Family::SharedCache => (base / 10).max(1),
+            Family::ConfigSweep | Family::SharedCache | Family::FusedBatch => (base / 10).max(1),
             Family::BatchIdentity | Family::Quantized => (base / 5).max(1),
         }
     }
@@ -131,6 +144,7 @@ impl Family {
             Family::BatchIdentity => 4,
             Family::SharedCache => 5,
             Family::Quantized => 6,
+            Family::FusedBatch => 7,
         }
     }
 }
@@ -235,6 +249,7 @@ pub fn run_family(family: Family, cfg: &CheckConfig) -> FamilyOutcome {
             Family::BatchIdentity => batch_identity::run_case(&mut col, case, &mut rng),
             Family::SharedCache => shared_cache::run_case(&mut col, case, &mut rng),
             Family::Quantized => quantized::run_case(&mut col, case, &mut rng),
+            Family::FusedBatch => fused_batch::run_case(&mut col, case, &mut rng),
         }
     }
     col.finish(cases)

@@ -224,6 +224,21 @@ impl ColumnCop {
         &self.weights
     }
 
+    /// Spread of the weight matrix, `max(W) − min(W)`, computed in one
+    /// pass — the COP shape feature reported alongside portfolio winner
+    /// attributions. `0.0` for a COP with fewer than two cells.
+    pub fn weight_spread(&self) -> f64 {
+        if self.weights.len() < 2 {
+            return 0.0;
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &self.weights {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        hi - lo
+    }
+
     /// The spin layout of the Ising encoding.
     pub fn layout(&self) -> SpinLayout {
         SpinLayout {
@@ -517,6 +532,18 @@ mod tests {
                 ground.energy
             );
         }
+    }
+
+    #[test]
+    fn weight_spread_matches_fold_definition() {
+        for seed in 0..4 {
+            let cop = small_cop(seed, 3, 5);
+            let w = cop.weights();
+            let expect = w.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
+                - w.iter().fold(f64::INFINITY, |m, &v| m.min(v));
+            assert_eq!(cop.weight_spread(), expect, "seed {seed}");
+        }
+        assert_eq!(ColumnCop::from_weights(1, 1, vec![3.5], 0.0).weight_spread(), 0.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::{ColumnCop, CopSolverKind, IsingCopSolver, RowCop};
 use adis_anneal::{Doch, SimCim};
 use adis_boolfn::{BitVec, ColumnSetting, RowSetting};
 use adis_ilp::BranchAndBound;
-use adis_sb::SbBatchScratch;
+use adis_sb::{FusedScratch, SbBatchScratch, SbSolver};
 use adis_telemetry::{CancelToken, NullObserver};
 use std::fmt;
 use std::sync::OnceLock;
@@ -224,6 +224,9 @@ pub struct CopScratch {
     /// Batched lane buffers for the generic (non-structured)
     /// [`adis_sb::SbSolver`] path, which integrates all replicas at once.
     pub(crate) batch: SbBatchScratch,
+    /// Weight-plane and lane buffers for the engine's fused multi-COP
+    /// batch path ([`adis_sb::SbSolver::solve_fused_with`]).
+    pub(crate) fused: FusedScratch,
 }
 
 impl CopScratch {
@@ -231,6 +234,30 @@ impl CopScratch {
     pub fn new() -> Self {
         Self::default()
     }
+}
+
+/// How a [`CopSolver`] asks the sweep engine to batch its COP solves
+/// through the fused multi-COP integrator
+/// ([`adis_sb::SbSolver::solve_fused_with`]).
+///
+/// A solver that returns one from [`CopSolver::fused_spec`] promises that,
+/// for any COP and content-derived seed `s`, its per-COP answer is exactly
+/// what the engine's fused assembly produces: integrate `replicas` lanes of
+/// `cop.to_ising()` with `sb` from seeds `s + rep` (applying the Theorem-3
+/// type reset at every sampling point when `heuristic`), decode each lane,
+/// re-optimize its type vector, and keep the strictly best objective. The
+/// engine exploits that contract to pack units of *different* COPs sharing
+/// one CSR sparsity pattern into SIMD lanes with continuous refill —
+/// bit-identical to the per-COP path by construction.
+#[derive(Debug, Clone)]
+pub struct FusedSpec {
+    /// The composed SB configuration the generic per-COP path would run.
+    pub(crate) sb: SbSolver,
+    /// Independent trajectories per COP (best objective wins).
+    pub(crate) replicas: usize,
+    /// Whether the Theorem-3 type-reset intervention fires at sampling
+    /// points.
+    pub(crate) heuristic: bool,
 }
 
 /// A core-COP solver: anything that maps a [`ColumnCop`] to a column
@@ -282,6 +309,15 @@ pub trait CopSolver: fmt::Debug + Send + Sync {
     fn deterministic(&self) -> bool {
         true
     }
+
+    /// Opts this solver into the engine's fused multi-COP batch path by
+    /// describing the equivalent lane integration (see [`FusedSpec`]).
+    /// The default `None` keeps the per-candidate solve loop; only return
+    /// `Some` when the spec's bit-identity contract genuinely holds for
+    /// every COP the engine may present.
+    fn fused_spec(&self) -> Option<FusedSpec> {
+        None
+    }
 }
 
 /// FNV-1a over a solver's type name and `Debug` rendering (the default
@@ -319,6 +355,10 @@ impl CopSolver for IsingCopSolver {
             halt,
             winner: None,
         }
+    }
+
+    fn fused_spec(&self) -> Option<FusedSpec> {
+        self.fused_spec_impl()
     }
 }
 
@@ -544,6 +584,13 @@ impl CopSolver for CopSolverKind {
             CopSolverKind::Ba(params) => params.solve_cop(cop, ctx, scratch),
         }
     }
+
+    fn fused_spec(&self) -> Option<FusedSpec> {
+        match self {
+            CopSolverKind::Ising(solver) => solver.fused_spec_impl(),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -691,6 +738,30 @@ mod tests {
             IsingCopSolver::new().fingerprint(),
             IsingCopSolver::new().fingerprint()
         );
+    }
+
+    #[test]
+    fn fused_spec_only_on_generic_ising_paths() {
+        // Structured f32 path and non-Ising solvers keep the per-COP loop.
+        assert!(CopSolver::fused_spec(&IsingCopSolver::new()).is_none());
+        assert!(CopSolverKind::Exact { time_limit: None }.fused_spec().is_none());
+        assert!(CopSolverKind::DaltaHeuristic { restarts: 2 }.fused_spec().is_none());
+        assert!(CopSolverKind::Ba(BaParams::default()).fused_spec().is_none());
+        assert!(BranchAndBound::new().fused_spec().is_none());
+        // The generic f64 and i16 routes opt in.
+        assert!(CopSolver::fused_spec(&IsingCopSolver::new().structured(false)).is_some());
+        assert!(CopSolver::fused_spec(
+            &IsingCopSolver::new().precision(crate::KernelPrecision::I16)
+        )
+        .is_some());
+        assert!(CopSolverKind::Ising(IsingCopSolver::new().structured(false))
+            .fused_spec()
+            .is_some());
+        // Invalid configurations decline instead of panicking here.
+        assert!(CopSolver::fused_spec(
+            &IsingCopSolver::new().structured(false).replicas(0)
+        )
+        .is_none());
     }
 
     #[test]

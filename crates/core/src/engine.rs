@@ -1,8 +1,8 @@
 //! The batched partition-sweep engine behind [`Framework::decompose`].
 //!
-//! The engine plans the full `partition × output × round` grid of core-COP
-//! cells up front, then executes it with three resources threaded through
-//! every cell:
+//! The engine walks the `partition × output × round` grid of core-COP
+//! cells, planning partitions in bounded chunks of cells and executing
+//! each cell with three resources threaded through every solve:
 //!
 //! - a [`CopCache`] memoizing COP answers by exact content (see
 //!   [`crate::cache`] for why serving a repeat from the table is
@@ -17,18 +17,46 @@
 //! MSB→LSB) because in joint mode each cell's COP weights depend on the
 //! approximation state left by every previous cell; only the per-cell
 //! partition sweep fans out in parallel.
+//!
+//! # The fused multi-COP batch path
+//!
+//! When the run is parallel, uncontrolled (no deadline or cancel token),
+//! and the solver opts in via [`CopSolver::fused_spec`], a cell's sweep
+//! does not solve one COP per rayon task. Instead the engine builds every
+//! candidate's Ising instance, interns CSR patterns so same-shaped COPs
+//! share one canonical pattern ([`PatternInterner`]), groups the
+//! candidates by (pattern, quantized-ness), expands each into
+//! `replicas` (COP, replica) units with content-derived seeds, and drains
+//! contiguous chunks of each group through
+//! [`SbSolver::solve_fused_with`](adis_sb::SbSolver) — `L` different COPs
+//! advancing per SIMD pass, retired lanes refilled continuously from the
+//! pending queue. Memo lookups, in-cell duplicate folding, and the
+//! replica argmin replicate the sequential loop's order exactly, so the
+//! fused path is bit-identical to the per-COP path (and the hit/miss
+//! counters match, which the differential checker asserts).
 
-use crate::cache::{CopCache, MemoKey, SharedRunHandle};
-use crate::cop_solver::{CopScratch, HaltReason, SolveCtx};
+use crate::cache::{CachedCop, CopCache, MemoKey, SharedRunHandle};
+use crate::cop_solver::{CopOutcome, CopScratch, FusedSpec, HaltReason, SolveCtx};
 use crate::framework::{ComponentChoice, DecompositionOutcome, Framework, Mode};
-use crate::ColumnCop;
+use crate::ising_solver::apply_type_reset;
+use crate::{ColumnCop, SpinLayout};
 use adis_boolfn::{
-    error_rate_multi, mean_error_distance, BooleanMatrix, InputDist, MultiOutputFn, Partition,
+    error_rate_multi, mean_error_distance, BooleanMatrix, ColumnSetting, InputDist, MultiOutputFn,
+    Partition,
 };
-use adis_sb::ScratchPool;
-use adis_telemetry::{trace_span, SolveObserver};
+use adis_ising::{CsrPattern, IsingProblem, PatternInterner};
+use adis_sb::{FusedStats, FusedUnit, SbResult, ScratchPool};
+use adis_telemetry::{trace_span, NullObserver, SolveObserver};
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// How many cells' partition lists are materialized at once. Generation is
+/// seeded per `(round, k)` and independent of solve results, so chunking
+/// changes neither the partitions nor the results — only peak plan memory,
+/// which matters when `rounds × outputs` is large.
+const PLAN_CHUNK: usize = 32;
 
 /// One candidate's outcome within a cell's partition sweep.
 struct SolvedCandidate {
@@ -86,6 +114,257 @@ fn build_cop(
     }
 }
 
+/// How one candidate of a fused cell sweep was answered.
+enum FusedSlot {
+    /// Answered from the memo table up front.
+    Hit(CachedCop),
+    /// First occurrence of its COP content: solved in the fused batch
+    /// (index into the cell's unique-job list).
+    Solved(usize),
+    /// Same COP content as an earlier candidate in this cell: served from
+    /// that candidate's answer and counted as a memo hit, exactly as the
+    /// sequential loop (which inserts before the repeat's lookup) would.
+    Dup(usize),
+}
+
+/// Lane width for a fused chunk: the widest const-width kernel the chunk
+/// can fill at least once (continuous refill keeps the lanes busy as
+/// units retire, so rounding down costs nothing).
+fn fused_lane_width(units: usize) -> usize {
+    if units >= 16 {
+        16
+    } else if units >= 8 {
+        8
+    } else if units >= 4 {
+        4
+    } else {
+        units
+    }
+}
+
+/// Solves one cell's partition sweep on the fused multi-COP batch path.
+///
+/// Semantics replicate the sequential per-candidate loop exactly:
+///
+/// - memo lookups happen per candidate in partition order;
+/// - among the misses, repeated COP content is solved once and the
+///   repeats are served from that answer, counted as hits (only with the
+///   memo table enabled, matching the sequential loop's insert-then-hit
+///   order);
+/// - each unique COP integrates `spec.replicas` lanes from its
+///   content-derived seed through the *same* composed [`adis_sb::SbSolver`]
+///   the per-COP path runs, decodes every lane, re-optimizes its type
+///   vector, and keeps the strictly best objective.
+#[allow(clippy::too_many_arguments)]
+fn sweep_cell_fused(
+    fw: &Framework,
+    spec: &FusedSpec,
+    exact: &MultiOutputFn,
+    exact_words: &[u64],
+    approx_words: &[u64],
+    k: u32,
+    partitions: &[Partition],
+    cache: &CopCache,
+    cacheable: bool,
+    scratch: &ScratchPool<CopScratch>,
+    interner: &PatternInterner,
+) -> (Vec<SolvedCandidate>, FusedStats) {
+    // Resolve memo hits and in-cell duplicates in partition order — the
+    // exact order the sequential loop consults the table in.
+    let built: Vec<(ColumnCop, MemoKey)> = partitions
+        .iter()
+        .map(|w| build_cop(fw, exact, exact_words, approx_words, k, w))
+        .collect();
+    let mut slots: Vec<FusedSlot> = Vec::with_capacity(built.len());
+    let mut unique: Vec<usize> = Vec::new();
+    let mut seen: HashMap<&MemoKey, usize> = HashMap::new();
+    for (cop, key) in &built {
+        let _ = cop;
+        if cacheable {
+            if let Some(hit) = cache.lookup(key) {
+                slots.push(FusedSlot::Hit(hit));
+                continue;
+            }
+        }
+        if cacheable && fw.cache {
+            if let Some(&ui) = seen.get(key) {
+                slots.push(FusedSlot::Dup(ui));
+                continue;
+            }
+            seen.insert(key, unique.len());
+        }
+        slots.push(FusedSlot::Solved(unique.len()));
+        unique.push(slots.len() - 1);
+    }
+
+    /// One unique COP's integration job.
+    struct Job {
+        /// Candidate (partition) index this job answers.
+        cand: usize,
+        layout: SpinLayout,
+        /// Content-derived base seed; replica `r` integrates from
+        /// `seed + r`, exactly like the per-COP path.
+        seed: u64,
+        problem: IsingProblem,
+    }
+    let jobs: Vec<Job> = unique
+        .iter()
+        .map(|&ci| {
+            let (cop, key) = &built[ci];
+            let mut problem = cop.to_ising();
+            interner.intern(&mut problem);
+            Job {
+                cand: ci,
+                layout: cop.layout(),
+                seed: key.solver_seed(fw.seed),
+                problem,
+            }
+        })
+        .collect();
+
+    // Group jobs by (canonical pattern, quantized-ness) — the fused
+    // integrator's batching contract — then split each group's
+    // candidate-major, replica-minor unit list into one contiguous chunk
+    // per worker. Chunking never changes bits (each lane integrates
+    // independently), only occupancy.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_of: HashMap<(*const CsrPattern, bool), usize> = HashMap::new();
+    for (ji, job) in jobs.iter().enumerate() {
+        let gk = (
+            Arc::as_ptr(job.problem.pattern()),
+            job.problem.quantized().is_some(),
+        );
+        let gi = *group_of.entry(gk).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[gi].push(ji);
+    }
+    let workers = if fw.parallel {
+        rayon::current_num_threads().max(1)
+    } else {
+        1
+    };
+    let mut tasks: Vec<Vec<(usize, u64)>> = Vec::new();
+    for group in &groups {
+        let units: Vec<(usize, u64)> = group
+            .iter()
+            .flat_map(|&ji| {
+                let seed = jobs[ji].seed;
+                (0..spec.replicas).map(move |rep| (ji, seed.wrapping_add(rep as u64)))
+            })
+            .collect();
+        for chunk in units.chunks(units.len().div_ceil(workers).max(1)) {
+            tasks.push(chunk.to_vec());
+        }
+    }
+
+    // Integrate. Each task drains its units through persistent lanes with
+    // continuous refill; per-unit results are bit-identical to
+    // `spec.sb.seed(unit.seed).solve(unit.problem)` regardless of lane
+    // width or packing (see `SbSolver::solve_fused_with`). The null
+    // observer mirrors the per-COP path, which also drops sb streams.
+    let run_task = |task: &Vec<(usize, u64)>| -> (Vec<SbResult>, FusedStats) {
+        let units: Vec<FusedUnit<'_>> = task
+            .iter()
+            .map(|&(ji, seed)| FusedUnit {
+                problem: &jobs[ji].problem,
+                seed,
+            })
+            .collect();
+        let mut buffers = scratch.acquire();
+        if spec.heuristic {
+            spec.sb.solve_fused_with(
+                &units,
+                fused_lane_width(units.len()),
+                &mut buffers.fused,
+                |u, state| {
+                    let job = &jobs[task[u].0];
+                    apply_type_reset(&built[job.cand].0, job.layout, state);
+                },
+                &mut NullObserver,
+            )
+        } else {
+            spec.sb.solve_fused_with(
+                &units,
+                fused_lane_width(units.len()),
+                &mut buffers.fused,
+                |_, _| {},
+                &mut NullObserver,
+            )
+        }
+    };
+    let outputs: Vec<(Vec<SbResult>, FusedStats)> = if fw.parallel {
+        tasks.par_iter().map(run_task).collect()
+    } else {
+        tasks.iter().map(run_task).collect()
+    };
+
+    // Reassemble per-replica results in unit order, then fold each job's
+    // replicas exactly like the generic per-COP path: sum iterations,
+    // decode each lane, Theorem-3 post-pass, strict-< argmin.
+    let mut cell_stats = FusedStats::default();
+    let mut per_job: Vec<Vec<SbResult>> = (0..jobs.len()).map(|_| Vec::new()).collect();
+    for (task, (results, stats)) in tasks.iter().zip(outputs) {
+        cell_stats.merge(&stats);
+        for ((ji, _), result) in task.iter().copied().zip(results) {
+            per_job[ji].push(result);
+        }
+    }
+    let mut answers: Vec<(ColumnSetting, f64, usize)> = Vec::with_capacity(jobs.len());
+    for (job, results) in jobs.iter().zip(&per_job) {
+        let (cop, key) = &built[job.cand];
+        let mut best: Option<(ColumnSetting, f64)> = None;
+        let mut iterations = 0;
+        for result in results {
+            iterations += result.iterations;
+            let mut setting = job.layout.decode(&result.best_state);
+            setting.t = cop.optimal_t(&setting.v1, &setting.v2);
+            let obj = cop.objective(&setting);
+            if best.as_ref().map(|&(_, b)| obj < b).unwrap_or(true) {
+                best = Some((setting, obj));
+            }
+        }
+        let (setting, objective) = best.expect("replicas > 0");
+        // Fused solves are always uncontrolled, hence always Completed
+        // and cacheable (when the solver is).
+        if cacheable {
+            cache.insert(key.clone(), &CopOutcome::completed(setting.clone(), objective));
+        }
+        answers.push((setting, objective, iterations));
+    }
+
+    let solved = slots
+        .into_iter()
+        .enumerate()
+        .map(|(ci, slot)| {
+            let (setting, objective, sb_iterations, hit) = match slot {
+                FusedSlot::Hit(c) => (c.setting, c.objective, 0, true),
+                FusedSlot::Solved(ui) => {
+                    let (s, o, it) = &answers[ui];
+                    (s.clone(), *o, *it, false)
+                }
+                FusedSlot::Dup(ui) => {
+                    let (s, o, _) = &answers[ui];
+                    (s.clone(), *o, 0, true)
+                }
+            };
+            SolvedCandidate {
+                choice: ComponentChoice {
+                    partition: partitions[ci].clone(),
+                    setting,
+                    objective,
+                },
+                sb_iterations,
+                bnb_nodes: 0,
+                hit,
+                winner: None,
+            }
+        })
+        .collect();
+    (solved, cell_stats)
+}
+
 /// Re-derives a candidate's objective directly from its reconstructed LUT
 /// via `boolfn::metrics` — no cell-linearization, no COP. This is the
 /// ground-truth side of the Eq. (9)/(16) invariant: the COP objective the
@@ -131,27 +410,10 @@ pub(crate) fn run<O: SolveObserver>(
         fw.mode
     );
 
-    // Phase 1: plan the whole grid. Partition generation is seeded per
-    // (round, k) and independent of solve results, so it parallelizes and
-    // can be hoisted out of the sweep entirely.
-    let stage = Instant::now();
     let cells: Vec<(usize, u32)> = (0..fw.rounds)
         .flat_map(|round| (0..m).rev().map(move |k| (round, k)))
         .collect();
-    let plan: Vec<Vec<Partition>> = if fw.parallel {
-        cells
-            .par_iter()
-            .map(|&(round, k)| fw.generate_partitions(n, round, k))
-            .collect()
-    } else {
-        cells
-            .iter()
-            .map(|&(round, k)| fw.generate_partitions(n, round, k))
-            .collect()
-    };
-    observer.stage_end("partition_generation", stage.elapsed());
 
-    // Phase 2: execute. Cells run in order; each cell's candidates fan out.
     // With a shared tier attached, this run's namespace is (solver
     // fingerprint, framework seed): only entries a re-solve would
     // reproduce bit for bit are visible.
@@ -173,6 +435,17 @@ pub(crate) fn run<O: SolveObserver>(
     // The run-level soft deadline (if any) is shared by every cell; each
     // candidate's context gets whatever is left on the clock.
     let run_deadline: Option<Instant> = fw.deadline.map(|d| start + d);
+    // The fused batch path engages only for a parallel, uncontrolled run
+    // whose solver opts in — bit-identical either way, and
+    // `parallel(false)` stays the one-candidate-at-a-time oracle.
+    let fused: Option<FusedSpec> =
+        if fw.parallel && fw.fused && fw.deadline.is_none() && fw.cancel.is_none() {
+            fw.solver.fused_spec()
+        } else {
+            None
+        };
+    let interner = PatternInterner::new();
+    let mut fused_stats = FusedStats::default();
 
     let num_patterns = exact.num_entries();
     let exact_words: Vec<u64> = (0..num_patterns as u64).map(|p| exact.eval_word(p)).collect();
@@ -184,158 +457,198 @@ pub(crate) fn run<O: SolveObserver>(
     let mut cache_hits = 0usize;
     let mut cache_misses = 0usize;
 
-    for (cell, &(round, k)) in cells.iter().enumerate() {
-        let partitions = &plan[cell];
-        cop_solves += partitions.len();
-        let solve_one = |w: &Partition| -> SolvedCandidate {
-            let (cop, key) = build_cop(fw, exact, &exact_words, &approx_words, k, w);
-            let seed = key.solver_seed(fw.seed);
-            if cacheable {
-                if let Some(cached) = cache.lookup(&key) {
-                    return SolvedCandidate {
-                        choice: ComponentChoice {
-                            partition: w.clone(),
-                            setting: cached.setting,
-                            objective: cached.objective,
-                        },
-                        sb_iterations: 0,
-                        bnb_nodes: 0,
-                        hit: true,
-                        winner: None,
-                    };
-                }
-            }
-            let mut buffers = scratch.acquire();
-            let mut ctx = match &fw.cancel {
-                Some(token) => SolveCtx::with_cancel(seed, token),
-                None => SolveCtx::new(seed),
-            };
-            if let Some(at) = run_deadline {
-                ctx = ctx.deadline(at.saturating_duration_since(Instant::now()));
-            }
-            let result = fw.solver.solve_cop(&cop, &ctx, &mut buffers);
-            // Truncated answers are wall-clock artifacts; memoizing one
-            // would replay it even when the next run has time to spare.
-            if cacheable && result.halt == HaltReason::Completed {
-                cache.insert(key, &result);
-            }
-            let winner = result.winner.map(|name| {
-                let weights = cop.weights();
-                let spread = weights.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v))
-                    - weights.iter().fold(f64::INFINITY, |m, &v| m.min(v));
-                (name, cop.rows(), cop.cols(), spread)
-            });
-            SolvedCandidate {
-                choice: ComponentChoice {
-                    partition: w.clone(),
-                    setting: result.setting,
-                    objective: result.objective,
-                },
-                sb_iterations: result.sb_iterations,
-                bnb_nodes: result.bnb_nodes,
-                hit: false,
-                winner,
-            }
-        };
+    // Cells execute in order; partitions are planned one bounded chunk of
+    // cells ahead (generation is seeded per (round, k) and independent of
+    // solve results, so chunking is invisible to outcomes).
+    for chunk in cells.chunks(PLAN_CHUNK) {
         let stage = Instant::now();
-        let solved: Vec<SolvedCandidate> = if fw.parallel {
-            partitions.par_iter().map(solve_one).collect()
+        let plan: Vec<Vec<Partition>> = if fw.parallel {
+            chunk
+                .par_iter()
+                .map(|&(round, k)| fw.generate_partitions(n, round, k))
+                .collect()
         } else {
-            partitions.iter().map(solve_one).collect()
+            chunk
+                .iter()
+                .map(|&(round, k)| fw.generate_partitions(n, round, k))
+                .collect()
         };
-        observer.stage_end("cop_sweep", stage.elapsed());
-        observer.counter("cop_solves", solved.len() as u64);
-        let mut sweep_sb = 0usize;
-        let mut sweep_nodes = 0u64;
-        let mut sweep_hits = 0u64;
-        for (pi, cand) in solved.iter().enumerate() {
-            observer.cop_result(round, k, pi, cand.choice.objective, cand.sb_iterations);
-            if let Some((winner, rows, cols, spread)) = &cand.winner {
-                observer.cop_winner(round, k, pi, winner, *rows, *cols, *spread);
-            }
-            sweep_sb += cand.sb_iterations;
-            sweep_nodes += cand.bnb_nodes;
-            sweep_hits += u64::from(cand.hit);
-        }
-        sb_iterations += sweep_sb;
-        if sweep_sb > 0 {
-            observer.counter("sb_iterations", sweep_sb as u64);
-        }
-        if sweep_nodes > 0 {
-            observer.counter("bnb_nodes", sweep_nodes);
-        }
-        let sweep_misses = solved.len() as u64 - sweep_hits;
-        cache_hits += sweep_hits as usize;
-        cache_misses += sweep_misses as usize;
-        if sweep_hits > 0 {
-            observer.counter("cache_hits", sweep_hits);
-        }
-        if sweep_misses > 0 {
-            observer.counter("cache_misses", sweep_misses);
-        }
-        #[cfg(feature = "paranoid")]
-        for cand in &solved {
-            let direct =
-                oracle_objective(fw, exact, &exact_words, &approx_words, k, &cand.choice);
-            assert!(
-                (direct - cand.choice.objective).abs() <= 1e-9,
-                "paranoid: COP objective {} disagrees with the direct {:?}-mode \
-                 recomputation {} (round {round}, component {k}, |Δ| = {})",
-                cand.choice.objective,
-                fw.mode,
-                direct,
-                (direct - cand.choice.objective).abs()
-            );
-        }
+        observer.stage_end("partition_generation", stage.elapsed());
 
-        // Sequential selection over the joined sweep: first strictly
-        // minimal objective wins, independent of execution order.
-        let best = solved
-            .into_iter()
-            .map(|cand| cand.choice)
-            .min_by(|a, b| a.objective.total_cmp(&b.objective))
-            .expect("at least one partition");
-
-        // Keep the incumbent decomposition if this round's best partition
-        // is worse (later rounds draw fresh partitions, which are not
-        // guaranteed to contain the current one).
-        if let Some(prev) = &choices[k as usize] {
-            let incumbent = match fw.mode {
-                Mode::Joint => (0..num_patterns as u64)
-                    .map(|p| {
-                        fw.dist.prob(p, n)
-                            * approx_words[p as usize].abs_diff(exact_words[p as usize]) as f64
-                    })
-                    .sum::<f64>(),
-                Mode::Separate => {
-                    adis_boolfn::error_rate(exact.component(k), approx.component(k), &fw.dist)
+        for (&(round, k), partitions) in chunk.iter().zip(&plan) {
+            cop_solves += partitions.len();
+            let solve_one = |w: &Partition| -> SolvedCandidate {
+                let (cop, key) = build_cop(fw, exact, &exact_words, &approx_words, k, w);
+                let seed = key.solver_seed(fw.seed);
+                if cacheable {
+                    if let Some(cached) = cache.lookup(&key) {
+                        return SolvedCandidate {
+                            choice: ComponentChoice {
+                                partition: w.clone(),
+                                setting: cached.setting,
+                                objective: cached.objective,
+                            },
+                            sb_iterations: 0,
+                            bnb_nodes: 0,
+                            hit: true,
+                            winner: None,
+                        };
+                    }
+                }
+                let mut buffers = scratch.acquire();
+                let mut ctx = match &fw.cancel {
+                    Some(token) => SolveCtx::with_cancel(seed, token),
+                    None => SolveCtx::new(seed),
+                };
+                if let Some(at) = run_deadline {
+                    ctx = ctx.deadline(at.saturating_duration_since(Instant::now()));
+                }
+                let result = fw.solver.solve_cop(&cop, &ctx, &mut buffers);
+                // Truncated answers are wall-clock artifacts; memoizing one
+                // would replay it even when the next run has time to spare.
+                if cacheable && result.halt == HaltReason::Completed {
+                    cache.insert(key, &result);
+                }
+                let winner = result
+                    .winner
+                    .map(|name| (name, cop.rows(), cop.cols(), cop.weight_spread()));
+                SolvedCandidate {
+                    choice: ComponentChoice {
+                        partition: w.clone(),
+                        setting: result.setting,
+                        objective: result.objective,
+                    },
+                    sb_iterations: result.sb_iterations,
+                    bnb_nodes: result.bnb_nodes,
+                    hit: false,
+                    winner,
                 }
             };
-            if incumbent <= best.objective + 1e-12 {
-                let mut kept = prev.clone();
-                kept.objective = incumbent;
-                choices[k as usize] = Some(kept);
-                observer.counter("incumbent_kept", 1);
-                observer.component_chosen(round, k, incumbent, true);
-                continue;
+            let stage = Instant::now();
+            let solved: Vec<SolvedCandidate> = match &fused {
+                Some(spec) => {
+                    let (solved, stats) = sweep_cell_fused(
+                        fw,
+                        spec,
+                        exact,
+                        &exact_words,
+                        &approx_words,
+                        k,
+                        partitions,
+                        &cache,
+                        cacheable,
+                        &scratch,
+                        &interner,
+                    );
+                    if stats.units > 0 {
+                        observer.fused_batch(
+                            stats.lane_width,
+                            stats.units,
+                            stats.refills,
+                            stats.busy_lane_iterations,
+                            stats.idle_lane_iterations,
+                        );
+                    }
+                    fused_stats.merge(&stats);
+                    solved
+                }
+                None if fw.parallel => partitions.par_iter().map(solve_one).collect(),
+                None => partitions.iter().map(solve_one).collect(),
+            };
+            observer.stage_end("cop_sweep", stage.elapsed());
+            observer.counter("cop_solves", solved.len() as u64);
+            let mut sweep_sb = 0usize;
+            let mut sweep_nodes = 0u64;
+            let mut sweep_hits = 0u64;
+            for (pi, cand) in solved.iter().enumerate() {
+                observer.cop_result(round, k, pi, cand.choice.objective, cand.sb_iterations);
+                if let Some((winner, rows, cols, spread)) = &cand.winner {
+                    observer.cop_winner(round, k, pi, winner, *rows, *cols, *spread);
+                }
+                sweep_sb += cand.sb_iterations;
+                sweep_nodes += cand.bnb_nodes;
+                sweep_hits += u64::from(cand.hit);
             }
-        }
+            sb_iterations += sweep_sb;
+            if sweep_sb > 0 {
+                observer.counter("sb_iterations", sweep_sb as u64);
+            }
+            if sweep_nodes > 0 {
+                observer.counter("bnb_nodes", sweep_nodes);
+            }
+            let sweep_misses = solved.len() as u64 - sweep_hits;
+            cache_hits += sweep_hits as usize;
+            cache_misses += sweep_misses as usize;
+            if sweep_hits > 0 {
+                observer.counter("cache_hits", sweep_hits);
+            }
+            if sweep_misses > 0 {
+                observer.counter("cache_misses", sweep_misses);
+            }
+            #[cfg(feature = "paranoid")]
+            for cand in &solved {
+                let direct =
+                    oracle_objective(fw, exact, &exact_words, &approx_words, k, &cand.choice);
+                assert!(
+                    (direct - cand.choice.objective).abs() <= 1e-9,
+                    "paranoid: COP objective {} disagrees with the direct {:?}-mode \
+                     recomputation {} (round {round}, component {k}, |Δ| = {})",
+                    cand.choice.objective,
+                    fw.mode,
+                    direct,
+                    (direct - cand.choice.objective).abs()
+                );
+            }
 
-        // Apply the winning setting to component k.
-        let stage = Instant::now();
-        let table = best.setting.reconstruct(&best.partition);
-        for p in 0..num_patterns as u64 {
-            let bit = table.eval(p);
-            if bit {
-                approx_words[p as usize] |= 1 << k;
-            } else {
-                approx_words[p as usize] &= !(1u64 << k);
+            // Sequential selection over the joined sweep: first strictly
+            // minimal objective wins, independent of execution order.
+            let best = solved
+                .into_iter()
+                .map(|cand| cand.choice)
+                .min_by(|a, b| a.objective.total_cmp(&b.objective))
+                .expect("at least one partition");
+
+            // Keep the incumbent decomposition if this round's best partition
+            // is worse (later rounds draw fresh partitions, which are not
+            // guaranteed to contain the current one).
+            if let Some(prev) = &choices[k as usize] {
+                let incumbent = match fw.mode {
+                    Mode::Joint => (0..num_patterns as u64)
+                        .map(|p| {
+                            fw.dist.prob(p, n)
+                                * approx_words[p as usize].abs_diff(exact_words[p as usize]) as f64
+                        })
+                        .sum::<f64>(),
+                    Mode::Separate => {
+                        adis_boolfn::error_rate(exact.component(k), approx.component(k), &fw.dist)
+                    }
+                };
+                if incumbent <= best.objective + 1e-12 {
+                    let mut kept = prev.clone();
+                    kept.objective = incumbent;
+                    choices[k as usize] = Some(kept);
+                    observer.counter("incumbent_kept", 1);
+                    observer.component_chosen(round, k, incumbent, true);
+                    continue;
+                }
             }
+
+            // Apply the winning setting to component k.
+            let stage = Instant::now();
+            let table = best.setting.reconstruct(&best.partition);
+            for p in 0..num_patterns as u64 {
+                let bit = table.eval(p);
+                if bit {
+                    approx_words[p as usize] |= 1 << k;
+                } else {
+                    approx_words[p as usize] &= !(1u64 << k);
+                }
+            }
+            approx.set_component(k, table);
+            observer.stage_end("apply", stage.elapsed());
+            observer.component_chosen(round, k, best.objective, false);
+            choices[k as usize] = Some(best);
         }
-        approx.set_component(k, table);
-        observer.stage_end("apply", stage.elapsed());
-        observer.component_chosen(round, k, best.objective, false);
-        choices[k as usize] = Some(best);
     }
 
     let choices: Vec<ComponentChoice> = choices
@@ -367,5 +680,6 @@ pub(crate) fn run<O: SolveObserver>(
         sb_iterations,
         cache_hits,
         cache_misses,
+        fused_stats,
     }
 }

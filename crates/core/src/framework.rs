@@ -18,6 +18,7 @@ use crate::engine;
 use crate::IsingCopSolver;
 use adis_boolfn::{ColumnSetting, InputDist, MultiOutputFn, Partition};
 use adis_lut::{ApproxLut, OutputImpl};
+use adis_sb::FusedStats;
 use adis_telemetry::{CancelToken, NullObserver, SolveObserver};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -164,6 +165,7 @@ pub struct Framework {
     pub(crate) rounds: usize,
     pub(crate) seed: u64,
     pub(crate) parallel: bool,
+    pub(crate) fused: bool,
     pub(crate) cache: bool,
     pub(crate) shared_cache: Option<SharedCopCache>,
     pub(crate) dist: InputDist,
@@ -204,6 +206,9 @@ pub struct DecompositionOutcome {
     pub cache_hits: usize,
     /// COP instances that ran a solver.
     pub cache_misses: usize,
+    /// Aggregate fused-batch occupancy over the run; all-zero when the
+    /// fused path never engaged (see [`Framework::fused`]).
+    pub fused_stats: FusedStats,
 }
 
 impl DecompositionOutcome {
@@ -233,6 +238,7 @@ impl Framework {
             rounds: 1,
             seed: 0,
             parallel: true,
+            fused: true,
             cache: true,
             shared_cache: None,
             dist: InputDist::Uniform,
@@ -274,6 +280,21 @@ impl Framework {
     /// Enables/disables the parallel partition sweep.
     pub fn parallel(mut self, on: bool) -> Self {
         self.parallel = on;
+        self
+    }
+
+    /// Enables/disables the fused multi-COP batch path (on by default).
+    ///
+    /// When the sweep is parallel, the solver is a generic-path Ising
+    /// solver (see [`CopSolver::fused_spec`](crate::CopSolver::fused_spec)),
+    /// and no deadline or cancel token is attached, the engine packs the
+    /// COPs of each cell into shared-sparsity SIMD lanes and advances them
+    /// in fused batches with continuous lane refill instead of solving one
+    /// COP per rayon task. Results are bit-identical either way — this
+    /// switch only exists to measure the fused path's effect and to force
+    /// the per-COP path in differential checks.
+    pub fn fused(mut self, on: bool) -> Self {
+        self.fused = on;
         self
     }
 
@@ -382,10 +403,13 @@ impl Framework {
     ///
     /// - stage timings (`partition_generation`, `cop_sweep`, `apply`,
     ///   `metrics`) via [`stage_end`](SolveObserver::stage_end) — the
-    ///   engine plans all partitions up front, so `partition_generation`
-    ///   is reported once per run;
+    ///   engine plans partitions in bounded chunks of cells, so
+    ///   `partition_generation` is reported once per chunk;
     /// - counters `cop_solves`, `sb_iterations`, `bnb_nodes`,
     ///   `incumbent_kept`, `cache_hits`, `cache_misses`;
+    /// - one [`fused_batch`](SolveObserver::fused_batch) event per cell
+    ///   that ran on the fused multi-COP path (see [`Framework::fused`]),
+    ///   carrying the merged lane-occupancy counters of that cell;
     /// - one [`cop_result`](SolveObserver::cop_result) per candidate
     ///   partition (its objective and solver work), and one
     ///   [`component_chosen`](SolveObserver::component_chosen) per
@@ -738,6 +762,64 @@ mod tests {
         assert_eq!(binomial(16, 9), 11440);
         assert_eq!(binomial(5, 0), 1);
         assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn fused_sweep_engages_and_is_bit_identical() {
+        // structured(false) takes the generic Ising path, which opts into
+        // the fused batch scheduler; the fused parallel run must match the
+        // per-COP and sequential runs bit for bit, counters included.
+        let f = target();
+        let solver = || CopSolverKind::Ising(IsingCopSolver::new().structured(false));
+        let base = || {
+            small_framework(Mode::Joint, solver())
+                .partitions(6)
+                .parallel(true)
+        };
+        let fused = base().decompose(&f);
+        assert!(
+            fused.fused_stats.units > 0,
+            "fused path must engage for a parallel generic-path run"
+        );
+        assert!(fused.fused_stats.occupancy() > 0.0);
+        let per_cop = base().fused(false).decompose(&f);
+        assert_eq!(per_cop.fused_stats.units, 0);
+        let serial = base().parallel(false).decompose(&f);
+        for other in [&per_cop, &serial] {
+            assert_eq!(fused.approx, other.approx);
+            assert_eq!(fused.med.to_bits(), other.med.to_bits());
+            assert_eq!(fused.er.to_bits(), other.er.to_bits());
+            assert_eq!(fused.cop_solves, other.cop_solves);
+            assert_eq!(fused.sb_iterations, other.sb_iterations);
+            assert_eq!(fused.cache_hits, other.cache_hits);
+            assert_eq!(fused.cache_misses, other.cache_misses);
+        }
+    }
+
+    #[test]
+    fn fused_sweep_respects_cache_off_and_deadline_gate() {
+        let f = target();
+        let solver = || CopSolverKind::Ising(IsingCopSolver::new().structured(false));
+        // Cache off: every candidate is solved, no hits, still identical.
+        let fused = small_framework(Mode::Joint, solver())
+            .parallel(true)
+            .cache(false)
+            .decompose(&f);
+        let serial = small_framework(Mode::Joint, solver())
+            .parallel(false)
+            .cache(false)
+            .decompose(&f);
+        assert!(fused.fused_stats.units > 0);
+        assert_eq!(fused.cache_hits, 0);
+        assert_eq!(fused.approx, serial.approx);
+        assert_eq!(fused.sb_iterations, serial.sb_iterations);
+        // A deadline forces the controlled per-COP path.
+        let controlled = small_framework(Mode::Joint, solver())
+            .parallel(true)
+            .deadline(Duration::from_secs(3600))
+            .decompose(&f);
+        assert_eq!(controlled.fused_stats.units, 0);
+        assert_eq!(controlled.approx, serial.approx);
     }
 
     #[test]

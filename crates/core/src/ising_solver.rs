@@ -181,8 +181,9 @@ impl IsingCopSolver {
     /// The exact [`SbSolver`] the generic path runs: user configuration
     /// plus this solver's stop/ramp/dt, with the discrete variant forced
     /// when the i16 kernel is requested (the fixed-point field only reads
-    /// spin signs, so it exists for dSB alone).
-    fn composed_sb(&self) -> SbSolver {
+    /// spin signs, so it exists for dSB alone). Crate-visible because the
+    /// sweep engine's fused batch path runs this same composition.
+    pub(crate) fn composed_sb(&self) -> SbSolver {
         let mut sb = self
             .sb
             .clone()
@@ -679,13 +680,37 @@ impl IsingCopSolver {
     fn seed_for(&self, replica: usize) -> u64 {
         self.seed.wrapping_add(replica as u64)
     }
+
+    /// How the sweep engine may batch this solver's COP solves through the
+    /// fused multi-COP integrator (backs [`CopSolver::fused_spec`] for this
+    /// type and for [`CopSolverKind::Ising`](crate::CopSolverKind)).
+    ///
+    /// `None` when this solver takes the structured f32 path (which has no
+    /// generic Ising materialization to fuse) or when the configuration is
+    /// invalid — the per-COP path then reports the configuration error
+    /// exactly as before. Otherwise the spec carries the *same* composed
+    /// [`SbSolver`] the generic per-COP path runs, so a fused lane
+    /// integrating from the content-derived seed is bit-identical to the
+    /// per-COP solve.
+    pub(crate) fn fused_spec_impl(&self) -> Option<crate::cop_solver::FusedSpec> {
+        if self.structured && self.precision == KernelPrecision::F64 {
+            return None;
+        }
+        self.validate().ok()?;
+        Some(crate::cop_solver::FusedSpec {
+            sb: self.composed_sb(),
+            replicas: self.replicas,
+            heuristic: self.heuristic,
+        })
+    }
 }
 
 /// The Section 3.3.2 intervention: read the column patterns off the sign of
 /// the `V` positions, compute the optimal `T` (Theorem 3) and overwrite the
 /// `T` positions with `±1` (zeroing their momenta, as a wall collision
-/// would).
-fn apply_type_reset(cop: &ColumnCop, layout: SpinLayout, state: &mut SbState<'_>) {
+/// would). Crate-visible so the engine's fused batch path can apply the
+/// identical intervention per unit.
+pub(crate) fn apply_type_reset(cop: &ColumnCop, layout: SpinLayout, state: &mut SbState<'_>) {
     let v1 = BitVec::from_fn(layout.rows, |i| state.x[layout.v1(i)] >= 0.0);
     let v2 = BitVec::from_fn(layout.rows, |i| state.x[layout.v2(i)] >= 0.0);
     let t = cop.optimal_t(&v1, &v2);

@@ -35,9 +35,13 @@
 //!   bit, `R` rounds, [`Mode::Separate`] or [`Mode::Joint`] — shared by all
 //!   solvers, producing a [`DecompositionOutcome`] that assembles into an
 //!   [`adis_lut::ApproxLut`]. Behind it sits a batched sweep engine that
-//!   plans the whole `partition × output × round` grid up front, memoizes
-//!   repeated COPs by exact content (hit/miss counts surface in the
-//!   outcome and telemetry), and reuses per-worker solver scratch;
+//!   plans the `partition × output × round` grid in bounded chunks of
+//!   cells, memoizes repeated COPs by exact content (hit/miss counts
+//!   surface in the outcome and telemetry), reuses per-worker solver
+//!   scratch, and — for parallel runs of generic-path Ising solvers —
+//!   packs the COPs of each cell into shared-sparsity SIMD lanes and
+//!   advances them in fused batches with continuous lane refill
+//!   ([`Framework::fused`]), bit-identical to the per-COP sweep;
 //! - [`SharedCopCache`]: a second, bounded memo tier shared *across* runs
 //!   — sharded, clock-evicting, namespaced by solver fingerprint and
 //!   framework seed — attached via [`Framework::shared_cache`]. Because
@@ -95,7 +99,8 @@ pub use baselines::{BaParams, DaltaHeuristic};
 pub use cache::{CacheConfig, CacheStats, SharedCopCache};
 pub use cop::{ColumnCop, SpinLayout};
 pub use cop_solver::{
-    CopOutcome, CopScratch, CopSolver, DochCopSolver, HaltReason, SimCimCopSolver, SolveCtx,
+    CopOutcome, CopScratch, CopSolver, DochCopSolver, FusedSpec, HaltReason, SimCimCopSolver,
+    SolveCtx,
 };
 pub use portfolio::PortfolioSolver;
 pub use framework::{
@@ -111,3 +116,7 @@ pub use adis_sb::ConfigError as SbConfigError;
 /// so callers picking the i16 fixed-point dSB kernel need not depend on
 /// `adis_sb` directly.
 pub use adis_sb::KernelPrecision;
+/// Fused-batch occupancy counters ([`DecompositionOutcome::fused_stats`]),
+/// re-exported so callers inspecting lane occupancy need not depend on
+/// `adis_sb` directly.
+pub use adis_sb::FusedStats;

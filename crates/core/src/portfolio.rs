@@ -208,7 +208,7 @@ impl PortfolioSolver {
         ctx: &SolveCtx<'_>,
         scratch: &mut CopScratch,
     ) -> CopOutcome {
-        let spread = Self::weight_spread(cop.weights());
+        let spread = cop.weight_spread();
         let pick = Self::select_for(cop.rows(), cop.cols(), spread, Mode::Separate);
         let (name, solver) = self
             .members

@@ -50,6 +50,6 @@ mod spin;
 
 pub use brute::{solve_exhaustive, solve_exhaustive_with, GroundState, MAX_EXHAUSTIVE_SPINS};
 pub use higher::HigherOrderIsing;
-pub use problem::{IsingBuilder, IsingProblem, QuantizedCsr};
+pub use problem::{CsrPattern, IsingBuilder, IsingProblem, PatternInterner, QuantizedCsr};
 pub use qubo::Qubo;
 pub use spin::SpinVector;

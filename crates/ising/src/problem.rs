@@ -1,8 +1,10 @@
 //! Second-order Ising problems (Eq. 1 of the paper).
 
 use crate::SpinVector;
+use std::collections::HashSet;
 use std::fmt;
 use std::ops::Range;
+use std::sync::{Arc, Mutex};
 
 /// A second-order Ising energy function over `N` spins:
 ///
@@ -39,15 +41,133 @@ use std::ops::Range;
 #[derive(Clone, PartialEq)]
 pub struct IsingProblem {
     h: Vec<f64>,
+    /// The sparsity pattern (`row_ptr`/`cols`), shared behind an [`Arc`] so
+    /// that problems with identical structure — e.g. the many same-shape
+    /// COPs of one partition sweep — can be interned onto one allocation
+    /// and recognized as fusable by pointer comparison.
+    pattern: Arc<CsrPattern>,
+    /// Packed coupling values, parallel to the pattern's `cols`.
+    weights: Vec<f64>,
+    offset: f64,
+    quantized: Option<QuantizedCsr>,
+}
+
+/// The structure half of a coupling CSR: row offsets plus packed neighbor
+/// indices, without the weights.
+///
+/// Two [`IsingProblem`]s with equal patterns differ only in their weight
+/// (and bias) *values* — their per-iteration matvecs walk the same index
+/// stream. That is the precondition for the fused multi-problem kernels in
+/// `adis-sb`, which advance replicas of several problems in one spin-major
+/// pass by loading a lane-vector of weights per CSR entry. Patterns are
+/// compared structurally ([`PartialEq`]) and shared via [`Arc`]; use a
+/// [`PatternInterner`] to deduplicate the `Arc`s so sharing is visible as
+/// pointer equality.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CsrPattern {
     /// CSR row offsets: row `i` occupies `row_ptr[i]..row_ptr[i+1]` in the
     /// packed arrays. Length `N + 1`.
     row_ptr: Vec<u32>,
     /// Packed neighbor indices, each row sorted ascending.
     cols: Vec<u32>,
-    /// Packed coupling values, parallel to `cols`.
-    weights: Vec<f64>,
-    offset: f64,
-    quantized: Option<QuantizedCsr>,
+}
+
+impl CsrPattern {
+    /// Row offsets (length `N + 1`).
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Packed neighbor indices (length `nnz`).
+    pub fn cols(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Number of spins `N`.
+    pub fn num_spins(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of stored (directed) entries.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+impl fmt::Debug for CsrPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrPattern({} spins, {} entries)",
+            self.num_spins(),
+            self.nnz()
+        )
+    }
+}
+
+/// Deduplicates [`CsrPattern`] allocations across a stream of
+/// [`IsingProblem`]s.
+///
+/// [`intern`](PatternInterner::intern) rewrites a problem's pattern `Arc`
+/// to the canonical one for its structure, so problems that *can* be fused
+/// (same pattern) become recognizable by cheap `Arc::ptr_eq` instead of a
+/// full `row_ptr`/`cols` comparison. Interning never changes a problem's
+/// observable content — the pattern it points to afterwards is
+/// structurally equal to the one it pointed to before.
+///
+/// The interner is internally synchronized and can be shared across
+/// threads; a typical owner is one `decompose` sweep.
+///
+/// # Examples
+///
+/// ```
+/// use adis_ising::{IsingBuilder, PatternInterner};
+/// use std::sync::Arc;
+///
+/// let interner = PatternInterner::new();
+/// let mut a = IsingBuilder::new(3).coupling(0, 1, 1.0).build();
+/// let mut b = IsingBuilder::new(3).coupling(0, 1, -2.5).build();
+/// assert!(!Arc::ptr_eq(a.pattern(), b.pattern()));
+/// interner.intern(&mut a);
+/// interner.intern(&mut b);
+/// assert!(Arc::ptr_eq(a.pattern(), b.pattern()));
+/// assert_eq!(interner.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct PatternInterner {
+    inner: Mutex<HashSet<Arc<CsrPattern>>>,
+}
+
+impl PatternInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        PatternInterner::default()
+    }
+
+    /// Rewrites `problem`'s pattern to the canonical `Arc` for its
+    /// structure, registering it as the canonical one if the structure is
+    /// new. Returns `true` when the problem now shares a previously
+    /// interned pattern (i.e. it is fusable with an earlier problem).
+    pub fn intern(&self, problem: &mut IsingProblem) -> bool {
+        let mut set = self.inner.lock().expect("pattern interner poisoned");
+        if let Some(canon) = set.get(problem.pattern.as_ref()) {
+            problem.pattern = Arc::clone(canon);
+            true
+        } else {
+            set.insert(Arc::clone(&problem.pattern));
+            false
+        }
+    }
+
+    /// Number of distinct patterns seen so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("pattern interner poisoned").len()
+    }
+
+    /// True when no pattern has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Fixed-point `i16` companion of the coupling CSR, for reduced-precision
@@ -244,7 +364,7 @@ impl IsingProblem {
 
     #[inline]
     fn row_range(&self, i: usize) -> Range<usize> {
-        self.row_ptr[i] as usize..self.row_ptr[i + 1] as usize
+        self.pattern.row_ptr[i] as usize..self.pattern.row_ptr[i + 1] as usize
     }
 
     /// The raw CSR triple `(row offsets, neighbor indices, weights)`.
@@ -256,13 +376,27 @@ impl IsingProblem {
     /// [`local_field`](IsingProblem::local_field) uses, which is what keeps
     /// batched and sequential integrations bit-identical.
     pub fn csr(&self) -> (&[u32], &[u32], &[f64]) {
-        (&self.row_ptr, &self.cols, &self.weights)
+        (&self.pattern.row_ptr, &self.pattern.cols, &self.weights)
+    }
+
+    /// The shared sparsity pattern (`row_ptr`/`cols` without weights).
+    pub fn pattern(&self) -> &Arc<CsrPattern> {
+        &self.pattern
+    }
+
+    /// True when `self` and `other` have the same sparsity pattern — the
+    /// precondition for fusing their SB integrations into one
+    /// multi-problem batch. Checks pointer identity first (free after
+    /// [`PatternInterner::intern`]), falling back to a structural
+    /// comparison.
+    pub fn shares_pattern(&self, other: &IsingProblem) -> bool {
+        Arc::ptr_eq(&self.pattern, &other.pattern) || self.pattern == other.pattern
     }
 
     /// The coupling `J_ij` (zero if absent).
     pub fn coupling(&self, i: usize, j: usize) -> f64 {
         let r = self.row_range(i);
-        self.cols[r.clone()]
+        self.pattern.cols[r.clone()]
             .binary_search(&(j as u32))
             .map(|idx| self.weights[r.start + idx])
             .unwrap_or(0.0)
@@ -271,7 +405,7 @@ impl IsingProblem {
     /// Neighbors of spin `i` with their couplings, sorted by neighbor.
     pub fn neighbors(&self, i: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
         let r = self.row_range(i);
-        self.cols[r.clone()]
+        self.pattern.cols[r.clone()]
             .iter()
             .copied()
             .zip(self.weights[r].iter().copied())
@@ -304,7 +438,7 @@ impl IsingProblem {
             e -= self.h[i] * si;
             let mut acc = 0.0;
             let r = self.row_range(i);
-            for (&j, &v) in self.cols[r.clone()].iter().zip(&self.weights[r]) {
+            for (&j, &v) in self.pattern.cols[r.clone()].iter().zip(&self.weights[r]) {
                 acc += v * f64::from(sigma.get(j as usize));
             }
             e -= 0.5 * si * acc;
@@ -319,7 +453,7 @@ impl IsingProblem {
     pub fn local_field(&self, x: &[f64], i: usize) -> f64 {
         let mut f = self.h[i];
         let r = self.row_range(i);
-        for (&j, &v) in self.cols[r.clone()].iter().zip(&self.weights[r]) {
+        for (&j, &v) in self.pattern.cols[r.clone()].iter().zip(&self.weights[r]) {
             f += v * x[j as usize];
         }
         f
@@ -345,7 +479,7 @@ impl IsingProblem {
         let si = f64::from(sigma.get(i));
         let mut field = self.h[i];
         let r = self.row_range(i);
-        for (&j, &v) in self.cols[r.clone()].iter().zip(&self.weights[r]) {
+        for (&j, &v) in self.pattern.cols[r.clone()].iter().zip(&self.weights[r]) {
             field += v * f64::from(sigma.get(j as usize));
         }
         2.0 * si * field
@@ -489,8 +623,7 @@ impl IsingBuilder {
         let quantized = QuantizedCsr::build(&self.h, &row_ptr, &weights);
         IsingProblem {
             h: self.h,
-            row_ptr,
-            cols,
+            pattern: Arc::new(CsrPattern { row_ptr, cols }),
             weights,
             offset: self.offset,
             quantized,
@@ -730,6 +863,37 @@ mod tests {
         assert!(q.exact());
         assert_eq!(q.weights().len(), 0);
         assert_eq!(q.biases(), &[0, 0]);
+    }
+
+    #[test]
+    fn interner_dedups_equal_patterns_only() {
+        let interner = PatternInterner::new();
+        assert!(interner.is_empty());
+        let mut a = IsingBuilder::new(3).coupling(0, 1, 1.0).build();
+        let mut b = IsingBuilder::new(3).coupling(0, 1, -7.0).build();
+        let mut c = IsingBuilder::new(3).coupling(0, 2, 1.0).build();
+        assert!(a.shares_pattern(&b));
+        assert!(!a.shares_pattern(&c));
+        assert!(!interner.intern(&mut a), "first structure is new");
+        assert!(interner.intern(&mut b), "same structure shares");
+        assert!(!interner.intern(&mut c), "different structure is new");
+        assert!(Arc::ptr_eq(a.pattern(), b.pattern()));
+        assert!(!Arc::ptr_eq(a.pattern(), c.pattern()));
+        assert_eq!(interner.len(), 2);
+        // Interning never changes content: the CSR views stay equal.
+        let fresh = IsingBuilder::new(3).coupling(0, 1, -7.0).build();
+        assert_eq!(b.csr(), fresh.csr());
+        assert_eq!(b, fresh);
+    }
+
+    #[test]
+    fn zero_weight_changes_pattern_not_just_values() {
+        // `build` drops exact zeros, so a zero coupling is a *structural*
+        // difference — exactly why fusion groups on the pattern, not on
+        // the (rows, cols) shape.
+        let a = IsingBuilder::new(3).coupling(0, 1, 1.0).coupling(1, 2, 1.0).build();
+        let b = IsingBuilder::new(3).coupling(0, 1, 1.0).build();
+        assert!(!a.shares_pattern(&b));
     }
 
     #[test]

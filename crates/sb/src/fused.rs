@@ -1,0 +1,1216 @@
+//! Fused multi-COP batch integration with continuous lane refill.
+//!
+//! [`SbSolver::solve_batch_with`] advances many replicas of *one* problem;
+//! a decomposition sweep instead produces thousands of small problems that
+//! share one CSR sparsity pattern (same `(rows, cols, mode)` COP cell ⇒
+//! same `row_ptr`/`cols`, different weights). The fused integrator here
+//! packs units from *different* problems into the lanes of one
+//! structure-of-arrays batch:
+//!
+//! - positions/momenta stay spin-major × lane-minor (`x[i·L + l]`), but the
+//!   coupling weights become a **weight plane** (`w[e·L + l]` for CSR entry
+//!   `e`): each entry loads a lane-vector of weights instead of
+//!   broadcasting one scalar, so one pass advances `L` different problems;
+//! - every lane carries its own clock, pump ramp, `c₀` and stop state;
+//!   when a lane's unit retires (dynamic-variance settle or iteration
+//!   budget) the lane is refilled **immediately** with the next pending
+//!   unit — continuous batching — instead of idling until the batch drains;
+//! - the fixed-point dSB path gets the same treatment: `i16` weight planes
+//!   with per-lane bias/scale rows, accumulated in `i16` lanes when every
+//!   unit's row bounds allow and `i32` otherwise.
+//!
+//! # Bit-identity
+//!
+//! Lane `l` running unit `u` performs exactly the scalar operation sequence
+//! of `solver.seed(u.seed).solve(u.problem)`:
+//!
+//! - the lane seeds its own `ChaCha8Rng` from `u.seed` and draws all
+//!   positions then all momenta — the sequential stream;
+//! - the field kernel accumulates each CSR row in packed ascending order
+//!   with the lane's own weights, matching `IsingProblem::local_field`;
+//! - the update uses the lane's own `c₀`/decay/scale scalars, and each
+//!   lane's local clock drives its pump ramp and sampling boundaries — so
+//!   a unit filled into a lane mid-run integrates exactly as if it had
+//!   started fresh;
+//! - sampling gathers the lane contiguously and runs the same
+//!   readout/energy code a sequential run uses, against the unit's own
+//!   problem.
+//!
+//! Which units share a batch, the lane width, and the packing order
+//! therefore never change a single bit of any unit's result.
+
+use crate::{KernelPrecision, SbResult, SbSolver, SbState, SbVariant, StopReason, StopState};
+use adis_ising::{IsingProblem, SpinVector};
+use adis_telemetry::{trace_span, SolveObserver};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One schedulable unit of a fused batch: a problem plus the RNG seed its
+/// lane integrates from (content-derived in the sweep engine, so packing
+/// order cannot leak into outcomes).
+#[derive(Debug, Clone, Copy)]
+pub struct FusedUnit<'a> {
+    /// The Ising instance this unit integrates. All units of one fused
+    /// call must share a CSR sparsity pattern
+    /// ([`IsingProblem::shares_pattern`]).
+    pub problem: &'a IsingProblem,
+    /// The lane's RNG seed, used exactly as a sequential
+    /// [`SbSolver::seed`] would be.
+    pub seed: u64,
+}
+
+/// Occupancy accounting for one (or, after [`merge`](FusedStats::merge),
+/// several) fused batch runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusedStats {
+    /// Lane width of the batch (max across merged batches).
+    pub lane_width: usize,
+    /// Units drained from the queue.
+    pub units: usize,
+    /// Total lane fills (initial packing + refills).
+    pub lanes_filled: usize,
+    /// Fills that replaced a retired lane mid-run.
+    pub refills: usize,
+    /// Lane-iterations spent integrating a live unit.
+    pub busy_lane_iterations: u64,
+    /// Lane-iterations spent idle (queue empty, lane already drained).
+    pub idle_lane_iterations: u64,
+    /// Units whose dynamic-variance criterion fired.
+    pub settled: usize,
+}
+
+impl FusedStats {
+    /// Mean lane occupancy in `[0, 1]`: busy lane-iterations over all
+    /// lane-iterations. `0.0` when nothing integrated.
+    pub fn occupancy(&self) -> f64 {
+        let total = self.busy_lane_iterations + self.idle_lane_iterations;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_lane_iterations as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another batch's counters (sums, except `lane_width`
+    /// which keeps the maximum) — the engine aggregates per-chunk batches
+    /// into one per-run figure.
+    pub fn merge(&mut self, other: &FusedStats) {
+        self.lane_width = self.lane_width.max(other.lane_width);
+        self.units += other.units;
+        self.lanes_filled += other.lanes_filled;
+        self.refills += other.refills;
+        self.busy_lane_iterations += other.busy_lane_iterations;
+        self.idle_lane_iterations += other.idle_lane_iterations;
+        self.settled += other.settled;
+    }
+}
+
+/// Which arithmetic the fused batch runs. Decided once per call from the
+/// solver precision and the units' quantized companions, exactly like the
+/// single-problem batch: `i16` accumulation needs *every* unit's row
+/// bounds to fit (the values are identical either way, so grouping
+/// fit and non-fit units only costs SIMD width, never bits).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    F64,
+    QuantI32,
+    QuantI16,
+}
+
+/// Reusable buffers for one fused multi-problem integration. Every buffer
+/// is (re)sized and zeroed before use, so results are independent of the
+/// scratch's previous contents.
+#[derive(Debug, Default)]
+pub struct FusedScratch {
+    /// Positions, spin-major × lane-minor: `x[i·L + l]`.
+    x: Vec<f64>,
+    /// Momenta, same layout.
+    y: Vec<f64>,
+    /// Coupling field per lane, same layout.
+    field: Vec<f64>,
+    /// Sign readout of `x` (dSB f64 coupling source), same layout.
+    signs: Vec<f64>,
+    /// One lane's positions, gathered contiguously for sampling.
+    lane_x: Vec<f64>,
+    /// One lane's momenta, gathered contiguously for sampling.
+    lane_y: Vec<f64>,
+    /// Weight plane: `wplane[e·L + l]` is CSR entry `e`'s weight in lane
+    /// `l`'s problem.
+    wplane: Vec<f64>,
+    /// Bias plane, spin-major × lane-minor.
+    hplane: Vec<f64>,
+    /// Per-lane resolved `c₀`.
+    c0row: Vec<f64>,
+    /// Per-lane `1 / scale` of the quantized companion.
+    invrow: Vec<f64>,
+    /// Per-lane pump decay `a₀ − a(t_l)`, recomputed each iteration from
+    /// the lane's local clock.
+    decayrow: Vec<f64>,
+    /// Fixed-point weight plane (`i16` weights, both accumulator widths).
+    qwplane: Vec<i16>,
+    /// Fixed-point bias plane, `i32` accumulator layout.
+    qb32: Vec<i32>,
+    /// Fixed-point bias plane, `i16` accumulator layout.
+    qb16: Vec<i16>,
+    /// Sign-mask rows (`0`/`−1`) for the `i32` kernels.
+    masks32: Vec<i32>,
+    /// `±1` sign rows for the `i16` kernels.
+    signs16: Vec<i16>,
+    /// Fixed-point field accumulator, `i32`.
+    qfield32: Vec<i32>,
+    /// Fixed-point field accumulator, `i16`.
+    qfield16: Vec<i16>,
+}
+
+impl FusedScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize, nnz: usize, lanes: usize, mode: Mode) {
+        let plane = n * lanes;
+        for buf in [&mut self.x, &mut self.y] {
+            buf.clear();
+            buf.resize(plane, 0.0);
+        }
+        for buf in [&mut self.lane_x, &mut self.lane_y] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+        for buf in [&mut self.c0row, &mut self.invrow, &mut self.decayrow] {
+            buf.clear();
+            buf.resize(lanes, 0.0);
+        }
+        self.field.clear();
+        self.signs.clear();
+        self.wplane.clear();
+        self.hplane.clear();
+        self.qwplane.clear();
+        self.qb32.clear();
+        self.qb16.clear();
+        self.masks32.clear();
+        self.signs16.clear();
+        self.qfield32.clear();
+        self.qfield16.clear();
+        match mode {
+            Mode::F64 => {
+                self.field.resize(plane, 0.0);
+                self.signs.resize(plane, 0.0);
+                self.wplane.resize(nnz * lanes, 0.0);
+                self.hplane.resize(plane, 0.0);
+            }
+            Mode::QuantI32 => {
+                self.qwplane.resize(nnz * lanes, 0);
+                self.qb32.resize(plane, 0);
+                self.masks32.resize(plane, 0);
+                self.qfield32.resize(plane, 0);
+            }
+            Mode::QuantI16 => {
+                self.qwplane.resize(nnz * lanes, 0);
+                self.qb16.resize(plane, 0);
+                self.signs16.resize(plane, 0);
+                self.qfield16.resize(plane, 0);
+            }
+        }
+    }
+}
+
+/// Per-lane bookkeeping while its unit integrates.
+struct LaneSlot {
+    unit: usize,
+    /// Local clock: iterations this unit has completed.
+    t: usize,
+    best_state: SpinVector,
+    best_energy: f64,
+    trace: Vec<(usize, f64)>,
+    stop: StopState,
+    /// Buffered observer samples, replayed per unit after the batch.
+    samples: Vec<(usize, f64, f64, f64)>,
+}
+
+/// Seeds lane `l` with `unit` and packs its weight/bias planes. Free
+/// function (not a closure) so the call sites can keep disjoint borrows of
+/// the destructured scratch.
+#[allow(clippy::too_many_arguments)]
+fn fill_lane(
+    solver: &SbSolver,
+    unit: &FusedUnit<'_>,
+    unit_idx: usize,
+    l: usize,
+    lanes: usize,
+    mode: Mode,
+    max_iters: usize,
+    sample_every: usize,
+    x: &mut [f64],
+    y: &mut [f64],
+    wplane: &mut [f64],
+    hplane: &mut [f64],
+    qwplane: &mut [i16],
+    qb32: &mut [i32],
+    qb16: &mut [i16],
+    c0row: &mut [f64],
+    invrow: &mut [f64],
+    lane_x: &mut [f64],
+    stats: &mut FusedStats,
+    is_refill: bool,
+) -> LaneSlot {
+    let problem = unit.problem;
+    let n = problem.num_spins();
+    // Sequential seeding stream: all positions, then all momenta.
+    let mut rng = ChaCha8Rng::seed_from_u64(unit.seed);
+    for i in 0..n {
+        x[i * lanes + l] = rng.gen_range(-solver.init_amplitude..=solver.init_amplitude);
+    }
+    for i in 0..n {
+        y[i * lanes + l] = rng.gen_range(-solver.init_amplitude..=solver.init_amplitude);
+    }
+    match mode {
+        Mode::F64 => {
+            let (_, _, weights) = problem.csr();
+            for (e, &w) in weights.iter().enumerate() {
+                wplane[e * lanes + l] = w;
+            }
+            for (i, &h) in problem.biases().iter().enumerate() {
+                hplane[i * lanes + l] = h;
+            }
+        }
+        Mode::QuantI32 | Mode::QuantI16 => {
+            let q = problem.quantized().expect("mode requires a quantized companion");
+            for (e, &qw) in q.weights().iter().enumerate() {
+                qwplane[e * lanes + l] = qw;
+            }
+            if mode == Mode::QuantI16 {
+                for (i, &qb) in q.biases().iter().enumerate() {
+                    qb16[i * lanes + l] = qb as i16;
+                }
+            } else {
+                for (i, &qb) in q.biases().iter().enumerate() {
+                    qb32[i * lanes + l] = qb;
+                }
+            }
+            invrow[l] = 1.0 / q.scale();
+        }
+    }
+    c0row[l] = solver.resolve_c0(problem);
+    // The initial best is the energy of the initial sign readout, exactly
+    // as the sequential run records before its first iteration.
+    for i in 0..n {
+        lane_x[i] = x[i * lanes + l];
+    }
+    let best_state = SpinVector::from_signs(lane_x);
+    let best_energy = problem.energy(&best_state);
+    stats.lanes_filled += 1;
+    if is_refill {
+        stats.refills += 1;
+    }
+    LaneSlot {
+        unit: unit_idx,
+        t: 0,
+        best_state,
+        best_energy,
+        trace: Vec::with_capacity(max_iters / sample_every + 1),
+        stop: StopState::new(solver.stop.clone()),
+        samples: Vec::new(),
+    }
+}
+
+/// Writes `out[i·L + l] = hplane[i·L + l] + Σₑ wplane[e·L + l] · src[cₑ·L + l]`:
+/// the multi-problem twin of the batch field kernel — each CSR entry loads
+/// a lane-vector of weights instead of broadcasting one scalar. Per lane,
+/// the accumulation order is exactly [`IsingProblem::local_field`]'s.
+fn fused_field(
+    row_ptr: &[u32],
+    cols: &[u32],
+    wplane: &[f64],
+    hplane: &[f64],
+    src: &[f64],
+    out: &mut [f64],
+    lanes: usize,
+) {
+    match lanes {
+        4 => fused_field_const::<4>(row_ptr, cols, wplane, hplane, src, out),
+        8 => fused_field_const::<8>(row_ptr, cols, wplane, hplane, src, out),
+        16 => fused_field_const::<16>(row_ptr, cols, wplane, hplane, src, out),
+        32 => fused_field_const::<32>(row_ptr, cols, wplane, hplane, src, out),
+        _ => fused_field_dyn(row_ptr, cols, wplane, hplane, src, out, lanes),
+    }
+}
+
+fn fused_field_const<const L: usize>(
+    row_ptr: &[u32],
+    cols: &[u32],
+    wplane: &[f64],
+    hplane: &[f64],
+    src: &[f64],
+    out: &mut [f64],
+) {
+    let n = row_ptr.len() - 1;
+    for i in 0..n {
+        let mut acc: [f64; L] = hplane[i * L..][..L].try_into().expect("bias row");
+        for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+            let w: &[f64; L] = wplane[e * L..][..L].try_into().expect("weight row");
+            let s: &[f64; L] = src[cols[e] as usize * L..][..L].try_into().expect("lane row");
+            for l in 0..L {
+                acc[l] += w[l] * s[l];
+            }
+        }
+        out[i * L..][..L].copy_from_slice(&acc);
+    }
+}
+
+fn fused_field_dyn(
+    row_ptr: &[u32],
+    cols: &[u32],
+    wplane: &[f64],
+    hplane: &[f64],
+    src: &[f64],
+    out: &mut [f64],
+    lanes: usize,
+) {
+    let n = row_ptr.len() - 1;
+    for i in 0..n {
+        let row = &mut out[i * lanes..(i + 1) * lanes];
+        row.copy_from_slice(&hplane[i * lanes..(i + 1) * lanes]);
+        for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+            let w = &wplane[e * lanes..][..lanes];
+            let s = &src[cols[e] as usize * lanes..][..lanes];
+            for ((o, &wl), &sl) in row.iter_mut().zip(w).zip(s) {
+                *o += wl * sl;
+            }
+        }
+    }
+}
+
+/// Fixed-point fused field, `i32` accumulation: per-lane weights with the
+/// masked-add form (`acc += (v ^ m) − m`, no 32-bit lane multiply in
+/// baseline SSE2).
+fn fused_field_i32(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qwplane: &[i16],
+    qbplane: &[i32],
+    masks: &[i32],
+    out: &mut [i32],
+    lanes: usize,
+) {
+    match lanes {
+        8 => fused_field_i32_const::<8>(row_ptr, cols, qwplane, qbplane, masks, out),
+        16 => fused_field_i32_const::<16>(row_ptr, cols, qwplane, qbplane, masks, out),
+        32 => fused_field_i32_const::<32>(row_ptr, cols, qwplane, qbplane, masks, out),
+        _ => fused_field_i32_dyn(row_ptr, cols, qwplane, qbplane, masks, out, lanes),
+    }
+}
+
+fn fused_field_i32_const<const L: usize>(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qwplane: &[i16],
+    qbplane: &[i32],
+    masks: &[i32],
+    out: &mut [i32],
+) {
+    let n = row_ptr.len() - 1;
+    for i in 0..n {
+        let mut acc: [i32; L] = qbplane[i * L..][..L].try_into().expect("bias row");
+        for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+            let w: &[i16; L] = qwplane[e * L..][..L].try_into().expect("weight row");
+            let m: &[i32; L] = masks[cols[e] as usize * L..][..L].try_into().expect("mask row");
+            for l in 0..L {
+                let v = i32::from(w[l]);
+                acc[l] += (v ^ m[l]) - m[l];
+            }
+        }
+        out[i * L..][..L].copy_from_slice(&acc);
+    }
+}
+
+fn fused_field_i32_dyn(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qwplane: &[i16],
+    qbplane: &[i32],
+    masks: &[i32],
+    out: &mut [i32],
+    lanes: usize,
+) {
+    let n = row_ptr.len() - 1;
+    for i in 0..n {
+        let row = &mut out[i * lanes..(i + 1) * lanes];
+        row.copy_from_slice(&qbplane[i * lanes..(i + 1) * lanes]);
+        for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+            let w = &qwplane[e * lanes..][..lanes];
+            let m = &masks[cols[e] as usize * lanes..][..lanes];
+            for ((o, &wl), &ml) in row.iter_mut().zip(w).zip(m) {
+                let v = i32::from(wl);
+                *o += (v ^ ml) - ml;
+            }
+        }
+    }
+}
+
+/// Fixed-point fused field, `i16` accumulation: per-lane weights with the
+/// `±1`-sign multiply form. Every unit of the batch must satisfy
+/// [`QuantizedCsr::acc_fits_i16`](adis_ising::QuantizedCsr::acc_fits_i16)
+/// (idle lanes keep a previously packed — hence also bounded — plane, and
+/// never-filled lanes are zero, so no lane can wrap).
+fn fused_field_i16(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qwplane: &[i16],
+    qbplane: &[i16],
+    signs: &[i16],
+    out: &mut [i16],
+    lanes: usize,
+) {
+    match lanes {
+        8 => fused_field_i16_const::<8>(row_ptr, cols, qwplane, qbplane, signs, out),
+        16 => fused_field_i16_const::<16>(row_ptr, cols, qwplane, qbplane, signs, out),
+        32 => fused_field_i16_const::<32>(row_ptr, cols, qwplane, qbplane, signs, out),
+        _ => fused_field_i16_dyn(row_ptr, cols, qwplane, qbplane, signs, out, lanes),
+    }
+}
+
+fn fused_field_i16_const<const L: usize>(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qwplane: &[i16],
+    qbplane: &[i16],
+    signs: &[i16],
+    out: &mut [i16],
+) {
+    let n = row_ptr.len() - 1;
+    for i in 0..n {
+        let mut acc: [i16; L] = qbplane[i * L..][..L].try_into().expect("bias row");
+        for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+            let w: &[i16; L] = qwplane[e * L..][..L].try_into().expect("weight row");
+            let s: &[i16; L] = signs[cols[e] as usize * L..][..L].try_into().expect("sign row");
+            for l in 0..L {
+                acc[l] += w[l] * s[l];
+            }
+        }
+        out[i * L..][..L].copy_from_slice(&acc);
+    }
+}
+
+fn fused_field_i16_dyn(
+    row_ptr: &[u32],
+    cols: &[u32],
+    qwplane: &[i16],
+    qbplane: &[i16],
+    signs: &[i16],
+    out: &mut [i16],
+    lanes: usize,
+) {
+    let n = row_ptr.len() - 1;
+    for i in 0..n {
+        let row = &mut out[i * lanes..(i + 1) * lanes];
+        row.copy_from_slice(&qbplane[i * lanes..(i + 1) * lanes]);
+        for e in row_ptr[i] as usize..row_ptr[i + 1] as usize {
+            let w = &qwplane[e * lanes..][..lanes];
+            let s = &signs[cols[e] as usize * lanes..][..lanes];
+            for ((o, &wl), &sl) in row.iter_mut().zip(w).zip(s) {
+                *o += wl * sl;
+            }
+        }
+    }
+}
+
+/// Walled (bSB/dSB) momentum/position update with per-lane constants. The
+/// selects compute exactly the values the sequential branch form does.
+#[allow(clippy::too_many_arguments)]
+fn fused_walled_update(
+    field: &[f64],
+    c0row: &[f64],
+    decayrow: &[f64],
+    dt: f64,
+    a0: f64,
+    x: &mut [f64],
+    y: &mut [f64],
+    lanes: usize,
+) {
+    for ((xrow, yrow), frow) in x
+        .chunks_exact_mut(lanes)
+        .zip(y.chunks_exact_mut(lanes))
+        .zip(field.chunks_exact(lanes))
+    {
+        for ((((xi, yi), &fi), &c0), &decay) in xrow
+            .iter_mut()
+            .zip(yrow.iter_mut())
+            .zip(frow)
+            .zip(c0row)
+            .zip(decayrow)
+        {
+            let yv = *yi + (-decay * *xi + c0 * fi) * dt;
+            let xv = *xi + a0 * yv * dt;
+            let hit = xv.abs() > 1.0;
+            *xi = if hit { xv.signum() } else { xv };
+            *yi = if hit { 0.0 } else { yv };
+        }
+    }
+}
+
+/// aSB update with per-lane constants: Kerr term `−x³`, no walls.
+#[allow(clippy::too_many_arguments)]
+fn fused_kerr_update(
+    field: &[f64],
+    c0row: &[f64],
+    decayrow: &[f64],
+    dt: f64,
+    a0: f64,
+    x: &mut [f64],
+    y: &mut [f64],
+    lanes: usize,
+) {
+    for ((xrow, yrow), frow) in x
+        .chunks_exact_mut(lanes)
+        .zip(y.chunks_exact_mut(lanes))
+        .zip(field.chunks_exact(lanes))
+    {
+        for ((((xi, yi), &fi), &c0), &decay) in xrow
+            .iter_mut()
+            .zip(yrow.iter_mut())
+            .zip(frow)
+            .zip(c0row)
+            .zip(decayrow)
+        {
+            let xv = *xi;
+            *yi += (-xv * xv * xv - decay * xv + c0 * fi) * dt;
+            *xi += a0 * *yi * dt;
+        }
+    }
+}
+
+/// Fixed-point dSB: converts each lane's integer field with its own
+/// `f64::from(qf) · inv` multiply (the sequential reduced-precision
+/// conversion) and applies the walled update in the same pass.
+#[allow(clippy::too_many_arguments)]
+fn fused_quantized_update<T: Copy + Into<f64>>(
+    qfield: &[T],
+    invrow: &[f64],
+    c0row: &[f64],
+    decayrow: &[f64],
+    dt: f64,
+    a0: f64,
+    x: &mut [f64],
+    y: &mut [f64],
+    lanes: usize,
+) {
+    for ((xrow, yrow), frow) in x
+        .chunks_exact_mut(lanes)
+        .zip(y.chunks_exact_mut(lanes))
+        .zip(qfield.chunks_exact(lanes))
+    {
+        for (((((xi, yi), &qf), &inv), &c0), &decay) in xrow
+            .iter_mut()
+            .zip(yrow.iter_mut())
+            .zip(frow)
+            .zip(invrow)
+            .zip(c0row)
+            .zip(decayrow)
+        {
+            let f = qf.into() * inv;
+            let yv = *yi + (-decay * *xi + c0 * f) * dt;
+            let xv = *xi + a0 * yv * dt;
+            let hit = xv.abs() > 1.0;
+            *xi = if hit { xv.signum() } else { xv };
+            *yi = if hit { 0.0 } else { yv };
+        }
+    }
+}
+
+impl SbSolver {
+    /// Integrates every unit of `units` through `lane_width` persistent
+    /// lanes with continuous refill, returning one [`SbResult`] per unit
+    /// (in unit order) plus the batch's occupancy statistics.
+    ///
+    /// All units must share one CSR sparsity pattern
+    /// ([`IsingProblem::shares_pattern`]); with [`KernelPrecision::I16`]
+    /// they must additionally agree on whether a quantized companion
+    /// exists (the engine groups cells so both hold by construction).
+    ///
+    /// `intervene(unit_idx, state)` fires at each unit's sampling points —
+    /// the index is the unit's position in `units`, so callers can apply
+    /// per-problem hooks (the type-reset heuristic). `observer` receives
+    /// each unit's full `sb_start`/`sb_sample`/`sb_stop` stream, replayed
+    /// in unit order after integration, plus one
+    /// [`fused_batch`](SolveObserver::fused_batch) event.
+    ///
+    /// Element `u` of the returned vector is bit-identical (best state,
+    /// best energy, iterations, stop reason, full trace) to
+    /// `self.seed(units[u].seed).solve(units[u].problem)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` mix sparsity patterns (or quantized-ness under
+    /// `I16`), if `lane_width == 0` while units are pending, or if the
+    /// configuration is invalid.
+    pub fn solve_fused_with<F, O>(
+        &self,
+        units: &[FusedUnit<'_>],
+        lane_width: usize,
+        scratch: &mut FusedScratch,
+        mut intervene: F,
+        observer: &mut O,
+    ) -> (Vec<SbResult>, FusedStats)
+    where
+        F: FnMut(usize, &mut SbState<'_>),
+        O: SolveObserver,
+    {
+        if let Err(e) = self.validate() {
+            panic!("invalid SbSolver configuration: {e}");
+        }
+        let mut stats = FusedStats {
+            lane_width,
+            units: units.len(),
+            ..FusedStats::default()
+        };
+        if units.is_empty() {
+            return (Vec::new(), stats);
+        }
+        assert!(lane_width > 0, "need at least one lane");
+        let first = units[0].problem;
+        assert!(
+            units.iter().all(|u| u.problem.shares_pattern(first)),
+            "fused units must share one CSR sparsity pattern (shared sparsity group)"
+        );
+        let n = first.num_spins();
+        let (row_ptr, cols, _) = first.csr();
+        let nnz = cols.len();
+        let lanes = lane_width;
+        let _span = trace_span!(
+            "SbSolver::solve_fused {:?} n={n} units={} lanes={lanes}",
+            self.variant,
+            units.len()
+        );
+
+        let mode = match self.precision {
+            KernelPrecision::F64 => Mode::F64,
+            KernelPrecision::I16 => {
+                let quantized = units.iter().filter(|u| u.problem.quantized().is_some()).count();
+                if quantized == units.len() {
+                    if units
+                        .iter()
+                        .all(|u| u.problem.quantized().expect("counted").acc_fits_i16())
+                    {
+                        Mode::QuantI16
+                    } else {
+                        Mode::QuantI32
+                    }
+                } else {
+                    assert!(
+                        quantized == 0,
+                        "fused I16 batch mixes quantized and unquantized units"
+                    );
+                    Mode::F64
+                }
+            }
+        };
+
+        scratch.reset(n, nnz, lanes, mode);
+        let FusedScratch {
+            x,
+            y,
+            field,
+            signs,
+            lane_x,
+            lane_y,
+            wplane,
+            hplane,
+            c0row,
+            invrow,
+            decayrow,
+            qwplane,
+            qb32,
+            qb16,
+            masks32,
+            signs16,
+            qfield32,
+            qfield16,
+        } = scratch;
+
+        let max_iters = self.stop.max_iterations();
+        let sample_every = self.stop.sample_every();
+        let ramp = self.ramp.unwrap_or(max_iters).min(max_iters).max(1);
+        let settle_after = self.ramp.map(|r| r.min(max_iters)).unwrap_or(0);
+        let observing = observer.enabled();
+
+        let mut results: Vec<Option<SbResult>> = units.iter().map(|_| None).collect();
+        let mut unit_samples: Vec<Vec<(usize, f64, f64, f64)>> =
+            units.iter().map(|_| Vec::new()).collect();
+        let mut slots: Vec<Option<LaneSlot>> = (0..lanes).map(|_| None).collect();
+        let mut next = 0usize;
+        let mut busy = 0usize;
+
+        let finalize = |slot: LaneSlot,
+                            reason: StopReason,
+                            iterations: usize,
+                            stats: &mut FusedStats,
+                            results: &mut Vec<Option<SbResult>>,
+                            unit_samples: &mut Vec<Vec<(usize, f64, f64, f64)>>| {
+            if reason == StopReason::EnergySettled {
+                stats.settled += 1;
+            }
+            unit_samples[slot.unit] = slot.samples;
+            results[slot.unit] = Some(SbResult {
+                best_state: slot.best_state,
+                best_energy: slot.best_energy,
+                iterations,
+                stop_reason: reason,
+                trace: slot.trace,
+            });
+        };
+
+        // Initial packing: fill each lane from the queue. A zero-iteration
+        // budget never reaches a sampling point, so such units finalize at
+        // fill (initial readout, zero iterations) and the lane keeps
+        // draining the queue.
+        for (l, slot) in slots.iter_mut().enumerate() {
+            let mut first_fill = true;
+            while next < units.len() {
+                let filled = fill_lane(
+                    self, &units[next], next, l, lanes, mode, max_iters, sample_every, x, y,
+                    wplane, hplane, qwplane, qb32, qb16, c0row, invrow, lane_x, &mut stats,
+                    !first_fill,
+                );
+                next += 1;
+                first_fill = false;
+                if max_iters == 0 {
+                    finalize(
+                        filled,
+                        StopReason::IterationLimit,
+                        max_iters,
+                        &mut stats,
+                        &mut results,
+                        &mut unit_samples,
+                    );
+                } else {
+                    *slot = Some(filled);
+                    busy += 1;
+                    break;
+                }
+            }
+        }
+
+        while busy > 0 {
+            stats.busy_lane_iterations += busy as u64;
+            stats.idle_lane_iterations += (lanes - busy) as u64;
+            // Per-lane pump decay from each lane's local clock. Idle lanes
+            // get the fully-pumped value; their dynamics are never read.
+            for (d, slot) in decayrow.iter_mut().zip(slots.iter()) {
+                *d = match slot {
+                    Some(s) => self.a0 - self.a0 * ((s.t as f64 / ramp as f64).min(1.0)),
+                    None => self.a0,
+                };
+            }
+
+            match (self.variant, mode) {
+                (SbVariant::Discrete, Mode::QuantI16) => {
+                    crate::quantized::spin_signs_i16(x, signs16);
+                    fused_field_i16(row_ptr, cols, qwplane, qb16, signs16, qfield16, lanes);
+                    fused_quantized_update(
+                        qfield16, invrow, c0row, decayrow, self.dt, self.a0, x, y, lanes,
+                    );
+                }
+                (SbVariant::Discrete, Mode::QuantI32) => {
+                    crate::quantized::sign_masks_i32(x, masks32);
+                    fused_field_i32(row_ptr, cols, qwplane, qb32, masks32, qfield32, lanes);
+                    fused_quantized_update(
+                        qfield32, invrow, c0row, decayrow, self.dt, self.a0, x, y, lanes,
+                    );
+                }
+                (SbVariant::Discrete, Mode::F64) => {
+                    for (s, &v) in signs.iter_mut().zip(x.iter()) {
+                        *s = if v >= 0.0 { 1.0 } else { -1.0 };
+                    }
+                    fused_field(row_ptr, cols, wplane, hplane, signs, field, lanes);
+                    fused_walled_update(field, c0row, decayrow, self.dt, self.a0, x, y, lanes);
+                }
+                (SbVariant::Adiabatic, _) => {
+                    fused_field(row_ptr, cols, wplane, hplane, x, field, lanes);
+                    fused_kerr_update(field, c0row, decayrow, self.dt, self.a0, x, y, lanes);
+                }
+                (SbVariant::Ballistic, _) => {
+                    fused_field(row_ptr, cols, wplane, hplane, x, field, lanes);
+                    fused_walled_update(field, c0row, decayrow, self.dt, self.a0, x, y, lanes);
+                }
+            }
+
+            for l in 0..lanes {
+                let Some(slot) = slots[l].as_mut() else { continue };
+                slot.t += 1;
+                if !(slot.t % sample_every == 0 || slot.t == max_iters) {
+                    continue;
+                }
+                let unit = &units[slot.unit];
+                for i in 0..n {
+                    lane_x[i] = x[i * lanes + l];
+                    lane_y[i] = y[i * lanes + l];
+                }
+                let mut state = SbState {
+                    x: &mut lane_x[..],
+                    y: &mut lane_y[..],
+                    iteration: slot.t,
+                };
+                intervene(slot.unit, &mut state);
+                let readout = SpinVector::from_signs(lane_x);
+                let energy = unit.problem.energy(&readout);
+                slot.trace.push((slot.t, energy));
+                if energy < slot.best_energy {
+                    slot.best_energy = energy;
+                    slot.best_state = readout;
+                }
+                if observing {
+                    let mean_amp = if n > 0 {
+                        lane_x.iter().map(|v| v.abs()).sum::<f64>() / n as f64
+                    } else {
+                        0.0
+                    };
+                    slot.samples.push((slot.t, energy, slot.best_energy, mean_amp));
+                }
+                // The hook may have rewritten the lane; scatter back.
+                for i in 0..n {
+                    x[i * lanes + l] = lane_x[i];
+                    y[i * lanes + l] = lane_y[i];
+                }
+                let retired = if slot.t >= settle_after && slot.stop.record(energy) {
+                    Some((StopReason::EnergySettled, slot.t))
+                } else if slot.t == max_iters {
+                    Some((StopReason::IterationLimit, max_iters))
+                } else {
+                    None
+                };
+                if let Some((reason, iterations)) = retired {
+                    let done = slots[l].take().expect("slot was busy");
+                    busy -= 1;
+                    finalize(done, reason, iterations, &mut stats, &mut results, &mut unit_samples);
+                    // Continuous refill: the freed lane immediately takes
+                    // the next pending unit (its clock restarts at 0).
+                    while next < units.len() {
+                        let filled = fill_lane(
+                            self, &units[next], next, l, lanes, mode, max_iters, sample_every,
+                            x, y, wplane, hplane, qwplane, qb32, qb16, c0row, invrow, lane_x,
+                            &mut stats, true,
+                        );
+                        next += 1;
+                        if max_iters == 0 {
+                            finalize(
+                                filled,
+                                StopReason::IterationLimit,
+                                max_iters,
+                                &mut stats,
+                                &mut results,
+                                &mut unit_samples,
+                            );
+                        } else {
+                            slots[l] = Some(filled);
+                            busy += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        observer.fused_batch(
+            lanes,
+            units.len(),
+            stats.refills,
+            stats.busy_lane_iterations,
+            stats.idle_lane_iterations,
+        );
+        // Replay each unit's observer stream in unit order: identical to
+        // what sequential solves would have reported.
+        if observing {
+            for (samples, result) in unit_samples.iter().zip(results.iter()) {
+                let result = result.as_ref().expect("all units drained");
+                observer.sb_start(n, max_iters);
+                for &(iteration, energy, best, mean_amp) in samples {
+                    observer.sb_sample(iteration, energy, best, mean_amp);
+                }
+                observer.sb_stop(
+                    result.iterations,
+                    result.best_energy,
+                    result.stop_reason == StopReason::EnergySettled,
+                );
+            }
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("all units drained"))
+            .collect();
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StopCriterion;
+    use adis_ising::IsingBuilder;
+    use adis_telemetry::{NullObserver, Recorder};
+
+    /// Problems with identical dense structure (same CSR pattern content)
+    /// but different weights — the shape a COP cell produces.
+    fn patterned_problems(n: usize, count: usize, seed: u64) -> Vec<IsingProblem> {
+        (0..count)
+            .map(|k| {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed + k as u64);
+                let mut b = IsingBuilder::new(n);
+                for i in 0..n {
+                    let mut h = rng.gen_range(-1.0..1.0);
+                    if h == 0.0 {
+                        h = 0.5;
+                    }
+                    b.add_bias(i, h);
+                    for j in (i + 1)..n {
+                        let mut w = rng.gen_range(-1.0..1.0);
+                        if w == 0.0 {
+                            w = 0.5;
+                        }
+                        b.add_coupling(i, j, w);
+                    }
+                }
+                b.build()
+            })
+            .collect()
+    }
+
+    fn units_of(problems: &[IsingProblem], base_seed: u64) -> Vec<FusedUnit<'_>> {
+        problems
+            .iter()
+            .enumerate()
+            .map(|(k, p)| FusedUnit {
+                problem: p,
+                seed: base_seed + 10 * k as u64,
+            })
+            .collect()
+    }
+
+    fn assert_results_identical(a: &SbResult, b: &SbResult) {
+        assert_eq!(a.best_state, b.best_state);
+        assert_eq!(a.best_energy, b.best_energy);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.stop_reason, b.stop_reason);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn fused_units_match_sequential_solves_across_variants() {
+        let problems = patterned_problems(9, 7, 1000);
+        let units = units_of(&problems, 500);
+        for variant in [SbVariant::Ballistic, SbVariant::Discrete, SbVariant::Adiabatic] {
+            let solver = SbSolver::new()
+                .variant(variant)
+                .stop(StopCriterion::FixedIterations(200));
+            let mut scratch = FusedScratch::new();
+            let (results, stats) =
+                solver.solve_fused_with(&units, 3, &mut scratch, |_, _| {}, &mut NullObserver);
+            assert_eq!(results.len(), 7);
+            for (unit, result) in units.iter().zip(&results) {
+                let sequential = solver.clone().seed(unit.seed).solve(unit.problem);
+                assert_results_identical(result, &sequential);
+            }
+            assert_eq!(stats.lane_width, 3);
+            assert_eq!(stats.units, 7);
+            assert_eq!(stats.lanes_filled, 7);
+            assert_eq!(stats.refills, 4);
+            // 7 units × 200 iterations each, on 3 lanes over 600 global
+            // iterations (3 generations of retirement at t = 200).
+            assert_eq!(stats.busy_lane_iterations, 1400);
+            assert_eq!(stats.idle_lane_iterations, 400);
+            assert!((stats.occupancy() - 1400.0 / 1800.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn continuous_refill_under_dynamic_stop_matches_sequential() {
+        let problems = patterned_problems(8, 6, 2000);
+        let units = units_of(&problems, 70);
+        let solver = SbSolver::new()
+            .stop(StopCriterion::DynamicVariance {
+                sample_every: 5,
+                window: 5,
+                threshold: 1e-8,
+                max_iterations: 50_000,
+            })
+            .ramp(100);
+        let mut scratch = FusedScratch::new();
+        let (results, stats) =
+            solver.solve_fused_with(&units, 2, &mut scratch, |_, _| {}, &mut NullObserver);
+        let mut settled = 0;
+        for (unit, result) in units.iter().zip(&results) {
+            let sequential = solver.clone().seed(unit.seed).solve(unit.problem);
+            assert_results_identical(result, &sequential);
+            if result.stop_reason == StopReason::EnergySettled {
+                settled += 1;
+            }
+        }
+        assert_eq!(stats.refills, 4, "lanes must refill as units settle");
+        assert_eq!(stats.settled, settled);
+        assert!(settled > 0, "dynamic stop should fire on these instances");
+    }
+
+    #[test]
+    fn fused_quantized_lanes_match_sequential_quantized_solves() {
+        let problems = patterned_problems(9, 6, 3000);
+        assert!(problems.iter().all(|p| p.quantized().is_some()));
+        let units = units_of(&problems, 40);
+        let solver = SbSolver::new()
+            .variant(SbVariant::Discrete)
+            .precision(KernelPrecision::I16)
+            .stop(StopCriterion::FixedIterations(150));
+        // Cover a const width (4 is f64-only; 8 dispatches integer const
+        // kernels) and the dynamic fallback.
+        for lane_width in [3usize, 8] {
+            let mut scratch = FusedScratch::new();
+            let (results, _) = solver.solve_fused_with(
+                &units,
+                lane_width,
+                &mut scratch,
+                |_, _| {},
+                &mut NullObserver,
+            );
+            for (unit, result) in units.iter().zip(&results) {
+                let sequential = solver.clone().seed(unit.seed).solve(unit.problem);
+                assert_results_identical(result, &sequential);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_interventions_route_to_the_right_unit() {
+        let problems = patterned_problems(7, 5, 4000);
+        let units = units_of(&problems, 90);
+        let solver = SbSolver::new().stop(StopCriterion::FixedIterations(120));
+        // Clamp spin (unit_idx mod n) positive: each unit gets a
+        // *different* hook, so routing errors cannot cancel out.
+        let clamp = |u: usize, state: &mut SbState<'_>| {
+            let i = u % state.x.len();
+            state.x[i] = 1.0;
+            state.y[i] = 0.0;
+        };
+        let mut scratch = FusedScratch::new();
+        let (results, _) =
+            solver.solve_fused_with(&units, 2, &mut scratch, clamp, &mut NullObserver);
+        for (u, (unit, result)) in units.iter().zip(&results).enumerate() {
+            let sequential = solver.clone().seed(unit.seed).solve_with(
+                unit.problem,
+                |state| clamp(u, state),
+                &mut NullObserver,
+            );
+            assert_results_identical(result, &sequential);
+            assert_eq!(result.best_state.get(u % 7), 1);
+        }
+    }
+
+    #[test]
+    fn fused_observer_stream_matches_sequential_replay() {
+        let problems = patterned_problems(8, 4, 5000);
+        let units = units_of(&problems, 11);
+        let solver = SbSolver::new().stop(StopCriterion::FixedIterations(100));
+        let mut fused_rec = Recorder::new();
+        let mut scratch = FusedScratch::new();
+        solver.solve_fused_with(&units, 2, &mut scratch, |_, _| {}, &mut fused_rec);
+        let mut seq_rec = Recorder::new();
+        for unit in &units {
+            solver
+                .clone()
+                .seed(unit.seed)
+                .solve_with(unit.problem, |_| {}, &mut seq_rec);
+        }
+        assert_eq!(fused_rec.sb.runs, seq_rec.sb.runs);
+        assert_eq!(fused_rec.sb.total_iterations, seq_rec.sb.total_iterations);
+        assert_eq!(fused_rec.sb.samples, seq_rec.sb.samples);
+        assert_eq!(fused_rec.sb.best_energy, seq_rec.sb.best_energy);
+        assert_eq!(fused_rec.trajectory.samples(), seq_rec.trajectory.samples());
+    }
+
+    #[test]
+    fn zero_iteration_budget_retires_every_unit_at_fill() {
+        let problems = patterned_problems(6, 5, 6000);
+        let units = units_of(&problems, 7);
+        let solver = SbSolver::new().stop(StopCriterion::FixedIterations(0));
+        let mut scratch = FusedScratch::new();
+        let (results, stats) =
+            solver.solve_fused_with(&units, 2, &mut scratch, |_, _| {}, &mut NullObserver);
+        for (unit, result) in units.iter().zip(&results) {
+            let sequential = solver.clone().seed(unit.seed).solve(unit.problem);
+            assert_results_identical(result, &sequential);
+            assert_eq!(result.iterations, 0);
+            assert_eq!(result.stop_reason, StopReason::IterationLimit);
+            assert!(result.trace.is_empty());
+        }
+        assert_eq!(stats.lanes_filled, 5);
+        assert_eq!(stats.busy_lane_iterations, 0);
+    }
+
+    #[test]
+    fn more_lanes_than_units_stays_correct() {
+        let problems = patterned_problems(7, 3, 7000);
+        let units = units_of(&problems, 21);
+        let solver = SbSolver::new().stop(StopCriterion::FixedIterations(80));
+        let mut scratch = FusedScratch::new();
+        let (results, stats) =
+            solver.solve_fused_with(&units, 8, &mut scratch, |_, _| {}, &mut NullObserver);
+        for (unit, result) in units.iter().zip(&results) {
+            let sequential = solver.clone().seed(unit.seed).solve(unit.problem);
+            assert_results_identical(result, &sequential);
+        }
+        assert_eq!(stats.lanes_filled, 3);
+        assert_eq!(stats.refills, 0);
+        assert_eq!(stats.busy_lane_iterations, 3 * 80);
+        assert_eq!(stats.idle_lane_iterations, 5 * 80);
+    }
+
+    #[test]
+    fn reused_fused_scratch_is_bit_identical_to_fresh() {
+        let mut scratch = FusedScratch::new();
+        for (n, count, seed) in [(9usize, 5usize, 81u64), (6, 3, 82), (11, 4, 83)] {
+            let problems = patterned_problems(n, count, seed);
+            let units = units_of(&problems, seed * 3);
+            let solver = SbSolver::new().stop(StopCriterion::FixedIterations(90));
+            let mut fresh = FusedScratch::new();
+            let (a, _) =
+                solver.solve_fused_with(&units, 2, &mut fresh, |_, _| {}, &mut NullObserver);
+            let (b, _) =
+                solver.solve_fused_with(&units, 2, &mut scratch, |_, _| {}, &mut NullObserver);
+            for (ra, rb) in a.iter().zip(&b) {
+                assert_results_identical(ra, rb);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shared sparsity")]
+    fn mixed_patterns_are_rejected() {
+        let a = IsingBuilder::new(3).coupling(0, 1, 1.0).build();
+        let b = IsingBuilder::new(3).coupling(1, 2, 1.0).build();
+        let units = [
+            FusedUnit { problem: &a, seed: 1 },
+            FusedUnit { problem: &b, seed: 2 },
+        ];
+        SbSolver::new().solve_fused_with(
+            &units,
+            2,
+            &mut FusedScratch::new(),
+            |_, _| {},
+            &mut NullObserver,
+        );
+    }
+
+    #[test]
+    fn empty_unit_list_is_a_no_op() {
+        let (results, stats) = SbSolver::new().solve_fused_with(
+            &[],
+            4,
+            &mut FusedScratch::new(),
+            |_, _| {},
+            &mut NullObserver,
+        );
+        assert!(results.is_empty());
+        assert_eq!(stats.lanes_filled, 0);
+        assert_eq!(stats.occupancy(), 0.0);
+    }
+}

@@ -43,6 +43,14 @@
 //!   run — plus the best-replica convenience wrappers
 //!   ([`SbSolver::solve_batch`], [`SbSolver::solve_batch_in`]) with
 //!   deterministic seed assignment and selection;
+//! - a **fused multi-COP integrator**
+//!   ([`SbSolver::solve_fused_with`], [`FusedScratch`], [`FusedUnit`])
+//!   packing units of *different* problems that share one CSR sparsity
+//!   pattern into the lanes of a single batch — each CSR entry loads a
+//!   lane-vector of per-problem weights instead of a scalar broadcast,
+//!   every lane carries its own clock/ramp/`c₀`/stop state, and retired
+//!   lanes are refilled immediately from the pending queue
+//!   (continuous batching); occupancy is reported via [`FusedStats`];
 //! - a reduced-precision dSB kernel ([`KernelPrecision::I16`], selected
 //!   with [`SbSolver::precision`]): the coupling field accumulates `i16`
 //!   fixed-point weights over integer sign-mask rows — masked adds
@@ -74,6 +82,7 @@
 
 mod batch;
 mod config;
+mod fused;
 mod higher_order;
 mod quantized;
 mod scratch;
@@ -82,6 +91,7 @@ mod stop;
 
 pub use batch::SbBatchScratch;
 pub use config::ConfigError;
+pub use fused::{FusedScratch, FusedStats, FusedUnit};
 pub use higher_order::{HigherOrderSb, HigherOrderSbResult};
 pub use quantized::KernelPrecision;
 pub use scratch::{SbScratch, ScratchGuard, ScratchPool};

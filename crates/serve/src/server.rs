@@ -138,6 +138,15 @@ struct JobCounters {
     timed_out: AtomicU64,
     bad_requests: AtomicU64,
     running: AtomicU64,
+    // Fused multi-COP batch occupancy, summed over every job's recorder.
+    // Zero as long as jobs run single-candidate with a deadline (the
+    // fused path only engages for parallel, uncontrolled runs), but the
+    // seam keeps /v1/stats honest if that ever changes.
+    fused_batches: AtomicU64,
+    fused_units: AtomicU64,
+    fused_refills: AtomicU64,
+    fused_busy: AtomicU64,
+    fused_idle: AtomicU64,
 }
 
 struct Shared {
@@ -510,6 +519,32 @@ fn stats_body(shared: &Shared) -> Json {
             )]),
         ),
         (
+            "fused".to_string(),
+            Json::Obj(vec![
+                (
+                    "batches".to_string(),
+                    Json::Num(c.fused_batches.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "units".to_string(),
+                    Json::Num(c.fused_units.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "refills".to_string(),
+                    Json::Num(c.fused_refills.load(Ordering::Relaxed) as f64),
+                ),
+                ("occupancy".to_string(), {
+                    let busy = c.fused_busy.load(Ordering::Relaxed);
+                    let idle = c.fused_idle.load(Ordering::Relaxed);
+                    Json::Num(if busy + idle == 0 {
+                        1.0
+                    } else {
+                        busy as f64 / (busy + idle) as f64
+                    })
+                }),
+            ]),
+        ),
+        (
             "cache".to_string(),
             Json::Obj(vec![
                 ("hits".to_string(), Json::Num(cache.hits as f64)),
@@ -606,6 +641,15 @@ fn run_job(shared: &Shared, id: u64) {
         Err(_) => JobState::Failed("solver panicked".to_string()),
         Ok(Err(e)) => JobState::Failed(e.to_string()),
         Ok(Ok((outcome, recorder))) => {
+            let c = &shared.counters;
+            c.fused_batches
+                .fetch_add(recorder.sb.fused_batches as u64, Ordering::Relaxed);
+            c.fused_units
+                .fetch_add(recorder.sb.fused_units as u64, Ordering::Relaxed);
+            c.fused_refills
+                .fetch_add(recorder.sb.fused_refills as u64, Ordering::Relaxed);
+            c.fused_busy.fetch_add(recorder.sb.fused_busy, Ordering::Relaxed);
+            c.fused_idle.fetch_add(recorder.sb.fused_idle, Ordering::Relaxed);
             // Second half of the cooperative timeout: late results are
             // reported as timed out, never as done.
             if submitted.elapsed() >= shared.cfg.job_timeout {

@@ -421,12 +421,21 @@ fn stats_and_healthz_are_well_formed() {
 
     let (status, stats) = get(server.addr(), "/v1/stats");
     assert_eq!(status, 200);
-    for section in ["queue", "jobs", "http", "cache"] {
+    for section in ["queue", "jobs", "http", "fused", "cache"] {
         assert!(stats.get(section).is_some(), "missing {section}");
     }
     let cache = stats.get("cache").unwrap();
     for key in ["hits", "misses", "insertions", "evictions", "entries", "capacity", "hit_rate"] {
         assert!(cache.get(key).is_some(), "missing cache.{key}");
     }
+    let fused = stats.get("fused").unwrap();
+    for key in ["batches", "units", "refills", "occupancy"] {
+        assert!(fused.get(key).is_some(), "missing fused.{key}");
+    }
+    // Jobs run single-candidate with a deadline, so the fused path never
+    // engages in serving — the counters must be present but zero, and an
+    // idle fused meter reads full occupancy.
+    assert_eq!(fused.get("batches").and_then(Json::as_u64), Some(0));
+    assert_eq!(fused.get("occupancy").and_then(Json::as_f64), Some(1.0));
     server.shutdown();
 }

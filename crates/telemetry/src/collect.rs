@@ -151,6 +151,21 @@ pub struct SbStats {
     pub lanes_retired: usize,
     /// Widest single batch observed.
     pub max_batch: usize,
+    /// Fused multi-COP batches observed (one per sweep cell that ran on
+    /// the engine's fused lane-packing path).
+    pub fused_batches: usize,
+    /// `(COP, replica)` units drained through fused batches.
+    pub fused_units: usize,
+    /// Lane refills across all fused batches (a unit taking over a lane
+    /// another unit retired from mid-integration).
+    pub fused_refills: usize,
+    /// Lane-iterations that advanced a live unit, across fused batches.
+    pub fused_busy: u64,
+    /// Lane-iterations burned on already-retired lanes, across fused
+    /// batches.
+    pub fused_idle: u64,
+    /// Widest fused lane configuration observed.
+    pub fused_max_lane_width: usize,
 }
 
 impl SbStats {
@@ -158,6 +173,17 @@ impl SbStats {
         SbStats {
             best_energy: f64::INFINITY,
             ..Default::default()
+        }
+    }
+
+    /// Fraction of fused lane-iterations that advanced a live unit
+    /// (1.0 when no fused batch ran — nothing was wasted).
+    pub fn fused_occupancy(&self) -> f64 {
+        let total = self.fused_busy + self.fused_idle;
+        if total == 0 {
+            1.0
+        } else {
+            self.fused_busy as f64 / total as f64
         }
     }
 }
@@ -307,6 +333,22 @@ impl SolveObserver for Recorder {
         self.sb.max_batch = self.sb.max_batch.max(lanes);
     }
 
+    fn fused_batch(
+        &mut self,
+        lane_width: usize,
+        units: usize,
+        refills: usize,
+        busy_iterations: u64,
+        idle_iterations: u64,
+    ) {
+        self.sb.fused_batches += 1;
+        self.sb.fused_units += units;
+        self.sb.fused_refills += refills;
+        self.sb.fused_busy += busy_iterations;
+        self.sb.fused_idle += idle_iterations;
+        self.sb.fused_max_lane_width = self.sb.fused_max_lane_width.max(lane_width);
+    }
+
     fn cop_result(&mut self, round: usize, component: u32, partition: usize, objective: f64, iterations: usize) {
         self.cops.push(CopRecord {
             round,
@@ -406,6 +448,21 @@ mod tests {
         assert_eq!(r.sb.batched_lanes, 20);
         assert_eq!(r.sb.lanes_retired, 7);
         assert_eq!(r.sb.max_batch, 16);
+    }
+
+    #[test]
+    fn recorder_aggregates_fused_batches() {
+        let mut r = Recorder::new();
+        assert_eq!(r.sb.fused_occupancy(), 1.0);
+        r.fused_batch(16, 40, 24, 900, 100);
+        r.fused_batch(8, 10, 2, 80, 20);
+        assert_eq!(r.sb.fused_batches, 2);
+        assert_eq!(r.sb.fused_units, 50);
+        assert_eq!(r.sb.fused_refills, 26);
+        assert_eq!(r.sb.fused_busy, 980);
+        assert_eq!(r.sb.fused_idle, 120);
+        assert_eq!(r.sb.fused_max_lane_width, 16);
+        assert!((r.sb.fused_occupancy() - 980.0 / 1100.0).abs() < 1e-12);
     }
 
     #[test]

@@ -59,6 +59,25 @@ pub trait SolveObserver {
     #[inline]
     fn sb_batch(&mut self, _lanes: usize, _retired_early: usize) {}
 
+    /// A fused multi-COP batch drained its unit queue: `lane_width`
+    /// persistent lanes advanced `units` (COP, replica) units with
+    /// continuous refill — `refills` of the fills replaced a retired lane
+    /// mid-run. `busy_iterations` / `idle_iterations` count lane-iterations
+    /// spent integrating a live unit vs. spinning with the queue empty, so
+    /// `busy / (busy + idle)` is the batch's mean lane occupancy. Fires
+    /// once per fused batch, in addition to the per-unit
+    /// `sb_start`/`sb_sample`/`sb_stop` streams.
+    #[inline]
+    fn fused_batch(
+        &mut self,
+        _lane_width: usize,
+        _units: usize,
+        _refills: usize,
+        _busy_iterations: u64,
+        _idle_iterations: u64,
+    ) {
+    }
+
     /// One core-COP solve finished: in `round`, for output `component`,
     /// candidate partition index `partition`, with the achieved `objective`
     /// and the SB `iterations` it spent (0 for non-Ising solvers).
@@ -152,6 +171,17 @@ impl<O: SolveObserver + ?Sized> SolveObserver for &mut O {
     #[inline]
     fn sb_batch(&mut self, lanes: usize, retired_early: usize) {
         (**self).sb_batch(lanes, retired_early);
+    }
+    #[inline]
+    fn fused_batch(
+        &mut self,
+        lane_width: usize,
+        units: usize,
+        refills: usize,
+        busy_iterations: u64,
+        idle_iterations: u64,
+    ) {
+        (**self).fused_batch(lane_width, units, refills, busy_iterations, idle_iterations);
     }
     #[inline]
     fn cop_result(&mut self, round: usize, component: u32, partition: usize, objective: f64, iterations: usize) {

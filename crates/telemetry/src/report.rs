@@ -42,6 +42,16 @@ pub struct ReportCell {
     pub sb_batched_lanes: u64,
     /// Lanes retired early by the dynamic stop inside batches.
     pub sb_lanes_retired: u64,
+    /// Fused multi-COP batches run by the sweep engine (one per cell that
+    /// took the fused lane-packing path; 0 when it never engaged).
+    pub fused_batches: u64,
+    /// `(COP, replica)` units drained through fused batches.
+    pub fused_units: u64,
+    /// Lane refills across all fused batches.
+    pub fused_refills: u64,
+    /// Fraction of fused lane-iterations spent on live units (1.0 when no
+    /// fused batch ran).
+    pub fused_occupancy: f64,
     /// Best raw SB energy observed (`None` when no trajectory reported).
     pub best_energy: Option<f64>,
     /// Per-stage wall-clock totals within the cell.
@@ -67,6 +77,10 @@ impl ReportCell {
             sb_settled: 0,
             sb_batched_lanes: 0,
             sb_lanes_retired: 0,
+            fused_batches: 0,
+            fused_units: 0,
+            fused_refills: 0,
+            fused_occupancy: 1.0,
             best_energy: None,
             stages: StageTimings::new(),
             extra: Vec::new(),
@@ -84,6 +98,10 @@ impl ReportCell {
         self.sb_settled = rec.sb.settled as u64;
         self.sb_batched_lanes = rec.sb.batched_lanes as u64;
         self.sb_lanes_retired = rec.sb.lanes_retired as u64;
+        self.fused_batches = rec.sb.fused_batches as u64;
+        self.fused_units = rec.sb.fused_units as u64;
+        self.fused_refills = rec.sb.fused_refills as u64;
+        self.fused_occupancy = rec.sb.fused_occupancy();
         if rec.sb.best_energy.is_finite() {
             self.best_energy = Some(rec.sb.best_energy);
         }
@@ -122,6 +140,13 @@ impl ReportCell {
             (
                 "sb_lanes_retired".to_string(),
                 Json::Num(self.sb_lanes_retired as f64),
+            ),
+            ("fused_batches".to_string(), Json::Num(self.fused_batches as f64)),
+            ("fused_units".to_string(), Json::Num(self.fused_units as f64)),
+            ("fused_refills".to_string(), Json::Num(self.fused_refills as f64)),
+            (
+                "fused_occupancy".to_string(),
+                Json::Num(self.fused_occupancy),
             ),
             (
                 "best_energy".to_string(),
@@ -302,6 +327,7 @@ mod tests {
         rec.sb_start(21, 10_000);
         rec.sb_sample(20, -1.5, -1.5, 0.7);
         rec.sb_stop(120, -1.5, true);
+        rec.fused_batch(16, 40, 24, 900, 100);
         rec.stage_end("cop_sweep", Duration::from_millis(12));
 
         let mut report = RunReport::new("table1", 7);
@@ -325,6 +351,10 @@ mod tests {
             "\"cache_misses\":5",
             "\"sb_iterations\":120",
             "\"sb_settled\":1",
+            "\"fused_batches\":1",
+            "\"fused_units\":40",
+            "\"fused_refills\":24",
+            "\"fused_occupancy\":0.9",
             "\"best_energy\":-1.5",
             "\"objective\":3.25",
             "\"cop_sweep\":0.012",
