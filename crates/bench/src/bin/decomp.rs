@@ -1,0 +1,287 @@
+//! Large-`n` decomposition benchmark: a 16-input extended benchfn entry
+//! decomposed end-to-end through the partitioned block-coordinate COP
+//! path and the recursive multi-level cascade path, against the
+//! single-instance Ising baseline.
+//!
+//! Records the **quality-vs-budget** curve (partitioned MED as the
+//! coordination-sweep budget grows) and **wall-clock** for every variant,
+//! so the trade the partitioned solver makes — many small Ising instances
+//! instead of one `2r + c`-spin instance — is visible in one report.
+//!
+//! Writes `results/BENCH_decomp.json` (a deterministic name, so CI can
+//! upload it as an artifact).
+//!
+//! Usage:
+//!   cargo run --release -p adis-bench --bin decomp            # defaults
+//!   ... --bench rsqrt|sigmoid --partitions N --rounds N --seed N
+//!   ... --block-cols N --budgets 1,2,4 --levels N
+//!   ... --max-med X   # exit nonzero if any variant's MED exceeds X
+
+use adis_bench::stop_for;
+use adis_benchfn::{Benchmark, QuantScheme};
+use adis_core::{
+    Framework, IsingCopSolver, Mode, MultiLevelFramework, PartitionedCopSolver,
+};
+use adis_telemetry::{Json, Recorder, ReportCell, RunReport};
+use std::time::Instant;
+
+struct DecompConfig {
+    bench: String,
+    partitions: usize,
+    rounds: usize,
+    seed: u64,
+    block_cols: usize,
+    /// Coordination-sweep budgets for the quality-vs-budget curve.
+    budgets: Vec<usize>,
+    /// Multi-level recursion depth (`--levels 1` skips refinement).
+    levels: usize,
+    max_med: Option<f64>,
+}
+
+fn parse_args() -> DecompConfig {
+    let mut cfg = DecompConfig {
+        bench: "rsqrt".to_string(),
+        partitions: 2,
+        rounds: 1,
+        seed: 1,
+        block_cols: 64,
+        budgets: vec![1, 2, 4],
+        levels: 2,
+        max_med: None,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {
+                i += 1;
+                cfg.bench = args[i].clone();
+            }
+            "--partitions" => {
+                i += 1;
+                cfg.partitions = args[i].parse().expect("--partitions takes a number");
+            }
+            "--rounds" => {
+                i += 1;
+                cfg.rounds = args[i].parse().expect("--rounds takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args[i].parse().expect("--seed takes a number");
+            }
+            "--block-cols" => {
+                i += 1;
+                cfg.block_cols = args[i].parse().expect("--block-cols takes a number");
+            }
+            "--budgets" => {
+                i += 1;
+                cfg.budgets = args[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--budgets takes n,n,..."))
+                    .collect();
+                assert!(!cfg.budgets.is_empty(), "--budgets needs at least one entry");
+            }
+            "--levels" => {
+                i += 1;
+                cfg.levels = args[i].parse().expect("--levels takes a number");
+            }
+            "--max-med" => {
+                i += 1;
+                cfg.max_med = Some(args[i].parse().expect("--max-med takes a number"));
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+    cfg
+}
+
+fn benchmark_by_name(name: &str) -> Benchmark {
+    Benchmark::extended()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .unwrap_or_else(|| panic!("unknown benchmark: {name}"))
+}
+
+/// The outer framework every variant shares: joint mode on the paper's
+/// large scheme (`n = 16`, `|B| = 9` — COPs of 128 rows × 512 columns,
+/// 768 spins on the single-instance path).
+fn base_framework(cfg: &DecompConfig) -> Framework {
+    Framework::new(Mode::Joint, QuantScheme::Large.bound_size())
+        .partitions(cfg.partitions)
+        .rounds(cfg.rounds)
+        .seed(cfg.seed)
+}
+
+fn main() {
+    let cfg = parse_args();
+    let run_start = Instant::now();
+    let bench = benchmark_by_name(&cfg.bench);
+    let f = bench
+        .function(QuantScheme::Large)
+        .expect("extended entries support the large scheme");
+    assert!(
+        f.inputs() >= 16,
+        "decomp benchmark requires a large-n (>= 16 input) entry"
+    );
+
+    let mut report = RunReport::new("decomp", cfg.seed);
+    report
+        .config("bench", Json::Str(cfg.bench.clone()))
+        .config("partitions", Json::Num(cfg.partitions as f64))
+        .config("rounds", Json::Num(cfg.rounds as f64))
+        .config("block_cols", Json::Num(cfg.block_cols as f64))
+        .config(
+            "budgets",
+            Json::Arr(cfg.budgets.iter().map(|&s| Json::Num(s as f64)).collect()),
+        )
+        .config("levels", Json::Num(cfg.levels as f64));
+    println!(
+        "Large-n decomposition — {} (n = {}, m = {}), joint mode, |B| = {}",
+        cfg.bench,
+        f.inputs(),
+        f.outputs(),
+        QuantScheme::Large.bound_size()
+    );
+    println!(
+        "config: P = {} partitions, R = {} rounds, block_cols = {}, seed {}\n",
+        cfg.partitions, cfg.rounds, cfg.block_cols, cfg.seed
+    );
+    println!(
+        "{:<18} {:>10} {:>10} {:>9} {:>12}",
+        "variant", "med", "time(s)", "vs single", "bits"
+    );
+    println!("{}", "-".repeat(64));
+
+    let mut meds: Vec<(String, f64)> = Vec::new();
+
+    // Single-instance baseline: one bSB run over the full 2r + c spins.
+    let single = {
+        let mut rec = Recorder::new().keep_trajectory(false);
+        let fw = base_framework(&cfg)
+            .solver(IsingCopSolver::new().stop(stop_for(QuantScheme::Large)));
+        let outcome = fw.decompose_with(&f, &mut rec);
+        let mut cell = ReportCell::new(&cfg.bench, "Joint", "single").absorb(&rec);
+        cell.objective = outcome.med;
+        cell.seconds = outcome.elapsed.as_secs_f64();
+        cell.extra.push(("er".to_string(), Json::Num(outcome.er)));
+        report.push(cell);
+        println!(
+            "{:<18} {:>10.4} {:>10.3} {:>9} {:>12}",
+            "single",
+            outcome.med,
+            outcome.elapsed.as_secs_f64(),
+            "1.00x",
+            outcome.to_lut().size_bits()
+        );
+        meds.push(("single".to_string(), outcome.med));
+        outcome
+    };
+    let single_secs = single.elapsed.as_secs_f64();
+
+    // Quality-vs-budget: the partitioned solver at increasing
+    // coordination-sweep budgets, same outer framework.
+    for &sweeps in &cfg.budgets {
+        let mut rec = Recorder::new().keep_trajectory(false);
+        let solver = PartitionedCopSolver::new()
+            .inner(IsingCopSolver::new().stop(stop_for(QuantScheme::Large)))
+            .block_cols(cfg.block_cols)
+            .sweeps(sweeps);
+        let fw = base_framework(&cfg).solver(solver);
+        let outcome = fw.decompose_with(&f, &mut rec);
+        let label = format!("partitioned-s{sweeps}");
+        let mut cell = ReportCell::new(&cfg.bench, "Joint", &label).absorb(&rec);
+        cell.objective = outcome.med;
+        cell.seconds = outcome.elapsed.as_secs_f64();
+        let speedup = single_secs / outcome.elapsed.as_secs_f64().max(1e-9);
+        cell.extra.push(("er".to_string(), Json::Num(outcome.er)));
+        cell.extra
+            .push(("sweeps".to_string(), Json::Num(sweeps as f64)));
+        cell.extra
+            .push(("block_cols".to_string(), Json::Num(cfg.block_cols as f64)));
+        cell.extra
+            .push(("speedup_vs_single".to_string(), Json::Num(speedup)));
+        report.push(cell);
+        println!(
+            "{:<18} {:>10.4} {:>10.3} {:>8.2}x {:>12}",
+            label,
+            outcome.med,
+            outcome.elapsed.as_secs_f64(),
+            speedup,
+            outcome.to_lut().size_bits()
+        );
+        meds.push((label, outcome.med));
+    }
+
+    // Multi-level cascade over the partitioned solver: the extracted φ/F
+    // sub-functions are themselves decomposed, shrinking the LUTs further.
+    {
+        let mut rec = Recorder::new().keep_trajectory(false);
+        let base = base_framework(&cfg).solver(
+            PartitionedCopSolver::new()
+                .inner(IsingCopSolver::new().stop(stop_for(QuantScheme::Large)))
+                .block_cols(cfg.block_cols)
+                .sweeps(*cfg.budgets.last().expect("budgets is non-empty")),
+        );
+        let ml = MultiLevelFramework::new(base, cfg.levels).min_inputs(8);
+        let outcome = ml
+            .decompose_with(&f, &mut rec)
+            .expect("multi-level configuration is valid");
+        let mut cell = ReportCell::new(&cfg.bench, "Joint", "multilevel").absorb(&rec);
+        cell.objective = outcome.med;
+        cell.seconds = outcome.elapsed.as_secs_f64();
+        let speedup = single_secs / outcome.elapsed.as_secs_f64().max(1e-9);
+        cell.extra.push(("er".to_string(), Json::Num(outcome.er)));
+        cell.extra
+            .push(("levels".to_string(), Json::Num(outcome.levels.len() as f64)));
+        cell.extra.push((
+            "cascade_bits".to_string(),
+            Json::Num(outcome.cascade_bits as f64),
+        ));
+        cell.extra.push((
+            "direct_bits".to_string(),
+            Json::Num(outcome.direct_bits as f64),
+        ));
+        cell.extra
+            .push(("speedup_vs_single".to_string(), Json::Num(speedup)));
+        report.push(cell);
+        println!(
+            "{:<18} {:>10.4} {:>10.3} {:>8.2}x {:>12}",
+            "multilevel",
+            outcome.med,
+            outcome.elapsed.as_secs_f64(),
+            speedup,
+            outcome.cascade_bits
+        );
+        meds.push(("multilevel".to_string(), outcome.med));
+        assert!(
+            outcome.cascade_bits < outcome.direct_bits,
+            "the cascade must be smaller than the direct table"
+        );
+    }
+
+    println!("{}", "-".repeat(64));
+    report.total_wall(run_start.elapsed());
+    match report.write_named("results", "BENCH_decomp.json") {
+        Ok(path) => println!("run report: {}", path.display()),
+        Err(e) => eprintln!("could not write run report: {e}"),
+    }
+
+    for (label, med) in &meds {
+        assert!(
+            med.is_finite() && *med >= 0.0,
+            "{label}: MED must be finite and non-negative"
+        );
+    }
+    if let Some(max) = cfg.max_med {
+        let worst = meds
+            .iter()
+            .map(|(_, m)| *m)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if worst > max {
+            eprintln!("FAIL: worst MED {worst:.4} > allowed {max:.4}");
+            std::process::exit(1);
+        }
+        println!("MED ceiling {max:.4} satisfied (worst {worst:.4})");
+    }
+}

@@ -19,6 +19,13 @@ pub enum Benchmark {
     Inversek2j,
     /// Gate-level 8×8 array multiplier (Fig. 4, `m = 16`).
     Multiplier,
+    /// Inverse square root `1/√x` on `[1, 4] → [0.5, 1]`, 16-input only.
+    /// An extended large-`n` entry (not part of the paper's ten): the
+    /// workload the multi-level/partitioned decomposition path targets.
+    Rsqrt,
+    /// Logistic sigmoid `1/(1+e^{−x})` on `[−6, 6] → [0, 1]`, 16-input
+    /// only. Extended large-`n` entry, like [`Benchmark::Rsqrt`].
+    Sigmoid,
 }
 
 /// The two quantization schemes of Section 4.
@@ -103,6 +110,14 @@ impl Benchmark {
         v
     }
 
+    /// The paper's ten plus the extended large-`n` (16-input-only)
+    /// entries used by the multi-level/partitioned decomposition bench.
+    pub fn extended() -> Vec<Benchmark> {
+        let mut v = Self::all();
+        v.extend([Benchmark::Rsqrt, Benchmark::Sigmoid]);
+        v
+    }
+
     /// Display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -111,6 +126,8 @@ impl Benchmark {
             Benchmark::Forwardk2j => "forwardk2j",
             Benchmark::Inversek2j => "inversek2j",
             Benchmark::Multiplier => "multiplier",
+            Benchmark::Rsqrt => "rsqrt",
+            Benchmark::Sigmoid => "sigmoid",
         }
     }
 
@@ -118,7 +135,8 @@ impl Benchmark {
     pub fn supports(self, scheme: QuantScheme) -> bool {
         match self {
             Benchmark::Continuous(_) => true,
-            // The paper evaluates the arithmetic circuits only at n = 16.
+            // The paper evaluates the arithmetic circuits only at n = 16;
+            // the extended entries exist only at n = 16 by design.
             _ => scheme == QuantScheme::Large,
         }
     }
@@ -152,6 +170,14 @@ impl Benchmark {
             Benchmark::Multiplier => Ok(netlist_to_function(&array_multiplier(n / 2))),
             Benchmark::Forwardk2j => Ok(crate::forwardk2j(n, m)?),
             Benchmark::Inversek2j => Ok(crate::inversek2j(n, m)?),
+            Benchmark::Rsqrt => {
+                let q = crate::Quantizer::new(n, m, (1.0, 4.0), (0.5, 1.0))?;
+                Ok(q.quantize(|x| 1.0 / x.sqrt()))
+            }
+            Benchmark::Sigmoid => {
+                let q = crate::Quantizer::new(n, m, (-6.0, 6.0), (0.0, 1.0))?;
+                Ok(q.quantize(|x| 1.0 / (1.0 + (-x).exp())))
+            }
         }
     }
 }
@@ -164,6 +190,26 @@ mod tests {
     fn suite_sizes() {
         assert_eq!(Benchmark::continuous().len(), 6);
         assert_eq!(Benchmark::all().len(), 10);
+        assert_eq!(Benchmark::extended().len(), 12);
+        let names: std::collections::HashSet<_> =
+            Benchmark::extended().iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn extended_entries_are_large_only_and_monotone() {
+        for b in [Benchmark::Rsqrt, Benchmark::Sigmoid] {
+            assert!(b.function(QuantScheme::Small).is_err());
+            let f = b.function(QuantScheme::Large).unwrap();
+            assert_eq!(f.inputs(), 16);
+            assert_eq!(f.outputs(), 16);
+        }
+        // rsqrt decreasing on [1, 4]: max word at 0, min at the end.
+        let r = Benchmark::Rsqrt.function(QuantScheme::Large).unwrap();
+        assert!(r.eval_word(0) > r.eval_word(65535));
+        // sigmoid increasing on [-6, 6].
+        let s = Benchmark::Sigmoid.function(QuantScheme::Large).unwrap();
+        assert!(s.eval_word(0) < s.eval_word(65535));
     }
 
     #[test]

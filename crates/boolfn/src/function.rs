@@ -51,6 +51,13 @@ impl MultiOutputFn {
     /// Panics if `outputs > 64` or `inputs > TruthTable::MAX_INPUTS`.
     pub fn from_word_fn<F: FnMut(u64) -> u64>(inputs: u32, outputs: u32, mut f: F) -> Self {
         assert!((1..=64).contains(&outputs), "outputs must be in 1..=64");
+        // Guard before `1usize << inputs`: at `inputs >= 64` the shift
+        // itself overflows, and anything past MAX_INPUTS would otherwise
+        // attempt enormous allocations before `from_bits` could object.
+        assert!(
+            inputs <= TruthTable::MAX_INPUTS,
+            "too many inputs: {inputs}"
+        );
         let n = 1usize << inputs;
         let mut bits: Vec<BitVec> = (0..outputs).map(|_| BitVec::zeros(n)).collect();
         for p in 0..n {
@@ -172,6 +179,26 @@ mod tests {
         let mut f = MultiOutputFn::from_word_fn(2, 2, |_| 0);
         f.set_component(1, TruthTable::constant(2, true));
         assert_eq!(f.eval_word(0), 0b10);
+    }
+
+    #[test]
+    fn full_width_output_words_round_trip() {
+        // outputs = 64 exercises `w >> 63` / `1 << 63` at the word boundary.
+        let f = MultiOutputFn::from_word_fn(2, 64, |p| {
+            (1u64 << 63) | p // MSB always set
+        });
+        for p in 0..4u64 {
+            assert_eq!(f.eval_word(p), (1u64 << 63) | p);
+            assert!(f.eval_bit(63, p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many inputs")]
+    fn from_word_fn_rejects_oversized_inputs_before_shifting() {
+        // 64 inputs would be `1usize << 64` — a shift overflow — if the
+        // guard ran after the shift.
+        MultiOutputFn::from_word_fn(64, 1, |_| 0);
     }
 
     #[test]

@@ -287,6 +287,72 @@ mod tests {
         }
     }
 
+    // Degenerate shapes: `bound_size == 0` leaves `φ` with no inputs and
+    // `bound_size == inputs` leaves `F` with only the φ wire — neither is a
+    // disjoint decomposition, so the constructors reject both. These tests
+    // pin that contract (the framework layer mirrors it with
+    // `ConfigError::{ZeroBoundSize, BoundSizeTooLarge}`).
+
+    #[test]
+    fn degenerate_bound_sets_rejected_by_new() {
+        // bound_size == 0: the bound set is empty.
+        assert_eq!(
+            Partition::new(3, vec![0, 1, 2], vec![]),
+            Err(PartitionError::EmptySet)
+        );
+        // bound_size == inputs: the free set is empty.
+        assert_eq!(
+            Partition::new(3, vec![], vec![0, 1, 2]),
+            Err(PartitionError::EmptySet)
+        );
+        assert_eq!(
+            Partition::from_bound(3, vec![0, 1, 2]),
+            Err(PartitionError::EmptySet)
+        );
+        assert_eq!(Partition::from_bound(3, vec![]), Err(PartitionError::EmptySet));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound size must be in 1..inputs")]
+    fn random_rejects_zero_bound_size() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        Partition::random(4, 0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound size must be in 1..inputs")]
+    fn random_rejects_full_bound_size() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        Partition::random(4, 4, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound size must be in 1..inputs")]
+    fn enumerate_rejects_zero_bound_size() {
+        Partition::enumerate(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound size must be in 1..inputs")]
+    fn enumerate_rejects_full_bound_size() {
+        Partition::enumerate(4, 4);
+    }
+
+    #[test]
+    fn minimal_valid_shapes_still_work() {
+        // The smallest legal function (n = 2) admits exactly the two
+        // single-variable bound sets — the trivial-but-valid extreme.
+        let all = Partition::enumerate(2, 1);
+        assert_eq!(all.len(), 2);
+        for w in &all {
+            assert_eq!((w.rows(), w.cols()), (2, 2));
+            for p in 0..4u64 {
+                let (i, j) = w.split(p);
+                assert_eq!(w.compose(i, j), p);
+            }
+        }
+    }
+
     #[test]
     fn paper_example_partition() {
         // Fig. 2: A = {x1, x2}, B = {x3, x4} (1-based in the paper).

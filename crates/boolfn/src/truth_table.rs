@@ -60,7 +60,15 @@ impl TruthTable {
     }
 
     /// The constant-`value` function of `inputs` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > Self::MAX_INPUTS`.
     pub fn constant(inputs: u32, value: bool) -> Self {
+        // Check before shifting: `1 << inputs` with `inputs >= 64` is a
+        // shift overflow (and 31..64 would attempt a gigantic allocation
+        // before `from_bits` could reject it).
+        assert!(inputs <= Self::MAX_INPUTS, "too many inputs: {inputs}");
         if value {
             TruthTable::from_bits(inputs, BitVec::ones(1 << inputs))
         } else {
@@ -200,5 +208,24 @@ mod tests {
     #[should_panic(expected = "length must be 2^inputs")]
     fn from_bits_length_checked() {
         TruthTable::from_bits(2, BitVec::zeros(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many inputs")]
+    fn from_fn_rejects_oversized_inputs() {
+        TruthTable::from_fn(TruthTable::MAX_INPUTS + 1, |_| false);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many inputs")]
+    fn constant_rejects_oversized_inputs_before_shifting() {
+        // 64 would be a shift overflow if the guard ran after `1 << inputs`.
+        TruthTable::constant(64, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many inputs")]
+    fn constant_rejects_just_past_max() {
+        TruthTable::constant(TruthTable::MAX_INPUTS + 1, false);
     }
 }

@@ -1,0 +1,147 @@
+//! Family 8 — the partitioned COP solver and the multi-level cascade
+//! against exact recomputation.
+//!
+//! The block-coordinate partitioned solver trades one large Ising
+//! instance for many small coordinated ones; the multi-level framework
+//! re-decomposes the extracted `φ`/`F` sub-functions into cascades. Both
+//! keep the stack's core promises, and this family checks them on
+//! randomized instances:
+//!
+//! 1. **One-sided bound**: on exhaustively solvable COPs the partitioned
+//!    solver's reported objective is the exact objective of the setting
+//!    it returns, and never beats the exhaustive optimum — exactly like
+//!    every other heuristic in the roster.
+//! 2. **Determinism**: re-solving the same COP under the same
+//!    [`SolveCtx`] seed is bit-identical (the memoization contract), and
+//!    differently configured partitioned solvers (and the bare inner
+//!    solver) occupy distinct cache-fingerprint namespaces.
+//! 3. **Reconstruction metrics**: the multi-level outcome's reported
+//!    MED/ER equal a from-scratch `boolfn::metrics` recomputation on the
+//!    materialized approximation, every cascade node evaluates exactly
+//!    like the approximation's own table, and the reported cascade size
+//!    is the sum of its leaf LUTs.
+
+use crate::{random_fn, Collector};
+use adis_boolfn::{error_rate_multi, mean_error_distance, InputDist};
+use adis_core::{
+    ColumnCop, CopScratch, CopSolver, Framework, IsingCopSolver, Mode, MultiLevelFramework,
+    PartitionedCopSolver, SolveCtx,
+};
+use adis_sb::StopCriterion;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+const TOL: f64 = 1e-9;
+
+pub(crate) fn run_case(col: &mut Collector, case: usize, rng: &mut ChaCha8Rng) {
+    // --- Partitioned COP: one-sided bound, exactness, determinism. ---
+    let r = rng.gen_range(2..=4usize);
+    let c = rng.gen_range(6..=12usize);
+    let weights: Vec<f64> = (0..r * c)
+        .map(|_| if rng.gen_bool(0.1) { 0.0 } else { rng.gen_range(-1.0..1.0) })
+        .collect();
+    let cop = ColumnCop::from_weights(r, c, weights, rng.gen_range(0.0..1.0));
+    let opt = cop.objective(&cop.solve_exhaustive());
+
+    let inner = IsingCopSolver::new()
+        .stop(StopCriterion::FixedIterations(rng.gen_range(100..=300)));
+    let block_cols = rng.gen_range(2..=4usize);
+    let sweeps = rng.gen_range(1..=3usize);
+    let solver = PartitionedCopSolver::new()
+        .inner(inner.clone())
+        .block_cols(block_cols)
+        .sweeps(sweeps);
+    let seed = rng.gen_range(0..u64::MAX);
+    let mut scratch = CopScratch::new();
+    let res = solver.solve_cop(&cop, &SolveCtx::new(seed), &mut scratch);
+    col.close(
+        case,
+        "partitioned reported objective vs its own setting",
+        res.objective,
+        cop.objective(&res.setting),
+        TOL,
+    );
+    col.check(case, res.objective >= opt - TOL, || {
+        format!(
+            "partitioned solver reported {} — better than the exhaustive optimum {opt} \
+             (block_cols {block_cols}, sweeps {sweeps})",
+            res.objective
+        )
+    });
+    let replay = solver.solve_cop(&cop, &SolveCtx::new(seed), &mut scratch);
+    col.check(
+        case,
+        replay.objective.to_bits() == res.objective.to_bits() && replay.setting == res.setting,
+        || "partitioned solve is not deterministic under a fixed seed".to_string(),
+    );
+    col.check(
+        case,
+        CopSolver::fingerprint(&solver)
+            != CopSolver::fingerprint(
+                &PartitionedCopSolver::new()
+                    .inner(inner.clone())
+                    .block_cols(block_cols + 1)
+                    .sweeps(sweeps),
+            )
+            && CopSolver::fingerprint(&solver) != CopSolver::fingerprint(&inner),
+        || "partitioned solver configurations share a cache fingerprint".to_string(),
+    );
+
+    // --- Multi-level cascade: reported metrics vs from-scratch oracle. ---
+    let inputs = rng.gen_range(5..=6u32);
+    let outputs = rng.gen_range(2..=3u32);
+    let f = random_fn(rng, inputs, outputs);
+    let mode = if rng.gen_bool(0.5) { Mode::Joint } else { Mode::Separate };
+    let base = Framework::new(mode, rng.gen_range(2..=3))
+        .solver(IsingCopSolver::new().stop(StopCriterion::FixedIterations(150)))
+        .partitions(2)
+        .rounds(1)
+        .seed(rng.gen_range(0..u64::MAX));
+    let mut ml = MultiLevelFramework::new(base, 2).min_inputs(3);
+    if rng.gen_bool(0.5) {
+        ml = ml.error_budget(rng.gen_range(0.0..2.0));
+    }
+    match ml.decompose(&f) {
+        Err(e) => col.check(case, false, || {
+            format!("multi-level decomposition rejected a valid config: {e}")
+        }),
+        Ok(out) => {
+            col.close(
+                case,
+                "multi-level MED vs from-scratch recomputation",
+                out.med,
+                mean_error_distance(&f, &out.approx, &InputDist::Uniform),
+                TOL,
+            );
+            col.close(
+                case,
+                "multi-level ER vs from-scratch recomputation",
+                out.er,
+                error_rate_multi(&f, &out.approx, &InputDist::Uniform),
+                TOL,
+            );
+            col.check(case, out.nodes.len() == outputs as usize, || {
+                format!("expected {} cascade roots, got {}", outputs, out.nodes.len())
+            });
+            let mut nodes_match = true;
+            for (k, node) in out.nodes.iter().enumerate() {
+                for p in 0..(1u64 << inputs) {
+                    if node.eval(p) != out.approx.eval_bit(k as u32, p) {
+                        nodes_match = false;
+                    }
+                }
+            }
+            col.check(case, nodes_match, || {
+                "cascade node evaluation diverges from the materialized approximation"
+                    .to_string()
+            });
+            let bits: u64 = out.nodes.iter().map(|n| n.size_bits()).sum();
+            col.check(case, bits == out.cascade_bits, || {
+                format!(
+                    "cascade_bits {} != sum of node sizes {bits}",
+                    out.cascade_bits
+                )
+            });
+        }
+    }
+}

@@ -31,8 +31,14 @@
 //!   iteration sums, and memo hit/miss accounting — to both the per-COP
 //!   parallel sweep and the sequential oracle, and it demonstrably
 //!   engages (non-vacuous occupancy counters).
+//! - **Decomposition**: the block-coordinate
+//!   [`adis_core::PartitionedCopSolver`] reports exact objectives for the
+//!   settings it returns (one-sided bound against the exhaustive
+//!   optimum, deterministic per seed, fingerprint-namespaced), and the
+//!   [`adis_core::MultiLevelFramework`]'s reported MED/ER match a
+//!   from-scratch metrics recomputation on the reconstructed cascade.
 //!
-//! This crate checks all seven families on randomized instances, collects
+//! This crate checks all eight families on randomized instances, collects
 //! any violation as a [`Discrepancy`], and (through the `adis-check`
 //! binary) emits a machine-readable [`RunReport`] — a differential oracle
 //! in the fuzzing sense, with a bounded, seeded case budget so CI runs are
@@ -50,6 +56,7 @@ use std::fmt;
 
 mod batch_identity;
 mod config_sweep;
+mod decomposition;
 mod differential;
 mod fused_batch;
 mod oracle;
@@ -74,7 +81,7 @@ impl Default for CheckConfig {
     }
 }
 
-/// The seven check families.
+/// The eight check families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Family {
     /// Ground-truth oracle: COP objective == direct metrics recomputation
@@ -99,10 +106,15 @@ pub enum Family {
     /// matching hit/miss accounting, and non-vacuous engagement, under
     /// random generic-path configs (f64 and i16 kernels).
     FusedBatch,
+    /// Partitioned COP solving (one-sided objective bound vs exhaustive,
+    /// determinism, fingerprint namespacing) and multi-level cascades
+    /// (reported MED/ER re-verified against from-scratch metrics of the
+    /// reconstructed approximation).
+    Decomposition,
 }
 
 /// All families, in execution order.
-pub const FAMILIES: [Family; 7] = [
+pub const FAMILIES: [Family; 8] = [
     Family::Oracle,
     Family::CrossSolver,
     Family::ConfigSweep,
@@ -110,6 +122,7 @@ pub const FAMILIES: [Family; 7] = [
     Family::SharedCache,
     Family::Quantized,
     Family::FusedBatch,
+    Family::Decomposition,
 ];
 
 impl Family {
@@ -123,6 +136,7 @@ impl Family {
             Family::SharedCache => "shared-cache",
             Family::Quantized => "quantized",
             Family::FusedBatch => "fused-batch",
+            Family::Decomposition => "decomposition",
         }
     }
 
@@ -131,7 +145,10 @@ impl Family {
     pub fn cases(self, base: usize) -> usize {
         match self {
             Family::Oracle | Family::CrossSolver => base.max(1),
-            Family::ConfigSweep | Family::SharedCache | Family::FusedBatch => (base / 10).max(1),
+            Family::ConfigSweep
+            | Family::SharedCache
+            | Family::FusedBatch
+            | Family::Decomposition => (base / 10).max(1),
             Family::BatchIdentity | Family::Quantized => (base / 5).max(1),
         }
     }
@@ -145,6 +162,7 @@ impl Family {
             Family::SharedCache => 5,
             Family::Quantized => 6,
             Family::FusedBatch => 7,
+            Family::Decomposition => 8,
         }
     }
 }
@@ -250,6 +268,7 @@ pub fn run_family(family: Family, cfg: &CheckConfig) -> FamilyOutcome {
             Family::SharedCache => shared_cache::run_case(&mut col, case, &mut rng),
             Family::Quantized => quantized::run_case(&mut col, case, &mut rng),
             Family::FusedBatch => fused_batch::run_case(&mut col, case, &mut rng),
+            Family::Decomposition => decomposition::run_case(&mut col, case, &mut rng),
         }
     }
     col.finish(cases)

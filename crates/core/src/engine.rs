@@ -96,6 +96,9 @@ fn build_cop(
             (cop, key)
         }
         Mode::Joint => {
+            // `1u64 << k` below requires k ≤ 63; MultiOutputFn caps the
+            // output count at 64, so every component index satisfies it.
+            debug_assert!(k < 64, "component index {k} out of shift range");
             let (r, c) = (w.rows(), w.cols());
             let mut offsets = vec![0i64; r * c];
             let mut probs = vec![0.0; r * c];
@@ -639,7 +642,7 @@ pub(crate) fn run<O: SolveObserver>(
             for p in 0..num_patterns as u64 {
                 let bit = table.eval(p);
                 if bit {
-                    approx_words[p as usize] |= 1 << k;
+                    approx_words[p as usize] |= 1u64 << k;
                 } else {
                     approx_words[p as usize] &= !(1u64 << k);
                 }

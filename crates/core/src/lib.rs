@@ -46,7 +46,17 @@
 //!   — sharded, clock-evicting, namespaced by solver fingerprint and
 //!   framework seed — attached via [`Framework::shared_cache`]. Because
 //!   solver seeds are content-derived, a hit returns bit-for-bit what
-//!   recomputing would have, at any capacity and under any concurrency.
+//!   recomputing would have, at any capacity and under any concurrency;
+//! - [`PartitionedCopSolver`]: block-coordinate partitioned COP solving
+//!   for instances whose `2r + c` spin count outgrows a single Ising
+//!   instance — the type vector is split into column blocks solved by
+//!   coordinated inner bSB runs against boundary terms frozen from the
+//!   incumbent, iterated to a fixed point;
+//! - [`MultiLevelFramework`]: recursive multi-level decomposition — the
+//!   extracted `φ` and `F` sub-functions are themselves decomposed into
+//!   [`CascadeNode`] LUT cascades, under a global error budget allocated
+//!   across levels and reconciled against from-scratch metrics of the
+//!   final reconstruction.
 //!
 //! # Mapping to the paper
 //!
@@ -92,6 +102,8 @@ mod cop_solver;
 mod engine;
 mod framework;
 mod ising_solver;
+mod multilevel;
+mod partitioned;
 mod portfolio;
 mod row;
 
@@ -102,6 +114,8 @@ pub use cop_solver::{
     CopOutcome, CopScratch, CopSolver, DochCopSolver, FusedSpec, HaltReason, SimCimCopSolver,
     SolveCtx,
 };
+pub use multilevel::{CascadeNode, LevelReport, MultiLevelFramework, MultiLevelOutcome};
+pub use partitioned::{PartitionedCopSolver, DEFAULT_BLOCK_COLS, DEFAULT_SWEEPS};
 pub use portfolio::PortfolioSolver;
 pub use framework::{
     ComponentChoice, ConfigError, CopSolverKind, DecompositionOutcome, Framework, Mode,

@@ -1,0 +1,542 @@
+//! Recursive multi-level decomposition into LUT cascades.
+//!
+//! A single [`Framework`] pass rewrites every output as `F(φ(B), A)`: one
+//! level of decomposition, two LUTs per output. For large input counts
+//! the extracted sub-functions are themselves big LUTs (`φ` has `|B|`
+//! inputs, `F` has `|A| + 1`), and nothing stops the same machinery from
+//! decomposing *them*. [`MultiLevelFramework`] does exactly that: level 0
+//! runs the base framework on the whole function; each further level
+//! sweeps the current cascades' flat leaves and, for every leaf still
+//! large enough, runs a fresh single-output decomposition on it,
+//! replacing the leaf with a deeper [`CascadeNode::Split`].
+//!
+//! ## The error budget
+//!
+//! Every refinement stacks approximation error, so acceptance is governed
+//! by a **global** budget on the final reconstruction's error (MED in
+//! [`Mode::Joint`], word error rate in [`Mode::Separate`]), not by
+//! per-solve objectives. The budget headroom above the level-0 error is
+//! allocated linearly across the remaining levels: a refinement at level
+//! `L` is kept only while the *re-measured, from-scratch* error of the
+//! whole reconstructed cascade stays within level `L`'s allowance;
+//! otherwise the leaf reverts to its flat table. The reported
+//! [`MultiLevelOutcome::med`]/[`er`](MultiLevelOutcome::er) are always
+//! recomputed from the materialized cascade — never summed from per-level
+//! estimates — which is what the adis-check "decomposition" family
+//! re-verifies. Without a budget every refinement is kept (the caller
+//! asked for depth; bits are the objective, error the price).
+//!
+//! Sub-level solves always weight errors uniformly: an explicit top-level
+//! input distribution does not marginalize onto a leaf's local input
+//! space, so only the *acceptance* metric (which is measured on the full
+//! input space) uses the configured distribution.
+
+use crate::framework::{ConfigError, Framework};
+use crate::Mode;
+use adis_boolfn::{
+    error_rate_multi, mean_error_distance, InputDist, MultiOutputFn, Partition, TruthTable,
+};
+use adis_telemetry::{NullObserver, SolveObserver};
+use std::time::{Duration, Instant};
+
+/// One node of a decomposed LUT cascade: either a materialized truth
+/// table, or a split `F(φ(B), A)` whose two sub-functions are themselves
+/// cascade nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CascadeNode {
+    /// A flat LUT over this node's inputs.
+    Flat(TruthTable),
+    /// A one-level disjoint decomposition `F(φ(B), A)`.
+    Split {
+        /// The input partition this split decomposes over.
+        partition: Partition,
+        /// The bound-set function `φ` over `|B|` inputs.
+        phi: Box<CascadeNode>,
+        /// The free-set function `F` over `|A| + 1` inputs; input bit 0
+        /// is the `φ` value (the [`ColumnSetting::compose_f`]
+        /// convention).
+        ///
+        /// [`ColumnSetting::compose_f`]: adis_boolfn::ColumnSetting::compose_f
+        f: Box<CascadeNode>,
+    },
+}
+
+impl CascadeNode {
+    /// Number of input variables this node consumes.
+    pub fn inputs(&self) -> u32 {
+        match self {
+            CascadeNode::Flat(t) => t.inputs(),
+            CascadeNode::Split { partition, .. } => partition.inputs(),
+        }
+    }
+
+    /// Evaluates the cascade on `pattern` (over this node's inputs).
+    pub fn eval(&self, pattern: u64) -> bool {
+        match self {
+            CascadeNode::Flat(t) => t.eval(pattern),
+            CascadeNode::Split { partition, phi, f } => {
+                let (row, col) = partition.split(pattern);
+                let phi_val = phi.eval(col as u64);
+                f.eval(((row as u64) << 1) | u64::from(phi_val))
+            }
+        }
+    }
+
+    /// Total LUT storage of the cascade, in bits (each flat leaf costs
+    /// `2^inputs`).
+    pub fn size_bits(&self) -> u64 {
+        match self {
+            CascadeNode::Flat(t) => t.num_entries() as u64,
+            CascadeNode::Split { phi, f, .. } => phi.size_bits() + f.size_bits(),
+        }
+    }
+
+    /// Depth of the cascade (a flat leaf is depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            CascadeNode::Flat(_) => 0,
+            CascadeNode::Split { phi, f, .. } => 1 + phi.depth().max(f.depth()),
+        }
+    }
+
+    /// Number of [`Split`](CascadeNode::Split) nodes in the cascade.
+    pub fn num_splits(&self) -> usize {
+        match self {
+            CascadeNode::Flat(_) => 0,
+            CascadeNode::Split { phi, f, .. } => 1 + phi.num_splits() + f.num_splits(),
+        }
+    }
+
+    /// Materializes the cascade back into a flat truth table.
+    pub fn to_table(&self) -> TruthTable {
+        TruthTable::from_fn(self.inputs(), |p| self.eval(p))
+    }
+
+    /// Collects the paths of every flat leaf with at least `min_inputs`
+    /// inputs (paths are phi/f turn sequences from this node).
+    fn refinable_paths(&self, min_inputs: u32, prefix: &mut Vec<Turn>, out: &mut Vec<Vec<Turn>>) {
+        match self {
+            CascadeNode::Flat(t) => {
+                // A leaf needs ≥ 2 inputs for any valid bound size.
+                if t.inputs() >= min_inputs.max(2) {
+                    out.push(prefix.clone());
+                }
+            }
+            CascadeNode::Split { phi, f, .. } => {
+                prefix.push(Turn::Phi);
+                phi.refinable_paths(min_inputs, prefix, out);
+                prefix.pop();
+                prefix.push(Turn::F);
+                f.refinable_paths(min_inputs, prefix, out);
+                prefix.pop();
+            }
+        }
+    }
+
+    /// Navigates to the node at `path`.
+    fn at_mut(&mut self, path: &[Turn]) -> &mut CascadeNode {
+        let mut node = self;
+        for turn in path {
+            node = match node {
+                CascadeNode::Split { phi, f, .. } => match turn {
+                    Turn::Phi => phi.as_mut(),
+                    Turn::F => f.as_mut(),
+                },
+                CascadeNode::Flat(_) => unreachable!("path descends into a leaf"),
+            };
+        }
+        node
+    }
+}
+
+/// One step of a leaf path inside a cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Phi,
+    F,
+}
+
+/// Per-level refinement accounting for a multi-level run.
+#[derive(Debug, Clone)]
+pub struct LevelReport {
+    /// The level (1-based; level 0 is the base decomposition and is
+    /// described by the outcome's top-level counters).
+    pub level: usize,
+    /// Leaves large enough to attempt refining at this level.
+    pub attempted: usize,
+    /// Refinements kept (the rest reverted under the error budget).
+    pub refined: usize,
+    /// From-scratch MED of the full cascade after this level.
+    pub med: f64,
+    /// From-scratch word error rate of the full cascade after this level.
+    pub er: f64,
+}
+
+/// Result of a [`MultiLevelFramework`] run.
+#[derive(Debug, Clone)]
+pub struct MultiLevelOutcome {
+    /// Per-output LUT cascades, LSB first.
+    pub nodes: Vec<CascadeNode>,
+    /// The cascade materialized back into a flat function (what `med`
+    /// and `er` are measured against the exact function).
+    pub approx: MultiOutputFn,
+    /// Mean error distance of the final reconstruction, computed from
+    /// scratch on the materialized cascade.
+    pub med: f64,
+    /// Word error rate of the final reconstruction, computed from
+    /// scratch.
+    pub er: f64,
+    /// Per-level refinement reports (levels 1 and deeper).
+    pub levels: Vec<LevelReport>,
+    /// Total LUT storage of the cascades, in bits.
+    pub cascade_bits: u64,
+    /// Storage of the flat (undecomposed) function, in bits.
+    pub direct_bits: u64,
+    /// Wall-clock time of the whole multi-level run.
+    pub elapsed: Duration,
+    /// Core-COP instances examined, summed over every level.
+    pub cop_solves: usize,
+    /// bSB iterations, summed over every level.
+    pub sb_iterations: usize,
+    /// Memo-table hits, summed over every level.
+    pub cache_hits: usize,
+    /// Memo-table misses, summed over every level.
+    pub cache_misses: usize,
+}
+
+/// Recursive multi-level decomposition driver (see the module docs).
+///
+/// Wraps a base [`Framework`] (which runs level 0 and, with the bound
+/// size clamped to each leaf's arity, every deeper solve) with the
+/// cascade bookkeeping: leaf sweeping, budget-gated acceptance, and
+/// final from-scratch reconciliation.
+///
+/// # Examples
+///
+/// ```
+/// use adis_boolfn::MultiOutputFn;
+/// use adis_core::{Framework, Mode, MultiLevelFramework};
+///
+/// let f = MultiOutputFn::from_word_fn(8, 6, |p| (p * p) >> 4);
+/// let outcome = MultiLevelFramework::new(Framework::new(Mode::Joint, 4).partitions(4), 2)
+///     .min_inputs(4)
+///     .decompose(&f)
+///     .unwrap();
+/// // The reported error is measured on the materialized cascade.
+/// assert!(outcome.med >= 0.0);
+/// assert!(outcome.nodes.iter().any(|n| n.depth() >= 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiLevelFramework {
+    base: Framework,
+    max_levels: usize,
+    min_inputs: u32,
+    error_budget: Option<f64>,
+}
+
+impl MultiLevelFramework {
+    /// A multi-level driver over `base` with at most `max_levels` levels
+    /// (clamped below at 1; 1 reproduces a plain single-level run).
+    /// Defaults: refine leaves with ≥ 6 inputs, no error budget.
+    pub fn new(base: Framework, max_levels: usize) -> Self {
+        MultiLevelFramework {
+            base,
+            max_levels: max_levels.max(1),
+            min_inputs: 6,
+            error_budget: None,
+        }
+    }
+
+    /// Only refine flat leaves with at least this many inputs (clamped
+    /// below at 2 — smaller leaves admit no valid partition).
+    pub fn min_inputs(mut self, min_inputs: u32) -> Self {
+        self.min_inputs = min_inputs.max(2);
+        self
+    }
+
+    /// Sets the global error budget on the final reconstruction (MED in
+    /// joint mode, ER in separate mode). Refinements that would push the
+    /// from-scratch cascade error past the level's allowance are
+    /// reverted.
+    pub fn error_budget(mut self, budget: f64) -> Self {
+        self.error_budget = Some(budget.max(0.0));
+        self
+    }
+
+    /// Runs the multi-level decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns the base framework's [`ConfigError`] when its
+    /// configuration is invalid for `exact` (the per-leaf sub-solves
+    /// clamp the bound size themselves and cannot fail validation).
+    pub fn decompose(&self, exact: &MultiOutputFn) -> Result<MultiLevelOutcome, ConfigError> {
+        self.decompose_with(exact, &mut NullObserver)
+    }
+
+    /// [`decompose`](Self::decompose) with progress reporting: the base
+    /// framework's full observer stream for every level's solves, plus
+    /// per-level gauges `multilevel_L{level}_med` / `_er` / `_refined`
+    /// once each level's sweep settles.
+    pub fn decompose_with<O: SolveObserver>(
+        &self,
+        exact: &MultiOutputFn,
+        observer: &mut O,
+    ) -> Result<MultiLevelOutcome, ConfigError> {
+        let started = Instant::now();
+        let level0 = self.base.try_decompose_with(exact, observer)?;
+
+        let mut cop_solves = level0.cop_solves;
+        let mut sb_iterations = level0.sb_iterations;
+        let mut cache_hits = level0.cache_hits;
+        let mut cache_misses = level0.cache_misses;
+
+        let mut nodes: Vec<CascadeNode> = level0
+            .choices
+            .iter()
+            .map(|c| CascadeNode::Split {
+                partition: c.partition.clone(),
+                phi: Box::new(CascadeNode::Flat(c.setting.phi(&c.partition))),
+                f: Box::new(CascadeNode::Flat(c.setting.compose_f(&c.partition))),
+            })
+            .collect();
+
+        let base_err = self.error_of(exact, &nodes).0;
+        let mut levels = Vec::new();
+
+        for level in 1..self.max_levels {
+            // Budget allowance for this level: the headroom above the
+            // level-0 error, released linearly across levels 1..max-1.
+            let allowance = self.error_budget.map(|eps| {
+                let headroom = (eps - base_err).max(0.0);
+                let share = level as f64 / (self.max_levels - 1) as f64;
+                base_err + headroom * share
+            });
+
+            let mut attempted = 0;
+            let mut refined = 0;
+            for out_idx in 0..nodes.len() {
+                let mut paths = Vec::new();
+                nodes[out_idx].refinable_paths(self.min_inputs, &mut Vec::new(), &mut paths);
+                for path in paths {
+                    attempted += 1;
+                    let leaf = nodes[out_idx].at_mut(&path);
+                    let CascadeNode::Flat(table) = &*leaf else {
+                        unreachable!("refinable paths end at flat leaves");
+                    };
+                    let table = table.clone();
+                    let sub = MultiOutputFn::new(vec![table.clone()]);
+                    let sub_out = self
+                        .leaf_framework(table.inputs(), level, out_idx, attempted)
+                        .try_decompose_with(&sub, observer)
+                        .expect("leaf framework is valid by construction");
+                    cop_solves += sub_out.cop_solves;
+                    sb_iterations += sub_out.sb_iterations;
+                    cache_hits += sub_out.cache_hits;
+                    cache_misses += sub_out.cache_misses;
+
+                    let choice = &sub_out.choices[0];
+                    *leaf = CascadeNode::Split {
+                        partition: choice.partition.clone(),
+                        phi: Box::new(CascadeNode::Flat(choice.setting.phi(&choice.partition))),
+                        f: Box::new(CascadeNode::Flat(
+                            choice.setting.compose_f(&choice.partition),
+                        )),
+                    };
+                    if let Some(allow) = allowance {
+                        let (err, _) = self.error_of(exact, &nodes);
+                        if err > allow + 1e-12 {
+                            // Reconcile: the refinement overdraws the
+                            // budget — restore the flat leaf.
+                            *nodes[out_idx].at_mut(&path) = CascadeNode::Flat(table);
+                            continue;
+                        }
+                    }
+                    refined += 1;
+                }
+            }
+
+            let (med, er) = self.metrics_of(exact, &nodes);
+            observer.gauge(&format!("multilevel_l{level}_med"), med);
+            observer.gauge(&format!("multilevel_l{level}_er"), er);
+            observer.gauge(&format!("multilevel_l{level}_refined"), refined as f64);
+            levels.push(LevelReport {
+                level,
+                attempted,
+                refined,
+                med,
+                er,
+            });
+            if refined == 0 {
+                break; // fixed point: nothing left the budget admits
+            }
+        }
+
+        let approx = materialize(exact.inputs(), &nodes);
+        let med = mean_error_distance(exact, &approx, &self.base.dist);
+        let er = error_rate_multi(exact, &approx, &self.base.dist);
+        let cascade_bits = nodes.iter().map(CascadeNode::size_bits).sum();
+        let direct_bits = exact.num_entries() as u64 * u64::from(exact.outputs());
+        Ok(MultiLevelOutcome {
+            nodes,
+            approx,
+            med,
+            er,
+            levels,
+            cascade_bits,
+            direct_bits,
+            elapsed: started.elapsed(),
+            cop_solves,
+            sb_iterations,
+            cache_hits,
+            cache_misses,
+        })
+    }
+
+    /// The framework for one leaf solve: the base configuration with the
+    /// bound size clamped to the leaf's arity, uniform error weighting
+    /// (see the module docs), and a level/leaf-derived seed.
+    fn leaf_framework(&self, leaf_inputs: u32, level: usize, out_idx: usize, leaf: usize) -> Framework {
+        let mut fw = self.base.clone();
+        fw.bound_size = self.base.bound_size.min(leaf_inputs - 1).max(1);
+        fw.dist = InputDist::Uniform;
+        fw.seed = self
+            .base
+            .seed
+            .wrapping_add((level as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((out_idx as u64).wrapping_mul(0xD1B5_4A32_D192_ED03))
+            .wrapping_add(leaf as u64);
+        fw
+    }
+
+    /// The budget metric (MED in joint mode, ER in separate mode) plus
+    /// the other one, measured from scratch on the materialized cascade.
+    fn error_of(&self, exact: &MultiOutputFn, nodes: &[CascadeNode]) -> (f64, f64) {
+        let (med, er) = self.metrics_of(exact, nodes);
+        match self.base.mode {
+            Mode::Joint => (med, er),
+            Mode::Separate => (er, med),
+        }
+    }
+
+    fn metrics_of(&self, exact: &MultiOutputFn, nodes: &[CascadeNode]) -> (f64, f64) {
+        let approx = materialize(exact.inputs(), nodes);
+        (
+            mean_error_distance(exact, &approx, &self.base.dist),
+            error_rate_multi(exact, &approx, &self.base.dist),
+        )
+    }
+}
+
+/// Evaluates every cascade on every pattern, yielding the flat function.
+fn materialize(inputs: u32, nodes: &[CascadeNode]) -> MultiOutputFn {
+    MultiOutputFn::new(
+        nodes
+            .iter()
+            .map(|n| TruthTable::from_fn(inputs, |p| n.eval(p)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adis_boolfn::apply_decomposition;
+
+    fn test_fn(inputs: u32, outputs: u32) -> MultiOutputFn {
+        let mask = if outputs == 64 { u64::MAX } else { (1u64 << outputs) - 1 };
+        MultiOutputFn::from_word_fn(inputs, outputs, |p| (p.wrapping_mul(2654435761) >> 7) & mask)
+    }
+
+    #[test]
+    fn single_level_matches_base_framework() {
+        let f = test_fn(6, 4);
+        let base = Framework::new(Mode::Joint, 3).partitions(4).seed(3);
+        let flat = base.decompose(&f);
+        let ml = MultiLevelFramework::new(base, 1).decompose(&f).unwrap();
+        assert_eq!(ml.levels.len(), 0);
+        assert_eq!(ml.approx, flat.approx);
+        assert_eq!(ml.med.to_bits(), flat.med.to_bits());
+        assert!(ml.nodes.iter().all(|n| n.depth() == 1));
+    }
+
+    #[test]
+    fn cascade_eval_matches_apply_decomposition() {
+        let f = test_fn(7, 3);
+        let out = MultiLevelFramework::new(Framework::new(Mode::Joint, 4).partitions(3), 2)
+            .min_inputs(3)
+            .decompose(&f)
+            .unwrap();
+        // The materialized approx is exactly what node-by-node eval says.
+        for (k, node) in out.nodes.iter().enumerate() {
+            for p in 0..f.num_entries() as u64 {
+                assert_eq!(node.eval(p), out.approx.eval_bit(k as u32, p));
+            }
+        }
+        // Every split agrees with apply_decomposition on its two parts
+        // materialized as tables.
+        for node in &out.nodes {
+            if let CascadeNode::Split { partition, phi, f: fnode } = node {
+                let rebuilt =
+                    apply_decomposition(&phi.to_table(), &fnode.to_table(), partition);
+                assert_eq!(rebuilt, node.to_table());
+            }
+        }
+    }
+
+    #[test]
+    fn reported_metrics_match_from_scratch_recomputation() {
+        let f = test_fn(8, 4);
+        let out = MultiLevelFramework::new(Framework::new(Mode::Joint, 4).partitions(3), 2)
+            .min_inputs(4)
+            .decompose(&f)
+            .unwrap();
+        let med = mean_error_distance(&f, &out.approx, &InputDist::Uniform);
+        let er = error_rate_multi(&f, &out.approx, &InputDist::Uniform);
+        assert_eq!(out.med.to_bits(), med.to_bits());
+        assert_eq!(out.er.to_bits(), er.to_bits());
+        assert!(out.nodes.iter().any(|n| n.depth() >= 2), "no leaf refined");
+        assert!(out.cascade_bits < out.direct_bits);
+    }
+
+    #[test]
+    fn error_budget_is_respected() {
+        let f = test_fn(8, 4);
+        let base = Framework::new(Mode::Joint, 4).partitions(3).seed(1);
+        let unbudgeted = MultiLevelFramework::new(base.clone(), 3)
+            .min_inputs(3)
+            .decompose(&f)
+            .unwrap();
+        let level0 = base.decompose(&f);
+        // Budget exactly at the level-0 error: only error-free (or
+        // error-neutral) refinements may be kept.
+        let tight = MultiLevelFramework::new(base, 3)
+            .min_inputs(3)
+            .error_budget(level0.med)
+            .decompose(&f)
+            .unwrap();
+        assert!(
+            tight.med <= level0.med + 1e-12,
+            "budgeted med {} exceeds budget {}",
+            tight.med,
+            level0.med
+        );
+        assert!(tight.med <= unbudgeted.med + 1e-12);
+    }
+
+    #[test]
+    fn size_accounting_is_consistent() {
+        let f = test_fn(7, 2);
+        let out = MultiLevelFramework::new(Framework::new(Mode::Separate, 3).partitions(2), 2)
+            .min_inputs(3)
+            .decompose(&f)
+            .unwrap();
+        let bits: u64 = out.nodes.iter().map(CascadeNode::size_bits).sum();
+        assert_eq!(bits, out.cascade_bits);
+        assert_eq!(out.direct_bits, 2 * 128);
+        for node in &out.nodes {
+            assert_eq!(node.inputs(), 7);
+            assert!(node.num_splits() >= 1);
+        }
+    }
+}

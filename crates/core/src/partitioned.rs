@@ -1,0 +1,332 @@
+//! Block-coordinate partitioned COP solving for large instances.
+//!
+//! The column-based Ising encoding needs `2r + c` spins. At the paper's
+//! scales that fits a single bSB instance comfortably, but once `r·c + r`
+//! grows past what one integrator (or one physical annealer) can hold,
+//! the single-instance path stops being an option. The decomposition
+//! literature for Ising machines (arXiv:2602.23038's parallelizable
+//! search-space decomposition, arXiv:2602.15985's hybrid large-scale
+//! partitioning) splits such instances into coordinated subproblems:
+//! solve blocks of the variable vector against *boundary terms* frozen
+//! from the current incumbent, accept improvements, and iterate to a
+//! fixed point.
+//!
+//! [`PartitionedCopSolver`] is that scheme specialized to the column COP.
+//! The type vector `T ∈ {0,1}^c` is split into contiguous column blocks.
+//! For each block a sub-COP is built over the block's columns plus **two
+//! aggregate boundary columns**: per row, the summed weight of the frozen
+//! out-of-block columns currently typed 0 and the summed weight of those
+//! typed 1. The boundary columns give the inner bSB solve the incumbent's
+//! row-bias context (a column pattern that flips a row flips it against
+//! the frozen remainder too), at a cost of only two extra spins per
+//! block. The inner solve proposes new patterns `(V₁, V₂)`; Theorem 3
+//! then re-derives the *full* optimal type vector for those patterns
+//! (each column's best type is independent given the patterns, so this
+//! step needs no coordination), the true objective is evaluated on the
+//! full COP, and the candidate is kept only if it strictly improves the
+//! incumbent. Acceptance-by-exact-objective makes every sweep monotone:
+//! the final answer is always a feasible setting whose objective was
+//! evaluated exactly, so `objective >= optimum` holds one-sidedly by
+//! construction (the adis-check "decomposition" family asserts it
+//! against exhaustive solves).
+//!
+//! The solver is a plain [`CopSolver`], so it composes with everything
+//! built on that seam: the portfolio can race it, the engine memo table
+//! and the [`SharedCopCache`](crate::SharedCopCache) key it by its
+//! fingerprint (the derived `Debug` covers every knob), and `adis-serve`
+//! exposes it as `"solver": "partitioned"`. It deliberately does **not**
+//! advertise a [`FusedSpec`](crate::cop_solver::FusedSpec): the fused
+//! multi-COP scheduler batches single-instance integrations, which is
+//! exactly what this solver exists to avoid, so the engine's fused
+//! gating falls back to the per-COP loop.
+
+use crate::cop_solver::{halt_of, CopOutcome, CopScratch, CopSolver, SolveCtx};
+use crate::{ColumnCop, IsingCopSolver};
+use adis_boolfn::{BitVec, ColumnSetting};
+
+/// Default column-block width.
+pub const DEFAULT_BLOCK_COLS: usize = 8;
+
+/// Default number of coordination sweeps over the blocks.
+pub const DEFAULT_SWEEPS: usize = 4;
+
+/// Polish rounds of alternating minimization applied to each accepted-or-
+/// rejected candidate before comparing it with the incumbent.
+const POLISH_ROUNDS: usize = 4;
+
+/// Alternating-minimization rounds used to seed the initial incumbent.
+const INIT_ROUNDS: usize = 16;
+
+/// A [`CopSolver`] that splits the type vector `T` into column blocks and
+/// solves them with coordinated inner bSB runs (see the module docs for
+/// the boundary-term scheme).
+///
+/// COPs whose column count does not exceed
+/// [`block_cols`](PartitionedCopSolver::block_cols) fit a single block
+/// and are delegated to the inner solver unchanged — the partitioned
+/// path only engages where it has something to split.
+///
+/// # Examples
+///
+/// ```
+/// use adis_core::{ColumnCop, CopScratch, CopSolver, PartitionedCopSolver, SolveCtx};
+///
+/// let weights: Vec<f64> = (0..4 * 12).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+/// let cop = ColumnCop::from_weights(4, 12, weights, 0.0);
+/// let solver = PartitionedCopSolver::new().block_cols(4).sweeps(3);
+/// let out = solver.solve_cop(&cop, &SolveCtx::new(1), &mut CopScratch::new());
+/// // The answer is a feasible setting whose objective was evaluated
+/// // exactly on the full COP.
+/// assert_eq!(out.objective, cop.objective(&out.setting));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionedCopSolver {
+    inner: IsingCopSolver,
+    block_cols: usize,
+    sweeps: usize,
+}
+
+impl Default for PartitionedCopSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartitionedCopSolver {
+    /// A partitioned solver around a default [`IsingCopSolver`], with
+    /// [`DEFAULT_BLOCK_COLS`]-column blocks and [`DEFAULT_SWEEPS`]
+    /// coordination sweeps.
+    pub fn new() -> Self {
+        PartitionedCopSolver {
+            inner: IsingCopSolver::new(),
+            block_cols: DEFAULT_BLOCK_COLS,
+            sweeps: DEFAULT_SWEEPS,
+        }
+    }
+
+    /// Replaces the inner per-block bSB solver.
+    pub fn inner(mut self, inner: IsingCopSolver) -> Self {
+        self.inner = inner;
+        self
+    }
+
+    /// Sets the column-block width (clamped below at 1). Each block's
+    /// sub-COP has `block_cols + 2` columns (the two boundary columns).
+    pub fn block_cols(mut self, cols: usize) -> Self {
+        self.block_cols = cols.max(1);
+        self
+    }
+
+    /// Sets the coordination-sweep budget (clamped below at 1). Sweeps
+    /// stop early at a fixed point (a full pass with no accepted
+    /// improvement).
+    pub fn sweeps(mut self, sweeps: usize) -> Self {
+        self.sweeps = sweeps.max(1);
+        self
+    }
+
+    /// The sub-COP for one column block against the incumbent: the
+    /// block's columns verbatim, plus the two aggregate boundary columns
+    /// (per-row frozen type-0 and type-1 weight sums).
+    fn block_cop(&self, cop: &ColumnCop, lo: usize, hi: usize, incumbent_t: &BitVec) -> ColumnCop {
+        let rows = cop.rows();
+        let block = hi - lo;
+        let mut w = Vec::with_capacity(rows * (block + 2));
+        for i in 0..rows {
+            for j in lo..hi {
+                w.push(cop.weight(i, j));
+            }
+            let mut frozen0 = 0.0;
+            let mut frozen1 = 0.0;
+            for j in (0..lo).chain(hi..cop.cols()) {
+                if incumbent_t.get(j) {
+                    frozen1 += cop.weight(i, j);
+                } else {
+                    frozen0 += cop.weight(i, j);
+                }
+            }
+            w.push(frozen0);
+            w.push(frozen1);
+        }
+        ColumnCop::from_weights(rows, block + 2, w, 0.0)
+    }
+}
+
+/// Deterministic per-(sweep, block) seed derivation, so results are a
+/// pure function of `(cop, ctx.seed)` — the memoization contract.
+fn block_seed(seed: u64, sweep: usize, block: usize) -> u64 {
+    seed ^ (sweep as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (block as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)
+}
+
+impl CopSolver for PartitionedCopSolver {
+    fn solve_cop(
+        &self,
+        cop: &ColumnCop,
+        ctx: &SolveCtx<'_>,
+        scratch: &mut CopScratch,
+    ) -> CopOutcome {
+        if cop.cols() <= self.block_cols {
+            // Single block: nothing to coordinate, run the inner solver
+            // on the whole instance.
+            return self.inner.solve_cop(cop, ctx, scratch);
+        }
+
+        // Incumbent: alternating minimization from the all-zero type
+        // vector — cheap, deterministic, and already a local optimum.
+        let mut best = cop.alternate(BitVec::zeros(cop.cols()), INIT_ROUNDS);
+        let mut best_obj = cop.objective(&best);
+        let mut sb_iterations = 0usize;
+
+        let outcome = |setting: ColumnSetting, objective: f64, iters: usize, interrupted| {
+            CopOutcome {
+                setting,
+                objective,
+                sb_iterations: iters,
+                bnb_nodes: 0,
+                halt: halt_of(ctx, interrupted),
+                winner: None,
+            }
+        };
+
+        for sweep in 0..self.sweeps {
+            let mut improved = false;
+            let mut lo = 0;
+            let mut block_idx = 0;
+            while lo < cop.cols() {
+                if ctx.should_stop().is_some() {
+                    return outcome(best, best_obj, sb_iterations, true);
+                }
+                let hi = (lo + self.block_cols).min(cop.cols());
+                let sub = self.block_cop(cop, lo, hi, &best.t);
+                let sub_seed = block_seed(ctx.seed, sweep, block_idx);
+                let mut sub_ctx = SolveCtx::with_cancel(sub_seed, ctx.cancel());
+                if let Some(remaining) = ctx.remaining() {
+                    sub_ctx = sub_ctx.deadline(remaining);
+                }
+                let sub_out = self.inner.solve_cop(&sub, &sub_ctx, scratch);
+                sb_iterations += sub_out.sb_iterations;
+
+                // Reconcile: the block solve proposes patterns; Theorem 3
+                // re-types *every* column for them (per-column independent,
+                // so no cross-block coordination is needed here), and the
+                // candidate is scored exactly on the full COP.
+                let t = cop.optimal_t(&sub_out.setting.v1, &sub_out.setting.v2);
+                let candidate = ColumnSetting {
+                    v1: sub_out.setting.v1,
+                    v2: sub_out.setting.v2,
+                    t,
+                };
+                let cand_obj = cop.objective(&candidate);
+                let polished = cop.alternate(candidate.t.clone(), POLISH_ROUNDS);
+                let pol_obj = cop.objective(&polished);
+                let (cand, cand_obj) = if pol_obj < cand_obj {
+                    (polished, pol_obj)
+                } else {
+                    (candidate, cand_obj)
+                };
+                if cand_obj < best_obj {
+                    best = cand;
+                    best_obj = cand_obj;
+                    improved = true;
+                }
+                lo = hi;
+                block_idx += 1;
+            }
+            if ctx.target_reached(best_obj) {
+                return outcome(best, best_obj, sb_iterations, true);
+            }
+            if !improved {
+                break; // fixed point: a full pass accepted nothing
+            }
+        }
+        outcome(best, best_obj, sb_iterations, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_cop(seed: u64, rows: usize, cols: usize) -> ColumnCop {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        ColumnCop::from_weights(rows, cols, weights, rng.gen_range(0.0..2.0))
+    }
+
+    #[test]
+    fn answer_is_feasible_and_one_sided_vs_exact() {
+        for seed in 0..8 {
+            let cop = random_cop(seed, 5, 12);
+            let solver = PartitionedCopSolver::new().block_cols(4).sweeps(3);
+            let out = solver.solve_cop(&cop, &SolveCtx::new(seed), &mut CopScratch::new());
+            assert_eq!(out.objective, cop.objective(&out.setting), "seed {seed}");
+            let opt = cop.objective(&cop.solve_exhaustive());
+            assert!(
+                out.objective >= opt - 1e-9,
+                "seed {seed}: {} < exact {opt}",
+                out.objective
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cop = random_cop(3, 6, 14);
+        let solver = PartitionedCopSolver::new().block_cols(5).sweeps(4);
+        let a = solver.solve_cop(&cop, &SolveCtx::new(9), &mut CopScratch::new());
+        let b = solver.solve_cop(&cop, &SolveCtx::new(9), &mut CopScratch::new());
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.setting, b.setting);
+        assert_eq!(a.sb_iterations, b.sb_iterations);
+    }
+
+    #[test]
+    fn small_instances_delegate_to_inner() {
+        let cop = random_cop(1, 4, 6);
+        let solver = PartitionedCopSolver::new().block_cols(8);
+        let direct = IsingCopSolver::new();
+        let a = solver.solve_cop(&cop, &SolveCtx::new(5), &mut CopScratch::new());
+        let b = direct.solve_cop(&cop, &SolveCtx::new(5), &mut CopScratch::new());
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.setting, b.setting);
+    }
+
+    #[test]
+    fn beats_or_matches_plain_alternation() {
+        for seed in 0..6 {
+            let cop = random_cop(100 + seed, 6, 16);
+            let baseline = cop.objective(&cop.alternate(BitVec::zeros(cop.cols()), INIT_ROUNDS));
+            let solver = PartitionedCopSolver::new().block_cols(6).sweeps(4);
+            let out = solver.solve_cop(&cop, &SolveCtx::new(seed), &mut CopScratch::new());
+            assert!(out.objective <= baseline + 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_configurations() {
+        let a = PartitionedCopSolver::new().block_cols(4);
+        let b = PartitionedCopSolver::new().block_cols(8);
+        assert_ne!(CopSolver::fingerprint(&a), CopSolver::fingerprint(&b));
+        assert!(a.deterministic());
+        assert!(a.fused_spec().is_none(), "partitioned path must gate off fusing");
+    }
+
+    #[test]
+    fn cancelled_context_returns_incumbent() {
+        use adis_telemetry::CancelToken;
+        let cop = random_cop(2, 6, 20);
+        let token = CancelToken::new();
+        token.cancel();
+        let solver = PartitionedCopSolver::new().block_cols(4);
+        let out = solver.solve_cop(
+            &cop,
+            &SolveCtx::with_cancel(11, &token),
+            &mut CopScratch::new(),
+        );
+        assert_eq!(out.halt, crate::HaltReason::Cancelled);
+        assert_eq!(out.objective, cop.objective(&out.setting));
+    }
+}

@@ -83,6 +83,8 @@ pub fn spec_for(
         seed,
         error_budget: None,
         solver: SolverChoice::default(),
+        block_cols: None,
+        coord_sweeps: None,
     }
 }
 

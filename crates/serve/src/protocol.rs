@@ -21,7 +21,11 @@
 //!
 //! `inputs`, `outputs`, `table` and `mode` are required; the rest have the
 //! defaults below. `solver` picks the core-COP solver from a fixed roster
-//! (see [`SolverChoice`]); omitted means the paper's Ising solver. `table` lists the function word-by-word: entry `p` is
+//! (see [`SolverChoice`]); omitted means the paper's Ising solver. With
+//! `"solver": "partitioned"` two optional tuning fields are accepted —
+//! `block_cols` (column-block width) and `coord_sweeps` (coordination-sweep
+//! budget); sending either with any other solver is a 400. `table` lists
+//! the function word-by-word: entry `p` is
 //! the output word for input pattern `p`, so it must have exactly
 //! `2^inputs` entries, each below `2^outputs`. Validation is strict — any
 //! unknown field, wrong type, or out-of-range value is a 400, never a
@@ -39,6 +43,11 @@ pub const MAX_OUTPUTS: u32 = 16;
 pub const MAX_PARTITIONS: usize = 4096;
 /// Hard cap on `rounds`.
 pub const MAX_ROUNDS: usize = 64;
+/// Hard cap on `block_cols` (a 16-input bound set has at most 2^15
+/// columns, so anything wider than 2^16 is certainly a mistake).
+pub const MAX_BLOCK_COLS: usize = 65_536;
+/// Hard cap on `coord_sweeps`.
+pub const MAX_COORD_SWEEPS: usize = 64;
 
 /// The core-COP solver a job may request via the optional `"solver"`
 /// field. The wire names are the lowercase variant names; anything else
@@ -62,11 +71,18 @@ pub enum SolverChoice {
     /// (`adis_core::KernelPrecision::I16`): fixed-point coupling field
     /// over integer sign masks, exact f64 objectives.
     Dsb16,
+    /// The block-coordinate partitioned solver
+    /// (`adis_core::PartitionedCopSolver`): the type vector is split into
+    /// column blocks solved by coordinated inner bSB runs against frozen
+    /// boundary terms — the large-`n` path. Tunable via the optional
+    /// `block_cols` / `coord_sweeps` request fields.
+    Partitioned,
 }
 
 impl SolverChoice {
     /// Every accepted wire name, in documentation order.
-    pub const NAMES: [&'static str; 6] = ["portfolio", "ising", "exact", "dalta", "ba", "dsb16"];
+    pub const NAMES: [&'static str; 7] =
+        ["portfolio", "ising", "exact", "dalta", "ba", "dsb16", "partitioned"];
 
     /// Parses a wire name (strict: unknown names are an error).
     pub fn parse(name: &str) -> Result<SolverChoice, String> {
@@ -77,6 +93,7 @@ impl SolverChoice {
             "dalta" => Ok(SolverChoice::Dalta),
             "ba" => Ok(SolverChoice::Ba),
             "dsb16" => Ok(SolverChoice::Dsb16),
+            "partitioned" => Ok(SolverChoice::Partitioned),
             other => Err(format!(
                 "\"solver\" must be one of {:?}, got {other:?}",
                 Self::NAMES
@@ -93,6 +110,7 @@ impl SolverChoice {
             SolverChoice::Dalta => "dalta",
             SolverChoice::Ba => "ba",
             SolverChoice::Dsb16 => "dsb16",
+            SolverChoice::Partitioned => "partitioned",
         }
     }
 }
@@ -121,6 +139,12 @@ pub struct JobSpec {
     pub error_budget: Option<f64>,
     /// Which core-COP solver runs the job.
     pub solver: SolverChoice,
+    /// Column-block width for the partitioned solver (only meaningful —
+    /// and only accepted — with `solver: "partitioned"`).
+    pub block_cols: Option<usize>,
+    /// Coordination-sweep budget for the partitioned solver (only
+    /// accepted with `solver: "partitioned"`).
+    pub coord_sweeps: Option<usize>,
 }
 
 impl JobSpec {
@@ -154,6 +178,8 @@ impl JobSpec {
                     | "seed"
                     | "error_budget"
                     | "solver"
+                    | "block_cols"
+                    | "coord_sweeps"
             ) {
                 return Err(format!("unknown field {key:?}"));
             }
@@ -253,6 +279,43 @@ impl JobSpec {
             },
         };
 
+        // The partitioned tuning knobs are strict like everything else:
+        // accepting them alongside a solver that ignores them would be a
+        // silently patched job.
+        let block_cols = optional_u64(body, "block_cols")?;
+        let coord_sweeps = optional_u64(body, "coord_sweeps")?;
+        if (block_cols.is_some() || coord_sweeps.is_some())
+            && solver != SolverChoice::Partitioned
+        {
+            return Err(format!(
+                "\"block_cols\"/\"coord_sweeps\" require \"solver\": \"partitioned\", \
+                 got {:?}",
+                solver.name()
+            ));
+        }
+        let block_cols = match block_cols {
+            None => None,
+            Some(b) => {
+                if b == 0 || b > MAX_BLOCK_COLS as u64 {
+                    return Err(format!(
+                        "block_cols must be in 1..={MAX_BLOCK_COLS}, got {b}"
+                    ));
+                }
+                Some(b as usize)
+            }
+        };
+        let coord_sweeps = match coord_sweeps {
+            None => None,
+            Some(s) => {
+                if s == 0 || s > MAX_COORD_SWEEPS as u64 {
+                    return Err(format!(
+                        "coord_sweeps must be in 1..={MAX_COORD_SWEEPS}, got {s}"
+                    ));
+                }
+                Some(s as usize)
+            }
+        };
+
         Ok(JobSpec {
             inputs,
             outputs,
@@ -264,6 +327,8 @@ impl JobSpec {
             seed,
             error_budget,
             solver,
+            block_cols,
+            coord_sweeps,
         })
     }
 
@@ -294,6 +359,12 @@ impl JobSpec {
             fields.push(("error_budget".to_string(), Json::Num(budget)));
         }
         fields.push(("solver".to_string(), Json::str(self.solver.name())));
+        if let Some(b) = self.block_cols {
+            fields.push(("block_cols".to_string(), Json::Num(b as f64)));
+        }
+        if let Some(s) = self.coord_sweeps {
+            fields.push(("coord_sweeps".to_string(), Json::Num(s as f64)));
+        }
         Json::Obj(fields)
     }
 
@@ -378,6 +449,73 @@ mod tests {
             JobSpec::from_json(&patch(valid(), "solver", Json::Num(3.0))).is_err(),
             "non-string solver must be rejected"
         );
+    }
+
+    #[test]
+    fn partitioned_tuning_fields_round_trip_and_are_gated() {
+        // Accepted (and round-tripped) with the partitioned solver…
+        let body = patch(
+            patch(
+                patch(valid(), "solver", Json::str("partitioned")),
+                "block_cols",
+                Json::Num(4.0),
+            ),
+            "coord_sweeps",
+            Json::Num(3.0),
+        );
+        let spec = JobSpec::from_json(&body).unwrap();
+        assert_eq!(spec.solver, SolverChoice::Partitioned);
+        assert_eq!(spec.block_cols, Some(4));
+        assert_eq!(spec.coord_sweeps, Some(3));
+        assert_eq!(JobSpec::from_json(&spec.to_json()).unwrap(), spec);
+
+        // …optional (defaults kick in downstream)…
+        let spec =
+            JobSpec::from_json(&patch(valid(), "solver", Json::str("partitioned"))).unwrap();
+        assert_eq!(spec.block_cols, None);
+        assert_eq!(spec.coord_sweeps, None);
+
+        // …and rejected with any other solver, out of range, or mistyped.
+        for (label, body) in [
+            (
+                "block_cols without partitioned",
+                patch(valid(), "block_cols", Json::Num(4.0)),
+            ),
+            (
+                "coord_sweeps with the ising solver",
+                patch(
+                    patch(valid(), "solver", Json::str("ising")),
+                    "coord_sweeps",
+                    Json::Num(2.0),
+                ),
+            ),
+            (
+                "zero block_cols",
+                patch(
+                    patch(valid(), "solver", Json::str("partitioned")),
+                    "block_cols",
+                    Json::Num(0.0),
+                ),
+            ),
+            (
+                "oversized coord_sweeps",
+                patch(
+                    patch(valid(), "solver", Json::str("partitioned")),
+                    "coord_sweeps",
+                    Json::Num((MAX_COORD_SWEEPS + 1) as f64),
+                ),
+            ),
+            (
+                "non-integer block_cols",
+                patch(
+                    patch(valid(), "solver", Json::str("partitioned")),
+                    "block_cols",
+                    Json::Num(2.5),
+                ),
+            ),
+        ] {
+            assert!(JobSpec::from_json(&body).is_err(), "{label} must be rejected");
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ use crate::http::{self, ReadError, Request};
 use crate::protocol::{JobSpec, SolverChoice};
 use adis_core::{
     BaParams, CacheConfig, CopSolverKind, Framework, IsingCopSolver, KernelPrecision, Mode,
-    PortfolioSolver, SharedCopCache,
+    PartitionedCopSolver, PortfolioSolver, SharedCopCache,
 };
 use adis_telemetry::{Json, Recorder, ReportCell, RunReport};
 use std::collections::{HashMap, VecDeque};
@@ -629,6 +629,16 @@ fn run_job(shared: &Shared, id: u64) {
             SolverChoice::Dsb16 => framework.solver(
                 IsingCopSolver::new().precision(KernelPrecision::I16),
             ),
+            SolverChoice::Partitioned => {
+                let mut solver = PartitionedCopSolver::new();
+                if let Some(b) = spec.block_cols {
+                    solver = solver.block_cols(b);
+                }
+                if let Some(s) = spec.coord_sweeps {
+                    solver = solver.sweeps(s);
+                }
+                framework.solver(solver)
+            }
         };
         framework
             .try_decompose_with(&function, &mut recorder)

@@ -329,6 +329,29 @@ fn solver_field_selects_the_roster_and_reports_the_winner() {
         ["bsb", "simcim", "doch", "dalta", "portfolio"].contains(&winner),
         "unexpected winner {winner}"
     );
+
+    // The partitioned large-n solver accepts its tuning knobs end to end.
+    spec.solver = adis_serve::SolverChoice::Partitioned;
+    spec.block_cols = Some(2);
+    spec.coord_sweeps = Some(2);
+    let id = submit(addr, &spec.to_json());
+    let done = await_job(addr, id);
+    assert_eq!(
+        done.get("status").and_then(Json::as_str),
+        Some("done"),
+        "{}",
+        done.render()
+    );
+    assert_eq!(
+        done.get("result").and_then(|r| r.get("solver")).and_then(Json::as_str),
+        Some("partitioned")
+    );
+
+    // The knobs are gated on the partitioned solver: anything else is a
+    // strict 400.
+    spec.solver = adis_serve::SolverChoice::Exact;
+    let (status, body) = post(addr, "/v1/jobs", &spec.to_json());
+    assert_eq!(status, 400, "{}", body.render());
     server.shutdown();
 }
 

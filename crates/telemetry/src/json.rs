@@ -411,10 +411,15 @@ impl Parser<'_> {
                 }
                 0x00..=0x1F => return Err(self.err("raw control character in string")),
                 _ => {
-                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    // Consume one UTF-8 scalar. The input arrives as `&str`
+                    // so this is expected to succeed, but truncated or
+                    // malformed byte slices must surface as a byte-offset
+                    // parse error, never a panic.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -560,6 +565,28 @@ mod tests {
         }
         // The error carries the failing offset.
         assert_eq!(Json::parse("[1, x]").unwrap_err().offset, 4);
+    }
+
+    #[test]
+    fn parse_truncated_escapes_error_instead_of_panicking() {
+        // A lone backslash at EOF: the escape introducer is consumed but
+        // its selector byte is missing.
+        let err = Json::parse("\"\\").unwrap_err();
+        assert_eq!(err.message, "unterminated escape");
+        assert_eq!(err.offset, 2);
+        // Truncated `\u` escapes at EOF, at every cut point.
+        for bad in ["\"\\u", "\"\\u1", "\"\\u12", "\"\\u123"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert_eq!(err.message, "truncated unicode escape", "{bad:?}");
+            assert_eq!(err.offset, bad.len(), "{bad:?}");
+        }
+        // A truncated low surrogate after a complete high half.
+        let err = Json::parse("\"\\ud83d\\u").unwrap_err();
+        assert_eq!(err.message, "truncated unicode escape");
+        // Unterminated strings keep reporting the end offset.
+        let err = Json::parse("\"abc").unwrap_err();
+        assert_eq!(err.message, "unterminated string");
+        assert_eq!(err.offset, 4);
     }
 
     #[test]
